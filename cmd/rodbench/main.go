@@ -1,0 +1,65 @@
+// Command rodbench regenerates the paper's tables and figures from this
+// repository's implementations.
+//
+// Usage:
+//
+//	rodbench [-quick] [-seed N] [experiment ...]
+//
+// With no experiment names it runs the full suite. Known experiments:
+// figure2, table2, figure9, figure14, figure15, optimal, latency,
+// loadshift, lowerbound, joins, clustering, rodvariants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rodsp/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink parameters for a fast run")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.ExperimentNames {
+			fmt.Println(name)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = bench.ExperimentNames
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	for _, name := range names {
+		fmt.Printf("==== %s ====\n", name)
+		tables, err := bench.RunTables(name, *quick, *seed)
+		if err != nil {
+			fail(err)
+		}
+		for i, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", name, i))
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rodbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command rodnode runs one engine node as its own OS process, making the
+// prototype genuinely distributable: start a rodnode per machine (or per
+// terminal), then attach a coordinator with engine.ConnectCluster (or the
+// rodengine tool pointed at the addresses) to deploy and drive a query
+// graph across them.
+//
+// Usage:
+//
+//	rodnode -addr 127.0.0.1:7101 -capacity 1.0
+//
+// The node serves both the JSON control plane and the binary tuple plane on
+// the same port and runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rodsp/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	capacity := flag.Float64("capacity", 1.0, "virtual CPU capacity (cost-units/second)")
+	flag.Parse()
+
+	node, err := engine.NewNode(*addr, *capacity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rodnode:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rodnode listening on %s (capacity %g)\n", node.Addr(), *capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rodnode: shutting down")
+	node.Close()
+}

@@ -1,0 +1,86 @@
+package rodsp_test
+
+import (
+	"fmt"
+
+	"rodsp"
+)
+
+// ExamplePlace builds a tiny two-stream query, places it with ROD on two
+// nodes and reports how much of the ideal feasible set the plan attains.
+func ExamplePlace() {
+	b := rodsp.NewBuilder()
+	i1 := b.Input("packets")
+	i2 := b.Input("requests")
+	// Two identical pipelines per stream so every stream can be balanced.
+	for _, in := range []rodsp.StreamID{i1, i2} {
+		f := b.Filter("", 0.001, 0.5, in)
+		b.Map("", 0.001, f)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	caps := []float64{1, 1}
+	plan, _, lm, err := rodsp.Place(g, caps, rodsp.Config{Selector: rodsp.SelectMaxPlaneDistance})
+	if err != nil {
+		panic(err)
+	}
+	ratio, err := rodsp.FeasibleRatio(plan, lm, caps, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("operators: %d, feasible ratio: %.2f\n", plan.NumOps(), ratio)
+	// Output:
+	// operators: 4, feasible ratio: 0.75
+}
+
+// ExampleFeasibleAt checks whether concrete input rates overload any node
+// under a plan.
+func ExampleFeasibleAt() {
+	b := rodsp.NewBuilder()
+	in := b.Input("events")
+	b.Map("work", 0.01, in) // 10 ms per tuple
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	caps := []float64{1}
+	plan, _, lm, err := rodsp.Place(g, caps, rodsp.Config{})
+	if err != nil {
+		panic(err)
+	}
+	for _, rate := range []float64{50, 150} {
+		ok, err := rodsp.FeasibleAt(plan, lm, caps, []float64{rate})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v tuples/s feasible: %v\n", rate, ok)
+	}
+	// Output:
+	// 50 tuples/s feasible: true
+	// 150 tuples/s feasible: false
+}
+
+// ExampleBuilder_join shows the Section 6.2 linearization: the join's
+// output rate becomes a model variable of its own.
+func ExampleBuilder_join() {
+	b := rodsp.NewBuilder()
+	l := b.Input("orders")
+	r := b.Input("trades")
+	fl := b.Filter("live", 0.001, 0.8, l)
+	fr := b.Filter("big", 0.001, 0.8, r)
+	j := b.Join("match", 0.0001, 0.05, 2.0, fl, fr)
+	b.Map("enrich", 0.002, j)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	_, _, lm, err := rodsp.Place(g, []float64{1, 1}, rodsp.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inputs: %d, model variables: %d\n", g.NumInputs(), lm.D())
+	// Output:
+	// inputs: 2, model variables: 3
+}

@@ -1,0 +1,125 @@
+// Traffic monitor: the paper's aggregation-heavy network-monitoring
+// workload, placed with ROD and with Largest-Load-First, then driven with
+// bursty self-similar traces in the discrete-event simulator. The feasible
+// set difference turns into an end-to-end latency difference once load
+// peaks arrive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rodsp"
+)
+
+const (
+	numLinks = 4
+	numNodes = 3
+	meanUtil = 0.75
+	simSecs  = 240.0
+)
+
+func main() {
+	g := buildMonitoringQuery()
+	caps := make([]float64, numNodes)
+	for i := range caps {
+		caps[i] = 1
+	}
+
+	rodPlan, _, lm, err := rodsp.PlaceBest(g, caps, rodsp.Config{}, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scale the bursty preset traces so the MEAN system load is meanUtil —
+	// the peaks will go well beyond it.
+	traces, means := scaledTraces(lm, float64(numNodes)*meanUtil)
+	llfPlan, err := rodsp.PlaceLLF(lm, caps, means)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("monitoring %d links on %d nodes, mean load %.0f%%\n\n", numLinks, numNodes, meanUtil*100)
+	for name, plan := range map[string]*rodsp.Plan{"ROD": rodPlan, "LLF": llfPlan} {
+		ratio, err := rodsp.FeasibleRatio(plan, lm, caps, 6000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := simulate(g, plan, caps, traces)
+		fmt.Printf("%-4s feasible-ratio=%.3f  p50=%.1fms p95=%.1fms p99=%.1fms  maxUtil=%.2f backlog=%v\n",
+			name, ratio,
+			res.LatencyP50*1000, res.LatencyP95*1000, res.LatencyP99*1000,
+			res.MaxUtilization(), res.Backlog)
+	}
+}
+
+// buildMonitoringQuery assembles per-link pipelines plus a global roll-up.
+func buildMonitoringQuery() *rodsp.Graph {
+	b := rodsp.NewBuilder()
+	var counters []rodsp.StreamID
+	for l := 0; l < numLinks; l++ {
+		link := b.Input(fmt.Sprintf("link%d", l))
+		valid := b.Filter(fmt.Sprintf("valid%d", l), 0.0003, 0.85, link)
+		fields := b.Map(fmt.Sprintf("fields%d", l), 0.0004, valid)
+		cnt := b.Aggregate(fmt.Sprintf("count%d", l), 0.0005, 0.10, 5, fields)
+		hh := b.Filter(fmt.Sprintf("heavy%d", l), 0.0003, 0.08, fields)
+		b.Map(fmt.Sprintf("alert%d", l), 0.0002, hh)
+		counters = append(counters, cnt)
+	}
+	merged := b.Union("merge", 0.0001, counters...)
+	roll := b.Aggregate("rollup", 0.0008, 0.2, 60, merged)
+	b.Filter("top", 0.0003, 0.3, roll)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// scaledTraces gives every link a bursty preset trace scaled so the mean
+// total load equals targetLoad CPU-seconds/second.
+func scaledTraces(lm *rodsp.LoadModel, targetLoad float64) ([]*rodsp.Trace, []float64) {
+	presets := rodsp.PresetTraces(7)
+	// Total load per unit mean rate on every stream:
+	ones := make([]float64, numLinks)
+	for i := range ones {
+		ones[i] = 1
+	}
+	x, err := lm.ResolveVars(ones)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perUnit := 0.0
+	for _, l := range lm.Loads(x) {
+		perUnit += l
+	}
+	mean := targetLoad / perUnit
+	traces := make([]*rodsp.Trace, numLinks)
+	means := make([]float64, numLinks)
+	for i := range traces {
+		traces[i] = presets[i%len(presets)].ScaleToMean(mean)
+		means[i] = mean
+	}
+	return traces, means
+}
+
+func simulate(g *rodsp.Graph, plan *rodsp.Plan, caps []float64, traces []*rodsp.Trace) *rodsp.SimResult {
+	sources := map[rodsp.StreamID]*rodsp.Trace{}
+	for i, in := range g.Inputs() {
+		sources[in] = traces[i]
+	}
+	res, err := rodsp.Simulate(rodsp.SimConfig{
+		Graph:      g,
+		NodeOf:     plan.NodeOf,
+		Capacities: caps,
+		Sources:    sources,
+		Duration:   simSecs,
+		WarmUp:     simSecs * 0.1,
+		Seed:       1,
+		MaxEvents:  50_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

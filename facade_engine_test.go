@@ -1,0 +1,121 @@
+package rodsp_test
+
+import (
+	"testing"
+	"time"
+
+	"rodsp"
+)
+
+func TestEngineFacadeEndToEnd(t *testing.T) {
+	b := rodsp.NewBuilder()
+	in := b.Input("I")
+	s := b.Map("m1", 0.0005, in)
+	b.Map("m2", 0.0005, s)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	plan, _, _, err := rodsp.Place(g, caps, rodsp.Config{Selector: rodsp.SelectMaxPlaneDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := rodsp.StartEngine(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	inputNodes := rodsp.EngineInputNodes(g, plan)
+	dests := inputNodes[g.Inputs()[0]]
+	if len(dests) == 0 {
+		t.Fatal("no destination nodes for the input stream")
+	}
+	addrs := cluster.Addrs()
+	src := &rodsp.EngineSource{
+		Stream: g.Inputs()[0],
+		Trace:  rodsp.NewTrace("const", 1, []float64{100, 100}),
+		Addrs:  []string{addrs[dests[0]]},
+	}
+	injected, err := src.Run(700*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected < 40 {
+		t.Fatalf("injected only %d tuples", injected)
+	}
+	time.Sleep(150 * time.Millisecond)
+	count, _, _, _, _ := cluster.Collector.LatencyStats()
+	if count < injected/2 {
+		t.Fatalf("collector saw %d of %d", count, injected)
+	}
+	// Live migration through the façade.
+	dst := 1 - plan.NodeOf[1]
+	if err := cluster.MoveOperator(g, plan, 1, dst, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if plan.NodeOf[1] != dst {
+		t.Fatal("façade migration did not update the plan")
+	}
+	sts, err := cluster.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("stats for %d nodes", len(sts))
+	}
+}
+
+func TestPresetTracesFacade(t *testing.T) {
+	ps := rodsp.PresetTraces(1)
+	if len(ps) != 3 {
+		t.Fatalf("%d presets", len(ps))
+	}
+	for _, tr := range ps {
+		if tr.Len() == 0 || tr.CV() <= 0 {
+			t.Fatalf("preset %s malformed", tr.Name)
+		}
+	}
+	tr := rodsp.NewTrace("x", 0.5, []float64{1, 2, 3})
+	if tr.Duration() != 1.5 {
+		t.Fatalf("NewTrace duration %g", tr.Duration())
+	}
+}
+
+func TestRebalanceFacadeTypes(t *testing.T) {
+	// The simulator's dynamic mode is reachable through the façade aliases.
+	b := rodsp.NewBuilder()
+	in := b.Input("I")
+	s := b.Delay("a", 0.003, 1, in)
+	b.Delay("b", 0.003, 1, s)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rodsp.Simulate(rodsp.SimConfig{
+		Graph:      g,
+		NodeOf:     []int{0, 0},
+		Capacities: []float64{1, 1},
+		Sources: map[rodsp.StreamID]*rodsp.Trace{
+			g.Inputs()[0]: rodsp.NewTrace("const", 1, []float64{120, 120}),
+		},
+		Duration: 60,
+		Rebalance: &rodsp.RebalanceConfig{
+			Period:        5,
+			MigrationTime: 0.2,
+			Policy:        &rodsp.LLFRebalancePolicy{Tolerance: 0.1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalance.Moves == 0 {
+		t.Fatal("rebalancer made no moves on an unbalanced start")
+	}
+}

@@ -1,0 +1,3 @@
+module rodsp
+
+go 1.22

@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Note: "n", Header: []string{"a", "bbbb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") {
+		t.Fatalf("rendering wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, note, header, rule, 2 rows -> 6? title+note+header+rule+2 = 6
+		if len(lines) != 6 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", `has "quotes", commas`)
+	tb.AddRow("2", "plain")
+	got := tb.CSV()
+	want := "a,b\n1,\"has \"\"quotes\"\", commas\"\n2,plain\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRunTablesUnknown(t *testing.T) {
+	if _, err := RunTables("nope", true, 1); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f3(1.23456) != "1.235" || f4(0.5) != "0.5000" {
+		t.Fatal("float formats wrong")
+	}
+	if fi(42) != "42" {
+		t.Fatal("int format wrong")
+	}
+	if fms(0.0525) != "52.5ms" {
+		t.Fatalf("fms = %q", fms(0.0525))
+	}
+	if fg(0.000123456) == "" {
+		t.Fatal("fg empty")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tb := Figure2Config{Seed: 4}.Run()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// All traces meaningfully bursty; HTTP (row 2) burstier than PKT (row 0).
+	for i := 0; i < 3; i++ {
+		if cell(tb, i, 1) < 0.15 {
+			t.Fatalf("trace %s std too low: %v", tb.Rows[i][0], tb.Rows[i])
+		}
+	}
+	if !(cell(tb, 2, 1) > cell(tb, 0, 1)) {
+		t.Fatal("HTTP should be burstier than PKT")
+	}
+	// Variability persists across time scales (self-similarity): the
+	// coarsest aggregation keeps at least a quarter of the 1s-scale std.
+	for i := 0; i < 3; i++ {
+		if cell(tb, i, 3) < cell(tb, i, 1)/6 {
+			t.Fatalf("trace %s loses burstiness too fast: %v", tb.Rows[i][0], tb.Rows[i])
+		}
+	}
+}
+
+func TestTable2KnownGeometry(t *testing.T) {
+	tb, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Plan (a) = {o1,o2 | o3,o4}: N1=[10 0], N2=[0 11]. Cuts at x=1/2 on
+	// both axes in normalized space → exact ratio 0.5.
+	if tb.Rows[0][1] != "[10 0]" || tb.Rows[0][2] != "[0 11]" {
+		t.Fatalf("plan (a) coefficients: %v", tb.Rows[0])
+	}
+	if math.Abs(cell(tb, 0, 3)-0.5) > 1e-9 {
+		t.Fatalf("plan (a) ratio = %v, want 0.5", tb.Rows[0][3])
+	}
+	// Plans (b) and (c) mix streams on both nodes; (b) = {o1,o4|o2,o3}
+	// has N1=[4 2], N2=[6 9].
+	if tb.Rows[1][1] != "[4 2]" || tb.Rows[1][2] != "[6 9]" {
+		t.Fatalf("plan (b) coefficients: %v", tb.Rows[1])
+	}
+	// All ratios in (0,1]; min plane distance never exceeds r*.
+	for i := 0; i < 3; i++ {
+		r := cell(tb, i, 3)
+		if r <= 0 || r > 1 {
+			t.Fatalf("ratio %g out of range", r)
+		}
+		if cell(tb, i, 5) > cell(tb, i, 6)+1e-9 {
+			t.Fatalf("plane distance exceeds ideal: %v", tb.Rows[i])
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	tb := Figure9Config{Matrices: 200, Samples: 1200, Seed: 2}.Run()
+	// The mean measured ratio must increase with r/r* (the figure's trend)
+	// and the bound column must never exceed the bin's min by much.
+	var lastMean float64 = -1
+	increases, comparisons := 0, 0
+	for _, row := range tb.Rows {
+		if row[2] == "-" {
+			continue
+		}
+		mean, _ := strconv.ParseFloat(row[3], 64)
+		if lastMean >= 0 {
+			comparisons++
+			if mean >= lastMean {
+				increases++
+			}
+		}
+		lastMean = mean
+		min, _ := strconv.ParseFloat(row[2], 64)
+		bound, _ := strconv.ParseFloat(row[5], 64)
+		if bound > min+0.05 {
+			t.Fatalf("hypersphere bound %g above measured min %g in row %v", bound, min, row)
+		}
+	}
+	if comparisons == 0 || increases*3 < comparisons*2 {
+		t.Fatalf("ratio not increasing with r/r*: %d/%d", increases, comparisons)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	cfg := Figure14Config{
+		Nodes: 6, Streams: 3, OpsList: []int{24, 90}, Trials: 3, Samples: 1200, Seed: 5,
+	}
+	tables, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toIdeal, toROD := tables[0], tables[1]
+	// ROD (col 1) beats every baseline at every operator count.
+	for _, row := range toIdeal.Rows {
+		rod, _ := strconv.ParseFloat(row[1], 64)
+		for col := 2; col <= 5; col++ {
+			other, _ := strconv.ParseFloat(row[col], 64)
+			if other > rod+1e-9 {
+				t.Fatalf("baseline %s (%g) beats ROD (%g) in row %v",
+					toIdeal.Header[col], other, rod, row)
+			}
+		}
+	}
+	// ROD approaches the ideal as operators grow.
+	first, _ := strconv.ParseFloat(toIdeal.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(toIdeal.Rows[len(toIdeal.Rows)-1][1], 64)
+	if last < first {
+		t.Fatalf("ROD ratio should improve with more operators: %g -> %g", first, last)
+	}
+	if last < 0.7 {
+		t.Fatalf("ROD at 90 ops only reaches %g of ideal", last)
+	}
+	// Ratio-to-ROD rows are all ≤ 1.
+	for _, row := range toROD.Rows {
+		for col := 1; col < len(row); col++ {
+			v, _ := strconv.ParseFloat(row[col], 64)
+			if v > 1+1e-9 {
+				t.Fatalf("ratio-to-ROD above 1: %v", row)
+			}
+		}
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	cfg := Figure15Config{
+		Nodes: 6, StreamsList: []int{2, 5}, OpsPerStream: 15, Trials: 2, Samples: 1200, Seed: 3,
+	}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ROD's relative advantage grows with dimensionality: every baseline's
+	// ratio-to-ROD at d=5 is at most its ratio at d=2 (allowing small noise).
+	for col := 1; col < len(tb.Header); col++ {
+		at2 := cell(tb, 0, col)
+		at5 := cell(tb, 1, col)
+		if at5 > at2+0.1 {
+			t.Fatalf("%s ratio grew with dimensions: %g -> %g", tb.Header[col], at2, at5)
+		}
+		if at2 > 1+1e-9 || at5 > 1+1e-9 {
+			t.Fatalf("%s beats ROD", tb.Header[col])
+		}
+	}
+}
+
+func TestOptimalCmpShape(t *testing.T) {
+	cfg := OptimalCmpConfig{Trials: 3, StreamsList: []int{2}, MaxOps: 8, Samples: 1200, Seed: 7}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 2 {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+	avg := cell(tb, 0, 2)
+	min := cell(tb, 0, 3)
+	if avg < 0.85 {
+		t.Fatalf("avg ROD/OPT = %g, want >= 0.85 (paper: 0.95)", avg)
+	}
+	if min < 0.7 {
+		t.Fatalf("min ROD/OPT = %g, want >= 0.7 (paper: 0.82)", min)
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	cfg := LatencyConfig{Streams: 3, Nodes: 3, UtilLevels: []float64{0.45, 0.85}, Duration: 80, Seed: 11}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect p99 per algorithm per util level.
+	p99 := map[string]map[string]float64{}
+	over := map[string]map[string]string{}
+	for _, row := range tb.Rows {
+		util, algo := row[0], row[1]
+		if p99[util] == nil {
+			p99[util] = map[string]float64{}
+			over[util] = map[string]string{}
+		}
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[4], "ms"), 64)
+		p99[util][algo] = v
+		over[util][algo] = row[7]
+	}
+	// At low load nothing is overloaded and ROD's latency is small.
+	if over["0.450"]["ROD"] != "false" {
+		t.Fatalf("ROD overloaded at 45%% load: %v", tb.Rows)
+	}
+	if p99["0.450"]["ROD"] > 500 {
+		t.Fatalf("ROD p99 at low load = %vms", p99["0.450"]["ROD"])
+	}
+	// At high mean load with bursty traces, ROD must not be doing worse
+	// than the worst baseline.
+	worst := 0.0
+	for _, a := range []string{"LLF", "Connected", "Random", "Correlation"} {
+		if p99["0.850"][a] > worst {
+			worst = p99["0.850"][a]
+		}
+	}
+	if p99["0.850"]["ROD"] > worst+1 {
+		t.Fatalf("ROD p99 (%v) worse than every baseline (%v) at high load", p99["0.850"]["ROD"], worst)
+	}
+}
+
+func TestLoadShiftShape(t *testing.T) {
+	cfg := LoadShiftConfig{ShiftTrials: 10, NoisePoints: 30, Seed: 13}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		frac[row[0]] = v
+	}
+	// ROD survives shifted mixes at least as well as every baseline.
+	for _, a := range []string{"LLF", "Connected", "Random", "Correlation"} {
+		if frac[a] > frac["ROD"]+0.02 {
+			t.Fatalf("%s (%g) survives shifts better than ROD (%g)", a, frac[a], frac["ROD"])
+		}
+	}
+	if frac["ROD"] < 0.5 {
+		t.Fatalf("ROD shift survival only %g", frac["ROD"])
+	}
+}
+
+func TestLowerBoundShape(t *testing.T) {
+	cfg := LowerBoundConfig{Trials: 3, Samples: 1500, Seed: 17, FloorLevels: []float64{0, 0.5}}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no floor the two variants coincide (identical algorithm).
+	if math.Abs(cell(tb, 0, 1)-cell(tb, 0, 2)) > 0.05 {
+		t.Fatalf("zero-floor rows should match: %v", tb.Rows[0])
+	}
+	// With a substantial asymmetric floor, LB-aware ROD must win clearly.
+	if cell(tb, 1, 2) < cell(tb, 1, 1)+0.05 {
+		t.Fatalf("LB-aware ROD did not improve with an asymmetric floor: %v", tb.Rows[1])
+	}
+}
+
+func TestJoinsShape(t *testing.T) {
+	cfg := JoinsConfig{PairsList: []int{1, 2}, Trials: 2, Samples: 1200, Seed: 19}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tb.Rows {
+		pairs := i + 1
+		if row[1] != fi(pairs*3) {
+			t.Fatalf("d should be 3 per pair (2 inputs + cut): %v", row)
+		}
+		if row[2] != fi(pairs) {
+			t.Fatalf("cuts should equal pairs: %v", row)
+		}
+		// ROD at least matches each baseline.
+		rod := cell(tb, i, 3)
+		for col := 4; col <= 7; col++ {
+			if cell(tb, i, col) > rod+0.02 {
+				t.Fatalf("baseline %s beats ROD on joins: %v", tb.Header[col], row)
+			}
+		}
+		// Linearization error is numerically zero.
+		linErr, _ := strconv.ParseFloat(row[8], 64)
+		if linErr > 1e-6 {
+			t.Fatalf("linearization error %g", linErr)
+		}
+	}
+}
+
+func TestClusteringShape(t *testing.T) {
+	cfg := ClusteringConfig{Seed: 23, XferFactors: []float64{0, 4}}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in (plain, clustered) pairs per factor.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// With zero transfer cost the two plane distances match (clustering is
+	// a no-op in effect).
+	if math.Abs(cell(tb, 0, 4)-cell(tb, 1, 4)) > 1e-6 {
+		t.Fatalf("zero-xfer rows should match: %v vs %v", tb.Rows[0], tb.Rows[1])
+	}
+	// With heavy transfer cost the clustered plan wins on plane distance
+	// and pays less network cost.
+	plainDist, clustDist := cell(tb, 2, 4), cell(tb, 3, 4)
+	if clustDist < plainDist {
+		t.Fatalf("clustering did not help: %g vs %g", clustDist, plainDist)
+	}
+	plainNet, clustNet := cell(tb, 2, 5), cell(tb, 3, 5)
+	if clustNet > plainNet {
+		t.Fatalf("clustered plan pays more network cost: %g vs %g", clustNet, plainNet)
+	}
+}
+
+func TestDynamicShape(t *testing.T) {
+	cfg := DynamicConfig{Streams: 4, Nodes: 4, Duration: 120, Seed: 1}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := map[string]map[string]float64{}
+	moves := map[string]map[string]int{}
+	for _, row := range tb.Rows {
+		sc, sys := row[0], row[1]
+		if p99[sc] == nil {
+			p99[sc] = map[string]float64{}
+			moves[sc] = map[string]int{}
+		}
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[3], "ms"), 64)
+		p99[sc][sys] = v
+		m, _ := strconv.Atoi(row[4])
+		moves[sc][sys] = m
+	}
+	for _, sc := range []string{"short bursts", "slow drift"} {
+		// Static ROD never moves and beats the dynamic systems.
+		if moves[sc]["static ROD"] != 0 {
+			t.Fatalf("%s: static ROD moved", sc)
+		}
+		if moves[sc]["stale+dynamic"] == 0 {
+			t.Fatalf("%s: dynamic recovery made no moves", sc)
+		}
+		if p99[sc]["static ROD"] > p99[sc]["dynamic LLF"]+1 {
+			t.Fatalf("%s: ROD p99 %v worse than dynamic LLF %v",
+				sc, p99[sc]["static ROD"], p99[sc]["dynamic LLF"])
+		}
+		// Migration genuinely repairs a stale plan (when it is actually
+		// broken — a healthy stale plan leaves nothing to repair).
+		if p99[sc]["stale static"] > 2000 && p99[sc]["stale+dynamic"] >= p99[sc]["stale static"]/2 {
+			t.Fatalf("%s: dynamic did not repair the stale plan (%v vs %v)",
+				sc, p99[sc]["stale+dynamic"], p99[sc]["stale static"])
+		}
+		// ...but still does not beat the resilient static placement.
+		if p99[sc]["static ROD"] > p99[sc]["stale+dynamic"]+1 {
+			t.Fatalf("%s: ROD (%v) lost to the repaired stale plan (%v)",
+				sc, p99[sc]["static ROD"], p99[sc]["stale+dynamic"])
+		}
+	}
+}
+
+func TestEmpiricalShape(t *testing.T) {
+	cfg := EmpiricalConfig{Points: 40, SimSeconds: 25, Seed: 43}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		delta := cell(tb, 0, 3)
+		_ = row
+		if delta > 0.12 {
+			t.Fatalf("empirical and analytic ratios disagree: %v", tb.Rows)
+		}
+	}
+	// ROD's empirical ratio must beat LLF's, measured by running the system.
+	if cell(tb, 0, 2) < cell(tb, 1, 2) {
+		t.Fatalf("ROD empirical (%v) below LLF (%v)", tb.Rows[0], tb.Rows[1])
+	}
+}
+
+func TestCrossValShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the wall-clock engine")
+	}
+	cfg := CrossValConfig{UtilLevels: []float64{0.5}, WallSeconds: 2.5, Seed: 41}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		delta, _ := strconv.ParseFloat(row[6], 64)
+		if delta > 0.12 {
+			t.Fatalf("simulator and engine disagree by %g: %v", delta, row)
+		}
+	}
+}
+
+func TestOrderingShape(t *testing.T) {
+	cfg := OrderingConfig{OpsList: []int{24, 120}, Samples: 1500, Seed: 31}
+	tb, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		desc, _ := strconv.ParseFloat(row[1], 64)
+		asc, _ := strconv.ParseFloat(row[2], 64)
+		random, _ := strconv.ParseFloat(row[3], 64)
+		het, _ := strconv.ParseFloat(row[4], 64)
+		// The paper's descending order dominates both alternatives.
+		if desc < asc-0.02 || desc < random-0.02 {
+			t.Fatalf("descending order lost: %v", row)
+		}
+		// Heterogeneous capacities stay in the same ballpark (Theorem 1's
+		// capacity-proportional balancing works).
+		if het < desc*0.5 {
+			t.Fatalf("heterogeneous collapse: %v", row)
+		}
+	}
+	// At high operator counts the gap is decisive.
+	last := tb.Rows[len(tb.Rows)-1]
+	desc, _ := strconv.ParseFloat(last[1], 64)
+	asc, _ := strconv.ParseFloat(last[2], 64)
+	if desc < asc+0.1 {
+		t.Fatalf("expected a decisive descending-order win at high ops: %v", last)
+	}
+}
+
+func TestRunAndRunAllQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "table2", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("table2 output missing")
+	}
+	if err := Run(&buf, "nope", true, 1); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+// TestFullSuiteQuick runs every experiment at quick scale — the end-to-end
+// reproduction smoke test (skipped under -short).
+func TestFullSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, true, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ExperimentNames {
+		if !strings.Contains(buf.String(), "==== "+name+" ====") {
+			t.Fatalf("experiment %s missing from the suite output", name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+
+	"rodsp/internal/cluster"
+	"rodsp/internal/core"
+	"rodsp/internal/feasible"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// ClusteringConfig drives the Section 6.3 experiment: workloads whose
+// streams carry per-tuple network transfer costs. Plain ROD ignores the
+// communication CPU cost it induces; the clustering sweep trades a little
+// placement freedom for far less transfer load.
+type ClusteringConfig struct {
+	Nodes        int
+	Streams      int
+	OpsPerStream int
+	XferFactors  []float64 // transfer cost as a multiple of mean op cost
+	Thresholds   []float64
+	Seed         int64
+}
+
+// Defaults fills unset fields.
+func (c *ClusteringConfig) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 6
+	}
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.OpsPerStream == 0 {
+		c.OpsPerStream = 12
+	}
+	if c.XferFactors == nil {
+		c.XferFactors = []float64{0, 0.5, 2, 8}
+	}
+	if c.Thresholds == nil {
+		c.Thresholds = []float64{0.5, 1, 2, 4}
+	}
+}
+
+// Run compares unclustered ROD against the clustering sweep at each
+// transfer-cost level: plane distance in the common normalization (the
+// resiliency proxy), cut arcs, and total network CPU cost at a nominal
+// operating point.
+func (c ClusteringConfig) Run() (*Table, error) {
+	c.Defaults()
+	caps := homogeneous(c.Nodes)
+	t := &Table{
+		Title: "Section 6.3 — operator clustering under communication CPU costs",
+		Note: fmt.Sprintf("n=%d nodes; xfer factor scales each arc's per-tuple transfer cost relative to the mean operator cost",
+			c.Nodes),
+		Header: []string{"xfer factor", "plan", "clusters", "cut arcs", "plane dist", "net cost@60%", "strategy", "threshold"},
+	}
+	for _, factor := range c.XferFactors {
+		g, err := workload.RandomTrees(workload.TreeConfig{
+			Streams: c.Streams, OpsPerStream: c.OpsPerStream, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Attach transfer costs scaled to the mean operator cost.
+		var meanCost float64
+		for _, op := range g.Ops() {
+			meanCost += op.Cost
+		}
+		meanCost /= float64(g.NumOps())
+		for _, s := range g.Streams() {
+			if !s.Input() {
+				s.XferCost = factor * meanCost
+			}
+		}
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, err
+		}
+		lk := lm.CoefSums()
+
+		// A nominal 60%-utilization even-mix operating point for reporting
+		// absolute network cost.
+		mix := make([]float64, lm.D())
+		for k := range mix {
+			mix[k] = 0.6 / float64(len(mix)) * caps.Sum() / lk[k]
+		}
+
+		plain, _, err := core.Place(lm.Coef, caps, core.Config{Selector: core.SelectMaxPlaneDistance})
+		if err != nil {
+			return nil, err
+		}
+		plainLn := cluster.NodeCoefWithTransfer(lm, plain.NodeOf, c.Nodes)
+		plainW, err := feasible.Weights(plainLn, caps, lk)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fg(factor), "plain ROD", fi(g.NumOps()),
+			fi(cluster.CutArcs(g, plain.NodeOf)),
+			f4(feasible.MinPlaneDistance(plainW)),
+			fg(cluster.NetworkCostAt(lm, plain.NodeOf, mix)),
+			"-", "-")
+
+		best, err := cluster.Sweep(lm, caps, core.Config{Selector: core.SelectMaxPlaneDistance}, c.Thresholds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fg(factor), "clustered ROD", fi(best.NumCluster),
+			fi(cluster.CutArcs(g, best.Plan.NodeOf)),
+			f4(best.PlaneDist),
+			fg(cluster.NetworkCostAt(lm, best.Plan.NodeOf, mix)),
+			best.Strategy.String(), fg(best.Threshold))
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rodsp/internal/core"
+	"rodsp/internal/mat"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/stats"
+	"rodsp/internal/workload"
+)
+
+// AlgoNames lists the compared algorithms in presentation order (ROD first,
+// then the Section 7.2 baselines).
+var AlgoNames = []string{"ROD", "Correlation", "LLF", "Random", "Connected"}
+
+// rateCeil is the per-stream ceiling used when drawing the random average
+// rates the load-balancing baselines optimize for: the rate at which one
+// stream alone would fill the whole cluster (the ideal simplex corner).
+func rateCeil(lk mat.Vec, c mat.Vec, k int) float64 { return c.Sum() / lk[k] }
+
+// ratioStats holds the mean and population standard deviation of an
+// algorithm's feasible ratios across trials.
+type ratioStats struct {
+	Mean, Std float64
+}
+
+// averageRatiosStd is averageRatios with per-algorithm trial spread (ROD
+// runs once, so its Std is 0).
+func averageRatiosStd(g *query.Graph, lm *query.LoadModel, c mat.Vec, trials, samples int, seed int64) (map[string]ratioStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	lo := lm.Coef
+	lk := lo.ColSums()
+	d := lo.Cols
+
+	rodPlan, _, err := core.PlaceBest(lo, c, core.Config{}, samples)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ROD: %w", err)
+	}
+	rodRatio, err := placement.Evaluate(rodPlan, lo, c, samples)
+	if err != nil {
+		return nil, err
+	}
+	samplesPer := map[string][]float64{}
+	for trial := 0; trial < trials; trial++ {
+		rates := make(mat.Vec, d)
+		for k := range rates {
+			rates[k] = rng.Float64() * rateCeil(lk, c, k)
+		}
+		llfPlan, err := placement.LLF(lo, c, rates)
+		if err != nil {
+			return nil, fmt.Errorf("bench: LLF: %w", err)
+		}
+		connPlan, err := placement.Connected(g, lo, c, rates)
+		if err != nil {
+			return nil, fmt.Errorf("bench: Connected: %w", err)
+		}
+		series := workload.RandomRateSeries(d, 50, 1, rng)
+		for k := 0; k < d; k++ {
+			ceil := rateCeil(lk, c, k)
+			for t := 0; t < series.Rows; t++ {
+				series.Set(t, k, series.At(t, k)*ceil)
+			}
+		}
+		corrPlan, err := placement.CorrelationBased(lo, c, series)
+		if err != nil {
+			return nil, fmt.Errorf("bench: Correlation: %w", err)
+		}
+		randPlan := placement.Random(lo.Rows, len(c), rng)
+		for name, p := range map[string]*placement.Plan{
+			"LLF": llfPlan, "Connected": connPlan, "Correlation": corrPlan, "Random": randPlan,
+		} {
+			ratio, err := placement.Evaluate(p, lo, c, samples)
+			if err != nil {
+				return nil, err
+			}
+			samplesPer[name] = append(samplesPer[name], ratio)
+		}
+	}
+	out := map[string]ratioStats{"ROD": {Mean: rodRatio}}
+	for name, xs := range samplesPer {
+		out[name] = ratioStats{Mean: stats.Mean(xs), Std: stats.Std(xs)}
+	}
+	return out, nil
+}
+
+// averageRatios places the graph with every algorithm and returns the mean
+// feasible-set ratio (to ideal) per algorithm. ROD runs once (it does not
+// depend on observed rates); each baseline runs `trials` times with fresh
+// random rate draws/seeds, as in Section 7.3.1.
+func averageRatios(g *query.Graph, lm *query.LoadModel, c mat.Vec, trials, samples int, seed int64) (map[string]float64, error) {
+	full, err := averageRatiosStd(g, lm, c, trials, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(full))
+	for name, s := range full {
+		out[name] = s.Mean
+	}
+	return out, nil
+}
+
+// homogeneous returns n capacity-1 nodes.
+func homogeneous(n int) mat.Vec {
+	c := make(mat.Vec, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rodsp/internal/core"
+	"rodsp/internal/engine"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/sim"
+	"rodsp/internal/trace"
+	"rodsp/internal/workload"
+)
+
+// CrossValConfig drives the simulator-vs-prototype cross-validation behind
+// the paper's Section 7.3.1 claim: "the simulator results tracked the
+// results in Borealis very closely, thus allowing us to trust the simulator
+// for experiments in which the total running time in Borealis would be
+// prohibitive." The same workload, traces and plans run through both the
+// discrete-event simulator and the TCP engine (time-compressed), and the
+// per-node utilizations are compared.
+type CrossValConfig struct {
+	Streams     int
+	Nodes       int
+	UtilLevels  []float64
+	WallSeconds float64 // engine wall-clock drive time per point
+	Speedup     float64 // trace-time compression for the engine
+	Seed        int64
+}
+
+// Defaults fills unset fields.
+func (c *CrossValConfig) Defaults() {
+	if c.Streams == 0 {
+		c.Streams = 3
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.UtilLevels == nil {
+		c.UtilLevels = []float64{0.4, 0.7}
+	}
+	if c.WallSeconds == 0 {
+		c.WallSeconds = 4
+	}
+	if c.Speedup == 0 {
+		c.Speedup = 25
+	}
+}
+
+// Run compares, per algorithm and load level, the simulator's and the
+// engine's mean/max node utilization on identical workloads.
+func (c CrossValConfig) Run() (*Table, error) {
+	c.Defaults()
+	g, err := workload.TrafficMonitoring(workload.MonitoringConfig{Streams: c.Streams, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		return nil, err
+	}
+	caps := homogeneous(c.Nodes)
+
+	rodPlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, 3000)
+	if err != nil {
+		return nil, err
+	}
+	_, means, err := workload.ScaledTraces(lm, caps.Sum(), 0.6, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := lm.ResolveVars(means)
+	if err != nil {
+		return nil, err
+	}
+	llfPlan, err := placement.LLF(lm.Coef, caps, avg)
+	if err != nil {
+		return nil, err
+	}
+	plans := []struct {
+		name string
+		plan *placement.Plan
+	}{{"ROD", rodPlan}, {"LLF", llfPlan}}
+
+	t := &Table{
+		Title: "Simulator vs prototype cross-validation (Section 7.3.1's 'the simulator tracked Borealis closely')",
+		Note: fmt.Sprintf("traffic monitoring, %d streams on %d nodes; engine runs %gs wall at %gx time compression",
+			c.Streams, c.Nodes, c.WallSeconds, c.Speedup),
+		Header: []string{"mean util", "plan", "sim mean(U)", "engine mean(U)", "sim max(U)", "engine max(U)", "|Δmean|"},
+	}
+	for _, util := range c.UtilLevels {
+		traces, _, err := workload.ScaledTraces(lm, caps.Sum(), util, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range plans {
+			simMean, simMax, err := c.runSim(g, p.plan, caps, traces)
+			if err != nil {
+				return nil, err
+			}
+			engMean, engMax, err := c.runEngine(g, p.plan, caps, traces)
+			if err != nil {
+				return nil, err
+			}
+			delta := simMean - engMean
+			if delta < 0 {
+				delta = -delta
+			}
+			t.AddRow(f3(util), p.name, f3(simMean), f3(engMean), f3(simMax), f3(engMax), f3(delta))
+		}
+	}
+	return t, nil
+}
+
+func (c CrossValConfig) runSim(g *query.Graph, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, err error) {
+	sources := map[query.StreamID]*trace.Trace{}
+	for i, in := range g.Inputs() {
+		sources[in] = traces[i]
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:      g,
+		NodeOf:     plan.NodeOf,
+		Capacities: caps,
+		Sources:    sources,
+		Duration:   c.WallSeconds * c.Speedup,
+		Seed:       c.Seed,
+		MaxEvents:  50_000_000,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	for _, u := range res.Utilization {
+		sum += u
+	}
+	return sum / float64(len(res.Utilization)), res.MaxUtilization(), nil
+}
+
+func (c CrossValConfig) runEngine(g *query.Graph, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, err error) {
+	cl, err := engine.StartCluster(caps)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.Start(); err != nil {
+		return 0, 0, err
+	}
+	inputNodes := engine.InputNodes(g, plan)
+	addrs := cl.Addrs()
+	done := make(chan error, len(traces))
+	for i, in := range g.Inputs() {
+		var dests []string
+		for _, n := range inputNodes[in] {
+			dests = append(dests, addrs[n])
+		}
+		src := &engine.SourceDriver{
+			Stream: in,
+			// The driver multiplies rates by Speedup; divide the mean out so
+			// the wall-clock load matches the simulated one.
+			Trace:   traces[i].ScaleToMean(traces[i].Mean() / c.Speedup),
+			Addrs:   dests,
+			Speedup: c.Speedup,
+			MaxRate: 6000,
+		}
+		go func() {
+			_, err := src.Run(time.Duration(c.WallSeconds*float64(time.Second)), nil)
+			done <- err
+		}()
+	}
+	for range traces {
+		if e := <-done; e != nil {
+			return 0, 0, e
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	sts, err := cl.Stats()
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	for _, s := range sts {
+		sum += s.Utilization
+		if s.Utilization > max {
+			max = s.Utilization
+		}
+	}
+	return sum / float64(len(sts)), max, nil
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/core"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/sim"
+	"rodsp/internal/trace"
+	"rodsp/internal/workload"
+)
+
+// DynamicConfig drives the static-vs-dynamic experiment behind the paper's
+// Section 1 argument: reactive operator migration handles slow load drift
+// but cannot keep up with short-term bursts — every reaction pays a
+// state-migration stall — while a resilient static placement absorbs both
+// without moving anything.
+type DynamicConfig struct {
+	Streams       int
+	Nodes         int
+	Duration      float64 // simulated seconds per run
+	Period        float64 // rebalance decision interval
+	MigrationTime float64 // stall per moved operator (paper: ~hundreds of ms)
+	Util          float64 // mean system utilization
+	Seed          int64
+}
+
+// Defaults fills unset fields.
+func (c *DynamicConfig) Defaults() {
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 300
+	}
+	if c.Period == 0 {
+		c.Period = 5
+	}
+	if c.MigrationTime == 0 {
+		c.MigrationTime = 0.3
+	}
+	if c.Util == 0 {
+		c.Util = 0.7
+	}
+}
+
+// Run simulates two scenarios — short-term bursts and slow drift — under
+// four systems: static ROD, static LLF, and dynamic LLF/Correlation
+// rebalancers starting from the LLF plan.
+func (c DynamicConfig) Run() (*Table, error) {
+	c.Defaults()
+	g, err := workload.TrafficMonitoring(workload.MonitoringConfig{Streams: c.Streams, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		return nil, err
+	}
+	caps := homogeneous(c.Nodes)
+
+	// Mean rates for the target utilization; both scenarios share them.
+	burstTraces, means, err := workload.ScaledTraces(lm, caps.Sum(), c.Util, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	driftTraces := driftScenario(means, c.Duration)
+
+	rodPlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, 3000)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := lm.ResolveVars(means)
+	if err != nil {
+		return nil, err
+	}
+	llfPlan, err := placement.LLF(lm.Coef, caps, avg)
+	if err != nil {
+		return nil, err
+	}
+	// A stale plan: Connected-balancing tuned for a long-gone mix where
+	// stream 0 dominated — the "system optimized for yesterday's load" that
+	// dynamic redistribution exists to repair.
+	stale := avg.Clone()
+	stale[0] *= 4
+	for k := 1; k < len(stale); k++ {
+		stale[k] *= 0.25
+	}
+	stalePlan, err := placement.Connected(g, lm.Coef, caps, stale)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "Static resilient placement vs dynamic operator migration (Section 1's motivation, measured)",
+		Note: fmt.Sprintf("traffic monitoring, %d streams on %d nodes, %gs simulated; migration stalls both nodes %.0f ms per move; rebalance period %gs",
+			c.Streams, c.Nodes, c.Duration, c.MigrationTime*1000, c.Period),
+		Header: []string{"scenario", "system", "p50", "p99", "moves", "stall(s)", "max util"},
+	}
+
+	type system struct {
+		name string
+		plan *placement.Plan
+		rb   *sim.RebalanceConfig
+	}
+	systems := []system{
+		{"static ROD", rodPlan, nil},
+		{"static LLF", llfPlan, nil},
+		{"dynamic LLF", llfPlan, &sim.RebalanceConfig{
+			Period: c.Period, MigrationTime: c.MigrationTime,
+			Policy: &sim.LLFPolicy{Tolerance: 0.1},
+		}},
+		{"dynamic Corr", llfPlan, &sim.RebalanceConfig{
+			Period: c.Period, MigrationTime: c.MigrationTime,
+			Policy: &sim.CorrelationPolicy{Tolerance: 0.1},
+		}},
+		{"stale static", stalePlan, nil},
+		{"stale+dynamic", stalePlan, &sim.RebalanceConfig{
+			Period: c.Period, MigrationTime: c.MigrationTime,
+			Policy: &sim.LLFPolicy{Tolerance: 0.1},
+		}},
+	}
+	scenarios := []struct {
+		name   string
+		traces []*trace.Trace
+	}{
+		{"short bursts", burstTraces},
+		{"slow drift", driftTraces},
+	}
+	for _, sc := range scenarios {
+		sources := map[query.StreamID]*trace.Trace{}
+		for i, in := range g.Inputs() {
+			sources[in] = sc.traces[i%len(sc.traces)]
+		}
+		for _, sys := range systems {
+			var rb *sim.RebalanceConfig
+			if sys.rb != nil {
+				// Fresh policy state per run.
+				cp := *sys.rb
+				switch sys.rb.Policy.(type) {
+				case *sim.CorrelationPolicy:
+					cp.Policy = &sim.CorrelationPolicy{Tolerance: 0.1}
+				case *sim.LLFPolicy:
+					cp.Policy = &sim.LLFPolicy{Tolerance: 0.1}
+				}
+				rb = &cp
+			}
+			res, err := sim.Run(sim.Config{
+				Graph:      g,
+				NodeOf:     sys.plan.NodeOf,
+				Capacities: caps,
+				Sources:    sources,
+				Duration:   c.Duration,
+				WarmUp:     c.Duration * 0.1,
+				Arrivals:   sim.PoissonArrivals,
+				Seed:       c.Seed + 1,
+				MaxEvents:  50_000_000,
+				Rebalance:  rb,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: dynamic %s/%s: %w", sc.name, sys.name, err)
+			}
+			t.AddRow(sc.name, sys.name,
+				fms(res.LatencyP50), fms(res.LatencyP99),
+				fi(res.Rebalance.Moves), f3(res.Rebalance.StallSeconds),
+				f3(res.MaxUtilization()))
+		}
+	}
+	return t, nil
+}
+
+// driftScenario builds slowly phase-shifted sinusoidal traces: the total
+// volume is steady but the per-stream mix rotates over the run — the
+// medium-term variation dynamic redistribution is good at.
+func driftScenario(means []float64, duration float64) []*trace.Trace {
+	out := make([]*trace.Trace, len(means))
+	bins := int(duration) + 1
+	for k := range means {
+		rates := make([]float64, bins)
+		phase := 2 * math.Pi * float64(k) / float64(len(means))
+		for i := range rates {
+			t := float64(i) / duration * 2 * math.Pi // one slow cycle per run
+			rates[i] = means[k] * (1 + 0.75*math.Sin(t+phase))
+		}
+		out[k] = trace.New(fmt.Sprintf("drift%d", k), 1, rates)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/core"
+	"rodsp/internal/feasible"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/sim"
+	"rodsp/internal/trace"
+	"rodsp/internal/workload"
+)
+
+// EmpiricalConfig reproduces the paper's Borealis measurement methodology
+// (Section 7.1): "we compute the feasible set size by randomly generating
+// workload points, all within the ideal feasible set ... the system is
+// deemed feasible if none of the nodes experience 100% utilization. The
+// ratio of the number of feasible points to the number of runs is the
+// ratio of the achievable feasible set size to the ideal one." Here the
+// system under measurement is the discrete-event simulator, and the
+// empirical ratio is compared with the analytic (QMC/exact) one.
+type EmpiricalConfig struct {
+	Streams      int
+	Nodes        int
+	OpsPerStream int
+	Points       int     // workload points sampled within the ideal set
+	SimSeconds   float64 // simulated seconds per point
+	Seed         int64
+}
+
+// Defaults fills unset fields.
+func (c *EmpiricalConfig) Defaults() {
+	if c.Streams == 0 {
+		c.Streams = 3
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.OpsPerStream == 0 {
+		c.OpsPerStream = 12
+	}
+	if c.Points == 0 {
+		c.Points = 80
+	}
+	if c.SimSeconds == 0 {
+		c.SimSeconds = 40
+	}
+}
+
+// Run measures ROD's and LLF's feasible-set ratio both ways and reports the
+// agreement.
+func (c EmpiricalConfig) Run() (*Table, error) {
+	c.Defaults()
+	g, err := workload.RandomTrees(workload.TreeConfig{
+		Streams: c.Streams, OpsPerStream: c.OpsPerStream, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		return nil, err
+	}
+	caps := homogeneous(c.Nodes)
+	lk := lm.CoefSums()
+
+	rodPlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, 4000)
+	if err != nil {
+		return nil, err
+	}
+	rng := newRand(c.Seed)
+	avg := workload.RandomRates(lm.D(), 1, rng)
+	for k := range avg {
+		avg[k] *= caps.Sum() / lk[k]
+	}
+	llfPlan, err := placement.LLF(lm.Coef, caps, avg)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "Section 7.1 methodology — empirical (run-the-system) vs analytic feasible-set measurement",
+		Note: fmt.Sprintf("%d workload points inside the ideal set, %gs simulated each; feasible = no saturated node with growing backlog",
+			c.Points, c.SimSeconds),
+		Header: []string{"plan", "analytic ratio", "empirical ratio", "|Δ|", "sampling σ"},
+	}
+	points := feasible.SamplePoints(lm.D(), c.Points)
+	for _, pl := range []struct {
+		name string
+		plan *placement.Plan
+	}{{"ROD", rodPlan}, {"LLF", llfPlan}} {
+		analytic, err := placement.Evaluate(pl.plan, lm.Coef, caps, 20000)
+		if err != nil {
+			return nil, err
+		}
+		feasibleCount := 0
+		for _, x := range points {
+			rates := feasible.Denormalize(x, lk, caps.Sum())
+			ok, err := c.runPoint(g, pl.plan, caps, rates)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				feasibleCount++
+			}
+		}
+		empirical := float64(feasibleCount) / float64(len(points))
+		delta := empirical - analytic
+		if delta < 0 {
+			delta = -delta
+		}
+		// Binomial sampling error of the empirical estimate.
+		sigma := sigmaOf(analytic, len(points))
+		t.AddRow(pl.name, f3(analytic), f3(empirical), f3(delta), f3(sigma))
+	}
+	return t, nil
+}
+
+// runPoint simulates the system at a constant rate point and classifies it
+// feasible unless some node ends saturated with a growing backlog.
+func (c EmpiricalConfig) runPoint(g *query.Graph, plan *placement.Plan, caps []float64, rates []float64) (bool, error) {
+	sources := map[query.StreamID]*trace.Trace{}
+	for i, in := range g.Inputs() {
+		sources[in] = trace.New("const", c.SimSeconds, []float64{rates[i]})
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:      g,
+		NodeOf:     plan.NodeOf,
+		Capacities: caps,
+		Sources:    sources,
+		Duration:   c.SimSeconds,
+		Seed:       c.Seed,
+		MaxEvents:  20_000_000,
+	})
+	if err != nil {
+		return false, err
+	}
+	return !res.Overloaded(0.99, 25), nil
+}
+
+func sigmaOf(p float64, n int) float64 {
+	return math.Sqrt(p * (1 - p) / float64(n))
+}

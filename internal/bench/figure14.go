@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// Figure14Config drives the base resiliency experiment: average feasible-
+// set size ratio (to ideal, and to ROD) against the number of operators,
+// for ROD and the four baselines, on random operator trees with 5 input
+// streams.
+type Figure14Config struct {
+	Nodes   int
+	Streams int
+	OpsList []int // total operator counts (split across streams)
+	Trials  int   // baseline repetitions per point (paper: 10)
+	Samples int   // QMC budget per evaluation
+	Seed    int64
+}
+
+// Defaults fills unset fields with paper-scale parameters.
+func (c *Figure14Config) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 10
+	}
+	if c.Streams == 0 {
+		c.Streams = 5
+	}
+	if c.OpsList == nil {
+		c.OpsList = []int{20, 40, 80, 120, 160, 200}
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+}
+
+// Run produces two tables: ratio-to-ideal and ratio-to-ROD per operator
+// count (Figure 14's two panels).
+func (c Figure14Config) Run() ([]*Table, error) {
+	c.Defaults()
+	caps := homogeneous(c.Nodes)
+	toIdeal := &Table{
+		Title:  "Figure 14(a) — average feasible set size ratio (A / Ideal) vs number of operators",
+		Note:   fmt.Sprintf("n=%d nodes, d=%d streams, %d trials per baseline", c.Nodes, c.Streams, c.Trials),
+		Header: append([]string{"ops"}, AlgoNames...),
+	}
+	toROD := &Table{
+		Title:  "Figure 14(b) — average feasible set size ratio (A / ROD) vs number of operators",
+		Header: append([]string{"ops"}, AlgoNames[1:]...),
+	}
+	spread := &Table{
+		Title:  "Figure 14(c) — per-trial standard deviation of the baselines' ratios",
+		Note:   "ROD runs once per workload (rate-independent), so it has no trial spread",
+		Header: append([]string{"ops"}, AlgoNames[1:]...),
+	}
+	for _, ops := range c.OpsList {
+		per := ops / c.Streams
+		if per == 0 {
+			per = 1
+		}
+		g, err := workload.RandomTrees(workload.TreeConfig{
+			Streams: c.Streams, OpsPerStream: per, Seed: c.Seed + int64(ops),
+		})
+		if err != nil {
+			return nil, err
+		}
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, err
+		}
+		ratios, err := averageRatiosStd(g, lm, caps, c.Trials, c.Samples, c.Seed+int64(ops)*7)
+		if err != nil {
+			return nil, err
+		}
+		row1 := []string{fi(per * c.Streams)}
+		for _, a := range AlgoNames {
+			row1 = append(row1, f3(ratios[a].Mean))
+		}
+		toIdeal.AddRow(row1...)
+		row2 := []string{fi(per * c.Streams)}
+		row3 := []string{fi(per * c.Streams)}
+		for _, a := range AlgoNames[1:] {
+			row2 = append(row2, f3(ratios[a].Mean/ratios["ROD"].Mean))
+			row3 = append(row3, f3(ratios[a].Std))
+		}
+		toROD.AddRow(row2...)
+		spread.AddRow(row3...)
+	}
+	return []*Table{toIdeal, toROD, spread}, nil
+}

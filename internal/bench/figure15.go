@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// Figure15Config drives the dimensionality experiment: the ratio of each
+// baseline's feasible-set size to ROD's as the number of input streams
+// grows (Figure 15: ROD's relative advantage increases with every added
+// dimension).
+type Figure15Config struct {
+	Nodes        int
+	StreamsList  []int
+	OpsPerStream int
+	Trials       int
+	Samples      int
+	Seed         int64
+}
+
+// Defaults fills unset fields.
+func (c *Figure15Config) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 10
+	}
+	if c.StreamsList == nil {
+		c.StreamsList = []int{2, 3, 4, 5, 6, 7}
+	}
+	if c.OpsPerStream == 0 {
+		c.OpsPerStream = 20
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+}
+
+// Run produces the ratio-to-ROD series per input-stream count.
+func (c Figure15Config) Run() (*Table, error) {
+	c.Defaults()
+	caps := homogeneous(c.Nodes)
+	t := &Table{
+		Title: "Figure 15 — feasible set size ratio (A / ROD) vs number of input streams",
+		Note: fmt.Sprintf("n=%d nodes, %d operators per stream, %d trials per baseline",
+			c.Nodes, c.OpsPerStream, c.Trials),
+		Header: append([]string{"streams"}, AlgoNames[1:]...),
+	}
+	for _, d := range c.StreamsList {
+		g, err := workload.RandomTrees(workload.TreeConfig{
+			Streams: d, OpsPerStream: c.OpsPerStream, Seed: c.Seed + int64(d)*13,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, err
+		}
+		ratios, err := averageRatios(g, lm, caps, c.Trials, c.Samples, c.Seed+int64(d)*29)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fi(d)}
+		for _, a := range AlgoNames[1:] {
+			row = append(row, f3(ratios[a]/ratios["ROD"]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "rodsp/internal/trace"
+
+// Figure2Config drives the trace-variability experiment (Figure 2: "stream
+// rates exhibit significant variation over time", plus the self-similarity
+// claim that the variation persists across time scales).
+type Figure2Config struct {
+	Seed      int64
+	AggLevels []int // aggregation factors at which CV is re-measured
+}
+
+// Defaults fills unset fields.
+func (c *Figure2Config) Defaults() {
+	if c.AggLevels == nil {
+		c.AggLevels = []int{1, 16, 64}
+	}
+}
+
+// Run generates the PKT/TCP/HTTP stand-in traces and reports the Figure 2
+// statistics: standard deviation of the normalized rate (the figure's
+// annotation), burstiness across time scales, Hurst exponent, peak-to-mean.
+func (c Figure2Config) Run() *Table {
+	c.Defaults()
+	t := &Table{
+		Title:  "Figure 2 — input stream rate variability (synthetic PKT/TCP/HTTP stand-ins)",
+		Note:   "std(norm) is the standard deviation of the mean-1 normalized rate, as annotated in the paper's figure",
+		Header: []string{"trace", "std(norm)"},
+	}
+	for _, k := range c.AggLevels[1:] {
+		t.Header = append(t.Header, "std@x"+fi(k))
+	}
+	t.Header = append(t.Header, "hurst", "peak/mean")
+	for _, tr := range trace.Presets(c.Seed) {
+		n := tr.Normalized()
+		row := []string{tr.Name, f3(n.Std())}
+		for _, k := range c.AggLevels[1:] {
+			row = append(row, f3(n.Aggregate(k).Std()))
+		}
+		row = append(row, f3(tr.Hurst()), f3(tr.PeakToMean()))
+		t.AddRow(row...)
+	}
+	return t
+}

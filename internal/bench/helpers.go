@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+)
+
+// newRand returns a seeded PRNG.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// meanVarRates resolves mean input rates into the full variable vector
+// (identity for linear graphs; evaluates cut variables otherwise).
+func meanVarRates(lm *query.LoadModel, inputMeans mat.Vec) (mat.Vec, error) {
+	return lm.ResolveVars(inputMeans)
+}
+
+// resolveSeries maps a T×d_inputs rate series to the T×D variable series by
+// resolving the nonlinear cut variables row by row.
+func resolveSeries(lm *query.LoadModel, series *mat.Matrix) (*mat.Matrix, error) {
+	out := mat.NewMatrix(series.Rows, lm.D())
+	for t := 0; t < series.Rows; t++ {
+		x, err := lm.ResolveVars(series.Row(t))
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Row(t), x)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rodsp/internal/core"
+	"rodsp/internal/feasible"
+	"rodsp/internal/mat"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// LoadShiftConfig drives the [reconstructed] robustness experiment: every
+// rate-dependent baseline optimizes for an observed load point R0; the
+// workload then shifts to a differently-shaped point at the same total
+// volume. The paper's argument (Section 1): "the effectiveness of such an
+// approach can become arbitrarily poor and even infeasible when the
+// observed load characteristics are different from what the system was
+// originally optimized for."
+type LoadShiftConfig struct {
+	Nodes        int
+	Streams      int
+	OpsPerStream int
+	ShiftTrials  int // number of shifted target points
+	NoisePoints  int // perturbations sampled around each shifted point
+	Util         float64
+	Seed         int64
+}
+
+// Defaults fills unset fields.
+func (c *LoadShiftConfig) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Streams == 0 {
+		c.Streams = 5
+	}
+	if c.OpsPerStream == 0 {
+		c.OpsPerStream = 20
+	}
+	if c.ShiftTrials == 0 {
+		c.ShiftTrials = 20
+	}
+	if c.NoisePoints == 0 {
+		c.NoisePoints = 50
+	}
+	if c.Util == 0 {
+		c.Util = 0.75
+	}
+}
+
+// Run reports, per algorithm, the fraction of shifted workload points that
+// remain feasible (same total normalized volume, different stream mix).
+func (c LoadShiftConfig) Run() (*Table, error) {
+	c.Defaults()
+	rng := newRand(c.Seed)
+	g, err := workload.RandomTrees(workload.TreeConfig{
+		Streams: c.Streams, OpsPerStream: c.OpsPerStream, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		return nil, err
+	}
+	caps := homogeneous(c.Nodes)
+	lo := lm.Coef
+	lk := lo.ColSums()
+	d := lo.Cols
+
+	// Observed point R0: a random mix at the configured utilization.
+	mix0 := randomMix(rng, d)
+	r0 := feasible.Denormalize(mix0.Scale(c.Util), lk, caps.Sum())
+
+	plans := map[string]*placement.Plan{}
+	rodPlan, _, err := core.PlaceBest(lo, caps, core.Config{}, 3000)
+	if err != nil {
+		return nil, err
+	}
+	plans["ROD"] = rodPlan
+	if plans["LLF"], err = placement.LLF(lo, caps, r0); err != nil {
+		return nil, err
+	}
+	if plans["Connected"], err = placement.Connected(g, lo, caps, r0); err != nil {
+		return nil, err
+	}
+	// A series fluctuating around R0 (what a dynamic observer would see).
+	series := mat.NewMatrix(50, d)
+	for t := 0; t < series.Rows; t++ {
+		for k := 0; k < d; k++ {
+			series.Set(t, k, r0[k]*(0.5+rng.Float64()))
+		}
+	}
+	if plans["Correlation"], err = placement.CorrelationBased(lo, caps, series); err != nil {
+		return nil, err
+	}
+	plans["Random"] = placement.Random(lo.Rows, c.Nodes, rng)
+
+	t := &Table{
+		Title: "Figure 17 [reconstructed] — feasibility after the load mix shifts away from the observed point",
+		Note: fmt.Sprintf("plans tuned at a %.0f%%-utilization observed mix; %d shifted mixes × %d noise points each",
+			c.Util*100, c.ShiftTrials, c.NoisePoints),
+		Header: []string{"algorithm", "feasible@observed", "feasible frac after shift"},
+	}
+	systems := map[string]*feasible.System{}
+	for name, p := range plans {
+		systems[name] = &feasible.System{Ln: p.NodeCoef(lo), C: caps}
+	}
+	shiftFeasible := map[string]int{}
+	total := 0
+	for s := 0; s < c.ShiftTrials; s++ {
+		mix := randomMix(rng, d)
+		for q := 0; q < c.NoisePoints; q++ {
+			// Jitter the mix and keep the same total normalized volume.
+			jit := make(mat.Vec, d)
+			for k := range jit {
+				jit[k] = mix[k] * (0.7 + 0.6*rng.Float64())
+			}
+			jit = jit.Scale(c.Util / jit.Sum())
+			r := feasible.Denormalize(jit, lk, caps.Sum())
+			total++
+			for name, sys := range systems {
+				if sys.FeasibleAt(r) {
+					shiftFeasible[name]++
+				}
+			}
+		}
+	}
+	for _, name := range AlgoNames {
+		sys, ok := systems[name]
+		if !ok {
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%v", sys.FeasibleAt(r0)),
+			f3(float64(shiftFeasible[name])/float64(total)),
+		)
+	}
+	return t, nil
+}
+
+// randomMix draws a random point on the normalized simplex Σx = 1.
+func randomMix(rng *rand.Rand, d int) mat.Vec {
+	x := make(mat.Vec, d)
+	var sum float64
+	for k := range x {
+		x[k] = rng.ExpFloat64()
+		sum += x[k]
+	}
+	for k := range x {
+		x[k] /= sum
+	}
+	return x
+}

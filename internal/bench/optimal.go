@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/core"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// OptimalCmpConfig drives the small-graph optimality study (Section 7.3.1:
+// "the average feasible set size ratio of ROD to the optimal is 0.95 and
+// the minimum ratio is 0.82" on graphs of ≤ 20 operators, 2–5 streams, two
+// nodes).
+type OptimalCmpConfig struct {
+	Trials      int
+	StreamsList []int
+	MaxOps      int // per graph (brute force is exponential in this)
+	Samples     int
+	Seed        int64
+}
+
+// Defaults fills unset fields with tractable parameters.
+func (c *OptimalCmpConfig) Defaults() {
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.StreamsList == nil {
+		c.StreamsList = []int{2, 3, 4, 5}
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 12
+	}
+	if c.Samples == 0 {
+		c.Samples = 2000
+	}
+}
+
+// Run compares ROD against the exhaustive optimum per stream count and
+// reports the average and minimum ROD/OPT ratio.
+func (c OptimalCmpConfig) Run() (*Table, error) {
+	c.Defaults()
+	caps := homogeneous(2)
+	t := &Table{
+		Title: "ROD vs optimal on small graphs (two nodes; Section 7.3.1 reports avg 0.95, min 0.82)",
+		Note: fmt.Sprintf("%d trials per stream count, ≤%d operators (exhaustive canonical search)",
+			c.Trials, c.MaxOps),
+		Header: []string{"streams", "trials", "avg ROD/OPT", "min ROD/OPT", "avg OPT ratio", "avg ROD ratio"},
+	}
+	var allSum, allMin float64 = 0, 2
+	allN := 0
+	for _, d := range c.StreamsList {
+		var sum, min float64 = 0, 2
+		var optSum, rodSum float64
+		n := 0
+		for trial := 0; trial < c.Trials; trial++ {
+			per := c.MaxOps / d
+			if per == 0 {
+				per = 1
+			}
+			g, err := workload.RandomTrees(workload.TreeConfig{
+				Streams: d, OpsPerStream: per, Seed: c.Seed + int64(d*1000+trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			lm, err := query.BuildLoadModel(g)
+			if err != nil {
+				return nil, err
+			}
+			_, opt, err := placement.Optimal(lm.Coef, caps, placement.OptimalConfig{Samples: c.Samples})
+			if err != nil {
+				return nil, err
+			}
+			plan, _, err := core.Place(lm.Coef, caps, core.Config{Selector: core.SelectMaxPlaneDistance})
+			if err != nil {
+				return nil, err
+			}
+			rod, err := placement.Evaluate(plan, lm.Coef, caps, c.Samples)
+			if err != nil {
+				return nil, err
+			}
+			if opt <= 0 {
+				continue
+			}
+			ratio := rod / opt
+			if ratio > 1 { // QMC noise can put ROD a hair above "optimal"
+				ratio = 1
+			}
+			sum += ratio
+			optSum += opt
+			rodSum += rod
+			if ratio < min {
+				min = ratio
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fi(d), fi(n), f3(sum/float64(n)), f3(min), f3(optSum/float64(n)), f3(rodSum/float64(n)))
+		allSum += sum
+		allN += n
+		allMin = math.Min(allMin, min)
+	}
+	if allN > 0 {
+		t.AddRow("all", fi(allN), f3(allSum/float64(allN)), f3(allMin), "", "")
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"rodsp/internal/core"
+	"rodsp/internal/mat"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// OrderingConfig drives the phase-1 ablation: the paper sorts operators by
+// descending coefficient norm "since dealing with such operators late may
+// cause the system to significantly deviate from the optimal results"
+// (Section 5.1). This experiment quantifies that justification, and also
+// checks ROD on heterogeneous node capacities (Theorem 1 balances load in
+// proportion to capacity).
+type OrderingConfig struct {
+	Nodes   int
+	Streams int
+	OpsList []int
+	Samples int
+	Seed    int64
+}
+
+// Defaults fills unset fields.
+func (c *OrderingConfig) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.OpsList == nil {
+		c.OpsList = []int{24, 80, 160}
+	}
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+}
+
+// Run reports, per operator count, the feasible ratio under the three
+// phase-1 orders (homogeneous nodes), and under descending order on a
+// heterogeneous cluster of the same total capacity.
+func (c OrderingConfig) Run() (*Table, error) {
+	c.Defaults()
+	homo := homogeneous(c.Nodes)
+	// Heterogeneous cluster with the same total capacity: half the nodes
+	// twice as fast as the other half.
+	hetero := make(mat.Vec, c.Nodes)
+	for i := range hetero {
+		if i < c.Nodes/2 {
+			hetero[i] = 4.0 / 3
+		} else {
+			hetero[i] = 2.0 / 3
+		}
+	}
+	t := &Table{
+		Title: "Ablation — phase-1 operator ordering, plus heterogeneous capacities",
+		Note: fmt.Sprintf("n=%d nodes, d=%d streams; hetero = same total capacity split 2:1 across node halves",
+			c.Nodes, c.Streams),
+		Header: []string{"ops", "norm-desc", "norm-asc", "random order", "hetero (desc)"},
+	}
+	for _, ops := range c.OpsList {
+		per := ops / c.Streams
+		if per == 0 {
+			per = 1
+		}
+		g, err := workload.RandomTrees(workload.TreeConfig{
+			Streams: c.Streams, OpsPerStream: per, Seed: c.Seed + int64(ops),
+		})
+		if err != nil {
+			return nil, err
+		}
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, err
+		}
+		eval := func(caps mat.Vec, ordering core.Ordering) (float64, error) {
+			plan, _, err := core.Place(lm.Coef, caps, core.Config{
+				Selector: core.SelectMaxPlaneDistance,
+				Ordering: ordering,
+				Seed:     c.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return placement.Evaluate(plan, lm.Coef, caps, c.Samples)
+		}
+		desc, err := eval(homo, core.OrderNormDescending)
+		if err != nil {
+			return nil, err
+		}
+		asc, err := eval(homo, core.OrderNormAscending)
+		if err != nil {
+			return nil, err
+		}
+		random, err := eval(homo, core.OrderRandom)
+		if err != nil {
+			return nil, err
+		}
+		het, err := eval(hetero, core.OrderNormDescending)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fi(per*c.Streams), f3(desc), f3(asc), f3(random), f3(het))
+	}
+	return t, nil
+}

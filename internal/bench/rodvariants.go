@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"rodsp/internal/core"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// RODVariantsConfig drives the ablation over ROD's design choices: the
+// Class-I tie-break (random vs deterministic max plane distance) and the
+// Class-II rule (the paper's max plane distance vs this repository's
+// overshoot-penalized refinement), plus the two-run portfolio.
+type RODVariantsConfig struct {
+	Nodes   int
+	Streams int
+	OpsList []int
+	Samples int
+	Seeds   int // random-selector repetitions
+	Seed    int64
+}
+
+// Defaults fills unset fields.
+func (c *RODVariantsConfig) Defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 10
+	}
+	if c.Streams == 0 {
+		c.Streams = 5
+	}
+	if c.OpsList == nil {
+		c.OpsList = []int{20, 60, 120, 200}
+	}
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 5
+	}
+}
+
+// Run reports the feasible ratio of each variant per operator count.
+func (c RODVariantsConfig) Run() (*Table, error) {
+	c.Defaults()
+	caps := homogeneous(c.Nodes)
+	t := &Table{
+		Title: "Ablation — ROD variants (Class-I tie-break × Class-II rule)",
+		Note: fmt.Sprintf("n=%d, d=%d; 'random' is averaged over %d seeds; 'portfolio' = PlaceBest",
+			c.Nodes, c.Streams, c.Seeds),
+		Header: []string{"ops", "random", "paper (max-dist)", "axis-balance", "portfolio"},
+	}
+	for _, ops := range c.OpsList {
+		per := ops / c.Streams
+		if per == 0 {
+			per = 1
+		}
+		g, err := workload.RandomTrees(workload.TreeConfig{
+			Streams: c.Streams, OpsPerStream: per, Seed: c.Seed + int64(ops),
+		})
+		if err != nil {
+			return nil, err
+		}
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, err
+		}
+		eval := func(p *placement.Plan) (float64, error) {
+			return placement.Evaluate(p, lm.Coef, caps, c.Samples)
+		}
+		var randSum float64
+		for s := 0; s < c.Seeds; s++ {
+			p, _, err := core.Place(lm.Coef, caps, core.Config{Selector: core.SelectRandom, Seed: int64(s)})
+			if err != nil {
+				return nil, err
+			}
+			r, err := eval(p)
+			if err != nil {
+				return nil, err
+			}
+			randSum += r
+		}
+		paperPlan, _, err := core.Place(lm.Coef, caps, core.Config{Selector: core.SelectMaxPlaneDistance})
+		if err != nil {
+			return nil, err
+		}
+		paper, err := eval(paperPlan)
+		if err != nil {
+			return nil, err
+		}
+		axisPlan, _, err := core.Place(lm.Coef, caps, core.Config{Selector: core.SelectAxisBalance})
+		if err != nil {
+			return nil, err
+		}
+		axis, err := eval(axisPlan)
+		if err != nil {
+			return nil, err
+		}
+		bestPlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, c.Samples)
+		if err != nil {
+			return nil, err
+		}
+		best, err := eval(bestPlan)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fi(per*c.Streams), f3(randSum/float64(c.Seeds)), f3(paper), f3(axis), f3(best))
+	}
+	return t, nil
+}

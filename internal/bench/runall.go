@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// ExperimentNames lists the experiments Run accepts, in suite order.
+var ExperimentNames = []string{
+	"figure2", "table2", "figure9", "figure14", "figure15",
+	"optimal", "latency", "loadshift", "lowerbound", "joins", "clustering",
+	"rodvariants", "dynamic", "ordering", "crossval", "empirical",
+}
+
+// RunTables executes one named experiment and returns its tables. quick
+// shrinks the parameters for CI-speed runs; the full settings reproduce the
+// paper-scale sweeps.
+func RunTables(name string, quick bool, seed int64) ([]*Table, error) {
+	one := func(t *Table, err error) ([]*Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+	switch name {
+	case "figure2":
+		return []*Table{Figure2Config{Seed: seed}.Run()}, nil
+	case "table2":
+		return one(Table2())
+	case "figure9":
+		cfg := Figure9Config{Seed: seed}
+		if quick {
+			cfg.Matrices = 150
+			cfg.Samples = 1000
+		}
+		return []*Table{cfg.Run()}, nil
+	case "figure14":
+		cfg := Figure14Config{Seed: seed}
+		if quick {
+			cfg.OpsList = []int{20, 60, 120}
+			cfg.Trials = 3
+			cfg.Samples = 1200
+		}
+		return cfg.Run()
+	case "figure15":
+		cfg := Figure15Config{Seed: seed}
+		if quick {
+			cfg.StreamsList = []int{2, 4, 6}
+			cfg.Trials = 2
+			cfg.Samples = 1200
+		}
+		return one(cfg.Run())
+	case "optimal":
+		cfg := OptimalCmpConfig{Seed: seed}
+		if quick {
+			cfg.Trials = 3
+			cfg.MaxOps = 8
+			cfg.StreamsList = []int{2, 3}
+			cfg.Samples = 1000
+		}
+		return one(cfg.Run())
+	case "latency":
+		cfg := LatencyConfig{Seed: seed}
+		if quick {
+			cfg.Streams = 3
+			cfg.Nodes = 3
+			cfg.UtilLevels = []float64{0.5, 0.8}
+			cfg.Duration = 60
+		}
+		return one(cfg.Run())
+	case "loadshift":
+		cfg := LoadShiftConfig{Seed: seed}
+		if quick {
+			cfg.ShiftTrials = 8
+			cfg.NoisePoints = 25
+		}
+		return one(cfg.Run())
+	case "lowerbound":
+		cfg := LowerBoundConfig{Seed: seed}
+		if quick {
+			cfg.Trials = 2
+			cfg.Samples = 1500
+		}
+		return one(cfg.Run())
+	case "joins":
+		cfg := JoinsConfig{Seed: seed}
+		if quick {
+			cfg.PairsList = []int{1, 2}
+			cfg.Trials = 2
+			cfg.Samples = 1200
+		}
+		return one(cfg.Run())
+	case "clustering":
+		cfg := ClusteringConfig{Seed: seed}
+		if quick {
+			cfg.XferFactors = []float64{0, 2}
+		}
+		return one(cfg.Run())
+	case "rodvariants":
+		cfg := RODVariantsConfig{Seed: seed}
+		if quick {
+			cfg.OpsList = []int{20, 120}
+			cfg.Seeds = 3
+			cfg.Samples = 1500
+		}
+		return one(cfg.Run())
+	case "dynamic":
+		cfg := DynamicConfig{Seed: seed}
+		if quick {
+			cfg.Streams = 3
+			cfg.Nodes = 3
+			cfg.Duration = 80
+		}
+		return one(cfg.Run())
+	case "ordering":
+		cfg := OrderingConfig{Seed: seed}
+		if quick {
+			cfg.OpsList = []int{24, 80}
+			cfg.Samples = 1500
+		}
+		return one(cfg.Run())
+	case "crossval":
+		cfg := CrossValConfig{Seed: seed}
+		if quick {
+			cfg.UtilLevels = []float64{0.5}
+			cfg.WallSeconds = 2.5
+		}
+		return one(cfg.Run())
+	case "empirical":
+		cfg := EmpiricalConfig{Seed: seed}
+		if quick {
+			cfg.Points = 40
+			cfg.SimSeconds = 25
+		}
+		return one(cfg.Run())
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, ExperimentNames)
+	}
+}
+
+// Run executes one named experiment and writes its rendered table(s).
+func Run(w io.Writer, name string, quick bool, seed int64) error {
+	tables, err := RunTables(name, quick, seed)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Fprintln(w, t.String())
+	}
+	return nil
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, quick bool, seed int64) error {
+	for _, name := range ExperimentNames {
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		if err := Run(w, name, quick, seed); err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rodsp/internal/mat"
+)
+
+// ParseVec parses a comma-separated float vector. wantLen > 0 enforces an
+// exact length.
+func ParseVec(s string, wantLen int) (mat.Vec, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty vector")
+	}
+	parts := strings.Split(s, ",")
+	v := make(mat.Vec, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	if wantLen > 0 && len(v) != wantLen {
+		return nil, fmt.Errorf("got %d values, want %d", len(v), wantLen)
+	}
+	return v, nil
+}
+
+// ParseInts parses a comma-separated int vector.
+func ParseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty vector")
+	}
+	parts := strings.Split(s, ",")
+	v := make([]int, len(parts))
+	for i, p := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// ParseCaps parses capacities, defaulting to n unit-capacity nodes when the
+// flag is empty, and rejects non-positive entries.
+func ParseCaps(s string, n int) (mat.Vec, error) {
+	if s == "" {
+		if n <= 0 {
+			return nil, fmt.Errorf("need a positive node count, got %d", n)
+		}
+		caps := make(mat.Vec, n)
+		for i := range caps {
+			caps[i] = 1
+		}
+		return caps, nil
+	}
+	caps, err := ParseVec(s, -1)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
+		if c <= 0 {
+			return nil, fmt.Errorf("capacity %d is %g, must be positive", i, c)
+		}
+	}
+	return caps, nil
+}
+
+// ParseAddrs parses a comma-separated address list, trimming whitespace.
+func ParseAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

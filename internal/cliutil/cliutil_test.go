@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"testing"
+
+	"rodsp/internal/mat"
+)
+
+func TestParseVec(t *testing.T) {
+	v, err := ParseVec("1, 2.5,3", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(mat.VecOf(1, 2.5, 3), 0) {
+		t.Fatalf("ParseVec = %v", v)
+	}
+	if _, err := ParseVec("", -1); err == nil {
+		t.Fatal("empty must error")
+	}
+	if _, err := ParseVec("1,x", -1); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+	if _, err := ParseVec("1,2", 3); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := ParseVec("1,2,3", 3); err != nil {
+		t.Fatal("exact length must pass")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	v, err := ParseInts("0, 1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[2] != 2 {
+		t.Fatalf("ParseInts = %v", v)
+	}
+	if _, err := ParseInts(""); err == nil {
+		t.Fatal("empty must error")
+	}
+	if _, err := ParseInts("1,1.5"); err == nil {
+		t.Fatal("float must error")
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	v, err := ParseCaps("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(mat.VecOf(1, 1, 1), 0) {
+		t.Fatalf("default caps = %v", v)
+	}
+	if _, err := ParseCaps("", 0); err == nil {
+		t.Fatal("zero node count must error")
+	}
+	v, err = ParseCaps("2,0.5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(mat.VecOf(2, 0.5), 0) {
+		t.Fatalf("explicit caps = %v", v)
+	}
+	if _, err := ParseCaps("1,0", 0); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := ParseCaps("1,-2", 0); err == nil {
+		t.Fatal("negative capacity must error")
+	}
+}
+
+func TestParseAddrs(t *testing.T) {
+	got := ParseAddrs(" a:1, b:2 ,,c:3")
+	if len(got) != 3 || got[0] != "a:1" || got[2] != "c:3" {
+		t.Fatalf("ParseAddrs = %v", got)
+	}
+	if ParseAddrs("") != nil {
+		t.Fatal("empty must be nil")
+	}
+}

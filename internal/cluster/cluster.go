@@ -1,0 +1,279 @@
+// Package cluster implements the Section 6.3 preprocessing step: greedy
+// operator clustering that keeps costly arcs off the network by forcing
+// their end operators onto the same machine. Two strategies are provided —
+// merging the arc with the largest clustering ratio, and merging the
+// connected pair with the smallest total weight — plus the paper's
+// practical recipe: sweep thresholds under both strategies, run ROD on
+// every clustering, and keep the plan with the maximum plane distance.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+)
+
+// Strategy selects which greedy merge rule drives the clustering.
+type Strategy int
+
+const (
+	// ByRatio merges the end operators of the arc with the largest
+	// clustering ratio (per-tuple transfer overhead over the minimum
+	// processing cost of the two end operators) until every ratio is below
+	// the threshold — the first approach of Section 6.3.
+	ByRatio Strategy = iota
+	// ByMinWeight merges, among arcs above the threshold, the connected
+	// cluster pair with the minimum total weight — the second approach,
+	// which avoids creating overweight clusters.
+	ByMinWeight
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case ByRatio:
+		return "by-ratio"
+	case ByMinWeight:
+		return "by-min-weight"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config tunes one clustering pass.
+type Config struct {
+	Strategy Strategy
+	// Threshold is the clustering-ratio cutoff: arcs whose ratio is below
+	// it are left alone. Zero clusters nothing.
+	Threshold float64
+	// MaxWeight caps a cluster's weight — its largest share of any single
+	// model variable, max_k (Σ_{j∈cluster} l^o_jk / l_k). A merge that
+	// would exceed the cap is skipped. Zero means 0.5.
+	MaxWeight float64
+}
+
+// Clustered is the result of a clustering pass: a coarse set of allocation
+// units (clusters) with their own load coefficient matrix, ready for ROD.
+type Clustered struct {
+	// Members lists the operator ids inside each cluster.
+	Members [][]int
+	// ClusterOf maps operator id → cluster index.
+	ClusterOf []int
+	// Coef is the cluster-level load coefficient matrix: member rows summed,
+	// plus the transfer coefficients of every arc that still crosses
+	// clusters (charged to both end clusters, the pessimistic assumption
+	// that a cross-cluster arc crosses the network).
+	Coef *mat.Matrix
+}
+
+// NumClusters returns the number of allocation units after clustering.
+func (cl *Clustered) NumClusters() int { return len(cl.Members) }
+
+// ExpandPlan converts a plan over clusters to a plan over operators.
+func (cl *Clustered) ExpandPlan(clusterNodeOf []int, n int) []int {
+	nodeOf := make([]int, len(cl.ClusterOf))
+	for j, c := range cl.ClusterOf {
+		nodeOf[j] = clusterNodeOf[c]
+	}
+	return nodeOf
+}
+
+// Build runs one clustering pass over the load model. Arc transfer costs
+// come from each stream's XferCost; arcs with zero transfer cost are never
+// merged.
+func Build(lm *query.LoadModel, cfg Config) (*Clustered, error) {
+	g := lm.G
+	m := g.NumOps()
+	maxWeight := cfg.MaxWeight
+	if maxWeight == 0 {
+		maxWeight = 0.5
+	}
+	if maxWeight < 0 {
+		return nil, fmt.Errorf("cluster: negative MaxWeight %g", maxWeight)
+	}
+	lk := lm.CoefSums()
+
+	// Union-find over operators.
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Cluster weight = max_k share of variable k, tracked incrementally.
+	share := make([]mat.Vec, m)
+	for j := 0; j < m; j++ {
+		share[j] = make(mat.Vec, lm.D())
+		row := lm.Coef.Row(j)
+		for k := range row {
+			share[j][k] = row[k] / lk[k]
+		}
+	}
+	weight := func(root int) float64 { return share[root].Max() }
+	mergedWeight := func(a, b int) float64 {
+		w := 0.0
+		for k := range share[a] {
+			if s := share[a][k] + share[b][k]; s > w {
+				w = s
+			}
+		}
+		return w
+	}
+	merge := func(a, b int) {
+		ra, rb := find(a), find(b)
+		share[ra].AddInPlace(share[rb])
+		parent[rb] = ra
+	}
+
+	arcs := g.Arcs()
+	ratio := func(a query.Arc) float64 {
+		xfer := g.Stream(a.Stream).XferCost
+		if xfer <= 0 {
+			return 0
+		}
+		cf, ct := g.Op(a.From).Cost, g.Op(a.To).Cost
+		minCost := math.Min(cf, ct)
+		if minCost <= 0 {
+			return math.Inf(1)
+		}
+		return xfer / minCost
+	}
+
+	for {
+		// Collect candidate arcs still crossing clusters with ratio ≥ threshold.
+		bestArc := -1
+		bestKey := math.Inf(-1)
+		for i, a := range arcs {
+			ra, rb := find(int(a.From)), find(int(a.To))
+			if ra == rb {
+				continue
+			}
+			r := ratio(a)
+			if r < cfg.Threshold || cfg.Threshold <= 0 {
+				continue
+			}
+			if mergedWeight(ra, rb) > maxWeight {
+				continue
+			}
+			var key float64
+			switch cfg.Strategy {
+			case ByRatio:
+				key = r
+			case ByMinWeight:
+				key = -(weight(ra) + weight(rb))
+			default:
+				return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
+			}
+			if key > bestKey {
+				bestArc, bestKey = i, key
+			}
+		}
+		if bestArc == -1 {
+			break
+		}
+		merge(int(arcs[bestArc].From), int(arcs[bestArc].To))
+	}
+
+	// Materialize clusters in deterministic (min member id) order.
+	rootIndex := map[int]int{}
+	cl := &Clustered{ClusterOf: make([]int, m)}
+	for j := 0; j < m; j++ {
+		r := find(j)
+		idx, ok := rootIndex[r]
+		if !ok {
+			idx = len(cl.Members)
+			rootIndex[r] = idx
+			cl.Members = append(cl.Members, nil)
+		}
+		cl.Members[idx] = append(cl.Members[idx], j)
+		cl.ClusterOf[j] = idx
+	}
+
+	// Cluster coefficients: member rows plus cross-cluster transfer loads.
+	cl.Coef = mat.NewMatrix(len(cl.Members), lm.D())
+	for j := 0; j < m; j++ {
+		cl.Coef.Row(cl.ClusterOf[j]).AddInPlace(lm.Coef.Row(j))
+	}
+	for _, a := range arcs {
+		ca, cb := cl.ClusterOf[a.From], cl.ClusterOf[a.To]
+		if ca == cb {
+			continue
+		}
+		xfer := g.Stream(a.Stream).XferCost
+		if xfer <= 0 {
+			continue
+		}
+		rate, ok := lm.Rate[a.Stream]
+		if !ok {
+			continue
+		}
+		cl.Coef.Row(ca).AddScaled(xfer, rate)
+		cl.Coef.Row(cb).AddScaled(xfer, rate)
+	}
+	return cl, nil
+}
+
+// NodeCoefWithTransfer computes the true node load coefficient matrix of an
+// operator-level plan: operator coefficients aggregated per node, plus the
+// send/receive transfer coefficients of every arc that actually crosses a
+// node boundary.
+func NodeCoefWithTransfer(lm *query.LoadModel, nodeOf []int, n int) *mat.Matrix {
+	g := lm.G
+	ln := mat.NewMatrix(n, lm.D())
+	for j := 0; j < g.NumOps(); j++ {
+		ln.Row(nodeOf[j]).AddInPlace(lm.Coef.Row(j))
+	}
+	for _, a := range g.Arcs() {
+		na, nb := nodeOf[a.From], nodeOf[a.To]
+		if na == nb {
+			continue
+		}
+		xfer := g.Stream(a.Stream).XferCost
+		if xfer <= 0 {
+			continue
+		}
+		rate := lm.Rate[a.Stream]
+		ln.Row(na).AddScaled(xfer, rate)
+		ln.Row(nb).AddScaled(xfer, rate)
+	}
+	return ln
+}
+
+// NetworkCostAt returns the total per-second CPU cost of cross-node
+// communication under an operator plan at the given variable values:
+// Σ over arcs crossing nodes of XferCost · rate(stream) · 2 (send + receive).
+func NetworkCostAt(lm *query.LoadModel, nodeOf []int, x mat.Vec) float64 {
+	g := lm.G
+	var total float64
+	for _, a := range g.Arcs() {
+		if nodeOf[a.From] == nodeOf[a.To] {
+			continue
+		}
+		xfer := g.Stream(a.Stream).XferCost
+		if xfer <= 0 {
+			continue
+		}
+		total += 2 * xfer * lm.Rate[a.Stream].Dot(x)
+	}
+	return total
+}
+
+// CutArcs counts the arcs crossing node boundaries under a plan.
+func CutArcs(g *query.Graph, nodeOf []int) int {
+	n := 0
+	for _, a := range g.Arcs() {
+		if nodeOf[a.From] != nodeOf[a.To] {
+			n++
+		}
+	}
+	return n
+}

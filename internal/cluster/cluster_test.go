@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"rodsp/internal/core"
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+)
+
+// chainWithXfer builds input → a → b → c where the a→b arc is expensive to
+// ship (xfer per tuple) and the b→c arc is cheap.
+func chainWithXfer(t *testing.T, xferAB, xferBC float64) (*query.Graph, *query.LoadModel) {
+	t.Helper()
+	b := query.NewBuilder()
+	in := b.Input("I")
+	sa := b.Delay("a", 0.001, 1, in)
+	b.SetXferCost(sa, xferAB)
+	sb := b.Delay("b", 0.001, 1, sa)
+	b.SetXferCost(sb, xferBC)
+	b.Delay("c", 0.001, 1, sb)
+	g := b.MustBuild()
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, lm
+}
+
+func TestBuildNoThresholdKeepsSingletons(t *testing.T) {
+	_, lm := chainWithXfer(t, 0.01, 0.0001)
+	cl, err := Build(lm, Config{Strategy: ByRatio, Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 3 {
+		t.Fatalf("threshold 0 must not cluster: %d clusters", cl.NumClusters())
+	}
+	// Coefficients = operator coefficients + transfer loads on both ends of
+	// both (cut) arcs.
+	if cl.Coef.Rows != 3 {
+		t.Fatalf("Coef rows = %d", cl.Coef.Rows)
+	}
+}
+
+func TestBuildMergesExpensiveArc(t *testing.T) {
+	g, lm := chainWithXfer(t, 0.01, 0.00001) // a→b ratio 10, b→c ratio 0.01
+	cl, err := Build(lm, Config{Strategy: ByRatio, Threshold: 1, MaxWeight: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 2 {
+		t.Fatalf("expected 2 clusters, got %d", cl.NumClusters())
+	}
+	if cl.ClusterOf[0] != cl.ClusterOf[1] {
+		t.Fatalf("a and b must be clustered: %v", cl.ClusterOf)
+	}
+	if cl.ClusterOf[2] == cl.ClusterOf[0] {
+		t.Fatalf("c must stay separate: %v", cl.ClusterOf)
+	}
+	_ = g
+}
+
+func TestBuildRespectsMaxWeight(t *testing.T) {
+	_, lm := chainWithXfer(t, 0.01, 0.01) // both arcs expensive
+	// With a generous cap everything merges into one cluster.
+	cl, err := Build(lm, Config{Strategy: ByRatio, Threshold: 0.5, MaxWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 1 {
+		t.Fatalf("generous cap: %d clusters, want 1", cl.NumClusters())
+	}
+	// Each operator holds share 1/3 of the single stream; capping at 0.5
+	// allows one merge (2/3 > 0.5 would be... 1/3+1/3=2/3 > 0.5 so NO merge
+	// is allowed at cap 0.5; at cap 0.7 exactly one merge fits).
+	cl, err = Build(lm, Config{Strategy: ByRatio, Threshold: 0.5, MaxWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 3 {
+		t.Fatalf("tight cap: %d clusters, want 3", cl.NumClusters())
+	}
+	cl, err = Build(lm, Config{Strategy: ByRatio, Threshold: 0.5, MaxWeight: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 2 {
+		t.Fatalf("medium cap: %d clusters, want 2", cl.NumClusters())
+	}
+}
+
+func TestBuildNegativeMaxWeight(t *testing.T) {
+	_, lm := chainWithXfer(t, 0.01, 0.01)
+	if _, err := Build(lm, Config{MaxWeight: -1}); err == nil {
+		t.Fatal("negative MaxWeight must error")
+	}
+}
+
+func TestByMinWeightPrefersLightPairs(t *testing.T) {
+	// Two parallel chains: one heavy (high cost ops), one light, both with
+	// expensive arcs. ByMinWeight must merge the light pair first; with a
+	// cap that only admits one merge, only the light chain clusters.
+	b := query.NewBuilder()
+	in1 := b.Input("I1")
+	in2 := b.Input("I2")
+	h1 := b.Delay("h1", 0.010, 1, in1)
+	b.SetXferCost(h1, 0.1)
+	b.Delay("h2", 0.010, 1, h1)
+	l1 := b.Delay("l1", 0.001, 1, in2)
+	b.SetXferCost(l1, 0.1)
+	b.Delay("l2", 0.001, 1, l1)
+	g := b.MustBuild()
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Build(lm, Config{Strategy: ByMinWeight, Threshold: 1, MaxWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both chains merge (each stream is separate so shares don't conflict);
+	// verify the light pair is together.
+	if cl.ClusterOf[2] != cl.ClusterOf[3] {
+		t.Fatalf("light pair not merged: %v", cl.ClusterOf)
+	}
+	_ = g
+}
+
+func TestClusterCoefConservation(t *testing.T) {
+	// Merging all operators of a stream removes its transfer loads; the
+	// cluster coefficient must then equal the exact member sum.
+	_, lm := chainWithXfer(t, 0.01, 0.01)
+	cl, err := Build(lm, Config{Strategy: ByRatio, Threshold: 0.5, MaxWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 1 {
+		t.Fatalf("expected full merge, got %d clusters", cl.NumClusters())
+	}
+	want := lm.Coef.ColSums()
+	if !cl.Coef.Row(0).Equal(want, 1e-12) {
+		t.Fatalf("fully merged coefficients %v, want %v", cl.Coef.Row(0), want)
+	}
+}
+
+func TestCrossClusterTransferChargedBothSides(t *testing.T) {
+	_, lm := chainWithXfer(t, 0.02, 0)                            // only a→b has transfer cost
+	cl, err := Build(lm, Config{Strategy: ByRatio, Threshold: 0}) // no merging
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's cluster coefficient = own cost + xfer·rate(a.out);
+	// rate(a.out) = 1·r (selectivity 1).
+	wantA := 0.001 + 0.02
+	if got := cl.Coef.At(0, 0); math.Abs(got-wantA) > 1e-12 {
+		t.Fatalf("cluster a coef = %g, want %g", got, wantA)
+	}
+	// b pays receive on a→b; b→c has no cost.
+	wantB := 0.001 + 0.02
+	if got := cl.Coef.At(1, 0); math.Abs(got-wantB) > 1e-12 {
+		t.Fatalf("cluster b coef = %g, want %g", got, wantB)
+	}
+	// c pays nothing extra.
+	if got := cl.Coef.At(2, 0); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("cluster c coef = %g, want 0.001", got)
+	}
+}
+
+func TestExpandPlan(t *testing.T) {
+	cl := &Clustered{
+		Members:   [][]int{{0, 2}, {1}},
+		ClusterOf: []int{0, 1, 0},
+	}
+	nodeOf := cl.ExpandPlan([]int{1, 0}, 2)
+	want := []int{1, 0, 1}
+	for j := range want {
+		if nodeOf[j] != want[j] {
+			t.Fatalf("ExpandPlan = %v, want %v", nodeOf, want)
+		}
+	}
+}
+
+func TestNetworkCostAtAndCutArcs(t *testing.T) {
+	g, lm := chainWithXfer(t, 0.01, 0.02)
+	// All co-located: no cost, no cuts.
+	if got := NetworkCostAt(lm, []int{0, 0, 0}, mat.VecOf(100)); got != 0 {
+		t.Fatalf("co-located cost = %g", got)
+	}
+	if CutArcs(g, []int{0, 0, 0}) != 0 {
+		t.Fatal("co-located cut arcs != 0")
+	}
+	// Split after b: only the b→c arc (xfer 0.02) crosses; rate(b.out) = r.
+	got := NetworkCostAt(lm, []int{0, 0, 1}, mat.VecOf(100))
+	want := 2 * 0.02 * 100.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("network cost = %g, want %g", got, want)
+	}
+	if CutArcs(g, []int{0, 0, 1}) != 1 {
+		t.Fatal("expected one cut arc")
+	}
+}
+
+func TestSweepPrefersClusteringWhenTransferDominates(t *testing.T) {
+	// Heavy transfer costs: the unclustered plan inflates every node's
+	// coefficients with transfer load, shrinking the plane distance, so the
+	// sweep should pick a clustered configuration.
+	b := query.NewBuilder()
+	for k := 0; k < 2; k++ {
+		s := b.Input("")
+		for j := 0; j < 6; j++ {
+			out := b.Delay("", 0.001, 1, s)
+			b.SetXferCost(out, 0.01)
+			s = out
+		}
+	}
+	g := b.MustBuild()
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mat.VecOf(1, 1)
+	res, err := Sweep(lm, c, core.Config{Selector: core.SelectMaxPlaneDistance}, []float64{0.5, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold == 0 {
+		t.Fatalf("sweep picked the unclustered plan despite dominant transfer costs: %+v", res)
+	}
+	if res.NumCluster >= g.NumOps() {
+		t.Fatalf("winning config did not cluster: %d clusters", res.NumCluster)
+	}
+	if res.Plan.NumOps() != g.NumOps() {
+		t.Fatal("expanded plan must cover all operators")
+	}
+}
+
+func TestSweepNoTransferCostsPicksUnclustered(t *testing.T) {
+	_, lm := chainWithXfer(t, 0, 0)
+	res, err := Sweep(lm, mat.VecOf(1, 1), core.Config{Selector: core.SelectMaxPlaneDistance}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCluster != lm.G.NumOps() {
+		t.Fatalf("no transfer costs: expected singleton clusters, got %d", res.NumCluster)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if ByRatio.String() != "by-ratio" || ByMinWeight.String() != "by-min-weight" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(7).String() == "" {
+		t.Fatal("unknown strategy must render")
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rodsp/internal/core"
+	"rodsp/internal/feasible"
+	"rodsp/internal/mat"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+)
+
+// SweepResult describes the winning clustering+placement combination.
+type SweepResult struct {
+	Plan       *placement.Plan // operator-level plan
+	Clustered  *Clustered
+	Strategy   Strategy
+	Threshold  float64
+	PlaneDist  float64 // min plane distance in the common (transfer-free) normalization
+	NumCluster int
+}
+
+// Sweep implements the paper's practical recipe: generate clusterings for
+// both strategies across the given thresholds, place each with ROD, and
+// return the combination with the maximum plane distance. The unclustered
+// placement (threshold 0) is always evaluated as the baseline.
+//
+// Candidates are compared in a *common* normalization — the transfer-free
+// base coefficient sums — over the node coefficients that include the
+// transfer loads each plan actually pays for its cut arcs. Comparing each
+// plan under its own normalization would cancel out uniform transfer
+// overhead and make heavy communication look free.
+func Sweep(lm *query.LoadModel, c mat.Vec, rodCfg core.Config, thresholds []float64) (*SweepResult, error) {
+	lk0 := lm.CoefSums()
+	var best *SweepResult
+	try := func(strat Strategy, th float64) error {
+		cl, err := Build(lm, Config{Strategy: strat, Threshold: th})
+		if err != nil {
+			return err
+		}
+		cfg := rodCfg
+		cfg.Graph = nil // cluster-level coefficients, not operator-level
+		if cfg.Selector == core.SelectMinConnections {
+			cfg.Selector = core.SelectMaxPlaneDistance
+		}
+		clusterPlan, _, err := core.Place(cl.Coef, c, cfg)
+		if err != nil {
+			return err
+		}
+		nodeOf := cl.ExpandPlan(clusterPlan.NodeOf, len(c))
+		opPlan, err := placement.NewPlan(nodeOf, len(c))
+		if err != nil {
+			return fmt.Errorf("cluster: expanding plan: %w", err)
+		}
+		ln := NodeCoefWithTransfer(lm, nodeOf, len(c))
+		w, err := feasible.Weights(ln, c, lk0)
+		if err != nil {
+			return err
+		}
+		res := &SweepResult{
+			Plan:       opPlan,
+			Clustered:  cl,
+			Strategy:   strat,
+			Threshold:  th,
+			PlaneDist:  feasible.MinPlaneDistance(w),
+			NumCluster: cl.NumClusters(),
+		}
+		if best == nil || res.PlaneDist > best.PlaneDist {
+			best = res
+		}
+		return nil
+	}
+	// Threshold 0 (no clustering) is strategy-independent: run it once.
+	if err := try(ByRatio, 0); err != nil {
+		return nil, err
+	}
+	for _, strat := range []Strategy{ByRatio, ByMinWeight} {
+		for _, th := range thresholds {
+			if th <= 0 {
+				continue
+			}
+			if err := try(strat, th); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,399 @@
+// Package core implements ROD — Resilient Operator Distribution — the
+// paper's primary contribution (Section 5), with the Section 6 extensions:
+// general lower bounds on input rates and pluggable Class-I tie-breaking
+// (including the communication-aware minimum-inter-node-streams choice).
+//
+// The algorithm has two phases. Phase 1 sorts operators by the Euclidean
+// norm of their load coefficient vectors, descending, so high-impact
+// operators are placed while the most freedom remains. Phase 2 walks the
+// sorted list; for each operator it partitions nodes into Class I (the
+// candidate hyperplane after assignment still lies entirely on or above the
+// ideal hyperplane — i.e. every normalized weight w_ik stays ≤ 1, so the
+// assignment cannot shrink the final feasible set) and Class II (the rest).
+// A Class I node is chosen when one exists (following the MMAD heuristic);
+// otherwise the Class II node with the maximum candidate plane distance is
+// chosen (the MMPD heuristic).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rodsp/internal/feasible"
+	"rodsp/internal/mat"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+)
+
+// Selector chooses among Class I nodes, where any choice preserves the
+// reachable feasible set; the paper notes a random node "or some other
+// criteria" may be used (Section 5.2).
+type Selector int
+
+const (
+	// SelectRandom picks a uniformly random Class I node (the paper's
+	// default formulation).
+	SelectRandom Selector = iota
+	// SelectMaxPlaneDistance picks the Class I node keeping the maximum
+	// candidate plane distance — fully deterministic.
+	SelectMaxPlaneDistance
+	// SelectMinConnections picks the Class I node minimizing the number of
+	// new inter-node streams (Section 5.2's communication-aware choice);
+	// requires Config.Graph.
+	SelectMinConnections
+	// SelectAxisBalance is this repository's refinement: Class I choices
+	// follow the max-plane-distance rule, but Class II placements maximize
+	// plane distance *divided by the node's worst axis weight*, penalizing
+	// the deepest cut into the ideal simplex. It clearly beats the paper's
+	// plain distance rule on operator-rich workloads and loses on sparse
+	// ones; PlaceBest runs both and keeps the winner.
+	SelectAxisBalance
+)
+
+// String names the selector.
+func (s Selector) String() string {
+	switch s {
+	case SelectRandom:
+		return "random"
+	case SelectMaxPlaneDistance:
+		return "max-plane-distance"
+	case SelectMinConnections:
+		return "min-connections"
+	case SelectAxisBalance:
+		return "axis-balance"
+	default:
+		return fmt.Sprintf("selector(%d)", int(s))
+	}
+}
+
+// Ordering selects the phase-1 operator order. The paper sorts by
+// descending coefficient norm so high-impact operators are placed while
+// freedom remains (like LPT scheduling and first-fit-decreasing packing);
+// the alternatives exist for the ordering ablation.
+type Ordering int
+
+const (
+	// OrderNormDescending is the paper's phase 1 (the default).
+	OrderNormDescending Ordering = iota
+	// OrderNormAscending places small operators first (the classic greedy
+	// mistake — kept for the ablation).
+	OrderNormAscending
+	// OrderRandom shuffles the operators (seeded by Config.Seed).
+	OrderRandom
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderNormDescending:
+		return "norm-desc"
+	case OrderNormAscending:
+		return "norm-asc"
+	case OrderRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("ordering(%d)", int(o))
+	}
+}
+
+// Config tunes a ROD run.
+type Config struct {
+	// LowerBound is the Section 6.1 workload floor B (raw rates, length d);
+	// nil optimizes against the origin.
+	LowerBound mat.Vec
+	// Selector picks among Class I nodes; default SelectRandom.
+	Selector Selector
+	// Ordering overrides the phase-1 operator order (ablation support);
+	// default OrderNormDescending.
+	Ordering Ordering
+	// Seed drives SelectRandom and OrderRandom.
+	Seed int64
+	// Graph supplies connectivity for SelectMinConnections.
+	Graph *query.Graph
+	// Pinned forces specific operators onto specific nodes (operator row →
+	// node index) before the greedy phase runs — source/sink affinity,
+	// licensing constraints, co-location requirements. Pinned load is part
+	// of every subsequent Class I/II decision.
+	Pinned map[int]int
+}
+
+// Report captures the decisions of a ROD run for inspection and tests.
+type Report struct {
+	// Order is the phase-1 operator order (indices into L^o rows).
+	Order []int
+	// ClassIAssignments and ClassIIAssignments count how operators were
+	// placed; PinnedAssignments counts pre-placed (Config.Pinned) operators.
+	ClassIAssignments, ClassIIAssignments, PinnedAssignments int
+	// Weights is the final normalized weight matrix W.
+	Weights *mat.Matrix
+	// MinPlaneDistance is the final MMPD objective value r (measured from
+	// the normalized lower bound when one is configured).
+	MinPlaneDistance float64
+	// MinAxisDistances is the final per-axis MMAD metric.
+	MinAxisDistances mat.Vec
+}
+
+// Place runs ROD over an operator load coefficient matrix and node
+// capacities, returning the plan and a report.
+func Place(lo *mat.Matrix, c mat.Vec, cfg Config) (*placement.Plan, *Report, error) {
+	m, d := lo.Rows, lo.Cols
+	n := len(c)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("core: no operators to place")
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: no nodes to place onto")
+	}
+	for i, ci := range c {
+		if ci <= 0 {
+			return nil, nil, fmt.Errorf("core: node %d capacity %g must be positive", i, ci)
+		}
+	}
+	for j := 0; j < m; j++ {
+		for k := 0; k < d; k++ {
+			if lo.At(j, k) < 0 {
+				return nil, nil, fmt.Errorf("core: negative load coefficient l^o[%d][%d] = %g", j, k, lo.At(j, k))
+			}
+		}
+	}
+	lk := lo.ColSums()
+	for k, l := range lk {
+		if l <= 0 {
+			return nil, nil, fmt.Errorf("core: variable %d has zero total load coefficient (stream feeds no operator)", k)
+		}
+	}
+	ct := c.Sum()
+
+	// Normalized lower bound b_k = B_k·l_k/C_T (zero when not configured).
+	b := mat.NewVec(d)
+	if cfg.LowerBound != nil {
+		if len(cfg.LowerBound) != d {
+			return nil, nil, fmt.Errorf("core: lower bound has %d entries for %d variables", len(cfg.LowerBound), d)
+		}
+		for k := range b {
+			if cfg.LowerBound[k] < 0 {
+				return nil, nil, fmt.Errorf("core: negative lower bound %g for variable %d", cfg.LowerBound[k], k)
+			}
+		}
+		b = feasible.Normalize(cfg.LowerBound, lk, ct)
+	}
+	if cfg.Selector == SelectMinConnections && cfg.Graph == nil {
+		return nil, nil, fmt.Errorf("core: SelectMinConnections requires Config.Graph")
+	}
+	if cfg.Graph != nil && cfg.Graph.NumOps() != m {
+		return nil, nil, fmt.Errorf("core: graph has %d operators, L^o has %d rows", cfg.Graph.NumOps(), m)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Phase 1: order by ‖l^o_j‖ descending (index ascending on ties), or
+	// per the ablation override.
+	order := make([]int, m)
+	for j := range order {
+		order[j] = j
+	}
+	norms := make([]float64, m)
+	for j := 0; j < m; j++ {
+		norms[j] = lo.Row(j).Norm()
+	}
+	switch cfg.Ordering {
+	case OrderNormAscending:
+		sort.SliceStable(order, func(a, x int) bool { return norms[order[a]] < norms[order[x]] })
+	case OrderRandom:
+		rng.Shuffle(m, func(a, x int) { order[a], order[x] = order[x], order[a] })
+	default:
+		sort.SliceStable(order, func(a, x int) bool { return norms[order[a]] > norms[order[x]] })
+	}
+
+	// Phase 2: greedy assignment. Pinned operators are placed first so
+	// their load shapes every subsequent decision.
+	nodeOf := make([]int, m)
+	ln := mat.NewMatrix(n, d)
+	report := &Report{Order: order}
+	for j, node := range cfg.Pinned {
+		if j < 0 || j >= m {
+			return nil, nil, fmt.Errorf("core: pinned operator %d outside [0,%d)", j, m)
+		}
+		if node < 0 || node >= n {
+			return nil, nil, fmt.Errorf("core: operator %d pinned to node %d outside [0,%d)", j, node, n)
+		}
+		nodeOf[j] = node
+		ln.Row(node).AddInPlace(lo.Row(j))
+		report.PinnedAssignments++
+	}
+	w := mat.NewMatrix(n, d) // candidate weight scratch, one row per node
+	classI := make([]int, 0, n)
+	const eps = 1e-9
+	for _, j := range order {
+		if _, pinned := cfg.Pinned[j]; pinned {
+			continue
+		}
+		// Candidate weights for assigning j to each node.
+		classI = classI[:0]
+		for i := 0; i < n; i++ {
+			share := c[i] / ct
+			row := w.Row(i)
+			inClassI := true
+			for k := 0; k < d; k++ {
+				row[k] = (ln.At(i, k) + lo.At(j, k)) / lk[k] / share
+				if row[k] > 1+eps {
+					inClassI = false
+				}
+			}
+			if inClassI {
+				classI = append(classI, i)
+			}
+		}
+		var dest int
+		if len(classI) > 0 {
+			dest = selectClassI(classI, w, lo.Row(j), nodeOf, order, j, cfg, rng)
+			report.ClassIAssignments++
+		} else {
+			dest = selectClassII(w, b, cfg)
+			report.ClassIIAssignments++
+		}
+		nodeOf[j] = dest
+		ln.Row(dest).AddInPlace(lo.Row(j))
+	}
+
+	plan := &placement.Plan{NodeOf: nodeOf, N: n}
+	wFinal, err := feasible.Weights(ln, c, lk)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Weights = wFinal
+	report.MinPlaneDistance = feasible.MinPlaneDistanceFrom(wFinal, b)
+	report.MinAxisDistances = feasible.MinAxisDistances(wFinal)
+	return plan, report, nil
+}
+
+// selectClassII picks the destination when every node's candidate
+// hyperplane already dips below the ideal one. The paper's rule is the
+// maximum candidate plane distance (measured from the Section 6.1 lower
+// bound when configured); SelectAxisBalance maximizes that distance divided
+// by the node's worst axis weight, penalizing the deepest cut into the
+// ideal simplex.
+func selectClassII(w *mat.Matrix, b mat.Vec, cfg Config) int {
+	if cfg.Selector == SelectAxisBalance {
+		best, bestScore := 0, math.Inf(-1)
+		for i := 0; i < w.Rows; i++ {
+			row := w.Row(i)
+			// Distance rewarded, worst-axis overshoot penalized: the deepest
+			// axis cut dominates the feasible-set loss once rows exceed the
+			// ideal budget.
+			score := feasible.PlaneDistanceFrom(row, b) / row.Max()
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
+	}
+	best, bestDist := 0, math.Inf(-1)
+	for i := 0; i < w.Rows; i++ {
+		if dist := feasible.PlaneDistanceFrom(w.Row(i), b); dist > bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+func selectClassI(candidates []int, w *mat.Matrix, loRow mat.Vec, nodeOf []int, order []int, j int, cfg Config, rng *rand.Rand) int {
+	switch cfg.Selector {
+	case SelectMaxPlaneDistance, SelectAxisBalance:
+		// Class I choices cannot shrink the reachable feasible set, so the
+		// tie-break always uses the origin-based plane distance: measuring
+		// from a diagonal lower bound here would systematically favour
+		// axis-concentrated nodes (the Figure 8 bottleneck shape). The
+		// Section 6.1 from-the-floor metric applies only to the Class II
+		// (MMPD) decision.
+		best, bestDist := candidates[0], math.Inf(-1)
+		for _, i := range candidates {
+			if dist := feasible.PlaneDistance(w.Row(i)); dist > bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		return best
+	case SelectMinConnections:
+		// Maximize already-placed neighbors on the destination (equivalent
+		// to minimizing newly created inter-node streams).
+		placedBefore := map[int]bool{}
+		for _, prev := range order {
+			if prev == j {
+				break
+			}
+			placedBefore[prev] = true
+		}
+		best, bestScore := candidates[0], -1
+		for _, i := range candidates {
+			score := 0
+			for prev := range placedBefore {
+				if nodeOf[prev] == i && cfg.Graph.Connected(query.OpID(j), query.OpID(prev)) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
+	default: // SelectRandom
+		return candidates[rng.Intn(len(candidates))]
+	}
+}
+
+// PlaceBest is a two-run portfolio: it places with the paper's Class II
+// rule (SelectMaxPlaneDistance) and with the SelectAxisBalance refinement,
+// estimates each plan's feasible-set ratio by QMC over the ideal simplex
+// (restricted to the configured lower bound, if any), and returns the
+// better plan with its report. Neither rule dominates alone: the paper's
+// wins when operators are few and coarse, the refinement on operator-rich
+// workloads.
+func PlaceBest(lo *mat.Matrix, c mat.Vec, cfg Config, samples int) (*placement.Plan, *Report, error) {
+	if samples <= 0 {
+		samples = 2000
+	}
+	var (
+		bestPlan   *placement.Plan
+		bestReport *Report
+		bestRatio  = -1.0
+	)
+	lk := lo.ColSums()
+	for _, sel := range []Selector{SelectMaxPlaneDistance, SelectAxisBalance} {
+		c2 := cfg
+		c2.Selector = sel
+		plan, report, err := Place(lo, c, c2)
+		if err != nil {
+			return nil, nil, err
+		}
+		var ratio float64
+		if cfg.LowerBound != nil {
+			nb := feasible.Normalize(cfg.LowerBound, lk, c.Sum())
+			ratio = feasible.RatioToIdealFrom(report.Weights, nb, samples)
+		} else {
+			ratio = feasible.RatioAuto(report.Weights, samples)
+		}
+		if ratio > bestRatio {
+			bestPlan, bestReport, bestRatio = plan, report, ratio
+		}
+	}
+	return bestPlan, bestReport, nil
+}
+
+// PlaceGraph builds the (linearized) load model of g and runs ROD on it.
+// It returns the plan, the report and the load model (whose variable list
+// explains the weight-matrix columns).
+func PlaceGraph(g *query.Graph, c mat.Vec, cfg Config) (*placement.Plan, *Report, *query.LoadModel, error) {
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.Graph == nil {
+		cfg.Graph = g
+	}
+	plan, report, err := Place(lm.Coef, c, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan, report, lm, nil
+}

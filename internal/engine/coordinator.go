@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/stats"
+	"rodsp/internal/trace"
+)
+
+// ControlClient is a JSON control-plane connection to one node.
+type ControlClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	mu   sync.Mutex
+}
+
+// DialControl opens a control connection to a node.
+func DialControl(addr string) (*ControlClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("engine: dialing control %s: %w", addr, err)
+	}
+	if _, err := conn.Write([]byte{connControl}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("engine: control preamble: %w", err)
+	}
+	return &ControlClient{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close closes the control connection.
+func (c *ControlClient) Close() error { return c.conn.Close() }
+
+func (c *ControlClient) call(req *controlRequest) (*ControlResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("engine: control send: %w", err)
+	}
+	var resp ControlResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("engine: control recv: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("engine: node error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Deploy ships a node spec.
+func (c *ControlClient) Deploy(spec *NodeSpec) error {
+	_, err := c.call(&controlRequest{Cmd: "deploy", Spec: spec})
+	return err
+}
+
+// Start begins paced execution and resets metrics.
+func (c *ControlClient) Start() error {
+	_, err := c.call(&controlRequest{Cmd: "start"})
+	return err
+}
+
+// Stop pauses paced execution.
+func (c *ControlClient) Stop() error {
+	_, err := c.call(&controlRequest{Cmd: "stop"})
+	return err
+}
+
+// Stats fetches the node's metrics snapshot.
+func (c *ControlClient) Stats() (*NodeStats, error) {
+	resp, err := c.call(&controlRequest{Cmd: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Collector receives sink tuples and measures end-to-end latency.
+type Collector struct {
+	ln net.Listener
+	mu sync.Mutex
+	wg sync.WaitGroup
+
+	latencies []float64
+	count     int64
+	welford   stats.Welford
+	closing   bool
+	conns     map[net.Conn]bool
+}
+
+// NewCollector starts a collector on addr.
+func NewCollector(addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: collector listen: %w", err)
+	}
+	c := &Collector{ln: ln, conns: map[net.Conn]bool{}}
+	c.wg.Add(1)
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the collector's address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.conns[conn] = true
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer func() {
+				conn.Close()
+				c.mu.Lock()
+				delete(c.conns, conn)
+				c.mu.Unlock()
+			}()
+			br := bufio.NewReader(conn)
+			kind, err := br.ReadByte()
+			if err != nil || kind != connTuples {
+				return
+			}
+			for {
+				t, err := ReadTuple(br)
+				if err != nil {
+					return
+				}
+				lat := float64(time.Now().UnixNano()-t.Ts) / float64(time.Second)
+				c.mu.Lock()
+				c.count++
+				c.welford.Add(lat)
+				if len(c.latencies) < 200000 {
+					c.latencies = append(c.latencies, lat)
+				}
+				c.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// LatencyStats returns (count, mean, p95, p99, max) in seconds.
+func (c *Collector) LatencyStats() (int64, float64, float64, float64, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.latencies) == 0 {
+		return c.count, 0, 0, 0, 0
+	}
+	qs := stats.Quantiles(c.latencies, 95, 99, 100)
+	return c.count, c.welford.Mean(), qs[0], qs[1], qs[2]
+}
+
+// Reset clears accumulated latencies.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = c.latencies[:0]
+	c.count = 0
+	c.welford = stats.Welford{}
+}
+
+// Close shuts the collector down.
+func (c *Collector) Close() error {
+	err := c.ln.Close()
+	c.mu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// SourceDriver injects tuples for one input stream at trace-driven rates to
+// every node hosting a consumer of that stream.
+type SourceDriver struct {
+	Stream query.StreamID
+	Trace  *trace.Trace
+	Addrs  []string // destination node data addresses
+
+	// Speedup compresses trace time: a Speedup of 10 plays 10 trace seconds
+	// per wall second (rates scale accordingly). Default 1.
+	Speedup float64
+	// MaxRate caps the injection rate (tuples/second wall time) to protect
+	// the host; 0 = no cap.
+	MaxRate float64
+}
+
+// Run injects for the given wall-clock duration or until stop is closed.
+// It returns the number of tuples injected.
+func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64, error) {
+	speed := s.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	writers := make([]*TupleWriter, len(s.Addrs))
+	conns := make([]net.Conn, len(s.Addrs))
+	for i, addr := range s.Addrs {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return 0, fmt.Errorf("engine: source dial %s: %w", addr, err)
+		}
+		tw, err := NewTupleWriter(conn)
+		if err != nil {
+			conn.Close()
+			return 0, err
+		}
+		writers[i] = tw
+		conns[i] = conn
+		defer conn.Close()
+	}
+	start := time.Now()
+	var seq int64
+	var injected int64
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	var carry float64
+	for {
+		select {
+		case <-stop:
+			flushAll(writers)
+			return injected, nil
+		case now := <-ticker.C:
+			elapsed := now.Sub(start)
+			if elapsed >= duration {
+				flushAll(writers)
+				return injected, nil
+			}
+			traceTime := elapsed.Seconds() * speed
+			rate := s.Trace.RateAt(traceTime) * speed
+			if s.MaxRate > 0 && rate > s.MaxRate {
+				rate = s.MaxRate
+			}
+			carry += rate * 0.002
+			k := int(carry)
+			carry -= float64(k)
+			for i := 0; i < k; i++ {
+				t := Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq}
+				seq++
+				for _, w := range writers {
+					if err := w.Send(t); err != nil {
+						return injected, fmt.Errorf("engine: source send: %w", err)
+					}
+				}
+				injected++
+			}
+			for _, w := range writers {
+				if err := w.Flush(); err != nil {
+					return injected, fmt.Errorf("engine: source flush: %w", err)
+				}
+			}
+		}
+	}
+}
+
+func flushAll(ws []*TupleWriter) {
+	for _, w := range ws {
+		w.Flush()
+	}
+}
+
+// Cluster is an in-process engine cluster: N nodes plus a collector, with
+// deployment and measurement helpers — the harness the prototype
+// experiments and examples drive.
+type Cluster struct {
+	Nodes     []*Node
+	Controls  []*ControlClient
+	Collector *Collector
+
+	external    bool
+	remoteAddrs []string
+}
+
+// ConnectCluster attaches to externally started nodes (e.g. rodnode
+// processes) by address, starting a local collector for sink latencies.
+// The attached Cluster's Close closes the control connections and the
+// collector but leaves the remote nodes running.
+func ConnectCluster(addrs []string) (*Cluster, error) {
+	cl := &Cluster{external: true}
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cl.Collector = col
+	for _, addr := range addrs {
+		ctl, err := DialControl(addr)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Controls = append(cl.Controls, ctl)
+		cl.remoteAddrs = append(cl.remoteAddrs, addr)
+	}
+	return cl, nil
+}
+
+// StartCluster launches n nodes with the given capacities on ephemeral
+// localhost ports, plus a collector.
+func StartCluster(capacities []float64) (*Cluster, error) {
+	cl := &Cluster{}
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cl.Collector = col
+	for _, c := range capacities {
+		node, err := NewNode("127.0.0.1:0", c)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Nodes = append(cl.Nodes, node)
+		ctl, err := DialControl(node.Addr())
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Controls = append(cl.Controls, ctl)
+	}
+	return cl, nil
+}
+
+// Addrs returns the data-plane addresses of the nodes.
+func (cl *Cluster) Addrs() []string {
+	if cl.external {
+		out := make([]string, len(cl.remoteAddrs))
+		copy(out, cl.remoteAddrs)
+		return out
+	}
+	out := make([]string, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		out[i] = n.Addr()
+	}
+	return out
+}
+
+// Deploy compiles and ships a graph+plan, routing sinks to the collector.
+func (cl *Cluster) Deploy(g *query.Graph, plan *placement.Plan, capacities []float64) error {
+	specs, err := BuildSpecs(g, plan, capacities, cl.Addrs(), cl.Collector.Addr())
+	if err != nil {
+		return err
+	}
+	for i, spec := range specs {
+		if err := cl.Controls[i].Deploy(spec); err != nil {
+			return fmt.Errorf("engine: deploying to node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Start begins paced execution on every node.
+func (cl *Cluster) Start() error {
+	for i, ctl := range cl.Controls {
+		if err := ctl.Start(); err != nil {
+			return fmt.Errorf("engine: starting node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stop pauses every node.
+func (cl *Cluster) Stop() error {
+	var first error
+	for _, ctl := range cl.Controls {
+		if err := ctl.Stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats gathers every node's snapshot.
+func (cl *Cluster) Stats() ([]*NodeStats, error) {
+	out := make([]*NodeStats, len(cl.Controls))
+	for i, ctl := range cl.Controls {
+		s, err := ctl.Stats()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Close tears the cluster down.
+func (cl *Cluster) Close() {
+	for _, ctl := range cl.Controls {
+		if ctl != nil {
+			ctl.Close()
+		}
+	}
+	for _, n := range cl.Nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+	if cl.Collector != nil {
+		cl.Collector.Close()
+	}
+}

@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTuple ensures the frame decoder never panics and round-trips
+// whatever WriteTuple produced.
+func FuzzReadTuple(f *testing.F) {
+	var seed bytes.Buffer
+	WriteTuple(&seed, Tuple{Stream: 3, Ts: 123456789, Seq: 42, Value: 3.14}) //nolint:errcheck
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, err := ReadTuple(bytes.NewReader(data))
+		if err != nil {
+			return // short/invalid input is fine; must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteTuple(&buf, tup); err != nil {
+			t.Fatal(err)
+		}
+		if len(data) >= tupleFrameSize && !bytes.Equal(buf.Bytes(), data[:tupleFrameSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", buf.Bytes(), data[:tupleFrameSize])
+		}
+	})
+}

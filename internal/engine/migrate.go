@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+)
+
+// Live operator migration — the dynamic-movement capability the paper
+// contrasts ROD against (their prototype's "base overhead of run-time
+// operator migration is on the order of a few hundred milliseconds").
+//
+// The protocol avoids tuple loss without global pauses:
+//
+//  1. the destination node installs the operator and its outbound routes;
+//  2. both nodes charge a stall (the state-transfer cost) to their virtual
+//     CPUs;
+//  3. the source node removes the operator and converts its input streams
+//     into relay routes toward the destination, so upstream producers and
+//     source drivers keep sending to the old home and tuples take one extra
+//     hop until the next full redeployment.
+//
+// During the brief hand-over both homes may process a few of the same
+// tuples (at-least-once), the usual trade of pause-free migration.
+
+// MoveOperator migrates one operator to dstNode at runtime, updating the
+// plan in place. stall is the simulated state-transfer time charged to both
+// nodes' virtual CPUs (0 for stateless operators).
+func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query.OpID, dstNode int, stall time.Duration) error {
+	if dstNode < 0 || dstNode >= len(cl.Nodes) {
+		return fmt.Errorf("engine: destination node %d outside [0,%d)", dstNode, len(cl.Nodes))
+	}
+	if int(opID) < 0 || int(opID) >= g.NumOps() {
+		return fmt.Errorf("engine: unknown operator %d", opID)
+	}
+	srcNode := plan.NodeOf[opID]
+	if srcNode == dstNode {
+		return nil
+	}
+	op := g.Op(opID)
+	spec := opSpecOf(op)
+	addrs := cl.Addrs()
+
+	// Routes the destination needs: the operator's output fan-out under the
+	// updated plan, plus local subscriptions for its input streams.
+	routes := map[int][]Dest{}
+	consumers := g.Consumers(op.Out)
+	remote := map[int]bool{}
+	for _, c := range consumers {
+		cn := plan.NodeOf[c]
+		if cn == dstNode {
+			routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Local: true, LocalOp: int(c)})
+		} else if !remote[cn] {
+			remote[cn] = true
+			routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: addrs[cn]})
+		}
+	}
+	if len(consumers) == 0 && cl.Collector != nil {
+		routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: cl.Collector.Addr()})
+	}
+	for _, in := range op.Inputs {
+		routes[int(in)] = append(routes[int(in)], Dest{Local: true, LocalOp: int(op.ID)})
+	}
+
+	// 1. Install at the destination.
+	if err := cl.Controls[dstNode].AddOp(&spec, routes); err != nil {
+		return fmt.Errorf("engine: installing op %d on node %d: %w", opID, dstNode, err)
+	}
+	// 2. State-transfer stall on both ends.
+	if stall > 0 {
+		if err := cl.Controls[srcNode].Stall(stall); err != nil {
+			return err
+		}
+		if err := cl.Controls[dstNode].Stall(stall); err != nil {
+			return err
+		}
+	}
+	// 3. Remove at the source, relaying its inputs toward the destination.
+	relay := map[int][]Dest{}
+	for _, in := range op.Inputs {
+		relay[int(in)] = append(relay[int(in)], Dest{Addr: addrs[dstNode]})
+	}
+	if err := cl.Controls[srcNode].RemoveOp(int(op.ID), relay); err != nil {
+		return fmt.Errorf("engine: removing op %d from node %d: %w", opID, srcNode, err)
+	}
+	plan.NodeOf[opID] = dstNode
+	return nil
+}
+
+// opSpecOf converts a graph operator to its wire form.
+func opSpecOf(op *query.Operator) OpSpec {
+	ins := make([]int, len(op.Inputs))
+	for i, in := range op.Inputs {
+		ins[i] = int(in)
+	}
+	return OpSpec{
+		ID:          int(op.ID),
+		Name:        op.Name,
+		Kind:        op.Kind.String(),
+		Cost:        op.Cost,
+		Selectivity: op.Selectivity,
+		Window:      op.Window,
+		Inputs:      ins,
+		Out:         int(op.Out),
+	}
+}
+
+// AddOp installs an operator and merges routes at runtime.
+func (c *ControlClient) AddOp(spec *OpSpec, routes map[int][]Dest) error {
+	_, err := c.call(&controlRequest{Cmd: "addop", Op: spec, Routes: routes})
+	return err
+}
+
+// RemoveOp uninstalls an operator, replacing the local subscriptions of its
+// input streams with the given relay routes.
+func (c *ControlClient) RemoveOp(id int, relay map[int][]Dest) error {
+	_, err := c.call(&controlRequest{Cmd: "removeop", OpID: &id, Routes: relay})
+	return err
+}
+
+// Stall charges the node's virtual CPU with a state-transfer pause.
+func (c *ControlClient) Stall(d time.Duration) error {
+	sec := d.Seconds()
+	_, err := c.call(&controlRequest{Cmd: "stall", StallSec: &sec})
+	return err
+}

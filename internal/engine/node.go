@@ -1,0 +1,644 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rodsp/internal/stats"
+)
+
+// Node is one engine process: it listens for control and tuple connections,
+// hosts deployed operators, and runs a single virtual CPU of the configured
+// capacity (cost-units of operator work completed per wall second).
+type Node struct {
+	capacity float64
+	ln       net.Listener
+
+	mu       sync.Mutex
+	spec     *NodeSpec
+	ops      map[int]*liveOp
+	subs     map[int][]int  // stream → local consumer ops
+	fwd      map[int][]Dest // stream → remote destinations (producer side)
+	relays   map[int][]Dest // stream → relay targets for *inbound* tuples (post-migration)
+	xfer     map[int]float64
+	started  bool
+	startT   time.Time
+	busy     time.Duration // virtual CPU time consumed
+	injected int64
+	emitted  int64
+
+	queue   []Tuple
+	qhead   int
+	qcond   *sync.Cond
+	closing bool
+
+	peers   map[string]*peerConn
+	peersMu sync.Mutex
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]bool
+
+	estimator *stats.CostEstimator
+	wg        sync.WaitGroup
+}
+
+type liveOp struct {
+	spec      OpSpec
+	selAcc    float64
+	window    [2][]int64 // join windows: origin-arrival wall ns per side
+	sideOf    map[int]int
+	processed int64
+}
+
+type peerConn struct {
+	mu sync.Mutex
+	tw *TupleWriter
+	c  net.Conn
+}
+
+// NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
+// port) with the given virtual CPU capacity.
+func NewNode(addr string, capacity float64) (*Node, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("engine: capacity %g must be positive", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		capacity:  capacity,
+		ln:        ln,
+		ops:       map[int]*liveOp{},
+		subs:      map[int][]int{},
+		fwd:       map[int][]Dest{},
+		relays:    map[int][]Dest{},
+		xfer:      map[int]float64{},
+		peers:     map[string]*peerConn{},
+		conns:     map[net.Conn]bool{},
+		estimator: stats.NewCostEstimator(),
+	}
+	n.qcond = sync.NewCond(&n.mu)
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.worker()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closing = true
+	n.qcond.Broadcast()
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.peersMu.Lock()
+	for _, p := range n.peers {
+		p.mu.Lock()
+		p.tw.Flush()
+		p.c.Close()
+		p.mu.Unlock()
+	}
+	n.peersMu.Unlock()
+	n.connsMu.Lock()
+	for c := range n.conns {
+		c.Close()
+	}
+	n.connsMu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	n.connsMu.Lock()
+	n.conns[conn] = true
+	n.connsMu.Unlock()
+	defer func() {
+		conn.Close()
+		n.connsMu.Lock()
+		delete(n.conns, conn)
+		n.connsMu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 16*1024)
+	kind, err := br.ReadByte()
+	if err != nil {
+		return
+	}
+	switch kind {
+	case connControl:
+		n.serveControl(br, conn)
+	case connTuples:
+		n.serveTuples(br)
+	}
+}
+
+func (n *Node) serveTuples(r io.Reader) {
+	for {
+		t, err := ReadTuple(r)
+		if err != nil {
+			return
+		}
+		n.enqueueInbound(t)
+	}
+}
+
+// enqueueInbound accepts a tuple arriving from the network (or a source
+// injector), queues it for local consumers of its stream, and forwards it
+// along any relay routes installed by a migration.
+func (n *Node) enqueueInbound(t Tuple) {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return
+	}
+	n.injected++
+	// Receive-side transfer CPU cost.
+	if x := n.xfer[int(t.Stream)]; x > 0 {
+		n.busy += time.Duration(x / n.capacity * float64(time.Second))
+	}
+	relay := n.relays[int(t.Stream)]
+	hasLocal := len(n.subs[int(t.Stream)]) > 0
+	if hasLocal {
+		n.queue = append(n.queue, t)
+		n.qcond.Signal()
+	}
+	n.mu.Unlock()
+	for _, d := range relay {
+		n.send(d.Addr, t) //nolint:errcheck // best-effort relay
+	}
+}
+
+// QueueLen returns the current work-queue length.
+func (n *Node) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue) - n.qhead
+}
+
+// worker is the node's single virtual CPU: it dequeues tuples, charges
+// their processing cost against wall time (sleeping whenever virtual time
+// runs ahead), and routes outputs.
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for len(n.queue)-n.qhead == 0 && !n.closing {
+			n.qcond.Wait()
+		}
+		if n.closing {
+			n.mu.Unlock()
+			return
+		}
+		t := n.queue[n.qhead]
+		n.qhead++
+		if n.qhead > 4096 && n.qhead*2 > len(n.queue) {
+			n.queue = append(n.queue[:0], n.queue[n.qhead:]...)
+			n.qhead = 0
+		}
+		consumers := n.subs[int(t.Stream)]
+		started := n.started
+		start := n.startT
+		n.mu.Unlock()
+
+		var cost float64
+		var outs []Tuple
+		if t.Stream == stallStream {
+			// Migration state-transfer pause: Value already carries the
+			// cost units making svc = Value/capacity = the stall seconds.
+			cost = t.Value
+		} else {
+			for _, opID := range consumers {
+				c, o := n.process(opID, t)
+				cost += c
+				outs = append(outs, o...)
+			}
+		}
+		if cost > 0 {
+			n.mu.Lock()
+			n.busy += time.Duration(cost / n.capacity * float64(time.Second))
+			due := n.busy
+			n.mu.Unlock()
+			if started {
+				// Pace: virtual time must not run ahead of wall time.
+				if ahead := due - time.Since(start); ahead > 500*time.Microsecond {
+					time.Sleep(ahead)
+				}
+			}
+		}
+		for _, o := range outs {
+			n.route(o, true)
+		}
+	}
+}
+
+// process runs one tuple through one operator, returning the cost-units
+// consumed and the emitted tuples.
+func (n *Node) process(opID int, t Tuple) (float64, []Tuple) {
+	n.mu.Lock()
+	op, ok := n.ops[opID]
+	n.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	cost := op.spec.Cost
+	produced := op.spec.Selectivity
+	if op.spec.Kind == "join" {
+		now := time.Now().UnixNano()
+		side := op.sideOf[int(t.Stream)]
+		op.window[side] = append(op.window[side], now)
+		horizon := now - int64(op.spec.Window/2*float64(time.Second))
+		for s := range op.window {
+			win := op.window[s]
+			lo := 0
+			for lo < len(win) && win[lo] < horizon {
+				lo++
+			}
+			op.window[s] = win[lo:]
+		}
+		pairs := len(op.window[1-side])
+		cost = op.spec.Cost * float64(pairs)
+		produced = op.spec.Selectivity * float64(pairs)
+	}
+	op.selAcc += produced
+	k := int(op.selAcc)
+	op.selAcc -= float64(k)
+	op.processed++
+	n.estimator.Record(opID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
+	outs := make([]Tuple, 0, k)
+	for i := 0; i < k; i++ {
+		outs = append(outs, Tuple{Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value})
+	}
+	return cost, outs
+}
+
+// route delivers an operator-emitted tuple: local consumers re-enter the
+// queue; remote destinations are forwarded (charging send-side transfer
+// cost). Inbound network tuples never re-forward (fromLocal=false path is
+// handled by enqueueInbound).
+func (n *Node) route(t Tuple, fromLocal bool) {
+	n.mu.Lock()
+	dests := n.fwd[int(t.Stream)]
+	hasLocal := len(n.subs[int(t.Stream)]) > 0
+	n.mu.Unlock()
+	if fromLocal && hasLocal {
+		n.mu.Lock()
+		if !n.closing {
+			n.emitted++
+			n.queue = append(n.queue, t)
+			n.qcond.Signal()
+		}
+		n.mu.Unlock()
+	}
+	for _, d := range dests {
+		if err := n.send(d.Addr, t); err == nil {
+			n.mu.Lock()
+			if x := n.xfer[int(t.Stream)]; x > 0 {
+				n.busy += time.Duration(x / n.capacity * float64(time.Second))
+			}
+			n.emitted++
+			n.mu.Unlock()
+		}
+	}
+}
+
+func (n *Node) send(addr string, t Tuple) error {
+	n.peersMu.Lock()
+	p, ok := n.peers[addr]
+	if !ok {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			n.peersMu.Unlock()
+			return err
+		}
+		tw, err := NewTupleWriter(conn)
+		if err != nil {
+			conn.Close()
+			n.peersMu.Unlock()
+			return err
+		}
+		p = &peerConn{tw: tw, c: conn}
+		n.peers[addr] = p
+	}
+	n.peersMu.Unlock()
+	p.mu.Lock()
+	err := p.tw.Send(t)
+	if err == nil {
+		err = p.tw.Flush()
+	}
+	p.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection so the next send redials instead of
+		// failing forever against a dead socket.
+		n.peersMu.Lock()
+		if n.peers[addr] == p {
+			delete(n.peers, addr)
+		}
+		n.peersMu.Unlock()
+		p.c.Close()
+	}
+	return err
+}
+
+// controlRequest is one JSON control-plane message.
+type controlRequest struct {
+	Cmd      string         `json:"cmd"`
+	Spec     *NodeSpec      `json:"spec,omitempty"`
+	Op       *OpSpec        `json:"op,omitempty"`
+	OpID     *int           `json:"opId,omitempty"`
+	Routes   map[int][]Dest `json:"routes,omitempty"`
+	StallSec *float64       `json:"stallSec,omitempty"`
+}
+
+// ControlResponse answers a control request.
+type ControlResponse struct {
+	OK    bool       `json:"ok"`
+	Err   string     `json:"err,omitempty"`
+	Stats *NodeStats `json:"stats,omitempty"`
+}
+
+// NodeStats is the metrics snapshot the control plane reports.
+type NodeStats struct {
+	NodeID      int     `json:"nodeId"`
+	Utilization float64 `json:"utilization"`
+	QueueLen    int     `json:"queueLen"`
+	Injected    int64   `json:"injected"`
+	Emitted     int64   `json:"emitted"`
+	ElapsedSec  float64 `json:"elapsedSec"`
+
+	// Per-operator measured cost and selectivity (the Section 7.1 trial-run
+	// statistics used to build load models).
+	OpCost map[int]float64 `json:"opCost,omitempty"`
+	OpSel  map[int]float64 `json:"opSel,omitempty"`
+}
+
+func (n *Node) serveControl(br *bufio.Reader, conn net.Conn) {
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(br)
+	for {
+		var req controlRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := n.handleControl(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handleControl(req *controlRequest) *ControlResponse {
+	switch req.Cmd {
+	case "deploy":
+		if req.Spec == nil {
+			return &ControlResponse{Err: "deploy without spec"}
+		}
+		if err := n.deploy(req.Spec); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
+	case "start":
+		n.mu.Lock()
+		n.started = true
+		n.startT = time.Now()
+		n.busy = 0
+		n.injected, n.emitted = 0, 0
+		n.mu.Unlock()
+		return &ControlResponse{OK: true}
+	case "stats":
+		return &ControlResponse{OK: true, Stats: n.Stats()}
+	case "addop":
+		if req.Op == nil {
+			return &ControlResponse{Err: "addop without op"}
+		}
+		n.addOp(req.Op, req.Routes)
+		return &ControlResponse{OK: true}
+	case "removeop":
+		if req.OpID == nil {
+			return &ControlResponse{Err: "removeop without opId"}
+		}
+		if err := n.removeOp(*req.OpID, req.Routes); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
+	case "stall":
+		if req.StallSec == nil || *req.StallSec < 0 {
+			return &ControlResponse{Err: "stall needs a non-negative duration"}
+		}
+		n.stall(*req.StallSec)
+		return &ControlResponse{OK: true}
+	case "stop":
+		n.mu.Lock()
+		n.started = false
+		n.mu.Unlock()
+		return &ControlResponse{OK: true}
+	default:
+		return &ControlResponse{Err: fmt.Sprintf("unknown command %q", req.Cmd)}
+	}
+}
+
+func (n *Node) deploy(spec *NodeSpec) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return errors.New("engine: cannot deploy while started")
+	}
+	n.spec = spec
+	n.ops = map[int]*liveOp{}
+	n.subs = map[int][]int{}
+	n.fwd = map[int][]Dest{}
+	n.relays = map[int][]Dest{}
+	n.xfer = map[int]float64{}
+	for _, os := range spec.Ops {
+		lo := &liveOp{spec: os, sideOf: map[int]int{}}
+		for i, in := range os.Inputs {
+			if i < 2 {
+				lo.sideOf[in] = i
+			}
+		}
+		n.ops[os.ID] = lo
+	}
+	for sid, dests := range spec.Routes {
+		for _, d := range dests {
+			if d.Local {
+				n.subs[sid] = append(n.subs[sid], d.LocalOp)
+			} else {
+				n.fwd[sid] = append(n.fwd[sid], d)
+			}
+		}
+	}
+	for sid, x := range spec.XferCost {
+		n.xfer[sid] = x
+	}
+	return nil
+}
+
+// addOp installs one operator at runtime and merges the supplied routes
+// (local subscriptions and forwards), deduplicating existing entries.
+func (n *Node) addOp(spec *OpSpec, routes map[int][]Dest) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lo := &liveOp{spec: *spec, sideOf: map[int]int{}}
+	for i, in := range spec.Inputs {
+		if i < 2 {
+			lo.sideOf[in] = i
+		}
+	}
+	n.ops[spec.ID] = lo
+	n.mergeRoutesLocked(routes)
+}
+
+// removeOp uninstalls one operator: its local subscriptions disappear and
+// the given relay routes take over its input streams (forwarding in-flight
+// and future tuples toward the new home).
+func (n *Node) removeOp(id int, relay map[int][]Dest) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.ops[id]; !ok {
+		return fmt.Errorf("engine: operator %d not deployed here", id)
+	}
+	delete(n.ops, id)
+	for sid, subs := range n.subs {
+		kept := subs[:0]
+		for _, op := range subs {
+			if op != id {
+				kept = append(kept, op)
+			}
+		}
+		n.subs[sid] = kept
+	}
+	// Tuples on the removed operator's input streams now relay to its new
+	// home — both tuples arriving from the network (relays, kept separate
+	// from producer forwards so they never loop: a relay target consumes
+	// locally and installs no relay of its own) and tuples produced by
+	// co-located upstream operators (fwd).
+	for sid, dests := range relay {
+		for _, d := range dests {
+			if d.Local {
+				continue
+			}
+			if !hasDest(n.relays[sid], d.Addr) {
+				n.relays[sid] = append(n.relays[sid], d)
+			}
+			if !hasDest(n.fwd[sid], d.Addr) {
+				n.fwd[sid] = append(n.fwd[sid], d)
+			}
+		}
+	}
+	return nil
+}
+
+func hasDest(dests []Dest, addr string) bool {
+	for _, d := range dests {
+		if !d.Local && d.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeRoutesLocked merges route entries, skipping exact duplicates.
+func (n *Node) mergeRoutesLocked(routes map[int][]Dest) {
+	for sid, dests := range routes {
+		for _, d := range dests {
+			if d.Local {
+				dup := false
+				for _, existing := range n.subs[sid] {
+					if existing == d.LocalOp {
+						dup = true
+					}
+				}
+				if !dup {
+					n.subs[sid] = append(n.subs[sid], d.LocalOp)
+				}
+			} else {
+				dup := false
+				for _, existing := range n.fwd[sid] {
+					if existing.Addr == d.Addr {
+						dup = true
+					}
+				}
+				if !dup {
+					n.fwd[sid] = append(n.fwd[sid], d)
+				}
+			}
+		}
+	}
+}
+
+// stall charges the virtual CPU with a state-transfer pause by enqueueing
+// an overhead work item of the given wall-clock duration.
+func (n *Node) stall(sec float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing {
+		return
+	}
+	n.queue = append(n.queue, Tuple{Stream: stallStream, Value: sec * n.capacity})
+	n.qcond.Signal()
+}
+
+// stallStream is the reserved stream id carrying stall work items.
+const stallStream int32 = -1
+
+// Stats snapshots the node's metrics.
+func (n *Node) Stats() *NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := &NodeStats{
+		QueueLen: len(n.queue) - n.qhead,
+		Injected: n.injected,
+		Emitted:  n.emitted,
+		OpCost:   map[int]float64{},
+		OpSel:    map[int]float64{},
+	}
+	if n.spec != nil {
+		s.NodeID = n.spec.NodeID
+	}
+	if n.started {
+		elapsed := time.Since(n.startT)
+		s.ElapsedSec = elapsed.Seconds()
+		if elapsed > 0 {
+			s.Utilization = float64(n.busy) / float64(elapsed)
+			if s.Utilization > 1 {
+				s.Utilization = 1
+			}
+		}
+	}
+	for id := range n.ops {
+		if c, ok := n.estimator.Cost(id); ok {
+			s.OpCost[id] = c
+		}
+		if sel, ok := n.estimator.Selectivity(id); ok {
+			s.OpSel[id] = sel
+		}
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+// Package engine is the distributed stream-processing prototype standing in
+// for Borealis in the paper's prototype experiments: real nodes on localhost
+// TCP, a JSON control plane for deployment, binary tuple framing on the data
+// plane, and a token-bucket *virtual CPU* per node so that a node with
+// capacity c completes c cost-units of operator work per wall-clock second.
+// Overload therefore manifests exactly as in the paper's testbed — queues
+// grow and end-to-end latency climbs — without burning host CPU.
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Connection type bytes: the first byte of every inbound connection
+// declares its role.
+const (
+	connControl byte = 'C' // newline-delimited JSON control messages
+	connTuples  byte = 'T' // fixed-size binary tuple frames
+)
+
+// Tuple is the data-plane unit. Ts is the origin timestamp in nanoseconds
+// (wall clock at injection) used for end-to-end latency; Value is an opaque
+// payload the delay-style operators carry through.
+type Tuple struct {
+	Stream int32
+	Ts     int64
+	Seq    int64
+	Value  float64
+}
+
+const tupleFrameSize = 4 + 8 + 8 + 8
+
+// WriteTuple writes one frame.
+func WriteTuple(w io.Writer, t Tuple) error {
+	var buf [tupleFrameSize]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(t.Stream))
+	binary.BigEndian.PutUint64(buf[4:12], uint64(t.Ts))
+	binary.BigEndian.PutUint64(buf[12:20], uint64(t.Seq))
+	binary.BigEndian.PutUint64(buf[20:28], math.Float64bits(t.Value))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadTuple reads one frame.
+func ReadTuple(r io.Reader) (Tuple, error) {
+	var buf [tupleFrameSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Tuple{}, err
+	}
+	var t Tuple
+	t.Stream = int32(binary.BigEndian.Uint32(buf[0:4]))
+	t.Ts = int64(binary.BigEndian.Uint64(buf[4:12]))
+	t.Seq = int64(binary.BigEndian.Uint64(buf[12:20]))
+	t.Value = math.Float64frombits(binary.BigEndian.Uint64(buf[20:28]))
+	return t, nil
+}
+
+// TupleWriter batches frames over a connection.
+type TupleWriter struct {
+	bw *bufio.Writer
+	c  io.Closer
+}
+
+// NewTupleWriter wraps w, sending the tuple-connection preamble byte.
+func NewTupleWriter(w io.Writer) (*TupleWriter, error) {
+	bw := bufio.NewWriterSize(w, 16*1024)
+	if err := bw.WriteByte(connTuples); err != nil {
+		return nil, fmt.Errorf("engine: writing preamble: %w", err)
+	}
+	return &TupleWriter{bw: bw}, nil
+}
+
+// NewTupleWriterDial dials a TCP address and returns a TupleWriter over the
+// new connection; Close releases it.
+func NewTupleWriterDial(addr string) (*TupleWriter, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("engine: dialing %s: %w", addr, err)
+	}
+	tw, err := NewTupleWriter(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	tw.c = conn
+	return tw, nil
+}
+
+// Send writes one tuple into the buffer.
+func (tw *TupleWriter) Send(t Tuple) error { return WriteTuple(tw.bw, t) }
+
+// Flush pushes buffered frames to the socket.
+func (tw *TupleWriter) Flush() error { return tw.bw.Flush() }
+
+// Close flushes and closes the underlying connection when the writer owns
+// one (constructed by NewTupleWriterDial).
+func (tw *TupleWriter) Close() error {
+	ferr := tw.Flush()
+	if tw.c != nil {
+		if err := tw.c.Close(); err != nil {
+			return err
+		}
+	}
+	return ferr
+}

@@ -1,0 +1,70 @@
+package feasible
+
+import (
+	"fmt"
+
+	"rodsp/internal/mat"
+)
+
+// ExactRatio2D computes |F(W)| / |F*| exactly for d = 2 by clipping the
+// ideal triangle (0,0)-(1,0)-(0,1) against every node half-plane
+// W_i·x ≤ 1 (Sutherland–Hodgman) and taking the shoelace area over the
+// ideal area 1/2. Used to validate the QMC estimator and in the small-case
+// optimal-placement search.
+func ExactRatio2D(w *mat.Matrix) float64 {
+	if w.Cols != 2 {
+		panic(fmt.Sprintf("feasible: ExactRatio2D needs d=2, got %d", w.Cols))
+	}
+	poly := []point{{0, 0}, {1, 0}, {0, 1}}
+	for i := 0; i < w.Rows; i++ {
+		a, b := w.At(i, 0), w.At(i, 1)
+		poly = clipHalfPlane(poly, a, b, 1)
+		if len(poly) == 0 {
+			return 0
+		}
+	}
+	return shoelace(poly) / 0.5
+}
+
+type point struct{ x, y float64 }
+
+// clipHalfPlane keeps the part of poly with a·x + b·y ≤ c.
+func clipHalfPlane(poly []point, a, b, c float64) []point {
+	if len(poly) == 0 {
+		return nil
+	}
+	inside := func(p point) bool { return a*p.x+b*p.y <= c+1e-12 }
+	var out []point
+	for i := range poly {
+		cur := poly[i]
+		prev := poly[(i+len(poly)-1)%len(poly)]
+		curIn, prevIn := inside(cur), inside(prev)
+		if curIn != prevIn {
+			out = append(out, intersect(prev, cur, a, b, c))
+		}
+		if curIn {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// intersect returns the point on segment p-q where a·x + b·y = c.
+func intersect(p, q point, a, b, c float64) point {
+	fp := a*p.x + b*p.y - c
+	fq := a*q.x + b*q.y - c
+	t := fp / (fp - fq)
+	return point{p.x + t*(q.x-p.x), p.y + t*(q.y-p.y)}
+}
+
+func shoelace(poly []point) float64 {
+	var s float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		s += poly[i].x*poly[j].y - poly[j].x*poly[i].y
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}

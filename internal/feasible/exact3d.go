@@ -1,0 +1,190 @@
+package feasible
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rodsp/internal/mat"
+)
+
+// ExactRatio3D computes |F(W)| / |F*| exactly for d = 3. The feasible
+// region is the convex polytope cut from the ideal tetrahedron
+// {x ≥ 0, Σx ≤ 1} by the node half-spaces W_i·x ≤ 1; its vertices are
+// enumerated from all plane triples, each facet is ordered and the volume
+// accumulated as pyramids from the vertex centroid. Used to make the d = 3
+// optimal-placement search exact (and to validate the QMC integrator).
+func ExactRatio3D(w *mat.Matrix) float64 {
+	if w.Cols != 3 {
+		panic(fmt.Sprintf("feasible: ExactRatio3D needs d=3, got %d", w.Cols))
+	}
+	// Half-spaces a·x <= b: coordinate planes, ideal plane, node planes.
+	type half struct {
+		a mat.Vec
+		b float64
+	}
+	planes := []half{
+		{mat.VecOf(-1, 0, 0), 0},
+		{mat.VecOf(0, -1, 0), 0},
+		{mat.VecOf(0, 0, -1), 0},
+		{mat.VecOf(1, 1, 1), 1},
+	}
+	for i := 0; i < w.Rows; i++ {
+		planes = append(planes, half{w.RowCopy(i), 1})
+	}
+	// Deduplicate coincident planes (e.g. a node row equal to the ideal
+	// plane) so no facet is counted twice: canonicalize by the largest
+	// coefficient magnitude.
+	uniq := planes[:0]
+	for _, h := range planes {
+		scale := h.a.Norm()
+		if scale == 0 {
+			continue
+		}
+		dup := false
+		for _, u := range uniq {
+			us := u.a.Norm()
+			same := math.Abs(h.b/scale-u.b/us) < 1e-9
+			for k := 0; k < 3 && same; k++ {
+				if math.Abs(h.a[k]/scale-u.a[k]/us) > 1e-9 {
+					same = false
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, h)
+		}
+	}
+	planes = uniq
+
+	const eps = 1e-9
+	inside := func(p mat.Vec) bool {
+		for _, h := range planes {
+			if h.a.Dot(p) > h.b+eps {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Vertex enumeration over plane triples.
+	var verts []mat.Vec
+	for i := 0; i < len(planes); i++ {
+		for j := i + 1; j < len(planes); j++ {
+			for k := j + 1; k < len(planes); k++ {
+				p, ok := solve3(planes[i].a, planes[j].a, planes[k].a,
+					planes[i].b, planes[j].b, planes[k].b)
+				if !ok || !inside(p) {
+					continue
+				}
+				dup := false
+				for _, v := range verts {
+					if v.Sub(p).Norm() < 1e-7 {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					verts = append(verts, p)
+				}
+			}
+		}
+	}
+	if len(verts) < 4 {
+		return 0
+	}
+
+	// Interior reference point.
+	c := mat.NewVec(3)
+	for _, v := range verts {
+		c.AddInPlace(v)
+	}
+	c = c.Scale(1 / float64(len(verts)))
+
+	// Per plane: its facet polygon (vertices on the plane), ordered around
+	// the facet centroid; pyramid volume to c.
+	var vol float64
+	for _, h := range planes {
+		var facet []mat.Vec
+		for _, v := range verts {
+			if math.Abs(h.a.Dot(v)-h.b) < 1e-7*math.Max(1, math.Abs(h.b))+1e-9 {
+				facet = append(facet, v)
+			}
+		}
+		if len(facet) < 3 {
+			continue
+		}
+		vol += pyramidVolume(facet, h.a, c)
+	}
+	return vol / (1.0 / 6.0)
+}
+
+// solve3 solves the 3x3 system [a1;a2;a3]·x = b by Cramer's rule.
+func solve3(a1, a2, a3 mat.Vec, b1, b2, b3 float64) (mat.Vec, bool) {
+	det := det3(a1, a2, a3)
+	if math.Abs(det) < 1e-12 {
+		return nil, false
+	}
+	bx := mat.VecOf(b1, b2, b3)
+	x := mat.NewVec(3)
+	for col := 0; col < 3; col++ {
+		m1, m2, m3 := a1.Clone(), a2.Clone(), a3.Clone()
+		m1[col], m2[col], m3[col] = bx[0], bx[1], bx[2]
+		x[col] = det3(m1, m2, m3) / det
+	}
+	return x, true
+}
+
+func det3(r1, r2, r3 mat.Vec) float64 {
+	return r1[0]*(r2[1]*r3[2]-r2[2]*r3[1]) -
+		r1[1]*(r2[0]*r3[2]-r2[2]*r3[0]) +
+		r1[2]*(r2[0]*r3[1]-r2[1]*r3[0])
+}
+
+// pyramidVolume orders the facet polygon around its centroid (in the plane
+// with normal n) and returns the volume of the pyramid with apex c.
+func pyramidVolume(facet []mat.Vec, n mat.Vec, c mat.Vec) float64 {
+	// Facet centroid and an in-plane basis (u, v).
+	fc := mat.NewVec(3)
+	for _, p := range facet {
+		fc.AddInPlace(p)
+	}
+	fc = fc.Scale(1 / float64(len(facet)))
+	u := facet[0].Sub(fc)
+	if u.Norm() < 1e-12 {
+		return 0
+	}
+	u = u.Scale(1 / u.Norm())
+	v := cross(n, u)
+	if v.Norm() < 1e-12 {
+		return 0
+	}
+	v = v.Scale(1 / v.Norm())
+	sort.Slice(facet, func(i, j int) bool {
+		di, dj := facet[i].Sub(fc), facet[j].Sub(fc)
+		return math.Atan2(di.Dot(v), di.Dot(u)) < math.Atan2(dj.Dot(v), dj.Dot(u))
+	})
+	// Triangulate the polygon as a fan from facet[0]; each triangle with
+	// apex c forms a tetrahedron.
+	var vol float64
+	for i := 1; i+1 < len(facet); i++ {
+		vol += math.Abs(det3(
+			facet[0].Sub(c),
+			facet[i].Sub(c),
+			facet[i+1].Sub(c),
+		)) / 6
+	}
+	return vol
+}
+
+func cross(a, b mat.Vec) mat.Vec {
+	return mat.VecOf(
+		a[1]*b[2]-a[2]*b[1],
+		a[2]*b[0]-a[0]*b[2],
+		a[0]*b[1]-a[1]*b[0],
+	)
+}

@@ -1,0 +1,79 @@
+package feasible
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/mat"
+)
+
+func TestExactRatio3DIdeal(t *testing.T) {
+	w := mat.MatrixOf([]float64{1, 1, 1}, []float64{1, 1, 1})
+	if got := ExactRatio3D(w); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ideal ratio = %g, want 1", got)
+	}
+}
+
+func TestExactRatio3DAxisCut(t *testing.T) {
+	// x0 <= 1/2 removes the corner tetrahedron of edge 1/2: ratio 7/8.
+	w := mat.MatrixOf([]float64{2, 0, 0})
+	if got := ExactRatio3D(w); math.Abs(got-0.875) > 1e-9 {
+		t.Fatalf("axis-cut ratio = %g, want 0.875", got)
+	}
+	// Three axis cuts at 1/2: 1 - 3/8 = 5/8.
+	w3 := mat.MatrixOf([]float64{2, 0, 0}, []float64{0, 2, 0}, []float64{0, 0, 2})
+	if got := ExactRatio3D(w3); math.Abs(got-0.625) > 1e-9 {
+		t.Fatalf("triple-cut ratio = %g, want 0.625", got)
+	}
+}
+
+func TestExactRatio3DParallelPlane(t *testing.T) {
+	// 2(x+y+z) <= 1: a shrunken tetrahedron of scale 1/2: ratio 1/8.
+	w := mat.MatrixOf([]float64{2, 2, 2})
+	if got := ExactRatio3D(w); math.Abs(got-0.125) > 1e-9 {
+		t.Fatalf("parallel-plane ratio = %g, want 0.125", got)
+	}
+}
+
+func TestExactRatio3DEmpty(t *testing.T) {
+	w := mat.MatrixOf([]float64{1e9, 1e9, 1e9})
+	if got := ExactRatio3D(w); got > 1e-6 {
+		t.Fatalf("degenerate ratio = %g", got)
+	}
+}
+
+func TestExactRatio3DAgainstQMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		w := randWeights(rng, 2+rng.Intn(4), 3)
+		exact := ExactRatio3D(w)
+		qmc := RatioToIdeal(w, 30000)
+		if math.Abs(exact-qmc) > 0.012 {
+			t.Fatalf("trial %d: exact %g vs QMC %g for\n%v", trial, exact, qmc, w)
+		}
+	}
+}
+
+func TestExactRatio3DPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for d != 3")
+		}
+	}()
+	ExactRatio3D(mat.NewMatrix(1, 2))
+}
+
+func TestCrossAndSolve3(t *testing.T) {
+	c := cross(mat.VecOf(1, 0, 0), mat.VecOf(0, 1, 0))
+	if !c.Equal(mat.VecOf(0, 0, 1), 1e-12) {
+		t.Fatalf("cross = %v", c)
+	}
+	x, ok := solve3(mat.VecOf(1, 0, 0), mat.VecOf(0, 1, 0), mat.VecOf(0, 0, 1), 2, 3, 4)
+	if !ok || !x.Equal(mat.VecOf(2, 3, 4), 1e-12) {
+		t.Fatalf("solve3 = %v, %v", x, ok)
+	}
+	if _, ok := solve3(mat.VecOf(1, 0, 0), mat.VecOf(1, 0, 0), mat.VecOf(0, 0, 1), 1, 2, 3); ok {
+		t.Fatal("singular system must fail")
+	}
+}

@@ -1,0 +1,216 @@
+// Package feasible implements the feasible-set machinery of the paper:
+// node hyperplanes, the ideal node load coefficient matrix of Theorem 1, the
+// normalized weight matrix W, the MMAD/MMPD distance metrics, and feasible-
+// set size estimation by Quasi-Monte Carlo integration over the ideal
+// simplex (with an exact 2-D polygon-clipping cross-check).
+//
+// Normalization convention: with x_k = l_k r_k / C_T the ideal feasible set
+// becomes the standard simplex {x ≥ 0, Σ x_k ≤ 1} and the i-th node
+// hyperplane becomes W_i · x = 1 where
+//
+//	w_ik = (l^n_ik / l_k) / (C_i / C_T).
+package feasible
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/mat"
+)
+
+// System couples a node load coefficient matrix L^n (n×d) with the node
+// capacity vector C (length n). The system is feasible at rate point R iff
+// L^n R ≤ C.
+type System struct {
+	Ln *mat.Matrix
+	C  mat.Vec
+}
+
+// FeasibleAt reports whether no node is overloaded at rate point R.
+func (s *System) FeasibleAt(r mat.Vec) bool {
+	return s.Ln.MulVec(r).AllLeq(s.C, 1e-12)
+}
+
+// Utilizations returns each node's load/capacity ratio at R.
+func (s *System) Utilizations(r mat.Vec) mat.Vec {
+	u := s.Ln.MulVec(r)
+	for i := range u {
+		u[i] /= s.C[i]
+	}
+	return u
+}
+
+// IdealCoef returns the ideal node load coefficient matrix of Theorem 1:
+// l*_ik = l_k · C_i / C_T, which balances every stream's load across nodes
+// in proportion to capacity and attains the maximum possible feasible set.
+func IdealCoef(lk, c mat.Vec) *mat.Matrix {
+	ct := c.Sum()
+	m := mat.NewMatrix(len(c), len(lk))
+	for i := range c {
+		row := m.Row(i)
+		for k := range lk {
+			row[k] = lk[k] * c[i] / ct
+		}
+	}
+	return m
+}
+
+// IdealVolume returns the volume of the ideal feasible set,
+// C_T^d / (d! · Π_k l_k). Every l_k must be positive.
+func IdealVolume(lk, c mat.Vec) (float64, error) {
+	ct := c.Sum()
+	if ct <= 0 {
+		return 0, fmt.Errorf("feasible: total capacity must be positive, got %g", ct)
+	}
+	v := 1.0
+	for k, l := range lk {
+		if l <= 0 {
+			return 0, fmt.Errorf("feasible: coefficient sum l_%d = %g must be positive (stream feeds no operator?)", k, l)
+		}
+		v *= ct / l / float64(k+1) // accumulate C_T^d / (Π l_k) / d! incrementally
+	}
+	return v, nil
+}
+
+// Weights computes the normalized weight matrix W from node coefficients,
+// capacities and the per-stream coefficient sums l_k. It errors if any
+// capacity or coefficient sum is non-positive.
+func Weights(ln *mat.Matrix, c, lk mat.Vec) (*mat.Matrix, error) {
+	if ln.Rows != len(c) {
+		return nil, fmt.Errorf("feasible: %d nodes vs %d capacities", ln.Rows, len(c))
+	}
+	if ln.Cols != len(lk) {
+		return nil, fmt.Errorf("feasible: %d streams vs %d coefficient sums", ln.Cols, len(lk))
+	}
+	ct := c.Sum()
+	w := mat.NewMatrix(ln.Rows, ln.Cols)
+	for i := 0; i < ln.Rows; i++ {
+		if c[i] <= 0 {
+			return nil, fmt.Errorf("feasible: node %d capacity %g must be positive", i, c[i])
+		}
+		share := c[i] / ct
+		row := w.Row(i)
+		src := ln.Row(i)
+		for k := range row {
+			if lk[k] <= 0 {
+				return nil, fmt.Errorf("feasible: coefficient sum l_%d = %g must be positive", k, lk[k])
+			}
+			row[k] = (src[k] / lk[k]) / share
+		}
+	}
+	return w, nil
+}
+
+// PlaneDistance returns the distance from the origin to the hyperplane
+// W_i·x = 1, i.e. 1/‖W_i‖. A zero row (empty node) is at infinity.
+func PlaneDistance(wi mat.Vec) float64 {
+	n := wi.Norm()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 1 / n
+}
+
+// PlaneDistanceFrom returns the distance from point b to the hyperplane
+// W_i·x = 1, i.e. (1 − W_i·b)/‖W_i‖ — the Section 6.1 lower-bound metric.
+// It is negative if b is already beyond the hyperplane.
+func PlaneDistanceFrom(wi, b mat.Vec) float64 {
+	n := wi.Norm()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return (1 - wi.Dot(b)) / n
+}
+
+// MinPlaneDistance returns r = min_i 1/‖W_i‖, the MMPD objective.
+func MinPlaneDistance(w *mat.Matrix) float64 {
+	r := math.Inf(1)
+	for i := 0; i < w.Rows; i++ {
+		if d := PlaneDistance(w.Row(i)); d < r {
+			r = d
+		}
+	}
+	return r
+}
+
+// MinPlaneDistanceFrom returns min_i (1 − W_i·b)/‖W_i‖.
+func MinPlaneDistanceFrom(w *mat.Matrix, b mat.Vec) float64 {
+	r := math.Inf(1)
+	for i := 0; i < w.Rows; i++ {
+		if d := PlaneDistanceFrom(w.Row(i), b); d < r {
+			r = d
+		}
+	}
+	return r
+}
+
+// IdealPlaneDistance returns r* = 1/√d, the distance from the origin to the
+// ideal hyperplane Σ x_k = 1.
+func IdealPlaneDistance(d int) float64 { return 1 / math.Sqrt(float64(d)) }
+
+// MinAxisDistances returns, per axis k, the minimum over nodes of the axis
+// distance 1/w_ik — the MMAD objective wants each entry close to 1.
+func MinAxisDistances(w *mat.Matrix) mat.Vec {
+	out := make(mat.Vec, w.Cols)
+	for k := 0; k < w.Cols; k++ {
+		m := math.Inf(1)
+		for i := 0; i < w.Rows; i++ {
+			wik := w.At(i, k)
+			var d float64
+			if wik == 0 {
+				d = math.Inf(1)
+			} else {
+				d = 1 / wik
+			}
+			if d < m {
+				m = d
+			}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// MMADLowerBound returns the Section 4.1 lower bound on feasible-set ratio,
+// Π_k min_i (1/w_ik), clamped to [0, 1].
+func MMADLowerBound(w *mat.Matrix) float64 {
+	p := 1.0
+	for _, d := range MinAxisDistances(w) {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if d > 1 {
+			d = 1
+		}
+		p *= d
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// HypersphereLowerBound returns the ratio of the positive-orthant portion of
+// a radius-r hypersphere to the volume of the standard simplex — the curve
+// drawn in Figure 9. In d dimensions the orthant ball volume is
+// (π^{d/2} r^d / Γ(d/2+1)) / 2^d and the simplex volume is 1/d!.
+func HypersphereLowerBound(r float64, d int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	rStar := IdealPlaneDistance(d)
+	if r > rStar {
+		r = rStar // the ball cannot exceed the ideal simplex portion it certifies
+	}
+	ball := math.Pow(math.Pi, float64(d)/2) * math.Pow(r, float64(d)) / math.Gamma(float64(d)/2+1)
+	orthant := ball / math.Pow(2, float64(d))
+	simplex := 1.0
+	for k := 1; k <= d; k++ {
+		simplex /= float64(k)
+	}
+	ratio := orthant / simplex
+	if ratio > 1 {
+		ratio = 1
+	}
+	return ratio
+}

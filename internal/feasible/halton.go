@@ -1,0 +1,74 @@
+package feasible
+
+import "fmt"
+
+// Halton generates the Halton low-discrepancy sequence in (0,1)^dims, the
+// quasi-random point source for feasible-set integration ("Quasi Monte
+// Carlo integration", Section 7.1). Dimension k uses the k-th prime as its
+// radical-inverse base.
+type Halton struct {
+	bases []int
+	index int64
+}
+
+// NewHalton returns a Halton sequence over the given number of dimensions,
+// starting at index 1 (index 0 is the all-zero point, useless for
+// integration). Panics if dims is not positive.
+func NewHalton(dims int) *Halton {
+	if dims <= 0 {
+		panic(fmt.Sprintf("feasible: Halton dims must be positive, got %d", dims))
+	}
+	return &Halton{bases: firstPrimes(dims), index: 1}
+}
+
+// Next fills dst with the next point of the sequence. len(dst) must equal
+// the dimension count.
+func (h *Halton) Next(dst []float64) {
+	if len(dst) != len(h.bases) {
+		panic(fmt.Sprintf("feasible: Halton.Next dst length %d, want %d", len(dst), len(h.bases)))
+	}
+	for k, b := range h.bases {
+		dst[k] = radicalInverse(h.index, b)
+	}
+	h.index++
+}
+
+// Skip advances the sequence by n points.
+func (h *Halton) Skip(n int64) { h.index += n }
+
+// radicalInverse reflects the base-b digits of i about the radix point.
+func radicalInverse(i int64, b int) float64 {
+	var (
+		f    = 1.0
+		r    = 0.0
+		base = float64(b)
+	)
+	for i > 0 {
+		f /= base
+		r += f * float64(i%int64(b))
+		i /= int64(b)
+	}
+	return r
+}
+
+// firstPrimes returns the first n primes via trial division (n is tiny —
+// one per workload dimension).
+func firstPrimes(n int) []int {
+	primes := make([]int, 0, n)
+	for cand := 2; len(primes) < n; cand++ {
+		isPrime := true
+		for _, p := range primes {
+			if p*p > cand {
+				break
+			}
+			if cand%p == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			primes = append(primes, cand)
+		}
+	}
+	return primes
+}

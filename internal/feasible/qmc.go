@@ -1,0 +1,150 @@
+package feasible
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rodsp/internal/mat"
+)
+
+// SimplexPoint maps d+1 independent uniforms in (0,1) to a point uniformly
+// distributed in the solid standard simplex {x ≥ 0, Σ x_k ≤ 1} ⊂ R^d, via
+// the exponential-spacings construction: y_i = −ln(1−u_i) are i.i.d.
+// exponentials, (y_1,…,y_{d+1})/Σ y is uniform on the boundary simplex of
+// dimension d, and dropping the last coordinate projects it uniformly onto
+// the solid simplex. len(u) must be len(dst)+1.
+func SimplexPoint(u []float64, dst []float64) {
+	if len(u) != len(dst)+1 {
+		panic(fmt.Sprintf("feasible: SimplexPoint needs %d uniforms for dimension %d", len(dst)+1, len(dst)))
+	}
+	var sum float64
+	for _, ui := range u {
+		sum += -math.Log1p(-ui)
+	}
+	for k := range dst {
+		dst[k] = -math.Log1p(-u[k]) / sum
+	}
+}
+
+// RatioToIdeal estimates |F(W)| / |F*|: the fraction of the ideal simplex
+// (in normalized coordinates) that satisfies every node constraint
+// W_i·x ≤ 1. Uses Halton QMC with the given sample budget.
+func RatioToIdeal(w *mat.Matrix, samples int) float64 {
+	return RatioToIdealFrom(w, nil, samples)
+}
+
+// RatioAuto computes the feasible ratio with exact geometry where available
+// (d = 2 polygon clipping, d = 3 polytope enumeration) and QMC otherwise.
+func RatioAuto(w *mat.Matrix, samples int) float64 {
+	switch w.Cols {
+	case 2:
+		return ExactRatio2D(w)
+	case 3:
+		return ExactRatio3D(w)
+	default:
+		return RatioToIdeal(w, samples)
+	}
+}
+
+// RatioToIdealFrom estimates the feasible fraction of the *restricted*
+// ideal region {x ≥ lb, Σ x_k ≤ 1} (Section 6.1 workload sets with lower
+// bound B, already normalized). A nil lb means the origin. Returns 0 when
+// the restricted region is empty (Σ lb ≥ 1).
+func RatioToIdealFrom(w *mat.Matrix, lb mat.Vec, samples int) float64 {
+	d := w.Cols
+	if samples <= 0 {
+		panic("feasible: sample budget must be positive")
+	}
+	scale := 1.0
+	if lb != nil {
+		if len(lb) != d {
+			panic(fmt.Sprintf("feasible: lower bound length %d, want %d", len(lb), d))
+		}
+		scale = 1 - lb.Sum()
+		if scale <= 0 {
+			return 0
+		}
+	}
+	h := NewHalton(d + 1)
+	u := make([]float64, d+1)
+	x := make(mat.Vec, d)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		h.Next(u)
+		SimplexPoint(u, x)
+		if lb != nil {
+			for k := range x {
+				x[k] = lb[k] + scale*x[k]
+			}
+		}
+		if feasiblePoint(w, x) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// RatioToIdealMC is the plain (pseudo-random) Monte Carlo counterpart of
+// RatioToIdeal, used to cross-validate the QMC estimator.
+func RatioToIdealMC(w *mat.Matrix, samples int, rng *rand.Rand) float64 {
+	d := w.Cols
+	u := make([]float64, d+1)
+	x := make(mat.Vec, d)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		SimplexPoint(u, x)
+		if feasiblePoint(w, x) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// SamplePoints returns n QMC points uniformly covering the ideal simplex in
+// normalized coordinates — the workload points the Borealis experiments
+// draw "all within the ideal feasible set" (Section 7.1).
+func SamplePoints(d, n int) []mat.Vec {
+	h := NewHalton(d + 1)
+	u := make([]float64, d+1)
+	pts := make([]mat.Vec, n)
+	for s := 0; s < n; s++ {
+		h.Next(u)
+		x := make(mat.Vec, d)
+		SimplexPoint(u, x)
+		pts[s] = x
+	}
+	return pts
+}
+
+// Denormalize converts a normalized point x back to raw input rates:
+// r_k = x_k · C_T / l_k.
+func Denormalize(x, lk mat.Vec, ct float64) mat.Vec {
+	r := make(mat.Vec, len(x))
+	for k := range x {
+		r[k] = x[k] * ct / lk[k]
+	}
+	return r
+}
+
+// Normalize converts raw input rates to normalized coordinates:
+// x_k = l_k r_k / C_T.
+func Normalize(r, lk mat.Vec, ct float64) mat.Vec {
+	x := make(mat.Vec, len(r))
+	for k := range r {
+		x[k] = lk[k] * r[k] / ct
+	}
+	return x
+}
+
+func feasiblePoint(w *mat.Matrix, x mat.Vec) bool {
+	for i := 0; i < w.Rows; i++ {
+		if w.Row(i).Dot(x) > 1+1e-12 {
+			return false
+		}
+	}
+	return true
+}

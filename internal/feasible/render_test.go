@@ -1,0 +1,55 @@
+package feasible
+
+import (
+	"strings"
+	"testing"
+
+	"rodsp/internal/mat"
+)
+
+func TestRenderASCIIIdealPlan(t *testing.T) {
+	// All-ones weights: every ideal point feasible — no '·' anywhere.
+	w := mat.MatrixOf([]float64{1, 1})
+	out := RenderASCII(w, 20, 10)
+	if strings.Contains(out, "·") {
+		t.Fatalf("ideal plan should waste nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("ideal plan should be feasible somewhere:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // height rows + axis
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestRenderASCIIHalfPlan(t *testing.T) {
+	// x <= 1/2: the right part of the triangle is wasted.
+	w := mat.MatrixOf([]float64{2, 0})
+	out := RenderASCII(w, 20, 10)
+	if !strings.Contains(out, "·") || !strings.Contains(out, "#") {
+		t.Fatalf("half plan should show both regions:\n%s", out)
+	}
+	// The bottom row: feasible to the left, wasted to the right.
+	lines := strings.Split(out, "\n")
+	bottom := lines[9]
+	if !strings.Contains(bottom, "#·") && !strings.Contains(bottom, "#·") {
+		t.Fatalf("bottom row should transition #→·: %q", bottom)
+	}
+}
+
+func TestRenderASCIIClampsTinySizes(t *testing.T) {
+	out := RenderASCII(mat.MatrixOf([]float64{1, 1}), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("render must clamp sizes and still draw")
+	}
+}
+
+func TestRenderASCIIPanicsOnWrongDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for d != 2")
+		}
+	}()
+	RenderASCII(mat.NewMatrix(1, 3), 10, 10)
+}

@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+// It panics on non-positive dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixOf builds a matrix from row slices. All rows must have equal length.
+func MatrixOf(rows ...[]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: MatrixOf needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: MatrixOf ragged row %d: %d vs %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns row i as a Vec sharing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(i int) Vec { return Vec(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// RowCopy returns a copy of row i.
+func (m *Matrix) RowCopy(i int) Vec { return m.Row(i).Clone() }
+
+// Col returns column j as a new Vec.
+func (m *Matrix) Col(j int) Vec {
+	v := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.At(i, j)
+	}
+	return v
+}
+
+// ColSums returns the vector of column sums (length Cols).
+func (m *Matrix) ColSums() Vec {
+	s := make(Vec, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			s[j] += x
+		}
+	}
+	return s
+}
+
+// RowSums returns the vector of row sums (length Rows).
+func (m *Matrix) RowSums() Vec {
+	s := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s[i] = m.Row(i).Sum()
+	}
+	return s
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m · v (length Rows). It panics if len(v) != Cols.
+func (m *Matrix) MulVec(v Vec) Vec {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Row(i).Dot(v)
+	}
+	return out
+}
+
+// Mul returns m · b. It panics if m.Cols != b.Rows.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, a := range mi {
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, x := range bk {
+				oi[j] += a * x
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of m as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// ScaleInPlace multiplies every element by a.
+func (m *Matrix) ScaleInPlace(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Equal reports whether m and b have the same shape and agree within eps.
+func (m *Matrix) Equal(b *Matrix, eps float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	return Vec(m.Data).Equal(Vec(b.Data), eps)
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(m.Row(i).String())
+	}
+	return b.String()
+}

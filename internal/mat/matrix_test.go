@@ -1,0 +1,193 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixOfAndAccessors(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4}, []float64{5, 6})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("At wrong: %v", m)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+	m.Add(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestMatrixOfRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	MatrixOf([]float64{1, 2}, []float64{1})
+}
+
+func TestNewMatrixInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero rows")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	r := m.Row(0)
+	r[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Fatal("Row must share storage")
+	}
+	rc := m.RowCopy(1)
+	rc[0] = -1
+	if m.At(1, 0) != 3 {
+		t.Fatal("RowCopy must not share storage")
+	}
+}
+
+func TestColAndSums(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	if got := m.Col(1); !got.Equal(VecOf(2, 4), 0) {
+		t.Fatalf("Col = %v", got)
+	}
+	if got := m.ColSums(); !got.Equal(VecOf(4, 6), 0) {
+		t.Fatalf("ColSums = %v", got)
+	}
+	if got := m.RowSums(); !got.Equal(VecOf(3, 7), 0) {
+		t.Fatalf("RowSums = %v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	if got := m.MulVec(VecOf(1, 1)); !got.Equal(VecOf(3, 7), 0) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	b := MatrixOf([]float64{5, 6}, []float64{7, 8})
+	got := a.Mul(b)
+	want := MatrixOf([]float64{19, 22}, []float64{43, 50})
+	if !got.Equal(want, 0) {
+		t.Fatalf("Mul =\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := MatrixOf([]float64{1, 2, 3}, []float64{4, 5, 6})
+	tr := m.Transpose()
+	want := MatrixOf([]float64{1, 4}, []float64{2, 5}, []float64{3, 6})
+	if !tr.Equal(want, 0) {
+		t.Fatalf("Transpose =\n%v", tr)
+	}
+	// Double transpose is identity.
+	if !tr.Transpose().Equal(m, 0) {
+		t.Fatal("transpose twice should be identity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	m.ScaleInPlace(2)
+	if !m.Equal(MatrixOf([]float64{2, 4}, []float64{6, 8}), 0) {
+		t.Fatalf("ScaleInPlace = %v", m)
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewMatrix(2, 2).Equal(NewMatrix(2, 3), 0) {
+		t.Fatal("different shapes must not be Equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	want := "[1 2]\n[3 4]"
+	if got := m.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: (A·B)·v == A·(B·v) on random matrices.
+func TestMulAssociativityWithVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 50; k++ {
+		n, m, p := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randMat(rng, n, m)
+		b := randMat(rng, m, p)
+		v := NewVec(p)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		left := a.Mul(b).MulVec(v)
+		right := a.MulVec(b.MulVec(v))
+		if !left.Equal(right, 1e-9) {
+			t.Fatalf("associativity violated: %v vs %v", left, right)
+		}
+	}
+}
+
+// Property: column sums are preserved by permutation-like 0/1 allocation
+// matrices whose columns each sum to 1 (the allocation-matrix invariant the
+// paper's constraint (1) relies on: sum_i l^n_ik == sum_j l^o_jk).
+func TestAllocationPreservesColumnSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 50; k++ {
+		n, m, d := 2+rng.Intn(4), 1+rng.Intn(10), 1+rng.Intn(4)
+		a := NewMatrix(n, m) // allocation: one 1 per column
+		for j := 0; j < m; j++ {
+			a.Set(rng.Intn(n), j, 1)
+		}
+		lo := randMatNonNeg(rng, m, d)
+		ln := a.Mul(lo)
+		if !ln.ColSums().Equal(lo.ColSums(), 1e-9) {
+			t.Fatalf("allocation changed column sums:\n%v\nvs\n%v", ln.ColSums(), lo.ColSums())
+		}
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randMatNonNeg(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}

@@ -1,0 +1,234 @@
+// Package mat provides the small dense linear-algebra primitives used by the
+// load model and the feasible-set geometry: vectors, row-major matrices, and
+// the handful of norm/product operations the ROD machinery needs. It is
+// deliberately tiny — no pivoting, no decompositions — because every matrix
+// in this system is a load-coefficient or allocation matrix manipulated with
+// element-wise arithmetic and matrix-vector products.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vec is a dense vector of float64.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// VecOf returns a vector with the given elements (a copy of the arguments).
+func VecOf(xs ...float64) Vec {
+	v := make(Vec, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vec) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vec) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Add returns v + w as a new vector. It panics if lengths differ.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	u := make(Vec, len(v))
+	for i := range v {
+		u[i] = v[i] + w[i]
+	}
+	return u
+}
+
+// Sub returns v - w as a new vector. It panics if lengths differ.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Sub length mismatch %d vs %d", len(v), len(w)))
+	}
+	u := make(Vec, len(v))
+	for i := range v {
+		u[i] = v[i] - w[i]
+	}
+	return u
+}
+
+// AddInPlace adds w into v element-wise. It panics if lengths differ.
+func (v Vec) AddInPlace(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddInPlace length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// AddScaled adds a*w into v element-wise. It panics if lengths differ.
+func (v Vec) AddScaled(a float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Scale returns a*v as a new vector.
+func (v Vec) Scale(a float64) Vec {
+	u := make(Vec, len(v))
+	for i := range v {
+		u[i] = a * v[i]
+	}
+	return u
+}
+
+// Max returns the maximum element of v. It panics on an empty vector.
+func (v Vec) Max() float64 {
+	if len(v) == 0 {
+		panic("mat: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of v. It panics on an empty vector.
+func (v Vec) Min() float64 {
+	if len(v) == 0 {
+		panic("mat: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element (first on ties).
+// It panics on an empty vector.
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		panic("mat: ArgMax of empty vector")
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element (first on ties).
+// It panics on an empty vector.
+func (v Vec) ArgMin() int {
+	if len(v) == 0 {
+		panic("mat: ArgMin of empty vector")
+	}
+	best := 0
+	for i, x := range v {
+		if x < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// AllLeq reports whether every element of v is <= the corresponding element
+// of w (within an absolute tolerance eps to absorb float accumulation).
+func (v Vec) AllLeq(w Vec, eps float64) bool {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AllLeq length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		if v[i] > w[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every element of v is exactly zero.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w agree element-wise within eps.
+func (v Vec) Equal(w Vec, eps float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats v like "[1.0 2.5 0.0]" with compact float rendering.
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOfCopies(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	v := VecOf(xs...)
+	xs[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("VecOf must copy its arguments, got %v", v)
+	}
+}
+
+func TestDot(t *testing.T) {
+	v := VecOf(1, 2, 3)
+	w := VecOf(4, 5, 6)
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	VecOf(1, 2).Dot(VecOf(1))
+}
+
+func TestNorms(t *testing.T) {
+	v := VecOf(3, -4)
+	if got := v.Norm(); got != 5 {
+		t.Fatalf("Norm = %g, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %g, want 7", got)
+	}
+	if got := v.Sum(); got != -1 {
+		t.Fatalf("Sum = %g, want -1", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := VecOf(1, 2)
+	w := VecOf(3, 5)
+	if got := v.Add(w); !got.Equal(VecOf(4, 7), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(VecOf(2, 3), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(VecOf(2, 4), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	u := v.Clone()
+	u.AddInPlace(w)
+	if !u.Equal(VecOf(4, 7), 0) {
+		t.Fatalf("AddInPlace = %v", u)
+	}
+	u = v.Clone()
+	u.AddScaled(10, w)
+	if !u.Equal(VecOf(31, 52), 0) {
+		t.Fatalf("AddScaled = %v", u)
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	v := VecOf(2, 7, -1, 7)
+	if v.Max() != 7 || v.Min() != -1 {
+		t.Fatalf("Max/Min wrong: %g %g", v.Max(), v.Min())
+	}
+	if v.ArgMax() != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first on ties)", v.ArgMax())
+	}
+	if v.ArgMin() != 2 {
+		t.Fatalf("ArgMin = %d, want 2", v.ArgMin())
+	}
+}
+
+func TestAllLeq(t *testing.T) {
+	if !VecOf(1, 2).AllLeq(VecOf(1, 2), 0) {
+		t.Fatal("equal vectors should satisfy AllLeq")
+	}
+	if VecOf(1, 2.001).AllLeq(VecOf(1, 2), 1e-6) {
+		t.Fatal("2.001 <= 2 should fail at eps=1e-6")
+	}
+	if !VecOf(1, 2.001).AllLeq(VecOf(1, 2), 0.01) {
+		t.Fatal("2.001 <= 2 should pass at eps=0.01")
+	}
+}
+
+func TestIsZeroEqualString(t *testing.T) {
+	if !NewVec(3).IsZero() {
+		t.Fatal("zero vector should be zero")
+	}
+	if VecOf(0, 1e-300).IsZero() {
+		t.Fatal("tiny non-zero is not zero")
+	}
+	if got := VecOf(1, 2.5, 0).String(); got != "[1 2.5 0]" {
+		t.Fatalf("String = %q", got)
+	}
+	if VecOf(1).Equal(VecOf(1, 2), 0) {
+		t.Fatal("length mismatch must not be Equal")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Max":    func() { Vec{}.Max() },
+		"Min":    func() { Vec{}.Min() },
+		"ArgMax": func() { Vec{}.ArgMax() },
+		"ArgMin": func() { Vec{}.ArgMin() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty vector should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Cauchy-Schwarz |v·w| <= ||v||·||w||.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := VecOf(clamp(a), clamp(b), clamp(c))
+		w := VecOf(clamp(d), clamp(e), clamp(g))
+		return math.Abs(v.Dot(w)) <= v.Norm()*w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Norm.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v := VecOf(clamp(a), clamp(b))
+		w := VecOf(clamp(c), clamp(d))
+		return v.Add(w).Norm() <= v.Norm()+w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clamp keeps quick-generated floats in a sane range and strips NaN/Inf.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestRandomDotCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 100; k++ {
+		n := 1 + rng.Intn(8)
+		v, w := NewVec(n), NewVec(n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		if math.Abs(v.Dot(w)-w.Dot(v)) > 1e-12 {
+			t.Fatalf("dot not commutative for %v, %v", v, w)
+		}
+	}
+}

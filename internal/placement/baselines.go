@@ -1,0 +1,215 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+	"rodsp/internal/stats"
+)
+
+// Random produces the paper's Random baseline: a uniformly random placement
+// that keeps an equal number of operators on each node (Section 7.2).
+func Random(m, n int, rng *rand.Rand) *Plan {
+	perm := rng.Perm(m)
+	nodeOf := make([]int, m)
+	for pos, j := range perm {
+		nodeOf[j] = pos % n
+	}
+	return &Plan{NodeOf: nodeOf, N: n}
+}
+
+// LLF is the Largest-Load-First load balancer: operators ordered by their
+// average load level (at the observed average rates) and greedily assigned
+// to the currently least-utilized node.
+func LLF(lo *mat.Matrix, c mat.Vec, avgRates mat.Vec) (*Plan, error) {
+	if lo.Rows == 0 {
+		return nil, fmt.Errorf("placement: LLF needs operators")
+	}
+	if lo.Cols != len(avgRates) {
+		return nil, fmt.Errorf("placement: LLF got %d rates for %d variables", len(avgRates), lo.Cols)
+	}
+	loads := lo.MulVec(avgRates)
+	order := sortByDesc(loads)
+	nodeOf := make([]int, lo.Rows)
+	nodeLoad := make(mat.Vec, len(c))
+	for _, j := range order {
+		best, bestU := 0, nodeLoad[0]/c[0]
+		for i := 1; i < len(c); i++ {
+			u := nodeLoad[i] / c[i]
+			// Prefer lower utilization; on ties, the larger node.
+			if u < bestU-1e-15 || (u <= bestU+1e-15 && c[i] > c[best]) {
+				best, bestU = i, u
+			}
+		}
+		nodeOf[j] = best
+		nodeLoad[best] += loads[j]
+	}
+	return &Plan{NodeOf: nodeOf, N: len(c)}, nil
+}
+
+// Connected is the Connected-Load-Balancing baseline: (1) assign the most
+// loaded unassigned operator to the currently least-utilized node N_s,
+// (2) keep pulling operators connected to N_s's operators onto N_s while its
+// load stays below its capacity-proportional share, (3) repeat.
+func Connected(g *query.Graph, lo *mat.Matrix, c mat.Vec, avgRates mat.Vec) (*Plan, error) {
+	if lo.Rows != g.NumOps() {
+		return nil, fmt.Errorf("placement: Connected: %d coefficient rows for %d operators", lo.Rows, g.NumOps())
+	}
+	if lo.Cols != len(avgRates) {
+		return nil, fmt.Errorf("placement: Connected got %d rates for %d variables", len(avgRates), lo.Cols)
+	}
+	loads := lo.MulVec(avgRates)
+	total := loads.Sum()
+	ct := c.Sum()
+
+	m := g.NumOps()
+	assigned := make([]bool, m)
+	nodeOf := make([]int, m)
+	nodeLoad := make(mat.Vec, len(c))
+	remaining := m
+	for remaining > 0 {
+		// (1) Most loaded unassigned operator to least-utilized node.
+		seed := -1
+		for j := 0; j < m; j++ {
+			if !assigned[j] && (seed == -1 || loads[j] > loads[seed]) {
+				seed = j
+			}
+		}
+		ns := 0
+		for i := 1; i < len(c); i++ {
+			if nodeLoad[i]/c[i] < nodeLoad[ns]/c[ns] {
+				ns = i
+			}
+		}
+		assign := func(j int) {
+			assigned[j] = true
+			nodeOf[j] = ns
+			nodeLoad[ns] += loads[j]
+			remaining--
+		}
+		assign(seed)
+		// (2) Pull connected operators while below the capacity share.
+		share := total * c[ns] / ct
+		for {
+			cand := -1
+			for j := 0; j < m; j++ {
+				if assigned[j] {
+					continue
+				}
+				connected := false
+				for k := 0; k < m && !connected; k++ {
+					if assigned[k] && nodeOf[k] == ns && g.Connected(query.OpID(j), query.OpID(k)) {
+						connected = true
+					}
+				}
+				if connected && (cand == -1 || loads[j] > loads[cand]) {
+					cand = j
+				}
+			}
+			if cand == -1 || nodeLoad[ns]+loads[cand] > share+1e-12 {
+				break
+			}
+			assign(cand)
+		}
+	}
+	return &Plan{NodeOf: nodeOf, N: len(c)}, nil
+}
+
+// CorrelationBased is our rendition of the paper's fourth baseline (their
+// earlier dynamic correlation-based scheme [23] applied statically):
+// operators are ordered by average load and each is assigned, among the
+// nodes whose utilization is currently below the running average, to the
+// one whose aggregate load time series has the smallest correlation with
+// the operator's own load series (ties broken by lower utilization). The
+// rateSeries matrix holds one row per time step and one column per model
+// variable.
+func CorrelationBased(lo *mat.Matrix, c mat.Vec, rateSeries *mat.Matrix) (*Plan, error) {
+	if rateSeries.Cols != lo.Cols {
+		return nil, fmt.Errorf("placement: rate series has %d variables, L^o has %d", rateSeries.Cols, lo.Cols)
+	}
+	if rateSeries.Rows < 2 {
+		return nil, fmt.Errorf("placement: rate series needs at least 2 time steps")
+	}
+	m := lo.Rows
+	n := len(c)
+	steps := rateSeries.Rows
+
+	// Per-operator load time series.
+	opSeries := make([][]float64, m)
+	avgLoad := make(mat.Vec, m)
+	for j := 0; j < m; j++ {
+		s := make([]float64, steps)
+		row := lo.Row(j)
+		for t := 0; t < steps; t++ {
+			s[t] = row.Dot(rateSeries.Row(t))
+		}
+		opSeries[j] = s
+		avgLoad[j] = stats.Mean(s)
+	}
+
+	order := sortByDesc(avgLoad)
+	nodeOf := make([]int, m)
+	nodeSeries := make([][]float64, n)
+	for i := range nodeSeries {
+		nodeSeries[i] = make([]float64, steps)
+	}
+	nodeLoad := make(mat.Vec, n)
+	var placedLoad float64
+	for _, j := range order {
+		// Candidate nodes: utilization below the average utilization the
+		// system would have if already-placed load were spread by capacity.
+		avgU := placedLoad / c.Sum()
+		var candidates []int
+		for i := 0; i < n; i++ {
+			if nodeLoad[i]/c[i] <= avgU+1e-12 {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = allNodes(n)
+		}
+		best := candidates[0]
+		bestScore := scoreCorr(opSeries[j], nodeSeries[best], nodeLoad[best]/c[best])
+		for _, i := range candidates[1:] {
+			if s := scoreCorr(opSeries[j], nodeSeries[i], nodeLoad[i]/c[i]); s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		nodeOf[j] = best
+		for t := 0; t < steps; t++ {
+			nodeSeries[best][t] += opSeries[j][t]
+		}
+		nodeLoad[best] += avgLoad[j]
+		placedLoad += avgLoad[j]
+	}
+	return &Plan{NodeOf: nodeOf, N: n}, nil
+}
+
+// scoreCorr ranks a candidate node: primarily by correlation (separate
+// correlated operators), with a small utilization term to break ties
+// deterministically toward emptier nodes.
+func scoreCorr(op, node []float64, util float64) float64 {
+	return stats.Correlation(op, node) + 1e-3*util
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sortByDesc returns operator indices ordered by the given key descending,
+// with index order as a deterministic tie-break.
+func sortByDesc(key mat.Vec) []int {
+	order := make([]int, len(key))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key[order[a]] > key[order[b]] })
+	return order
+}

@@ -1,0 +1,252 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+)
+
+// chainGraph builds d parallel chains of ops ops each, one chain per input.
+func chainGraph(t *testing.T, d, ops int, cost float64) *query.Graph {
+	t.Helper()
+	b := query.NewBuilder()
+	for k := 0; k < d; k++ {
+		s := b.Input("")
+		for j := 0; j < ops; j++ {
+			s = b.Delay("", cost, 1, s)
+		}
+	}
+	return b.MustBuild()
+}
+
+func loadModel(t *testing.T, g *query.Graph) *query.LoadModel {
+	t.Helper()
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+func TestLLFBalancesLoad(t *testing.T) {
+	// 8 identical single-variable operators, 2 nodes: perfect 4/4 split.
+	lo := mat.NewMatrix(8, 1)
+	for i := 0; i < 8; i++ {
+		lo.Set(i, 0, 1)
+	}
+	c := mat.VecOf(1, 1)
+	p, err := LLF(lo, c, mat.VecOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.Counts()
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Fatalf("LLF counts = %v", counts)
+	}
+}
+
+func TestLLFRespectsCapacity(t *testing.T) {
+	// One big op and two small ones; node 1 has 3x capacity.
+	lo := mat.MatrixOf([]float64{9}, []float64{1}, []float64{1})
+	c := mat.VecOf(1, 3)
+	p, err := LLF(lo, c, mat.VecOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big op must land on the big node.
+	if p.NodeOf[0] != 1 {
+		t.Fatalf("LLF put the big operator on node %d", p.NodeOf[0])
+	}
+	// Utilization skew must be modest.
+	ln := p.NodeCoef(lo)
+	u0 := ln.At(0, 0) / c[0]
+	u1 := ln.At(1, 0) / c[1]
+	if math.Abs(u0-u1) > 3 {
+		t.Fatalf("LLF wildly unbalanced: %g vs %g", u0, u1)
+	}
+}
+
+func TestLLFErrors(t *testing.T) {
+	if _, err := LLF(mat.NewMatrix(1, 2), mat.VecOf(1), mat.VecOf(1)); err == nil {
+		t.Fatal("rate-length mismatch must error")
+	}
+}
+
+func TestConnectedKeepsNeighborsTogether(t *testing.T) {
+	// One chain of 6 ops on 2 nodes: Connected should co-locate runs of
+	// neighbors, producing at most ~2 cut arcs; compare against the worst
+	// case of alternation (5 cuts).
+	g := chainGraph(t, 1, 6, 1)
+	lm := loadModel(t, g)
+	c := mat.VecOf(1, 1)
+	p, err := Connected(g, lm.Coef, c, mat.VecOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := 0
+	for _, a := range g.Arcs() {
+		if p.NodeOf[a.From] != p.NodeOf[a.To] {
+			cuts++
+		}
+	}
+	if cuts > 2 {
+		t.Fatalf("Connected produced %d cut arcs on a 6-chain", cuts)
+	}
+	// Both nodes must still receive work (load balancing half).
+	counts := p.Counts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("Connected left a node empty: %v", counts)
+	}
+}
+
+func TestConnectedErrors(t *testing.T) {
+	g := chainGraph(t, 1, 2, 1)
+	lm := loadModel(t, g)
+	if _, err := Connected(g, lm.Coef, mat.VecOf(1, 1), mat.VecOf(1, 2)); err == nil {
+		t.Fatal("rate mismatch must error")
+	}
+	if _, err := Connected(g, mat.NewMatrix(1, 1), mat.VecOf(1, 1), mat.VecOf(1)); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestCorrelationSeparatesCorrelatedOps(t *testing.T) {
+	// Two operators driven by stream 0, two by stream 1 (loads perfectly
+	// correlated within a pair, independent across pairs). The correlation
+	// scheme must split each pair across the two nodes.
+	lo := mat.MatrixOf(
+		[]float64{1, 0},
+		[]float64{1, 0},
+		[]float64{0, 1},
+		[]float64{0, 1},
+	)
+	c := mat.VecOf(1, 1)
+	// Anti-correlated rate series for the two streams.
+	series := mat.MatrixOf(
+		[]float64{2, 1},
+		[]float64{1, 2},
+		[]float64{3, 1},
+		[]float64{1, 3},
+		[]float64{2.5, 1.2},
+		[]float64{1.2, 2.5},
+	)
+	p, err := CorrelationBased(lo, c, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodeOf[0] == p.NodeOf[1] {
+		t.Fatalf("stream-0 pair co-located: %v", p.NodeOf)
+	}
+	if p.NodeOf[2] == p.NodeOf[3] {
+		t.Fatalf("stream-1 pair co-located: %v", p.NodeOf)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	lo := mat.NewMatrix(2, 2)
+	c := mat.VecOf(1, 1)
+	if _, err := CorrelationBased(lo, c, mat.NewMatrix(3, 1)); err == nil {
+		t.Fatal("variable-count mismatch must error")
+	}
+	if _, err := CorrelationBased(lo, c, mat.NewMatrix(1, 2)); err == nil {
+		t.Fatal("too-short series must error")
+	}
+}
+
+func TestOptimalFindsIdealSplit(t *testing.T) {
+	// Two ops per stream, two nodes: the optimum balances each stream
+	// across both nodes, attaining the ideal (Theorem 1), ratio 1.
+	lo := mat.MatrixOf([]float64{1, 0}, []float64{1, 0}, []float64{0, 1}, []float64{0, 1})
+	c := mat.VecOf(1, 1)
+	p, ratio, err := Optimal(lo, c, OptimalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 1 {
+		t.Fatalf("optimal ratio = %g, want 1", ratio)
+	}
+	if p.NodeOf[0] == p.NodeOf[1] || p.NodeOf[2] == p.NodeOf[3] {
+		t.Fatalf("optimal plan co-located a stream's pair: %v", p.NodeOf)
+	}
+
+	// With only one operator per stream, the ideal is unreachable: the best
+	// achievable is the per-stream split, whose ratio is exactly 0.5.
+	lo2 := mat.MatrixOf([]float64{1, 0}, []float64{0, 1})
+	p2, ratio2, err := Optimal(lo2, c, OptimalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio2-0.5) > 1e-9 {
+		t.Fatalf("single-op-per-stream optimum = %g, want 0.5", ratio2)
+	}
+	if p2.NodeOf[0] == p2.NodeOf[1] {
+		t.Fatalf("optimum should still separate the streams: %v", p2.NodeOf)
+	}
+}
+
+func TestOptimalBeatsOrMatchesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		m, n := 6, 2
+		lo := mat.NewMatrix(m, 2)
+		for i := range lo.Data {
+			lo.Data[i] = rng.Float64()
+		}
+		c := mat.VecOf(1, 1)
+		_, best, err := Optimal(lo, c, OptimalConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5; k++ {
+			p := Random(m, n, rng)
+			ratio, err := Evaluate(p, lo, c, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio > best+1e-9 {
+				t.Fatalf("random plan %v ratio %g beats 'optimal' %g", p.NodeOf, ratio, best)
+			}
+		}
+	}
+}
+
+func TestOptimalMaxPlansGuard(t *testing.T) {
+	lo := mat.NewMatrix(10, 2)
+	for i := range lo.Data {
+		lo.Data[i] = 1
+	}
+	_, _, err := Optimal(lo, mat.VecOf(1, 1), OptimalConfig{MaxPlans: 3})
+	if err == nil {
+		t.Fatal("expected MaxPlans overflow error")
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	if _, _, err := Optimal(mat.NewMatrix(1, 1), mat.Vec{}, OptimalConfig{}); err == nil {
+		t.Fatal("no nodes must error")
+	}
+}
+
+func TestOptimalHeterogeneousCapacities(t *testing.T) {
+	// One heavy stream; node 1 has double capacity. The optimum must load
+	// node 1 more (canonical pruning is disabled for heterogeneous nodes,
+	// so labels matter).
+	lo := mat.MatrixOf([]float64{1}, []float64{1}, []float64{1})
+	c := mat.VecOf(1, 2)
+	p, ratio, err := Optimal(lo, c, OptimalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best 1-D split: node0 gets 1 op (1/1 per unit rate), node1 gets 2
+	// (2/2): both hit capacity at r = C_T/l = 1, the ideal → ratio 1.
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Fatalf("ratio = %g, want 1 (perfect capacity-proportional split)", ratio)
+	}
+	counts := p.Counts()
+	if counts[1] != 2 {
+		t.Fatalf("optimal counts %v, want 2 ops on the big node", counts)
+	}
+}

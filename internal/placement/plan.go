@@ -1,0 +1,135 @@
+// Package placement defines operator-to-node placement plans and the four
+// alternative load-distribution algorithms the paper compares ROD against
+// (Section 7.2): Random, Largest-Load-First load balancing, Connected load
+// balancing, and Correlation-based load balancing — plus the brute-force
+// Optimal search used on small instances (Section 7.3.1).
+package placement
+
+import (
+	"fmt"
+	"strings"
+
+	"rodsp/internal/mat"
+)
+
+// Plan assigns every operator to exactly one node: NodeOf[j] is the node
+// hosting operator j. It is the dense form of the paper's allocation
+// matrix A.
+type Plan struct {
+	NodeOf []int
+	N      int // number of nodes
+}
+
+// NewPlan validates and wraps an assignment vector.
+func NewPlan(nodeOf []int, n int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("placement: need at least one node, got %d", n)
+	}
+	if len(nodeOf) == 0 {
+		return nil, fmt.Errorf("placement: empty assignment")
+	}
+	for j, i := range nodeOf {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("placement: operator %d assigned to node %d outside [0,%d)", j, i, n)
+		}
+	}
+	cp := make([]int, len(nodeOf))
+	copy(cp, nodeOf)
+	return &Plan{NodeOf: cp, N: n}, nil
+}
+
+// NumOps returns the number of operators m.
+func (p *Plan) NumOps() int { return len(p.NodeOf) }
+
+// OpsOn returns the operators placed on node i, in increasing id order.
+func (p *Plan) OpsOn(i int) []int {
+	var ops []int
+	for j, node := range p.NodeOf {
+		if node == i {
+			ops = append(ops, j)
+		}
+	}
+	return ops
+}
+
+// Counts returns how many operators each node hosts.
+func (p *Plan) Counts() []int {
+	c := make([]int, p.N)
+	for _, i := range p.NodeOf {
+		c[i]++
+	}
+	return c
+}
+
+// Alloc returns the n×m 0/1 allocation matrix A.
+func (p *Plan) Alloc() *mat.Matrix {
+	a := mat.NewMatrix(p.N, len(p.NodeOf))
+	for j, i := range p.NodeOf {
+		a.Set(i, j, 1)
+	}
+	return a
+}
+
+// NodeCoef returns L^n = A·L^o: the per-node load coefficient matrix under
+// this plan.
+func (p *Plan) NodeCoef(lo *mat.Matrix) *mat.Matrix {
+	if lo.Rows != len(p.NodeOf) {
+		panic(fmt.Sprintf("placement: plan has %d operators, L^o has %d rows", len(p.NodeOf), lo.Rows))
+	}
+	ln := mat.NewMatrix(p.N, lo.Cols)
+	for j, i := range p.NodeOf {
+		ln.Row(i).AddInPlace(lo.Row(j))
+	}
+	return ln
+}
+
+// Clone returns a deep copy of the plan.
+func (p *Plan) Clone() *Plan {
+	cp := make([]int, len(p.NodeOf))
+	copy(cp, p.NodeOf)
+	return &Plan{NodeOf: cp, N: p.N}
+}
+
+// Equal reports whether two plans make identical assignments.
+func (p *Plan) Equal(q *Plan) bool {
+	if p.N != q.N || len(p.NodeOf) != len(q.NodeOf) {
+		return false
+	}
+	for j := range p.NodeOf {
+		if p.NodeOf[j] != q.NodeOf[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical relabels nodes in order of first use (restricted-growth form),
+// so plans identical up to a homogeneous-node permutation compare equal.
+func (p *Plan) Canonical() *Plan {
+	relabel := make([]int, p.N)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	next := 0
+	out := make([]int, len(p.NodeOf))
+	for j, i := range p.NodeOf {
+		if relabel[i] == -1 {
+			relabel[i] = next
+			next++
+		}
+		out[j] = relabel[i]
+	}
+	return &Plan{NodeOf: out, N: p.N}
+}
+
+// String renders the plan as node→operators groups.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i := 0; i < p.N; i++ {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "N%d:%v", i, p.OpsOn(i))
+	}
+	return b.String()
+}

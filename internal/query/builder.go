@@ -1,0 +1,146 @@
+package query
+
+import "fmt"
+
+// Builder assembles an acyclic query graph. Each operator constructor takes
+// the ids of already-created streams, so cycles are impossible by
+// construction. Names are optional ("" auto-generates one) and must be
+// unique when given.
+type Builder struct {
+	g     *Graph
+	names map[string]bool
+	err   error
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		g:     &Graph{consumers: map[StreamID][]OpID{}},
+		names: map[string]bool{},
+	}
+}
+
+// Input declares a system input stream and returns its id.
+func (b *Builder) Input(name string) StreamID {
+	id := b.newStream(name, -1)
+	b.g.inputs = append(b.g.inputs, id)
+	return id
+}
+
+// Filter adds a filter with the given per-tuple cost and selectivity.
+func (b *Builder) Filter(name string, cost, sel float64, in StreamID) StreamID {
+	return b.addOp(&Operator{Name: name, Kind: Filter, Cost: cost, Selectivity: sel, Inputs: []StreamID{in}})
+}
+
+// Map adds a map operator (selectivity 1).
+func (b *Builder) Map(name string, cost float64, in StreamID) StreamID {
+	return b.addOp(&Operator{Name: name, Kind: Map, Cost: cost, Selectivity: 1, Inputs: []StreamID{in}})
+}
+
+// Union merges two or more input streams (selectivity 1 per input tuple).
+func (b *Builder) Union(name string, cost float64, ins ...StreamID) StreamID {
+	inputs := make([]StreamID, len(ins))
+	copy(inputs, ins)
+	return b.addOp(&Operator{Name: name, Kind: Union, Cost: cost, Selectivity: 1, Inputs: inputs})
+}
+
+// Aggregate adds a time-window aggregate; sel is the ratio of emitted
+// aggregate tuples to input tuples.
+func (b *Builder) Aggregate(name string, cost, sel, window float64, in StreamID) StreamID {
+	return b.addOp(&Operator{Name: name, Kind: Aggregate, Cost: cost, Selectivity: sel, Window: window, Inputs: []StreamID{in}})
+}
+
+// Join adds a time-window join of two streams; cost and sel are per tuple
+// pair, window in seconds.
+func (b *Builder) Join(name string, cost, sel, window float64, left, right StreamID) StreamID {
+	return b.addOp(&Operator{Name: name, Kind: Join, Cost: cost, Selectivity: sel, Window: window, Inputs: []StreamID{left, right}})
+}
+
+// Delay adds the paper's configurable-cost instrumentation operator.
+func (b *Builder) Delay(name string, cost, sel float64, in StreamID) StreamID {
+	return b.addOp(&Operator{Name: name, Kind: Delay, Cost: cost, Selectivity: sel, Inputs: []StreamID{in}})
+}
+
+// AddOp adds a pre-filled operator (Inputs and scalar fields set; ID, Out
+// and name bookkeeping are filled in) and returns its output stream.
+func (b *Builder) AddOp(op *Operator) StreamID { return b.addOp(op) }
+
+// MarkVariableSelectivity flags the producer of stream s as having unstable
+// selectivity, forcing a linearization cut at s (Section 6.2).
+func (b *Builder) MarkVariableSelectivity(s StreamID) {
+	if b.err != nil {
+		return
+	}
+	st := b.g.streams[s]
+	if st.Input() {
+		b.err = fmt.Errorf("query: cannot mark input stream %q as variable-selectivity", st.Name)
+		return
+	}
+	b.g.ops[st.Producer].VariableSelectivity = true
+}
+
+// SetXferCost sets the per-tuple network transfer CPU cost of stream s
+// (Section 6.3 clustering input).
+func (b *Builder) SetXferCost(s StreamID, cost float64) {
+	if b.err == nil {
+		b.g.streams[s].XferCost = cost
+	}
+}
+
+// Build validates and returns the graph. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build for tests and examples with known-good graphs.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (b *Builder) addOp(op *Operator) StreamID {
+	if b.err != nil {
+		return -1
+	}
+	for _, in := range op.Inputs {
+		if int(in) < 0 || int(in) >= len(b.g.streams) {
+			b.err = fmt.Errorf("query: operator %q uses undefined stream %d", op.Name, in)
+			return -1
+		}
+	}
+	op.ID = OpID(len(b.g.ops))
+	if op.Name == "" {
+		op.Name = fmt.Sprintf("%s%d", op.Kind, op.ID)
+	}
+	if b.names[op.Name] {
+		b.err = fmt.Errorf("query: duplicate operator name %q", op.Name)
+		return -1
+	}
+	b.names[op.Name] = true
+	out := b.newStream(op.Name+".out", op.ID)
+	op.Out = out
+	b.g.ops = append(b.g.ops, op)
+	for _, in := range op.Inputs {
+		b.g.consumers[in] = append(b.g.consumers[in], op.ID)
+	}
+	return out
+}
+
+func (b *Builder) newStream(name string, producer OpID) StreamID {
+	id := StreamID(len(b.g.streams))
+	if name == "" {
+		name = fmt.Sprintf("s%d", id)
+	}
+	b.g.streams = append(b.g.streams, &Stream{ID: id, Name: name, Producer: producer})
+	return id
+}

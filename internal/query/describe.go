@@ -1,0 +1,84 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a human-readable summary of a graph: inputs, operators
+// in topological order with their parameters and wiring, and sinks — the
+// view the command-line tools print for inspection.
+func Describe(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d operators, %d inputs, %d streams\n",
+		g.NumOps(), g.NumInputs(), g.NumStreams())
+	for _, in := range g.Inputs() {
+		s := g.Stream(in)
+		consumers := consumerNames(g, in)
+		fmt.Fprintf(&b, "  input %-16s -> %s\n", s.Name, consumers)
+	}
+	for _, id := range g.TopoOrder() {
+		op := g.Op(id)
+		var parts []string
+		parts = append(parts, fmt.Sprintf("cost=%g", op.Cost))
+		parts = append(parts, fmt.Sprintf("sel=%g", op.Selectivity))
+		if op.Window > 0 {
+			parts = append(parts, fmt.Sprintf("win=%gs", op.Window))
+		}
+		if op.VariableSelectivity {
+			parts = append(parts, "var-sel")
+		}
+		if x := g.Stream(op.Out).XferCost; x > 0 {
+			parts = append(parts, fmt.Sprintf("xfer=%g", x))
+		}
+		dest := consumerNames(g, op.Out)
+		fmt.Fprintf(&b, "  %-9s %-16s (%s) -> %s\n",
+			op.Kind.String(), op.Name, strings.Join(parts, " "), dest)
+	}
+	return b.String()
+}
+
+func consumerNames(g *Graph, sid StreamID) string {
+	consumers := g.Consumers(sid)
+	if len(consumers) == 0 {
+		return "[sink]"
+	}
+	names := make([]string, len(consumers))
+	for i, c := range consumers {
+		names[i] = g.Op(c).Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// DescribeLoadModel renders the linearized load model: each variable with
+// its total coefficient, and each operator's coefficient row.
+func DescribeLoadModel(lm *LoadModel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load model: %d variables (%d linearization cuts)\n", lm.D(), lm.NumCuts())
+	sums := lm.CoefSums()
+	for k, v := range lm.Vars {
+		kind := "input"
+		if v.Cut {
+			kind = "cut"
+		}
+		fmt.Fprintf(&b, "  x%d = rate(%s) [%s], total coefficient l_%d = %.6g\n",
+			k, v.Name, kind, k, sums[k])
+	}
+	for j := 0; j < lm.Coef.Rows; j++ {
+		fmt.Fprintf(&b, "  load(%s) = %s\n", lm.G.Op(OpID(j)).Name, linearForm(lm.Coef.Row(j)))
+	}
+	return b.String()
+}
+
+func linearForm(row []float64) string {
+	var terms []string
+	for k, c := range row {
+		if c != 0 {
+			terms = append(terms, fmt.Sprintf("%.6g·x%d", c, k))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}

@@ -1,0 +1,73 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	b := NewBuilder()
+	i1 := b.Input("pkts")
+	i2 := b.Input("conns")
+	f := b.Filter("f", 0.001, 0.5, i1)
+	b.SetXferCost(f, 0.002)
+	j := b.Join("j", 0.0001, 0.01, 2.0, f, i2)
+	b.Map("m", 0.0005, j)
+	g := b.MustBuild()
+
+	out := Describe(g)
+	for _, want := range []string{
+		"3 operators", "2 inputs",
+		"input pkts", "input conns",
+		"filter", "join", "map",
+		"win=2s", "xfer=0.002",
+		"[sink]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeVariableSelectivity(t *testing.T) {
+	b := NewBuilder()
+	in := b.Input("I")
+	s := b.Filter("f", 0.001, 0.5, in)
+	b.MarkVariableSelectivity(s)
+	b.Map("m", 0.001, s)
+	g := b.MustBuild()
+	if !strings.Contains(Describe(g), "var-sel") {
+		t.Fatal("variable selectivity not surfaced")
+	}
+}
+
+func TestDescribeLoadModel(t *testing.T) {
+	b := NewBuilder()
+	i1 := b.Input("a")
+	i2 := b.Input("b")
+	f := b.Filter("f", 2, 0.5, i1)
+	b.Join("j", 1, 0.1, 1, f, i2)
+	g := b.MustBuild()
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DescribeLoadModel(lm)
+	for _, want := range []string{
+		"linearization cuts",
+		"rate(a) [input]",
+		"[cut]",
+		"load(f) = 2·x0",
+		"load(j) = 10·x", // cost/sel = 10 on the cut variable
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DescribeLoadModel missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinearFormZeroRow(t *testing.T) {
+	if got := linearForm([]float64{0, 0}); got != "0" {
+		t.Fatalf("zero row = %q", got)
+	}
+}

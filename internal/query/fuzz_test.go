@@ -1,0 +1,35 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON ensures graph-spec parsing never panics and that every graph
+// it accepts is valid and survives a serialization round trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"inputs":[{"name":"a"}],"operators":[{"name":"m","kind":"map","cost":1,"selectivity":1,"inputs":["a"]}]}`)
+	f.Add(`{"inputs":[{"name":"a"},{"name":"b"}],"operators":[{"name":"j","kind":"join","cost":1,"selectivity":0.1,"window":2,"inputs":["a","b"]}]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteJSON(&sb, g); err != nil {
+			t.Fatalf("serializing accepted graph: %v", err)
+		}
+		g2, err := ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumOps() != g.NumOps() || g2.NumInputs() != g.NumInputs() {
+			t.Fatal("round trip changed the graph shape")
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package query models data-flow continuous-query graphs — the task unit of
+// the paper — and derives their (linearized) load model: the operator load
+// coefficient matrix L^o whose row j gives the load of operator o_j as a
+// linear function of the system input stream rates (plus any variables
+// introduced by the Section 6.2 linearization of nonlinear operators).
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the operator types the paper discusses. Filter, Map,
+// Union, Aggregate and Delay have linear load (load = cost × input rate,
+// output rate = selectivity × input rate); Join is the canonical nonlinear
+// operator (load = cost × window × r_u × r_v) and triggers a linearization
+// cut.
+type Kind int
+
+const (
+	// Filter passes a tuple with probability Selectivity (cost per tuple).
+	Filter Kind = iota
+	// Map transforms every tuple (selectivity is usually 1).
+	Map
+	// Union merges its input streams; output rate is the sum of inputs.
+	Union
+	// Aggregate computes time-window aggregates; Selectivity is the ratio of
+	// emitted aggregates to input tuples (e.g. 1/windowTuples).
+	Aggregate
+	// Join is a time-window-based join over exactly two inputs. Its load is
+	// Cost × Window × r_left × r_right; Selectivity is per tuple pair.
+	Join
+	// Delay is the paper's instrumentation operator: an operator whose
+	// per-tuple cost and selectivity are directly configurable (Section 7.1).
+	Delay
+)
+
+// String returns the lower-case operator kind name.
+func (k Kind) String() string {
+	switch k {
+	case Filter:
+		return "filter"
+	case Map:
+		return "map"
+	case Union:
+		return "union"
+	case Aggregate:
+		return "aggregate"
+	case Join:
+		return "join"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// OpID identifies an operator within a Graph (dense, 0-based).
+type OpID int
+
+// StreamID identifies a stream within a Graph (dense, 0-based).
+type StreamID int
+
+// Operator is a continuous-query operator: the minimum allocation unit.
+type Operator struct {
+	ID   OpID
+	Name string
+	Kind Kind
+
+	// Cost is the CPU time (seconds of a capacity-1 node) to process one
+	// input tuple; for Join it is the cost per tuple *pair*.
+	Cost float64
+
+	// Selectivity is the ratio of output rate to total input rate; for Join
+	// it is per tuple pair.
+	Selectivity float64
+
+	// Window is the time window in seconds (Join and Aggregate only).
+	Window float64
+
+	// VariableSelectivity marks an operator whose selectivity is not stable,
+	// forcing a linearization cut at its output (Section 6.2, Example 3's o1).
+	VariableSelectivity bool
+
+	Inputs []StreamID
+	Out    StreamID
+}
+
+// Nonlinear reports whether this operator's load cannot be written as a
+// linear function of its input rates (and thus requires a cut variable).
+func (o *Operator) Nonlinear() bool { return o.Kind == Join }
+
+// Stream is a directed arc carrying tuples from one producer (a system input
+// or an operator) to any number of consumer operators.
+type Stream struct {
+	ID   StreamID
+	Name string
+
+	// Producer is the operator producing this stream, or -1 for a system
+	// input stream.
+	Producer OpID
+
+	// XferCost is the per-tuple CPU overhead of shipping this stream across
+	// a node boundary (Section 6.3 operator clustering); zero by default.
+	XferCost float64
+}
+
+// Input reports whether the stream is a system input (pushed from an
+// external data source).
+func (s *Stream) Input() bool { return s.Producer < 0 }
+
+// Graph is an acyclic data-flow query graph.
+type Graph struct {
+	ops       []*Operator
+	streams   []*Stream
+	consumers map[StreamID][]OpID
+	inputs    []StreamID // system input streams, in creation order
+}
+
+// NumOps returns the number of operators m.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumStreams returns the number of streams.
+func (g *Graph) NumStreams() int { return len(g.streams) }
+
+// NumInputs returns the number of system input streams d (before
+// linearization adds cut variables).
+func (g *Graph) NumInputs() int { return len(g.inputs) }
+
+// Op returns the operator with the given id.
+func (g *Graph) Op(id OpID) *Operator { return g.ops[id] }
+
+// Ops returns the operator slice (shared; callers must not mutate).
+func (g *Graph) Ops() []*Operator { return g.ops }
+
+// Stream returns the stream with the given id.
+func (g *Graph) Stream(id StreamID) *Stream { return g.streams[id] }
+
+// Streams returns the stream slice (shared; callers must not mutate).
+func (g *Graph) Streams() []*Stream { return g.streams }
+
+// Inputs returns the system input streams in creation order.
+func (g *Graph) Inputs() []StreamID {
+	out := make([]StreamID, len(g.inputs))
+	copy(out, g.inputs)
+	return out
+}
+
+// Consumers returns the operators reading the given stream.
+func (g *Graph) Consumers(id StreamID) []OpID {
+	out := make([]OpID, len(g.consumers[id]))
+	copy(out, g.consumers[id])
+	return out
+}
+
+// Sinks returns the streams with no consumers (application outputs).
+func (g *Graph) Sinks() []StreamID {
+	var out []StreamID
+	for _, s := range g.streams {
+		if len(g.consumers[s.ID]) == 0 {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the operators in a topological order of the data flow
+// (every operator appears after the producers of all its inputs). The graph
+// is acyclic by construction, so this always succeeds.
+func (g *Graph) TopoOrder() []OpID {
+	order := make([]OpID, 0, len(g.ops))
+	done := make([]bool, len(g.ops))
+	// Kahn's algorithm over operator dependencies.
+	indeg := make([]int, len(g.ops))
+	for _, o := range g.ops {
+		for _, in := range o.Inputs {
+			if !g.streams[in].Input() {
+				indeg[o.ID]++
+			}
+		}
+	}
+	queue := make([]OpID, 0, len(g.ops))
+	for _, o := range g.ops {
+		if indeg[o.ID] == 0 {
+			queue = append(queue, o.ID)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if done[id] {
+			continue
+		}
+		done[id] = true
+		order = append(order, id)
+		for _, c := range g.consumers[g.ops[id].Out] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return order
+}
+
+// Arc is a producer→consumer operator pair connected by a stream; system
+// input arcs (no producer operator) are not Arcs.
+type Arc struct {
+	From, To OpID
+	Stream   StreamID
+}
+
+// Arcs returns every operator-to-operator arc in the graph, ordered by
+// (From, To).
+func (g *Graph) Arcs() []Arc {
+	var arcs []Arc
+	for _, s := range g.streams {
+		if s.Input() {
+			continue
+		}
+		for _, c := range g.consumers[s.ID] {
+			arcs = append(arcs, Arc{From: s.Producer, To: c, Stream: s.ID})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	return arcs
+}
+
+// Connected reports whether operators a and b share a stream (either
+// direction).
+func (g *Graph) Connected(a, b OpID) bool {
+	oa, ob := g.ops[a], g.ops[b]
+	for _, in := range ob.Inputs {
+		if !g.streams[in].Input() && g.streams[in].Producer == a {
+			return true
+		}
+	}
+	for _, in := range oa.Inputs {
+		if !g.streams[in].Input() && g.streams[in].Producer == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: every operator has at least one
+// input, joins have exactly two, selectivities and costs are non-negative,
+// every input stream id is in range, and the flow is acyclic (guaranteed by
+// the builder, but re-checked for graphs assembled from specs).
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("query: graph has no operators")
+	}
+	if len(g.inputs) == 0 {
+		return fmt.Errorf("query: graph has no system input streams")
+	}
+	for _, o := range g.ops {
+		if len(o.Inputs) == 0 {
+			return fmt.Errorf("query: operator %q has no inputs", o.Name)
+		}
+		if o.Kind == Join && len(o.Inputs) != 2 {
+			return fmt.Errorf("query: join %q must have exactly 2 inputs, has %d", o.Name, len(o.Inputs))
+		}
+		if o.Kind != Union && o.Kind != Join && len(o.Inputs) != 1 {
+			return fmt.Errorf("query: %s %q must have exactly 1 input, has %d", o.Kind, o.Name, len(o.Inputs))
+		}
+		if o.Cost < 0 {
+			return fmt.Errorf("query: operator %q has negative cost %g", o.Name, o.Cost)
+		}
+		if o.Selectivity < 0 {
+			return fmt.Errorf("query: operator %q has negative selectivity %g", o.Name, o.Selectivity)
+		}
+		if o.Kind == Join && o.Selectivity <= 0 {
+			return fmt.Errorf("query: join %q needs positive selectivity for linearization", o.Name)
+		}
+		if o.Kind == Join && o.Window <= 0 {
+			return fmt.Errorf("query: join %q needs a positive window", o.Name)
+		}
+		for _, in := range o.Inputs {
+			if int(in) < 0 || int(in) >= len(g.streams) {
+				return fmt.Errorf("query: operator %q references unknown stream %d", o.Name, in)
+			}
+		}
+		if int(o.Out) < 0 || int(o.Out) >= len(g.streams) {
+			return fmt.Errorf("query: operator %q has unknown output stream %d", o.Name, o.Out)
+		}
+		if g.streams[o.Out].Producer != o.ID {
+			return fmt.Errorf("query: output stream of %q does not point back at it", o.Name)
+		}
+	}
+	if got := len(g.TopoOrder()); got != len(g.ops) {
+		return fmt.Errorf("query: graph is cyclic (topological order covers %d of %d operators)", got, len(g.ops))
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fig4 builds the paper's Figure 4 example graph:
+// I1 → o1 → o2, I2 → o3 → o4.
+func fig4(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	i1 := b.Input("I1")
+	i2 := b.Input("I2")
+	s1 := b.Delay("o1", 4, 1, i1)
+	b.Delay("o2", 6, 1, s1)
+	s3 := b.Delay("o3", 9, 0.5, i2)
+	b.Delay("o4", 4, 1, s3)
+	return b.MustBuild()
+}
+
+func TestFig4Structure(t *testing.T) {
+	g := fig4(t)
+	if g.NumOps() != 4 {
+		t.Fatalf("NumOps = %d", g.NumOps())
+	}
+	if g.NumInputs() != 2 {
+		t.Fatalf("NumInputs = %d", g.NumInputs())
+	}
+	if g.NumStreams() != 6 {
+		t.Fatalf("NumStreams = %d", g.NumStreams())
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 2 {
+		t.Fatalf("Sinks = %v", sinks)
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	g := fig4(t)
+	order := g.TopoOrder()
+	if len(order) != 4 {
+		t.Fatalf("topo order covers %d ops", len(order))
+	}
+	pos := map[OpID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, op := range g.Ops() {
+		for _, in := range op.Inputs {
+			if g.Stream(in).Input() {
+				continue
+			}
+			if pos[g.Stream(in).Producer] >= pos[op.ID] {
+				t.Fatalf("producer of %s not before it in topo order", op.Name)
+			}
+		}
+	}
+}
+
+func TestArcsAndConnected(t *testing.T) {
+	g := fig4(t)
+	arcs := g.Arcs()
+	if len(arcs) != 2 {
+		t.Fatalf("Arcs = %v", arcs)
+	}
+	if !g.Connected(0, 1) || !g.Connected(1, 0) {
+		t.Fatal("o1 and o2 should be connected")
+	}
+	if g.Connected(0, 2) {
+		t.Fatal("o1 and o3 should not be connected")
+	}
+}
+
+func TestConsumersFanOut(t *testing.T) {
+	b := NewBuilder()
+	in := b.Input("I")
+	s := b.Map("m", 1, in)
+	b.Filter("f1", 1, 0.5, s)
+	b.Filter("f2", 1, 0.5, s)
+	b.Filter("f3", 1, 0.5, s)
+	g := b.MustBuild()
+	if got := len(g.Consumers(s)); got != 3 {
+		t.Fatalf("Consumers = %d, want 3 (fan-out)", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate name", func(t *testing.T) {
+		b := NewBuilder()
+		in := b.Input("I")
+		b.Map("m", 1, in)
+		b.Map("m", 1, in)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected duplicate-name error")
+		}
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		b := NewBuilder()
+		b.Input("I")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected no-operator error")
+		}
+	})
+	t.Run("undefined stream", func(t *testing.T) {
+		b := NewBuilder()
+		b.Input("I")
+		b.Map("m", 1, StreamID(99))
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected undefined-stream error")
+		}
+	})
+	t.Run("join window required", func(t *testing.T) {
+		b := NewBuilder()
+		i1, i2 := b.Input("a"), b.Input("b")
+		b.Join("j", 1, 0.1, 0, i1, i2)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected join-window error")
+		}
+	})
+	t.Run("join selectivity required", func(t *testing.T) {
+		b := NewBuilder()
+		i1, i2 := b.Input("a"), b.Input("b")
+		b.Join("j", 1, 0, 1, i1, i2)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected join-selectivity error")
+		}
+	})
+	t.Run("negative cost", func(t *testing.T) {
+		b := NewBuilder()
+		in := b.Input("I")
+		b.Map("m", -1, in)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected negative-cost error")
+		}
+	})
+	t.Run("mark input as variable selectivity", func(t *testing.T) {
+		b := NewBuilder()
+		in := b.Input("I")
+		b.MarkVariableSelectivity(in)
+		b.Map("m", 1, in)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error marking an input stream")
+		}
+	})
+}
+
+func TestKindString(t *testing.T) {
+	want := []string{"filter", "map", "union", "aggregate", "join", "delay"}
+	for k := Filter; k <= Delay; k++ {
+		if k.String() != want[int(k)] {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want[int(k)])
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatal("unknown kind should render its number")
+	}
+	for _, name := range want {
+		k, err := ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Fatalf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind should reject unknown names")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	i1 := b.Input("pkts")
+	i2 := b.Input("conns")
+	f := b.Filter("f", 0.001, 0.5, i1)
+	m := b.Map("m", 0.0005, f)
+	j := b.Join("j", 0.0001, 0.01, 2.0, m, i2)
+	b.SetXferCost(j, 0.0002)
+	u := b.Union("u", 0.0001, j, f)
+	b.Aggregate("agg", 0.002, 0.1, 5.0, u)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.NumOps() != g.NumOps() || g2.NumInputs() != g.NumInputs() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			g2.NumOps(), g2.NumInputs(), g.NumOps(), g.NumInputs())
+	}
+	// Load models must be identical.
+	lm1, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm2, err := BuildLoadModel(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lm1.Coef.Equal(lm2.Coef, 1e-12) {
+		t.Fatalf("round trip changed load model:\n%v\nvs\n%v", lm1.Coef, lm2.Coef)
+	}
+	// Xfer cost must survive.
+	var found bool
+	for _, s := range g2.Streams() {
+		if s.XferCost == 0.0002 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("xfer cost lost in round trip")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"inputs":[{"name":"a"}],"operators":[{"name":"x","kind":"nope","cost":1,"selectivity":1,"inputs":["a"]}]}`)); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"inputs":[{"name":"a"}],"operators":[{"name":"x","kind":"map","cost":1,"selectivity":1,"inputs":["missing"]}]}`)); err == nil {
+		t.Fatal("expected missing-input error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"inputs":[{"name":"a"},{"name":"a"}],"operators":[]}`)); err == nil {
+		t.Fatal("expected duplicate-input error")
+	}
+}
+
+// randomTree builds a random linear operator tree for property tests.
+func randomTree(rng *rand.Rand, inputs, ops int) *Graph {
+	b := NewBuilder()
+	var streams []StreamID
+	for i := 0; i < inputs; i++ {
+		streams = append(streams, b.Input(""))
+	}
+	for i := 0; i < ops; i++ {
+		in := streams[rng.Intn(len(streams))]
+		out := b.Delay("", 0.0001+rng.Float64()*0.0009, 0.5+rng.Float64()*0.5, in)
+		streams = append(streams, out)
+	}
+	return b.MustBuild()
+}
+
+func TestValidateCatchesCycles(t *testing.T) {
+	// Assemble a cyclic graph by hand (the builder cannot produce one).
+	g := &Graph{consumers: map[StreamID][]OpID{}}
+	g.streams = []*Stream{
+		{ID: 0, Name: "in", Producer: -1},
+		{ID: 1, Name: "a.out", Producer: 0},
+		{ID: 2, Name: "b.out", Producer: 1},
+	}
+	g.inputs = []StreamID{0}
+	g.ops = []*Operator{
+		{ID: 0, Name: "a", Kind: Union, Cost: 1, Selectivity: 1, Inputs: []StreamID{0, 2}, Out: 1},
+		{ID: 1, Name: "b", Kind: Map, Cost: 1, Selectivity: 1, Inputs: []StreamID{1}, Out: 2},
+	}
+	g.consumers[0] = []OpID{0}
+	g.consumers[2] = []OpID{0}
+	g.consumers[1] = []OpID{1}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("Validate = %v, want cyclic error", err)
+	}
+}

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+
+	"rodsp/internal/mat"
+)
+
+// Variable is one dimension of the (linearized) load model. The first
+// NumInputs variables are the system input stream rates; any further
+// variables are cut streams introduced by the Section 6.2 linearization
+// (outputs of joins and of variable-selectivity operators).
+type Variable struct {
+	Name   string
+	Stream StreamID
+	// Cut is true for linearization variables (not system inputs).
+	Cut bool
+}
+
+// LoadModel is the linear(ized) load model of a query graph: the load of
+// every operator is a linear function of the model variables,
+// load(o_j) = Σ_k Coef[j][k] · x_k.
+type LoadModel struct {
+	G    *Graph
+	Vars []Variable
+
+	// Coef is the m×d operator load coefficient matrix L^o.
+	Coef *mat.Matrix
+
+	// Rate maps every stream to its rate expressed as a linear combination
+	// of the model variables.
+	Rate map[StreamID]mat.Vec
+}
+
+// BuildLoadModel derives the linearized load model of g. Operators are
+// processed in topological order propagating symbolic rate vectors; every
+// nonlinear operator (Join) and every variable-selectivity operator cuts the
+// graph by introducing its output rate as a fresh variable, exactly as in
+// the paper's Example 3. The join's own load becomes (cost·window / (sel·window)) =
+// (cost/sel) times its output-rate variable.
+func BuildLoadModel(g *Graph) (*LoadModel, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: fix the variable set so vector dimensions are known.
+	var vars []Variable
+	varOfStream := map[StreamID]int{}
+	for _, in := range g.Inputs() {
+		varOfStream[in] = len(vars)
+		vars = append(vars, Variable{Name: g.Stream(in).Name, Stream: in})
+	}
+	order := g.TopoOrder()
+	for _, id := range order {
+		op := g.Op(id)
+		if op.Nonlinear() || op.VariableSelectivity {
+			varOfStream[op.Out] = len(vars)
+			vars = append(vars, Variable{Name: g.Stream(op.Out).Name, Stream: op.Out, Cut: true})
+		}
+	}
+	d := len(vars)
+
+	// Pass 2: propagate rate vectors and fill the coefficient matrix.
+	lm := &LoadModel{
+		G:    g,
+		Vars: vars,
+		Coef: mat.NewMatrix(g.NumOps(), d),
+		Rate: make(map[StreamID]mat.Vec, g.NumStreams()),
+	}
+	for sid, k := range varOfStream {
+		if !vars[k].Cut {
+			e := mat.NewVec(d)
+			e[k] = 1
+			lm.Rate[sid] = e
+		}
+	}
+	if err := propagate(lm, g, order, varOfStream, d); err != nil {
+		return nil, err
+	}
+
+	// Drop variables no operator loads against (e.g. an input stream feeding
+	// only joins: after the cut, all of its load is carried by the join's
+	// output variable). The feasible set is a cylinder along such axes —
+	// they cannot constrain any node — so the model projects them out.
+	sums := lm.Coef.ColSums()
+	keep := make([]int, 0, d)
+	for k, s := range sums {
+		if s > 0 {
+			keep = append(keep, k)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("query: every variable has zero load (all operator costs zero?)")
+	}
+	if len(keep) < d {
+		lm = projectVars(lm, keep)
+	}
+	return lm, nil
+}
+
+// propagate fills the coefficient matrix and stream-rate expressions by
+// walking operators in topological order.
+func propagate(lm *LoadModel, g *Graph, order []OpID, varOfStream map[StreamID]int, d int) error {
+	for _, id := range order {
+		op := g.Op(id)
+		row := lm.Coef.Row(int(id))
+		switch {
+		case op.Nonlinear():
+			// load = cost·window·r_u·r_v = (cost/sel)·r_out; r_out is the cut
+			// variable (output rate = sel·window·r_u·r_v).
+			k := varOfStream[op.Out]
+			row[k] = op.Cost / op.Selectivity
+			e := mat.NewVec(d)
+			e[k] = 1
+			lm.Rate[op.Out] = e
+		case op.VariableSelectivity:
+			in, err := totalInputRate(lm, op)
+			if err != nil {
+				return err
+			}
+			row.AddScaled(op.Cost, in)
+			k := varOfStream[op.Out]
+			e := mat.NewVec(d)
+			e[k] = 1
+			lm.Rate[op.Out] = e
+		default:
+			in, err := totalInputRate(lm, op)
+			if err != nil {
+				return err
+			}
+			row.AddScaled(op.Cost, in)
+			lm.Rate[op.Out] = in.Scale(op.Selectivity)
+		}
+	}
+	return nil
+}
+
+// projectVars rebuilds the model keeping only the listed variable indices.
+func projectVars(lm *LoadModel, keep []int) *LoadModel {
+	out := &LoadModel{
+		G:    lm.G,
+		Vars: make([]Variable, len(keep)),
+		Coef: mat.NewMatrix(lm.Coef.Rows, len(keep)),
+		Rate: make(map[StreamID]mat.Vec, len(lm.Rate)),
+	}
+	for nk, ok := range keep {
+		out.Vars[nk] = lm.Vars[ok]
+	}
+	for j := 0; j < lm.Coef.Rows; j++ {
+		src := lm.Coef.Row(j)
+		dst := out.Coef.Row(j)
+		for nk, ok := range keep {
+			dst[nk] = src[ok]
+		}
+	}
+	for sid, r := range lm.Rate {
+		nr := mat.NewVec(len(keep))
+		for nk, ok := range keep {
+			nr[nk] = r[ok]
+		}
+		out.Rate[sid] = nr
+	}
+	return out
+}
+
+func totalInputRate(lm *LoadModel, op *Operator) (mat.Vec, error) {
+	total := mat.NewVec(len(lm.Vars))
+	for _, in := range op.Inputs {
+		r, ok := lm.Rate[in]
+		if !ok {
+			return nil, fmt.Errorf("query: stream %d rate unknown when processing %q (topological order broken)", in, op.Name)
+		}
+		total.AddInPlace(r)
+	}
+	return total, nil
+}
+
+// D returns the number of model variables.
+func (lm *LoadModel) D() int { return len(lm.Vars) }
+
+// NumCuts returns how many linearization variables the model needed.
+func (lm *LoadModel) NumCuts() int {
+	n := 0
+	for _, v := range lm.Vars {
+		if v.Cut {
+			n++
+		}
+	}
+	return n
+}
+
+// CoefSums returns l_k = Σ_j l^o_jk, the total load coefficient of each
+// variable across all operators.
+func (lm *LoadModel) CoefSums() mat.Vec { return lm.Coef.ColSums() }
+
+// Loads evaluates every operator's load at variable point x (length D).
+func (lm *LoadModel) Loads(x mat.Vec) mat.Vec { return lm.Coef.MulVec(x) }
+
+// ResolveVars computes the concrete value of every model variable given the
+// system input stream rates, by resolving cut variables through the actual
+// nonlinear rate equations in topological order (join output =
+// sel·window·r_left·r_right; variable-selectivity output = sel·Σ inputs).
+// This is the bridge for validating the linearization: Loads(ResolveVars(R))
+// must equal the true nonlinear operator loads at R.
+func (lm *LoadModel) ResolveVars(inputRates mat.Vec) (mat.Vec, error) {
+	g := lm.G
+	inputs := g.Inputs()
+	if len(inputRates) != len(inputs) {
+		return nil, fmt.Errorf("query: ResolveVars got %d rates for %d inputs", len(inputRates), len(inputs))
+	}
+	rate := make(map[StreamID]float64, g.NumStreams())
+	for i, in := range inputs {
+		rate[in] = inputRates[i]
+	}
+	for _, id := range g.TopoOrder() {
+		op := g.Op(id)
+		switch {
+		case op.Nonlinear():
+			rate[op.Out] = op.Selectivity * op.Window * rate[op.Inputs[0]] * rate[op.Inputs[1]]
+		default:
+			var total float64
+			for _, in := range op.Inputs {
+				total += rate[in]
+			}
+			rate[op.Out] = op.Selectivity * total
+		}
+	}
+	x := mat.NewVec(lm.D())
+	for k, v := range lm.Vars {
+		x[k] = rate[v.Stream]
+	}
+	return x, nil
+}
+
+// ActualLoads computes the true (possibly nonlinear) load of every operator
+// at the given system input rates, independently of the linear model. Used
+// to cross-check the linearization.
+func (lm *LoadModel) ActualLoads(inputRates mat.Vec) (mat.Vec, error) {
+	g := lm.G
+	inputs := g.Inputs()
+	if len(inputRates) != len(inputs) {
+		return nil, fmt.Errorf("query: ActualLoads got %d rates for %d inputs", len(inputRates), len(inputs))
+	}
+	rate := make(map[StreamID]float64, g.NumStreams())
+	for i, in := range inputs {
+		rate[in] = inputRates[i]
+	}
+	loads := mat.NewVec(g.NumOps())
+	for _, id := range g.TopoOrder() {
+		op := g.Op(id)
+		switch {
+		case op.Nonlinear():
+			pairs := op.Window * rate[op.Inputs[0]] * rate[op.Inputs[1]]
+			loads[id] = op.Cost * pairs
+			rate[op.Out] = op.Selectivity * pairs
+		default:
+			var total float64
+			for _, in := range op.Inputs {
+				total += rate[in]
+			}
+			loads[id] = op.Cost * total
+			rate[op.Out] = op.Selectivity * total
+		}
+	}
+	return loads, nil
+}
+
+// Linear reports whether the model needed no cut variables (pure linear
+// graph: filters, maps, unions, aggregates, delays with stable selectivity).
+func (lm *LoadModel) Linear() bool { return lm.NumCuts() == 0 }

@@ -1,0 +1,261 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/mat"
+)
+
+// TestExample1LoadCoefficients reproduces the paper's Example 1/2: for the
+// Figure 4 graph with costs (4, 6, 9, 4) and selectivities s1=1, s3=0.5,
+// L^o must be [[4 0] [6 0] [0 9] [0 2]].
+func TestExample1LoadCoefficients(t *testing.T) {
+	g := fig4(t)
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MatrixOf(
+		[]float64{4, 0},
+		[]float64{6, 0},
+		[]float64{0, 9},
+		[]float64{0, 2},
+	)
+	if !lm.Coef.Equal(want, 1e-12) {
+		t.Fatalf("L^o =\n%v\nwant\n%v", lm.Coef, want)
+	}
+	if !lm.Linear() {
+		t.Fatal("Figure 4 graph is linear")
+	}
+	if got := lm.CoefSums(); !got.Equal(mat.VecOf(10, 11), 1e-12) {
+		t.Fatalf("l_k = %v, want [10 11]", got)
+	}
+}
+
+// TestExample3Linearization reproduces the paper's Example 3 (Figure 13):
+// o1 has variable selectivity (cut at r3), o5 is a join (cut at r4). The
+// model must have 4 variables and the join's load must be (c5/s5)·r4.
+func TestExample3Linearization(t *testing.T) {
+	b := NewBuilder()
+	r1 := b.Input("r1")
+	r2 := b.Input("r2")
+	s1 := b.Filter("o1", 1.0, 0.5, r1) // variable selectivity
+	b.MarkVariableSelectivity(s1)
+	s2 := b.Map("o2", 2.0, s1)
+	s3 := b.Filter("o3", 3.0, 0.8, r2)
+	s4 := b.Map("o4", 4.0, s3)
+	const c5, sel5, w5 = 5.0, 0.25, 2.0
+	s5 := b.Join("o5", c5, sel5, w5, s2, s4)
+	b.Map("o6", 6.0, s5)
+	g := b.MustBuild()
+
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.D() != 4 {
+		t.Fatalf("D = %d, want 4 (r1, r2, cut(o1.out), cut(o5.out))", lm.D())
+	}
+	if lm.NumCuts() != 2 {
+		t.Fatalf("NumCuts = %d, want 2", lm.NumCuts())
+	}
+	// Locate the variable indices.
+	varIdx := map[string]int{}
+	for k, v := range lm.Vars {
+		varIdx[v.Name] = k
+	}
+	kr1, kr2 := varIdx["r1"], varIdx["r2"]
+	k3, ok3 := varIdx["o1.out"]
+	k4, ok4 := varIdx["o5.out"]
+	if !ok3 || !ok4 {
+		t.Fatalf("cut variables missing: %v", lm.Vars)
+	}
+	// o1 loads against r1; o2 against the cut r3; o5 against the cut r4 with
+	// coefficient c5/s5; o6 against r4 with its own cost.
+	check := func(op int, k int, want float64) {
+		t.Helper()
+		if got := lm.Coef.At(op, k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Coef[o%d][var %d] = %g, want %g\n%v", op+1, k, got, want, lm.Coef)
+		}
+	}
+	check(0, kr1, 1.0)
+	check(1, k3, 2.0)
+	check(2, kr2, 3.0)
+	check(3, kr2, 4.0*0.8)
+	check(4, k4, c5/sel5)
+	check(5, k4, 6.0*1.0) // o6 sees o5's output stream rate = r4 directly
+
+	// Each row must have exactly one block of support; spot-check zeros.
+	if lm.Coef.At(4, kr1) != 0 || lm.Coef.At(4, kr2) != 0 {
+		t.Fatal("join load must not depend directly on system inputs after the cut")
+	}
+}
+
+// TestLinearizationConsistency is the core property of Section 6.2: for any
+// graph, evaluating the linear model at the resolved variable values must
+// equal the true nonlinear loads.
+func TestLinearizationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		g := randomMixedGraph(rng)
+		lm, err := BuildLoadModel(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := mat.NewVec(g.NumInputs())
+		for i := range rates {
+			rates[i] = rng.Float64() * 100
+		}
+		x, err := lm.ResolveVars(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linear := lm.Loads(x)
+		actual, err := lm.ActualLoads(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !linear.Equal(actual, 1e-6) {
+			t.Fatalf("trial %d: linearized loads %v != actual loads %v", trial, linear, actual)
+		}
+	}
+}
+
+// randomMixedGraph builds a random graph mixing linear operators, joins and
+// variable-selectivity operators.
+func randomMixedGraph(rng *rand.Rand) *Graph {
+	b := NewBuilder()
+	var streams []StreamID
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		streams = append(streams, b.Input(""))
+	}
+	nops := 3 + rng.Intn(12)
+	for i := 0; i < nops; i++ {
+		in := streams[rng.Intn(len(streams))]
+		cost := 0.0001 + rng.Float64()*0.001
+		var out StreamID
+		switch rng.Intn(6) {
+		case 0:
+			out = b.Filter("", cost, 0.2+rng.Float64()*0.8, in)
+		case 1:
+			out = b.Map("", cost, in)
+		case 2:
+			in2 := streams[rng.Intn(len(streams))]
+			out = b.Union("", cost, in, in2)
+		case 3:
+			out = b.Aggregate("", cost, 0.1+rng.Float64()*0.4, 1+rng.Float64()*5, in)
+		case 4:
+			in2 := streams[rng.Intn(len(streams))]
+			if in2 == in {
+				out = b.Map("", cost, in)
+			} else {
+				out = b.Join("", cost, 0.01+rng.Float64()*0.2, 0.5+rng.Float64()*2, in, in2)
+			}
+		default:
+			out = b.Filter("", cost, 0.2+rng.Float64()*0.8, in)
+			if rng.Intn(2) == 0 {
+				b.MarkVariableSelectivity(out)
+			}
+		}
+		streams = append(streams, out)
+	}
+	return b.MustBuild()
+}
+
+// An input stream consumed only by a join carries no load coefficient after
+// the linearization cut; the model must project that variable out (the
+// feasible set is a cylinder along it) while keeping resolution exact.
+func TestJoinOnlyInputProjectedOut(t *testing.T) {
+	b := NewBuilder()
+	l := b.Input("left")
+	r := b.Input("right") // feeds only the join
+	fl := b.Filter("fl", 0.001, 0.5, l)
+	j := b.Join("j", 0.0001, 0.1, 1.0, fl, r)
+	b.Map("m", 0.002, j)
+	g := b.MustBuild()
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variables: left + join cut. "right" must be gone.
+	if lm.D() != 2 {
+		t.Fatalf("D = %d, want 2 (left + cut), vars %v", lm.D(), lm.Vars)
+	}
+	for _, v := range lm.Vars {
+		if v.Name == "right" {
+			t.Fatal("zero-coefficient variable not projected out")
+		}
+	}
+	for k, s := range lm.CoefSums() {
+		if s <= 0 {
+			t.Fatalf("column %d sum %g after projection", k, s)
+		}
+	}
+	// Resolution and actual loads still agree (the dropped rate is consumed
+	// inside the nonlinear cut resolution).
+	rates := mat.VecOf(40, 25)
+	x, err := lm.ResolveVars(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := lm.Loads(x)
+	actual, err := lm.ActualLoads(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linear.Equal(actual, 1e-9) {
+		t.Fatalf("projection broke the linearization: %v vs %v", linear, actual)
+	}
+}
+
+func TestResolveVarsErrors(t *testing.T) {
+	g := fig4(t)
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm.ResolveVars(mat.VecOf(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := lm.ActualLoads(mat.VecOf(1, 2, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestLoadsOfRandomLinearTreeAreNonNegativeAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := randomTree(rng, 1+rng.Intn(4), 5+rng.Intn(20))
+		lm, err := BuildLoadModel(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := mat.NewVec(lm.D())
+		r2 := mat.NewVec(lm.D())
+		for i := range r1 {
+			r1[i] = rng.Float64() * 10
+			r2[i] = r1[i] * 2
+		}
+		l1, l2 := lm.Loads(r1), lm.Loads(r2)
+		for j := range l1 {
+			if l1[j] < 0 {
+				t.Fatalf("negative load %g", l1[j])
+			}
+			if l2[j] < l1[j]-1e-12 {
+				t.Fatal("loads must be monotone in rates")
+			}
+			if math.Abs(l2[j]-2*l1[j]) > 1e-9 {
+				t.Fatal("linear model must be homogeneous of degree 1")
+			}
+		}
+	}
+}
+
+func TestBuildLoadModelRejectsInvalidGraph(t *testing.T) {
+	g := &Graph{consumers: map[StreamID][]OpID{}}
+	if _, err := BuildLoadModel(g); err == nil {
+		t.Fatal("expected validation error for empty graph")
+	}
+}

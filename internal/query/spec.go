@@ -1,0 +1,132 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is the JSON-serializable form of a query graph, used by the command
+// line tools to load and store graphs.
+type Spec struct {
+	Inputs []InputSpec `json:"inputs"`
+	Ops    []OpSpec    `json:"operators"`
+}
+
+// InputSpec declares one system input stream.
+type InputSpec struct {
+	Name string `json:"name"`
+}
+
+// OpSpec declares one operator; inputs reference either input-stream names
+// or other operators' names (meaning that operator's output stream).
+type OpSpec struct {
+	Name                string   `json:"name"`
+	Kind                string   `json:"kind"`
+	Cost                float64  `json:"cost"`
+	Selectivity         float64  `json:"selectivity"`
+	Window              float64  `json:"window,omitempty"`
+	VariableSelectivity bool     `json:"variableSelectivity,omitempty"`
+	Inputs              []string `json:"inputs"`
+	XferCost            float64  `json:"xferCost,omitempty"`
+}
+
+// ParseKind converts a kind name to its Kind value.
+func ParseKind(s string) (Kind, error) {
+	for k := Filter; k <= Delay; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("query: unknown operator kind %q", s)
+}
+
+// FromSpec builds a validated graph from a spec.
+func FromSpec(spec *Spec) (*Graph, error) {
+	b := NewBuilder()
+	streams := map[string]StreamID{}
+	for _, in := range spec.Inputs {
+		if _, dup := streams[in.Name]; dup {
+			return nil, fmt.Errorf("query: duplicate input name %q", in.Name)
+		}
+		streams[in.Name] = b.Input(in.Name)
+	}
+	for _, os := range spec.Ops {
+		kind, err := ParseKind(os.Kind)
+		if err != nil {
+			return nil, err
+		}
+		ins := make([]StreamID, len(os.Inputs))
+		for i, name := range os.Inputs {
+			id, ok := streams[name]
+			if !ok {
+				return nil, fmt.Errorf("query: operator %q input %q not defined yet", os.Name, name)
+			}
+			ins[i] = id
+		}
+		out := b.AddOp(&Operator{
+			Name:                os.Name,
+			Kind:                kind,
+			Cost:                os.Cost,
+			Selectivity:         os.Selectivity,
+			Window:              os.Window,
+			VariableSelectivity: os.VariableSelectivity,
+			Inputs:              ins,
+		})
+		if out >= 0 {
+			if _, dup := streams[os.Name]; dup {
+				return nil, fmt.Errorf("query: operator name %q collides with an earlier name", os.Name)
+			}
+			streams[os.Name] = out
+			if os.XferCost > 0 {
+				b.SetXferCost(out, os.XferCost)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToSpec converts a graph back to its serializable form.
+func ToSpec(g *Graph) *Spec {
+	spec := &Spec{}
+	nameOfStream := map[StreamID]string{}
+	for _, in := range g.Inputs() {
+		name := g.Stream(in).Name
+		spec.Inputs = append(spec.Inputs, InputSpec{Name: name})
+		nameOfStream[in] = name
+	}
+	for _, id := range g.TopoOrder() {
+		op := g.Op(id)
+		nameOfStream[op.Out] = op.Name
+		os := OpSpec{
+			Name:                op.Name,
+			Kind:                op.Kind.String(),
+			Cost:                op.Cost,
+			Selectivity:         op.Selectivity,
+			Window:              op.Window,
+			VariableSelectivity: op.VariableSelectivity,
+			XferCost:            g.Stream(op.Out).XferCost,
+		}
+		for _, in := range op.Inputs {
+			os.Inputs = append(os.Inputs, nameOfStream[in])
+		}
+		spec.Ops = append(spec.Ops, os)
+	}
+	return spec
+}
+
+// ReadJSON parses a graph from JSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var spec Spec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("query: decoding graph spec: %w", err)
+	}
+	return FromSpec(&spec)
+}
+
+// WriteJSON serializes a graph as indented JSON.
+func WriteJSON(w io.Writer, g *Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToSpec(g))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import "sync"
+
+// OpSample is one trial-run observation for an operator: tuples consumed,
+// tuples produced, and CPU time spent.
+type OpSample struct {
+	In, Out int64
+	CPU     float64 // seconds
+}
+
+// CostEstimator accumulates per-operator trial-run samples and reports the
+// measured cost (CPU seconds per input tuple) and selectivity (output/input
+// ratio) — the Section 7.1 procedure of randomly distributing operators and
+// running "for a sufficiently long time to gather stable statistics". It is
+// safe for concurrent use (engine nodes report from their own goroutines).
+type CostEstimator struct {
+	mu  sync.Mutex
+	ops map[int]*opAccum
+}
+
+type opAccum struct {
+	in, out int64
+	cpu     float64
+	perT    Welford // per-sample cost, for confidence reporting
+}
+
+// NewCostEstimator returns an empty estimator.
+func NewCostEstimator() *CostEstimator {
+	return &CostEstimator{ops: map[int]*opAccum{}}
+}
+
+// Record folds one sample for the operator with the given id.
+func (e *CostEstimator) Record(op int, s OpSample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.ops[op]
+	if a == nil {
+		a = &opAccum{}
+		e.ops[op] = a
+	}
+	a.in += s.In
+	a.out += s.Out
+	a.cpu += s.CPU
+	if s.In > 0 {
+		a.perT.Add(s.CPU / float64(s.In))
+	}
+}
+
+// Cost returns the measured CPU seconds per input tuple, and whether any
+// tuples were observed.
+func (e *CostEstimator) Cost(op int) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.ops[op]
+	if a == nil || a.in == 0 {
+		return 0, false
+	}
+	return a.cpu / float64(a.in), true
+}
+
+// Selectivity returns the measured output/input ratio, and whether any
+// tuples were observed.
+func (e *CostEstimator) Selectivity(op int) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.ops[op]
+	if a == nil || a.in == 0 {
+		return 0, false
+	}
+	return float64(a.out) / float64(a.in), true
+}
+
+// Samples returns how many per-tuple cost samples were folded for op.
+func (e *CostEstimator) Samples(op int) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.ops[op]
+	if a == nil {
+		return 0
+	}
+	return a.perT.Count()
+}
+
+// CostStd returns the standard deviation of the per-sample cost estimates,
+// a stability signal for deciding when statistics have converged.
+func (e *CostEstimator) CostStd(op int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.ops[op]
+	if a == nil {
+		return 0
+	}
+	return a.perT.Std()
+}

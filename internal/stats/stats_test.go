@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Count() != 0 {
+		t.Fatal("empty accumulator must be zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g", w.Mean())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", w.Std())
+	}
+	if math.Abs(w.SampleVar()-32.0/7) > 1e-12 {
+		t.Fatalf("SampleVar = %g", w.SampleVar())
+	}
+	if math.Abs(w.CV()-0.4) > 1e-12 {
+		t.Fatalf("CV = %g", w.CV())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	if w.Var() != 0 || w.SampleVar() != 0 {
+		t.Fatal("variance with one sample must be 0")
+	}
+}
+
+func TestWelfordCVZeroMean(t *testing.T) {
+	var w Welford
+	w.Add(-1)
+	w.Add(1)
+	if w.CV() != 0 {
+		t.Fatal("CV with zero mean must be 0")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 10
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(5)
+	a.Merge(b)
+	if a.Mean() != 5 || a.Count() != 1 {
+		t.Fatal("merge into empty must copy")
+	}
+	var c Welford
+	a.Merge(c)
+	if a.Mean() != 5 || a.Count() != 1 {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) = 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if math.Abs(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})-2) > 1e-12 {
+		t.Fatal("Std wrong")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %g", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %g", got)
+	}
+	if got := Correlation(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant series correlation = %g", got)
+	}
+	if got := Correlation(nil, nil); got != 0 {
+		t.Fatalf("empty correlation = %g", got)
+	}
+}
+
+func TestCorrelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length-mismatch panic")
+		}
+	}()
+	Correlation([]float64{1}, []float64{1, 2})
+}
+
+func TestCovariance(t *testing.T) {
+	got := Covariance([]float64{1, 2, 3}, []float64{4, 6, 8})
+	// cov = mean((x-2)(y-6)) = ((-1)(-2) + 0 + (1)(2))/3 = 4/3.
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("Covariance = %g", got)
+	}
+	if Covariance(nil, nil) != 0 {
+		t.Fatal("empty covariance must be 0")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Period-2 alternating series has lag-1 autocorrelation -1, lag-2 +1.
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(xs, 1); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("lag-1 = %g", got)
+	}
+	if got := Autocorrelation(xs, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("lag-2 = %g", got)
+	}
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, 100) != 0 {
+		t.Fatal("degenerate lags must return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %g", got)
+	}
+	if got := Percentile(xs, 62.5); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("p62.5 = %g", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single element percentile = %g", got)
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Fatal("Percentile must not sort its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":  func() { Percentile(nil, 50) },
+		"p>100":  func() { Percentile([]float64{1}, 101) },
+		"p<0":    func() { Percentile([]float64{1}, -1) },
+		"qEmpty": func() { Quantiles(nil, 50) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantilesMatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	ps := []float64{0, 10, 50, 90, 99, 100}
+	qs := Quantiles(xs, ps...)
+	for i, p := range ps {
+		if math.Abs(qs[i]-Percentile(xs, p)) > 1e-12 {
+			t.Fatalf("Quantiles[%g] = %g, Percentile = %g", p, qs[i], Percentile(xs, p))
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 3, 5, 7, 9, 10, -5, 50} {
+		h.Add(x)
+	}
+	if h.Total != 9 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// -5 clamps to bin 0; 10 and 50 clamp to bin 4.
+	if h.Counts[0] != 3 { // 0, 1, -5
+		t.Fatalf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9, 10, 50
+		t.Fatalf("bin 4 = %d", h.Counts[4])
+	}
+	if math.Abs(h.Fraction(0)-3.0/9) > 1e-12 {
+		t.Fatalf("Fraction = %g", h.Fraction(0))
+	}
+	if NewHistogram(0, 1, 1).Fraction(0) != 0 {
+		t.Fatal("empty histogram fraction must be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid range")
+		}
+	}()
+	NewHistogram(1, 1, 5)
+}
+
+func TestCostEstimator(t *testing.T) {
+	e := NewCostEstimator()
+	if _, ok := e.Cost(0); ok {
+		t.Fatal("empty estimator must report no cost")
+	}
+	if _, ok := e.Selectivity(0); ok {
+		t.Fatal("empty estimator must report no selectivity")
+	}
+	e.Record(0, OpSample{In: 100, Out: 50, CPU: 0.2})
+	e.Record(0, OpSample{In: 300, Out: 150, CPU: 0.6})
+	c, ok := e.Cost(0)
+	if !ok || math.Abs(c-0.002) > 1e-12 {
+		t.Fatalf("Cost = %g, %v", c, ok)
+	}
+	s, ok := e.Selectivity(0)
+	if !ok || math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("Selectivity = %g, %v", s, ok)
+	}
+	if e.Samples(0) != 2 {
+		t.Fatalf("Samples = %d", e.Samples(0))
+	}
+	if e.Samples(99) != 0 || e.CostStd(99) != 0 {
+		t.Fatal("unknown op must report zeros")
+	}
+	if e.CostStd(0) != 0 {
+		t.Fatalf("equal per-tuple costs should give zero std, got %g", e.CostStd(0))
+	}
+	// Zero-input samples are CPU-only (e.g. a window flush with no arrivals).
+	e.Record(1, OpSample{In: 0, Out: 0, CPU: 0.1})
+	if _, ok := e.Cost(1); ok {
+		t.Fatal("op with no input tuples has no cost estimate")
+	}
+}
+
+func TestCostEstimatorConcurrent(t *testing.T) {
+	e := NewCostEstimator()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				e.Record(7, OpSample{In: 1, Out: 1, CPU: 0.001})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if e.Samples(7) != 8000 {
+		t.Fatalf("Samples = %d, want 8000", e.Samples(7))
+	}
+	c, _ := e.Cost(7)
+	if math.Abs(c-0.001) > 1e-12 {
+		t.Fatalf("Cost = %g", c)
+	}
+}

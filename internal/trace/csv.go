@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a trace as "time,rate" rows with a header.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "rate"}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i, r := range t.Rates {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*t.Dt, 'g', -1, 64),
+			strconv.FormatFloat(r, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a "time,rate" trace. The bin width is inferred from the
+// first two timestamps (1.0 for a single-row trace). A header row is
+// skipped if present.
+func ReadCSV(r io.Reader, name string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(recs) > 0 {
+		if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+			recs = recs[1:] // header
+		}
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: csv has no data rows")
+	}
+	times := make([]float64, len(recs))
+	rates := make([]float64, len(recs))
+	for i, rec := range recs {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 2", i, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d rate: %w", i, err)
+		}
+		times[i] = t
+		rates[i] = v
+	}
+	dt := 1.0
+	if len(times) > 1 {
+		dt = times[1] - times[0]
+		if dt <= 0 {
+			return nil, fmt.Errorf("trace: non-increasing timestamps (%g then %g)", times[0], times[1])
+		}
+	}
+	return New(name, dt, rates), nil
+}

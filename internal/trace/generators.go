@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PoissonConfig generates a stationary trace: each bin's rate is an
+// independent Poisson(mean·dt) count divided by dt — the short-range-
+// dependent null model the self-similar generators are contrasted with.
+type PoissonConfig struct {
+	Mean float64 // tuples/second
+	Dt   float64
+	Bins int
+	Seed int64
+}
+
+// Poisson generates the trace described by the config.
+func Poisson(cfg PoissonConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rates := make([]float64, cfg.Bins)
+	lam := cfg.Mean * cfg.Dt
+	for i := range rates {
+		rates[i] = float64(poissonSample(rng, lam)) / cfg.Dt
+	}
+	return New("poisson", cfg.Dt, rates)
+}
+
+// poissonSample draws a Poisson variate; it uses Knuth's product method for
+// small λ and a normal approximation for large λ.
+func poissonSample(rng *rand.Rand, lam float64) int64 {
+	if lam <= 0 {
+		return 0
+	}
+	if lam > 64 {
+		x := math.Round(lam + math.Sqrt(lam)*rng.NormFloat64())
+		if x < 0 {
+			return 0
+		}
+		return int64(x)
+	}
+	l := math.Exp(-lam)
+	var k int64
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ParetoOnOffConfig superposes N independent ON/OFF sources whose sojourn
+// times are Pareto-distributed with shape 1 < α < 2; the aggregate is
+// long-range dependent with Hurst H = (3−α)/2 (Willinger et al.) — the
+// standard construction of self-similar network traffic.
+type ParetoOnOffConfig struct {
+	Sources  int
+	OnAlpha  float64 // Pareto shape of ON periods (1,2)
+	OffAlpha float64 // Pareto shape of OFF periods (1,2)
+	MeanOn   float64 // mean ON duration, seconds
+	MeanOff  float64 // mean OFF duration, seconds
+	PeakRate float64 // tuples/second while a source is ON
+	Dt       float64
+	Bins     int
+	Seed     int64
+}
+
+// ParetoOnOff generates the aggregate trace of the configured sources.
+func ParetoOnOff(cfg ParetoOnOffConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rates := make([]float64, cfg.Bins)
+	horizon := float64(cfg.Bins) * cfg.Dt
+	xmOn := paretoScale(cfg.OnAlpha, cfg.MeanOn)
+	xmOff := paretoScale(cfg.OffAlpha, cfg.MeanOff)
+	for s := 0; s < cfg.Sources; s++ {
+		// Random initial phase: start OFF for a uniform fraction of an OFF
+		// period so sources are desynchronized.
+		t := -rng.Float64() * cfg.MeanOff
+		on := rng.Intn(2) == 0
+		for t < horizon {
+			var dur float64
+			if on {
+				dur = paretoSample(rng, cfg.OnAlpha, xmOn)
+				addInterval(rates, cfg.Dt, t, t+dur, cfg.PeakRate)
+			} else {
+				dur = paretoSample(rng, cfg.OffAlpha, xmOff)
+			}
+			t += dur
+			on = !on
+		}
+	}
+	return New("pareto-onoff", cfg.Dt, rates)
+}
+
+// paretoScale returns the scale xm giving the requested mean for shape α>1.
+func paretoScale(alpha, mean float64) float64 {
+	return mean * (alpha - 1) / alpha
+}
+
+// paretoSample draws from Pareto(α, xm) by inversion.
+func paretoSample(rng *rand.Rand, alpha, xm float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// addInterval adds rate to every bin overlapped by [a,b), proportionally to
+// the overlap.
+func addInterval(rates []float64, dt, a, b, rate float64) {
+	if b <= 0 {
+		return
+	}
+	if a < 0 {
+		a = 0
+	}
+	lo := int(a / dt)
+	hi := int(b / dt)
+	for i := lo; i <= hi && i < len(rates); i++ {
+		binA := float64(i) * dt
+		binB := binA + dt
+		overlap := math.Min(b, binB) - math.Max(a, binA)
+		if overlap > 0 {
+			rates[i] += rate * overlap / dt
+		}
+	}
+}
+
+// BModelConfig drives the b-model (binomial multiplicative cascade): the
+// total volume is split recursively with bias b, producing the multifractal
+// burstiness observed in wide-area traffic (Wang et al., "data traffic as
+// cascades").
+type BModelConfig struct {
+	Bias   float64 // in (0.5, 1): larger is burstier
+	Levels int     // trace has 2^Levels bins
+	Total  float64 // total volume (tuples) spread over the trace
+	Dt     float64
+	Seed   int64
+}
+
+// BModel generates the cascade trace.
+func BModel(cfg BModelConfig) *Trace {
+	if cfg.Bias <= 0 || cfg.Bias >= 1 {
+		panic(fmt.Sprintf("trace: b-model bias %g outside (0,1)", cfg.Bias))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 1 << cfg.Levels
+	rates := make([]float64, n)
+	var split func(lo, hi int, volume float64)
+	split = func(lo, hi int, volume float64) {
+		if hi-lo == 1 {
+			rates[lo] = volume / cfg.Dt
+			return
+		}
+		mid := (lo + hi) / 2
+		left := volume * cfg.Bias
+		if rng.Intn(2) == 0 {
+			left = volume * (1 - cfg.Bias)
+		}
+		split(lo, mid, left)
+		split(mid, hi, volume-left)
+	}
+	split(0, n, cfg.Total)
+	return New("bmodel", cfg.Dt, rates)
+}
+
+// DiurnalConfig shapes a sinusoidal daily profile with multiplicative
+// noise — the paper's medium/long-term variation (stock-market close,
+// temperature cycles).
+type DiurnalConfig struct {
+	Mean   float64
+	Swing  float64 // peak deviation as a fraction of Mean (0..1)
+	Period float64 // seconds per cycle
+	Noise  float64 // multiplicative noise std
+	Dt     float64
+	Bins   int
+	Seed   int64
+}
+
+// Diurnal generates the shaped trace.
+func Diurnal(cfg DiurnalConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rates := make([]float64, cfg.Bins)
+	for i := range rates {
+		t := float64(i) * cfg.Dt
+		base := cfg.Mean * (1 + cfg.Swing*math.Sin(2*math.Pi*t/cfg.Period))
+		r := base * (1 + cfg.Noise*rng.NormFloat64())
+		if r < 0 {
+			r = 0
+		}
+		rates[i] = r
+	}
+	return New("diurnal", cfg.Dt, rates)
+}
+
+// SpikesConfig injects flash-crowd spikes: events arriving as a Poisson
+// process, each multiplying the rate by Amplitude with exponential decay.
+type SpikesConfig struct {
+	EventsPerHour float64
+	Amplitude     float64 // peak multiplier added at the spike (e.g. 3 = 4x)
+	DecaySeconds  float64
+	Seed          int64
+}
+
+// WithSpikes returns a copy of t with flash-crowd spikes layered on.
+func WithSpikes(t *Trace, cfg SpikesConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := t.Clone()
+	c.Name = t.Name + "+spikes"
+	horizon := t.Duration()
+	// Draw event times by exponential inter-arrivals.
+	meanGap := 3600 / cfg.EventsPerHour
+	for x := rng.ExpFloat64() * meanGap; x < horizon; x += rng.ExpFloat64() * meanGap {
+		for i := range c.Rates {
+			bt := float64(i) * t.Dt
+			if bt < x {
+				continue
+			}
+			boost := cfg.Amplitude * math.Exp(-(bt-x)/cfg.DecaySeconds)
+			c.Rates[i] *= 1 + boost
+		}
+	}
+	return c
+}
+
+// Mix returns the bin-wise weighted sum of traces (all must share Dt and
+// length), used to compose e.g. cascade burstiness over a diurnal shape.
+func Mix(name string, weights []float64, traces ...*Trace) (*Trace, error) {
+	if len(weights) != len(traces) || len(traces) == 0 {
+		return nil, fmt.Errorf("trace: Mix needs matching non-empty weights and traces")
+	}
+	n := traces[0].Len()
+	dt := traces[0].Dt
+	for _, tr := range traces[1:] {
+		if tr.Len() != n || tr.Dt != dt {
+			return nil, fmt.Errorf("trace: Mix shape mismatch (%d@%g vs %d@%g)", tr.Len(), tr.Dt, n, dt)
+		}
+	}
+	rates := make([]float64, n)
+	for i := range rates {
+		for j, tr := range traces {
+			rates[i] += weights[j] * tr.Rates[i]
+		}
+	}
+	return New(name, dt, rates), nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+// Presets standing in for the paper's three Internet Traffic Archive traces
+// (Figure 2). Each is normalized to mean 1 so callers scale it to whatever
+// mean rate an experiment needs. The three differ in burstiness the same
+// way the paper's figure shows: PKT is the tamest, TCP intermediate, HTTP
+// the spikiest. All are self-similar (Hurst well above 0.5).
+
+// PKT approximates a wide-area packet trace: dense aggregate of many
+// sources, moderate variability.
+func PKT(seed int64) *Trace {
+	t := ParetoOnOff(ParetoOnOffConfig{
+		Sources:  60,
+		OnAlpha:  1.4,
+		OffAlpha: 1.6,
+		MeanOn:   2.0,
+		MeanOff:  6.0,
+		PeakRate: 1,
+		Dt:       1,
+		Bins:     4096,
+		Seed:     seed,
+	})
+	t.Name = "PKT"
+	return t.Normalized()
+}
+
+// TCP approximates a wide-area TCP connection-arrival trace: fewer, heavier
+// sources, noticeably burstier.
+func TCP(seed int64) *Trace {
+	t := ParetoOnOff(ParetoOnOffConfig{
+		Sources:  18,
+		OnAlpha:  1.3,
+		OffAlpha: 1.5,
+		MeanOn:   1.5,
+		MeanOff:  9.0,
+		PeakRate: 1,
+		Dt:       1,
+		Bins:     4096,
+		Seed:     seed + 1,
+	})
+	t.Name = "TCP"
+	return t.Normalized()
+}
+
+// HTTP approximates an HTTP request trace: multifractal cascade burstiness
+// with flash-crowd spikes — the most variable of the three.
+func HTTP(seed int64) *Trace {
+	base := BModel(BModelConfig{
+		Bias:   0.58,
+		Levels: 12,
+		Total:  4096,
+		Dt:     1,
+		Seed:   seed + 2,
+	})
+	t := WithSpikes(base, SpikesConfig{
+		EventsPerHour: 6,
+		Amplitude:     1.2,
+		DecaySeconds:  60,
+		Seed:          seed + 3,
+	})
+	t.Name = "HTTP"
+	return t.Normalized()
+}
+
+// Presets returns the three named traces with a common seed.
+func Presets(seed int64) []*Trace {
+	return []*Trace{PKT(seed), TCP(seed), HTTP(seed)}
+}

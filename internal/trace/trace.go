@@ -1,0 +1,201 @@
+// Package trace builds and analyzes the input-rate time series that drive
+// every experiment. The paper uses three real traces from the Internet
+// Traffic Archive — a wide-area packet trace (PKT), a TCP connection trace
+// (TCP) and an HTTP request trace (HTTP) — which are not redistributable
+// here, so this package provides synthetic equivalents with the properties
+// the experiments actually depend on: burstiness at all time scales
+// (self-similarity via superposed Pareto ON/OFF sources and b-model
+// cascades), diurnal patterns, and flash-crowd spikes (Section 1's
+// medium/long-term variations).
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/stats"
+)
+
+// Trace is a rate time series: Rates[i] is the average arrival rate
+// (tuples/second) during bin i of width Dt seconds.
+type Trace struct {
+	Name  string
+	Dt    float64
+	Rates []float64
+}
+
+// New returns a named trace over the given bins.
+func New(name string, dt float64, rates []float64) *Trace {
+	return &Trace{Name: name, Dt: dt, Rates: rates}
+}
+
+// Len returns the number of bins.
+func (t *Trace) Len() int { return len(t.Rates) }
+
+// Duration returns the covered time span in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Rates)) * t.Dt }
+
+// RateAt returns the rate at absolute time x (clamping to the edges).
+func (t *Trace) RateAt(x float64) float64 {
+	if len(t.Rates) == 0 {
+		return 0
+	}
+	i := int(x / t.Dt)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.Rates) {
+		i = len(t.Rates) - 1
+	}
+	return t.Rates[i]
+}
+
+// Mean returns the average rate.
+func (t *Trace) Mean() float64 { return stats.Mean(t.Rates) }
+
+// Std returns the population standard deviation of the rate.
+func (t *Trace) Std() float64 { return stats.Std(t.Rates) }
+
+// CV returns the coefficient of variation (std of the normalized rate —
+// the quantity Figure 2 annotates).
+func (t *Trace) CV() float64 {
+	m := t.Mean()
+	if m == 0 {
+		return 0
+	}
+	return t.Std() / m
+}
+
+// Clone returns a deep copy.
+func (t *Trace) Clone() *Trace {
+	r := make([]float64, len(t.Rates))
+	copy(r, t.Rates)
+	return &Trace{Name: t.Name, Dt: t.Dt, Rates: r}
+}
+
+// Normalized returns a copy scaled to mean 1 (Figure 2's "normalized
+// stream rates"). A zero-mean trace is returned unchanged.
+func (t *Trace) Normalized() *Trace {
+	c := t.Clone()
+	m := t.Mean()
+	if m == 0 {
+		return c
+	}
+	for i := range c.Rates {
+		c.Rates[i] /= m
+	}
+	return c
+}
+
+// ScaleToMean returns a copy rescaled to the target mean rate.
+func (t *Trace) ScaleToMean(mean float64) *Trace {
+	c := t.Normalized()
+	for i := range c.Rates {
+		c.Rates[i] *= mean
+	}
+	return c
+}
+
+// Aggregate returns the trace re-binned at k× coarser resolution (used to
+// study variability across time scales; self-similar traffic keeps a high
+// CV as k grows).
+func (t *Trace) Aggregate(k int) *Trace {
+	if k <= 1 {
+		return t.Clone()
+	}
+	n := len(t.Rates) / k
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < k; j++ {
+			s += t.Rates[i*k+j]
+		}
+		out[i] = s / float64(k)
+	}
+	return &Trace{Name: fmt.Sprintf("%s/agg%d", t.Name, k), Dt: t.Dt * float64(k), Rates: out}
+}
+
+// Max returns the peak rate.
+func (t *Trace) Max() float64 {
+	m := 0.0
+	for _, r := range t.Rates {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// PeakToMean returns the peak-to-mean ratio, a burstiness summary.
+func (t *Trace) PeakToMean() float64 {
+	m := t.Mean()
+	if m == 0 {
+		return 0
+	}
+	return t.Max() / m
+}
+
+// Hurst estimates the Hurst exponent by rescaled-range (R/S) analysis:
+// slope of log(R/S) against log(window) over power-of-two windows. Values
+// near 0.5 indicate short-range dependence; self-similar traffic sits
+// noticeably above 0.5.
+func (t *Trace) Hurst() float64 {
+	n := len(t.Rates)
+	if n < 16 {
+		return math.NaN()
+	}
+	var logN, logRS []float64
+	for w := 8; w <= n/2; w *= 2 {
+		var rsSum float64
+		var count int
+		for start := 0; start+w <= n; start += w {
+			rs := rescaledRange(t.Rates[start : start+w])
+			if !math.IsNaN(rs) && rs > 0 {
+				rsSum += rs
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		logN = append(logN, math.Log(float64(w)))
+		logRS = append(logRS, math.Log(rsSum/float64(count)))
+	}
+	if len(logN) < 2 {
+		return math.NaN()
+	}
+	return slope(logN, logRS)
+}
+
+func rescaledRange(xs []float64) float64 {
+	m := stats.Mean(xs)
+	var cum, minC, maxC float64
+	for _, x := range xs {
+		cum += x - m
+		if cum < minC {
+			minC = cum
+		}
+		if cum > maxC {
+			maxC = cum
+		}
+	}
+	s := stats.Std(xs)
+	if s == 0 {
+		return math.NaN()
+	}
+	return (maxC - minC) / s
+}
+
+// slope returns the least-squares slope of ys against xs.
+func slope(xs, ys []float64) float64 {
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := New("x", 0.5, []float64{2, 4, 6})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Duration() != 1.5 {
+		t.Fatalf("Duration = %g", tr.Duration())
+	}
+	if tr.Mean() != 4 {
+		t.Fatalf("Mean = %g", tr.Mean())
+	}
+	if tr.Max() != 6 {
+		t.Fatalf("Max = %g", tr.Max())
+	}
+	if math.Abs(tr.PeakToMean()-1.5) > 1e-12 {
+		t.Fatalf("PeakToMean = %g", tr.PeakToMean())
+	}
+	if got := tr.RateAt(0.6); got != 4 {
+		t.Fatalf("RateAt(0.6) = %g", got)
+	}
+	if got := tr.RateAt(-1); got != 2 {
+		t.Fatalf("RateAt(-1) = %g (clamp)", got)
+	}
+	if got := tr.RateAt(99); got != 6 {
+		t.Fatalf("RateAt(99) = %g (clamp)", got)
+	}
+	if got := (&Trace{}).RateAt(0); got != 0 {
+		t.Fatalf("empty RateAt = %g", got)
+	}
+}
+
+func TestNormalizedAndScale(t *testing.T) {
+	tr := New("x", 1, []float64{2, 4, 6})
+	n := tr.Normalized()
+	if math.Abs(n.Mean()-1) > 1e-12 {
+		t.Fatalf("normalized mean = %g", n.Mean())
+	}
+	if tr.Rates[0] != 2 {
+		t.Fatal("Normalized must not mutate the original")
+	}
+	s := tr.ScaleToMean(10)
+	if math.Abs(s.Mean()-10) > 1e-12 {
+		t.Fatalf("scaled mean = %g", s.Mean())
+	}
+	// CV is scale-invariant.
+	if math.Abs(s.CV()-tr.CV()) > 1e-12 {
+		t.Fatal("CV must be scale invariant")
+	}
+	zero := New("z", 1, []float64{0, 0})
+	if zero.Normalized().Mean() != 0 || zero.CV() != 0 || zero.PeakToMean() != 0 {
+		t.Fatal("zero trace handling wrong")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tr := New("x", 1, []float64{1, 3, 5, 7, 9, 11})
+	a := tr.Aggregate(2)
+	if a.Len() != 3 || a.Dt != 2 {
+		t.Fatalf("aggregate shape %d@%g", a.Len(), a.Dt)
+	}
+	if a.Rates[0] != 2 || a.Rates[2] != 10 {
+		t.Fatalf("aggregate rates %v", a.Rates)
+	}
+	// Mean is preserved.
+	if math.Abs(a.Mean()-tr.Mean()) > 1e-12 {
+		t.Fatal("aggregation must preserve the mean")
+	}
+	if got := tr.Aggregate(1); got.Len() != tr.Len() {
+		t.Fatal("Aggregate(1) must be a clone")
+	}
+}
+
+func TestPoissonTrace(t *testing.T) {
+	tr := Poisson(PoissonConfig{Mean: 100, Dt: 1, Bins: 2000, Seed: 1})
+	if math.Abs(tr.Mean()-100) > 3 {
+		t.Fatalf("poisson mean = %g, want ~100", tr.Mean())
+	}
+	// CV of Poisson(100) bins ≈ 1/sqrt(100) = 0.1.
+	if tr.CV() < 0.05 || tr.CV() > 0.2 {
+		t.Fatalf("poisson CV = %g, want ~0.1", tr.CV())
+	}
+	// Determinism.
+	tr2 := Poisson(PoissonConfig{Mean: 100, Dt: 1, Bins: 2000, Seed: 1})
+	for i := range tr.Rates {
+		if tr.Rates[i] != tr2.Rates[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+}
+
+func TestPoissonSmallAndZeroLambda(t *testing.T) {
+	tr := Poisson(PoissonConfig{Mean: 0, Dt: 1, Bins: 10, Seed: 1})
+	for _, r := range tr.Rates {
+		if r != 0 {
+			t.Fatal("zero-mean poisson must be all zero")
+		}
+	}
+	tr = Poisson(PoissonConfig{Mean: 2, Dt: 1, Bins: 5000, Seed: 2})
+	if math.Abs(tr.Mean()-2) > 0.2 {
+		t.Fatalf("small-lambda mean = %g", tr.Mean())
+	}
+}
+
+func TestParetoOnOffSelfSimilar(t *testing.T) {
+	tr := ParetoOnOff(ParetoOnOffConfig{
+		Sources: 30, OnAlpha: 1.4, OffAlpha: 1.5,
+		MeanOn: 2, MeanOff: 6, PeakRate: 1,
+		Dt: 1, Bins: 4096, Seed: 7,
+	})
+	if tr.Mean() <= 0 {
+		t.Fatal("aggregate must be positive")
+	}
+	h := tr.Hurst()
+	if math.IsNaN(h) || h < 0.55 {
+		t.Fatalf("Hurst = %g, want > 0.55 (self-similar)", h)
+	}
+	// Aggregated self-similar traffic keeps substantial variability.
+	cv1 := tr.CV()
+	cv16 := tr.Aggregate(16).CV()
+	if cv16 < cv1/6 {
+		t.Fatalf("CV collapsed under aggregation: %g -> %g (not self-similar)", cv1, cv16)
+	}
+}
+
+func TestPoissonSmoothsUnderAggregationButParetoDoesNot(t *testing.T) {
+	pois := Poisson(PoissonConfig{Mean: 30, Dt: 1, Bins: 4096, Seed: 3})
+	pareto := ParetoOnOff(ParetoOnOffConfig{
+		Sources: 30, OnAlpha: 1.3, OffAlpha: 1.5,
+		MeanOn: 2, MeanOff: 6, PeakRate: 1,
+		Dt: 1, Bins: 4096, Seed: 3,
+	})
+	pRatio := pois.Aggregate(64).CV() / pois.CV()
+	sRatio := pareto.Aggregate(64).CV() / pareto.CV()
+	if sRatio <= pRatio {
+		t.Fatalf("self-similar trace should retain more CV under aggregation: pareto %g vs poisson %g", sRatio, pRatio)
+	}
+}
+
+func TestBModel(t *testing.T) {
+	tr := BModel(BModelConfig{Bias: 0.7, Levels: 10, Total: 1024, Dt: 1, Seed: 5})
+	if tr.Len() != 1024 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Volume is conserved exactly by the cascade.
+	var sum float64
+	for _, r := range tr.Rates {
+		sum += r * tr.Dt
+	}
+	if math.Abs(sum-1024) > 1e-6 {
+		t.Fatalf("cascade lost volume: %g", sum)
+	}
+	// Bias 0.5 is flat; higher bias is burstier.
+	flat := BModel(BModelConfig{Bias: 0.500001, Levels: 10, Total: 1024, Dt: 1, Seed: 5})
+	if tr.CV() <= flat.CV() {
+		t.Fatalf("bias 0.7 CV %g should exceed bias 0.5 CV %g", tr.CV(), flat.CV())
+	}
+}
+
+func TestBModelPanicsOnBadBias(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BModel(BModelConfig{Bias: 1.5, Levels: 4, Total: 1, Dt: 1})
+}
+
+func TestDiurnal(t *testing.T) {
+	tr := Diurnal(DiurnalConfig{Mean: 100, Swing: 0.5, Period: 256, Noise: 0, Dt: 1, Bins: 1024, Seed: 1})
+	if math.Abs(tr.Mean()-100) > 1 {
+		t.Fatalf("diurnal mean = %g", tr.Mean())
+	}
+	if tr.Max() < 145 || tr.Max() > 155 {
+		t.Fatalf("diurnal peak = %g, want ~150", tr.Max())
+	}
+	for _, r := range tr.Rates {
+		if r < 0 {
+			t.Fatal("rates must be non-negative")
+		}
+	}
+}
+
+func TestWithSpikes(t *testing.T) {
+	base := Diurnal(DiurnalConfig{Mean: 10, Swing: 0, Period: 100, Noise: 0, Dt: 1, Bins: 3600, Seed: 1})
+	sp := WithSpikes(base, SpikesConfig{EventsPerHour: 10, Amplitude: 3, DecaySeconds: 30, Seed: 2})
+	if sp.Max() <= base.Max() {
+		t.Fatal("spikes must raise the peak")
+	}
+	if sp.Mean() <= base.Mean() {
+		t.Fatal("spikes must raise the mean")
+	}
+	if base.Rates[0] != 10 {
+		t.Fatal("WithSpikes must not mutate its input")
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := New("a", 1, []float64{1, 2})
+	b := New("b", 1, []float64{10, 20})
+	m, err := Mix("m", []float64{1, 0.5}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates[0] != 6 || m.Rates[1] != 12 {
+		t.Fatalf("Mix = %v", m.Rates)
+	}
+	if _, err := Mix("m", []float64{1}, a, b); err == nil {
+		t.Fatal("weight mismatch must error")
+	}
+	c := New("c", 2, []float64{1, 2})
+	if _, err := Mix("m", []float64{1, 1}, a, c); err == nil {
+		t.Fatal("dt mismatch must error")
+	}
+	if _, err := Mix("m", nil); err == nil {
+		t.Fatal("empty mix must error")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets(42)
+	if len(ps) != 3 {
+		t.Fatalf("Presets = %d traces", len(ps))
+	}
+	names := map[string]bool{}
+	for _, tr := range ps {
+		names[tr.Name] = true
+		if math.Abs(tr.Mean()-1) > 1e-9 {
+			t.Fatalf("%s mean = %g, want 1 (normalized)", tr.Name, tr.Mean())
+		}
+		if tr.CV() < 0.15 {
+			t.Fatalf("%s CV = %g, too smooth to exercise resiliency", tr.Name, tr.CV())
+		}
+		h := tr.Hurst()
+		if math.IsNaN(h) || h < 0.5 {
+			t.Fatalf("%s Hurst = %g, want >= 0.5", tr.Name, h)
+		}
+	}
+	for _, n := range []string{"PKT", "TCP", "HTTP"} {
+		if !names[n] {
+			t.Fatalf("missing preset %s", n)
+		}
+	}
+	// HTTP is the burstiest of the three, as in Figure 2.
+	if !(ps[2].CV() > ps[0].CV()) {
+		t.Fatalf("HTTP CV %g should exceed PKT CV %g", ps[2].CV(), ps[0].CV())
+	}
+}
+
+func TestHurstShortSeries(t *testing.T) {
+	if !math.IsNaN(New("x", 1, []float64{1, 2, 3}).Hurst()) {
+		t.Fatal("too-short series must give NaN")
+	}
+	// A constant series has zero std everywhere -> NaN.
+	c := make([]float64, 256)
+	for i := range c {
+		c[i] = 5
+	}
+	if !math.IsNaN(New("c", 1, c).Hurst()) {
+		t.Fatal("constant series must give NaN Hurst")
+	}
+}
+
+// Property: ScaleToMean hits the requested mean exactly and Aggregate
+// preserves the mean, for arbitrary positive rate vectors.
+func TestScaleAggregateQuickProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8, target float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + int(nRaw%64)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = rng.Float64() * 100
+		}
+		rates[0] += 0.1 // ensure non-zero mean
+		tr := New("q", 1, rates)
+		if target < 0 {
+			target = -target
+		}
+		target = math.Mod(target, 1000) + 0.01
+		scaled := tr.ScaleToMean(target)
+		if math.Abs(scaled.Mean()-target) > 1e-9*math.Max(1, target) {
+			return false
+		}
+		agg := tr.Aggregate(4)
+		if agg.Len() == 0 {
+			return true
+		}
+		// Aggregate's mean equals the mean of the bins it covered.
+		covered := tr.Rates[:agg.Len()*4]
+		var s float64
+		for _, x := range covered {
+			s += x
+		}
+		return math.Abs(agg.Mean()-s/float64(len(covered))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New("x", 0.5, []float64{1.5, 2.25, 0})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dt != 0.5 || back.Len() != 3 {
+		t.Fatalf("round trip shape %d@%g", back.Len(), back.Dt)
+	}
+	for i := range tr.Rates {
+		if back.Rates[i] != tr.Rates[i] {
+			t.Fatalf("round trip rates %v vs %v", back.Rates, tr.Rates)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "time,rate\n",
+		"short row":      "0\n",
+		"bad rate":       "0,x\n",
+		"bad time order": "5,1\n3,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "t"); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	// Headerless input is accepted.
+	tr, err := ReadCSV(strings.NewReader("0,1\n1,2\n"), "t")
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("headerless read failed: %v", err)
+	}
+	// Bad time in a data row.
+	if _, err := ReadCSV(strings.NewReader("time,rate\nx,1\n"), "t"); err == nil {
+		t.Fatal("bad time must error")
+	}
+}
+
+func TestSingleRowCSVDefaultsDt(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,42\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dt != 1 || tr.Rates[0] != 42 {
+		t.Fatalf("single row trace %v@%g", tr.Rates, tr.Dt)
+	}
+}

@@ -1,0 +1,274 @@
+// Package workload generates the query graphs the experiments run on: the
+// paper's random operator trees (Section 7.1), the aggregation-heavy
+// traffic-monitoring queries, the wide compliance-rule graphs the paper's
+// financial-services discussion motivates (Section 7.3.1), and join-bearing
+// graphs for the nonlinear experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+// TreeConfig drives the random operator-tree generator of Section 7.1:
+// one tree per input stream, each tree node spawning one to three
+// downstream operators with equal probability; delay-operator costs uniform
+// in [0.1 ms, 1 ms]; half the selectivities are 1, the rest uniform in
+// [0.5, 1].
+type TreeConfig struct {
+	Streams      int
+	OpsPerStream int
+	Seed         int64
+}
+
+// RandomTrees generates the workload graph.
+func RandomTrees(cfg TreeConfig) (*query.Graph, error) {
+	if cfg.Streams <= 0 || cfg.OpsPerStream <= 0 {
+		return nil, fmt.Errorf("workload: need positive streams (%d) and ops per stream (%d)", cfg.Streams, cfg.OpsPerStream)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := query.NewBuilder()
+	for s := 0; s < cfg.Streams; s++ {
+		in := b.Input(fmt.Sprintf("I%d", s))
+		frontier := []query.StreamID{in}
+		budget := cfg.OpsPerStream
+		for budget > 0 {
+			cur := frontier[0]
+			frontier = frontier[1:]
+			children := 1 + rng.Intn(3)
+			if children > budget {
+				children = budget
+			}
+			for c := 0; c < children; c++ {
+				out := b.Delay("", delayCost(rng), delaySelectivity(rng), cur)
+				frontier = append(frontier, out)
+				budget--
+			}
+			if len(frontier) == 0 { // cannot happen, but keep the loop safe
+				break
+			}
+		}
+	}
+	return b.Build()
+}
+
+// delayCost draws the Section 7.1 per-tuple cost: uniform 0.1 ms to 1 ms.
+func delayCost(rng *rand.Rand) float64 { return 0.0001 + rng.Float64()*0.0009 }
+
+// delaySelectivity draws the Section 7.1 selectivity: half are exactly 1,
+// the rest uniform in [0.5, 1).
+func delaySelectivity(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return 1
+	}
+	return 0.5 + rng.Float64()*0.5
+}
+
+// MonitoringConfig shapes the aggregation-heavy traffic-monitoring workload
+// the paper evaluates on (Section 7): per input stream a filter→map→window
+// aggregate chain, unioned across streams into shared report aggregates.
+type MonitoringConfig struct {
+	Streams int
+	Seed    int64
+}
+
+// TrafficMonitoring builds the monitoring graph.
+func TrafficMonitoring(cfg MonitoringConfig) (*query.Graph, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("workload: need positive streams, got %d", cfg.Streams)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := query.NewBuilder()
+	var perStream []query.StreamID
+	for s := 0; s < cfg.Streams; s++ {
+		in := b.Input(fmt.Sprintf("link%d", s))
+		f := b.Filter(fmt.Sprintf("valid%d", s), 0.0002+rng.Float64()*0.0002, 0.7+rng.Float64()*0.25, in)
+		m := b.Map(fmt.Sprintf("extract%d", s), 0.0003+rng.Float64()*0.0003, f)
+		// Per-link 5-second counters.
+		agg := b.Aggregate(fmt.Sprintf("cnt%d", s), 0.0004+rng.Float64()*0.0004, 0.05+rng.Float64()*0.1, 5, m)
+		// Heavy-hitter detector branch per link.
+		hh := b.Filter(fmt.Sprintf("hh%d", s), 0.0002+rng.Float64()*0.0002, 0.05+rng.Float64()*0.1, m)
+		b.Map(fmt.Sprintf("alert%d", s), 0.0002, hh)
+		perStream = append(perStream, agg)
+	}
+	// Global roll-up: union the per-link counters, then a 60s aggregate and
+	// a top-talkers filter.
+	u := b.Union("merge", 0.0001, perStream...)
+	roll := b.Aggregate("rollup", 0.0008, 0.2, 60, u)
+	top := b.Filter("top", 0.0002, 0.3, roll)
+	b.Map("report", 0.0002, top)
+	return b.Build()
+}
+
+// ComplianceConfig shapes the wide compliance-rule workload: shared
+// preprocessing per input feeding many narrow rule pipelines (the paper's
+// "25 operators for 3 compliance rules" proof-of-concept scaled up).
+type ComplianceConfig struct {
+	Streams int
+	Rules   int
+	Seed    int64
+}
+
+// Compliance builds the rule graph.
+func Compliance(cfg ComplianceConfig) (*query.Graph, error) {
+	if cfg.Streams <= 0 || cfg.Rules <= 0 {
+		return nil, fmt.Errorf("workload: need positive streams (%d) and rules (%d)", cfg.Streams, cfg.Rules)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := query.NewBuilder()
+	// Shared sub-expressions: normalize + enrich per input stream.
+	shared := make([]query.StreamID, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		in := b.Input(fmt.Sprintf("orders%d", s))
+		norm := b.Map(fmt.Sprintf("normalize%d", s), 0.0004, in)
+		shared[s] = b.Map(fmt.Sprintf("enrich%d", s), 0.0005, norm)
+	}
+	// Each rule: filter on one shared feed, window-aggregate, threshold.
+	for r := 0; r < cfg.Rules; r++ {
+		src := shared[rng.Intn(len(shared))]
+		f := b.Filter(fmt.Sprintf("rule%d.match", r), 0.0002+rng.Float64()*0.0004, 0.1+rng.Float64()*0.5, src)
+		a := b.Aggregate(fmt.Sprintf("rule%d.window", r), 0.0003+rng.Float64()*0.0005, 0.1+rng.Float64()*0.3, 10, f)
+		b.Filter(fmt.Sprintf("rule%d.breach", r), 0.0002, 0.05+rng.Float64()*0.2, a)
+	}
+	return b.Build()
+}
+
+// JoinConfig shapes the nonlinear workload: pairs of filtered streams
+// joined over time windows, with downstream processing on the join output.
+type JoinConfig struct {
+	Pairs int
+	Seed  int64
+}
+
+// JoinPipelines builds the join workload (2·Pairs input streams).
+func JoinPipelines(cfg JoinConfig) (*query.Graph, error) {
+	if cfg.Pairs <= 0 {
+		return nil, fmt.Errorf("workload: need positive pairs, got %d", cfg.Pairs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := query.NewBuilder()
+	for p := 0; p < cfg.Pairs; p++ {
+		l := b.Input(fmt.Sprintf("L%d", p))
+		r := b.Input(fmt.Sprintf("R%d", p))
+		fl := b.Filter(fmt.Sprintf("fl%d", p), 0.0003, 0.5+rng.Float64()*0.4, l)
+		fr := b.Filter(fmt.Sprintf("fr%d", p), 0.0003, 0.5+rng.Float64()*0.4, r)
+		j := b.Join(fmt.Sprintf("join%d", p), 0.00002+rng.Float64()*0.00002, 0.02+rng.Float64()*0.05,
+			0.5+rng.Float64(), fl, fr)
+		m := b.Map(fmt.Sprintf("post%d", p), 0.0004, j)
+		b.Aggregate(fmt.Sprintf("stats%d", p), 0.0005, 0.2, 5, m)
+	}
+	return b.Build()
+}
+
+// RandomRates draws a uniformly random rate point with the given per-stream
+// ceiling — the "random input stream rates" the load-balancing baselines
+// are given (Section 7.3.1).
+func RandomRates(d int, ceil float64, rng *rand.Rand) mat.Vec {
+	r := make(mat.Vec, d)
+	for k := range r {
+		r[k] = rng.Float64() * ceil
+	}
+	return r
+}
+
+// RateSeriesFromTraces builds a T×d rate matrix (one row per time step) by
+// sampling each trace at its own bin resolution — the time series the
+// correlation-based baseline consumes.
+func RateSeriesFromTraces(traces []*trace.Trace, steps int) (*mat.Matrix, error) {
+	if len(traces) == 0 || steps < 2 {
+		return nil, fmt.Errorf("workload: need traces and at least 2 steps")
+	}
+	m := mat.NewMatrix(steps, len(traces))
+	for t := 0; t < steps; t++ {
+		for k, tr := range traces {
+			// Stretch each trace over the step horizon.
+			x := float64(t) / float64(steps) * tr.Duration()
+			m.Set(t, k, tr.RateAt(x))
+		}
+	}
+	return m, nil
+}
+
+// RandomRateSeries draws T×d i.i.d. rate rows (the randomized series used
+// when no trace is specified for the correlation baseline).
+func RandomRateSeries(d, steps int, ceil float64, rng *rand.Rand) *mat.Matrix {
+	m := mat.NewMatrix(steps, d)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * ceil
+	}
+	return m
+}
+
+// ScaledTraces returns one preset-style trace per input stream, normalized
+// and scaled so that driving the graph at those mean rates yields the given
+// average system utilization (mean total load / total capacity).
+func ScaledTraces(lm *query.LoadModel, capacityTotal, targetUtil float64, seed int64) ([]*trace.Trace, mat.Vec, error) {
+	d := lm.G.NumInputs()
+	if d == 0 {
+		return nil, nil, fmt.Errorf("workload: graph has no inputs")
+	}
+	presets := trace.Presets(seed)
+	traces := make([]*trace.Trace, d)
+	for k := 0; k < d; k++ {
+		traces[k] = presets[k%len(presets)].Clone()
+		traces[k].Name = fmt.Sprintf("%s#%d", traces[k].Name, k)
+	}
+	// Unit mean rates: compute total load at rate 1 per stream, then scale.
+	ones := make(mat.Vec, d)
+	for k := range ones {
+		ones[k] = 1
+	}
+	loads, err := lm.ActualLoads(ones)
+	if err != nil {
+		return nil, nil, err
+	}
+	loadPerUnit := loads.Sum()
+	if loadPerUnit <= 0 {
+		return nil, nil, fmt.Errorf("workload: graph has zero load")
+	}
+	// ActualLoads is nonlinear (superlinear) in the presence of joins but
+	// monotone in a uniform rate scale, so bisect for the target
+	// utilization.
+	utilAt := func(s float64) (float64, error) {
+		loads, err := lm.ActualLoads(ones.Scale(s))
+		if err != nil {
+			return 0, err
+		}
+		return loads.Sum() / capacityTotal, nil
+	}
+	lo, hi := 0.0, targetUtil*capacityTotal/loadPerUnit
+	for iter := 0; iter < 60; iter++ {
+		u, err := utilAt(hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		if u >= targetUtil {
+			break
+		}
+		hi *= 2
+	}
+	scale := hi
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		u, err := utilAt(mid)
+		if err != nil {
+			return nil, nil, err
+		}
+		if u < targetUtil {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		scale = mid
+	}
+	means := make(mat.Vec, d)
+	for k := range traces {
+		traces[k] = traces[k].ScaleToMean(scale)
+		means[k] = scale
+	}
+	return traces, means, nil
+}

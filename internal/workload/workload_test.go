@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+func TestRandomTreesShape(t *testing.T) {
+	g, err := RandomTrees(TreeConfig{Streams: 4, OpsPerStream: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 4 {
+		t.Fatalf("inputs = %d", g.NumInputs())
+	}
+	if g.NumOps() != 100 {
+		t.Fatalf("ops = %d, want exactly 100", g.NumOps())
+	}
+	// Every op is a delay op with the Section 7.1 parameter ranges.
+	for _, op := range g.Ops() {
+		if op.Kind != query.Delay {
+			t.Fatalf("op %s kind %v", op.Name, op.Kind)
+		}
+		if op.Cost < 0.0001 || op.Cost > 0.001 {
+			t.Fatalf("cost %g outside [0.1ms, 1ms]", op.Cost)
+		}
+		if op.Selectivity < 0.5 || op.Selectivity > 1 {
+			t.Fatalf("selectivity %g outside [0.5, 1]", op.Selectivity)
+		}
+	}
+	// Roughly half the selectivities are exactly 1.
+	ones := 0
+	for _, op := range g.Ops() {
+		if op.Selectivity == 1 {
+			ones++
+		}
+	}
+	if ones < 30 || ones > 70 {
+		t.Fatalf("selectivity-1 count = %d of 100, want ~50", ones)
+	}
+	// The load model must have exactly d columns, all positive sums.
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.D() != 4 {
+		t.Fatalf("model dims = %d", lm.D())
+	}
+	for k, l := range lm.CoefSums() {
+		if l <= 0 {
+			t.Fatalf("stream %d total coefficient %g", k, l)
+		}
+	}
+}
+
+func TestRandomTreesDeterministic(t *testing.T) {
+	a, _ := RandomTrees(TreeConfig{Streams: 2, OpsPerStream: 10, Seed: 9})
+	b, _ := RandomTrees(TreeConfig{Streams: 2, OpsPerStream: 10, Seed: 9})
+	la, _ := query.BuildLoadModel(a)
+	lb, _ := query.BuildLoadModel(b)
+	if !la.Coef.Equal(lb.Coef, 0) {
+		t.Fatal("same seed must reproduce the workload")
+	}
+	c, _ := RandomTrees(TreeConfig{Streams: 2, OpsPerStream: 10, Seed: 10})
+	lc, _ := query.BuildLoadModel(c)
+	if la.Coef.Equal(lc.Coef, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandomTreesErrors(t *testing.T) {
+	if _, err := RandomTrees(TreeConfig{Streams: 0, OpsPerStream: 5}); err == nil {
+		t.Fatal("zero streams must error")
+	}
+	if _, err := RandomTrees(TreeConfig{Streams: 1, OpsPerStream: 0}); err == nil {
+		t.Fatal("zero ops must error")
+	}
+}
+
+func TestTrafficMonitoring(t *testing.T) {
+	g, err := TrafficMonitoring(MonitoringConfig{Streams: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 5 {
+		t.Fatalf("inputs = %d", g.NumInputs())
+	}
+	// 5 ops per stream + 4 shared = 29.
+	if g.NumOps() != 29 {
+		t.Fatalf("ops = %d, want 29", g.NumOps())
+	}
+	// Aggregation-heavy: it must contain aggregates and a union.
+	aggs, unions := 0, 0
+	for _, op := range g.Ops() {
+		switch op.Kind {
+		case query.Aggregate:
+			aggs++
+		case query.Union:
+			unions++
+		}
+	}
+	if aggs < 6 || unions != 1 {
+		t.Fatalf("aggs=%d unions=%d", aggs, unions)
+	}
+	if _, err := query.BuildLoadModel(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrafficMonitoring(MonitoringConfig{}); err == nil {
+		t.Fatal("zero streams must error")
+	}
+}
+
+func TestCompliance(t *testing.T) {
+	g, err := Compliance(ComplianceConfig{Streams: 3, Rules: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 shared per stream + 3 per rule = 6 + 90 = 96: wide, not deep.
+	if g.NumOps() != 96 {
+		t.Fatalf("ops = %d, want 96", g.NumOps())
+	}
+	// Shared sub-expressions: enrich streams feed many rules.
+	maxFan := 0
+	for _, s := range g.Streams() {
+		if n := len(g.Consumers(s.ID)); n > maxFan {
+			maxFan = n
+		}
+	}
+	if maxFan < 5 {
+		t.Fatalf("max fan-out = %d, want heavy sharing", maxFan)
+	}
+	if _, err := Compliance(ComplianceConfig{Streams: 1}); err == nil {
+		t.Fatal("zero rules must error")
+	}
+}
+
+func TestJoinPipelines(t *testing.T) {
+	g, err := JoinPipelines(JoinConfig{Pairs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 6 {
+		t.Fatalf("inputs = %d", g.NumInputs())
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 input variables + 3 join cuts.
+	if lm.D() != 9 {
+		t.Fatalf("model dims = %d, want 9", lm.D())
+	}
+	if lm.NumCuts() != 3 {
+		t.Fatalf("cuts = %d, want 3", lm.NumCuts())
+	}
+	if _, err := JoinPipelines(JoinConfig{}); err == nil {
+		t.Fatal("zero pairs must error")
+	}
+}
+
+func TestRandomRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := RandomRates(5, 10, rng)
+	if len(r) != 5 {
+		t.Fatalf("len = %d", len(r))
+	}
+	for _, x := range r {
+		if x < 0 || x > 10 {
+			t.Fatalf("rate %g outside [0,10]", x)
+		}
+	}
+}
+
+func TestRateSeriesFromTraces(t *testing.T) {
+	trs := []*trace.Trace{
+		trace.New("a", 1, []float64{1, 2, 3, 4}),
+		trace.New("b", 1, []float64{10, 20, 30, 40}),
+	}
+	m, err := RateSeriesFromTraces(trs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 8 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	// First row samples the start of each trace.
+	if m.At(0, 0) != 1 || m.At(0, 1) != 10 {
+		t.Fatalf("first row %v", m.Row(0))
+	}
+	if _, err := RateSeriesFromTraces(nil, 8); err == nil {
+		t.Fatal("no traces must error")
+	}
+	if _, err := RateSeriesFromTraces(trs, 1); err == nil {
+		t.Fatal("single step must error")
+	}
+}
+
+func TestRandomRateSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandomRateSeries(3, 10, 5, rng)
+	if m.Rows != 10 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestScaledTracesHitTargetUtilization(t *testing.T) {
+	g, err := TrafficMonitoring(MonitoringConfig{Streams: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capTotal, target = 4.0, 0.6
+	traces, means, err := ScaledTraces(lm, capTotal, target, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 || len(means) != 3 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	loads, err := lm.ActualLoads(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loads.Sum() / capTotal
+	if math.Abs(got-target) > 0.02 {
+		t.Fatalf("mean utilization = %g, want %g", got, target)
+	}
+	for _, tr := range traces {
+		if math.Abs(tr.Mean()-means[0]) > 1e-6 {
+			t.Fatalf("trace mean %g, want %g", tr.Mean(), means[0])
+		}
+	}
+}
+
+func TestScaledTracesJoinGraph(t *testing.T) {
+	g, err := JoinPipelines(JoinConfig{Pairs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capTotal, target = 2.0, 0.5
+	_, means, err := ScaledTraces(lm, capTotal, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := lm.ActualLoads(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loads.Sum() / capTotal
+	if math.Abs(got-target) > 0.02 {
+		t.Fatalf("nonlinear fixed point missed: %g, want %g", got, target)
+	}
+}
+
+func TestScaledTracesErrors(t *testing.T) {
+	b := query.NewBuilder()
+	in := b.Input("i")
+	b.Map("m", 0.001, in)
+	g := b.MustBuild()
+	lm, _ := query.BuildLoadModel(g)
+	if _, _, err := ScaledTraces(lm, 1, 0.5, 1); err != nil {
+		t.Fatalf("valid graph errored: %v", err)
+	}
+	empty := &query.LoadModel{G: g}
+	_ = empty
+}
+
+func TestMat(t *testing.T) {
+	// Keep the mat import honest in this package's tests.
+	if mat.VecOf(1, 2).Sum() != 3 {
+		t.Fatal("mat broken")
+	}
+}

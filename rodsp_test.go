@@ -1,0 +1,203 @@
+package rodsp_test
+
+import (
+	"math"
+	"testing"
+
+	"rodsp"
+	"rodsp/internal/trace"
+)
+
+func demoGraph(t *testing.T) *rodsp.Graph {
+	t.Helper()
+	b := rodsp.NewBuilder()
+	for i := 0; i < 3; i++ {
+		in := b.Input("")
+		f := b.Filter("", 0.0004, 0.6, in)
+		m := b.Map("", 0.0003, f)
+		b.Aggregate("", 0.0005, 0.1, 5, m)
+		b.Filter("", 0.0002, 0.4, m)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPlaceAndEvaluate(t *testing.T) {
+	g := demoGraph(t)
+	caps := []float64{1, 1, 1}
+	plan, report, lm, err := rodsp.Place(g, caps, rodsp.Config{Selector: rodsp.SelectMaxPlaneDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumOps() != g.NumOps() {
+		t.Fatal("plan must cover the graph")
+	}
+	if report.MinPlaneDistance <= 0 {
+		t.Fatal("report missing plane distance")
+	}
+	ratio, err := rodsp.FeasibleRatio(plan, lm, caps, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("ratio = %g", ratio)
+	}
+	// ROD beats a random placement on this workload.
+	randPlan := rodsp.PlaceRandom(lm, 3, 1)
+	randRatio, err := rodsp.FeasibleRatio(randPlan, lm, caps, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if randRatio > ratio+0.05 {
+		t.Fatalf("random (%g) should not beat ROD (%g)", randRatio, ratio)
+	}
+}
+
+func TestPlaceBestPortfolio(t *testing.T) {
+	g := demoGraph(t)
+	caps := []float64{1, 1, 1}
+	plan, _, lm, err := rodsp.PlaceBest(g, caps, rodsp.Config{}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := rodsp.FeasibleRatio(plan, lm, caps, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []rodsp.Selector{rodsp.SelectMaxPlaneDistance, rodsp.SelectAxisBalance} {
+		p, _, _, err := rodsp.Place(g, caps, rodsp.Config{Selector: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := rodsp.FeasibleRatio(p, lm, caps, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > best+0.03 {
+			t.Fatalf("portfolio (%g) lost to %v (%g)", best, sel, r)
+		}
+	}
+}
+
+func TestFeasibleAt(t *testing.T) {
+	b := rodsp.NewBuilder()
+	in := b.Input("I")
+	b.Map("m", 0.01, in)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1}
+	plan, _, lm, err := rodsp.Place(g, caps, rodsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := rodsp.FeasibleAt(plan, lm, caps, []float64{50})
+	if err != nil || !ok {
+		t.Fatalf("rate 50 (load 0.5) must be feasible: %v %v", ok, err)
+	}
+	ok, err = rodsp.FeasibleAt(plan, lm, caps, []float64{150})
+	if err != nil || ok {
+		t.Fatalf("rate 150 (load 1.5) must be infeasible: %v %v", ok, err)
+	}
+}
+
+func TestFeasibleRatioFrom(t *testing.T) {
+	g := demoGraph(t)
+	caps := []float64{1, 1, 1}
+	lb := []float64{10, 0, 0}
+	plan, _, lm, err := rodsp.PlaceBest(g, caps, rodsp.Config{LowerBound: lb}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rodsp.FeasibleRatioFrom(plan, lm, caps, lb, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0 || r > 1 {
+		t.Fatalf("restricted ratio = %g", r)
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	b := rodsp.NewBuilder()
+	in := b.Input("I")
+	b.Delay("d", 0.002, 1, in)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rodsp.Simulate(rodsp.SimConfig{
+		Graph:      g,
+		NodeOf:     []int{0},
+		Capacities: []float64{1},
+		Sources: map[rodsp.StreamID]*rodsp.Trace{
+			g.Inputs()[0]: trace.New("const", 1, []float64{100, 100, 100, 100, 100}),
+		},
+		Duration: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utilization[0]-0.2) > 0.05 {
+		t.Fatalf("utilization = %g", res.Utilization[0])
+	}
+}
+
+func TestPlaceClusteredFacade(t *testing.T) {
+	b := rodsp.NewBuilder()
+	for k := 0; k < 2; k++ {
+		s := b.Input("")
+		for j := 0; j < 5; j++ {
+			out := b.Delay("", 0.001, 1, s)
+			b.SetXferCost(out, 0.01) // shipping costs 10x processing
+			s = out
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	res, lm, err := rodsp.PlaceClustered(g, caps, rodsp.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCluster >= g.NumOps() {
+		t.Fatalf("dominant transfer costs should cluster: %d clusters for %d ops",
+			res.NumCluster, g.NumOps())
+	}
+	// The clustered plan pays less network CPU than a random one.
+	randPlan := rodsp.PlaceRandom(lm, 2, 5)
+	rates := []float64{50, 50}
+	clustered, err := rodsp.NetworkCostAt(lm, res.Plan, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := rodsp.NetworkCostAt(lm, randPlan, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered > random {
+		t.Fatalf("clustered plan pays more network cost: %g vs %g", clustered, random)
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	g := demoGraph(t)
+	caps := []float64{1, 1, 1}
+	_, _, lm, err := rodsp.Place(g, caps, rodsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{10, 10, 10}
+	if _, err := rodsp.PlaceLLF(lm, caps, rates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rodsp.PlaceConnected(g, lm, caps, rates); err != nil {
+		t.Fatal(err)
+	}
+}
