@@ -6,7 +6,15 @@
 // Usage:
 //
 //	rodengine [-nodes 3] [-streams 3] [-algo rod|llf|random] [-util 0.6] \
-//	          [-seconds 5] [-speedup 20] [-seed 1]
+//	          [-seconds 5] [-speedup 20] [-seed 1] \
+//	          [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30]
+//
+// With -metrics-addr the coordinator serves live observability over HTTP
+// (/metrics Prometheus text, /series JSON, /series.csv, /events) while the
+// run is in flight; -hold keeps serving that many seconds after the drive
+// finishes (point rodtop at the address). -events appends structured
+// JSON-lines events (deploys, migrations, overload onset/clearance,
+// control errors) to a file, or stderr with "-".
 //
 // With -attach addr1,addr2,... it drives externally started rodnode
 // processes instead of in-process nodes — a genuinely multi-process (or
@@ -27,6 +35,7 @@ import (
 	"rodsp/internal/core"
 	"rodsp/internal/engine"
 	"rodsp/internal/mat"
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/workload"
@@ -43,6 +52,10 @@ func main() {
 		seconds = flag.Float64("seconds", 5, "wall-clock drive time")
 		speedup = flag.Float64("speedup", 20, "trace seconds played per wall second")
 		seed    = flag.Int64("seed", 1, "random seed")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /series and /events over HTTP on this address (empty = disabled)")
+		eventsPath  = flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
+		hold        = flag.Float64("hold", 0, "keep serving -metrics-addr this many seconds after the drive ends")
 	)
 	flag.Parse()
 
@@ -107,6 +120,37 @@ func main() {
 		fail(err)
 	}
 	defer cl.Close()
+	// Observability: event log (optionally mirrored to a JSONL sink), the
+	// monitoring loop computing live feasibility headroom from the load
+	// model, and the optional HTTP exposition.
+	ev := obs.NewEventLog(0)
+	if *eventsPath != "" {
+		if *eventsPath == "-" {
+			ev.SetWriter(os.Stderr)
+		} else {
+			f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			ev.SetWriter(f)
+		}
+	}
+	mon := cl.StartMonitor(engine.MonitorConfig{
+		LM:     lm,
+		Plan:   plan,
+		Caps:   caps,
+		Events: ev,
+	})
+	if *metricsAddr != "" {
+		bound, closeHTTP, err := obs.ServeHTTP(*metricsAddr, mon.Registry(), mon.Series(), mon.Events())
+		if err != nil {
+			fail(err)
+		}
+		defer closeHTTP() //nolint:errcheck
+		fmt.Printf("observability on http://%s (/metrics /series /series.csv /events)\n", bound)
+	}
+
 	if err := cl.Deploy(g, plan, caps); err != nil {
 		fail(err)
 	}
@@ -128,6 +172,7 @@ func main() {
 			Addrs:   dests,
 			Speedup: *speedup,
 			MaxRate: 5000,
+			Count:   mon.SourceCounter(in),
 		}
 		go func() {
 			_, err := src.Run(time.Duration(*seconds*float64(time.Second)), nil)
@@ -152,6 +197,14 @@ func main() {
 	count, mean, p95, p99, max := cl.Collector.LatencyStats()
 	fmt.Printf("sink tuples=%d latency mean=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
 		count, mean*1000, p95*1000, p99*1000, max*1000)
+	if n := ev.Count(obs.EventOverloadOnset); n > 0 {
+		fmt.Printf("overload: %d onset / %d clearance events (see -events or /events)\n",
+			n, ev.Count(obs.EventOverloadClear))
+	}
+	if *hold > 0 && *metricsAddr != "" {
+		fmt.Printf("holding observability endpoints for %gs...\n", *hold)
+		time.Sleep(time.Duration(*hold * float64(time.Second)))
+	}
 }
 
 func fail(err error) {

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	rodsim -graph g.json -plan 0,1,0,1 -capacities 1,1 \
-//	       [-trace pkt|tcp|http|poisson] [-util 0.7] [-duration 300] [-seed 1]
+//	       [-trace pkt|tcp|http|poisson] [-util 0.7] [-duration 300] [-seed 1] \
+//	       [-series-csv out.csv] [-events events.jsonl]
 //
 // The input traces are the synthetic PKT/TCP/HTTP stand-ins scaled so the
-// mean system utilization equals -util.
+// mean system utilization equals -util. With -series-csv the run samples
+// the engine-identical observability schema (utilization, queue depth,
+// feasibility headroom, source rates, latency quantiles) at virtual-time
+// intervals and writes the series as long-form CSV; -events writes the
+// structured event log (overload onset/clearance, migrations) as JSON
+// lines ('-' for stderr on either flag).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"rodsp/internal/cliutil"
+	"rodsp/internal/obs"
 	"rodsp/internal/query"
 	"rodsp/internal/sim"
 	"rodsp/internal/trace"
@@ -31,6 +38,8 @@ func main() {
 		util      = flag.Float64("util", 0.6, "target mean system utilization")
 		duration  = flag.Float64("duration", 300, "simulated seconds")
 		seed      = flag.Int64("seed", 1, "random seed")
+		seriesCSV = flag.String("series-csv", "", "write sampled observability series to this CSV file ('-' for stdout)")
+		eventsOut = flag.String("events", "", "write structured events as JSON lines to this file ('-' for stderr)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *planFlag == "" {
@@ -79,7 +88,7 @@ func main() {
 	for i, in := range g.Inputs() {
 		sources[in] = traces[i]
 	}
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Graph:      g,
 		NodeOf:     nodeOf,
 		Capacities: caps,
@@ -89,9 +98,33 @@ func main() {
 		Arrivals:   sim.PoissonArrivals,
 		Seed:       *seed,
 		MaxEvents:  100_000_000,
-	})
+	}
+	if *seriesCSV != "" || *eventsOut != "" {
+		cfg.Obs = &sim.ObsConfig{}
+		if *eventsOut != "" {
+			ev := obs.NewEventLog(0)
+			w, closeW, err := openSink(*eventsOut, os.Stderr)
+			if err != nil {
+				fail(err.Error())
+			}
+			defer closeW()
+			ev.SetWriter(w)
+			cfg.Obs.Events = ev
+		}
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		fail(err.Error())
+	}
+	if *seriesCSV != "" {
+		w, closeW, err := openSink(*seriesCSV, os.Stdout)
+		if err != nil {
+			fail(err.Error())
+		}
+		if err := res.Series.WriteCSV(w); err != nil {
+			fail(err.Error())
+		}
+		closeW()
 	}
 	fmt.Printf("tuples: in=%d out=%d events=%d\n", res.TuplesIn, res.TuplesOut, res.Events)
 	fmt.Printf("latency: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms (%d samples)\n",
@@ -101,11 +134,29 @@ func main() {
 		fmt.Printf("node %d: utilization=%.3f backlog=%d peakQueue=%d\n",
 			i, res.Utilization[i], res.Backlog[i], res.PeakQueue[i])
 	}
+	if res.EventLog != nil {
+		if n := res.EventLog.Count(obs.EventOverloadOnset); n > 0 {
+			fmt.Printf("overload: %d onset / %d clearance events\n",
+				n, res.EventLog.Count(obs.EventOverloadClear))
+		}
+	}
 	if res.Overloaded(0.95, 500) {
 		fmt.Println("verdict: OVERLOADED")
 	} else {
 		fmt.Println("verdict: feasible")
 	}
+}
+
+// openSink opens path for writing, mapping "-" to the given standard stream.
+func openSink(path string, std *os.File) (*os.File, func(), error) {
+	if path == "-" {
+		return std, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func loadGraph(path string) (*query.Graph, error) {

@@ -1,0 +1,180 @@
+// Command rodtop is a terminal viewer for a running rodengine coordinator's
+// observability endpoints. It polls /series on the address given by -addr
+// and redraws one sparkline per time series (utilization, queue depth,
+// feasibility headroom, source rates, latency quantiles), so you can watch
+// overload onset and migrations live:
+//
+//	rodengine -seconds 30 -metrics-addr 127.0.0.1:9900 -hold 60 &
+//	rodtop -addr 127.0.0.1:9900
+//
+// Flags:
+//
+//	-addr     host:port of the coordinator's -metrics-addr (required)
+//	-interval refresh period (default 1s)
+//	-frames   number of frames to draw before exiting; 0 = until interrupt
+//	-last     how many trailing points each sparkline shows (default 60)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sparkChars ramp from empty to full; index 0 renders missing/zero-range.
+var sparkChars = []rune(" ▁▂▃▄▅▆▇█")
+
+type seriesJSON struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points [][2]float64      `json:"points"`
+}
+
+type seriesResp struct {
+	Series []seriesJSON `json:"series"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "host:port serving /series (rodengine -metrics-addr)")
+		interval = flag.Duration("interval", time.Second, "refresh period")
+		frames   = flag.Int("frames", 0, "frames to render before exiting (0 = until interrupt)")
+		last     = flag.Int("last", 60, "trailing points per sparkline")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "rodtop: need -addr (the coordinator's -metrics-addr)")
+		os.Exit(2)
+	}
+	url := "http://" + *addr + "/series"
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			select {
+			case <-interrupt:
+				return
+			case <-time.After(*interval):
+			}
+		}
+		frame, err := fetch(client, url, *last)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rodtop:", err)
+			os.Exit(1)
+		}
+		// Home the cursor and clear below rather than clearing the whole
+		// screen, so the redraw doesn't flicker.
+		fmt.Print("\x1b[H\x1b[J")
+		fmt.Printf("rodtop — %s — %s\n\n", *addr, time.Now().Format("15:04:05"))
+		fmt.Print(frame)
+	}
+}
+
+// fetch pulls /series and renders one frame: a sparkline per series over the
+// trailing `last` points, with the latest value and observed min/max.
+func fetch(client *http.Client, url string, last int) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var sr seriesResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return "", err
+	}
+	sort.Slice(sr.Series, func(i, j int) bool { return seriesID(sr.Series[i]) < seriesID(sr.Series[j]) })
+
+	var b strings.Builder
+	width := 0
+	for _, s := range sr.Series {
+		if w := len(seriesID(s)); w > width {
+			width = w
+		}
+	}
+	for _, s := range sr.Series {
+		vals := make([]float64, 0, len(s.Points))
+		for _, p := range s.Points {
+			vals = append(vals, p[1])
+		}
+		if len(vals) > last {
+			vals = vals[len(vals)-last:]
+		}
+		cur := math.NaN()
+		if len(vals) > 0 {
+			cur = vals[len(vals)-1]
+		}
+		fmt.Fprintf(&b, "%-*s %s %s\n", width, seriesID(s), sparkline(vals, last), fmtVal(cur))
+	}
+	return b.String(), nil
+}
+
+func seriesID(s seriesJSON) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+s.Labels[k])
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// sparkline maps vals onto the block ramp, scaled to the window's own
+// min..max (a flat series renders mid-height). The result is left-padded to
+// `width` cells so columns align across series.
+func sparkline(vals []float64, width int) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for i := len(vals); i < width; i++ {
+		sb.WriteRune(sparkChars[0])
+	}
+	for _, v := range vals {
+		idx := len(sparkChars) / 2
+		if hi > lo {
+			frac := (v - lo) / (hi - lo)
+			idx = 1 + int(frac*float64(len(sparkChars)-2)+0.5)
+			if idx >= len(sparkChars) {
+				idx = len(sparkChars) - 1
+			}
+		}
+		sb.WriteRune(sparkChars[idx])
+	}
+	return sb.String()
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"rodsp/internal/core"
 	"rodsp/internal/engine"
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/sim"
@@ -95,12 +97,17 @@ func (c CrossValConfig) Run() (*Table, error) {
 			return nil, err
 		}
 		for _, p := range plans {
-			simMean, simMax, err := c.runSim(g, p.plan, caps, traces)
+			simMean, simMax, simSeries, err := c.runSim(g, p.plan, caps, traces)
 			if err != nil {
 				return nil, err
 			}
-			engMean, engMax, err := c.runEngine(g, p.plan, caps, traces)
+			engMean, engMax, engSeries, err := c.runEngine(g, lm, p.plan, caps, traces)
 			if err != nil {
+				return nil, err
+			}
+			// Both runtimes must emit the identical obs metric schema — the
+			// contract that makes their series directly comparable.
+			if err := sameSchema(simSeries, engSeries); err != nil {
 				return nil, err
 			}
 			delta := simMean - engMean
@@ -113,7 +120,43 @@ func (c CrossValConfig) Run() (*Table, error) {
 	return t, nil
 }
 
-func (c CrossValConfig) runSim(g *query.Graph, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, err error) {
+// sameSchema verifies the two series sets expose the same metric names.
+func sameSchema(a, b *obs.SeriesSet) error {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return fmt.Errorf("bench: obs schema mismatch: sim %v vs engine %v", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return fmt.Errorf("bench: obs schema mismatch: sim %v vs engine %v", an, bn)
+		}
+	}
+	return nil
+}
+
+// utilFromSeries derives per-node utilization figures from sampled obs
+// series: the time-average of each node's windowed utilization, plus the
+// largest per-node average.
+func utilFromSeries(set *obs.SeriesSet, n int) (mean, max float64) {
+	for i := 0; i < n; i++ {
+		_, vs := set.Series(obs.MetricNodeUtilization, "node", strconv.Itoa(i)).Points()
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		var u float64
+		if len(vs) > 0 {
+			u = s / float64(len(vs))
+		}
+		mean += u
+		if u > max {
+			max = u
+		}
+	}
+	return mean / float64(n), max
+}
+
+func (c CrossValConfig) runSim(g *query.Graph, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, set *obs.SeriesSet, err error) {
 	sources := map[query.StreamID]*trace.Trace{}
 	for i, in := range g.Inputs() {
 		sources[in] = traces[i]
@@ -126,28 +169,32 @@ func (c CrossValConfig) runSim(g *query.Graph, plan *placement.Plan, caps []floa
 		Duration:   c.WallSeconds * c.Speedup,
 		Seed:       c.Seed,
 		MaxEvents:  50_000_000,
+		Obs:        &sim.ObsConfig{},
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
-	var sum float64
-	for _, u := range res.Utilization {
-		sum += u
-	}
-	return sum / float64(len(res.Utilization)), res.MaxUtilization(), nil
+	mean, max = utilFromSeries(res.Series, len(caps))
+	return mean, max, res.Series, nil
 }
 
-func (c CrossValConfig) runEngine(g *query.Graph, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, err error) {
+func (c CrossValConfig) runEngine(g *query.Graph, lm *query.LoadModel, plan *placement.Plan, caps []float64, traces []*trace.Trace) (mean, max float64, set *obs.SeriesSet, err error) {
 	cl, err := engine.StartCluster(caps)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer cl.Close()
+	mon := cl.StartMonitor(engine.MonitorConfig{
+		Interval: 100 * time.Millisecond,
+		LM:       lm,
+		Plan:     plan,
+		Caps:     caps,
+	})
 	if err := cl.Deploy(g, plan, caps); err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	if err := cl.Start(); err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	inputNodes := engine.InputNodes(g, plan)
 	addrs := cl.Addrs()
@@ -165,6 +212,7 @@ func (c CrossValConfig) runEngine(g *query.Graph, plan *placement.Plan, caps []f
 			Addrs:   dests,
 			Speedup: c.Speedup,
 			MaxRate: 6000,
+			Count:   mon.SourceCounter(in),
 		}
 		go func() {
 			_, err := src.Run(time.Duration(c.WallSeconds*float64(time.Second)), nil)
@@ -173,20 +221,10 @@ func (c CrossValConfig) runEngine(g *query.Graph, plan *placement.Plan, caps []f
 	}
 	for range traces {
 		if e := <-done; e != nil {
-			return 0, 0, e
+			return 0, 0, nil, e
 		}
 	}
 	time.Sleep(200 * time.Millisecond)
-	sts, err := cl.Stats()
-	if err != nil {
-		return 0, 0, err
-	}
-	var sum float64
-	for _, s := range sts {
-		sum += s.Utilization
-		if s.Utilization > max {
-			max = s.Utilization
-		}
-	}
-	return sum / float64(len(sts)), max, nil
+	mean, max = utilFromSeries(mon.Series(), len(caps))
+	return mean, max, mon.Series(), nil
 }

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkTable2ExamplePlans is the CI smoke benchmark: one full Table 2
+// reproduction (feasible-set geometry of the paper's example plans).
+func BenchmarkTable2ExamplePlans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimVsPrototype runs the cross-validation point once per
+// iteration: both the DES and the TCP engine execute the same workload and
+// report through the obs layer, whose series feed the utilization figures
+// and whose schemas are checked for equality inside Run. The reported
+// delta metric is the sim-vs-engine mean-utilization gap.
+func BenchmarkSimVsPrototype(b *testing.B) {
+	cfg := CrossValConfig{UtilLevels: []float64{0.5}, WallSeconds: 1.5, Seed: 41}
+	for i := 0; i < b.N; i++ {
+		tb, err := cfg.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("no cross-validation rows")
+		}
+		delta, err := strconv.ParseFloat(tb.Rows[0][6], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(delta, "Δutil")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/stats"
@@ -96,6 +97,11 @@ type Collector struct {
 	welford   stats.Welford
 	closing   bool
 	conns     map[net.Conn]bool
+
+	hist       *obs.Histogram // optional; set via SetObserver
+	sinkCount  *obs.Counter
+	events     *obs.EventLog
+	traceEvery int64
 }
 
 // NewCollector starts a collector on addr.
@@ -112,6 +118,15 @@ func NewCollector(addr string) (*Collector, error) {
 
 // Addr returns the collector's address.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// SetObserver mirrors sink latencies into an obs histogram and counter and
+// emits sampled sink trace spans (tuples whose Seq is a multiple of
+// traceEvery; 0 disables spans). Any argument may be nil.
+func (c *Collector) SetObserver(h *obs.Histogram, count *obs.Counter, ev *obs.EventLog, traceEvery int64) {
+	c.mu.Lock()
+	c.hist, c.sinkCount, c.events, c.traceEvery = h, count, ev, traceEvery
+	c.mu.Unlock()
+}
 
 func (c *Collector) accept() {
 	defer c.wg.Done()
@@ -149,21 +164,46 @@ func (c *Collector) accept() {
 				if len(c.latencies) < 200000 {
 					c.latencies = append(c.latencies, lat)
 				}
+				hist, count, ev, every := c.hist, c.sinkCount, c.events, c.traceEvery
 				c.mu.Unlock()
+				if hist != nil {
+					hist.Observe(lat)
+				}
+				if count != nil {
+					count.Inc()
+				}
+				if traced(every, t) {
+					ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "sink",
+						"stream", int(t.Stream), "seq", t.Seq, "latency", lat)
+				}
 			}
 		}()
 	}
 }
 
-// LatencyStats returns (count, mean, p95, p99, max) in seconds.
+// LatencyStats returns (count, mean, p95, p99, max) in seconds. With no
+// retained samples the quantiles are zero (obs.Quantiles never panics on
+// an empty set, unlike stats.Percentile).
 func (c *Collector) LatencyStats() (int64, float64, float64, float64, float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.latencies) == 0 {
+	qs, ok := obs.Quantiles(c.latencies, 95, 99, 100)
+	if !ok {
 		return c.count, 0, 0, 0, 0
 	}
-	qs := stats.Quantiles(c.latencies, 95, 99, 100)
 	return c.count, c.welford.Mean(), qs[0], qs[1], qs[2]
+}
+
+// LatencySummary digests the retained latencies into the shared summary
+// form (ok=false with no samples) — the same digest the simulator reports.
+func (c *Collector) LatencySummary() (obs.LatencySummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := obs.Summarize(c.latencies)
+	if ok {
+		s.Count = c.count // retained slice is capped; count is exact
+	}
+	return s, ok
 }
 
 // Reset clears accumulated latencies.
@@ -200,6 +240,10 @@ type SourceDriver struct {
 	// MaxRate caps the injection rate (tuples/second wall time) to protect
 	// the host; 0 = no cap.
 	MaxRate float64
+
+	// Count, when set, is incremented once per injected tuple; wire it to
+	// Monitor.SourceCounter so the monitor can estimate the stream's rate.
+	Count *obs.Counter
 }
 
 // Run injects for the given wall-clock duration or until stop is closed.
@@ -259,6 +303,9 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 					}
 				}
 				injected++
+				if s.Count != nil {
+					s.Count.Inc()
+				}
 			}
 			for _, w := range writers {
 				if err := w.Flush(); err != nil {
@@ -285,6 +332,19 @@ type Cluster struct {
 
 	external    bool
 	remoteAddrs []string
+
+	events  *obs.EventLog // nil-safe; set via SetEvents or StartMonitor
+	monitor *Monitor
+}
+
+// SetEvents attaches an event log to the cluster's control plane: deploys,
+// node connect/disconnect and swallowed control errors become events. It
+// records the current membership as node_connect events.
+func (cl *Cluster) SetEvents(ev *obs.EventLog) {
+	cl.events = ev
+	for i, addr := range cl.Addrs() {
+		ev.Emit(obs.LevelInfo, obs.EventNodeConnect, "node", i, "addr", addr, "external", cl.external)
+	}
 }
 
 // ConnectCluster attaches to externally started nodes (e.g. rodnode
@@ -358,8 +418,10 @@ func (cl *Cluster) Deploy(g *query.Graph, plan *placement.Plan, capacities []flo
 	}
 	for i, spec := range specs {
 		if err := cl.Controls[i].Deploy(spec); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "deploy", "node", i, "err", err.Error())
 			return fmt.Errorf("engine: deploying to node %d: %w", i, err)
 		}
+		cl.events.Emit(obs.LevelInfo, obs.EventDeploy, "node", i, "ops", len(spec.Ops))
 	}
 	return nil
 }
@@ -374,12 +436,16 @@ func (cl *Cluster) Start() error {
 	return nil
 }
 
-// Stop pauses every node.
+// Stop pauses every node. Only the first error is returned, but every
+// failure surfaces in the event log.
 func (cl *Cluster) Stop() error {
 	var first error
-	for _, ctl := range cl.Controls {
-		if err := ctl.Stop(); err != nil && first == nil {
-			first = err
+	for i, ctl := range cl.Controls {
+		if err := ctl.Stop(); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "stop", "node", i, "err", err.Error())
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -398,19 +464,33 @@ func (cl *Cluster) Stats() ([]*NodeStats, error) {
 	return out, nil
 }
 
-// Close tears the cluster down.
+// Close tears the cluster down. Close errors are reported to the event log
+// rather than swallowed (teardown still proceeds through every component).
 func (cl *Cluster) Close() {
-	for _, ctl := range cl.Controls {
-		if ctl != nil {
-			ctl.Close()
-		}
+	if cl.monitor != nil {
+		cl.monitor.Close()
+		cl.monitor = nil
 	}
-	for _, n := range cl.Nodes {
-		if n != nil {
-			n.Close()
+	for i, ctl := range cl.Controls {
+		if ctl == nil {
+			continue
+		}
+		if err := ctl.Close(); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "close", "node", i, "err", err.Error())
+		}
+		cl.events.Emit(obs.LevelInfo, obs.EventNodeDisconnect, "node", i)
+	}
+	for i, n := range cl.Nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.Close(); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "node_close", "node", i, "err", err.Error())
 		}
 	}
 	if cl.Collector != nil {
-		cl.Collector.Close()
+		if err := cl.Collector.Close(); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "collector_close", "err", err.Error())
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 )
@@ -66,16 +67,23 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 
 	// 1. Install at the destination.
 	if err := cl.Controls[dstNode].AddOp(&spec, routes); err != nil {
+		cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "addop", "node", dstNode, "err", err.Error())
 		return fmt.Errorf("engine: installing op %d on node %d: %w", opID, dstNode, err)
 	}
+	cl.events.Emit(obs.LevelInfo, obs.EventMigrateInstall,
+		"op", int(opID), "from", srcNode, "to", dstNode)
 	// 2. State-transfer stall on both ends.
 	if stall > 0 {
 		if err := cl.Controls[srcNode].Stall(stall); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "stall", "node", srcNode, "err", err.Error())
 			return err
 		}
 		if err := cl.Controls[dstNode].Stall(stall); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "stall", "node", dstNode, "err", err.Error())
 			return err
 		}
+		cl.events.Emit(obs.LevelInfo, obs.EventMigrateStall,
+			"op", int(opID), "sec", stall.Seconds())
 	}
 	// 3. Remove at the source, relaying its inputs toward the destination.
 	relay := map[int][]Dest{}
@@ -83,9 +91,15 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 		relay[int(in)] = append(relay[int(in)], Dest{Addr: addrs[dstNode]})
 	}
 	if err := cl.Controls[srcNode].RemoveOp(int(op.ID), relay); err != nil {
+		cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "removeop", "node", srcNode, "err", err.Error())
 		return fmt.Errorf("engine: removing op %d from node %d: %w", opID, srcNode, err)
 	}
+	cl.events.Emit(obs.LevelInfo, obs.EventMigrateRemove,
+		"op", int(opID), "from", srcNode, "to", dstNode)
 	plan.NodeOf[opID] = dstNode
+	if cl.monitor != nil {
+		cl.monitor.setOp(opID, dstNode)
+	}
 	return nil
 }
 

@@ -1,0 +1,383 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/obs"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+)
+
+// MonitorConfig configures the coordinator-side observability monitor.
+type MonitorConfig struct {
+	// Interval between samples. Default 200ms.
+	Interval time.Duration
+
+	// Registry, Series and Events receive the metrics, sampled time series
+	// and structured events; fresh instances are created for any left nil.
+	Registry *obs.Registry
+	Series   *obs.SeriesSet
+	Events   *obs.EventLog
+
+	// LM, Plan and Caps enable the live feasibility headroom
+	// 1 − L^n_i·R̂/C_i: node coefficients L^n follow the plan (updated on
+	// migrations), R̂ is the EWMA of the observed input rates. Leave LM nil
+	// to monitor without headroom. Caps defaults to the in-process node
+	// capacities (or 1 per node when attached to remote nodes).
+	LM   *query.LoadModel
+	Plan *placement.Plan
+	Caps mat.Vec
+
+	// Overload detection: onset fires when a node's windowed utilization
+	// reaches OverloadUtil (default 0.95) with at least OverloadQueue queued
+	// tuples (default 100); clearance fires once utilization drops below
+	// OverloadUtil and the queue drains to ClearQueue (default
+	// OverloadQueue/4). The queue hysteresis keeps a saturated-but-draining
+	// node in the overloaded state.
+	OverloadUtil  float64
+	OverloadQueue int
+	ClearQueue    int
+
+	// RateAlpha is the EWMA smoothing factor for source rates. Default 0.4.
+	RateAlpha float64
+
+	// TraceEvery forwards sampled per-tuple trace spans from nodes and the
+	// collector: tuples whose Seq is a multiple of TraceEvery emit span
+	// events. 0 disables tracing.
+	TraceEvery int64
+}
+
+func (cfg *MonitorConfig) applyDefaults() {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Series == nil {
+		cfg.Series = obs.NewSeriesSet(0)
+	}
+	if cfg.Events == nil {
+		cfg.Events = obs.NewEventLog(0)
+	}
+	if cfg.OverloadUtil <= 0 {
+		cfg.OverloadUtil = 0.95
+	}
+	if cfg.OverloadQueue <= 0 {
+		cfg.OverloadQueue = 100
+	}
+	if cfg.ClearQueue <= 0 {
+		cfg.ClearQueue = cfg.OverloadQueue / 4
+	}
+	if cfg.RateAlpha <= 0 || cfg.RateAlpha > 1 {
+		cfg.RateAlpha = 0.4
+	}
+}
+
+// Monitor polls a running cluster, feeding the obs registry, time series
+// and event log: per-node windowed utilization, queue depth, tuple counts,
+// EWMA-smoothed source rates, sink latency quantiles, and — when a load
+// model is attached — the live feasibility headroom per node, with overload
+// onset/clearance events derived from the samples.
+type Monitor struct {
+	cl  *Cluster
+	cfg MonitorConfig
+
+	sampler *obs.Sampler
+
+	utilG  []*obs.Gauge
+	queueG []*obs.Gauge
+	headG  []*obs.Gauge
+	injC   []*obs.Counter
+	emiC   []*obs.Counter
+
+	latHist  *obs.Histogram
+	sinkC    *obs.Counter
+	latQ     map[float64]*obs.Gauge
+	overQ    []bool
+	lastBusy []float64
+	lastElap []float64
+	havePrev bool
+
+	srcMu   sync.Mutex
+	srcC    map[query.StreamID]*obs.Counter
+	srcRate map[query.StreamID]*obs.EWMA
+	srcG    map[query.StreamID]*obs.Gauge
+	srcLast map[query.StreamID]int64
+	inputs  []query.StreamID // rate-vector order = LM.G.Inputs()
+
+	planMu sync.Mutex
+	nodeOf []int
+	caps   mat.Vec
+
+	start    time.Time
+	lastTick time.Time
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartMonitor attaches a monitor to the cluster and starts its sampling
+// loop. It wires the cluster's collector (latency histogram, sink counter,
+// trace spans) and any in-process nodes (relay-error events, trace spans)
+// to the monitor's event log, and registers itself so MoveOperator keeps
+// the headroom computation tracking the live placement. Close the monitor
+// before closing the cluster.
+func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
+	cfg.applyDefaults()
+	n := len(cl.Controls)
+	m := &Monitor{
+		cl:       cl,
+		cfg:      cfg,
+		sampler:  obs.NewSampler(cfg.Series),
+		utilG:    make([]*obs.Gauge, n),
+		queueG:   make([]*obs.Gauge, n),
+		headG:    make([]*obs.Gauge, n),
+		injC:     make([]*obs.Counter, n),
+		emiC:     make([]*obs.Counter, n),
+		latQ:     map[float64]*obs.Gauge{},
+		overQ:    make([]bool, n),
+		lastBusy: make([]float64, n),
+		lastElap: make([]float64, n),
+		srcC:     map[query.StreamID]*obs.Counter{},
+		srcRate:  map[query.StreamID]*obs.EWMA{},
+		srcG:     map[query.StreamID]*obs.Gauge{},
+		srcLast:  map[query.StreamID]int64{},
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.lastTick = m.start
+	reg := cfg.Registry
+	for i := 0; i < n; i++ {
+		node := strconv.Itoa(i)
+		m.utilG[i] = reg.Gauge(obs.MetricNodeUtilization, "node", node)
+		m.queueG[i] = reg.Gauge(obs.MetricNodeQueueDepth, "node", node)
+		m.headG[i] = reg.Gauge(obs.MetricNodeHeadroom, "node", node)
+		m.headG[i].Set(1) // no observed load yet
+		m.injC[i] = reg.Counter(obs.MetricNodeInjected, "node", node)
+		m.emiC[i] = reg.Counter(obs.MetricNodeEmitted, "node", node)
+		m.sampler.ProbeGauge(obs.MetricNodeUtilization, m.utilG[i], "node", node)
+		m.sampler.ProbeGauge(obs.MetricNodeQueueDepth, m.queueG[i], "node", node)
+		m.sampler.ProbeGauge(obs.MetricNodeHeadroom, m.headG[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodeInjected, m.injC[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodeEmitted, m.emiC[i], "node", node)
+	}
+	m.latHist = reg.Histogram(obs.MetricSinkLatency, nil)
+	m.sinkC = reg.Counter(obs.MetricSinkTuples)
+	for _, p := range []float64{50, 95, 99} {
+		q := "p" + strconv.FormatFloat(p, 'g', -1, 64)
+		g := reg.Gauge(obs.MetricSinkLatencyQuantile, "quantile", q)
+		m.latQ[p] = g
+		m.sampler.ProbeGauge(obs.MetricSinkLatencyQuantile, g, "quantile", q)
+	}
+	m.sampler.ProbeCounter(obs.MetricSinkTuples, m.sinkC)
+
+	if cfg.LM != nil {
+		m.inputs = cfg.LM.G.Inputs()
+		for _, in := range m.inputs {
+			m.sourceCounterLocked(in)
+		}
+	}
+	if cfg.Plan != nil {
+		m.nodeOf = make([]int, len(cfg.Plan.NodeOf))
+		copy(m.nodeOf, cfg.Plan.NodeOf)
+	}
+	m.caps = cfg.Caps
+	if m.caps == nil {
+		m.caps = mat.NewVec(n)
+		for i := range m.caps {
+			m.caps[i] = 1
+			if i < len(cl.Nodes) && cl.Nodes[i] != nil {
+				m.caps[i] = cl.Nodes[i].capacity
+			}
+		}
+	}
+
+	if cl.Collector != nil {
+		cl.Collector.SetObserver(m.latHist, m.sinkC, cfg.Events, cfg.TraceEvery)
+	}
+	for _, nd := range cl.Nodes {
+		if nd != nil {
+			nd.SetObserver(cfg.Events, cfg.TraceEvery)
+		}
+	}
+	cl.SetEvents(cfg.Events)
+	cl.monitor = m
+
+	go m.run()
+	return m
+}
+
+// Registry returns the metrics registry the monitor feeds.
+func (m *Monitor) Registry() *obs.Registry { return m.cfg.Registry }
+
+// Series returns the sampled time-series set.
+func (m *Monitor) Series() *obs.SeriesSet { return m.cfg.Series }
+
+// Events returns the event log.
+func (m *Monitor) Events() *obs.EventLog { return m.cfg.Events }
+
+// SourceCounter returns the injection counter for one input stream; wire it
+// to the matching SourceDriver.Count so the monitor can estimate R̂. The
+// counter (and its rate series) is created on first use.
+func (m *Monitor) SourceCounter(sid query.StreamID) *obs.Counter {
+	m.srcMu.Lock()
+	defer m.srcMu.Unlock()
+	return m.sourceCounterLocked(sid)
+}
+
+func (m *Monitor) sourceCounterLocked(sid query.StreamID) *obs.Counter {
+	if c, ok := m.srcC[sid]; ok {
+		return c
+	}
+	label := strconv.Itoa(int(sid))
+	if m.cfg.LM != nil {
+		if st := m.cfg.LM.G.Stream(sid); st != nil && st.Name != "" {
+			label = st.Name
+		}
+	}
+	c := m.cfg.Registry.Counter(obs.MetricSourceTuples, "stream", label)
+	g := m.cfg.Registry.Gauge(obs.MetricSourceRate, "stream", label)
+	m.srcC[sid] = c
+	m.srcRate[sid] = obs.NewEWMA(m.cfg.RateAlpha)
+	m.srcG[sid] = g
+	m.sampler.ProbeGauge(obs.MetricSourceRate, g, "stream", label)
+	return c
+}
+
+// setOp tracks a migration: MoveOperator calls it after updating the plan
+// so headroom follows the live placement without racing plan mutations.
+func (m *Monitor) setOp(opID query.OpID, node int) {
+	m.planMu.Lock()
+	if int(opID) < len(m.nodeOf) {
+		m.nodeOf[opID] = node
+	}
+	m.planMu.Unlock()
+}
+
+// Close stops the sampling loop and waits for it to exit.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-tick.C:
+			m.tick(now)
+		}
+	}
+}
+
+func (m *Monitor) tick(now time.Time) {
+	ev := m.cfg.Events
+	dt := now.Sub(m.lastTick).Seconds()
+	m.lastTick = now
+	if dt <= 0 {
+		return
+	}
+
+	sts, err := m.cl.Stats()
+	if err != nil {
+		ev.Emit(obs.LevelWarn, obs.EventControlError, "op", "stats", "err", err.Error())
+		return
+	}
+
+	// Per-node gauges: windowed utilization from busy-time deltas (the
+	// control plane reports cumulative busy/elapsed), queue depth, counts.
+	utils := make([]float64, len(sts))
+	for i, s := range sts {
+		busy := s.Utilization * s.ElapsedSec
+		util := s.Utilization
+		if m.havePrev && s.ElapsedSec > m.lastElap[i] {
+			util = (busy - m.lastBusy[i]) / (s.ElapsedSec - m.lastElap[i])
+			if util < 0 {
+				util = 0
+			}
+			if util > 1 {
+				util = 1
+			}
+		}
+		m.lastBusy[i], m.lastElap[i] = busy, s.ElapsedSec
+		utils[i] = util
+		m.utilG[i].Set(util)
+		m.queueG[i].Set(float64(s.QueueLen))
+		m.injC[i].Store(s.Injected)
+		m.emiC[i].Store(s.Emitted)
+	}
+	m.havePrev = true
+
+	// Source rates: counter deltas over the window, EWMA-smoothed into R̂.
+	m.srcMu.Lock()
+	for sid, c := range m.srcC {
+		cur := c.Value()
+		m.srcRate[sid].Observe(float64(cur-m.srcLast[sid]) / dt)
+		m.srcLast[sid] = cur
+		m.srcG[sid].Set(m.srcRate[sid].Value())
+	}
+	// Feasibility headroom 1 − L^n_i·R̂/C_i at the smoothed rate point.
+	if m.cfg.LM != nil && m.nodeOf != nil {
+		rhat := mat.NewVec(len(m.inputs))
+		for k, in := range m.inputs {
+			rhat[k] = m.srcRate[in].Value()
+		}
+		m.srcMu.Unlock()
+		if x, err := m.cfg.LM.ResolveVars(rhat); err == nil {
+			opLoads := m.cfg.LM.Loads(x)
+			loads := make([]float64, len(sts))
+			m.planMu.Lock()
+			for op, node := range m.nodeOf {
+				if node >= 0 && node < len(loads) {
+					loads[node] += opLoads[op]
+				}
+			}
+			m.planMu.Unlock()
+			for i := range loads {
+				cap := 1.0
+				if i < len(m.caps) && m.caps[i] > 0 {
+					cap = m.caps[i]
+				}
+				m.headG[i].Set(1 - loads[i]/cap)
+			}
+		}
+	} else {
+		m.srcMu.Unlock()
+	}
+
+	// Sink latency quantiles from the cumulative histogram.
+	for p, g := range m.latQ {
+		if v, ok := m.latHist.Quantile(p); ok {
+			g.Set(v)
+		}
+	}
+
+	// Overload onset/clearance with queue hysteresis.
+	for i, s := range sts {
+		if !m.overQ[i] && utils[i] >= m.cfg.OverloadUtil && s.QueueLen >= m.cfg.OverloadQueue {
+			m.overQ[i] = true
+			ev.Emit(obs.LevelWarn, obs.EventOverloadOnset,
+				"node", i, "util", utils[i], "queue", s.QueueLen,
+				"headroom", m.headG[i].Value())
+		} else if m.overQ[i] && utils[i] < m.cfg.OverloadUtil && s.QueueLen <= m.cfg.ClearQueue {
+			m.overQ[i] = false
+			ev.Emit(obs.LevelInfo, obs.EventOverloadClear,
+				"node", i, "util", utils[i], "queue", s.QueueLen,
+				"headroom", m.headG[i].Value())
+		}
+	}
+
+	m.sampler.Sample(now.Sub(m.start).Seconds())
+}

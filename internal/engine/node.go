@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"rodsp/internal/obs"
 	"rodsp/internal/stats"
 )
 
@@ -46,6 +47,10 @@ type Node struct {
 
 	estimator *stats.CostEstimator
 	wg        sync.WaitGroup
+
+	events      *obs.EventLog // nil-safe; see SetObserver
+	traceEvery  int64
+	relayWarned map[string]bool
 }
 
 type liveOp struct {
@@ -93,6 +98,24 @@ func NewNode(addr string, capacity float64) (*Node, error) {
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetObserver attaches an event log for relay-error events and sampled
+// per-tuple trace spans (tuples whose Seq is a multiple of traceEvery emit
+// span events; 0 disables spans). The obs.EventLog methods are nil-receiver
+// safe, so instrumentation sites emit unconditionally.
+func (n *Node) SetObserver(ev *obs.EventLog, traceEvery int64) {
+	n.mu.Lock()
+	n.events = ev
+	n.traceEvery = traceEvery
+	n.relayWarned = map[string]bool{}
+	n.mu.Unlock()
+}
+
+// traced reports whether tuple t should emit trace spans under the
+// configured sampling stride.
+func traced(every int64, t Tuple) bool {
+	return every > 0 && t.Stream >= 0 && t.Seq%every == 0
+}
 
 // Close shuts the node down and waits for its goroutines.
 func (n *Node) Close() error {
@@ -190,10 +213,38 @@ func (n *Node) enqueueInbound(t Tuple) {
 		n.queue = append(n.queue, t)
 		n.qcond.Signal()
 	}
+	ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
 	n.mu.Unlock()
-	for _, d := range relay {
-		n.send(d.Addr, t) //nolint:errcheck // best-effort relay
+	if traced(every, t) {
+		ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
+			"node", nodeID, "stream", int(t.Stream), "seq", t.Seq)
 	}
+	for _, d := range relay {
+		// Relays are best-effort (a failed hop drops tuples, it does not
+		// stall the data plane), but failures surface as warn events once
+		// per destination instead of vanishing.
+		if err := n.send(d.Addr, t); err != nil {
+			n.mu.Lock()
+			warned := n.relayWarned[d.Addr]
+			if !warned && n.relayWarned != nil {
+				n.relayWarned[d.Addr] = true
+			}
+			n.mu.Unlock()
+			if !warned {
+				ev.Emit(obs.LevelWarn, obs.EventRelayError,
+					"node", nodeID, "addr", d.Addr, "stream", int(t.Stream), "err", err.Error())
+			}
+		}
+	}
+}
+
+// nodeIDLocked returns the deployed node id (-1 before deployment).
+// Callers must hold n.mu.
+func (n *Node) nodeIDLocked() int {
+	if n.spec == nil {
+		return -1
+	}
+	return n.spec.NodeID
 }
 
 // QueueLen returns the current work-queue length.
@@ -226,6 +277,7 @@ func (n *Node) worker() {
 		consumers := n.subs[int(t.Stream)]
 		started := n.started
 		start := n.startT
+		ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
 		n.mu.Unlock()
 
 		var cost float64
@@ -252,6 +304,11 @@ func (n *Node) worker() {
 					time.Sleep(ahead)
 				}
 			}
+		}
+		if traced(every, t) {
+			ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
+				"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
+				"cost", cost, "outs", len(outs))
 		}
 		for _, o := range outs {
 			n.route(o, true)

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured log record. T is seconds since the log's start on
+// the monotonic clock (or the virtual timestamp passed to EmitAt), so event
+// order and spacing survive wall-clock adjustments; Seq is a strictly
+// increasing sequence number assigning a total order even to events emitted
+// concurrently in the same instant.
+type Event struct {
+	Seq    int64          `json:"seq"`
+	T      float64        `json:"t"`
+	Level  string         `json:"level"`
+	Type   string         `json:"type"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// EventLog is a concurrency-safe structured event log with a bounded ring
+// of retained events and an optional JSON-lines sink. All methods are safe
+// on a nil receiver (no-ops / empty results), so instrumented code can emit
+// unconditionally.
+type EventLog struct {
+	mu    sync.Mutex
+	start time.Time
+	seq   int64
+	ring  []Event
+	head  int
+	n     int
+	w     io.Writer
+	werr  bool
+}
+
+// NewEventLog returns a log retaining up to capacity events (default 4096
+// when capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &EventLog{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// SetWriter attaches a JSON-lines sink: every subsequent event is encoded
+// as one JSON object per line. A write failure disables the sink (the
+// in-memory ring keeps working).
+func (l *EventLog) SetWriter(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.w, l.werr = w, false
+	l.mu.Unlock()
+}
+
+// Emit records an event stamped with the monotonic time since the log
+// started (captured under the log's lock, so Seq order and timestamp order
+// agree even under concurrent emitters). kv lists alternating field names
+// and values.
+func (l *EventLog) Emit(level, typ string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(0, true, level, typ, kv)
+}
+
+// EmitAt records an event with an explicit timestamp (the simulator's
+// virtual clock).
+func (l *EventLog) EmitAt(t float64, level, typ string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(t, false, level, typ, kv)
+}
+
+func (l *EventLog) emit(t float64, clock bool, level, typ string, kv []any) {
+	var fields map[string]any
+	if len(kv) > 0 {
+		fields = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			fields[fmt.Sprint(kv[i])] = kv[i+1]
+		}
+	}
+	l.mu.Lock()
+	if clock {
+		t = time.Since(l.start).Seconds()
+	}
+	l.seq++
+	e := Event{Seq: l.seq, T: t, Level: level, Type: typ, Fields: fields}
+	if l.n < len(l.ring) {
+		l.ring[(l.head+l.n)%len(l.ring)] = e
+		l.n++
+	} else {
+		l.ring[l.head] = e
+		l.head = (l.head + 1) % len(l.ring)
+	}
+	// The sink write stays under the lock so the JSONL file preserves Seq
+	// order; event volume is control-plane scale, not per-tuple.
+	if l.w != nil && !l.werr {
+		b, err := json.Marshal(&e)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = l.w.Write(b)
+		}
+		if err != nil {
+			l.werr = true
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.ring[(l.head+i)%len(l.ring)]
+	}
+	return out
+}
+
+// Count returns how many retained events have the given type.
+func (l *EventLog) Count(typ string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// Find returns the first retained event of the given type (ok=false when
+// absent).
+func (l *EventLog) Find(typ string) (Event, bool) {
+	for _, e := range l.Events() {
+		if e.Type == typ {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// WriteJSON renders the retained events as a JSON array.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

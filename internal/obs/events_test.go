@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogBasics(t *testing.T) {
+	l := NewEventLog(16)
+	l.Emit(LevelInfo, EventDeploy, "node", 0, "ops", 3)
+	l.Emit(LevelWarn, EventControlError, "err", "boom")
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].Type != EventDeploy || events[0].Fields["ops"] != 3 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Level != LevelWarn {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if l.Count(EventControlError) != 1 {
+		t.Fatal("count mismatch")
+	}
+	if e, ok := l.Find(EventDeploy); !ok || e.Seq != 1 {
+		t.Fatalf("find = %+v %v", e, ok)
+	}
+	if _, ok := l.Find("missing"); ok {
+		t.Fatal("found a missing type")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(LevelInfo, "x")
+	l.EmitAt(1, LevelInfo, "x")
+	l.SetWriter(&bytes.Buffer{})
+	if l.Events() != nil || l.Count("x") != 0 {
+		t.Fatal("nil log must be empty")
+	}
+}
+
+func TestEventLogRingRetention(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.EmitAt(float64(i), LevelInfo, "tick", "i", i)
+	}
+	events := l.Events()
+	if len(events) != 4 {
+		t.Fatalf("%d retained", len(events))
+	}
+	if events[0].Fields["i"] != 6 || events[3].Fields["i"] != 9 {
+		t.Fatalf("retained window = %+v", events)
+	}
+	// Seq keeps counting across evictions.
+	if events[3].Seq != 10 {
+		t.Fatalf("last seq = %d", events[3].Seq)
+	}
+}
+
+// TestEventLogOrderingConcurrent asserts the total order: with many
+// concurrent emitters, retained events have strictly increasing Seq and
+// non-decreasing timestamps in log order, and no event is lost.
+func TestEventLogOrderingConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	l := NewEventLog(workers * perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Emit(LevelInfo, "tick", "w", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := l.Events()
+	if len(events) != workers*perWorker {
+		t.Fatalf("%d events, want %d", len(events), workers*perWorker)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+		if events[i].T < events[i-1].T {
+			t.Fatalf("timestamp regression at %d: %g then %g", i, events[i-1].T, events[i].T)
+		}
+	}
+}
+
+func TestEventLogJSONLinesWriter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(8)
+	l.SetWriter(&buf)
+	l.Emit(LevelInfo, EventOverloadOnset, "node", 1, "util", 0.99)
+	l.Emit(LevelInfo, EventOverloadClear, "node", 1)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != EventOverloadOnset || e.Fields["node"] != float64(1) {
+		t.Fatalf("line 0 = %+v", e)
+	}
+
+	var wj bytes.Buffer
+	if err := l.WriteJSON(&wj); err != nil {
+		t.Fatal(err)
+	}
+	var arr []Event
+	if err := json.Unmarshal(wj.Bytes(), &arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 || arr[1].Type != EventOverloadClear {
+		t.Fatalf("array = %+v", arr)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, bytes.ErrTooLarge
+}
+
+func TestEventLogWriterFailureDisablesSink(t *testing.T) {
+	l := NewEventLog(8)
+	fw := &failingWriter{}
+	l.SetWriter(fw)
+	l.Emit(LevelInfo, "a")
+	l.Emit(LevelInfo, "b")
+	if fw.n != 1 {
+		t.Fatalf("sink called %d times, want 1 (disabled after failure)", fw.n)
+	}
+	if len(l.Events()) != 2 {
+		t.Fatal("ring must keep working after sink failure")
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the boundary convention: a value equal
+// to an upper bound lands in that bound's bucket (le semantics), values
+// above every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		x      float64
+		bucket int
+	}{
+		{-1, 0}, {0, 0}, {0.999, 0}, {1, 0},
+		{1.0001, 1}, {2, 1},
+		{2.5, 2}, {4, 2},
+		{4.0001, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		before := h.BucketCount(c.bucket)
+		h.Observe(c.x)
+		if h.BucketCount(c.bucket) != before+1 {
+			t.Fatalf("Observe(%g) did not land in bucket %d", c.x, c.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v must panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the interpolated quantile estimate
+// against the exact sample quantile: the error must stay within one bucket
+// width at the quantile's location.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	const width = 0.05
+	var bounds []float64
+	for b := width; b <= 1.0+1e-9; b += width {
+		bounds = append(bounds, b)
+	}
+	h := NewHistogram(bounds)
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		// Skewed distribution: squared uniform stresses uneven buckets.
+		u := rng.Float64()
+		xs[i] = u * u
+	}
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	for _, p := range []float64{10, 50, 90, 95, 99} {
+		exact, ok := Quantiles(xs, p)
+		if !ok {
+			t.Fatal("exact quantiles not ok")
+		}
+		est, ok := h.Quantile(p)
+		if !ok {
+			t.Fatalf("histogram quantile p%g not ok", p)
+		}
+		if err := math.Abs(est - exact[0]); err > width {
+			t.Fatalf("p%g: estimate %g vs exact %g, error %g > bucket width %g", p, est, exact[0], err, width)
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if _, ok := h.Quantile(50); ok {
+		t.Fatal("empty histogram must report ok=false")
+	}
+}
+
+func TestQuantilesEmptyAndSingle(t *testing.T) {
+	if qs, ok := Quantiles(nil, 50, 99); ok || qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty input: qs=%v ok=%v", qs, ok)
+	}
+	qs, ok := Quantiles([]float64{3}, 0, 50, 100)
+	if !ok || qs[0] != 3 || qs[1] != 3 || qs[2] != 3 {
+		t.Fatalf("single sample: qs=%v ok=%v", qs, ok)
+	}
+	// Linear interpolation between closest ranks (matches stats.Percentile).
+	qs, _ = Quantiles([]float64{4, 1, 2, 3}, 50)
+	if qs[0] != 2.5 {
+		t.Fatalf("p50 of 1..4 = %g, want 2.5", qs[0])
+	}
+	// Out-of-range percentiles clamp instead of panicking.
+	qs, _ = Quantiles([]float64{1, 2}, -5, 200)
+	if qs[0] != 1 || qs[1] != 2 {
+		t.Fatalf("clamped quantiles = %v", qs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, ok := Summarize(nil); ok {
+		t.Fatal("empty summary must be ok=false")
+	}
+	s, ok := Summarize([]float64{1, 2, 3, 4})
+	if !ok || s.Count != 4 || s.Mean != 2.5 || s.Max != 4 {
+		t.Fatalf("summary = %+v ok=%v", s, ok)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("fresh EWMA must read 0")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation must seed: %g", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("after 20: %g", e.Value())
+	}
+	// Invalid alpha falls back to the default rather than dividing by zero.
+	if NewEWMA(0).alpha != 0.4 || NewEWMA(2).alpha != 0.4 {
+		t.Fatal("invalid alpha must fall back to default")
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// NewHTTPHandler serves the observability endpoints:
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/series      sampled time series as JSON
+//	/series.csv  the same series in long-form CSV
+//	/events      the retained structured events as a JSON array
+//
+// Any of the three components may be nil; its endpoints then answer 404.
+func NewHTTPHandler(reg *Registry, set *SeriesSet, ev *EventLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "rodsp observability endpoints: /metrics /series /series.csv /events")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // best-effort response body
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		if set == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		set.WriteJSON(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/series.csv", func(w http.ResponseWriter, r *http.Request) {
+		if set == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		set.WriteCSV(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if ev == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		ev.WriteJSON(w) //nolint:errcheck
+	})
+	return mux
+}
+
+// ServeHTTP starts an HTTP server for the observability endpoints on addr
+// (":0" picks an ephemeral port). It returns the bound address and a close
+// function. Serving errors after a successful bind are ignored (the server
+// lives until closed).
+func ServeHTTP(addr string, reg *Registry, set *SeriesSet, ev *EventLog) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHTTPHandler(reg, set, ev)}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return ln.Addr().String(), srv.Close, nil
+}

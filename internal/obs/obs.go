@@ -1,0 +1,76 @@
+// Package obs is the unified observability layer: a concurrency-safe
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// allocation-free hot paths), a time-series sampler retaining ring-buffered
+// series, a structured JSON-lines event log with monotonic ordering, and
+// exposition in Prometheus text format, JSON and CSV.
+//
+// Both the TCP engine (internal/engine) and the discrete-event simulator
+// (internal/sim) report through this package using the same metric names,
+// so a DES run and a prototype run emit directly comparable series — in
+// particular the live feasibility headroom 1 − L^n_i·R̂/C_i, the paper's
+// feasibility test evaluated continuously against an EWMA of the observed
+// input rates.
+package obs
+
+// Canonical metric names shared by the engine and the simulator. Keeping
+// them as constants guarantees the two runtimes emit an identical series
+// schema (exercised by the sim-vs-prototype cross-validation).
+const (
+	// MetricNodeUtilization is each node's utilization over the last sample
+	// window (busy virtual-CPU seconds per wall/sim second, capped at 1).
+	MetricNodeUtilization = "rodsp_node_utilization"
+	// MetricNodeQueueDepth is the node's instantaneous work-queue length.
+	MetricNodeQueueDepth = "rodsp_node_queue_depth"
+	// MetricNodeHeadroom is the live feasibility headroom 1 − L^n_i·R̂/C_i:
+	// positive while the node is inside its feasible half-space at the
+	// EWMA-estimated input rates, ≤ 0 once the observed load point leaves it.
+	MetricNodeHeadroom = "rodsp_node_feasibility_headroom"
+	// MetricNodeInjected counts tuples accepted by the node's data plane.
+	MetricNodeInjected = "rodsp_node_tuples_injected_total"
+	// MetricNodeEmitted counts tuples the node's operators produced/forwarded.
+	MetricNodeEmitted = "rodsp_node_tuples_emitted_total"
+	// MetricSourceRate is the EWMA-smoothed input rate per source stream
+	// (tuples/second) — the R̂ entering the headroom computation.
+	MetricSourceRate = "rodsp_source_rate"
+	// MetricSourceTuples counts tuples injected per source stream; its
+	// per-window delta is the raw rate observation feeding MetricSourceRate.
+	MetricSourceTuples = "rodsp_source_tuples_total"
+	// MetricSinkLatency is the end-to-end sink latency histogram (seconds).
+	MetricSinkLatency = "rodsp_sink_latency_seconds"
+	// MetricSinkLatencyQuantile carries the sampled p50/p95/p99 series
+	// (label quantile="p50"|"p95"|"p99") over the last sample window.
+	MetricSinkLatencyQuantile = "rodsp_sink_latency_quantile_seconds"
+	// MetricSinkTuples counts tuples that reached a sink.
+	MetricSinkTuples = "rodsp_sink_tuples_total"
+)
+
+// Event types emitted by the engine and the simulator.
+const (
+	EventDeploy         = "deploy"
+	EventNodeConnect    = "node_connect"
+	EventNodeDisconnect = "node_disconnect"
+	EventOverloadOnset  = "overload_onset"
+	EventOverloadClear  = "overload_clear"
+	EventMigrateInstall = "migrate_install"
+	EventMigrateStall   = "migrate_stall"
+	EventMigrateRemove  = "migrate_remove"
+	EventControlError   = "control_error"
+	EventRelayError     = "relay_error"
+	EventSpan           = "span"
+)
+
+// Event levels.
+const (
+	LevelDebug = "debug"
+	LevelInfo  = "info"
+	LevelWarn  = "warn"
+)
+
+// DefaultLatencyBuckets are the histogram upper bounds (seconds) used for
+// sink latency: roughly logarithmic from 1 ms to 60 s.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+		0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
+	}
+}

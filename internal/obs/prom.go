@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (text/plain; version 0.0.4), deterministically ordered
+// by metric name then label signature.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, e := range f.series {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(e.labels, "", ""), e.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, promLabels(e.labels, "", ""), e.g.Value())
+			case kindHistogram:
+				err = writePromHistogram(w, f.name, e)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, e *labeled) error {
+	h := e.h
+	var cum int64
+	for i, b := range h.Bounds() {
+		cum += h.BucketCount(i)
+		le := fmt.Sprintf("%g", b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.BucketCount(len(h.Bounds()))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(e.labels, "", ""), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(e.labels, "", ""), h.Count())
+	return err
+}
+
+// promLabels renders {k="v",...}, appending one extra pair when extraK is
+// non-empty; it returns "" with no labels at all.
+func promLabels(labels []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantiles returns the given percentiles (0 ≤ p ≤ 100, clamped) of xs by
+// linear interpolation between closest ranks, sorting only once. Unlike
+// stats.Percentile it never panics: with no samples it returns zeros and
+// ok=false. The input is not modified.
+func Quantiles(xs []float64, ps ...float64) ([]float64, bool) {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out, false
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			out[i] = sorted[lo]
+			continue
+		}
+		frac := rank - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out, true
+}
+
+// LatencySummary is the shared latency digest both the engine collector and
+// the simulator report (seconds).
+type LatencySummary struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max float64
+}
+
+// Summarize digests a latency sample set; ok is false (zero summary) with
+// no samples.
+func Summarize(xs []float64) (LatencySummary, bool) {
+	qs, ok := Quantiles(xs, 50, 95, 99, 100)
+	if !ok {
+		return LatencySummary{}, false
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return LatencySummary{
+		Count: int64(len(xs)),
+		Mean:  sum / float64(len(xs)),
+		P50:   qs[0],
+		P95:   qs[1],
+		P99:   qs[2],
+		Max:   qs[3],
+	}, true
+}
+
+// EWMA is an exponentially weighted moving average: the rate estimator R̂
+// behind the live feasibility-headroom computation. The zero value is not
+// usable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0, 1]; the
+// first observation seeds the average directly.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.4
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one observation.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.v, e.init = x, true
+		return
+	}
+	e.v += e.alpha * (x - e.v)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }

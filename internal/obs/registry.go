@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; Inc/Add are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for counter semantics; not enforced on
+// the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Store overwrites the value — for mirroring an externally accumulated
+// monotone count (e.g. a node's snapshot) into the registry.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric. The zero value is ready to use;
+// Set/Value are lock-free and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Add adds x via a CAS loop.
+func (g *Gauge) Add(x float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus an
+// overflow (+Inf) bucket, a running sum and a total count. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing upper
+// bounds (the +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %g <= %g", i, bounds[i], bounds[i-1]))
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records x into its bucket (binary search over the bounds).
+func (h *Histogram) Observe(x float64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (not including +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCount returns the count in bucket i (i == len(Bounds()) is +Inf).
+func (h *Histogram) BucketCount(i int) int64 { return h.buckets[i].Load() }
+
+// Quantile estimates the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation inside the containing bucket (lower edge 0 for the first
+// bucket); the +Inf bucket reports the last finite bound. It returns
+// (0, false) with no observations. The estimate is exact to within one
+// bucket width — see the error-bound test.
+func (h *Histogram) Quantile(p float64) (float64, bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := p / 100 * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= target {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1], true
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(h.bounds[i]-lo), true
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
+// metricKind discriminates the registry families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups all label variants of one metric name.
+type family struct {
+	name   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+	series []*labeled
+	byKey  map[string]*labeled
+}
+
+type labeled struct {
+	labels []string // k1,v1,k2,v2,...
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram
+// lookups) takes a mutex and may allocate; the returned handles are stable,
+// so hot paths hold a handle and never touch the registry again.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and label pairs ("node", "0").
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	e := r.lookup(name, kindCounter, nil, labels)
+	return e.c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	e := r.lookup(name, kindGauge, nil, labels)
+	return e.g
+}
+
+// Histogram returns (registering on first use) the named histogram. bounds
+// is only consulted on first registration of the family (nil uses
+// DefaultLatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	e := r.lookup(name, kindHistogram, bounds, labels)
+	return e.h
+}
+
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return strings.Join(labels, "\xff")
+}
+
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) *labeled {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q has odd label list %v", name, labels))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, bounds: bounds, byKey: map[string]*labeled{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	if e := f.byKey[key]; e != nil {
+		return e
+	}
+	cp := make([]string, len(labels))
+	copy(cp, labels)
+	e := &labeled{labels: cp}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = NewHistogram(f.bounds)
+	}
+	f.byKey[key] = e
+	f.series = append(f.series, e)
+	return e
+}
+
+// famSnapshot is an immutable copy of one family for exposition.
+type famSnapshot struct {
+	name   string
+	kind   metricKind
+	bounds []float64
+	series []*labeled
+}
+
+// snapshot returns the families sorted by name with series sorted by label
+// signature, for deterministic exposition. The copies are taken under the
+// registry lock so concurrent registration cannot race the render.
+func (r *Registry) snapshot() []famSnapshot {
+	r.mu.Lock()
+	fams := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		cp := famSnapshot{name: f.name, kind: f.kind, bounds: f.bounds}
+		cp.series = append(cp.series, f.series...)
+		fams = append(fams, cp)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool {
+			return labelKey(f.series[i].labels) < labelKey(f.series[j].labels)
+		})
+	}
+	return fams
+}

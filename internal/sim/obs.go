@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"strconv"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/obs"
+	"rodsp/internal/query"
+)
+
+// ObsConfig enables observability inside a simulation run: the same metric
+// schema the engine's Monitor emits (per-node utilization, queue depth,
+// feasibility headroom, tuple counts, source rates, sink latency), sampled
+// at virtual-time intervals into ring-buffered series, plus overload
+// onset/clearance and migration events stamped with simulation time.
+type ObsConfig struct {
+	// Interval is the virtual-time sampling period (simulated seconds).
+	// Default Duration/100.
+	Interval float64
+	// SeriesCap bounds the points retained per series (obs default when 0).
+	SeriesCap int
+
+	// Registry and Events receive the metrics and events; fresh instances
+	// are created for any left nil (exposed on the Result).
+	Registry *obs.Registry
+	Events   *obs.EventLog
+
+	// Overload detection thresholds, matching engine.MonitorConfig:
+	// onset at OverloadUtil (default 0.95) with OverloadQueue queued items
+	// (default 100); clearance below OverloadUtil with the queue at or
+	// under ClearQueue (default OverloadQueue/4).
+	OverloadUtil  float64
+	OverloadQueue int
+	ClearQueue    int
+
+	// RateAlpha is the EWMA smoothing for source rates (default 0.4).
+	RateAlpha float64
+}
+
+// observer carries the per-run observability state; nil when disabled.
+type observer struct {
+	cfg     ObsConfig
+	reg     *obs.Registry
+	set     *obs.SeriesSet
+	ev      *obs.EventLog
+	sampler *obs.Sampler
+
+	lm   *query.LoadModel // nil when the graph has no valid load model
+	caps mat.Vec
+
+	utilG  []*obs.Gauge
+	queueG []*obs.Gauge
+	headG  []*obs.Gauge
+	injC   []*obs.Counter
+	emiC   []*obs.Counter
+
+	srcG     []*obs.Gauge
+	srcTotC  []*obs.Counter
+	srcRate  []*obs.EWMA
+	srcCount []int64 // arrivals per input stream (cumulative)
+	srcLast  []int64
+
+	hist  *obs.Histogram
+	sinkC *obs.Counter
+	latQ  map[float64]*obs.Gauge
+
+	lastBusy []float64
+	over     []bool
+}
+
+// newObserver builds the observer for one run; cfg.Obs must be non-nil.
+func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *observer {
+	oc := *cfg.Obs
+	if oc.Interval <= 0 {
+		oc.Interval = cfg.Duration / 100
+	}
+	if oc.Registry == nil {
+		oc.Registry = obs.NewRegistry()
+	}
+	if oc.Events == nil {
+		oc.Events = obs.NewEventLog(0)
+	}
+	if oc.OverloadUtil <= 0 {
+		oc.OverloadUtil = 0.95
+	}
+	if oc.OverloadQueue <= 0 {
+		oc.OverloadQueue = 100
+	}
+	if oc.ClearQueue <= 0 {
+		oc.ClearQueue = oc.OverloadQueue / 4
+	}
+
+	o := &observer{
+		cfg:      oc,
+		reg:      oc.Registry,
+		set:      obs.NewSeriesSet(oc.SeriesCap),
+		ev:       oc.Events,
+		caps:     cfg.Capacities,
+		utilG:    make([]*obs.Gauge, n),
+		queueG:   make([]*obs.Gauge, n),
+		headG:    make([]*obs.Gauge, n),
+		injC:     make([]*obs.Counter, n),
+		emiC:     make([]*obs.Counter, n),
+		srcG:     make([]*obs.Gauge, len(inputs)),
+		srcTotC:  make([]*obs.Counter, len(inputs)),
+		srcRate:  make([]*obs.EWMA, len(inputs)),
+		srcCount: make([]int64, len(inputs)),
+		srcLast:  make([]int64, len(inputs)),
+		latQ:     map[float64]*obs.Gauge{},
+		lastBusy: make([]float64, n),
+		over:     make([]bool, n),
+	}
+	o.sampler = obs.NewSampler(o.set)
+	if lm, err := query.BuildLoadModel(g); err == nil {
+		o.lm = lm
+	}
+	for i := 0; i < n; i++ {
+		node := strconv.Itoa(i)
+		o.utilG[i] = o.reg.Gauge(obs.MetricNodeUtilization, "node", node)
+		o.queueG[i] = o.reg.Gauge(obs.MetricNodeQueueDepth, "node", node)
+		o.headG[i] = o.reg.Gauge(obs.MetricNodeHeadroom, "node", node)
+		o.headG[i].Set(1)
+		o.injC[i] = o.reg.Counter(obs.MetricNodeInjected, "node", node)
+		o.emiC[i] = o.reg.Counter(obs.MetricNodeEmitted, "node", node)
+		o.sampler.ProbeGauge(obs.MetricNodeUtilization, o.utilG[i], "node", node)
+		o.sampler.ProbeGauge(obs.MetricNodeQueueDepth, o.queueG[i], "node", node)
+		o.sampler.ProbeGauge(obs.MetricNodeHeadroom, o.headG[i], "node", node)
+		o.sampler.ProbeCounter(obs.MetricNodeInjected, o.injC[i], "node", node)
+		o.sampler.ProbeCounter(obs.MetricNodeEmitted, o.emiC[i], "node", node)
+	}
+	for s, in := range inputs {
+		label := strconv.Itoa(int(in))
+		if st := g.Stream(in); st != nil && st.Name != "" {
+			label = st.Name
+		}
+		o.srcTotC[s] = o.reg.Counter(obs.MetricSourceTuples, "stream", label)
+		o.srcG[s] = o.reg.Gauge(obs.MetricSourceRate, "stream", label)
+		o.srcRate[s] = obs.NewEWMA(oc.RateAlpha)
+		o.sampler.ProbeGauge(obs.MetricSourceRate, o.srcG[s], "stream", label)
+	}
+	o.hist = o.reg.Histogram(obs.MetricSinkLatency, nil)
+	o.sinkC = o.reg.Counter(obs.MetricSinkTuples)
+	for _, p := range []float64{50, 95, 99} {
+		q := "p" + strconv.FormatFloat(p, 'g', -1, 64)
+		g := o.reg.Gauge(obs.MetricSinkLatencyQuantile, "quantile", q)
+		o.latQ[p] = g
+		o.sampler.ProbeGauge(obs.MetricSinkLatencyQuantile, g, "quantile", q)
+	}
+	o.sampler.ProbeCounter(obs.MetricSinkTuples, o.sinkC)
+	return o
+}
+
+// onSource records one source arrival on input stream index s and feeds
+// the per-stream injection counter.
+func (o *observer) onSource(s int) {
+	o.srcCount[s]++
+	o.srcTotC[s].Inc()
+}
+
+// onSink records one sink tuple's end-to-end latency.
+func (o *observer) onSink(lat float64) {
+	o.hist.Observe(lat)
+	o.sinkC.Inc()
+}
+
+// sample takes one virtual-time sample at now, reading node and placement
+// state owned by the (single-threaded) event loop.
+func (o *observer) sample(now float64, nodes []nodeState, nodeOf []int) {
+	// Windowed utilization from busy-time deltas. Service time is charged
+	// up front at service start, so a window's delta can exceed the
+	// interval; cap at 1 like the engine monitor.
+	utils := make([]float64, len(nodes))
+	for i := range nodes {
+		util := (nodes[i].busyTime - o.lastBusy[i]) / o.cfg.Interval
+		o.lastBusy[i] = nodes[i].busyTime
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
+		utils[i] = util
+		o.utilG[i].Set(util)
+		o.queueG[i].Set(float64(nodes[i].qlen()))
+	}
+
+	// Source rates (EWMA of per-window arrival counts).
+	for s := range o.srcCount {
+		o.srcRate[s].Observe(float64(o.srcCount[s]-o.srcLast[s]) / o.cfg.Interval)
+		o.srcLast[s] = o.srcCount[s]
+		o.srcG[s].Set(o.srcRate[s].Value())
+	}
+
+	// Feasibility headroom at the smoothed rate point, against the live
+	// operator→node map (rebalancing mutates it mid-run).
+	if o.lm != nil {
+		rhat := mat.NewVec(len(o.srcRate))
+		for s := range o.srcRate {
+			rhat[s] = o.srcRate[s].Value()
+		}
+		if x, err := o.lm.ResolveVars(rhat); err == nil {
+			opLoads := o.lm.Loads(x)
+			loads := make([]float64, len(nodes))
+			for op, node := range nodeOf {
+				if node >= 0 && node < len(loads) {
+					loads[node] += opLoads[op]
+				}
+			}
+			for i := range loads {
+				cap := 1.0
+				if i < len(o.caps) && o.caps[i] > 0 {
+					cap = o.caps[i]
+				}
+				o.headG[i].Set(1 - loads[i]/cap)
+			}
+		}
+	}
+
+	// Sink latency quantiles from the cumulative histogram.
+	for p, g := range o.latQ {
+		if v, ok := o.hist.Quantile(p); ok {
+			g.Set(v)
+		}
+	}
+
+	// Overload onset/clearance with queue hysteresis.
+	for i := range nodes {
+		q := nodes[i].qlen()
+		if !o.over[i] && utils[i] >= o.cfg.OverloadUtil && q >= o.cfg.OverloadQueue {
+			o.over[i] = true
+			o.ev.EmitAt(now, obs.LevelWarn, obs.EventOverloadOnset,
+				"node", i, "util", utils[i], "queue", q, "headroom", o.headG[i].Value())
+		} else if o.over[i] && utils[i] < o.cfg.OverloadUtil && q <= o.cfg.ClearQueue {
+			o.over[i] = false
+			o.ev.EmitAt(now, obs.LevelInfo, obs.EventOverloadClear,
+				"node", i, "util", utils[i], "queue", q, "headroom", o.headG[i].Value())
+		}
+	}
+
+	o.sampler.Sample(now)
+}

@@ -13,8 +13,8 @@ import (
 	"math/rand"
 
 	"rodsp/internal/mat"
+	"rodsp/internal/obs"
 	"rodsp/internal/query"
-	"rodsp/internal/stats"
 	"rodsp/internal/trace"
 )
 
@@ -60,6 +60,11 @@ type Config struct {
 	// Rebalance enables dynamic operator redistribution (nil = static
 	// placement, the paper's setting for ROD).
 	Rebalance *RebalanceConfig
+
+	// Obs enables in-run observability: virtual-time sampling of the same
+	// metric schema the engine monitor emits, plus overload and migration
+	// events (nil = disabled).
+	Obs *ObsConfig
 }
 
 // Result summarizes a run.
@@ -87,6 +92,11 @@ type Result struct {
 	// second (its measured load — the quantity the load model predicts as
 	// L^o_j·R).
 	OpUtilization mat.Vec
+
+	// Series and EventLog carry the sampled time series and events when
+	// Config.Obs was set (nil otherwise).
+	Series   *obs.SeriesSet
+	EventLog *obs.EventLog
 }
 
 // Overloaded reports whether any node ended the run effectively saturated:
@@ -115,6 +125,7 @@ const (
 	evCompletion
 	evSource
 	evRebalance
+	evSample
 )
 
 // overheadOp marks a work item that burns CPU (network send/receive cost)
@@ -268,7 +279,20 @@ func Run(cfg Config) (*Result, error) {
 		seq       int64
 		result    = &Result{Utilization: make(mat.Vec, n), Backlog: make([]int, n), PeakQueue: make([]int, n)}
 		latencies []float64
+		obsv      *observer
 	)
+	if cfg.Obs != nil {
+		obsv = newObserver(&cfg, g, inputs, n)
+		result.Series = obsv.set
+		result.EventLog = obsv.ev
+		perNode := make([]int, n)
+		for _, node := range nodeOf {
+			perNode[node]++
+		}
+		for i, ops := range perNode {
+			obsv.ev.EmitAt(0, obs.LevelInfo, obs.EventDeploy, "node", i, "ops", ops)
+		}
+	}
 	sched := func(e event) {
 		e.seq = seq
 		seq++
@@ -342,6 +366,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Rebalance != nil {
 		sched(event{time: cfg.Rebalance.Period, kind: evRebalance})
 	}
+	if obsv != nil {
+		sched(event{time: obsv.cfg.Interval, kind: evSample})
+	}
 
 	// rebalance collects one window's statistics, asks the policy for moves
 	// and applies them, freezing source and destination for the migration
@@ -373,6 +400,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 			nodeOf[mv.Op] = mv.To
 			result.Rebalance.Moves++
+			if obsv != nil {
+				obsv.ev.EmitAt(now, obs.LevelInfo, obs.EventMigrateInstall, "op", mv.Op, "from", from, "to", mv.To)
+				obsv.ev.EmitAt(now, obs.LevelInfo, obs.EventMigrateRemove, "op", mv.Op, "from", from, "to", mv.To)
+			}
 			if rc.MigrationTime > 0 {
 				// Freeze both ends: an overhead item occupying exactly
 				// MigrationTime of wall time on each node.
@@ -381,6 +412,9 @@ func Run(cfg Config) (*Result, error) {
 						item: workItem{op: overheadOp, ts: now, extra: rc.MigrationTime * cfg.Capacities[node]}})
 				}
 				result.Rebalance.StallSeconds += 2 * rc.MigrationTime
+				if obsv != nil {
+					obsv.ev.EmitAt(now, obs.LevelInfo, obs.EventMigrateStall, "op", mv.Op, "sec", rc.MigrationTime)
+				}
 			}
 		}
 	}
@@ -444,6 +478,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	recordLatency := func(lat, now float64) {
+		if obsv != nil {
+			obsv.onSink(lat) // histogram mirrors every sink tuple, like the engine collector
+		}
 		if now < cfg.WarmUp {
 			return
 		}
@@ -467,6 +504,9 @@ func Run(cfg Config) (*Result, error) {
 		switch e.kind {
 		case evSource:
 			result.TuplesIn++
+			if obsv != nil {
+				obsv.onSource(e.src)
+			}
 			for _, consumer := range g.Consumers(inputs[e.src]) {
 				routeTo(consumer, inputs[e.src], -1, e.time, e.time)
 			}
@@ -478,14 +518,25 @@ func Run(cfg Config) (*Result, error) {
 			if next := e.time + cfg.Rebalance.Period; next <= cfg.Duration {
 				sched(event{time: next, kind: evRebalance})
 			}
+		case evSample:
+			obsv.sample(e.time, nodes, nodeOf)
+			if next := e.time + obsv.cfg.Interval; next <= cfg.Duration {
+				sched(event{time: next, kind: evSample})
+			}
 		case evArrival:
 			ns := &nodes[e.node]
 			ns.push(e.item)
+			if obsv != nil {
+				obsv.injC[e.node].Inc()
+			}
 			if !ns.busy {
 				startService(e.node, e.time)
 			}
 		case evCompletion:
 			k := emitted(e.item)
+			if k > 0 && obsv != nil {
+				obsv.emiC[e.node].Add(int64(k))
+			}
 			if k > 0 {
 				op := g.Op(e.item.op)
 				consumers := g.Consumers(op.Out)
@@ -516,10 +567,11 @@ func Run(cfg Config) (*Result, error) {
 		result.Backlog[i] = nodes[i].qlen()
 		result.PeakQueue[i] = nodes[i].peak
 	}
-	if len(latencies) > 0 {
-		qs := stats.Quantiles(latencies, 50, 95, 99, 100)
-		result.LatencyP50, result.LatencyP95, result.LatencyP99, result.LatencyMax = qs[0], qs[1], qs[2], qs[3]
-		result.LatencyMean = stats.Mean(latencies)
+	// Shared latency digest (obs.Summarize never panics on an empty set,
+	// unlike the stats percentile helpers).
+	if sum, ok := obs.Summarize(latencies); ok {
+		result.LatencyP50, result.LatencyP95, result.LatencyP99, result.LatencyMax = sum.P50, sum.P95, sum.P99, sum.Max
+		result.LatencyMean = sum.Mean
 	}
 	result.FinalNodeOf = nodeOf
 	result.OpUtilization = make(mat.Vec, len(opBusyTotal))

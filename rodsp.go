@@ -33,6 +33,7 @@ import (
 	"rodsp/internal/engine"
 	"rodsp/internal/feasible"
 	"rodsp/internal/mat"
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/sim"
@@ -98,7 +99,41 @@ type (
 	// CorrelationRebalancePolicy prefers moving operators whose load history
 	// correlates with their node's.
 	CorrelationRebalancePolicy = sim.CorrelationPolicy
+
+	// MetricsRegistry is the concurrency-safe counter/gauge/histogram
+	// registry shared by the engine monitor and the simulator observer.
+	MetricsRegistry = obs.Registry
+	// SeriesSet holds the ring-buffered time series the sampler fills.
+	SeriesSet = obs.SeriesSet
+	// EventLog records structured engine/simulator events (deploys,
+	// migrations, overload onset and clearance, control errors).
+	EventLog = obs.EventLog
+	// MonitorConfig configures the engine's live observability loop,
+	// including the load model used for feasibility headroom.
+	MonitorConfig = engine.MonitorConfig
+	// Monitor is the running engine observability loop; see
+	// EngineCluster.StartMonitor.
+	Monitor = engine.Monitor
+	// SimObsConfig enables the simulator's virtual-time observer, which
+	// emits the same metric schema as the engine monitor.
+	SimObsConfig = sim.ObsConfig
+	// LatencySummary is the shared latency digest (count, mean, quantiles).
+	LatencySummary = obs.LatencySummary
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog returns an event log retaining up to capacity events
+// (0 = default retention).
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// ServeObservability serves /metrics (Prometheus text), /series (JSON),
+// /series.csv and /events on addr. Any of reg, set, ev may be nil; the
+// returned close function shuts the server down.
+func ServeObservability(addr string, reg *MetricsRegistry, set *SeriesSet, ev *EventLog) (bound string, closeFn func() error, err error) {
+	return obs.ServeHTTP(addr, reg, set, ev)
+}
 
 // Class-I selectors (Config.Selector).
 const (
