@@ -7,7 +7,12 @@
 //
 //	rodengine [-nodes 3] [-streams 3] [-algo rod|llf|random] [-util 0.6] \
 //	          [-seconds 5] [-speedup 20] [-seed 1] \
+//	          [-queue 100000] [-shed-policy drop-newest|drop-oldest] [-outbox 4096] \
 //	          [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30]
+//
+// -queue bounds each node's ingress queue (arrivals beyond it are shed under
+// -shed-policy and counted), and -outbox bounds each per-peer send buffer;
+// both surface in the final report and in /metrics as shed/drop counters.
 //
 // With -metrics-addr the coordinator serves live observability over HTTP
 // (/metrics Prometheus text, /series JSON, /series.csv, /events) while the
@@ -56,8 +61,22 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /series and /events over HTTP on this address (empty = disabled)")
 		eventsPath  = flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 		hold        = flag.Float64("hold", 0, "keep serving -metrics-addr this many seconds after the drive ends")
+
+		queue      = flag.Int("queue", engine.DefaultIngressCap, "per-node ingress queue bound (tuples); arrivals beyond it are shed")
+		shedPolicy = flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
+		outboxCap  = flag.Int("outbox", engine.DefaultOutboxCap, "per-peer outbox buffer (tuples); overflow is dropped and counted")
 	)
 	flag.Parse()
+
+	policy, err := engine.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		fail(err)
+	}
+	nodeCfg := engine.NodeConfig{
+		IngressCap: *queue,
+		ShedPolicy: policy,
+		OutboxCap:  *outboxCap,
+	}
 
 	g, err := workload.TrafficMonitoring(workload.MonitoringConfig{Streams: *streams, Seed: *seed})
 	if err != nil {
@@ -114,7 +133,7 @@ func main() {
 	if len(attachAddrs) > 0 {
 		cl, err = engine.ConnectCluster(attachAddrs)
 	} else {
-		cl, err = engine.StartCluster(caps)
+		cl, err = engine.StartClusterConfig(caps, nodeCfg)
 	}
 	if err != nil {
 		fail(err)
@@ -190,9 +209,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	for _, s := range sts {
-		fmt.Printf("node %d: utilization=%.3f queue=%d injected=%d emitted=%d\n",
+	var shed, oDropped int64
+	for i, s := range sts {
+		if s == nil {
+			fmt.Printf("node %d: unreachable\n", i)
+			continue
+		}
+		fmt.Printf("node %d: utilization=%.3f queue=%d injected=%d emitted=%d",
 			s.NodeID, s.Utilization, s.QueueLen, s.Injected, s.Emitted)
+		if s.Shed > 0 || s.OutboxDropped > 0 {
+			fmt.Printf(" shed=%d outbox_dropped=%d", s.Shed, s.OutboxDropped)
+		}
+		fmt.Println()
+		shed += s.Shed
+		oDropped += s.OutboxDropped
+	}
+	if shed > 0 || oDropped > 0 {
+		fmt.Printf("load shedding: %d tuples shed at ingress, %d dropped at outboxes\n", shed, oDropped)
 	}
 	count, mean, p95, p99, max := cl.Collector.LatencyStats()
 	fmt.Printf("sink tuples=%d latency mean=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",

@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	rodnode -addr 127.0.0.1:7101 -capacity 1.0
+//	rodnode -addr 127.0.0.1:7101 -capacity 1.0 \
+//	        [-queue 100000] [-shed-policy drop-newest|drop-oldest] \
+//	        [-outbox 4096] [-events events.jsonl]
+//
+// -queue bounds the ingress queue (arrivals beyond it are shed under
+// -shed-policy), -outbox bounds each per-peer send buffer, and -events
+// appends the node's structured JSON-lines events (shed onset/clearance,
+// relay errors, peer recovery, injected link faults) to a file, or stderr
+// with "-".
 //
 // The node serves both the JSON control plane and the binary tuple plane on
 // the same port and runs until interrupted.
@@ -20,17 +28,43 @@ import (
 	"syscall"
 
 	"rodsp/internal/engine"
+	"rodsp/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	capacity := flag.Float64("capacity", 1.0, "virtual CPU capacity (cost-units/second)")
+	queue := flag.Int("queue", engine.DefaultIngressCap, "ingress queue bound (tuples); arrivals beyond it are shed")
+	shedPolicy := flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
+	outboxCap := flag.Int("outbox", engine.DefaultOutboxCap, "per-peer outbox buffer (tuples); overflow is dropped and counted")
+	eventsPath := flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 	flag.Parse()
 
-	node, err := engine.NewNode(*addr, *capacity)
+	policy, err := engine.ParseShedPolicy(*shedPolicy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rodnode:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	node, err := engine.NewNodeConfig(*addr, *capacity, engine.NodeConfig{
+		IngressCap: *queue,
+		ShedPolicy: policy,
+		OutboxCap:  *outboxCap,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *eventsPath != "" {
+		ev := obs.NewEventLog(0)
+		if *eventsPath == "-" {
+			ev.SetWriter(os.Stderr)
+		} else {
+			f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			ev.SetWriter(f)
+		}
+		node.SetObserver(ev, 0)
 	}
 	fmt.Printf("rodnode listening on %s (capacity %g)\n", node.Addr(), *capacity)
 
@@ -39,4 +73,9 @@ func main() {
 	<-sig
 	fmt.Println("rodnode: shutting down")
 	node.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rodnode:", err)
+	os.Exit(1)
 }

@@ -13,6 +13,8 @@
 //	-interval refresh period (default 1s)
 //	-frames   number of frames to draw before exiting; 0 = until interrupt
 //	-last     how many trailing points each sparkline shows (default 60)
+//	-filter   only show series whose name{labels} contains this substring
+//	          (e.g. -filter shed, -filter node=1)
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "refresh period")
 		frames   = flag.Int("frames", 0, "frames to render before exiting (0 = until interrupt)")
 		last     = flag.Int("last", 60, "trailing points per sparkline")
+		filter   = flag.String("filter", "", "only show series whose name{labels} contains this substring")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -67,7 +70,7 @@ func main() {
 			case <-time.After(*interval):
 			}
 		}
-		frame, err := fetch(client, url, *last)
+		frame, err := fetch(client, url, *last, *filter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rodtop:", err)
 			os.Exit(1)
@@ -81,8 +84,9 @@ func main() {
 }
 
 // fetch pulls /series and renders one frame: a sparkline per series over the
-// trailing `last` points, with the latest value and observed min/max.
-func fetch(client *http.Client, url string, last int) (string, error) {
+// trailing `last` points, with the latest value and observed min/max. A
+// non-empty filter keeps only series whose rendered id contains it.
+func fetch(client *http.Client, url string, last int, filter string) (string, error) {
 	resp, err := client.Get(url)
 	if err != nil {
 		return "", err
@@ -96,6 +100,15 @@ func fetch(client *http.Client, url string, last int) (string, error) {
 		return "", err
 	}
 	sort.Slice(sr.Series, func(i, j int) bool { return seriesID(sr.Series[i]) < seriesID(sr.Series[j]) })
+	if filter != "" {
+		kept := sr.Series[:0]
+		for _, s := range sr.Series {
+			if strings.Contains(seriesID(s), filter) {
+				kept = append(kept, s)
+			}
+		}
+		sr.Series = kept
+	}
 
 	var b strings.Builder
 	width := 0

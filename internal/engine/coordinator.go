@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -86,13 +87,29 @@ func (c *ControlClient) Stats() (*NodeStats, error) {
 	return resp.Stats, nil
 }
 
-// Collector receives sink tuples and measures end-to-end latency.
+// Fault injects (or clears) a fault on the node: sever/drop/delay an
+// outbound link, or kill the node entirely (it acknowledges, then closes).
+func (c *ControlClient) Fault(spec FaultSpec) error {
+	_, err := c.call(&controlRequest{Cmd: "fault", Fault: &spec})
+	return err
+}
+
+// DefaultLatencyReservoir is how many latency samples the collector
+// retains for quantile estimation (a uniform reservoir over the whole run).
+const DefaultLatencyReservoir = 200000
+
+// Collector receives sink tuples and measures end-to-end latency. Retained
+// samples form a uniform reservoir (Vitter's algorithm R) over the entire
+// run, so long runs estimate quantiles over all traffic instead of biasing
+// toward startup as a plain prefix cap would.
 type Collector struct {
 	ln net.Listener
 	mu sync.Mutex
 	wg sync.WaitGroup
 
 	latencies []float64
+	cap       int
+	rng       *rand.Rand
 	count     int64
 	welford   stats.Welford
 	closing   bool
@@ -110,10 +127,43 @@ func NewCollector(addr string) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: collector listen: %w", err)
 	}
-	c := &Collector{ln: ln, conns: map[net.Conn]bool{}}
+	c := &Collector{
+		ln:    ln,
+		cap:   DefaultLatencyReservoir,
+		rng:   rand.New(rand.NewSource(1)),
+		conns: map[net.Conn]bool{},
+	}
 	c.wg.Add(1)
 	go c.accept()
 	return c, nil
+}
+
+// SetSampleCap resizes the latency reservoir (tests and memory-constrained
+// runs); existing overflow samples are truncated.
+func (c *Collector) SetSampleCap(n int) {
+	if n <= 0 {
+		n = DefaultLatencyReservoir
+	}
+	c.mu.Lock()
+	c.cap = n
+	if len(c.latencies) > n {
+		c.latencies = c.latencies[:n]
+	}
+	c.mu.Unlock()
+}
+
+// record folds one latency observation into the running stats and the
+// uniform reservoir. Callers must not hold c.mu.
+func (c *Collector) record(lat float64) {
+	c.mu.Lock()
+	c.count++
+	c.welford.Add(lat)
+	if len(c.latencies) < c.cap {
+		c.latencies = append(c.latencies, lat)
+	} else if j := c.rng.Int63n(c.count); int(j) < c.cap {
+		c.latencies[j] = lat
+	}
+	c.mu.Unlock()
 }
 
 // Addr returns the collector's address.
@@ -158,12 +208,8 @@ func (c *Collector) accept() {
 					return
 				}
 				lat := float64(time.Now().UnixNano()-t.Ts) / float64(time.Second)
+				c.record(lat)
 				c.mu.Lock()
-				c.count++
-				c.welford.Add(lat)
-				if len(c.latencies) < 200000 {
-					c.latencies = append(c.latencies, lat)
-				}
 				hist, count, ev, every := c.hist, c.sinkCount, c.events, c.traceEvery
 				c.mu.Unlock()
 				if hist != nil {
@@ -196,12 +242,14 @@ func (c *Collector) LatencyStats() (int64, float64, float64, float64, float64) {
 
 // LatencySummary digests the retained latencies into the shared summary
 // form (ok=false with no samples) — the same digest the simulator reports.
+// Count is the exact observation total; Retained is the reservoir size the
+// quantiles were estimated from.
 func (c *Collector) LatencySummary() (obs.LatencySummary, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s, ok := obs.Summarize(c.latencies)
 	if ok {
-		s.Count = c.count // retained slice is capped; count is exact
+		s.Count = c.count // retained reservoir is capped; count is exact
 	}
 	return s, ok
 }
@@ -240,21 +288,41 @@ type SourceDriver struct {
 	// MaxRate caps the injection rate (tuples/second wall time) to protect
 	// the host; 0 = no cap.
 	MaxRate float64
+	// TickInterval is the injection scheduler period. Default 2ms. Delivery
+	// is integrated over the *measured* inter-tick elapsed time, so a
+	// coarse or delayed tick still injects the trace's full tuple count.
+	TickInterval time.Duration
 
 	// Count, when set, is incremented once per injected tuple; wire it to
 	// Monitor.SourceCounter so the monitor can estimate the stream's rate.
 	Count *obs.Counter
+
+	// Dropped counts per-destination sends skipped because that
+	// destination's connection died mid-run (the driver keeps feeding the
+	// surviving destinations instead of aborting). Read it after Run.
+	Dropped int64
+}
+
+// srcDest is one destination connection; dead once a send/flush failed.
+type srcDest struct {
+	tw   *TupleWriter
+	dead bool
 }
 
 // Run injects for the given wall-clock duration or until stop is closed.
-// It returns the number of tuples injected.
+// It returns the number of tuples injected. A destination whose connection
+// fails mid-run is dropped (counted in Dropped) while the remaining
+// destinations keep receiving; Run errors only when no destination is left.
 func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64, error) {
 	speed := s.Speedup
 	if speed <= 0 {
 		speed = 1
 	}
-	writers := make([]*TupleWriter, len(s.Addrs))
-	conns := make([]net.Conn, len(s.Addrs))
+	tickEvery := s.TickInterval
+	if tickEvery <= 0 {
+		tickEvery = 2 * time.Millisecond
+	}
+	dests := make([]*srcDest, len(s.Addrs))
 	for i, addr := range s.Addrs {
 		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err != nil {
@@ -265,61 +333,96 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 			conn.Close()
 			return 0, err
 		}
-		writers[i] = tw
-		conns[i] = conn
+		dests[i] = &srcDest{tw: tw}
 		defer conn.Close()
 	}
 	start := time.Now()
 	var seq int64
 	var injected int64
-	ticker := time.NewTicker(2 * time.Millisecond)
+	ticker := time.NewTicker(tickEvery)
 	defer ticker.Stop()
 	var carry float64
+	lastElapsed := 0.0
 	for {
 		select {
 		case <-stop:
-			flushAll(writers)
+			s.flushAll(dests)
 			return injected, nil
 		case now := <-ticker.C:
-			elapsed := now.Sub(start)
-			if elapsed >= duration {
-				flushAll(writers)
-				return injected, nil
+			es := now.Sub(start).Seconds()
+			end := false
+			if es >= duration.Seconds() {
+				// Clamp the final interval to the requested duration so the
+				// delivered count matches the trace integral over [0, duration].
+				es = duration.Seconds()
+				end = true
 			}
-			traceTime := elapsed.Seconds() * speed
+			// Integrate by measured inter-tick elapsed time: a tick delayed
+			// by the scheduler injects proportionally more, instead of
+			// silently under-delivering a fixed per-tick quantum.
+			dt := es - lastElapsed
+			lastElapsed = es
+			traceTime := es * speed
 			rate := s.Trace.RateAt(traceTime) * speed
 			if s.MaxRate > 0 && rate > s.MaxRate {
 				rate = s.MaxRate
 			}
-			carry += rate * 0.002
+			carry += rate * dt
 			k := int(carry)
 			carry -= float64(k)
+			alive := 0
 			for i := 0; i < k; i++ {
 				t := Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq}
 				seq++
-				for _, w := range writers {
-					if err := w.Send(t); err != nil {
-						return injected, fmt.Errorf("engine: source send: %w", err)
+				alive = 0
+				for _, d := range dests {
+					if d.dead {
+						s.Dropped++
+						continue
 					}
+					if err := d.tw.Send(t); err != nil {
+						d.dead = true
+						s.Dropped++
+						continue
+					}
+					alive++
+				}
+				if alive == 0 {
+					return injected, fmt.Errorf("engine: source %d: every destination failed", s.Stream)
 				}
 				injected++
 				if s.Count != nil {
 					s.Count.Inc()
 				}
 			}
-			for _, w := range writers {
-				if err := w.Flush(); err != nil {
-					return injected, fmt.Errorf("engine: source flush: %w", err)
-				}
+			if err := s.flushAll(dests); err != nil {
+				return injected, err
+			}
+			if end {
+				return injected, nil
 			}
 		}
 	}
 }
 
-func flushAll(ws []*TupleWriter) {
-	for _, w := range ws {
-		w.Flush()
+// flushAll flushes every live destination, marking failures dead; it errors
+// only when no destination remains.
+func (s *SourceDriver) flushAll(dests []*srcDest) error {
+	alive := 0
+	for _, d := range dests {
+		if d.dead {
+			continue
+		}
+		if err := d.tw.Flush(); err != nil {
+			d.dead = true
+			continue
+		}
+		alive++
 	}
+	if alive == 0 && len(dests) > 0 {
+		return fmt.Errorf("engine: source %d: every destination failed", s.Stream)
+	}
+	return nil
 }
 
 // Cluster is an in-process engine cluster: N nodes plus a collector, with
@@ -373,6 +476,13 @@ func ConnectCluster(addrs []string) (*Cluster, error) {
 // StartCluster launches n nodes with the given capacities on ephemeral
 // localhost ports, plus a collector.
 func StartCluster(capacities []float64) (*Cluster, error) {
+	return StartClusterConfig(capacities, NodeConfig{})
+}
+
+// StartClusterConfig launches a cluster whose nodes share the given
+// data-plane resilience configuration (queue bounds, shed policy, outbox
+// sizing, reconnect backoff).
+func StartClusterConfig(capacities []float64, cfg NodeConfig) (*Cluster, error) {
 	cl := &Cluster{}
 	col, err := NewCollector("127.0.0.1:0")
 	if err != nil {
@@ -380,7 +490,7 @@ func StartCluster(capacities []float64) (*Cluster, error) {
 	}
 	cl.Collector = col
 	for _, c := range capacities {
-		node, err := NewNode("127.0.0.1:0", c)
+		node, err := NewNodeConfig("127.0.0.1:0", c, cfg)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -451,15 +561,29 @@ func (cl *Cluster) Stop() error {
 	return first
 }
 
-// Stats gathers every node's snapshot.
+// Stats gathers every node's snapshot. A node whose control channel fails
+// yields a nil entry plus a control_error event instead of aborting the
+// whole poll, so the monitor keeps observing the survivors through a
+// single-node failure; the error is non-nil only when every node failed.
 func (cl *Cluster) Stats() ([]*NodeStats, error) {
 	out := make([]*NodeStats, len(cl.Controls))
+	var firstErr error
+	failed := 0
 	for i, ctl := range cl.Controls {
 		s, err := ctl.Stats()
 		if err != nil {
-			return nil, err
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError,
+				"op", "stats", "node", i, "err", err.Error())
+			continue
 		}
 		out[i] = s
+	}
+	if failed > 0 && failed == len(cl.Controls) {
+		return out, firstErr
 	}
 	return out, nil
 }

@@ -145,9 +145,12 @@ func TestControlMigrationCommandErrors(t *testing.T) {
 }
 
 // A dead downstream peer must not poison the sender forever: after the
-// peer restarts (same address), sends succeed again.
+// peer restarts (same address), the outbox reconnects and delivery resumes.
 func TestPeerReconnectAfterFailure(t *testing.T) {
-	a, err := NewNode("127.0.0.1:0", 1)
+	a, err := NewNodeConfig("127.0.0.1:0", 1, NodeConfig{
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,28 +160,32 @@ func TestPeerReconnectAfterFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := bNode.Addr()
-	if err := a.send(addr, Tuple{Stream: 1}); err != nil {
-		t.Fatalf("first send: %v", err)
+	if !a.send(addr, Tuple{Stream: 1}) {
+		t.Fatal("first send rejected")
 	}
-	bNode.Close()
-	// Sends fail while the peer is down (possibly after one buffered write).
 	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if err := a.send(addr, Tuple{Stream: 1}); err != nil {
-			break
+	for bNode.Stats().Injected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first tuple never delivered")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	// Restart a node on the same address.
+	bNode.Close()
+	// Sends never block while the peer is down: the outbox buffers (and
+	// eventually drops), the caller always returns immediately.
+	a.send(addr, Tuple{Stream: 1})
+	// Restart a node on the same address; the outbox must reconnect and
+	// deliver subsequent tuples.
 	b2, err := NewNode(addr, 1)
 	if err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}
 	defer b2.Close()
-	deadline = time.Now().Add(2 * time.Second)
+	deadline = time.Now().Add(4 * time.Second)
 	for {
-		if err := a.send(addr, Tuple{Stream: 1}); err == nil {
-			return // reconnected
+		a.send(addr, Tuple{Stream: 1})
+		if b2.Stats().Injected > 0 {
+			return // reconnected and delivering
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("sender never recovered after peer restart")

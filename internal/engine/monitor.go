@@ -93,6 +93,14 @@ type Monitor struct {
 	headG  []*obs.Gauge
 	injC   []*obs.Counter
 	emiC   []*obs.Counter
+	shedC  []*obs.Counter
+	oDropC []*obs.Counter
+	reconC []*obs.Counter
+
+	// Per-victim-stream shed counters, created lazily when a node first
+	// reports shedding on that stream (key "node/stream"). Touched only by
+	// the sampling goroutine.
+	shedStreamC map[string]*obs.Counter
 
 	latHist  *obs.Histogram
 	sinkC    *obs.Counter
@@ -129,14 +137,20 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 	cfg.applyDefaults()
 	n := len(cl.Controls)
 	m := &Monitor{
-		cl:       cl,
-		cfg:      cfg,
-		sampler:  obs.NewSampler(cfg.Series),
-		utilG:    make([]*obs.Gauge, n),
-		queueG:   make([]*obs.Gauge, n),
-		headG:    make([]*obs.Gauge, n),
-		injC:     make([]*obs.Counter, n),
-		emiC:     make([]*obs.Counter, n),
+		cl:      cl,
+		cfg:     cfg,
+		sampler: obs.NewSampler(cfg.Series),
+		utilG:   make([]*obs.Gauge, n),
+		queueG:  make([]*obs.Gauge, n),
+		headG:   make([]*obs.Gauge, n),
+		injC:    make([]*obs.Counter, n),
+		emiC:    make([]*obs.Counter, n),
+		shedC:   make([]*obs.Counter, n),
+		oDropC:  make([]*obs.Counter, n),
+		reconC:  make([]*obs.Counter, n),
+
+		shedStreamC: map[string]*obs.Counter{},
+
 		latQ:     map[float64]*obs.Gauge{},
 		overQ:    make([]bool, n),
 		lastBusy: make([]float64, n),
@@ -159,11 +173,17 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		m.headG[i].Set(1) // no observed load yet
 		m.injC[i] = reg.Counter(obs.MetricNodeInjected, "node", node)
 		m.emiC[i] = reg.Counter(obs.MetricNodeEmitted, "node", node)
+		m.shedC[i] = reg.Counter(obs.MetricNodeShed, "node", node)
+		m.oDropC[i] = reg.Counter(obs.MetricNodeOutboxDrop, "node", node)
+		m.reconC[i] = reg.Counter(obs.MetricNodePeerReconnects, "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeUtilization, m.utilG[i], "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeQueueDepth, m.queueG[i], "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeHeadroom, m.headG[i], "node", node)
 		m.sampler.ProbeCounter(obs.MetricNodeInjected, m.injC[i], "node", node)
 		m.sampler.ProbeCounter(obs.MetricNodeEmitted, m.emiC[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodeShed, m.shedC[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodeOutboxDrop, m.oDropC[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodePeerReconnects, m.reconC[i], "node", node)
 	}
 	m.latHist = reg.Histogram(obs.MetricSinkLatency, nil)
 	m.sinkC = reg.Counter(obs.MetricSinkTuples)
@@ -298,8 +318,14 @@ func (m *Monitor) tick(now time.Time) {
 
 	// Per-node gauges: windowed utilization from busy-time deltas (the
 	// control plane reports cumulative busy/elapsed), queue depth, counts.
+	// Unreachable nodes report nil stats (Cluster.Stats is partial); their
+	// gauges keep the last observed values for this window.
 	utils := make([]float64, len(sts))
 	for i, s := range sts {
+		if s == nil {
+			utils[i] = m.utilG[i].Value()
+			continue
+		}
 		busy := s.Utilization * s.ElapsedSec
 		util := s.Utilization
 		if m.havePrev && s.ElapsedSec > m.lastElap[i] {
@@ -317,6 +343,20 @@ func (m *Monitor) tick(now time.Time) {
 		m.queueG[i].Set(float64(s.QueueLen))
 		m.injC[i].Store(s.Injected)
 		m.emiC[i].Store(s.Emitted)
+		m.shedC[i].Store(s.Shed)
+		m.oDropC[i].Store(s.OutboxDropped)
+		m.reconC[i].Store(s.PeerReconnects)
+		for sid, cnt := range s.ShedByStream {
+			node, stream := strconv.Itoa(i), strconv.Itoa(sid)
+			key := node + "/" + stream
+			c, ok := m.shedStreamC[key]
+			if !ok {
+				c = m.cfg.Registry.Counter(obs.MetricStreamShed, "node", node, "stream", stream)
+				m.sampler.ProbeCounter(obs.MetricStreamShed, c, "node", node, "stream", stream)
+				m.shedStreamC[key] = c
+			}
+			c.Store(cnt)
+		}
 	}
 	m.havePrev = true
 
@@ -366,6 +406,9 @@ func (m *Monitor) tick(now time.Time) {
 
 	// Overload onset/clearance with queue hysteresis.
 	for i, s := range sts {
+		if s == nil {
+			continue
+		}
 		if !m.overQ[i] && utils[i] >= m.cfg.OverloadUtil && s.QueueLen >= m.cfg.OverloadQueue {
 			m.overQ[i] = true
 			ev.Emit(obs.LevelWarn, obs.EventOverloadOnset,

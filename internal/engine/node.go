@@ -7,18 +7,102 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rodsp/internal/obs"
 	"rodsp/internal/stats"
 )
 
+// ShedPolicy selects which tuple is sacrificed when the bounded ingress
+// queue is full.
+type ShedPolicy int
+
+const (
+	// DropNewest rejects the arriving tuple (default: keeps the oldest
+	// work, preserving FIFO latency for tuples already admitted).
+	DropNewest ShedPolicy = iota
+	// DropOldest evicts the head of the queue to admit the arrival
+	// (bounds staleness: fresh tuples win over stale backlog).
+	DropOldest
+)
+
+func (p ShedPolicy) String() string {
+	if p == DropOldest {
+		return "drop-oldest"
+	}
+	return "drop-newest"
+}
+
+// ParseShedPolicy parses "drop-newest" | "drop-oldest".
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "", "drop-newest":
+		return DropNewest, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	default:
+		return DropNewest, fmt.Errorf("engine: unknown shed policy %q (want drop-newest|drop-oldest)", s)
+	}
+}
+
+// NodeConfig tunes the node's data-plane resilience knobs. The zero value
+// selects the defaults noted on each field.
+type NodeConfig struct {
+	// IngressCap bounds the work queue; arrivals beyond it are shed per
+	// ShedPolicy. <= 0 selects DefaultIngressCap.
+	IngressCap int
+	// ShedPolicy picks the victim when the ingress queue is full.
+	ShedPolicy ShedPolicy
+	// OutboxCap bounds each per-peer outbox channel; overflow drops with a
+	// counter. <= 0 selects DefaultOutboxCap.
+	OutboxCap int
+	// BackoffBase/BackoffMax shape the reconnect schedule
+	// (base·2^attempt capped at max, ±25% jitter). Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DialTimeout bounds each outbox dial. Default 2s.
+	DialTimeout time.Duration
+	// FlushTimeout is the per-flush write deadline, so a stalled (but not
+	// dead) peer surfaces as a link failure. Default 2s.
+	FlushTimeout time.Duration
+}
+
+// Default data-plane bounds.
+const (
+	DefaultIngressCap = 100000
+	DefaultOutboxCap  = 4096
+)
+
+func (cfg *NodeConfig) applyDefaults() {
+	if cfg.IngressCap <= 0 {
+		cfg.IngressCap = DefaultIngressCap
+	}
+	if cfg.OutboxCap <= 0 {
+		cfg.OutboxCap = DefaultOutboxCap
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 2 * time.Second
+	}
+}
+
 // Node is one engine process: it listens for control and tuple connections,
 // hosts deployed operators, and runs a single virtual CPU of the configured
 // capacity (cost-units of operator work completed per wall second).
 type Node struct {
 	capacity float64
+	cfg      NodeConfig
 	ln       net.Listener
 
 	mu       sync.Mutex
@@ -34,23 +118,31 @@ type Node struct {
 	injected int64
 	emitted  int64
 
-	queue   []Tuple
-	qhead   int
-	qcond   *sync.Cond
-	closing bool
+	queue        []Tuple
+	qhead        int
+	qcond        *sync.Cond
+	closing      bool
+	shedTotal    int64
+	shedByStream map[int32]int64
+	shedding     bool
 
-	peers   map[string]*peerConn
-	peersMu sync.Mutex
+	peers       map[string]*outbox
+	peersMu     sync.Mutex
+	peersClosed bool
+
+	faultsMu sync.Mutex
+	faults   map[string]*LinkFault
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]bool
 
-	estimator *stats.CostEstimator
-	wg        sync.WaitGroup
+	estimator    *stats.CostEstimator
+	wg           sync.WaitGroup
+	sendMaxNanos atomic.Int64 // worst observed send() duration (worker path)
 
 	events      *obs.EventLog // nil-safe; see SetObserver
 	traceEvery  int64
-	relayWarned map[string]bool
+	relayWarned map[string]bool // per-peer latch; re-armed on recovery
 }
 
 type liveOp struct {
@@ -61,33 +153,37 @@ type liveOp struct {
 	processed int64
 }
 
-type peerConn struct {
-	mu sync.Mutex
-	tw *TupleWriter
-	c  net.Conn
+// NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
+// port) with the given virtual CPU capacity and default resilience bounds.
+func NewNode(addr string, capacity float64) (*Node, error) {
+	return NewNodeConfig(addr, capacity, NodeConfig{})
 }
 
-// NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
-// port) with the given virtual CPU capacity.
-func NewNode(addr string, capacity float64) (*Node, error) {
+// NewNodeConfig starts a node with explicit data-plane bounds.
+func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("engine: capacity %g must be positive", capacity)
 	}
+	cfg.applyDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("engine: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		capacity:  capacity,
-		ln:        ln,
-		ops:       map[int]*liveOp{},
-		subs:      map[int][]int{},
-		fwd:       map[int][]Dest{},
-		relays:    map[int][]Dest{},
-		xfer:      map[int]float64{},
-		peers:     map[string]*peerConn{},
-		conns:     map[net.Conn]bool{},
-		estimator: stats.NewCostEstimator(),
+		capacity:     capacity,
+		cfg:          cfg,
+		ln:           ln,
+		ops:          map[int]*liveOp{},
+		subs:         map[int][]int{},
+		fwd:          map[int][]Dest{},
+		relays:       map[int][]Dest{},
+		xfer:         map[int]float64{},
+		shedByStream: map[int32]int64{},
+		peers:        map[string]*outbox{},
+		faults:       map[string]*LinkFault{},
+		conns:        map[net.Conn]bool{},
+		estimator:    stats.NewCostEstimator(),
+		relayWarned:  map[string]bool{},
 	}
 	n.qcond = sync.NewCond(&n.mu)
 	n.wg.Add(2)
@@ -107,7 +203,6 @@ func (n *Node) SetObserver(ev *obs.EventLog, traceEvery int64) {
 	n.mu.Lock()
 	n.events = ev
 	n.traceEvery = traceEvery
-	n.relayWarned = map[string]bool{}
 	n.mu.Unlock()
 }
 
@@ -117,7 +212,9 @@ func traced(every int64, t Tuple) bool {
 	return every > 0 && t.Stream >= 0 && t.Seq%every == 0
 }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down and waits for its goroutines. Outboxes drain
+// best-effort (buffered tuples are flushed when the link is up, counted as
+// dropped otherwise) before their goroutines exit.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closing {
@@ -129,11 +226,11 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	err := n.ln.Close()
 	n.peersMu.Lock()
-	for _, p := range n.peers {
-		p.mu.Lock()
-		p.tw.Flush()
-		p.c.Close()
-		p.mu.Unlock()
+	if !n.peersClosed {
+		n.peersClosed = true
+		for _, o := range n.peers {
+			close(o.quit)
+		}
 	}
 	n.peersMu.Unlock()
 	n.connsMu.Lock()
@@ -194,8 +291,9 @@ func (n *Node) serveTuples(r io.Reader) {
 }
 
 // enqueueInbound accepts a tuple arriving from the network (or a source
-// injector), queues it for local consumers of its stream, and forwards it
-// along any relay routes installed by a migration.
+// injector), admits it to the bounded work queue (shedding per the
+// configured policy when full), and forwards it along any relay routes
+// installed by a migration.
 func (n *Node) enqueueInbound(t Tuple) {
 	n.mu.Lock()
 	if n.closing {
@@ -209,32 +307,52 @@ func (n *Node) enqueueInbound(t Tuple) {
 	}
 	relay := n.relays[int(t.Stream)]
 	hasLocal := len(n.subs[int(t.Stream)]) > 0
+	shedOnset := false
+	var shedStream int32
 	if hasLocal {
-		n.queue = append(n.queue, t)
-		n.qcond.Signal()
+		if len(n.queue)-n.qhead >= n.cfg.IngressCap {
+			// Queue full: shed. Drop-newest rejects the arrival; drop-oldest
+			// evicts the head to admit it.
+			victim := t
+			if n.cfg.ShedPolicy == DropOldest {
+				victim = n.queue[n.qhead]
+				n.queue[n.qhead] = Tuple{}
+				n.qhead++
+				n.queue = append(n.queue, t)
+				n.qcond.Signal()
+			}
+			n.shedTotal++
+			n.shedByStream[victim.Stream]++
+			shedStream = victim.Stream
+			if !n.shedding {
+				n.shedding = true
+				shedOnset = true
+			}
+		} else {
+			n.queue = append(n.queue, t)
+			n.qcond.Signal()
+		}
 	}
+	qlen := len(n.queue) - n.qhead
+	shedTotal := n.shedTotal
 	ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
 	n.mu.Unlock()
+	if shedOnset {
+		ev.Emit(obs.LevelWarn, obs.EventShedOnset,
+			"node", nodeID, "queue", qlen, "cap", n.cfg.IngressCap,
+			"policy", n.cfg.ShedPolicy.String(), "stream", int(shedStream),
+			"shed", shedTotal)
+	}
 	if traced(every, t) {
 		ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
 			"node", nodeID, "stream", int(t.Stream), "seq", t.Seq)
 	}
+	// Relays are best-effort: the per-peer outbox absorbs (or drops) the
+	// tuple without ever blocking the receive path, and link failures
+	// surface as warn events latched per destination (re-armed on
+	// recovery, so a peer that heals and fails again stays visible).
 	for _, d := range relay {
-		// Relays are best-effort (a failed hop drops tuples, it does not
-		// stall the data plane), but failures surface as warn events once
-		// per destination instead of vanishing.
-		if err := n.send(d.Addr, t); err != nil {
-			n.mu.Lock()
-			warned := n.relayWarned[d.Addr]
-			if !warned && n.relayWarned != nil {
-				n.relayWarned[d.Addr] = true
-			}
-			n.mu.Unlock()
-			if !warned {
-				ev.Emit(obs.LevelWarn, obs.EventRelayError,
-					"node", nodeID, "addr", d.Addr, "stream", int(t.Stream), "err", err.Error())
-			}
-		}
+		n.send(d.Addr, t)
 	}
 }
 
@@ -274,11 +392,25 @@ func (n *Node) worker() {
 			n.queue = append(n.queue[:0], n.queue[n.qhead:]...)
 			n.qhead = 0
 		}
+		qlen := len(n.queue) - n.qhead
+		shedClear := false
+		if n.shedding && qlen <= n.cfg.IngressCap/2 {
+			// Hysteresis: declare shedding over once the backlog has
+			// drained to half the cap, not at the first free slot.
+			n.shedding = false
+			shedClear = true
+		}
+		shedTotal := n.shedTotal
 		consumers := n.subs[int(t.Stream)]
 		started := n.started
 		start := n.startT
 		ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
 		n.mu.Unlock()
+		if shedClear {
+			ev.Emit(obs.LevelInfo, obs.EventShedClear,
+				"node", nodeID, "queue", qlen, "cap", n.cfg.IngressCap,
+				"shed", shedTotal)
+		}
 
 		var cost float64
 		var outs []Tuple
@@ -375,7 +507,7 @@ func (n *Node) route(t Tuple, fromLocal bool) {
 		n.mu.Unlock()
 	}
 	for _, d := range dests {
-		if err := n.send(d.Addr, t); err == nil {
+		if n.send(d.Addr, t) {
 			n.mu.Lock()
 			if x := n.xfer[int(t.Stream)]; x > 0 {
 				n.busy += time.Duration(x / n.capacity * float64(time.Second))
@@ -386,42 +518,119 @@ func (n *Node) route(t Tuple, fromLocal bool) {
 	}
 }
 
-func (n *Node) send(addr string, t Tuple) error {
+// send hands a tuple to the destination's outbox without ever blocking: a
+// dead, slow or partitioned peer costs the caller one channel operation
+// (accounted, worst case, in sendMaxNanos — the chaos test asserts the
+// worker path never stalls). Reports whether the tuple was accepted;
+// rejected tuples are counted in the outbox's drop counter.
+func (n *Node) send(addr string, t Tuple) bool {
+	t0 := time.Now()
+	o := n.outboxFor(addr)
+	ok := o != nil && o.enqueue(t)
+	if d := int64(time.Since(t0)); d > n.sendMaxNanos.Load() {
+		n.sendMaxNanos.Store(d)
+	}
+	return ok
+}
+
+// outboxFor returns (creating on first use) the outbox for addr; nil once
+// the node is closing.
+func (n *Node) outboxFor(addr string) *outbox {
 	n.peersMu.Lock()
-	p, ok := n.peers[addr]
+	defer n.peersMu.Unlock()
+	if n.peersClosed {
+		return nil
+	}
+	o, ok := n.peers[addr]
 	if !ok {
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			n.peersMu.Unlock()
-			return err
-		}
-		tw, err := NewTupleWriter(conn)
-		if err != nil {
-			conn.Close()
-			n.peersMu.Unlock()
-			return err
-		}
-		p = &peerConn{tw: tw, c: conn}
-		n.peers[addr] = p
+		o = newOutbox(n, addr)
+		n.peers[addr] = o
+		n.wg.Add(1)
+		go o.run()
 	}
-	n.peersMu.Unlock()
-	p.mu.Lock()
-	err := p.tw.Send(t)
-	if err == nil {
-		err = p.tw.Flush()
-	}
-	p.mu.Unlock()
-	if err != nil {
-		// Drop the broken connection so the next send redials instead of
-		// failing forever against a dead socket.
+	return o
+}
+
+// linkFault returns the injected fault for addr (nil when healthy).
+func (n *Node) linkFault(addr string) *LinkFault {
+	n.faultsMu.Lock()
+	defer n.faultsMu.Unlock()
+	return n.faults[addr]
+}
+
+// SetLinkFault injects a fault on the outbound link to addr: severing also
+// breaks the live connection so the outbox falls into its reconnect cycle.
+func (n *Node) SetLinkFault(addr string, f LinkFault) {
+	n.faultsMu.Lock()
+	n.faults[addr] = &f
+	n.faultsMu.Unlock()
+	if f.Sever {
 		n.peersMu.Lock()
-		if n.peers[addr] == p {
-			delete(n.peers, addr)
-		}
+		o := n.peers[addr]
 		n.peersMu.Unlock()
-		p.c.Close()
+		if o != nil {
+			o.breakConn()
+		}
 	}
-	return err
+	n.mu.Lock()
+	ev, nodeID := n.events, n.nodeIDLocked()
+	n.mu.Unlock()
+	ev.Emit(obs.LevelWarn, obs.EventLinkFault, "node", nodeID, "addr", addr,
+		"sever", f.Sever, "drop", f.Drop, "delayMs", f.Delay.Seconds()*1000)
+}
+
+// ClearLinkFault heals the link to addr ("" heals every link).
+func (n *Node) ClearLinkFault(addr string) {
+	n.faultsMu.Lock()
+	if addr == "" {
+		n.faults = map[string]*LinkFault{}
+	} else {
+		delete(n.faults, addr)
+	}
+	n.faultsMu.Unlock()
+	n.mu.Lock()
+	ev, nodeID := n.events, n.nodeIDLocked()
+	n.mu.Unlock()
+	ev.Emit(obs.LevelInfo, obs.EventLinkFault, "node", nodeID, "addr", addr, "clear", true)
+}
+
+// peerDown records a link failure. The relay-error warn event is latched
+// per destination so a flapping peer does not flood the log, and the latch
+// is re-armed by peerUp so each new failure episode stays visible.
+func (n *Node) peerDown(addr string, err error) {
+	n.mu.Lock()
+	warned := n.relayWarned[addr]
+	n.relayWarned[addr] = true
+	ev, nodeID := n.events, n.nodeIDLocked()
+	n.mu.Unlock()
+	if !warned {
+		ev.Emit(obs.LevelWarn, obs.EventRelayError,
+			"node", nodeID, "addr", addr, "err", err.Error())
+	}
+}
+
+// peerUp re-arms the relay-error latch after a successful (re)connection.
+func (n *Node) peerUp(addr string) {
+	n.mu.Lock()
+	warned := n.relayWarned[addr]
+	delete(n.relayWarned, addr)
+	ev, nodeID := n.events, n.nodeIDLocked()
+	n.mu.Unlock()
+	if warned {
+		ev.Emit(obs.LevelInfo, obs.EventPeerUp, "node", nodeID, "addr", addr)
+	}
+}
+
+// outboxSnapshots returns per-peer outbox accounting, sorted by address.
+func (n *Node) outboxSnapshots() []outboxStats {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	out := make([]outboxStats, 0, len(n.peers))
+	for _, o := range n.peers {
+		out = append(out, o.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // controlRequest is one JSON control-plane message.
@@ -432,6 +641,19 @@ type controlRequest struct {
 	OpID     *int           `json:"opId,omitempty"`
 	Routes   map[int][]Dest `json:"routes,omitempty"`
 	StallSec *float64       `json:"stallSec,omitempty"`
+	Fault    *FaultSpec     `json:"fault,omitempty"`
+}
+
+// FaultSpec is the control-plane fault-injection command: sever/drop/delay
+// an outbound link, clear faults, or kill the node outright (the process
+// answers OK, then closes — restart it externally to recover).
+type FaultSpec struct {
+	Addr    string  `json:"addr,omitempty"`
+	Sever   bool    `json:"sever,omitempty"`
+	Drop    bool    `json:"drop,omitempty"`
+	DelayMs float64 `json:"delayMs,omitempty"`
+	Clear   bool    `json:"clear,omitempty"`
+	Kill    bool    `json:"kill,omitempty"`
 }
 
 // ControlResponse answers a control request.
@@ -449,6 +671,22 @@ type NodeStats struct {
 	Injected    int64   `json:"injected"`
 	Emitted     int64   `json:"emitted"`
 	ElapsedSec  float64 `json:"elapsedSec"`
+
+	// Load-shedding accounting: tuples refused (or evicted from) the
+	// bounded ingress queue, total and per stream.
+	Shed         int64         `json:"shed,omitempty"`
+	ShedByStream map[int]int64 `json:"shedByStream,omitempty"`
+
+	// Outbox accounting summed over peers: enqueued == sent + dropped +
+	// pending at quiescence. Reconnects counts links re-established after
+	// a failure; SendMaxMs is the worst wall time one send() spent handing
+	// a tuple to an outbox (the non-blocking-worker-path guarantee).
+	OutboxEnqueued int64   `json:"outboxEnqueued,omitempty"`
+	OutboxSent     int64   `json:"outboxSent,omitempty"`
+	OutboxDropped  int64   `json:"outboxDropped,omitempty"`
+	OutboxPending  int64   `json:"outboxPending,omitempty"`
+	PeerReconnects int64   `json:"peerReconnects,omitempty"`
+	SendMaxMs      float64 `json:"sendMaxMs,omitempty"`
 
 	// Per-operator measured cost and selectivity (the Section 7.1 trial-run
 	// statistics used to build load models).
@@ -510,6 +748,31 @@ func (n *Node) handleControl(req *controlRequest) *ControlResponse {
 			return &ControlResponse{Err: "stall needs a non-negative duration"}
 		}
 		n.stall(*req.StallSec)
+		return &ControlResponse{OK: true}
+	case "fault":
+		if req.Fault == nil {
+			return &ControlResponse{Err: "fault without spec"}
+		}
+		switch f := req.Fault; {
+		case f.Kill:
+			// Answer first, then die: the brief delay lets the OK response
+			// flush before the listener and connections are torn down.
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				n.Close()
+			}()
+		case f.Clear:
+			n.ClearLinkFault(f.Addr)
+		default:
+			if f.Addr == "" {
+				return &ControlResponse{Err: "fault needs an addr (or clear/kill)"}
+			}
+			n.SetLinkFault(f.Addr, LinkFault{
+				Sever: f.Sever,
+				Drop:  f.Drop,
+				Delay: time.Duration(f.DelayMs * float64(time.Millisecond)),
+			})
+		}
 		return &ControlResponse{OK: true}
 	case "stop":
 		n.mu.Lock()
@@ -668,13 +931,20 @@ const stallStream int32 = -1
 // Stats snapshots the node's metrics.
 func (n *Node) Stats() *NodeStats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	s := &NodeStats{
-		QueueLen: len(n.queue) - n.qhead,
-		Injected: n.injected,
-		Emitted:  n.emitted,
-		OpCost:   map[int]float64{},
-		OpSel:    map[int]float64{},
+		QueueLen:  len(n.queue) - n.qhead,
+		Injected:  n.injected,
+		Emitted:   n.emitted,
+		Shed:      n.shedTotal,
+		SendMaxMs: float64(n.sendMaxNanos.Load()) / float64(time.Millisecond),
+		OpCost:    map[int]float64{},
+		OpSel:     map[int]float64{},
+	}
+	if len(n.shedByStream) > 0 {
+		s.ShedByStream = make(map[int]int64, len(n.shedByStream))
+		for sid, v := range n.shedByStream {
+			s.ShedByStream[int(sid)] = v
+		}
 	}
 	if n.spec != nil {
 		s.NodeID = n.spec.NodeID
@@ -696,6 +966,14 @@ func (n *Node) Stats() *NodeStats {
 		if sel, ok := n.estimator.Selectivity(id); ok {
 			s.OpSel[id] = sel
 		}
+	}
+	n.mu.Unlock()
+	for _, o := range n.outboxSnapshots() {
+		s.OutboxEnqueued += o.Enqueued
+		s.OutboxSent += o.Sent
+		s.OutboxDropped += o.Dropped
+		s.OutboxPending += o.Pending
+		s.PeerReconnects += o.Reconnects
 	}
 	return s
 }

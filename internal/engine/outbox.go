@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-peer outbox: every remote destination gets its own goroutine fed by a
+// bounded channel, so one dead or slow peer can never head-of-line-block the
+// worker (the old Node.send dialed synchronously under a shared lock with a
+// 2s timeout — a single unreachable destination stalled every send). The
+// outbox dials with exponential backoff plus jitter, drops with a counter
+// when the channel overflows or the link is down, and re-arms the per-peer
+// relay-error latch on recovery so repeated failures stay visible.
+
+// errOutboxClosed signals an orderly shutdown of the writer loop.
+var errOutboxClosed = errors.New("engine: outbox closed")
+
+// outboxBatchMax bounds how many tuples one flush batch may carry, so a
+// saturated channel cannot delay the flush (and hence delivery) unboundedly.
+const outboxBatchMax = 512
+
+// LinkFault is an injected fault on the outbound link to one peer address:
+// Sever fails dials and breaks the live connection, Drop silently discards
+// tuples (counted as outbox drops), Delay stalls each flush by the given
+// duration. Faults compose (a Drop+Delay link discards slowly).
+type LinkFault struct {
+	Sever bool
+	Drop  bool
+	Delay time.Duration
+}
+
+// outboxStats is an atomic snapshot of one outbox's accounting. The
+// invariant enqueued == sent + dropped + pending holds at quiescence.
+type outboxStats struct {
+	Addr       string
+	Enqueued   int64 // tuples accepted into the channel
+	Sent       int64 // tuples flushed to the socket
+	Dropped    int64 // overflow + fault-drop + lost-on-disconnect
+	Pending    int64 // still buffered in the channel
+	Reconnects int64 // successful connections after a loss
+}
+
+type outbox struct {
+	node *Node
+	addr string
+	ch   chan Tuple
+	quit chan struct{}
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	enqueued   atomic.Int64
+	sent       atomic.Int64
+	dropped    atomic.Int64
+	reconnects atomic.Int64
+}
+
+func newOutbox(n *Node, addr string) *outbox {
+	return &outbox{
+		node: n,
+		addr: addr,
+		ch:   make(chan Tuple, n.cfg.OutboxCap),
+		quit: make(chan struct{}),
+	}
+}
+
+// enqueue offers one tuple without blocking; on overflow the tuple is
+// dropped and counted.
+func (o *outbox) enqueue(t Tuple) bool {
+	o.enqueued.Add(1)
+	select {
+	case o.ch <- t:
+		return true
+	default:
+		o.dropped.Add(1)
+		return false
+	}
+}
+
+func (o *outbox) stats() outboxStats {
+	return outboxStats{
+		Addr:       o.addr,
+		Enqueued:   o.enqueued.Load(),
+		Sent:       o.sent.Load(),
+		Dropped:    o.dropped.Load(),
+		Pending:    int64(len(o.ch)),
+		Reconnects: o.reconnects.Load(),
+	}
+}
+
+// setConn publishes the live connection so a sever fault can break it.
+func (o *outbox) setConn(c net.Conn) {
+	o.connMu.Lock()
+	o.conn = c
+	o.connMu.Unlock()
+}
+
+// breakConn severs the live connection (if any); the writer loop sees the
+// write error and falls back into the dial/backoff cycle.
+func (o *outbox) breakConn() {
+	o.connMu.Lock()
+	c := o.conn
+	o.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// dial connects to the peer, honoring an injected link fault.
+func (o *outbox) dial() (net.Conn, error) {
+	if f := o.node.linkFault(o.addr); f != nil && f.Sever {
+		return nil, fmt.Errorf("engine: link to %s severed by fault", o.addr)
+	}
+	return net.DialTimeout("tcp", o.addr, o.node.cfg.DialTimeout)
+}
+
+// run is the outbox goroutine: connect (with backoff), drain the channel,
+// reconnect on failure, until quit.
+func (o *outbox) run() {
+	defer o.node.wg.Done()
+	attempt := 0
+	connected := false
+	for {
+		conn, err := o.dial()
+		if err != nil {
+			o.node.peerDown(o.addr, err)
+			d := backoffDelay(o.node.cfg.BackoffBase, o.node.cfg.BackoffMax, attempt, rand.Float64())
+			attempt++
+			select {
+			case <-o.quit:
+				o.dropRemaining()
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
+		if connected || attempt > 0 {
+			o.reconnects.Add(1)
+		}
+		attempt = 0
+		connected = true
+		o.setConn(conn)
+		o.node.peerUp(o.addr)
+		err = o.writeLoop(conn)
+		o.setConn(nil)
+		conn.Close()
+		if errors.Is(err, errOutboxClosed) {
+			return
+		}
+		o.node.peerDown(o.addr, err)
+	}
+}
+
+// writeLoop ships tuples over one connection until it fails or quit fires.
+// Tuples are batched: drain the channel (bounded by outboxBatchMax), then
+// flush under a write deadline so a stalled peer surfaces as an error
+// instead of blocking shutdown.
+func (o *outbox) writeLoop(conn net.Conn) error {
+	tw, err := NewTupleWriter(conn)
+	if err != nil {
+		return err
+	}
+	pending := 0
+	write := func(t Tuple, f *LinkFault) error {
+		if f != nil && f.Drop {
+			o.dropped.Add(1)
+			return nil
+		}
+		if err := tw.Send(t); err != nil {
+			o.dropped.Add(int64(pending) + 1)
+			pending = 0
+			return err
+		}
+		pending++
+		return nil
+	}
+	flush := func(f *LinkFault) error {
+		if pending == 0 {
+			return nil
+		}
+		if f != nil && f.Delay > 0 {
+			select {
+			case <-o.quit:
+			case <-time.After(f.Delay):
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+		if err := tw.Flush(); err != nil {
+			o.dropped.Add(int64(pending))
+			pending = 0
+			return err
+		}
+		o.sent.Add(int64(pending))
+		pending = 0
+		return nil
+	}
+	for {
+		var t Tuple
+		select {
+		case <-o.quit:
+			// Best-effort final drain of whatever is already buffered.
+			f := o.node.linkFault(o.addr)
+			for {
+				select {
+				case t = <-o.ch:
+					if err := write(t, f); err != nil {
+						o.dropRemaining()
+						return errOutboxClosed
+					}
+				default:
+					flush(f) //nolint:errcheck
+					return errOutboxClosed
+				}
+			}
+		case t = <-o.ch:
+		}
+		f := o.node.linkFault(o.addr)
+		if err := write(t, f); err != nil {
+			return err
+		}
+	drain:
+		for i := 1; i < outboxBatchMax; i++ {
+			select {
+			case t = <-o.ch:
+				if err := write(t, f); err != nil {
+					return err
+				}
+			default:
+				break drain
+			}
+		}
+		if err := flush(f); err != nil {
+			return err
+		}
+	}
+}
+
+// dropRemaining counts everything still buffered as dropped (shutdown or
+// terminal link failure with no connection to drain into).
+func (o *outbox) dropRemaining() {
+	for {
+		select {
+		case <-o.ch:
+			o.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// backoffDelay computes the reconnect delay for the given attempt:
+// base·2^attempt capped at max, scaled by a jitter factor in [0.75, 1.25)
+// derived from jitter ∈ [0, 1). Exposed as a pure function for testing.
+func backoffDelay(base, max time.Duration, attempt int, jitter float64) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	scaled := time.Duration(float64(d) * (0.75 + 0.5*jitter))
+	if scaled <= 0 {
+		scaled = base
+	}
+	return scaled
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rodsp/internal/obs"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	// Neutral jitter (0.5) leaves the exponential schedule untouched.
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{3, 800 * time.Millisecond},
+		{4, time.Second}, // capped
+		{10, time.Second},
+	} {
+		if got := backoffDelay(base, max, tc.attempt, 0.5); got != tc.want {
+			t.Errorf("attempt %d: got %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	// Jitter scales within [0.75, 1.25).
+	if got := backoffDelay(base, max, 0, 0); got != 75*time.Millisecond {
+		t.Errorf("jitter 0: got %v, want 75ms", got)
+	}
+	if got := backoffDelay(base, max, 0, 0.999); got >= 125*time.Millisecond || got <= 100*time.Millisecond {
+		t.Errorf("jitter ~1: got %v, want in (100ms, 125ms)", got)
+	}
+	// Zero/negative inputs fall back to sane defaults, never zero delay.
+	if got := backoffDelay(0, 0, 3, 0); got <= 0 {
+		t.Errorf("defaulted schedule produced non-positive delay %v", got)
+	}
+}
+
+// deadAddr returns a localhost address nothing is listening on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Overflow accounting: with the link severed, a small outbox accepts up to
+// its capacity and drops (with a counter) beyond it; after Close every
+// buffered tuple is accounted as dropped, so enqueued == sent + dropped.
+func TestOutboxOverflowAccounting(t *testing.T) {
+	n, err := NewNodeConfig("127.0.0.1:0", 1, NodeConfig{
+		OutboxCap:   8,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := deadAddr(t)
+	n.SetLinkFault(addr, LinkFault{Sever: true}) // dials must fail, deterministically
+
+	const total = 100
+	accepted := 0
+	for i := 0; i < total; i++ {
+		if n.send(addr, Tuple{Stream: 1, Seq: int64(i)}) {
+			accepted++
+		}
+	}
+	snaps := n.outboxSnapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 outbox, got %d", len(snaps))
+	}
+	s := snaps[0]
+	if s.Enqueued != total {
+		t.Fatalf("enqueued = %d, want %d", s.Enqueued, total)
+	}
+	if int64(accepted) != s.Enqueued-s.Dropped {
+		t.Fatalf("accepted %d but enqueued-dropped = %d", accepted, s.Enqueued-s.Dropped)
+	}
+	if s.Dropped < total-8 {
+		t.Fatalf("dropped = %d, want >= %d (cap 8)", s.Dropped, total-8)
+	}
+	if s.Enqueued != s.Sent+s.Dropped+s.Pending {
+		t.Fatalf("accounting broken: enqueued %d != sent %d + dropped %d + pending %d",
+			s.Enqueued, s.Sent, s.Dropped, s.Pending)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-close: nothing pending, nothing sent, everything accounted.
+	s = n.outboxSnapshots()[0]
+	if s.Sent != 0 || s.Pending != 0 || s.Enqueued != s.Dropped {
+		t.Fatalf("post-close accounting: %+v", s)
+	}
+}
+
+// A severed link falls into the backoff/reconnect cycle (emitting one
+// relay_error per episode) and recovers once the fault clears: delivery
+// resumes, the reconnect counter advances, and peer_up re-arms the latch.
+func TestOutboxReconnectAfterPartition(t *testing.T) {
+	a, err := NewNodeConfig("127.0.0.1:0", 1, NodeConfig{
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ev := obs.NewEventLog(0)
+	a.SetObserver(ev, 0)
+	b, err := NewNode("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr := b.Addr()
+
+	a.send(addr, Tuple{Stream: 1})
+	waitUntil(t, 2*time.Second, "first delivery", func() bool {
+		return b.Stats().Injected > 0
+	})
+	before := b.Stats().Injected
+
+	a.SetLinkFault(addr, LinkFault{Sever: true})
+	// The severed link surfaces as a relay_error once the outbox notices
+	// (the break, or the next failed dial).
+	waitUntil(t, 2*time.Second, "relay_error after sever", func() bool {
+		a.send(addr, Tuple{Stream: 1})
+		return ev.Count(obs.EventRelayError) > 0
+	})
+
+	a.ClearLinkFault(addr)
+	waitUntil(t, 4*time.Second, "delivery after heal", func() bool {
+		a.send(addr, Tuple{Stream: 1})
+		return b.Stats().Injected > before
+	})
+	if s := a.outboxSnapshots()[0]; s.Reconnects < 1 {
+		t.Fatalf("reconnects = %d, want >= 1 (%+v)", s.Reconnects, s)
+	}
+	if ev.Count(obs.EventPeerUp) == 0 {
+		t.Fatal("no peer_up event after the link healed")
+	}
+	if ev.Count(obs.EventLinkFault) < 2 {
+		t.Fatal("link_fault events missing for set/clear")
+	}
+}
+
+// A Drop fault silently discards tuples while counting them, without
+// breaking the connection.
+func TestOutboxDropFault(t *testing.T) {
+	a, err := NewNode("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr := b.Addr()
+
+	a.send(addr, Tuple{Stream: 1})
+	waitUntil(t, 2*time.Second, "first delivery", func() bool {
+		return b.Stats().Injected > 0
+	})
+	before := b.Stats().Injected
+
+	a.SetLinkFault(addr, LinkFault{Drop: true})
+	for i := 0; i < 50; i++ {
+		a.send(addr, Tuple{Stream: 1})
+	}
+	waitUntil(t, 2*time.Second, "drops counted", func() bool {
+		return a.outboxSnapshots()[0].Dropped >= 50
+	})
+	if got := b.Stats().Injected; got != before {
+		t.Fatalf("receiver saw %d tuples during a drop fault (had %d)", got, before)
+	}
+	a.ClearLinkFault(addr)
+	waitUntil(t, 2*time.Second, "delivery after clearing drop fault", func() bool {
+		a.send(addr, Tuple{Stream: 1})
+		return b.Stats().Injected > before
+	})
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

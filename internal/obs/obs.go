@@ -42,6 +42,16 @@ const (
 	MetricSinkLatencyQuantile = "rodsp_sink_latency_quantile_seconds"
 	// MetricSinkTuples counts tuples that reached a sink.
 	MetricSinkTuples = "rodsp_sink_tuples_total"
+	// MetricNodeShed counts tuples shed at a node's bounded ingress queue.
+	MetricNodeShed = "rodsp_node_tuples_shed_total"
+	// MetricStreamShed counts shed tuples per node and victim stream.
+	MetricStreamShed = "rodsp_stream_tuples_shed_total"
+	// MetricNodeOutboxDrop counts tuples dropped by a node's per-peer
+	// outboxes (overflow, injected drop faults, lost on disconnect).
+	MetricNodeOutboxDrop = "rodsp_node_outbox_dropped_total"
+	// MetricNodePeerReconnects counts peer links re-established after a
+	// failure (the outbox backoff/reconnect cycle succeeding).
+	MetricNodePeerReconnects = "rodsp_node_peer_reconnects_total"
 )
 
 // Event types emitted by the engine and the simulator.
@@ -57,6 +67,16 @@ const (
 	EventControlError   = "control_error"
 	EventRelayError     = "relay_error"
 	EventSpan           = "span"
+	// EventShedOnset/EventShedClear bracket a load-shedding episode at a
+	// node's bounded ingress queue (onset on the first shed, clearance
+	// once the backlog drains to half the cap).
+	EventShedOnset = "shed_onset"
+	EventShedClear = "shed_clear"
+	// EventPeerUp marks an outbound peer link recovering after a failure
+	// previously reported as relay_error (the warn latch re-arms here).
+	EventPeerUp = "peer_up"
+	// EventLinkFault records an injected link fault being set or cleared.
+	EventLinkFault = "link_fault"
 )
 
 // Event levels.

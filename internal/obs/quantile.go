@@ -38,9 +38,13 @@ func Quantiles(xs []float64, ps ...float64) ([]float64, bool) {
 }
 
 // LatencySummary is the shared latency digest both the engine collector and
-// the simulator report (seconds).
+// the simulator report (seconds). Count is the total number of observations;
+// Retained is how many samples the quantiles were estimated from (they
+// differ when the producer keeps a bounded reservoir, as the engine
+// collector does — Retained == Count means the digest is exact).
 type LatencySummary struct {
 	Count                    int64
+	Retained                 int64
 	Mean, P50, P95, P99, Max float64
 }
 
@@ -56,12 +60,13 @@ func Summarize(xs []float64) (LatencySummary, bool) {
 		sum += x
 	}
 	return LatencySummary{
-		Count: int64(len(xs)),
-		Mean:  sum / float64(len(xs)),
-		P50:   qs[0],
-		P95:   qs[1],
-		P99:   qs[2],
-		Max:   qs[3],
+		Count:    int64(len(xs)),
+		Retained: int64(len(xs)),
+		Mean:     sum / float64(len(xs)),
+		P50:      qs[0],
+		P95:      qs[1],
+		P99:      qs[2],
+		Max:      qs[3],
 	}, true
 }
 

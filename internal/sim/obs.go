@@ -127,6 +127,15 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 		o.sampler.ProbeGauge(obs.MetricNodeHeadroom, o.headG[i], "node", node)
 		o.sampler.ProbeCounter(obs.MetricNodeInjected, o.injC[i], "node", node)
 		o.sampler.ProbeCounter(obs.MetricNodeEmitted, o.emiC[i], "node", node)
+		// The simulator's unbounded queues never shed and its delivery is
+		// lossless, so the engine's resilience counters stay at zero — but
+		// they are emitted to keep the two runtimes' series schemas identical
+		// (the sim-vs-prototype cross-validation asserts exact equality).
+		for _, name := range []string{
+			obs.MetricNodeShed, obs.MetricNodeOutboxDrop, obs.MetricNodePeerReconnects,
+		} {
+			o.sampler.ProbeCounter(name, o.reg.Counter(name, "node", node), "node", node)
+		}
 	}
 	for s, in := range inputs {
 		label := strconv.Itoa(int(in))

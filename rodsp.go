@@ -86,6 +86,18 @@ type (
 	EngineSource = engine.SourceDriver
 	// EngineNodeStats is a node's metrics snapshot.
 	EngineNodeStats = engine.NodeStats
+	// EngineNodeConfig tunes a node's data plane: ingress queue bound and
+	// shed policy, per-peer outbox capacity, reconnect backoff and timeouts.
+	EngineNodeConfig = engine.NodeConfig
+	// EngineShedPolicy selects what a full ingress queue sheds
+	// (drop-newest or drop-oldest).
+	EngineShedPolicy = engine.ShedPolicy
+	// EngineLinkFault describes an injected outbound-link fault (sever,
+	// drop, or delay) for resilience testing.
+	EngineLinkFault = engine.LinkFault
+	// EngineFaultSpec is the control-plane fault-injection command: link
+	// faults by peer address, or killing the node outright.
+	EngineFaultSpec = engine.FaultSpec
 
 	// RebalanceConfig turns the simulator into a dynamic-redistribution
 	// system (the paper's contrast case): periodic statistics windows, a
@@ -282,6 +294,12 @@ func PresetTraces(seed int64) []*Trace { return trace.Presets(seed) }
 // node per capacity entry plus a latency collector. Close it when done.
 func StartEngine(capacities []float64) (*EngineCluster, error) {
 	return engine.StartCluster(capacities)
+}
+
+// StartEngineConfig is StartEngine with explicit per-node data-plane
+// settings (queue bounds, shed policy, outbox capacity, backoff).
+func StartEngineConfig(capacities []float64, cfg EngineNodeConfig) (*EngineCluster, error) {
+	return engine.StartClusterConfig(capacities, cfg)
 }
 
 // EngineInputNodes returns, per input stream, the nodes that must receive
