@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	rodbench [-quick] [-seed N] [experiment ...]
+//	rodbench [-quick] [-seed N] [-workers N] [-perf FILE] [experiment ...]
 //
 // With no experiment names it runs the full suite. Known experiments:
 // figure2, table2, figure9, figure14, figure15, optimal, latency,
 // loadshift, lowerbound, joins, clustering, rodvariants.
+//
+// -workers sets the compute-plane worker count (0 = GOMAXPROCS). The
+// rendered tables on stdout are byte-identical for any worker count;
+// per-experiment wall-clock timings go to stderr, and -perf additionally
+// writes them as a machine-readable JSON record (BENCH_placement.json by
+// convention).
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"rodsp/internal/bench"
+	"rodsp/internal/par"
 )
 
 func main() {
@@ -24,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	workers := flag.Int("workers", 0, "compute-plane worker count (0 = GOMAXPROCS)")
+	perfPath := flag.String("perf", "", "write per-experiment wall-clock timings as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +42,7 @@ func main() {
 		}
 		return
 	}
+	par.SetWorkers(*workers)
 	names := flag.Args()
 	if len(names) == 0 {
 		names = bench.ExperimentNames
@@ -41,12 +52,19 @@ func main() {
 			fail(err)
 		}
 	}
+	perf := bench.NewPerfRecord(par.Workers(), *seed, *quick)
+	total := time.Duration(0)
 	for _, name := range names {
 		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
 		tables, err := bench.RunTables(name, *quick, *seed)
+		elapsed := time.Since(start)
 		if err != nil {
 			fail(err)
 		}
+		perf.Add(name, elapsed)
+		total += elapsed
+		fmt.Fprintf(os.Stderr, "rodbench: %-12s %8.3fs (workers=%d)\n", name, elapsed.Seconds(), par.Workers())
 		for i, t := range tables {
 			fmt.Println(t.String())
 			if *csvDir != "" {
@@ -55,6 +73,12 @@ func main() {
 					fail(err)
 				}
 			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rodbench: total        %8.3fs (workers=%d)\n", total.Seconds(), par.Workers())
+	if *perfPath != "" {
+		if err := perf.Write(*perfPath); err != nil {
+			fail(err)
 		}
 	}
 }

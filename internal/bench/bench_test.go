@@ -121,7 +121,10 @@ func TestTable2KnownGeometry(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	tb := Figure9Config{Matrices: 200, Samples: 1200, Seed: 2}.Run()
+	tb, err := Figure9Config{Matrices: 200, Samples: 1200, Seed: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The mean measured ratio must increase with r/r* (the figure's trend)
 	// and the bound column must never exceed the bin's min by much.
 	var lastMean float64 = -1

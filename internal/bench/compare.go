@@ -29,6 +29,13 @@ type ratioStats struct {
 
 // averageRatiosStd is averageRatios with per-algorithm trial spread (ROD
 // runs once, so its Std is 0).
+//
+// The trials share one RNG stream, so the run is split in two phases:
+// every trial's random inputs are drawn serially first (in the exact order
+// the old serial loop consumed the stream), then the expensive
+// deterministic part — baseline placement and QMC evaluation — fans across
+// the trial-runner with results collected in trial order. Output is
+// byte-identical to the serial loop for any worker count.
 func averageRatiosStd(g *query.Graph, lm *query.LoadModel, c mat.Vec, trials, samples int, seed int64) (map[string]ratioStats, error) {
 	rng := rand.New(rand.NewSource(seed))
 	lo := lm.Coef
@@ -43,19 +50,17 @@ func averageRatiosStd(g *query.Graph, lm *query.LoadModel, c mat.Vec, trials, sa
 	if err != nil {
 		return nil, err
 	}
-	samplesPer := map[string][]float64{}
-	for trial := 0; trial < trials; trial++ {
+
+	type trialInputs struct {
+		rates    mat.Vec
+		series   *mat.Matrix
+		randPlan *placement.Plan
+	}
+	inputs := make([]trialInputs, trials)
+	for trial := range inputs {
 		rates := make(mat.Vec, d)
 		for k := range rates {
 			rates[k] = rng.Float64() * rateCeil(lk, c, k)
-		}
-		llfPlan, err := placement.LLF(lo, c, rates)
-		if err != nil {
-			return nil, fmt.Errorf("bench: LLF: %w", err)
-		}
-		connPlan, err := placement.Connected(g, lo, c, rates)
-		if err != nil {
-			return nil, fmt.Errorf("bench: Connected: %w", err)
 		}
 		series := workload.RandomRateSeries(d, 50, 1, rng)
 		for k := 0; k < d; k++ {
@@ -64,20 +69,47 @@ func averageRatiosStd(g *query.Graph, lm *query.LoadModel, c mat.Vec, trials, sa
 				series.Set(t, k, series.At(t, k)*ceil)
 			}
 		}
-		corrPlan, err := placement.CorrelationBased(lo, c, series)
+		inputs[trial] = trialInputs{rates, series, placement.Random(lo.Rows, len(c), rng)}
+	}
+
+	type trialRatios struct{ llf, conn, corr, rnd float64 }
+	results, err := RunTrials(trials, func(trial int) (trialRatios, error) {
+		in := inputs[trial]
+		llfPlan, err := placement.LLF(lo, c, in.rates)
 		if err != nil {
-			return nil, fmt.Errorf("bench: Correlation: %w", err)
+			return trialRatios{}, fmt.Errorf("bench: LLF: %w", err)
 		}
-		randPlan := placement.Random(lo.Rows, len(c), rng)
-		for name, p := range map[string]*placement.Plan{
-			"LLF": llfPlan, "Connected": connPlan, "Correlation": corrPlan, "Random": randPlan,
-		} {
-			ratio, err := placement.Evaluate(p, lo, c, samples)
+		connPlan, err := placement.Connected(g, lo, c, in.rates)
+		if err != nil {
+			return trialRatios{}, fmt.Errorf("bench: Connected: %w", err)
+		}
+		corrPlan, err := placement.CorrelationBased(lo, c, in.series)
+		if err != nil {
+			return trialRatios{}, fmt.Errorf("bench: Correlation: %w", err)
+		}
+		var out trialRatios
+		for _, e := range []struct {
+			dst  *float64
+			plan *placement.Plan
+		}{{&out.llf, llfPlan}, {&out.conn, connPlan}, {&out.corr, corrPlan}, {&out.rnd, in.randPlan}} {
+			ratio, err := placement.Evaluate(e.plan, lo, c, samples)
 			if err != nil {
-				return nil, err
+				return trialRatios{}, err
 			}
-			samplesPer[name] = append(samplesPer[name], ratio)
+			*e.dst = ratio
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	samplesPer := map[string][]float64{}
+	for _, r := range results {
+		samplesPer["LLF"] = append(samplesPer["LLF"], r.llf)
+		samplesPer["Connected"] = append(samplesPer["Connected"], r.conn)
+		samplesPer["Correlation"] = append(samplesPer["Correlation"], r.corr)
+		samplesPer["Random"] = append(samplesPer["Random"], r.rnd)
 	}
 	out := map[string]ratioStats{"ROD": {Mean: rodRatio}}
 	for name, xs := range samplesPer {

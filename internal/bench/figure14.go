@@ -58,7 +58,12 @@ func (c Figure14Config) Run() ([]*Table, error) {
 		Note:   "ROD runs once per workload (rate-independent), so it has no trial spread",
 		Header: append([]string{"ops"}, AlgoNames[1:]...),
 	}
-	for _, ops := range c.OpsList {
+	// Every operator-count point derives its own seeds from c.Seed, so the
+	// points are independent: fan them across the trial-runner and append
+	// the returned rows in sweep order.
+	type point struct{ row1, row2, row3 []string }
+	points, err := RunTrials(len(c.OpsList), func(pi int) (point, error) {
+		ops := c.OpsList[pi]
 		per := ops / c.Streams
 		if per == 0 {
 			per = 1
@@ -67,29 +72,35 @@ func (c Figure14Config) Run() ([]*Table, error) {
 			Streams: c.Streams, OpsPerStream: per, Seed: c.Seed + int64(ops),
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		lm, err := query.BuildLoadModel(g)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		ratios, err := averageRatiosStd(g, lm, caps, c.Trials, c.Samples, c.Seed+int64(ops)*7)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		row1 := []string{fi(per * c.Streams)}
 		for _, a := range AlgoNames {
 			row1 = append(row1, f3(ratios[a].Mean))
 		}
-		toIdeal.AddRow(row1...)
 		row2 := []string{fi(per * c.Streams)}
 		row3 := []string{fi(per * c.Streams)}
 		for _, a := range AlgoNames[1:] {
 			row2 = append(row2, f3(ratios[a].Mean/ratios["ROD"].Mean))
 			row3 = append(row3, f3(ratios[a].Std))
 		}
-		toROD.AddRow(row2...)
-		spread.AddRow(row3...)
+		return point{row1, row2, row3}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		toIdeal.AddRow(p.row1...)
+		toROD.AddRow(p.row2...)
+		spread.AddRow(p.row3...)
 	}
 	return []*Table{toIdeal, toROD, spread}, nil
 }

@@ -49,7 +49,10 @@ func (c Figure15Config) Run() (*Table, error) {
 			c.Nodes, c.OpsPerStream, c.Trials),
 		Header: append([]string{"streams"}, AlgoNames[1:]...),
 	}
-	for _, d := range c.StreamsList {
+	// Stream-count points derive independent seeds from c.Seed — fan them
+	// across the trial-runner, append rows in sweep order.
+	rows, err := RunTrials(len(c.StreamsList), func(pi int) ([]string, error) {
+		d := c.StreamsList[pi]
 		g, err := workload.RandomTrees(workload.TreeConfig{
 			Streams: d, OpsPerStream: c.OpsPerStream, Seed: c.Seed + int64(d)*13,
 		})
@@ -68,6 +71,12 @@ func (c Figure15Config) Run() (*Table, error) {
 		for _, a := range AlgoNames[1:] {
 			row = append(row, f3(ratios[a]/ratios["ROD"]))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil

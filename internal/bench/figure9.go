@@ -42,7 +42,7 @@ func (c *Figure9Config) Defaults() {
 // Run generates the scatter and reports, per r/r* bin, the min/mean/max
 // measured feasible-set ratio alongside the hypersphere lower-bound curve
 // drawn in the figure.
-func (c Figure9Config) Run() *Table {
+func (c Figure9Config) Run() (*Table, error) {
 	c.Defaults()
 	rng := rand.New(rand.NewSource(c.Seed))
 	type binAcc struct {
@@ -54,23 +54,38 @@ func (c Figure9Config) Run() *Table {
 		bins[i].min = math.Inf(1)
 	}
 	rStar := feasible.IdealPlaneDistance(c.Streams)
-	for m := 0; m < c.Matrices; m++ {
-		w := randomWeights(rng, c.Nodes, c.Streams)
-		r := feasible.MinPlaneDistance(w)
-		ratio := feasible.RatioToIdeal(w, c.Samples)
-		frac := r / rStar
+	// The matrices come off one shared RNG stream, so they are drawn
+	// serially; the QMC evaluations — the bulk of the work — fan across
+	// the trial-runner and the bins accumulate in matrix order.
+	ws := make([]*mat.Matrix, c.Matrices)
+	for m := range ws {
+		ws[m] = randomWeights(rng, c.Nodes, c.Streams)
+	}
+	type sample struct{ r, ratio float64 }
+	evals, err := RunTrials(c.Matrices, func(m int) (sample, error) {
+		ratio, err := feasible.RatioToIdeal(ws[m], c.Samples)
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{r: feasible.MinPlaneDistance(ws[m]), ratio: ratio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range evals {
+		frac := e.r / rStar
 		b := int(frac * float64(c.Bins))
 		if b >= c.Bins {
 			b = c.Bins - 1
 		}
 		acc := &bins[b]
 		acc.n++
-		acc.sum += ratio
-		if ratio < acc.min {
-			acc.min = ratio
+		acc.sum += e.ratio
+		if e.ratio < acc.min {
+			acc.min = e.ratio
 		}
-		if ratio > acc.max {
-			acc.max = ratio
+		if e.ratio > acc.max {
+			acc.max = e.ratio
 		}
 	}
 	t := &Table{
@@ -94,7 +109,7 @@ func (c Figure9Config) Run() *Table {
 			f3(feasible.HypersphereLowerBound(lo*rStar, c.Streams)),
 		)
 	}
-	return t
+	return t, nil
 }
 
 // randomWeights draws a random normalized weight matrix: each column is a

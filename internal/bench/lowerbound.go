@@ -58,40 +58,51 @@ func (c LowerBoundConfig) Run() (*Table, error) {
 		Header: []string{"floor(stream0)", "base ROD", "LB-aware ROD", "improvement"},
 	}
 	for _, f := range c.FloorLevels {
-		var baseSum, awareSum float64
-		for trial := 0; trial < c.Trials; trial++ {
-			g, err := workload.RandomTrees(workload.TreeConfig{
-				Streams: c.Streams, OpsPerStream: c.OpsPerStream,
-				Seed: c.Seed + int64(trial)*101,
+		// Each trial derives its own workload seed, so the trials fan
+		// across the trial-runner; sums are reduced in trial order to keep
+		// the float result identical to the serial loop.
+		type pair struct{ base, aware float64 }
+		results, err := RunSeededTrials(c.Trials, c.Seed, StrideSeed(101),
+			func(trial int, seed int64) (pair, error) {
+				g, err := workload.RandomTrees(workload.TreeConfig{
+					Streams: c.Streams, OpsPerStream: c.OpsPerStream,
+					Seed: seed,
+				})
+				if err != nil {
+					return pair{}, err
+				}
+				lm, err := query.BuildLoadModel(g)
+				if err != nil {
+					return pair{}, err
+				}
+				lk := lm.CoefSums()
+				lb := make(mat.Vec, lm.D())
+				lb[0] = f * caps.Sum() / lk[0]
+				basePlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, c.Samples)
+				if err != nil {
+					return pair{}, err
+				}
+				awarePlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{LowerBound: lb}, c.Samples)
+				if err != nil {
+					return pair{}, err
+				}
+				base, err := placement.EvaluateFrom(basePlan, lm.Coef, caps, lb, c.Samples)
+				if err != nil {
+					return pair{}, err
+				}
+				aware, err := placement.EvaluateFrom(awarePlan, lm.Coef, caps, lb, c.Samples)
+				if err != nil {
+					return pair{}, err
+				}
+				return pair{base, aware}, nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			lm, err := query.BuildLoadModel(g)
-			if err != nil {
-				return nil, err
-			}
-			lk := lm.CoefSums()
-			lb := make(mat.Vec, lm.D())
-			lb[0] = f * caps.Sum() / lk[0]
-			basePlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{}, c.Samples)
-			if err != nil {
-				return nil, err
-			}
-			awarePlan, _, err := core.PlaceBest(lm.Coef, caps, core.Config{LowerBound: lb}, c.Samples)
-			if err != nil {
-				return nil, err
-			}
-			base, err := placement.EvaluateFrom(basePlan, lm.Coef, caps, lb, c.Samples)
-			if err != nil {
-				return nil, err
-			}
-			aware, err := placement.EvaluateFrom(awarePlan, lm.Coef, caps, lb, c.Samples)
-			if err != nil {
-				return nil, err
-			}
-			baseSum += base
-			awareSum += aware
+		if err != nil {
+			return nil, err
+		}
+		var baseSum, awareSum float64
+		for _, r := range results {
+			baseSum += r.base
+			awareSum += r.aware
 		}
 		base := baseSum / float64(c.Trials)
 		aware := awareSum / float64(c.Trials)

@@ -62,7 +62,10 @@ func (c OrderingConfig) Run() (*Table, error) {
 			c.Nodes, c.Streams),
 		Header: []string{"ops", "norm-desc", "norm-asc", "random order", "hetero (desc)"},
 	}
-	for _, ops := range c.OpsList {
+	// Operator-count points derive independent seeds — fan them across the
+	// trial-runner, append rows in sweep order.
+	rows, err := RunTrials(len(c.OpsList), func(pi int) ([]string, error) {
+		ops := c.OpsList[pi]
 		per := ops / c.Streams
 		if per == 0 {
 			per = 1
@@ -104,7 +107,13 @@ func (c OrderingConfig) Run() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fi(per*c.Streams), f3(desc), f3(asc), f3(random), f3(het))
+		return []string{fi(per * c.Streams), f3(desc), f3(asc), f3(random), f3(het)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

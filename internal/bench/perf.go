@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ExperimentTiming records one experiment's wall-clock duration.
+type ExperimentTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// PerfRecord is the machine-readable benchmark record rodbench writes
+// (conventionally BENCH_placement.json): wall-clock per experiment at a
+// given worker count, plus enough environment to interpret it — the
+// compute plane's perf trajectory accumulates one of these per run.
+type PerfRecord struct {
+	Bench        string             `json:"bench"`
+	Workers      int                `json:"workers"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	GoVersion    string             `json:"go_version"`
+	Seed         int64              `json:"seed"`
+	Quick        bool               `json:"quick"`
+	Experiments  []ExperimentTiming `json:"experiments"`
+	TotalSeconds float64            `json:"total_seconds"`
+}
+
+// NewPerfRecord starts a record for the current process configuration.
+func NewPerfRecord(workers int, seed int64, quick bool) *PerfRecord {
+	return &PerfRecord{
+		Bench:      "placement",
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+		Quick:      quick,
+	}
+}
+
+// Add appends one experiment's timing and folds it into the total.
+func (p *PerfRecord) Add(name string, d time.Duration) {
+	secs := d.Seconds()
+	p.Experiments = append(p.Experiments, ExperimentTiming{Name: name, Seconds: secs})
+	p.TotalSeconds += secs
+}
+
+// Write marshals the record (indented, trailing newline) to path.
+func (p *PerfRecord) Write(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal perf record: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

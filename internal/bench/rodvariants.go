@@ -51,7 +51,11 @@ func (c RODVariantsConfig) Run() (*Table, error) {
 			c.Nodes, c.Streams, c.Seeds),
 		Header: []string{"ops", "random", "paper (max-dist)", "axis-balance", "portfolio"},
 	}
-	for _, ops := range c.OpsList {
+	// Operator-count points are seed-independent — fan them across the
+	// trial-runner and append rows in sweep order. The random-selector
+	// repetitions inside a point sum in seed order.
+	rows, err := RunTrials(len(c.OpsList), func(pi int) ([]string, error) {
+		ops := c.OpsList[pi]
 		per := ops / c.Streams
 		if per == 0 {
 			per = 1
@@ -105,7 +109,13 @@ func (c RODVariantsConfig) Run() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fi(per*c.Streams), f3(randSum/float64(c.Seeds)), f3(paper), f3(axis), f3(best))
+		return []string{fi(per * c.Streams), f3(randSum / float64(c.Seeds)), f3(paper), f3(axis), f3(best)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

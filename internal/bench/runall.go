@@ -33,7 +33,7 @@ func RunTables(name string, quick bool, seed int64) ([]*Table, error) {
 			cfg.Matrices = 150
 			cfg.Samples = 1000
 		}
-		return []*Table{cfg.Run()}, nil
+		return one(cfg.Run())
 	case "figure14":
 		cfg := Figure14Config{Seed: seed}
 		if quick {

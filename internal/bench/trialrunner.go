@@ -1,0 +1,43 @@
+package bench
+
+import "rodsp/internal/par"
+
+// This file is the bench suites' shared deterministic trial-runner. Every
+// suite that repeats independent work — trials of a baseline, rows of a
+// parameter sweep — fans it out here instead of looping serially, and every
+// helper collects results strictly by index, so the rendered tables are
+// byte-identical for any -workers value (including 1).
+//
+// Two determinism rules the suites follow:
+//
+//  1. Anything drawn from a *shared* RNG stream is drawn serially, up
+//     front, in the exact order the serial loop consumed it; only the
+//     deterministic evaluation of those draws fans out (see
+//     averageRatiosStd and figure9).
+//  2. Trials that need their own randomness derive a seed from the trial
+//     index (RunSeededTrials), never from execution order.
+
+// SeedFunc derives the seed of trial t from a suite's base seed.
+type SeedFunc func(base int64, t int) int64
+
+// StrideSeed returns the SeedFunc base + t·stride — the derivation the
+// suites already used serially, kept so the parallel adoption preserves
+// their byte-exact output.
+func StrideSeed(stride int64) SeedFunc {
+	return func(base int64, t int) int64 { return base + int64(t)*stride }
+}
+
+// RunTrials runs fn(t) for every trial in [0, trials) across the par
+// worker pool and returns the results ordered by trial index. On error the
+// lowest failing trial's error is returned — the same one a serial loop
+// would have stopped at.
+func RunTrials[T any](trials int, fn func(t int) (T, error)) ([]T, error) {
+	return par.Map(trials, fn)
+}
+
+// RunSeededTrials is RunTrials for trials that need their own randomness:
+// fn additionally receives derive(base, t), a seed that depends only on
+// the trial index.
+func RunSeededTrials[T any](trials int, base int64, derive SeedFunc, fn func(t int, seed int64) (T, error)) ([]T, error) {
+	return par.Map(trials, func(t int) (T, error) { return fn(t, derive(base, t)) })
+}

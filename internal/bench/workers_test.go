@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"rodsp/internal/par"
+)
+
+// Rendered experiment tables must be byte-identical for any worker count:
+// the trial-runner draws all randomness serially and only fans out the
+// deterministic evaluations, so parallelism can never change a published
+// number. Exercised on the Figure 14 suite (trial-runner + averageRatiosStd
+// + restricted and unrestricted evaluators) and the lower-bound suite
+// (seeded trial fan-out).
+func TestTablesBitIdenticalAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+
+	render := func() string {
+		f14, err := Figure14Config{
+			Nodes: 4, Streams: 2, OpsList: []int{6, 10}, Trials: 3, Samples: 400, Seed: 5,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := LowerBoundConfig{
+			Nodes: 3, Streams: 2, OpsPerStream: 4, Trials: 4, Samples: 400, Seed: 5,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s string
+		for _, tb := range append(f14, lb) {
+			s += tb.String() + "\n"
+		}
+		return s
+	}
+
+	par.SetWorkers(1)
+	want := render()
+	for _, w := range []int{2, 8} {
+		par.SetWorkers(w)
+		if got := render(); got != want {
+			t.Fatalf("workers=%d renders different tables than workers=1", w)
+		}
+	}
+}

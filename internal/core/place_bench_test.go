@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/mat"
+)
+
+func benchWorkload(m, d, n int) (*mat.Matrix, mat.Vec) {
+	rng := rand.New(rand.NewSource(11))
+	lo := mat.NewMatrix(m, d)
+	for j := 0; j < m; j++ {
+		lo.Set(j, rng.Intn(d), 0.05+rng.Float64())
+	}
+	for k := 0; k < d; k++ {
+		lo.Set(rng.Intn(m), k, 0.05+rng.Float64())
+	}
+	c := make(mat.Vec, n)
+	for i := range c {
+		c[i] = 0.5 + rng.Float64()
+	}
+	return lo, c
+}
+
+func BenchmarkPlace(b *testing.B) {
+	lo, c := benchWorkload(200, 5, 10)
+	cfg := Config{Selector: SelectMaxPlaneDistance}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Place(lo, c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceBest(b *testing.B) {
+	lo, c := benchWorkload(200, 5, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PlaceBest(lo, c, Config{}, 3000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

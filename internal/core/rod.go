@@ -23,6 +23,7 @@ import (
 
 	"rodsp/internal/feasible"
 	"rodsp/internal/mat"
+	"rodsp/internal/par"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 )
@@ -208,6 +209,15 @@ func Place(lo *mat.Matrix, c mat.Vec, cfg Config) (*placement.Plan, *Report, err
 
 	// Phase 2: greedy assignment. Pinned operators are placed first so
 	// their load shapes every subsequent decision.
+	//
+	// The incremental compute plane: per-node accumulated load rows (ln)
+	// are the only mutable state, updated in O(d) on each assignment, and
+	// every candidate (operator, node) pair is scored in a single fused
+	// O(d) pass that never materializes the candidate weight row — the
+	// Class I flag, squared norm, lower-bound dot product and worst axis
+	// weight accumulate together, in the same index order the naive
+	// matrix rebuild would use, so every decision (and therefore the
+	// plan) is bit-identical to full recomputation.
 	nodeOf := make([]int, m)
 	ln := mat.NewMatrix(n, d)
 	report := &Report{Order: order}
@@ -222,39 +232,59 @@ func Place(lo *mat.Matrix, c mat.Vec, cfg Config) (*placement.Plan, *Report, err
 		ln.Row(node).AddInPlace(lo.Row(j))
 		report.PinnedAssignments++
 	}
-	w := mat.NewMatrix(n, d) // candidate weight scratch, one row per node
+	share := make([]float64, n)
+	for i := range share {
+		share[i] = c[i] / ct
+	}
+	cand := candScores{
+		norm: make([]float64, n),
+		dotB: make([]float64, n),
+		maxW: make([]float64, n),
+	}
 	classI := make([]int, 0, n)
+	placedPrefix := make([]int, 0, m) // order prefix, every entry assigned
 	const eps = 1e-9
 	for _, j := range order {
 		if _, pinned := cfg.Pinned[j]; pinned {
+			placedPrefix = append(placedPrefix, j)
 			continue
 		}
-		// Candidate weights for assigning j to each node.
+		loRow := lo.Row(j)
 		classI = classI[:0]
 		for i := 0; i < n; i++ {
-			share := c[i] / ct
-			row := w.Row(i)
+			lnRow := ln.Row(i)
+			sh := share[i]
 			inClassI := true
+			var s2, sb, maxV float64
 			for k := 0; k < d; k++ {
-				row[k] = (ln.At(i, k) + lo.At(j, k)) / lk[k] / share
-				if row[k] > 1+eps {
+				v := (lnRow[k] + loRow[k]) / lk[k] / sh
+				if v > 1+eps {
 					inClassI = false
 				}
+				s2 += v * v
+				sb += v * b[k]
+				if k == 0 || v > maxV {
+					maxV = v
+				}
 			}
+			cand.norm[i] = math.Sqrt(s2)
+			cand.dotB[i] = sb
+			cand.maxW[i] = maxV
 			if inClassI {
 				classI = append(classI, i)
 			}
 		}
 		var dest int
 		if len(classI) > 0 {
-			dest = selectClassI(classI, w, lo.Row(j), nodeOf, order, j, cfg, rng)
+			dest = selectClassI(classI, &cand, placedPrefix, nodeOf, j, cfg, rng)
 			report.ClassIAssignments++
 		} else {
-			dest = selectClassII(w, b, cfg)
+			dest = selectClassII(&cand, cfg)
 			report.ClassIIAssignments++
 		}
 		nodeOf[j] = dest
-		ln.Row(dest).AddInPlace(lo.Row(j))
+		ln.Row(dest).AddInPlace(loRow)
+		placedPrefix = append(placedPrefix, j)
 	}
 
 	plan := &placement.Plan{NodeOf: nodeOf, N: n}
@@ -268,21 +298,47 @@ func Place(lo *mat.Matrix, c mat.Vec, cfg Config) (*placement.Plan, *Report, err
 	return plan, report, nil
 }
 
+// candScores holds the fused per-candidate statistics of one Phase 2 step:
+// for every node, the candidate weight row's Euclidean norm, its dot
+// product with the normalized lower bound, and its worst axis weight —
+// everything any selector needs, computed without building the row.
+type candScores struct {
+	norm, dotB, maxW []float64
+}
+
+// distOrigin is feasible.PlaneDistance of the candidate row: 1/‖W_i‖, with
+// an empty row at infinity.
+func (cs *candScores) distOrigin(i int) float64 {
+	if cs.norm[i] == 0 {
+		return math.Inf(1)
+	}
+	return 1 / cs.norm[i]
+}
+
+// distFromB is feasible.PlaneDistanceFrom of the candidate row:
+// (1 − W_i·b)/‖W_i‖, the Section 6.1 lower-bound metric.
+func (cs *candScores) distFromB(i int) float64 {
+	if cs.norm[i] == 0 {
+		return math.Inf(1)
+	}
+	return (1 - cs.dotB[i]) / cs.norm[i]
+}
+
 // selectClassII picks the destination when every node's candidate
 // hyperplane already dips below the ideal one. The paper's rule is the
 // maximum candidate plane distance (measured from the Section 6.1 lower
 // bound when configured); SelectAxisBalance maximizes that distance divided
 // by the node's worst axis weight, penalizing the deepest cut into the
 // ideal simplex.
-func selectClassII(w *mat.Matrix, b mat.Vec, cfg Config) int {
+func selectClassII(cand *candScores, cfg Config) int {
+	n := len(cand.norm)
 	if cfg.Selector == SelectAxisBalance {
 		best, bestScore := 0, math.Inf(-1)
-		for i := 0; i < w.Rows; i++ {
-			row := w.Row(i)
+		for i := 0; i < n; i++ {
 			// Distance rewarded, worst-axis overshoot penalized: the deepest
 			// axis cut dominates the feasible-set loss once rows exceed the
 			// ideal budget.
-			score := feasible.PlaneDistanceFrom(row, b) / row.Max()
+			score := cand.distFromB(i) / cand.maxW[i]
 			if score > bestScore {
 				best, bestScore = i, score
 			}
@@ -290,15 +346,15 @@ func selectClassII(w *mat.Matrix, b mat.Vec, cfg Config) int {
 		return best
 	}
 	best, bestDist := 0, math.Inf(-1)
-	for i := 0; i < w.Rows; i++ {
-		if dist := feasible.PlaneDistanceFrom(w.Row(i), b); dist > bestDist {
+	for i := 0; i < n; i++ {
+		if dist := cand.distFromB(i); dist > bestDist {
 			best, bestDist = i, dist
 		}
 	}
 	return best
 }
 
-func selectClassI(candidates []int, w *mat.Matrix, loRow mat.Vec, nodeOf []int, order []int, j int, cfg Config, rng *rand.Rand) int {
+func selectClassI(candidates []int, cand *candScores, placedPrefix []int, nodeOf []int, j int, cfg Config, rng *rand.Rand) int {
 	switch cfg.Selector {
 	case SelectMaxPlaneDistance, SelectAxisBalance:
 		// Class I choices cannot shrink the reachable feasible set, so the
@@ -309,7 +365,7 @@ func selectClassI(candidates []int, w *mat.Matrix, loRow mat.Vec, nodeOf []int, 
 		// (MMPD) decision.
 		best, bestDist := candidates[0], math.Inf(-1)
 		for _, i := range candidates {
-			if dist := feasible.PlaneDistance(w.Row(i)); dist > bestDist {
+			if dist := cand.distOrigin(i); dist > bestDist {
 				best, bestDist = i, dist
 			}
 		}
@@ -317,17 +373,10 @@ func selectClassI(candidates []int, w *mat.Matrix, loRow mat.Vec, nodeOf []int, 
 	case SelectMinConnections:
 		// Maximize already-placed neighbors on the destination (equivalent
 		// to minimizing newly created inter-node streams).
-		placedBefore := map[int]bool{}
-		for _, prev := range order {
-			if prev == j {
-				break
-			}
-			placedBefore[prev] = true
-		}
 		best, bestScore := candidates[0], -1
 		for _, i := range candidates {
 			score := 0
-			for prev := range placedBefore {
+			for _, prev := range placedPrefix {
 				if nodeOf[prev] == i && cfg.Graph.Connected(query.OpID(j), query.OpID(prev)) {
 					score++
 				}
@@ -349,32 +398,51 @@ func selectClassI(candidates []int, w *mat.Matrix, loRow mat.Vec, nodeOf []int, 
 // better plan with its report. Neither rule dominates alone: the paper's
 // wins when operators are few and coarse, the refinement on operator-rich
 // workloads.
+//
+// The two arms run concurrently on the par worker pool; the winner is
+// chosen by comparing the arms in a fixed order, so the result is
+// identical to the serial portfolio for any worker count.
 func PlaceBest(lo *mat.Matrix, c mat.Vec, cfg Config, samples int) (*placement.Plan, *Report, error) {
 	if samples <= 0 {
 		samples = 2000
+	}
+	lk := lo.ColSums()
+	selectors := []Selector{SelectMaxPlaneDistance, SelectAxisBalance}
+	type arm struct {
+		plan   *placement.Plan
+		report *Report
+		ratio  float64
+	}
+	arms, err := par.Map(len(selectors), func(i int) (arm, error) {
+		c2 := cfg
+		c2.Selector = selectors[i]
+		plan, report, err := Place(lo, c, c2)
+		if err != nil {
+			return arm{}, err
+		}
+		var ratio float64
+		if cfg.LowerBound != nil {
+			nb := feasible.Normalize(cfg.LowerBound, lk, c.Sum())
+			ratio, err = feasible.RatioToIdealFrom(report.Weights, nb, samples)
+		} else {
+			ratio, err = feasible.RatioAuto(report.Weights, samples)
+		}
+		if err != nil {
+			return arm{}, err
+		}
+		return arm{plan, report, ratio}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	var (
 		bestPlan   *placement.Plan
 		bestReport *Report
 		bestRatio  = -1.0
 	)
-	lk := lo.ColSums()
-	for _, sel := range []Selector{SelectMaxPlaneDistance, SelectAxisBalance} {
-		c2 := cfg
-		c2.Selector = sel
-		plan, report, err := Place(lo, c, c2)
-		if err != nil {
-			return nil, nil, err
-		}
-		var ratio float64
-		if cfg.LowerBound != nil {
-			nb := feasible.Normalize(cfg.LowerBound, lk, c.Sum())
-			ratio = feasible.RatioToIdealFrom(report.Weights, nb, samples)
-		} else {
-			ratio = feasible.RatioAuto(report.Weights, samples)
-		}
-		if ratio > bestRatio {
-			bestPlan, bestReport, bestRatio = plan, report, ratio
+	for _, a := range arms {
+		if a.ratio > bestRatio {
+			bestPlan, bestReport, bestRatio = a.plan, a.report, a.ratio
 		}
 	}
 	return bestPlan, bestReport, nil

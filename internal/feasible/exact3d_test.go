@@ -48,7 +48,7 @@ func TestExactRatio3DAgainstQMC(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		w := randWeights(rng, 2+rng.Intn(4), 3)
 		exact := ExactRatio3D(w)
-		qmc := RatioToIdeal(w, 30000)
+		qmc := mustRatio(t, w, 30000)
 		if math.Abs(exact-qmc) > 0.012 {
 			t.Fatalf("trial %d: exact %g vs QMC %g for\n%v", trial, exact, qmc, w)
 		}

@@ -142,7 +142,7 @@ func TestMMADBoundHolds(t *testing.T) {
 		n, d := 2+rng.Intn(4), 2+rng.Intn(3)
 		w := randWeights(rng, n, d)
 		lb := MMADLowerBound(w)
-		ratio := RatioToIdeal(w, 4000)
+		ratio := mustRatio(t, w, 4000)
 		if lb > ratio+0.02 {
 			t.Fatalf("MMAD bound %g exceeds measured ratio %g for\n%v", lb, ratio, w)
 		}
@@ -178,7 +178,7 @@ func TestHypersphereBoundHolds(t *testing.T) {
 		w := randWeights(rng, n, d)
 		r := MinPlaneDistance(w)
 		bound := HypersphereLowerBound(r, d)
-		ratio := RatioToIdeal(w, 4000)
+		ratio := mustRatio(t, w, 4000)
 		if bound > ratio+0.02 {
 			t.Fatalf("hypersphere bound %g exceeds ratio %g (r=%g)", bound, ratio, r)
 		}

@@ -21,6 +21,21 @@ func NewHalton(dims int) *Halton {
 	return &Halton{bases: firstPrimes(dims), index: 1}
 }
 
+// NewHaltonAt returns a Halton sequence positioned so its next point is the
+// sequence's point number pos (0-based: NewHaltonAt(dims, 0) is NewHalton).
+// Because each point is a pure function of its index, a worker given
+// NewHaltonAt(d, chunk.Lo) generates exactly the points a serial generator
+// would produce for that chunk — the jump-ahead that makes chunked QMC
+// bit-identical to the serial sweep. Panics if pos is negative.
+func NewHaltonAt(dims int, pos int64) *Halton {
+	h := NewHalton(dims)
+	if pos < 0 {
+		panic(fmt.Sprintf("feasible: Halton position must be non-negative, got %d", pos))
+	}
+	h.index += pos
+	return h
+}
+
 // Next fills dst with the next point of the sequence. len(dst) must equal
 // the dimension count.
 func (h *Halton) Next(dst []float64) {
@@ -35,6 +50,24 @@ func (h *Halton) Next(dst []float64) {
 
 // Skip advances the sequence by n points.
 func (h *Halton) Skip(n int64) { h.index += n }
+
+// Pos returns the 0-based position of the next point Next will produce.
+func (h *Halton) Pos() int64 { return h.index - 1 }
+
+// At fills dst with the sequence's point number pos (0-based) without
+// moving the generator — random access into the sequence. len(dst) must
+// equal the dimension count and pos must be non-negative.
+func (h *Halton) At(pos int64, dst []float64) {
+	if len(dst) != len(h.bases) {
+		panic(fmt.Sprintf("feasible: Halton.At dst length %d, want %d", len(dst), len(h.bases)))
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("feasible: Halton.At position must be non-negative, got %d", pos))
+	}
+	for k, b := range h.bases {
+		dst[k] = radicalInverse(pos+1, b)
+	}
+}
 
 // radicalInverse reflects the base-b digits of i about the radix point.
 func radicalInverse(i int64, b int) float64 {

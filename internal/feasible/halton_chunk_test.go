@@ -1,0 +1,94 @@
+package feasible
+
+import (
+	"testing"
+
+	"rodsp/internal/par"
+)
+
+// The jump-ahead constructor must land exactly where a serial generator
+// would be: chunked generation is only legal for the parallel evaluators if
+// every chunk reproduces the serial subsequence bit for bit.
+func TestHaltonChunkedMatchesSerial(t *testing.T) {
+	const (
+		dims = 5
+		n    = 2000
+	)
+	serial := NewHalton(dims)
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, dims)
+		serial.Next(want[i])
+	}
+
+	for _, chunks := range [][]par.Chunk{
+		par.Chunks(n, 1),
+		par.Chunks(n, 2),
+		par.Chunks(n, 7),
+		par.FixedChunks(n, 128),
+	} {
+		got := make([][]float64, n)
+		for _, c := range chunks {
+			h := NewHaltonAt(dims, int64(c.Lo))
+			for i := c.Lo; i < c.Hi; i++ {
+				got[i] = make([]float64, dims)
+				h.Next(got[i])
+			}
+		}
+		for i := range want {
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("chunks=%d: point %d dim %d = %v, want %v",
+						len(chunks), i, k, got[i][k], want[i][k])
+				}
+			}
+		}
+	}
+}
+
+// At, Skip and NewHaltonAt are three routes to the same position; all must
+// agree exactly with the serial sequence.
+func TestHaltonRandomAccessAgreesWithSerial(t *testing.T) {
+	const dims = 3
+	serial := NewHalton(dims)
+	want := make([][]float64, 100)
+	for i := range want {
+		want[i] = make([]float64, dims)
+		serial.Next(want[i])
+	}
+
+	ra := NewHalton(dims)
+	p := make([]float64, dims)
+	for _, pos := range []int64{0, 1, 17, 63, 64, 99} {
+		ra.At(pos, p)
+		for k := range p {
+			if p[k] != want[pos][k] {
+				t.Fatalf("At(%d) dim %d = %v, want %v", pos, k, p[k], want[pos][k])
+			}
+		}
+
+		skipped := NewHalton(dims)
+		skipped.Skip(pos)
+		if got := skipped.Pos(); got != pos {
+			t.Fatalf("Skip(%d) landed at Pos %d", pos, got)
+		}
+		skipped.Next(p)
+		for k := range p {
+			if p[k] != want[pos][k] {
+				t.Fatalf("Skip(%d)+Next dim %d = %v, want %v", pos, k, p[k], want[pos][k])
+			}
+		}
+
+		at := NewHaltonAt(dims, pos)
+		at.Next(p)
+		for k := range p {
+			if p[k] != want[pos][k] {
+				t.Fatalf("NewHaltonAt(%d)+Next dim %d = %v, want %v", pos, k, p[k], want[pos][k])
+			}
+		}
+	}
+	// At must not move the generator.
+	if got := ra.Pos(); got != 0 {
+		t.Fatalf("At moved the generator to Pos %d", got)
+	}
+}

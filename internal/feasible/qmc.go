@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"rodsp/internal/mat"
+	"rodsp/internal/par"
 )
 
 // SimplexPoint maps d+1 independent uniforms in (0,1) to a point uniformly
@@ -29,19 +30,20 @@ func SimplexPoint(u []float64, dst []float64) {
 
 // RatioToIdeal estimates |F(W)| / |F*|: the fraction of the ideal simplex
 // (in normalized coordinates) that satisfies every node constraint
-// W_i·x ≤ 1. Uses Halton QMC with the given sample budget.
-func RatioToIdeal(w *mat.Matrix, samples int) float64 {
+// W_i·x ≤ 1. Uses Halton QMC with the given sample budget, fanned across
+// the par worker pool. It errors on a non-positive sample budget.
+func RatioToIdeal(w *mat.Matrix, samples int) (float64, error) {
 	return RatioToIdealFrom(w, nil, samples)
 }
 
 // RatioAuto computes the feasible ratio with exact geometry where available
 // (d = 2 polygon clipping, d = 3 polytope enumeration) and QMC otherwise.
-func RatioAuto(w *mat.Matrix, samples int) float64 {
+func RatioAuto(w *mat.Matrix, samples int) (float64, error) {
 	switch w.Cols {
 	case 2:
-		return ExactRatio2D(w)
+		return ExactRatio2D(w), nil
 	case 3:
-		return ExactRatio3D(w)
+		return ExactRatio3D(w), nil
 	default:
 		return RatioToIdeal(w, samples)
 	}
@@ -51,72 +53,120 @@ func RatioAuto(w *mat.Matrix, samples int) float64 {
 // ideal region {x ≥ lb, Σ x_k ≤ 1} (Section 6.1 workload sets with lower
 // bound B, already normalized). A nil lb means the origin. Returns 0 when
 // the restricted region is empty (Σ lb ≥ 1).
-func RatioToIdealFrom(w *mat.Matrix, lb mat.Vec, samples int) float64 {
+//
+// The sample sweep is chunked across the par worker pool: each worker
+// jump-ahead-seeds its own Halton generator at its chunk start, so every
+// sample point is identical to the serial sweep's, and the per-chunk hit
+// counts are integers reduced in chunk order — the result is bit-identical
+// for any worker count. A malformed budget or lower bound returns an error
+// (not a panic), so a bad config cannot crash a long bench run.
+func RatioToIdealFrom(w *mat.Matrix, lb mat.Vec, samples int) (float64, error) {
 	d := w.Cols
 	if samples <= 0 {
-		panic("feasible: sample budget must be positive")
+		return 0, fmt.Errorf("feasible: sample budget must be positive, got %d", samples)
 	}
 	scale := 1.0
 	if lb != nil {
 		if len(lb) != d {
-			panic(fmt.Sprintf("feasible: lower bound length %d, want %d", len(lb), d))
+			return 0, fmt.Errorf("feasible: lower bound length %d, want %d", len(lb), d)
 		}
 		scale = 1 - lb.Sum()
 		if scale <= 0 {
-			return 0
+			return 0, nil
 		}
 	}
-	h := NewHalton(d + 1)
-	u := make([]float64, d+1)
-	x := make(mat.Vec, d)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		h.Next(u)
-		SimplexPoint(u, x)
-		if lb != nil {
-			for k := range x {
-				x[k] = lb[k] + scale*x[k]
+	chunks := par.Chunks(samples, par.Workers())
+	hits := make([]int, len(chunks))
+	_ = par.ForEach(len(chunks), func(ci int) error {
+		c := chunks[ci]
+		h := NewHaltonAt(d+1, int64(c.Lo))
+		u := make([]float64, d+1)
+		x := make(mat.Vec, d)
+		n := 0
+		for s := c.Lo; s < c.Hi; s++ {
+			h.Next(u)
+			SimplexPoint(u, x)
+			if lb != nil {
+				for k := range x {
+					x[k] = lb[k] + scale*x[k]
+				}
+			}
+			if feasiblePoint(w, x) {
+				n++
 			}
 		}
-		if feasiblePoint(w, x) {
-			hits++
-		}
+		hits[ci] = n
+		return nil
+	})
+	total := 0
+	for _, n := range hits {
+		total += n
 	}
-	return float64(hits) / float64(samples)
+	return float64(total) / float64(samples), nil
 }
 
+// mcChunk is the fixed Monte-Carlo chunk size. It is independent of the
+// worker count so the per-chunk derived RNG streams — and therefore the
+// estimate — never change as parallelism changes.
+const mcChunk = 8192
+
 // RatioToIdealMC is the plain (pseudo-random) Monte Carlo counterpart of
-// RatioToIdeal, used to cross-validate the QMC estimator.
-func RatioToIdealMC(w *mat.Matrix, samples int, rng *rand.Rand) float64 {
+// RatioToIdeal, used to cross-validate the QMC estimator. Samples are
+// drawn in fixed-size chunks, each from an RNG stream derived from seed
+// and the chunk index, evaluated across the par worker pool; the result is
+// identical for any worker count.
+func RatioToIdealMC(w *mat.Matrix, samples int, seed int64) (float64, error) {
 	d := w.Cols
-	u := make([]float64, d+1)
-	x := make(mat.Vec, d)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		for i := range u {
-			u[i] = rng.Float64()
-		}
-		SimplexPoint(u, x)
-		if feasiblePoint(w, x) {
-			hits++
-		}
+	if samples <= 0 {
+		return 0, fmt.Errorf("feasible: sample budget must be positive, got %d", samples)
 	}
-	return float64(hits) / float64(samples)
+	chunks := par.FixedChunks(samples, mcChunk)
+	hits := make([]int, len(chunks))
+	_ = par.ForEach(len(chunks), func(ci int) error {
+		c := chunks[ci]
+		rng := rand.New(rand.NewSource(seed + int64(ci)*0x9E3779B9))
+		u := make([]float64, d+1)
+		x := make(mat.Vec, d)
+		n := 0
+		for s := c.Lo; s < c.Hi; s++ {
+			for i := range u {
+				u[i] = rng.Float64()
+			}
+			SimplexPoint(u, x)
+			if feasiblePoint(w, x) {
+				n++
+			}
+		}
+		hits[ci] = n
+		return nil
+	})
+	total := 0
+	for _, n := range hits {
+		total += n
+	}
+	return float64(total) / float64(samples), nil
 }
 
 // SamplePoints returns n QMC points uniformly covering the ideal simplex in
 // normalized coordinates — the workload points the Borealis experiments
-// draw "all within the ideal feasible set" (Section 7.1).
+// draw "all within the ideal feasible set" (Section 7.1). Each point is a
+// pure function of its sequence index, so the chunked parallel generation
+// reproduces the serial sequence exactly.
 func SamplePoints(d, n int) []mat.Vec {
-	h := NewHalton(d + 1)
-	u := make([]float64, d+1)
 	pts := make([]mat.Vec, n)
-	for s := 0; s < n; s++ {
-		h.Next(u)
-		x := make(mat.Vec, d)
-		SimplexPoint(u, x)
-		pts[s] = x
-	}
+	chunks := par.Chunks(n, par.Workers())
+	_ = par.ForEach(len(chunks), func(ci int) error {
+		c := chunks[ci]
+		h := NewHaltonAt(d+1, int64(c.Lo))
+		u := make([]float64, d+1)
+		for s := c.Lo; s < c.Hi; s++ {
+			h.Next(u)
+			x := make(mat.Vec, d)
+			SimplexPoint(u, x)
+			pts[s] = x
+		}
+		return nil
+	})
 	return pts
 }
 

@@ -1,0 +1,34 @@
+package feasible
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRatioToIdeal(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	w := randWeights(rng, 8, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RatioToIdeal(w, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRatioToIdealFrom(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	w := randWeights(rng, 8, 5)
+	lb := make([]float64, 5)
+	for k := range lb {
+		lb[k] = 0.05
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RatioToIdealFrom(w, lb, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

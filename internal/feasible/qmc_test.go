@@ -9,6 +9,36 @@ import (
 	"rodsp/internal/mat"
 )
 
+// mustRatio unwraps RatioToIdeal for tests with well-formed inputs.
+func mustRatio(t *testing.T, w *mat.Matrix, samples int) float64 {
+	t.Helper()
+	r, err := RatioToIdeal(w, samples)
+	if err != nil {
+		t.Fatalf("RatioToIdeal: %v", err)
+	}
+	return r
+}
+
+// mustRatioFrom unwraps RatioToIdealFrom for tests with well-formed inputs.
+func mustRatioFrom(t *testing.T, w *mat.Matrix, lb mat.Vec, samples int) float64 {
+	t.Helper()
+	r, err := RatioToIdealFrom(w, lb, samples)
+	if err != nil {
+		t.Fatalf("RatioToIdealFrom: %v", err)
+	}
+	return r
+}
+
+// mustAuto unwraps RatioAuto for tests with well-formed inputs.
+func mustAuto(t *testing.T, w *mat.Matrix, samples int) float64 {
+	t.Helper()
+	r, err := RatioAuto(w, samples)
+	if err != nil {
+		t.Fatalf("RatioAuto: %v", err)
+	}
+	return r
+}
+
 func TestHaltonFirstValues(t *testing.T) {
 	h := NewHalton(2)
 	want := [][2]float64{
@@ -153,7 +183,7 @@ func TestRatioToIdealOfIdealIsOne(t *testing.T) {
 		for i := range w.Data {
 			w.Data[i] = 1
 		}
-		if got := RatioToIdeal(w, 2000); got != 1 {
+		if got := mustRatio(t, w, 2000); got != 1 {
 			t.Fatalf("d=%d: ideal plan ratio = %g, want 1", d, got)
 		}
 	}
@@ -164,7 +194,7 @@ func TestRatioToIdealAgainstExact2D(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		w := randWeights(rng, 2+rng.Intn(4), 2)
 		exact := ExactRatio2D(w)
-		qmc := RatioToIdeal(w, 20000)
+		qmc := mustRatio(t, w, 20000)
 		if math.Abs(exact-qmc) > 0.01 {
 			t.Fatalf("trial %d: exact %g vs QMC %g for\n%v", trial, exact, qmc, w)
 		}
@@ -174,8 +204,11 @@ func TestRatioToIdealAgainstExact2D(t *testing.T) {
 func TestRatioToIdealAgainstMC(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	w := randWeights(rng, 4, 4)
-	qmc := RatioToIdeal(w, 30000)
-	mc := RatioToIdealMC(w, 200000, rng)
+	qmc := mustRatio(t, w, 30000)
+	mc, err := RatioToIdealMC(w, 200000, 33)
+	if err != nil {
+		t.Fatalf("RatioToIdealMC: %v", err)
+	}
 	if math.Abs(qmc-mc) > 0.015 {
 		t.Fatalf("QMC %g vs MC %g disagree", qmc, mc)
 	}
@@ -185,16 +218,16 @@ func TestRatioAutoDispatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	// d=2 and d=3 must match the exact routines bit for bit.
 	w2 := randWeights(rng, 3, 2)
-	if RatioAuto(w2, 10) != ExactRatio2D(w2) {
+	if mustAuto(t, w2, 10) != ExactRatio2D(w2) {
 		t.Fatal("d=2 must dispatch to the exact routine")
 	}
 	w3 := randWeights(rng, 3, 3)
-	if RatioAuto(w3, 10) != ExactRatio3D(w3) {
+	if mustAuto(t, w3, 10) != ExactRatio3D(w3) {
 		t.Fatal("d=3 must dispatch to the exact routine")
 	}
 	// d=4 falls back to QMC.
 	w4 := randWeights(rng, 3, 4)
-	if RatioAuto(w4, 5000) != RatioToIdeal(w4, 5000) {
+	if mustAuto(t, w4, 5000) != mustRatio(t, w4, 5000) {
 		t.Fatal("d=4 must dispatch to QMC")
 	}
 }
@@ -202,16 +235,16 @@ func TestRatioAutoDispatch(t *testing.T) {
 func TestRatioToIdealFrom(t *testing.T) {
 	// Ideal plan restricted anywhere is still fully feasible.
 	w := mat.MatrixOf([]float64{1, 1}, []float64{1, 1})
-	if got := RatioToIdealFrom(w, mat.VecOf(0.2, 0.3), 2000); got != 1 {
+	if got := mustRatioFrom(t, w, mat.VecOf(0.2, 0.3), 2000); got != 1 {
 		t.Fatalf("restricted ideal ratio = %g", got)
 	}
 	// Empty restricted region.
-	if got := RatioToIdealFrom(w, mat.VecOf(0.6, 0.5), 100); got != 0 {
+	if got := mustRatioFrom(t, w, mat.VecOf(0.6, 0.5), 100); got != 0 {
 		t.Fatalf("empty region ratio = %g, want 0", got)
 	}
 	// A plan infeasible at the lower bound scores 0.
 	bad := mat.MatrixOf([]float64{5, 0}, []float64{0, 1})
-	if got := RatioToIdealFrom(bad, mat.VecOf(0.4, 0), 2000); got != 0 {
+	if got := mustRatioFrom(t, bad, mat.VecOf(0.4, 0), 2000); got != 0 {
 		t.Fatalf("plan violating the floor should score 0, got %g", got)
 	}
 }
@@ -219,27 +252,26 @@ func TestRatioToIdealFrom(t *testing.T) {
 func TestRatioToIdealFromMatchesUnrestricted(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	w := randWeights(rng, 3, 3)
-	a := RatioToIdeal(w, 10000)
-	b := RatioToIdealFrom(w, mat.NewVec(3), 10000)
+	a := mustRatio(t, w, 10000)
+	b := mustRatioFrom(t, w, mat.NewVec(3), 10000)
 	if math.Abs(a-b) > 1e-12 {
 		t.Fatalf("zero lower bound must match unrestricted: %g vs %g", a, b)
 	}
 }
 
-func TestRatioPanics(t *testing.T) {
+// Malformed sample budgets and lower bounds return errors (not panics), so
+// a bad config cannot crash a long bench run.
+func TestRatioErrors(t *testing.T) {
 	w := mat.NewMatrix(1, 2)
-	for name, f := range map[string]func(){
-		"zero samples": func() { RatioToIdeal(w, 0) },
-		"bad lb len":   func() { RatioToIdealFrom(w, mat.VecOf(1), 10) },
+	for name, f := range map[string]func() (float64, error){
+		"zero samples":    func() (float64, error) { return RatioToIdeal(w, 0) },
+		"negative budget": func() (float64, error) { return RatioToIdealFrom(w, nil, -5) },
+		"bad lb len":      func() (float64, error) { return RatioToIdealFrom(w, mat.VecOf(1), 10) },
+		"mc zero samples": func() (float64, error) { return RatioToIdealMC(w, 0, 1) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s should panic", name)
-				}
-			}()
-			f()
-		}()
+		if _, err := f(); err == nil {
+			t.Fatalf("%s should return an error", name)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package mat
+
+import "fmt"
+
+// This file holds the allocation-free kernels of the compute plane: every
+// operation writes into caller-owned storage so hot loops (QMC sampling,
+// incremental placement, per-tick load evaluation) allocate nothing per
+// iteration. The kernels accumulate strictly in index order, so they are
+// bit-identical to their allocating counterparts (MulVec, Add, Scale).
+
+// MulVecTo computes dst = m · v without allocating. len(dst) must be
+// m.Rows and len(v) must be m.Cols.
+func (m *Matrix) MulVecTo(dst Vec, v Vec) {
+	if len(v) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecTo shape mismatch %dx%d · %d -> %d", m.Rows, m.Cols, len(v), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Row(i).Dot(v)
+	}
+}
+
+// AddScaledRow adds a·w into row i of m element-wise, in place.
+func (m *Matrix) AddScaledRow(i int, a float64, w Vec) {
+	row := m.Row(i)
+	if len(w) != len(row) {
+		panic(fmt.Sprintf("mat: AddScaledRow length mismatch %d vs %d", len(w), len(row)))
+	}
+	for k := range row {
+		row[k] += a * w[k]
+	}
+}
+
+// AddTo computes dst = v + w without allocating. All three must share a
+// length; dst may alias v or w.
+func AddTo(dst, v, w Vec) {
+	if len(v) != len(w) || len(dst) != len(v) {
+		panic(fmt.Sprintf("mat: AddTo length mismatch %d, %d, %d", len(dst), len(v), len(w)))
+	}
+	for i := range dst {
+		dst[i] = v[i] + w[i]
+	}
+}
+
+// ScaleTo computes dst = a·v without allocating. dst may alias v.
+func ScaleTo(dst Vec, a float64, v Vec) {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("mat: ScaleTo length mismatch %d vs %d", len(dst), len(v)))
+	}
+	for i := range dst {
+		dst[i] = a * v[i]
+	}
+}
+
+// Scratch is a grow-only arena of float64 scratch space. A worker keeps one
+// Scratch, calls Reset at the top of each task and carves zeroed vectors off
+// it with Vec; after the first few tasks no call allocates. Scratch is not
+// safe for concurrent use — give each goroutine its own.
+type Scratch struct {
+	buf  []float64
+	used int
+}
+
+// Reset returns all carved vectors to the arena. Slices handed out earlier
+// remain valid until the next Vec call overwrites them.
+func (s *Scratch) Reset() { s.used = 0 }
+
+// Vec carves a zeroed length-n vector off the arena, growing it only when
+// capacity is exhausted.
+func (s *Scratch) Vec(n int) Vec {
+	if need := s.used + n; need > len(s.buf) {
+		grown := make([]float64, need*2)
+		copy(grown, s.buf[:s.used])
+		s.buf = grown
+	}
+	v := Vec(s.buf[s.used : s.used+n])
+	for i := range v {
+		v[i] = 0
+	}
+	s.used += n
+	return v
+}
+
+// Matrix carves a zeroed rows×cols matrix off the arena.
+func (s *Scratch) Matrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid scratch shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: s.Vec(rows * cols)}
+}

@@ -1,0 +1,117 @@
+package mat
+
+import (
+	"testing"
+)
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	m := MatrixOf([]float64{1, 2, 3}, []float64{4, 5, 6})
+	v := VecOf(7, 8, 9)
+	want := m.MulVec(v)
+	dst := NewVec(2)
+	m.MulVecTo(dst, v)
+	if !dst.Equal(want, 0) {
+		t.Fatalf("MulVecTo = %v, want %v", dst, want)
+	}
+}
+
+func TestMulVecToPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	NewMatrix(2, 3).MulVecTo(NewVec(2), NewVec(2))
+}
+
+func TestAddScaledRow(t *testing.T) {
+	m := MatrixOf([]float64{1, 2}, []float64{3, 4})
+	m.AddScaledRow(1, 2, VecOf(10, 20))
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 {
+		t.Fatal("row 0 must be untouched")
+	}
+	if m.At(1, 0) != 23 || m.At(1, 1) != 44 {
+		t.Fatalf("row 1 = %v", m.Row(1))
+	}
+}
+
+func TestAddToAndScaleToAlias(t *testing.T) {
+	v := VecOf(1, 2, 3)
+	AddTo(v, v, VecOf(10, 10, 10)) // dst aliases v
+	if !v.Equal(VecOf(11, 12, 13), 0) {
+		t.Fatalf("AddTo in place = %v", v)
+	}
+	ScaleTo(v, 2, v)
+	if !v.Equal(VecOf(22, 24, 26), 0) {
+		t.Fatalf("ScaleTo in place = %v", v)
+	}
+}
+
+func TestScratchReuseIsAllocationFree(t *testing.T) {
+	var s Scratch
+	// Warm the arena, then assert steady-state carving allocates nothing.
+	s.Vec(64)
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		a := s.Vec(16)
+		b := s.Vec(16)
+		for i := range a {
+			a[i] = float64(i)
+		}
+		AddTo(b, a, a)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scratch carving allocated %v times per run", allocs)
+	}
+}
+
+func TestScratchVectorsAreZeroedAndDisjoint(t *testing.T) {
+	var s Scratch
+	a := s.Vec(4)
+	for i := range a {
+		a[i] = 9
+	}
+	b := s.Vec(4)
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatal("carved vector must be zeroed")
+		}
+	}
+	b[0] = 5
+	if a[0] != 9 {
+		t.Fatal("carved vectors must not overlap")
+	}
+	s.Reset()
+	c := s.Vec(4)
+	if c[0] != 0 {
+		t.Fatal("Reset must hand back zeroed storage")
+	}
+}
+
+func TestScratchMatrix(t *testing.T) {
+	var s Scratch
+	m := s.Matrix(3, 2)
+	if m.Rows != 3 || m.Cols != 2 || len(m.Data) != 6 {
+		t.Fatalf("scratch matrix shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(2, 1, 7)
+	if m.At(2, 1) != 7 {
+		t.Fatal("scratch matrix must be writable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid shape")
+		}
+	}()
+	s.Matrix(0, 3)
+}
+
+func TestAddScaledRowPanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	NewMatrix(2, 3).AddScaledRow(0, 1, NewVec(2))
+}

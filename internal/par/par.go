@@ -1,0 +1,162 @@
+// Package par is the process-wide worker pool of the placement/evaluation
+// compute plane. Every parallel path in the repository — chunked QMC
+// integration, concurrent portfolio placement, the bench trial-runner —
+// fans out through this package so a single knob (SetWorkers, surfaced as
+// rodbench -workers) controls the parallelism everywhere.
+//
+// Determinism contract: all helpers assign work by index and collect
+// results by index. Callers that keep per-item state derive it from the
+// item index (never from goroutine identity or arrival order), so any
+// worker count — including 1 — produces bit-identical results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured worker count; 0 means "use GOMAXPROCS".
+var workers atomic.Int64
+
+// SetWorkers sets the process-wide worker count. n <= 0 resets to the
+// default (GOMAXPROCS at the time of use).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective worker count (always >= 1).
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Chunk is a half-open index range [Lo, Hi).
+type Chunk struct{ Lo, Hi int }
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// Chunks splits [0, n) into at most parts contiguous near-equal ranges
+// (the first n%parts ranges are one longer). It returns nil when n <= 0.
+func Chunks(n, parts int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Chunk, 0, parts)
+	size, rem := n/parts, n%parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		hi := lo + size
+		if p < rem {
+			hi++
+		}
+		out = append(out, Chunk{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// FixedChunks splits [0, n) into contiguous ranges of exactly size indices
+// (the last may be shorter). Unlike Chunks, the layout is independent of
+// the worker count — use it when per-chunk state (e.g. a derived RNG seed)
+// must not change as parallelism changes.
+func FixedChunks(n, size int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	out := make([]Chunk, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Chunk{lo, hi})
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) across Workers() goroutines.
+// Work is dealt as contiguous chunks via an atomic cursor, so the mapping
+// of index to chunk is fixed while the mapping of chunk to goroutine is
+// not — callers must only key state off the index. If any fn returns an
+// error, ForEach returns the error carried by the lowest index (a
+// deterministic choice); remaining chunks may still run.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunks := Chunks(n, w)
+	errs := make([]error, len(chunks))
+	errAt := make([]int, len(chunks))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w && g < len(chunks); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= len(chunks) {
+					return
+				}
+				for i := chunks[c].Lo; i < chunks[c].Hi; i++ {
+					if err := fn(i); err != nil {
+						errs[c], errAt[c] = err, i
+						break // abandon this chunk, keep draining others
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	best, bestAt := error(nil), n
+	for c, err := range errs {
+		if err != nil && errAt[c] < bestAt {
+			best, bestAt = err, errAt[c]
+		}
+	}
+	return best
+}
+
+// Map evaluates fn(i) for every i in [0, n) across Workers() goroutines
+// and returns the results ordered by index. On error the slice is nil and
+// the returned error is the one carried by the lowest failing index.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

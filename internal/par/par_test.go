@@ -1,0 +1,116 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunksCoverAndPartition(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{1, 1}, {10, 3}, {10, 10}, {10, 100}, {7, 2}, {1000, 16}, {5, 0},
+	} {
+		cs := Chunks(tc.n, tc.parts)
+		lo := 0
+		for _, c := range cs {
+			if c.Lo != lo || c.Hi <= c.Lo {
+				t.Fatalf("Chunks(%d,%d) = %v: not a partition", tc.n, tc.parts, cs)
+			}
+			lo = c.Hi
+		}
+		if lo != tc.n {
+			t.Fatalf("Chunks(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.parts, lo, tc.n)
+		}
+		if tc.parts > 0 && len(cs) > tc.parts {
+			t.Fatalf("Chunks(%d,%d) produced %d chunks", tc.n, tc.parts, len(cs))
+		}
+	}
+	if Chunks(0, 4) != nil || Chunks(-3, 4) != nil {
+		t.Fatal("Chunks of empty range must be nil")
+	}
+}
+
+func TestFixedChunksLayoutIgnoresWorkers(t *testing.T) {
+	cs := FixedChunks(10, 4)
+	want := []Chunk{{0, 4}, {4, 8}, {8, 10}}
+	if len(cs) != len(want) {
+		t.Fatalf("FixedChunks(10,4) = %v", cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("FixedChunks(10,4) = %v, want %v", cs, want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		const n = 257
+		var visits [n]atomic.Int64
+		if err := ForEach(n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, got)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		err := ForEach(100, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 93:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want the error from the lowest index", w, err)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		SetWorkers(w)
+		out, err := Map(50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestWorkersDefaultsPositive(t *testing.T) {
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Fatal("negative SetWorkers must reset to default")
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+}

@@ -22,7 +22,7 @@ func Evaluate(p *Plan, lo *mat.Matrix, c mat.Vec, samples int) (float64, error) 
 	case 3:
 		return feasible.ExactRatio3D(w), nil
 	default:
-		return feasible.RatioToIdeal(w, samples), nil
+		return feasible.RatioToIdeal(w, samples)
 	}
 }
 
@@ -35,7 +35,7 @@ func EvaluateFrom(p *Plan, lo *mat.Matrix, c mat.Vec, lb mat.Vec, samples int) (
 		return 0, err
 	}
 	nb := feasible.Normalize(lb, lo.ColSums(), c.Sum())
-	return feasible.RatioToIdealFrom(w, nb, samples), nil
+	return feasible.RatioToIdealFrom(w, nb, samples)
 }
 
 // WeightsOf returns the normalized weight matrix of a plan.

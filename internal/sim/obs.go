@@ -66,6 +66,8 @@ type observer struct {
 
 	lastBusy []float64
 	over     []bool
+
+	scratch mat.Scratch // per-sample vectors; sample() runs on one goroutine
 }
 
 // newObserver builds the observer for one run; cfg.Obs must be non-nil.
@@ -178,7 +180,8 @@ func (o *observer) sample(now float64, nodes []nodeState, nodeOf []int) {
 	// Windowed utilization from busy-time deltas. Service time is charged
 	// up front at service start, so a window's delta can exceed the
 	// interval; cap at 1 like the engine monitor.
-	utils := make([]float64, len(nodes))
+	o.scratch.Reset()
+	utils := o.scratch.Vec(len(nodes))
 	for i := range nodes {
 		util := (nodes[i].busyTime - o.lastBusy[i]) / o.cfg.Interval
 		o.lastBusy[i] = nodes[i].busyTime
@@ -203,13 +206,14 @@ func (o *observer) sample(now float64, nodes []nodeState, nodeOf []int) {
 	// Feasibility headroom at the smoothed rate point, against the live
 	// operator→node map (rebalancing mutates it mid-run).
 	if o.lm != nil {
-		rhat := mat.NewVec(len(o.srcRate))
+		rhat := o.scratch.Vec(len(o.srcRate))
 		for s := range o.srcRate {
 			rhat[s] = o.srcRate[s].Value()
 		}
 		if x, err := o.lm.ResolveVars(rhat); err == nil {
-			opLoads := o.lm.Loads(x)
-			loads := make([]float64, len(nodes))
+			opLoads := o.scratch.Vec(o.lm.Coef.Rows)
+			o.lm.Coef.MulVecTo(opLoads, x)
+			loads := o.scratch.Vec(len(nodes))
 			for op, node := range nodeOf {
 				if node >= 0 && node < len(loads) {
 					loads[node] += opLoads[op]

@@ -34,6 +34,7 @@ import (
 	"rodsp/internal/feasible"
 	"rodsp/internal/mat"
 	"rodsp/internal/obs"
+	"rodsp/internal/par"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/sim"
@@ -165,6 +166,16 @@ const (
 	// OrderRandom shuffles the phase-1 order (seeded).
 	OrderRandom = core.OrderRandom
 )
+
+// SetWorkers sets the process-wide worker count of the placement/evaluation
+// compute plane — chunked QMC integration, the concurrent PlaceBest
+// portfolio, and the bench trial-runner all fan out through it. n <= 0
+// resets to the default (GOMAXPROCS). Every parallel path is deterministic:
+// results are bit-identical for any worker count.
+func SetWorkers(n int) { par.SetWorkers(n) }
+
+// Workers returns the effective compute-plane worker count.
+func Workers() int { return par.Workers() }
 
 // NewBuilder returns an empty query-graph builder.
 func NewBuilder() *Builder { return query.NewBuilder() }
