@@ -1,0 +1,345 @@
+// Command rodload is the engine's sustained-throughput benchmark harness:
+// a closed+open-loop load generator over a real loopback cluster (≥ 2 nodes,
+// one TCP hop between them plus the collector hop) that measures what the
+// data plane actually sustains, where its feasibility knee sits, and what
+// end-to-end latency looks like at half the knee rate.
+//
+// Usage:
+//
+//	rodload [-quick] [-nodes N] [-batch N] [-out FILE]
+//	        [-baseline FILE] [-threshold F] [-mode all|legacy|batched]
+//
+// Per mode it runs three phases against a fresh cluster:
+//
+//  1. closed loop — blast tuples as fast as the source can push and read the
+//     sustained tuples/sec off the sink collector (the bounded ingress queue
+//     sheds the excess, so the sink rate is the pipeline's drain capacity);
+//  2. open loop — sweep target rates up from a fraction of the sustained
+//     rate; the knee is the highest target the pipeline achieves within 90%;
+//  3. latency — rerun at 50% of the knee and report p50/p99 end-to-end
+//     latency from the collector's uniform reservoir.
+//
+// The "legacy" mode forces BatchMax=1 and per-tuple wire frames (the
+// pre-batching hot path); "batched" uses batch frames and lock-amortized
+// runs. Results are written as machine-readable JSON (BENCH_engine.json by
+// convention, committed and uploaded by CI like BENCH_placement.json). With
+// -baseline, rodload exits non-zero when the batched sustained throughput
+// falls below threshold × the baseline's batched sustained throughput — the
+// CI regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rodsp/internal/engine"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+// ModeResult is one mode's measurements.
+type ModeResult struct {
+	Name     string `json:"name"`
+	BatchMax int    `json:"batch_max"`
+
+	SustainedTPS float64 `json:"sustained_tps"` // closed-loop sink rate
+	KneeTPS      float64 `json:"knee_tps"`      // open-loop feasibility knee
+
+	// Latency quantiles (milliseconds) measured open-loop at LatencyTPS —
+	// 50% of the first (baseline) mode's knee rate, so every mode's
+	// quantiles describe the same injection rate and compare directly.
+	LatencyTPS float64 `json:"latency_probe_tps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+
+	SinkTuples int64 `json:"sink_tuples"` // total sink deliveries this mode
+}
+
+// Result is the whole benchmark record (BENCH_engine.json).
+type Result struct {
+	Bench      string       `json:"bench"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Nodes      int          `json:"nodes"`
+	Quick      bool         `json:"quick"`
+	WarmupSec  float64      `json:"warmup_seconds"`
+	MeasureSec float64      `json:"measure_seconds"`
+	Modes      []ModeResult `json:"modes"`
+	Speedup    float64      `json:"speedup,omitempty"` // batched / legacy sustained
+}
+
+type config struct {
+	nodes     int
+	batch     int
+	warmup    time.Duration
+	measure   time.Duration
+	blastRate float64
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "short CI run (smaller warmup/measure windows)")
+	nodes := flag.Int("nodes", 2, "cluster size (>= 2 so tuples cross a real TCP hop)")
+	batch := flag.Int("batch", engine.DefaultBatchMax, "BatchMax for the batched mode (>= 64 for the committed numbers)")
+	mode := flag.String("mode", "all", "which modes to run: all|legacy|batched")
+	out := flag.String("out", "BENCH_engine.json", "write the JSON record here ('' = stdout only)")
+	baseline := flag.String("baseline", "", "compare against this committed BENCH_engine.json and fail on regression")
+	threshold := flag.Float64("threshold", 0.5, "minimum fraction of the baseline's batched sustained_tps")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "per-phase warmup window")
+	measure := flag.Duration("measure", 2*time.Second, "per-phase measurement window")
+	blast := flag.Float64("blast-rate", 3e6, "closed-loop injection target (tuples/sec; far above capacity)")
+	flag.Parse()
+
+	if *nodes < 2 {
+		fail(fmt.Errorf("need -nodes >= 2, got %d", *nodes))
+	}
+	cfg := config{
+		nodes:     *nodes,
+		batch:     *batch,
+		warmup:    *warmup,
+		measure:   *measure,
+		blastRate: *blast,
+	}
+	if *quick {
+		cfg.warmup = 200 * time.Millisecond
+		cfg.measure = 600 * time.Millisecond
+	}
+
+	// Read the baseline up front: -out may overwrite the same file.
+	var base *Result
+	if *baseline != "" {
+		b, err := readResult(*baseline)
+		if err != nil {
+			fail(fmt.Errorf("reading baseline: %w", err))
+		}
+		base = b
+	}
+
+	res := Result{
+		Bench:      "engine",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes:      cfg.nodes,
+		Quick:      *quick,
+		WarmupSec:  cfg.warmup.Seconds(),
+		MeasureSec: cfg.measure.Seconds(),
+	}
+	latRate := 0.0 // first mode's half-knee becomes every mode's latency probe rate
+	for _, m := range modesFor(*mode, cfg.batch) {
+		fmt.Fprintf(os.Stderr, "rodload: mode %s (batch=%d)\n", m.Name, m.BatchMax)
+		mr, err := runMode(m, cfg, latRate)
+		if err != nil {
+			fail(err)
+		}
+		if latRate == 0 {
+			latRate = mr.KneeTPS / 2
+		}
+		res.Modes = append(res.Modes, mr)
+		fmt.Fprintf(os.Stderr, "rodload: %-8s sustained %.0f tps, knee %.0f tps, p50 %.2f ms, p99 %.2f ms @ %.0f tps\n",
+			m.Name, mr.SustainedTPS, mr.KneeTPS, mr.P50Ms, mr.P99Ms, mr.LatencyTPS)
+	}
+	if legacy, batched := find(res.Modes, "legacy"), find(res.Modes, "batched"); legacy != nil && batched != nil && legacy.SustainedTPS > 0 {
+		res.Speedup = batched.SustainedTPS / legacy.SustainedTPS
+		fmt.Fprintf(os.Stderr, "rodload: batched/legacy speedup %.2fx\n", res.Speedup)
+	}
+
+	enc, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if base != nil {
+		cur := find(res.Modes, "batched")
+		ref := find(base.Modes, "batched")
+		if cur == nil || ref == nil {
+			fail(fmt.Errorf("baseline comparison needs a batched mode in both records"))
+		}
+		floor := ref.SustainedTPS * *threshold
+		if cur.SustainedTPS < floor {
+			fail(fmt.Errorf("regression: batched sustained %.0f tps < %.0f (%.0f%% of baseline %.0f)",
+				cur.SustainedTPS, floor, *threshold*100, ref.SustainedTPS))
+		}
+		fmt.Fprintf(os.Stderr, "rodload: regression gate ok (%.0f tps >= %.0f tps floor)\n", cur.SustainedTPS, floor)
+	}
+}
+
+func modesFor(mode string, batch int) []ModeResult {
+	switch mode {
+	case "legacy":
+		return []ModeResult{{Name: "legacy", BatchMax: 1}}
+	case "batched":
+		return []ModeResult{{Name: "batched", BatchMax: batch}}
+	case "all", "":
+		return []ModeResult{{Name: "legacy", BatchMax: 1}, {Name: "batched", BatchMax: batch}}
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want all|legacy|batched)", mode))
+		return nil
+	}
+}
+
+func find(ms []ModeResult, name string) *ModeResult {
+	for i := range ms {
+		if ms[i].Name == name {
+			return &ms[i]
+		}
+	}
+	return nil
+}
+
+// buildPipeline is the benchmark topology: one input fanned through a chain
+// of zero-cost delay operators, one per node, so every tuple crosses
+// nodes-1 TCP hops plus the collector hop and the virtual CPU never paces —
+// the data plane itself is the bottleneck being measured.
+func buildPipeline(nodes int) (*query.Graph, *placement.Plan, []float64) {
+	b := query.NewBuilder()
+	s := b.Input("load")
+	for i := 0; i < nodes; i++ {
+		s = b.Delay(fmt.Sprintf("hop%d", i), 0, 1, s)
+	}
+	g := b.MustBuild()
+	assign := make([]int, nodes)
+	caps := make([]float64, nodes)
+	for i := range assign {
+		assign[i] = i
+		caps[i] = 1
+	}
+	plan, err := placement.NewPlan(assign, nodes)
+	if err != nil {
+		fail(err)
+	}
+	return g, plan, caps
+}
+
+// runMode measures one wire/hot-path configuration on a fresh cluster.
+// latRate pins the latency probe to a rate shared across modes (0 = use
+// this mode's own half-knee; the caller passes the first mode's in).
+func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
+	g, plan, caps := buildPipeline(cfg.nodes)
+	cl, err := engine.StartClusterConfig(caps, engine.NodeConfig{BatchMax: m.BatchMax})
+	if err != nil {
+		return m, err
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		return m, err
+	}
+	if err := cl.Start(); err != nil {
+		return m, err
+	}
+	input := g.Inputs()[0]
+	legacyWire := m.BatchMax <= 1
+
+	// Phase 1 — closed loop: blast far above capacity; the sink rate over
+	// the measurement window is the sustained throughput.
+	sustained, err := measureRate(cl, input, cfg.blastRate, legacyWire, cfg)
+	if err != nil {
+		return m, err
+	}
+	m.SustainedTPS = sustained
+
+	// Phase 2 — open loop: sweep target rates toward the closed-loop rate;
+	// the knee is the highest target achieved within 90%.
+	knee := 0.0
+	for _, frac := range []float64{0.25, 0.5, 0.75, 0.9, 1.0} {
+		target := sustained * frac
+		if target < 1 {
+			continue
+		}
+		got, err := measureRate(cl, input, target, legacyWire, cfg)
+		if err != nil {
+			return m, err
+		}
+		if got >= 0.9*target {
+			knee = target
+		} else {
+			break
+		}
+	}
+	if knee == 0 {
+		knee = sustained // degenerate: report the closed-loop rate
+	}
+	m.KneeTPS = knee
+
+	// Phase 3 — latency probe: reset the reservoir after warmup so the
+	// quantiles describe steady state, not connection ramp-up.
+	m.LatencyTPS = latRate
+	if m.LatencyTPS <= 0 {
+		m.LatencyTPS = knee / 2
+	}
+	if err := runDriver(cl, input, m.LatencyTPS, legacyWire, cfg.warmup+cfg.measure, func() {
+		time.Sleep(cfg.warmup)
+		cl.Collector.Reset()
+	}); err != nil {
+		return m, err
+	}
+	if s, ok := cl.Collector.LatencySummary(); ok {
+		m.P50Ms = s.P50 * 1000
+		m.P99Ms = s.P99 * 1000
+	}
+	count, _, _, _, _ := cl.Collector.LatencyStats()
+	m.SinkTuples = count
+	return m, nil
+}
+
+// measureRate drives the input at the target rate and returns the sink
+// throughput over the post-warmup measurement window.
+func measureRate(cl *engine.Cluster, input query.StreamID, target float64, legacyWire bool, cfg config) (float64, error) {
+	var c0, c1 int64
+	err := runDriver(cl, input, target, legacyWire, cfg.warmup+cfg.measure, func() {
+		time.Sleep(cfg.warmup)
+		c0, _, _, _, _ = cl.Collector.LatencyStats()
+		time.Sleep(cfg.measure)
+		c1, _, _, _, _ = cl.Collector.LatencyStats()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(c1-c0) / cfg.measure.Seconds(), nil
+}
+
+// runDriver runs one SourceDriver pass at a constant rate for the given
+// duration while sample() observes the cluster from the main goroutine.
+func runDriver(cl *engine.Cluster, input query.StreamID, rate float64, legacyWire bool, d time.Duration, sample func()) error {
+	drv := &engine.SourceDriver{
+		Stream: input,
+		Trace:  trace.New("const", 1, []float64{rate}),
+		Addrs:  []string{cl.Addrs()[0]},
+		Legacy: legacyWire,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := drv.Run(d, nil)
+		errc <- err
+	}()
+	sample()
+	return <-errc
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rodload:", err)
+	os.Exit(1)
+}
+
+func readResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -37,6 +37,7 @@ func main() {
 	queue := flag.Int("queue", engine.DefaultIngressCap, "ingress queue bound (tuples); arrivals beyond it are shed")
 	shedPolicy := flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
 	outboxCap := flag.Int("outbox", engine.DefaultOutboxCap, "per-peer outbox buffer (tuples); overflow is dropped and counted")
+	batchMax := flag.Int("batch", engine.DefaultBatchMax, "max tuples moved per lock acquisition / wire batch (1 = per-tuple hot path)")
 	eventsPath := flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		IngressCap: *queue,
 		ShedPolicy: policy,
 		OutboxCap:  *outboxCap,
+		BatchMax:   *batchMax,
 	})
 	if err != nil {
 		fail(err)

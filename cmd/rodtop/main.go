@@ -129,9 +129,29 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 		if len(vals) > 0 {
 			cur = vals[len(vals)-1]
 		}
-		fmt.Fprintf(&b, "%-*s %s %s\n", width, seriesID(s), sparkline(vals, last), fmtVal(cur))
+		fmt.Fprintf(&b, "%-*s %s %s%s\n", width, seriesID(s), sparkline(vals, last), fmtVal(cur), rateCol(s))
 	}
 	return b.String(), nil
+}
+
+// rateCol renders a live tuples/sec column for cumulative counter series
+// (name suffix "_total"): the delta of the two most recent samples over
+// their
+// timestamp gap, so injected/emitted throughput is visible at a glance.
+func rateCol(s seriesJSON) string {
+	if !strings.HasSuffix(s.Name, "_total") || len(s.Points) < 2 {
+		return ""
+	}
+	a, b := s.Points[len(s.Points)-2], s.Points[len(s.Points)-1]
+	dt := b[0] - a[0]
+	if dt <= 0 {
+		return ""
+	}
+	rate := (b[1] - a[1]) / dt
+	if rate < 0 {
+		rate = 0 // counter reset between samples
+	}
+	return fmt.Sprintf("  %s/s", fmtVal(rate))
 }
 
 func seriesID(s seriesJSON) string {

@@ -202,25 +202,29 @@ func (c *Collector) accept() {
 			if err != nil || kind != connTuples {
 				return
 			}
+			tr := NewTupleReader(br)
 			for {
-				t, err := ReadTuple(br)
+				batch, err := tr.ReadBatch()
 				if err != nil {
 					return
 				}
-				lat := float64(time.Now().UnixNano()-t.Ts) / float64(time.Second)
-				c.record(lat)
+				now := time.Now().UnixNano()
 				c.mu.Lock()
 				hist, count, ev, every := c.hist, c.sinkCount, c.events, c.traceEvery
 				c.mu.Unlock()
-				if hist != nil {
-					hist.Observe(lat)
-				}
-				if count != nil {
-					count.Inc()
-				}
-				if traced(every, t) {
-					ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "sink",
-						"stream", int(t.Stream), "seq", t.Seq, "latency", lat)
+				for _, t := range batch {
+					lat := float64(now-t.Ts) / float64(time.Second)
+					c.record(lat)
+					if hist != nil {
+						hist.Observe(lat)
+					}
+					if count != nil {
+						count.Inc()
+					}
+					if traced(every, t) {
+						ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "sink",
+							"stream", int(t.Stream), "seq", t.Seq, "latency", lat)
+					}
 				}
 			}
 		}()
@@ -297,6 +301,10 @@ type SourceDriver struct {
 	// Monitor.SourceCounter so the monitor can estimate the stream's rate.
 	Count *obs.Counter
 
+	// Legacy forces per-tuple legacy wire frames instead of batch frames —
+	// the pre-batching baseline that rodload measures the speedup against.
+	Legacy bool
+
 	// Dropped counts per-destination sends skipped because that
 	// destination's connection died mid-run (the driver keeps feeding the
 	// surviving destinations instead of aborting). Read it after Run.
@@ -341,6 +349,7 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 	var injected int64
 	ticker := time.NewTicker(tickEvery)
 	defer ticker.Stop()
+	var batch []Tuple // reused per tick; SendBatch copies before returning
 	var carry float64
 	lastElapsed := 0.0
 	for {
@@ -370,19 +379,31 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 			carry += rate * dt
 			k := int(carry)
 			carry -= float64(k)
-			alive := 0
-			for i := 0; i < k; i++ {
-				t := Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq}
-				seq++
-				alive = 0
+			if k > 0 {
+				batch = batch[:0]
+				for i := 0; i < k; i++ {
+					batch = append(batch, Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq})
+					seq++
+				}
+				alive := 0
 				for _, d := range dests {
 					if d.dead {
-						s.Dropped++
+						s.Dropped += int64(k)
 						continue
 					}
-					if err := d.tw.Send(t); err != nil {
+					var err error
+					if s.Legacy {
+						for _, t := range batch {
+							if err = d.tw.Send(t); err != nil {
+								break
+							}
+						}
+					} else {
+						err = d.tw.SendBatch(batch)
+					}
+					if err != nil {
 						d.dead = true
-						s.Dropped++
+						s.Dropped += int64(k)
 						continue
 					}
 					alive++
@@ -390,9 +411,9 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 				if alive == 0 {
 					return injected, fmt.Errorf("engine: source %d: every destination failed", s.Stream)
 				}
-				injected++
+				injected += int64(k)
 				if s.Count != nil {
-					s.Count.Inc()
+					s.Count.Add(int64(k))
 				}
 			}
 			if err := s.flushAll(dests); err != nil {

@@ -27,3 +27,54 @@ func FuzzReadTuple(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadFrame covers the versioned frame decoder: arbitrary opcode and
+// length prefixes must never panic or over-allocate (declared batch counts
+// are capped), and a stream beginning with a legacy frame must decode it
+// identically to ReadTuple.
+func FuzzReadFrame(f *testing.F) {
+	var legacy bytes.Buffer
+	WriteTuple(&legacy, Tuple{Stream: 3, Ts: 123456789, Seq: 42, Value: 3.14}) //nolint:errcheck
+	f.Add(legacy.Bytes())
+	var batched bytes.Buffer
+	tw, _ := NewTupleWriter(&batched)
+	tw.SendBatch([]Tuple{{Stream: 1}, {Stream: 2, Seq: 9}, {Stream: 3, Value: -1}}) //nolint:errcheck
+	tw.Flush()                                                                      //nolint:errcheck
+	f.Add(batched.Bytes()[1:])                                                      // strip the connTuples preamble
+	f.Add([]byte{opBatch, 0xff, 0xff, 0xff, 0xff})                                  // absurd declared count
+	f.Add([]byte{opBatch, 0, 0, 0, 0})                                              // keep-alive (empty batch)
+	f.Add([]byte{0x80, 1, 2, 3})                                                    // unknown opcode
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTupleReader(bytes.NewReader(data))
+		first := true
+		for {
+			batch, err := tr.ReadBatch()
+			if err != nil {
+				break // truncated/invalid input is fine; must not panic
+			}
+			if len(batch) == 0 || len(batch) > MaxBatchWire {
+				t.Fatalf("ReadBatch returned %d tuples", len(batch))
+			}
+			if first && len(data) > 0 && data[0]&0x80 == 0 {
+				// Legacy first frame: must match the single-frame decoder.
+				want, err := ReadTuple(bytes.NewReader(data))
+				if err != nil || len(batch) != 1 {
+					t.Fatalf("legacy frame: batch=%d err=%v", len(batch), err)
+				}
+				if batch[0] != want && !(batch[0].Value != batch[0].Value && want.Value != want.Value) {
+					t.Fatalf("legacy decode mismatch: %+v vs %+v", batch[0], want)
+				}
+			}
+			first = false
+		}
+		// The reader's reusable buffers stay bounded by the wire cap no
+		// matter what lengths the input declared.
+		if cap(tr.buf) > MaxBatchWire*tupleFrameSize {
+			t.Fatalf("payload buffer grew to %d", cap(tr.buf))
+		}
+		if cap(tr.slab) > MaxBatchWire {
+			t.Fatalf("decode slab grew to %d", cap(tr.slab))
+		}
+	})
+}

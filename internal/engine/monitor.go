@@ -96,6 +96,7 @@ type Monitor struct {
 	shedC  []*obs.Counter
 	oDropC []*obs.Counter
 	reconC []*obs.Counter
+	noRteC []*obs.Counter
 
 	// Per-victim-stream shed counters, created lazily when a node first
 	// reports shedding on that stream (key "node/stream"). Touched only by
@@ -148,6 +149,7 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		shedC:   make([]*obs.Counter, n),
 		oDropC:  make([]*obs.Counter, n),
 		reconC:  make([]*obs.Counter, n),
+		noRteC:  make([]*obs.Counter, n),
 
 		shedStreamC: map[string]*obs.Counter{},
 
@@ -176,6 +178,7 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		m.shedC[i] = reg.Counter(obs.MetricNodeShed, "node", node)
 		m.oDropC[i] = reg.Counter(obs.MetricNodeOutboxDrop, "node", node)
 		m.reconC[i] = reg.Counter(obs.MetricNodePeerReconnects, "node", node)
+		m.noRteC[i] = reg.Counter(obs.MetricNodeNoRoute, "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeUtilization, m.utilG[i], "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeQueueDepth, m.queueG[i], "node", node)
 		m.sampler.ProbeGauge(obs.MetricNodeHeadroom, m.headG[i], "node", node)
@@ -184,6 +187,7 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		m.sampler.ProbeCounter(obs.MetricNodeShed, m.shedC[i], "node", node)
 		m.sampler.ProbeCounter(obs.MetricNodeOutboxDrop, m.oDropC[i], "node", node)
 		m.sampler.ProbeCounter(obs.MetricNodePeerReconnects, m.reconC[i], "node", node)
+		m.sampler.ProbeCounter(obs.MetricNodeNoRoute, m.noRteC[i], "node", node)
 	}
 	m.latHist = reg.Histogram(obs.MetricSinkLatency, nil)
 	m.sinkC = reg.Counter(obs.MetricSinkTuples)
@@ -346,6 +350,7 @@ func (m *Monitor) tick(now time.Time) {
 		m.shedC[i].Store(s.Shed)
 		m.oDropC[i].Store(s.OutboxDropped)
 		m.reconC[i].Store(s.PeerReconnects)
+		m.noRteC[i].Store(s.DroppedNoRoute)
 		for sid, cnt := range s.ShedByStream {
 			node, stream := strconv.Itoa(i), strconv.Itoa(sid)
 			key := node + "/" + stream

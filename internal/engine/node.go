@@ -68,12 +68,19 @@ type NodeConfig struct {
 	// FlushTimeout is the per-flush write deadline, so a stalled (but not
 	// dead) peer surfaces as a link failure. Default 2s.
 	FlushTimeout time.Duration
+	// BatchMax bounds how many tuples one lock acquisition may move on the
+	// hot path: an ingress admission chunk, a worker dequeue run, and an
+	// outbox wire batch. 1 restores the per-tuple hot path (the
+	// pre-batching baseline rodload measures against). <= 0 selects
+	// DefaultBatchMax.
+	BatchMax int
 }
 
 // Default data-plane bounds.
 const (
 	DefaultIngressCap = 100000
 	DefaultOutboxCap  = 4096
+	DefaultBatchMax   = 256
 )
 
 func (cfg *NodeConfig) applyDefaults() {
@@ -94,6 +101,12 @@ func (cfg *NodeConfig) applyDefaults() {
 	}
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = 2 * time.Second
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	if cfg.BatchMax > MaxBatchWire {
+		cfg.BatchMax = MaxBatchWire
 	}
 }
 
@@ -126,6 +139,9 @@ type Node struct {
 	shedByStream map[int32]int64
 	shedding     bool
 
+	droppedNoRoute int64          // inbound tuples with no local sub and no relay
+	noRouteWarned  map[int32]bool // per-stream one-shot warn latch
+
 	peers       map[string]*outbox
 	peersMu     sync.Mutex
 	peersClosed bool
@@ -139,6 +155,7 @@ type Node struct {
 	estimator    *stats.CostEstimator
 	wg           sync.WaitGroup
 	sendMaxNanos atomic.Int64 // worst observed send() duration (worker path)
+	egress       []egressRun  // worker-owned routeBatch grouping scratch
 
 	events      *obs.EventLog // nil-safe; see SetObserver
 	traceEvery  int64
@@ -170,20 +187,21 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 		return nil, fmt.Errorf("engine: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		capacity:     capacity,
-		cfg:          cfg,
-		ln:           ln,
-		ops:          map[int]*liveOp{},
-		subs:         map[int][]int{},
-		fwd:          map[int][]Dest{},
-		relays:       map[int][]Dest{},
-		xfer:         map[int]float64{},
-		shedByStream: map[int32]int64{},
-		peers:        map[string]*outbox{},
-		faults:       map[string]*LinkFault{},
-		conns:        map[net.Conn]bool{},
-		estimator:    stats.NewCostEstimator(),
-		relayWarned:  map[string]bool{},
+		capacity:      capacity,
+		cfg:           cfg,
+		ln:            ln,
+		ops:           map[int]*liveOp{},
+		subs:          map[int][]int{},
+		fwd:           map[int][]Dest{},
+		relays:        map[int][]Dest{},
+		xfer:          map[int]float64{},
+		shedByStream:  map[int32]int64{},
+		noRouteWarned: map[int32]bool{},
+		peers:         map[string]*outbox{},
+		faults:        map[string]*LinkFault{},
+		conns:         map[net.Conn]bool{},
+		estimator:     stats.NewCostEstimator(),
+		relayWarned:   map[string]bool{},
 	}
 	n.qcond = sync.NewCond(&n.mu)
 	n.wg.Add(2)
@@ -281,57 +299,115 @@ func (n *Node) serveConn(conn net.Conn) {
 }
 
 func (n *Node) serveTuples(r io.Reader) {
+	tr := NewTupleReader(r)
 	for {
-		t, err := ReadTuple(r)
+		batch, err := tr.ReadBatch()
 		if err != nil {
 			return
 		}
-		n.enqueueInbound(t)
+		n.enqueueInboundBatch(batch)
 	}
 }
 
-// enqueueInbound accepts a tuple arriving from the network (or a source
-// injector), admits it to the bounded work queue (shedding per the
-// configured policy when full), and forwards it along any relay routes
-// installed by a migration.
+// enqueueInbound accepts a single tuple arriving from the network (or a
+// source injector); see enqueueInboundBatch for the amortized path.
 func (n *Node) enqueueInbound(t Tuple) {
+	batch := [1]Tuple{t}
+	n.enqueueInboundBatch(batch[:])
+}
+
+// relayRun is one per-destination slice of tuples to forward, built while
+// admitting a batch and shipped after the node lock is released.
+type relayRun struct {
+	addr string
+	ts   []Tuple
+}
+
+// enqueueInboundBatch admits a batch of tuples arriving from the network
+// (or a source injector) to the bounded work queue, taking n.mu once per
+// chunk of at most BatchMax tuples instead of once per tuple. Shedding
+// (per the configured policy), per-stream shed counters, the shed-onset
+// hysteresis latch and relay fan-out are all computed batch-wise with
+// per-tuple accounting preserved; relays are grouped per destination so
+// the outbox is offered slices rather than single tuples.
+func (n *Node) enqueueInboundBatch(ts []Tuple) {
+	for len(ts) > 0 {
+		chunk := ts
+		if len(chunk) > n.cfg.BatchMax {
+			chunk = ts[:n.cfg.BatchMax]
+		}
+		ts = ts[len(chunk):]
+		n.enqueueChunk(chunk)
+	}
+}
+
+func (n *Node) enqueueChunk(chunk []Tuple) {
+	var relays []relayRun
+	var noRouteStreams []int32
+	admitted := false
+	shedOnset := false
+	var shedStream int32
 	n.mu.Lock()
 	if n.closing {
 		n.mu.Unlock()
 		return
 	}
-	n.injected++
-	// Receive-side transfer CPU cost.
-	if x := n.xfer[int(t.Stream)]; x > 0 {
-		n.busy += time.Duration(x / n.capacity * float64(time.Second))
-	}
-	relay := n.relays[int(t.Stream)]
-	hasLocal := len(n.subs[int(t.Stream)]) > 0
-	shedOnset := false
-	var shedStream int32
-	if hasLocal {
-		if len(n.queue)-n.qhead >= n.cfg.IngressCap {
-			// Queue full: shed. Drop-newest rejects the arrival; drop-oldest
-			// evicts the head to admit it.
-			victim := t
-			if n.cfg.ShedPolicy == DropOldest {
-				victim = n.queue[n.qhead]
-				n.queue[n.qhead] = Tuple{}
-				n.qhead++
-				n.queue = append(n.queue, t)
-				n.qcond.Signal()
-			}
-			n.shedTotal++
-			n.shedByStream[victim.Stream]++
-			shedStream = victim.Stream
-			if !n.shedding {
-				n.shedding = true
-				shedOnset = true
-			}
-		} else {
-			n.queue = append(n.queue, t)
-			n.qcond.Signal()
+	for _, t := range chunk {
+		n.injected++
+		// Receive-side transfer CPU cost.
+		if x := n.xfer[int(t.Stream)]; x > 0 {
+			n.busy += time.Duration(x / n.capacity * float64(time.Second))
 		}
+		relay := n.relays[int(t.Stream)]
+		hasLocal := len(n.subs[int(t.Stream)]) > 0
+		if hasLocal {
+			if len(n.queue)-n.qhead >= n.cfg.IngressCap {
+				// Queue full: shed. Drop-newest rejects the arrival;
+				// drop-oldest evicts the head to admit it.
+				victim := t
+				if n.cfg.ShedPolicy == DropOldest {
+					victim = n.queue[n.qhead]
+					n.queue[n.qhead] = Tuple{}
+					n.qhead++
+					n.queue = append(n.queue, t)
+					admitted = true
+				}
+				n.shedTotal++
+				n.shedByStream[victim.Stream]++
+				if !n.shedding {
+					n.shedding = true
+					shedOnset = true
+					shedStream = victim.Stream
+				}
+			} else {
+				n.queue = append(n.queue, t)
+				admitted = true
+			}
+		} else if len(relay) == 0 {
+			// No local consumer and no relay route: the tuple has nowhere
+			// to go. Count it (and warn once per stream) instead of
+			// silently absorbing it into the injected count.
+			n.droppedNoRoute++
+			if !n.noRouteWarned[t.Stream] {
+				n.noRouteWarned[t.Stream] = true
+				noRouteStreams = append(noRouteStreams, t.Stream)
+			}
+		}
+		for _, d := range relay {
+			i := 0
+			for ; i < len(relays); i++ {
+				if relays[i].addr == d.Addr {
+					break
+				}
+			}
+			if i == len(relays) {
+				relays = append(relays, relayRun{addr: d.Addr})
+			}
+			relays[i].ts = append(relays[i].ts, t)
+		}
+	}
+	if admitted {
+		n.qcond.Signal()
 	}
 	qlen := len(n.queue) - n.qhead
 	shedTotal := n.shedTotal
@@ -343,16 +419,24 @@ func (n *Node) enqueueInbound(t Tuple) {
 			"policy", n.cfg.ShedPolicy.String(), "stream", int(shedStream),
 			"shed", shedTotal)
 	}
-	if traced(every, t) {
-		ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
-			"node", nodeID, "stream", int(t.Stream), "seq", t.Seq)
+	for _, sid := range noRouteStreams {
+		ev.Emit(obs.LevelWarn, obs.EventNoRoute,
+			"node", nodeID, "stream", int(sid))
+	}
+	if every > 0 {
+		for _, t := range chunk {
+			if traced(every, t) {
+				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
+					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq)
+			}
+		}
 	}
 	// Relays are best-effort: the per-peer outbox absorbs (or drops) the
-	// tuple without ever blocking the receive path, and link failures
+	// run without ever blocking the receive path, and link failures
 	// surface as warn events latched per destination (re-armed on
 	// recovery, so a peer that heals and fails again stays visible).
-	for _, d := range relay {
-		n.send(d.Addr, t)
+	for _, r := range relays {
+		n.sendBatch(r.addr, r.ts)
 	}
 }
 
@@ -372,11 +456,60 @@ func (n *Node) QueueLen() int {
 	return len(n.queue) - n.qhead
 }
 
+// workerRun holds the worker's reusable per-run scratch: the drained
+// tuples, the per-stream consumer snapshot (subs slices are compacted in
+// place by removeOp, so the worker copies the ids it needs under the
+// drain lock), and the emitted outputs. Reuse keeps the steady-state
+// dequeue path allocation-free.
+type workerRun struct {
+	tuples []Tuple
+	outs   []Tuple
+	cons   []consEntry
+}
+
+// consEntry caches one stream's local consumer operators for the current
+// run. liveOp pointers stay valid after the lock is dropped: their mutable
+// state is touched only by the worker itself, and a concurrent addOp or
+// removeOp swaps map entries without mutating existing ones. The ops
+// backing array is reused across runs.
+type consEntry struct {
+	sid int32
+	ops []*liveOp
+}
+
+// consumersOf returns the cached consumer set for sid, resolving it from
+// n.subs/n.ops on a miss (the worker resolves every stream in the run
+// under the drain lock, so out-of-lock calls always hit the cache).
+func (r *workerRun) consumersOf(n *Node, sid int32) []*liveOp {
+	for i := range r.cons {
+		if r.cons[i].sid == sid {
+			return r.cons[i].ops
+		}
+	}
+	if len(r.cons) < cap(r.cons) {
+		r.cons = r.cons[:len(r.cons)+1]
+	} else {
+		r.cons = append(r.cons, consEntry{})
+	}
+	e := &r.cons[len(r.cons)-1]
+	e.sid = sid
+	e.ops = e.ops[:0]
+	for _, id := range n.subs[int(sid)] {
+		if op := n.ops[id]; op != nil {
+			e.ops = append(e.ops, op)
+		}
+	}
+	return e.ops
+}
+
 // worker is the node's single virtual CPU: it dequeues tuples, charges
 // their processing cost against wall time (sleeping whenever virtual time
-// runs ahead), and routes outputs.
+// runs ahead), and routes outputs. The queue lock is taken once per run
+// of up to BatchMax tuples, not once per tuple; per-tuple semantics
+// (cost pacing, shed-clear hysteresis, trace spans) are preserved.
 func (n *Node) worker() {
 	defer n.wg.Done()
+	var run workerRun
 	for {
 		n.mu.Lock()
 		for len(n.queue)-n.qhead == 0 && !n.closing {
@@ -386,8 +519,15 @@ func (n *Node) worker() {
 			n.mu.Unlock()
 			return
 		}
-		t := n.queue[n.qhead]
-		n.qhead++
+		k := len(n.queue) - n.qhead
+		if k > n.cfg.BatchMax {
+			k = n.cfg.BatchMax
+		}
+		run.tuples = append(run.tuples[:0], n.queue[n.qhead:n.qhead+k]...)
+		for i := 0; i < k; i++ {
+			n.queue[n.qhead+i] = Tuple{}
+		}
+		n.qhead += k
 		if n.qhead > 4096 && n.qhead*2 > len(n.queue) {
 			n.queue = append(n.queue[:0], n.queue[n.qhead:]...)
 			n.qhead = 0
@@ -401,9 +541,15 @@ func (n *Node) worker() {
 			shedClear = true
 		}
 		shedTotal := n.shedTotal
-		consumers := n.subs[int(t.Stream)]
+		run.cons = run.cons[:0]
+		for _, t := range run.tuples {
+			if t.Stream != stallStream {
+				run.consumersOf(n, t.Stream)
+			}
+		}
 		started := n.started
 		start := n.startT
+		busyBase := n.busy
 		ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
 		n.mu.Unlock()
 		if shedClear {
@@ -412,51 +558,60 @@ func (n *Node) worker() {
 				"shed", shedTotal)
 		}
 
-		var cost float64
-		var outs []Tuple
-		if t.Stream == stallStream {
-			// Migration state-transfer pause: Value already carries the
-			// cost units making svc = Value/capacity = the stall seconds.
-			cost = t.Value
-		} else {
-			for _, opID := range consumers {
-				c, o := n.process(opID, t)
-				cost += c
-				outs = append(outs, o...)
-			}
-		}
-		if cost > 0 {
-			n.mu.Lock()
-			n.busy += time.Duration(cost / n.capacity * float64(time.Second))
-			due := n.busy
-			n.mu.Unlock()
-			if started {
-				// Pace: virtual time must not run ahead of wall time.
-				if ahead := due - time.Since(start); ahead > 500*time.Microsecond {
-					time.Sleep(ahead)
+		// Process the run outside the lock, pacing per tuple against a
+		// locally accumulated busy delta (concurrent transfer-cost charges
+		// land in n.busy and are picked up by the next run's base).
+		var busyDelta time.Duration
+		run.outs = run.outs[:0]
+		for _, t := range run.tuples {
+			var cost float64
+			outsBefore := len(run.outs)
+			if t.Stream == stallStream {
+				// Migration state-transfer pause: Value already carries the
+				// cost units making svc = Value/capacity = the stall seconds.
+				cost = t.Value
+			} else {
+				for _, op := range run.consumersOf(n, t.Stream) {
+					cost += n.process(op, t, &run.outs)
 				}
 			}
+			if cost > 0 {
+				busyDelta += time.Duration(cost / n.capacity * float64(time.Second))
+				if started {
+					// Pace: virtual time must not run ahead of wall time.
+					if ahead := busyBase + busyDelta - time.Since(start); ahead > 500*time.Microsecond {
+						// Flush the accumulated virtual time before sleeping
+						// so stats polled mid-sleep see it (a costly run can
+						// carry seconds of virtual time; utilization must not
+						// lag by that much). The zero-cost path never locks.
+						n.mu.Lock()
+						n.busy += busyDelta
+						busyBase = n.busy
+						n.mu.Unlock()
+						busyDelta = 0
+						time.Sleep(ahead)
+					}
+				}
+			}
+			if traced(every, t) {
+				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
+					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
+					"cost", cost, "outs", len(run.outs)-outsBefore)
+			}
 		}
-		if traced(every, t) {
-			ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
-				"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
-				"cost", cost, "outs", len(outs))
+		if busyDelta > 0 {
+			n.mu.Lock()
+			n.busy += busyDelta
+			n.mu.Unlock()
 		}
-		for _, o := range outs {
-			n.route(o, true)
-		}
+		n.routeBatch(run.outs)
 	}
 }
 
-// process runs one tuple through one operator, returning the cost-units
-// consumed and the emitted tuples.
-func (n *Node) process(opID int, t Tuple) (float64, []Tuple) {
-	n.mu.Lock()
-	op, ok := n.ops[opID]
-	n.mu.Unlock()
-	if !ok {
-		return 0, nil
-	}
+// process runs one tuple through one operator, appending emitted tuples
+// to outs and returning the cost-units consumed. The caller resolved op
+// under n.mu; op's mutable state is worker-owned, so no lock is held here.
+func (n *Node) process(op *liveOp, t Tuple, outs *[]Tuple) float64 {
 	cost := op.spec.Cost
 	produced := op.spec.Selectivity
 	if op.spec.Kind == "join" {
@@ -480,57 +635,106 @@ func (n *Node) process(opID int, t Tuple) (float64, []Tuple) {
 	k := int(op.selAcc)
 	op.selAcc -= float64(k)
 	op.processed++
-	n.estimator.Record(opID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
-	outs := make([]Tuple, 0, k)
+	n.estimator.Record(op.spec.ID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
 	for i := 0; i < k; i++ {
-		outs = append(outs, Tuple{Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value})
+		*outs = append(*outs, Tuple{Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value})
 	}
-	return cost, outs
+	return cost
 }
 
-// route delivers an operator-emitted tuple: local consumers re-enter the
-// queue; remote destinations are forwarded (charging send-side transfer
-// cost). Inbound network tuples never re-forward (fromLocal=false path is
-// handled by enqueueInbound).
-func (n *Node) route(t Tuple, fromLocal bool) {
+// egressRun is one per-destination slice of operator outputs, grouped by
+// routeBatch so the outbox is offered whole slices. Worker-owned scratch.
+type egressRun struct {
+	addr string
+	ts   []Tuple
+}
+
+// routeBatch delivers a run of operator-emitted tuples: local consumers
+// re-enter the queue under a single lock acquisition; remote destinations
+// are aggregated per peer and handed to the outbox as slices (charging
+// send-side transfer cost per accepted tuple). Only the worker calls
+// this, so the grouping scratch is reused across runs without locking.
+func (n *Node) routeBatch(outs []Tuple) {
+	if len(outs) == 0 {
+		return
+	}
+	groups := n.egress[:0]
+	admitted := false
 	n.mu.Lock()
-	dests := n.fwd[int(t.Stream)]
-	hasLocal := len(n.subs[int(t.Stream)]) > 0
-	n.mu.Unlock()
-	if fromLocal && hasLocal {
-		n.mu.Lock()
-		if !n.closing {
+	for _, t := range outs {
+		if len(n.subs[int(t.Stream)]) > 0 && !n.closing {
 			n.emitted++
 			n.queue = append(n.queue, t)
-			n.qcond.Signal()
+			admitted = true
 		}
-		n.mu.Unlock()
+		for _, d := range n.fwd[int(t.Stream)] {
+			i := 0
+			for ; i < len(groups); i++ {
+				if groups[i].addr == d.Addr {
+					break
+				}
+			}
+			if i == len(groups) {
+				if i < cap(groups) {
+					groups = groups[:i+1]
+					groups[i].addr = d.Addr
+					groups[i].ts = groups[i].ts[:0]
+				} else {
+					groups = append(groups, egressRun{addr: d.Addr})
+				}
+			}
+			groups[i].ts = append(groups[i].ts, t)
+		}
 	}
-	for _, d := range dests {
-		if n.send(d.Addr, t) {
-			n.mu.Lock()
+	if admitted {
+		n.qcond.Signal()
+	}
+	n.mu.Unlock()
+	n.egress = groups
+	for gi := range groups {
+		g := &groups[gi]
+		accepted := n.sendBatch(g.addr, g.ts)
+		if accepted == 0 {
+			continue
+		}
+		var xferBusy time.Duration
+		n.mu.Lock()
+		for _, t := range g.ts[:accepted] {
 			if x := n.xfer[int(t.Stream)]; x > 0 {
-				n.busy += time.Duration(x / n.capacity * float64(time.Second))
+				xferBusy += time.Duration(x / n.capacity * float64(time.Second))
 			}
 			n.emitted++
-			n.mu.Unlock()
 		}
+		n.busy += xferBusy
+		n.mu.Unlock()
 	}
 }
 
-// send hands a tuple to the destination's outbox without ever blocking: a
-// dead, slow or partitioned peer costs the caller one channel operation
-// (accounted, worst case, in sendMaxNanos — the chaos test asserts the
-// worker path never stalls). Reports whether the tuple was accepted;
-// rejected tuples are counted in the outbox's drop counter.
+// send hands one tuple to the destination's outbox without ever blocking;
+// see sendBatch. Reports whether the tuple was accepted; rejected tuples
+// are counted in the outbox's drop counter.
 func (n *Node) send(addr string, t Tuple) bool {
+	batch := [1]Tuple{t}
+	return n.sendBatch(addr, batch[:]) == 1
+}
+
+// sendBatch offers a run of tuples to the destination's outbox without
+// ever blocking: a dead, slow or partitioned peer costs the caller one
+// bounded ring insertion (accounted, worst case, in sendMaxNanos — the
+// chaos test asserts the worker path never stalls). It returns how many
+// tuples were accepted (a prefix of ts); the rest are counted in the
+// outbox's drop counter.
+func (n *Node) sendBatch(addr string, ts []Tuple) int {
 	t0 := time.Now()
 	o := n.outboxFor(addr)
-	ok := o != nil && o.enqueue(t)
+	accepted := 0
+	if o != nil {
+		accepted = o.enqueueBatch(ts)
+	}
 	if d := int64(time.Since(t0)); d > n.sendMaxNanos.Load() {
 		n.sendMaxNanos.Store(d)
 	}
-	return ok
+	return accepted
 }
 
 // outboxFor returns (creating on first use) the outbox for addr; nil once
@@ -676,6 +880,11 @@ type NodeStats struct {
 	// bounded ingress queue, total and per stream.
 	Shed         int64         `json:"shed,omitempty"`
 	ShedByStream map[int]int64 `json:"shedByStream,omitempty"`
+
+	// DroppedNoRoute counts inbound tuples discarded because their stream
+	// had neither a local subscription nor a relay route (a routing gap —
+	// each affected stream also emits one no_route warn event).
+	DroppedNoRoute int64 `json:"droppedNoRoute,omitempty"`
 
 	// Outbox accounting summed over peers: enqueued == sent + dropped +
 	// pending at quiescence. Reconnects counts links re-established after
@@ -932,13 +1141,14 @@ const stallStream int32 = -1
 func (n *Node) Stats() *NodeStats {
 	n.mu.Lock()
 	s := &NodeStats{
-		QueueLen:  len(n.queue) - n.qhead,
-		Injected:  n.injected,
-		Emitted:   n.emitted,
-		Shed:      n.shedTotal,
-		SendMaxMs: float64(n.sendMaxNanos.Load()) / float64(time.Millisecond),
-		OpCost:    map[int]float64{},
-		OpSel:     map[int]float64{},
+		QueueLen:       len(n.queue) - n.qhead,
+		Injected:       n.injected,
+		Emitted:        n.emitted,
+		Shed:           n.shedTotal,
+		DroppedNoRoute: n.droppedNoRoute,
+		SendMaxMs:      float64(n.sendMaxNanos.Load()) / float64(time.Millisecond),
+		OpCost:         map[int]float64{},
+		OpSel:          map[int]float64{},
 	}
 	if len(n.shedByStream) > 0 {
 		s.ShedByStream = make(map[int]int64, len(n.shedByStream))

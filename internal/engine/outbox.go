@@ -11,18 +11,20 @@ import (
 )
 
 // Per-peer outbox: every remote destination gets its own goroutine fed by a
-// bounded channel, so one dead or slow peer can never head-of-line-block the
-// worker (the old Node.send dialed synchronously under a shared lock with a
-// 2s timeout — a single unreachable destination stalled every send). The
-// outbox dials with exponential backoff plus jitter, drops with a counter
-// when the channel overflows or the link is down, and re-arms the per-peer
-// relay-error latch on recovery so repeated failures stay visible.
+// bounded, mutex-guarded ring of tuples, so one dead or slow peer can never
+// head-of-line-block the worker. Both sides of the ring are batch-amortized:
+// enqueueBatch copies a whole run under one lock acquisition (the old
+// channel paid one channel operation per tuple), and the writer drains runs
+// of up to outboxBatchMax tuples per acquisition, shipping them as batch
+// frames. The outbox dials with exponential backoff plus jitter, drops with
+// a counter when the ring overflows or the link is down, and re-arms the
+// per-peer relay-error latch on recovery so repeated failures stay visible.
 
 // errOutboxClosed signals an orderly shutdown of the writer loop.
 var errOutboxClosed = errors.New("engine: outbox closed")
 
 // outboxBatchMax bounds how many tuples one flush batch may carry, so a
-// saturated channel cannot delay the flush (and hence delivery) unboundedly.
+// saturated ring cannot delay the flush (and hence delivery) unboundedly.
 const outboxBatchMax = 512
 
 // LinkFault is an injected fault on the outbound link to one peer address:
@@ -35,22 +37,28 @@ type LinkFault struct {
 	Delay time.Duration
 }
 
-// outboxStats is an atomic snapshot of one outbox's accounting. The
-// invariant enqueued == sent + dropped + pending holds at quiescence.
+// outboxStats is a snapshot of one outbox's accounting. The invariant
+// enqueued == sent + dropped + pending holds at quiescence (Pending counts
+// both ring-buffered tuples and a drained-but-unflushed writer run).
 type outboxStats struct {
 	Addr       string
-	Enqueued   int64 // tuples accepted into the channel
+	Enqueued   int64 // tuples accepted into the ring
 	Sent       int64 // tuples flushed to the socket
 	Dropped    int64 // overflow + fault-drop + lost-on-disconnect
-	Pending    int64 // still buffered in the channel
+	Pending    int64 // still buffered (ring + writer in-flight)
 	Reconnects int64 // successful connections after a loss
 }
 
 type outbox struct {
 	node *Node
 	addr string
-	ch   chan Tuple
 	quit chan struct{}
+
+	mu     sync.Mutex
+	ring   []Tuple       // fixed capacity cfg.OutboxCap
+	head   int           // index of the oldest buffered tuple
+	count  int           // buffered tuples
+	notify chan struct{} // capacity-1 writer wakeup
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -58,38 +66,89 @@ type outbox struct {
 	enqueued   atomic.Int64
 	sent       atomic.Int64
 	dropped    atomic.Int64
+	inflight   atomic.Int64 // drained from the ring, not yet flushed
 	reconnects atomic.Int64
 }
 
 func newOutbox(n *Node, addr string) *outbox {
 	return &outbox{
-		node: n,
-		addr: addr,
-		ch:   make(chan Tuple, n.cfg.OutboxCap),
-		quit: make(chan struct{}),
+		node:   n,
+		addr:   addr,
+		ring:   make([]Tuple, n.cfg.OutboxCap),
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
 	}
 }
 
 // enqueue offers one tuple without blocking; on overflow the tuple is
 // dropped and counted.
 func (o *outbox) enqueue(t Tuple) bool {
-	o.enqueued.Add(1)
-	select {
-	case o.ch <- t:
-		return true
-	default:
-		o.dropped.Add(1)
-		return false
+	batch := [1]Tuple{t}
+	return o.enqueueBatch(batch[:]) == 1
+}
+
+// enqueueBatch offers a run of tuples under a single lock acquisition,
+// accepting the longest prefix the ring has room for and dropping (with a
+// counter) the rest. It never blocks; the tuples are copied, so the caller
+// keeps ownership of ts.
+func (o *outbox) enqueueBatch(ts []Tuple) int {
+	o.enqueued.Add(int64(len(ts)))
+	o.mu.Lock()
+	k := len(o.ring) - o.count
+	if k > len(ts) {
+		k = len(ts)
 	}
+	tail := (o.head + o.count) % len(o.ring)
+	first := len(o.ring) - tail
+	if first > k {
+		first = k
+	}
+	copy(o.ring[tail:], ts[:first])
+	copy(o.ring, ts[first:k])
+	o.count += k
+	o.mu.Unlock()
+	if k < len(ts) {
+		o.dropped.Add(int64(len(ts) - k))
+	}
+	if k > 0 {
+		select {
+		case o.notify <- struct{}{}:
+		default:
+		}
+	}
+	return k
+}
+
+// drainInto moves up to max buffered tuples into dst (reusing its backing
+// array) under one lock acquisition, marking them in-flight for the stats
+// invariant. It returns the drained run.
+func (o *outbox) drainInto(dst []Tuple, max int) []Tuple {
+	o.mu.Lock()
+	k := o.count
+	if k > max {
+		k = max
+	}
+	dst = dst[:0]
+	for i := 0; i < k; i++ {
+		dst = append(dst, o.ring[(o.head+i)%len(o.ring)])
+	}
+	o.head = (o.head + k) % len(o.ring)
+	o.count -= k
+	o.inflight.Store(int64(k))
+	o.mu.Unlock()
+	return dst
 }
 
 func (o *outbox) stats() outboxStats {
+	o.mu.Lock()
+	pending := int64(o.count)
+	o.mu.Unlock()
 	return outboxStats{
 		Addr:       o.addr,
 		Enqueued:   o.enqueued.Load(),
 		Sent:       o.sent.Load(),
 		Dropped:    o.dropped.Load(),
-		Pending:    int64(len(o.ch)),
+		Pending:    pending + o.inflight.Load(),
 		Reconnects: o.reconnects.Load(),
 	}
 }
@@ -120,12 +179,13 @@ func (o *outbox) dial() (net.Conn, error) {
 	return net.DialTimeout("tcp", o.addr, o.node.cfg.DialTimeout)
 }
 
-// run is the outbox goroutine: connect (with backoff), drain the channel,
+// run is the outbox goroutine: connect (with backoff), drain the ring,
 // reconnect on failure, until quit.
 func (o *outbox) run() {
 	defer o.node.wg.Done()
 	attempt := 0
 	connected := false
+	scratch := make([]Tuple, 0, outboxBatchMax)
 	for {
 		conn, err := o.dial()
 		if err != nil {
@@ -147,7 +207,7 @@ func (o *outbox) run() {
 		connected = true
 		o.setConn(conn)
 		o.node.peerUp(o.addr)
-		err = o.writeLoop(conn)
+		err = o.writeLoop(conn, scratch)
 		o.setConn(nil)
 		conn.Close()
 		if errors.Is(err, errOutboxClosed) {
@@ -158,32 +218,68 @@ func (o *outbox) run() {
 }
 
 // writeLoop ships tuples over one connection until it fails or quit fires.
-// Tuples are batched: drain the channel (bounded by outboxBatchMax), then
-// flush under a write deadline so a stalled peer surfaces as an error
-// instead of blocking shutdown.
-func (o *outbox) writeLoop(conn net.Conn) error {
+// Each iteration drains one run from the ring (bounded by outboxBatchMax)
+// under a single lock acquisition, writes it — as one batch frame when the
+// node's BatchMax allows, as legacy single frames otherwise — and flushes
+// under a write deadline so a stalled peer surfaces as an error instead of
+// blocking shutdown. Drop accounting stays per tuple: a fault-dropped or
+// write-failed run counts each of its tuples.
+func (o *outbox) writeLoop(conn net.Conn, scratch []Tuple) error {
 	tw, err := NewTupleWriter(conn)
 	if err != nil {
 		return err
 	}
-	pending := 0
-	write := func(t Tuple, f *LinkFault) error {
-		if f != nil && f.Drop {
-			o.dropped.Add(1)
-			return nil
+	for {
+		select {
+		case <-o.quit:
+			// Best-effort final drain of whatever is already buffered.
+			f := o.node.linkFault(o.addr)
+			for {
+				run := o.drainInto(scratch, outboxBatchMax)
+				if len(run) == 0 {
+					return errOutboxClosed
+				}
+				if err := o.ship(tw, conn, run, f); err != nil {
+					o.dropRemaining()
+					return errOutboxClosed
+				}
+			}
+		case <-o.notify:
 		}
-		if err := tw.Send(t); err != nil {
-			o.dropped.Add(int64(pending) + 1)
-			pending = 0
-			return err
+		for {
+			run := o.drainInto(scratch, outboxBatchMax)
+			if len(run) == 0 {
+				break
+			}
+			f := o.node.linkFault(o.addr)
+			if err := o.ship(tw, conn, run, f); err != nil {
+				return err
+			}
 		}
-		pending++
+	}
+}
+
+// ship writes and flushes one drained run, honoring an injected fault, and
+// settles the run's accounting (sent on success, dropped on fault or
+// failure; in-flight is cleared either way).
+func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault) error {
+	n := int64(len(run))
+	if f != nil && f.Drop {
+		o.dropped.Add(n)
+		o.inflight.Store(0)
 		return nil
 	}
-	flush := func(f *LinkFault) error {
-		if pending == 0 {
-			return nil
+	var err error
+	if o.node.cfg.BatchMax > 1 {
+		err = tw.SendBatch(run)
+	} else {
+		for _, t := range run {
+			if err = tw.Send(t); err != nil {
+				break
+			}
 		}
+	}
+	if err == nil {
 		if f != nil && f.Delay > 0 {
 			select {
 			case <-o.quit:
@@ -191,66 +287,28 @@ func (o *outbox) writeLoop(conn net.Conn) error {
 			}
 		}
 		conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
-		if err := tw.Flush(); err != nil {
-			o.dropped.Add(int64(pending))
-			pending = 0
-			return err
-		}
-		o.sent.Add(int64(pending))
-		pending = 0
-		return nil
+		err = tw.Flush()
 	}
-	for {
-		var t Tuple
-		select {
-		case <-o.quit:
-			// Best-effort final drain of whatever is already buffered.
-			f := o.node.linkFault(o.addr)
-			for {
-				select {
-				case t = <-o.ch:
-					if err := write(t, f); err != nil {
-						o.dropRemaining()
-						return errOutboxClosed
-					}
-				default:
-					flush(f) //nolint:errcheck
-					return errOutboxClosed
-				}
-			}
-		case t = <-o.ch:
-		}
-		f := o.node.linkFault(o.addr)
-		if err := write(t, f); err != nil {
-			return err
-		}
-	drain:
-		for i := 1; i < outboxBatchMax; i++ {
-			select {
-			case t = <-o.ch:
-				if err := write(t, f); err != nil {
-					return err
-				}
-			default:
-				break drain
-			}
-		}
-		if err := flush(f); err != nil {
-			return err
-		}
+	if err != nil {
+		o.dropped.Add(n)
+		o.inflight.Store(0)
+		return err
 	}
+	o.sent.Add(n)
+	o.inflight.Store(0)
+	return nil
 }
 
 // dropRemaining counts everything still buffered as dropped (shutdown or
 // terminal link failure with no connection to drain into).
 func (o *outbox) dropRemaining() {
-	for {
-		select {
-		case <-o.ch:
-			o.dropped.Add(1)
-		default:
-			return
-		}
+	o.mu.Lock()
+	k := o.count
+	o.head = 0
+	o.count = 0
+	o.mu.Unlock()
+	if k > 0 {
+		o.dropped.Add(int64(k))
 	}
 }
 

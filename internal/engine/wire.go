@@ -21,8 +21,25 @@ import (
 // declares its role.
 const (
 	connControl byte = 'C' // newline-delimited JSON control messages
-	connTuples  byte = 'T' // fixed-size binary tuple frames
+	connTuples  byte = 'T' // binary tuple frames (legacy single or batch)
 )
+
+// Frame versioning inside a tuple connection. Wire stream ids are
+// non-negative, so the big-endian first byte of a legacy 28-byte tuple
+// frame is always 0x00–0x7F; bytes with the high bit set are reserved as
+// versioned frame opcodes. Legacy senders therefore interoperate with
+// batch-aware receivers on the same connection, frame by frame.
+const (
+	// opBatch introduces a length-prefixed batch frame:
+	//
+	//	opBatch | uint32(count) | count × 28-byte tuple
+	opBatch byte = 0x81
+)
+
+// MaxBatchWire caps the tuple count one batch frame may declare; larger
+// batches are split by the writer and rejected by the reader (bounding
+// the decoder's allocation to ~1.8 MB no matter what the prefix claims).
+const MaxBatchWire = 65536
 
 // Tuple is the data-plane unit. Ts is the origin timestamp in nanoseconds
 // (wall clock at injection) used for end-to-end latency; Value is an opaque
@@ -36,35 +53,52 @@ type Tuple struct {
 
 const tupleFrameSize = 4 + 8 + 8 + 8
 
-// WriteTuple writes one frame.
-func WriteTuple(w io.Writer, t Tuple) error {
-	var buf [tupleFrameSize]byte
+// batchHeaderSize is the opcode plus the uint32 tuple count.
+const batchHeaderSize = 1 + 4
+
+// encodeTuple writes t's 28-byte wire form into buf[:tupleFrameSize].
+func encodeTuple(buf []byte, t Tuple) {
 	binary.BigEndian.PutUint32(buf[0:4], uint32(t.Stream))
 	binary.BigEndian.PutUint64(buf[4:12], uint64(t.Ts))
 	binary.BigEndian.PutUint64(buf[12:20], uint64(t.Seq))
 	binary.BigEndian.PutUint64(buf[20:28], math.Float64bits(t.Value))
+}
+
+// decodeTuple parses one 28-byte wire form from buf[:tupleFrameSize].
+func decodeTuple(buf []byte) Tuple {
+	return Tuple{
+		Stream: int32(binary.BigEndian.Uint32(buf[0:4])),
+		Ts:     int64(binary.BigEndian.Uint64(buf[4:12])),
+		Seq:    int64(binary.BigEndian.Uint64(buf[12:20])),
+		Value:  math.Float64frombits(binary.BigEndian.Uint64(buf[20:28])),
+	}
+}
+
+// WriteTuple writes one legacy single-tuple frame.
+func WriteTuple(w io.Writer, t Tuple) error {
+	var buf [tupleFrameSize]byte
+	encodeTuple(buf[:], t)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-// ReadTuple reads one frame.
+// ReadTuple reads one legacy single-tuple frame.
 func ReadTuple(r io.Reader) (Tuple, error) {
 	var buf [tupleFrameSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return Tuple{}, err
 	}
-	var t Tuple
-	t.Stream = int32(binary.BigEndian.Uint32(buf[0:4]))
-	t.Ts = int64(binary.BigEndian.Uint64(buf[4:12]))
-	t.Seq = int64(binary.BigEndian.Uint64(buf[12:20]))
-	t.Value = math.Float64frombits(binary.BigEndian.Uint64(buf[20:28]))
-	return t, nil
+	return decodeTuple(buf[:]), nil
 }
 
-// TupleWriter batches frames over a connection.
+// TupleWriter batches frames over a connection. Send writes legacy
+// single-tuple frames; SendBatch amortizes framing and buffer management
+// over a whole batch via the versioned batch frame, reusing one encode
+// buffer across calls.
 type TupleWriter struct {
-	bw *bufio.Writer
-	c  io.Closer
+	bw  *bufio.Writer
+	c   io.Closer
+	enc []byte // reusable batch encode buffer
 }
 
 // NewTupleWriter wraps w, sending the tuple-connection preamble byte.
@@ -92,8 +126,44 @@ func NewTupleWriterDial(addr string) (*TupleWriter, error) {
 	return tw, nil
 }
 
-// Send writes one tuple into the buffer.
+// Send writes one tuple into the buffer as a legacy single-tuple frame.
 func (tw *TupleWriter) Send(t Tuple) error { return WriteTuple(tw.bw, t) }
+
+// SendBatch writes a batch of tuples into the buffer. A single tuple goes
+// out as a legacy frame (no batch overhead); larger batches use the
+// versioned batch frame, split at MaxBatchWire. The encode buffer is
+// reused across calls, so the steady-state path allocates nothing.
+func (tw *TupleWriter) SendBatch(ts []Tuple) error {
+	for len(ts) > MaxBatchWire {
+		if err := tw.sendBatchFrame(ts[:MaxBatchWire]); err != nil {
+			return err
+		}
+		ts = ts[MaxBatchWire:]
+	}
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return WriteTuple(tw.bw, ts[0])
+	default:
+		return tw.sendBatchFrame(ts)
+	}
+}
+
+func (tw *TupleWriter) sendBatchFrame(ts []Tuple) error {
+	need := batchHeaderSize + len(ts)*tupleFrameSize
+	if cap(tw.enc) < need {
+		tw.enc = make([]byte, need)
+	}
+	buf := tw.enc[:need]
+	buf[0] = opBatch
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(ts)))
+	for i, t := range ts {
+		encodeTuple(buf[batchHeaderSize+i*tupleFrameSize:], t)
+	}
+	_, err := tw.bw.Write(buf)
+	return err
+}
 
 // Flush pushes buffered frames to the socket.
 func (tw *TupleWriter) Flush() error { return tw.bw.Flush() }
@@ -108,4 +178,88 @@ func (tw *TupleWriter) Close() error {
 		}
 	}
 	return ferr
+}
+
+// TupleReader decodes the frame stream after the connTuples preamble,
+// accepting legacy single-tuple frames and versioned batch frames
+// interleaved on the same connection. The decode slab and payload buffer
+// are reused across calls, so steady-state decoding allocates nothing.
+type TupleReader struct {
+	r    io.Reader
+	hdr  [batchHeaderSize]byte
+	buf  []byte  // reusable frame payload buffer
+	slab []Tuple // reusable decode slab; valid until the next ReadBatch
+}
+
+// NewTupleReader wraps r (typically already buffered by the caller).
+func NewTupleReader(r io.Reader) *TupleReader {
+	return &TupleReader{r: r}
+}
+
+// ReadBatch reads the next frame and returns its tuples. The returned
+// slice aliases the reader's internal slab and is only valid until the
+// next call. Legacy frames yield a one-tuple batch. Frames declaring more
+// than MaxBatchWire tuples (or an unknown opcode) are rejected with an
+// error rather than trusted with an allocation.
+func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
+	for {
+		if _, err := io.ReadFull(tr.r, tr.hdr[:1]); err != nil {
+			return nil, err
+		}
+		if tr.hdr[0]&0x80 == 0 {
+			// Legacy frame: the byte we read is the stream id's first byte.
+			if cap(tr.buf) < tupleFrameSize {
+				tr.buf = make([]byte, tupleFrameSize)
+			}
+			buf := tr.buf[:tupleFrameSize]
+			buf[0] = tr.hdr[0]
+			if _, err := io.ReadFull(tr.r, buf[1:]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			if cap(tr.slab) < 1 {
+				tr.slab = make([]Tuple, 1)
+			}
+			tr.slab = tr.slab[:1]
+			tr.slab[0] = decodeTuple(buf)
+			return tr.slab, nil
+		}
+		if tr.hdr[0] != opBatch {
+			return nil, fmt.Errorf("engine: unknown frame opcode 0x%02x", tr.hdr[0])
+		}
+		if _, err := io.ReadFull(tr.r, tr.hdr[1:]); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		n := int(binary.BigEndian.Uint32(tr.hdr[1:5]))
+		if n > MaxBatchWire {
+			return nil, fmt.Errorf("engine: batch frame declares %d tuples (cap %d)", n, MaxBatchWire)
+		}
+		if n == 0 {
+			continue // empty batch: keep-alive, nothing to deliver
+		}
+		need := n * tupleFrameSize
+		if cap(tr.buf) < need {
+			tr.buf = make([]byte, need)
+		}
+		buf := tr.buf[:need]
+		if _, err := io.ReadFull(tr.r, buf); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if cap(tr.slab) < n {
+			tr.slab = make([]Tuple, n)
+		}
+		tr.slab = tr.slab[:n]
+		for i := range tr.slab {
+			tr.slab[i] = decodeTuple(buf[i*tupleFrameSize:])
+		}
+		return tr.slab, nil
+	}
+}
+
+// unexpectedEOF upgrades a mid-frame EOF so callers can distinguish a
+// clean end-of-stream (between frames) from a truncated frame.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

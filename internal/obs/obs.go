@@ -52,6 +52,9 @@ const (
 	// MetricNodePeerReconnects counts peer links re-established after a
 	// failure (the outbox backoff/reconnect cycle succeeding).
 	MetricNodePeerReconnects = "rodsp_node_peer_reconnects_total"
+	// MetricNodeNoRoute counts inbound tuples discarded because their
+	// stream had neither a local subscription nor a relay route.
+	MetricNodeNoRoute = "rodsp_node_tuples_no_route_total"
 )
 
 // Event types emitted by the engine and the simulator.
@@ -77,6 +80,9 @@ const (
 	EventPeerUp = "peer_up"
 	// EventLinkFault records an injected link fault being set or cleared.
 	EventLinkFault = "link_fault"
+	// EventNoRoute warns (once per stream) that inbound tuples are being
+	// discarded for lack of any local subscription or relay route.
+	EventNoRoute = "no_route"
 )
 
 // Event levels.

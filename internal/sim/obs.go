@@ -135,6 +135,7 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 		// (the sim-vs-prototype cross-validation asserts exact equality).
 		for _, name := range []string{
 			obs.MetricNodeShed, obs.MetricNodeOutboxDrop, obs.MetricNodePeerReconnects,
+			obs.MetricNodeNoRoute,
 		} {
 			o.sampler.ProbeCounter(name, o.reg.Counter(name, "node", node), "node", node)
 		}
