@@ -1,0 +1,134 @@
+// Command rodcheck runs the cluster-wide conformance harness: the
+// metamorphic invariant catalog, optional lockstep sim↔engine
+// cross-validation, and seeded chaos episodes on a loopback engine cluster
+// gated by the tuple-conservation ledger (internal/check).
+//
+// Usage:
+//
+//	rodcheck -seed 1 -episodes 20 [-nodes 4] [-lockstep] [-v]
+//	rodcheck -seed 1 -soak 30m [-fail-out failing.json]
+//
+// Each episode derives its own seed (base seed + index) and class: every
+// third episode kills a node, the rest stay strict (full ledger). With
+// -soak the episode loop runs until the duration elapses instead of a fixed
+// count, interleaving a lockstep cross-validation every tenth episode. On
+// the first failure rodcheck writes the failing seed and diagnosis to
+// -fail-out (if set) so CI can archive a one-command reproduction, then
+// exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rodsp/internal/check"
+	"rodsp/internal/obs"
+)
+
+type failure struct {
+	Kind     string `json:"kind"` // metamorphic | lockstep | episode
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	Class    string `json:"class,omitempty"`
+	Error    string `json:"error"`
+	Repro    string `json:"repro"`
+	Episodes int    `json:"episodes_run"`
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "base random seed")
+		episodes = flag.Int("episodes", 10, "chaos episodes to run")
+		nodes    = flag.Int("nodes", 4, "loopback cluster size")
+		soak     = flag.Duration("soak", 0, "run episodes until this duration elapses (overrides -episodes)")
+		lockstep = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
+		failOut  = flag.String("fail-out", "", "write the first failure as JSON to this file")
+		verbose  = flag.Bool("v", false, "per-episode ledger summaries")
+	)
+	flag.Parse()
+
+	fatal := func(f failure) {
+		f.Nodes = *nodes
+		f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 1 -nodes %d", f.Seed, *nodes)
+		if f.Kind == "lockstep" {
+			f.Repro += " -lockstep"
+		}
+		fmt.Fprintf(os.Stderr, "rodcheck: FAIL (%s, seed %d): %s\n", f.Kind, f.Seed, f.Error)
+		if *failOut != "" {
+			if data, err := json.MarshalIndent(f, "", "  "); err == nil {
+				if werr := os.WriteFile(*failOut, append(data, '\n'), 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "rodcheck: writing %s: %v\n", *failOut, werr)
+				}
+			}
+		}
+		os.Exit(1)
+	}
+
+	// Pure compute-plane invariants first: cheap, deterministic, no cluster.
+	if err := check.RunMetamorphic(check.MetamorphicConfig{Seed: *seed}); err != nil {
+		fatal(failure{Kind: "metamorphic", Seed: *seed, Error: err.Error()})
+	}
+	fmt.Println("rodcheck: metamorphic invariants ok")
+
+	runLockstep := func(s int64) {
+		res, err := check.RunLockstep(check.LockstepConfig{Seed: s, Nodes: *nodes})
+		if err != nil {
+			fatal(failure{Kind: "lockstep", Seed: s, Error: err.Error()})
+		}
+		if res.Violation != nil {
+			fatal(failure{Kind: "lockstep", Seed: s, Error: res.Violation.Error()})
+		}
+		fmt.Printf("rodcheck: lockstep ok (seed %d: sim delivered %d, engine delivered %d, %d migrations)\n",
+			s, res.SimDelivered, res.EngDelivered, res.Migrations)
+	}
+	if *lockstep {
+		runLockstep(*seed)
+	}
+
+	deadline := time.Time{}
+	if *soak > 0 {
+		deadline = time.Now().Add(*soak)
+	}
+	ran := 0
+	for i := 0; ; i++ {
+		if *soak > 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+		} else if i >= *episodes {
+			break
+		}
+		epSeed := *seed + int64(i)
+		class := check.Strict
+		if i%3 == 2 {
+			class = check.KillNode
+		}
+		if *soak > 0 && i > 0 && i%10 == 0 {
+			runLockstep(epSeed)
+		}
+		sc, err := check.Generate(epSeed, *nodes, class)
+		if err != nil {
+			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: err.Error(), Episodes: ran})
+		}
+		ev := obs.NewEventLog(1024)
+		res, err := check.RunEpisode(sc, ev)
+		if err != nil {
+			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: err.Error(), Episodes: ran})
+		}
+		if res.Violation != nil {
+			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: res.Violation.Error(), Episodes: ran})
+		}
+		ran++
+		if *verbose {
+			fmt.Printf("rodcheck: episode %d ok (seed %d, %s, %d faults, %d migrations, residual %d)\n%s\n",
+				i, epSeed, class, len(sc.Schedule), res.Migrations, res.Ledger.Residual(), res.Ledger)
+		} else {
+			fmt.Printf("rodcheck: episode %d ok (seed %d, %s: sources %d, delivered %d, shed %d, residual %d)\n",
+				i, epSeed, class, res.Sources, res.Delivered, res.Ledger.Shed, res.Ledger.Residual())
+		}
+	}
+	fmt.Printf("rodcheck: PASS (%d episodes)\n", ran)
+}

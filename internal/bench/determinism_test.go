@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"rodsp/internal/par"
+)
+
+// TestFigure2ByteIdenticalAcrossRuns: the rendered Figure 2 table for a
+// fixed seed must come out byte-identical run after run and regardless of
+// GOMAXPROCS or the par worker pool setting. The benchmark tables are the
+// repo's published numbers; any nondeterminism here would make the
+// experiment scripts unverifiable.
+func TestFigure2ByteIdenticalAcrossRuns(t *testing.T) {
+	render := func() string {
+		return Figure2Config{Seed: 1}.Run().String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("empty figure2 table")
+	}
+	for i := 0; i < 2; i++ {
+		if got := render(); got != first {
+			t.Fatalf("figure2 table drifted on repeat %d:\n%s\nvs\n%s", i, first, got)
+		}
+	}
+
+	// Parallelism must not leak into the output.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	prevWorkers := par.Workers()
+	defer par.SetWorkers(prevWorkers)
+
+	runtime.GOMAXPROCS(1)
+	par.SetWorkers(1)
+	serial := render()
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	par.SetWorkers(8)
+	wide := render()
+	if serial != first || wide != first {
+		t.Fatal("figure2 table depends on GOMAXPROCS / worker pool size")
+	}
+
+	// And a different seed must actually change the synthetic traces —
+	// otherwise the byte-identity above would be vacuous.
+	if other := (Figure2Config{Seed: 2}).Run().String(); other == first {
+		t.Fatal("figure2 ignores its seed")
+	}
+}

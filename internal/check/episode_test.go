@@ -1,0 +1,129 @@
+package check
+
+import (
+	"testing"
+
+	"rodsp/internal/obs"
+	"rodsp/internal/query"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, 4, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, 4, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumOps() != b.Graph.NumOps() || a.Wall != b.Wall ||
+		len(a.Schedule) != len(b.Schedule) || a.Severs != b.Severs {
+		t.Fatalf("same seed produced different scenarios: %+v vs %+v", a, b)
+	}
+	for i := range a.Schedule {
+		if a.Schedule[i] != b.Schedule[i] {
+			t.Fatalf("schedule[%d] differs: %+v vs %+v", i, a.Schedule[i], b.Schedule[i])
+		}
+	}
+	if len(a.Plan.NodeOf) != len(b.Plan.NodeOf) {
+		t.Fatal("placements differ")
+	}
+}
+
+func TestMigrationsAvoidRoutedNodes(t *testing.T) {
+	// Destinations of scheduled migrations must hold no prior route for the
+	// operator's streams (the no-duplication constraint).
+	for seed := int64(0); seed < 30; seed++ {
+		sc, err := Generate(seed, 4, Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed := routedNodes(sc.Graph, sc.Plan.NodeOf)
+		nodeOf := append([]int(nil), sc.Plan.NodeOf...)
+		for _, op := range sc.Schedule {
+			if op.Kind != FaultMigrate {
+				continue
+			}
+			o := sc.Graph.Op(query.OpID(op.Op))
+			if routed[o.Out][op.To] {
+				t.Fatalf("seed %d: migration dest %d already routes output stream %d", seed, op.To, o.Out)
+			}
+			for _, in := range o.Inputs {
+				if routed[in][op.To] {
+					t.Fatalf("seed %d: migration dest %d already routes input stream %d", seed, op.To, in)
+				}
+			}
+			nodeOf[o.ID] = op.To
+			for _, in := range o.Inputs {
+				routed[in][op.To] = true
+			}
+			routed[o.Out][op.To] = true
+		}
+	}
+}
+
+func TestRunEpisodeStrict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live loopback cluster")
+	}
+	ev := obs.NewEventLog(256)
+	sc, err := Generate(1, 4, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEpisode(sc, ev)
+	if err != nil {
+		t.Fatalf("episode infrastructure error: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("strict episode violated invariants: %v", res.Violation)
+	}
+	if res.Sources == 0 || res.Delivered == 0 {
+		t.Fatalf("episode moved no tuples: sources=%d delivered=%d", res.Sources, res.Delivered)
+	}
+}
+
+// TestRunEpisodePerturbedLedgerFails closes the loop on the negative test:
+// a real episode's snapshot, perturbed by a one-tuple drop undercount, must
+// fail the same ledger check the episode just passed.
+func TestRunEpisodePerturbedLedgerFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live loopback cluster")
+	}
+	sc, err := Generate(2, 3, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEpisode(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("baseline episode failed: %v", res.Violation)
+	}
+	l := res.Ledger
+	if err := l.Check(sc.Slack()); err != nil {
+		t.Fatalf("baseline ledger rejected: %v", err)
+	}
+	l.OutboxDropped-- // inject the off-by-one
+	if err := l.Check(sc.Slack()); err == nil {
+		t.Fatal("perturbed ledger passed: off-by-one drop undercount not caught")
+	}
+}
+
+func TestRunEpisodeKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live loopback cluster")
+	}
+	sc, err := Generate(3, 4, KillNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEpisode(sc, nil)
+	if err != nil {
+		t.Fatalf("kill episode infrastructure error: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("kill episode violated invariants: %v", res.Violation)
+	}
+}

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"rodsp/internal/engine"
+)
+
+func balancedStats() []*engine.NodeStats {
+	return []*engine.NodeStats{
+		{Injected: 600, Shed: 25, DroppedNoRoute: 5, OutboxDropped: 40, QueueLen: 0, OutboxPending: 10},
+		{Injected: 400, Shed: 0, DroppedNoRoute: 0, OutboxDropped: 0, QueueLen: 20, OutboxPending: 0},
+	}
+}
+
+func TestLedgerBalances(t *testing.T) {
+	// sources 1000 = srcDropped 50 + delivered 850 + shed 25 + outboxDropped 40
+	//              + noRoute 5 + inFlight 30
+	l := Assemble(balancedStats(), 850, 1000, 50)
+	if r := l.Residual(); r != 0 {
+		t.Fatalf("residual = %d, want 0\n%s", r, l)
+	}
+	if err := l.Check(0); err != nil {
+		t.Fatalf("balanced ledger rejected: %v", err)
+	}
+}
+
+// TestLedgerCatchesDropUndercount is the acceptance-criteria negative test:
+// a drop counter that under-counts by one (the classic off-by-one in a shed
+// or outbox-drop path) leaves a positive residual — a tuple the cluster lost
+// without accounting for it — and the ledger must flag it at zero slack.
+func TestLedgerCatchesDropUndercount(t *testing.T) {
+	stats := balancedStats()
+	stats[0].OutboxDropped-- // off-by-one: one dropped tuple not counted
+	l := Assemble(stats, 850, 1000, 50)
+	if r := l.Residual(); r != 1 {
+		t.Fatalf("residual = %d, want +1", r)
+	}
+	err := l.Check(0)
+	if err == nil {
+		t.Fatal("ledger accepted a silent tuple loss")
+	}
+	if !strings.Contains(err.Error(), "silent") {
+		t.Fatalf("want silent-loss diagnosis, got: %v", err)
+	}
+	// Positive residuals are never excused by sever slack.
+	if err := l.Check(1 << 20); err == nil {
+		t.Fatal("slack must not excuse a positive residual")
+	}
+}
+
+func TestLedgerCatchesDropOvercount(t *testing.T) {
+	stats := balancedStats()
+	stats[0].Shed++ // off-by-one the other way: a tuple counted twice
+	l := Assemble(stats, 850, 1000, 50)
+	if err := l.Check(0); err == nil {
+		t.Fatal("ledger accepted a double-counted tuple at zero slack")
+	}
+	// One sever fault's write slack legitimately covers it.
+	if err := l.Check(severWriteSlack); err != nil {
+		t.Fatalf("slack should cover a bounded double-count: %v", err)
+	}
+}
+
+func TestLedgerSkipsUnreachableNodes(t *testing.T) {
+	stats := balancedStats()
+	stats = append(stats, nil) // killed node
+	l := Assemble(stats, 850, 1000, 50)
+	if r := l.Residual(); r != 0 {
+		t.Fatalf("nil stats changed the residual: %d", r)
+	}
+}
+
+func TestCheckOutboxesIdentity(t *testing.T) {
+	good := []*engine.NodeStats{
+		{OutboxEnqueued: 100, OutboxSent: 80, OutboxDropped: 15, OutboxPending: 5},
+		nil,
+	}
+	if err := CheckOutboxes(good); err != nil {
+		t.Fatalf("valid outbox identity rejected: %v", err)
+	}
+	bad := []*engine.NodeStats{
+		{OutboxEnqueued: 100, OutboxSent: 80, OutboxDropped: 14, OutboxPending: 5},
+	}
+	if err := CheckOutboxes(bad); err == nil {
+		t.Fatal("outbox identity violation not caught")
+	}
+}

@@ -1,0 +1,271 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"rodsp/internal/engine"
+	"rodsp/internal/obs"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/sim"
+	"rodsp/internal/trace"
+)
+
+// Tolerances are the lockstep gates: how far the engine may diverge from
+// the simulator on the same seeded scenario before the cross-validation
+// fails. Zero fields take the defaults (chosen loose enough for a loaded
+// CI machine, tight enough to catch systematic modeling errors).
+type Tolerances struct {
+	UtilAbs      float64 // per-node mean utilization |sim − engine| (default 0.20)
+	HeadroomAbs  float64 // per-node mean feasibility headroom |sim − engine| (default 0.25)
+	DeliveredRel float64 // relative delivered-count gap (default 0.15)
+	ShedMax      int64   // tuples the engine may shed at feasible load (default 0)
+}
+
+func (t *Tolerances) defaults() {
+	if t.UtilAbs <= 0 {
+		t.UtilAbs = 0.20
+	}
+	if t.HeadroomAbs <= 0 {
+		t.HeadroomAbs = 0.25
+	}
+	if t.DeliveredRel <= 0 {
+		t.DeliveredRel = 0.15
+	}
+}
+
+// LockstepConfig drives one sim↔engine cross-validation: the same seeded
+// graph, placement, traces and migration schedule run through the
+// discrete-event simulator (virtual time) and a loopback engine cluster
+// (wall time), and the per-series summaries are gated by Tol.
+type LockstepConfig struct {
+	Seed  int64
+	Nodes int
+	Tol   Tolerances
+}
+
+// LockstepResult carries both runs' summaries for reporting.
+type LockstepResult struct {
+	Scenario     *Scenario
+	SimUtil      []float64 // per-node mean utilization
+	EngUtil      []float64
+	SimHeadroom  []float64 // per-node mean feasibility headroom
+	EngHeadroom  []float64
+	SimDelivered int64
+	EngDelivered int64
+	EngShed      int64
+	Migrations   int
+	Violation    error
+}
+
+// RunLockstep executes the cross-validation. Scenarios are generated with
+// the shed exercise disabled and only the migration portion of the chaos
+// schedule applied — link faults have no simulator counterpart, while
+// migrations map exactly onto sim.Config.Moves (engine wall seconds =
+// simulator virtual seconds).
+func RunLockstep(cfg LockstepConfig) (*LockstepResult, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	cfg.Tol.defaults()
+	sc, err := generate(cfg.Seed, cfg.Nodes, Strict, false)
+	if err != nil {
+		return nil, err
+	}
+	var moves []FaultOp
+	for _, op := range sc.Schedule {
+		if op.Kind == FaultMigrate {
+			moves = append(moves, op)
+		}
+	}
+	res := &LockstepResult{Scenario: sc, Migrations: len(moves)}
+
+	simRes, err := runLockstepSim(sc, moves)
+	if err != nil {
+		return nil, fmt.Errorf("check: lockstep sim: %w", err)
+	}
+	engSeries, engStats, engDelivered, err := runLockstepEngine(sc, moves)
+	if err != nil {
+		return nil, fmt.Errorf("check: lockstep engine: %w", err)
+	}
+
+	if err := sameSchema(simRes.Series, engSeries); err != nil {
+		res.Violation = err
+		return res, nil
+	}
+
+	res.SimDelivered = simRes.TuplesOut
+	res.EngDelivered = engDelivered
+	for i := 0; i < sc.Nodes; i++ {
+		node := strconv.Itoa(i)
+		res.SimUtil = append(res.SimUtil, seriesMean(simRes.Series, obs.MetricNodeUtilization, node))
+		res.EngUtil = append(res.EngUtil, seriesMean(engSeries, obs.MetricNodeUtilization, node))
+		res.SimHeadroom = append(res.SimHeadroom, seriesMean(simRes.Series, obs.MetricNodeHeadroom, node))
+		res.EngHeadroom = append(res.EngHeadroom, seriesMean(engSeries, obs.MetricNodeHeadroom, node))
+	}
+	for _, s := range engStats {
+		if s != nil {
+			res.EngShed += s.Shed
+		}
+	}
+
+	// Gates.
+	for i := 0; i < sc.Nodes; i++ {
+		if d := math.Abs(res.SimUtil[i] - res.EngUtil[i]); d > cfg.Tol.UtilAbs {
+			res.Violation = fmt.Errorf("check: lockstep: node %d mean utilization diverged by %.3f (sim %.3f vs engine %.3f, tol %.3f)",
+				i, d, res.SimUtil[i], res.EngUtil[i], cfg.Tol.UtilAbs)
+			return res, nil
+		}
+		if d := math.Abs(res.SimHeadroom[i] - res.EngHeadroom[i]); d > cfg.Tol.HeadroomAbs {
+			res.Violation = fmt.Errorf("check: lockstep: node %d mean headroom diverged by %.3f (sim %.3f vs engine %.3f, tol %.3f)",
+				i, d, res.SimHeadroom[i], res.EngHeadroom[i], cfg.Tol.HeadroomAbs)
+			return res, nil
+		}
+	}
+	if simRes.TuplesOut > 0 {
+		gap := math.Abs(float64(engDelivered-simRes.TuplesOut)) / float64(simRes.TuplesOut)
+		if gap > cfg.Tol.DeliveredRel {
+			res.Violation = fmt.Errorf("check: lockstep: delivered counts diverged by %.1f%% (sim %d vs engine %d, tol %.0f%%)",
+				gap*100, simRes.TuplesOut, engDelivered, cfg.Tol.DeliveredRel*100)
+			return res, nil
+		}
+	}
+	if res.EngShed > cfg.Tol.ShedMax {
+		res.Violation = fmt.Errorf("check: lockstep: engine shed %d tuples on a feasible workload (tol %d)",
+			res.EngShed, cfg.Tol.ShedMax)
+		return res, nil
+	}
+	return res, nil
+}
+
+func runLockstepSim(sc *Scenario, moves []FaultOp) (*sim.Result, error) {
+	sources := map[query.StreamID]*trace.Trace{}
+	for i, in := range sc.Graph.Inputs() {
+		sources[in] = sc.Traces[i]
+	}
+	var sims []sim.ScheduledMove
+	for _, mv := range moves {
+		sims = append(sims, sim.ScheduledMove{
+			Time:  mv.At.Seconds(),
+			Op:    mv.Op,
+			To:    mv.To,
+			Stall: mv.Stall.Seconds(),
+		})
+	}
+	return sim.Run(sim.Config{
+		Graph:          sc.Graph,
+		NodeOf:         sc.Plan.NodeOf,
+		Capacities:     sc.Caps,
+		Sources:        sources,
+		Duration:       sc.Wall.Seconds(),
+		Seed:           sc.Seed,
+		ChargeTransfer: true,
+		MaxEvents:      20_000_000,
+		Moves:          sims,
+		Obs:            &sim.ObsConfig{},
+	})
+}
+
+func runLockstepEngine(sc *Scenario, moves []FaultOp) (*obs.SeriesSet, []*engine.NodeStats, int64, error) {
+	plan, err := placement.NewPlan(append([]int(nil), sc.Plan.NodeOf...), sc.Nodes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	lm, err := query.BuildLoadModel(sc.Graph)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cl, err := engine.StartClusterConfig(sc.Caps, sc.Config)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer cl.Close()
+	mon := cl.StartMonitor(engine.MonitorConfig{
+		Interval: 50 * time.Millisecond,
+		LM:       lm,
+		Plan:     plan,
+		Caps:     sc.Caps,
+	})
+	if err := cl.Deploy(sc.Graph, plan, sc.Caps); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := cl.Start(); err != nil {
+		return nil, nil, 0, err
+	}
+	addrs := cl.Addrs()
+	inputNodes := engine.InputNodes(sc.Graph, plan)
+	inputs := sc.Graph.Inputs()
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		var dests []string
+		for _, n := range inputNodes[in] {
+			dests = append(dests, addrs[n])
+		}
+		drv := &engine.SourceDriver{
+			Stream:  in,
+			Trace:   sc.Traces[i],
+			Addrs:   dests,
+			MaxRate: 5000,
+			Count:   mon.SourceCounter(in),
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			_, errs[slot] = drv.Run(sc.Wall, nil)
+		}(i)
+	}
+	start := time.Now()
+	for _, mv := range moves {
+		if d := mv.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		if err := cl.MoveOperator(sc.Graph, plan, query.OpID(mv.Op), mv.To, mv.Stall); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, 0, e
+		}
+	}
+	if err := cl.AwaitQuiescence(15*time.Second, 100*time.Millisecond); err != nil {
+		return nil, nil, 0, err
+	}
+	stats, _ := cl.Stats()
+	delivered, _, _, _, _ := cl.Collector.LatencyStats()
+	return mon.Series(), stats, delivered, nil
+}
+
+// sameSchema verifies both runtimes emitted the identical obs metric
+// schema — the contract that makes their series directly comparable.
+func sameSchema(a, b *obs.SeriesSet) error {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return fmt.Errorf("check: obs schema mismatch: sim %v vs engine %v", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return fmt.Errorf("check: obs schema mismatch: sim %v vs engine %v", an, bn)
+		}
+	}
+	return nil
+}
+
+// seriesMean is the time-average of one labeled series (0 when empty).
+func seriesMean(set *obs.SeriesSet, metric, node string) float64 {
+	_, vs := set.Series(metric, "node", node).Points()
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

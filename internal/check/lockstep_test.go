@@ -1,0 +1,19 @@
+package check
+
+import "testing"
+
+func TestLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live loopback cluster")
+	}
+	res, err := RunLockstep(LockstepConfig{Seed: 11, Nodes: 3})
+	if err != nil {
+		t.Fatalf("lockstep infrastructure error: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("sim and engine diverged: %v", res.Violation)
+	}
+	if res.SimDelivered == 0 || res.EngDelivered == 0 {
+		t.Fatalf("lockstep moved no tuples: sim=%d engine=%d", res.SimDelivered, res.EngDelivered)
+	}
+}

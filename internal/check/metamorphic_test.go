@@ -1,0 +1,15 @@
+package check
+
+import "testing"
+
+func TestMetamorphicInvariants(t *testing.T) {
+	cases, samples := 8, 4096
+	if testing.Short() {
+		cases, samples = 3, 1024
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		if err := RunMetamorphic(MetamorphicConfig{Seed: seed, Cases: cases, Samples: samples}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

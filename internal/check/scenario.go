@@ -1,0 +1,328 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rodsp/internal/engine"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+// Class partitions scenarios by how much of the ledger can be asserted.
+type Class int
+
+const (
+	// Strict scenarios keep every node alive, so the conservation ledger
+	// holds exactly (up to the sever-fault write slack).
+	Strict Class = iota
+	// KillNode scenarios kill a node mid-episode: its counters become
+	// unreachable and tuples flushed into its sockets are unaccounted, so
+	// only the survivors' outbox identities and liveness are asserted.
+	KillNode
+)
+
+func (c Class) String() string {
+	if c == KillNode {
+		return "kill"
+	}
+	return "strict"
+}
+
+// FaultKind enumerates scheduled chaos operations.
+type FaultKind int
+
+const (
+	FaultSever FaultKind = iota
+	FaultDrop
+	FaultDelay
+	FaultHeal
+	FaultMigrate
+	FaultKill
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSever:
+		return "sever"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultHeal:
+		return "heal"
+	case FaultMigrate:
+		return "migrate"
+	case FaultKill:
+		return "kill"
+	}
+	return "?"
+}
+
+// FaultOp is one timed chaos operation within an episode.
+type FaultOp struct {
+	At   time.Duration // offset from episode start
+	Kind FaultKind
+
+	Node int // acting node: link-fault source, kill target
+	Peer int // link-fault destination node
+
+	Op    int           // migrated operator (FaultMigrate)
+	To    int           // migration destination node
+	Stall time.Duration // state-transfer stall charged to both homes
+
+	Delay time.Duration // injected flush delay (FaultDelay)
+}
+
+// Scenario is one seeded conformance episode: a unit-multiplicity query
+// graph (selectivity-1 chains, one consumer per stream — the shape under
+// which tuple conservation is exact), a placement that forces cross-node
+// hops, wall-clock traces, data-plane knobs, and a chaos schedule.
+type Scenario struct {
+	Seed  int64
+	Class Class
+	Nodes int
+
+	Graph  *query.Graph
+	Plan   *placement.Plan // initial placement; episodes copy before mutating
+	Caps   []float64
+	Traces []*trace.Trace // per input stream, wall-clock tuples/second
+	Wall   time.Duration  // source drive time
+
+	Config        engine.NodeConfig
+	LegacySources bool // drive sources over per-tuple legacy wire frames
+
+	Schedule []FaultOp
+	Severs   int // sever faults in Schedule (ledger slack derives from this)
+}
+
+// severWriteSlack bounds how many tuples one sever fault can double-count:
+// a failed flush is counted dropped although the peer may have received the
+// run, and one run is at most the outbox batch bound (512) plus headroom
+// for a concurrently broken batched source write.
+const severWriteSlack = 1024
+
+// Slack is the allowed negative ledger residual for this scenario.
+func (s *Scenario) Slack() int64 { return int64(s.Severs) * severWriteSlack }
+
+// Generate builds the deterministic scenario for (seed, nodes, class).
+// Graphs are 2–4 selectivity-1 chains of 2–4 Delay operators placed
+// round-robin with a per-chain offset, so consecutive operators land on
+// different nodes and every chain exercises the wire.
+func Generate(seed int64, nodes int, class Class) (*Scenario, error) {
+	return generate(seed, nodes, class, true)
+}
+
+// generate is Generate with the shed exercise controllable: the lockstep
+// checker needs scenarios that stay feasible (the simulator's queues are
+// unbounded and lossless, so a shedding engine could never track it).
+func generate(seed int64, nodes int, class Class, allowShed bool) (*Scenario, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("check: need at least 2 nodes, got %d", nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scenario{Seed: seed, Class: class, Nodes: nodes}
+
+	chains := 2 + rng.Intn(3)
+	shedExercise := allowShed && class == Strict && rng.Float64() < 0.35
+
+	b := query.NewBuilder()
+	var nodeOf []int
+	for c := 0; c < chains; c++ {
+		length := 2 + rng.Intn(3)
+		in := b.Input(fmt.Sprintf("in%d", c))
+		cur := in
+		for o := 0; o < length; o++ {
+			cost := 0.00003 + rng.Float64()*0.00005
+			if shedExercise && c == 0 && o == 0 {
+				// A deliberately expensive head operator so a rate spike
+				// overruns the (shrunk) ingress queue and sheds.
+				cost = 0.0015 + rng.Float64()*0.001
+			}
+			cur = b.Delay(fmt.Sprintf("c%d_op%d", c, o), cost, 1, cur)
+			if rng.Float64() < 0.4 {
+				b.SetXferCost(cur, 0.00001+rng.Float64()*0.00002)
+			}
+			nodeOf = append(nodeOf, (c+o)%nodes)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("check: scenario graph: %w", err)
+	}
+	s.Graph = g
+	plan, err := placement.NewPlan(nodeOf, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("check: scenario plan: %w", err)
+	}
+	s.Plan = plan
+	s.Caps = make([]float64, nodes)
+	for i := range s.Caps {
+		s.Caps[i] = 1
+	}
+
+	// Wall-clock traces: 50 ms bins with ±50% jitter around a per-chain
+	// base rate; the shed exercise adds an 8× mid-episode spike on chain 0.
+	s.Wall = time.Duration(900+rng.Intn(400)) * time.Millisecond
+	wallSec := s.Wall.Seconds()
+	const dt = 0.05
+	bins := int(wallSec/dt) + 1
+	for c := 0; c < chains; c++ {
+		base := 150 + rng.Float64()*250
+		rates := make([]float64, bins)
+		for i := range rates {
+			rates[i] = base * (0.5 + rng.Float64())
+		}
+		if shedExercise && c == 0 {
+			lo, hi := bins/3, 2*bins/3
+			for i := lo; i < hi; i++ {
+				rates[i] = 1500 + rng.Float64()*1000
+			}
+		}
+		s.Traces = append(s.Traces, trace.New(fmt.Sprintf("chk%d", c), dt, rates))
+	}
+
+	// Data-plane knobs: mix batched and legacy wire, shrink the ingress
+	// queue for shed exercises, keep reconnect backoff small so healed
+	// links drain quickly at quiescence.
+	batch := []int{1, 64, 256}[rng.Intn(3)]
+	cfg := engine.NodeConfig{
+		BatchMax:    batch,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  150 * time.Millisecond,
+	}
+	if shedExercise {
+		cfg.IngressCap = 256
+		if rng.Float64() < 0.5 {
+			cfg.ShedPolicy = engine.DropOldest
+		}
+	}
+	s.Config = cfg
+	s.LegacySources = rng.Float64() < 0.3
+
+	s.genSchedule(rng)
+	return s, nil
+}
+
+// genSchedule builds the chaos schedule. Link faults always heal before the
+// sources stop so the cluster can drain; migrations obey the no-duplication
+// constraint (see pickMigration); kill scenarios end with one node kill.
+func (s *Scenario) genSchedule(rng *rand.Rand) {
+	wall := s.Wall
+	frac := func(lo, hi float64) time.Duration {
+		return time.Duration((lo + rng.Float64()*(hi-lo)) * float64(wall))
+	}
+
+	nLink := 1 + rng.Intn(3)
+	for i := 0; i < nLink; i++ {
+		src := rng.Intn(s.Nodes)
+		dst := rng.Intn(s.Nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		kind := []FaultKind{FaultSever, FaultDrop, FaultDelay}[rng.Intn(3)]
+		at := frac(0.2, 0.5)
+		op := FaultOp{At: at, Kind: kind, Node: src, Peer: dst}
+		if kind == FaultDelay {
+			op.Delay = time.Duration(2+rng.Intn(15)) * time.Millisecond
+		}
+		if kind == FaultSever {
+			s.Severs++
+		}
+		s.Schedule = append(s.Schedule, op)
+		heal := at + frac(0.1, 0.25)
+		if max := time.Duration(0.75 * float64(wall)); heal > max {
+			heal = max
+		}
+		s.Schedule = append(s.Schedule, FaultOp{At: heal, Kind: FaultHeal, Node: src, Peer: dst})
+	}
+
+	switch s.Class {
+	case Strict:
+		// Track which nodes have (ever had) a route for each stream; a
+		// migration destination must be fresh for the operator's input and
+		// output streams, or relays left behind by earlier moves would
+		// double-deliver (the at-least-once hazard the ledger cannot
+		// distinguish from loss).
+		routed := routedNodes(s.Graph, s.Plan.NodeOf)
+		nodeOf := append([]int(nil), s.Plan.NodeOf...)
+		nMig := 1 + rng.Intn(2)
+		for i := 0; i < nMig; i++ {
+			mv, ok := pickMigration(rng, s.Graph, nodeOf, routed, s.Nodes)
+			if !ok {
+				break
+			}
+			mv.At = frac(0.3, 0.6)
+			mv.Stall = time.Duration(rng.Intn(20)) * time.Millisecond
+			s.Schedule = append(s.Schedule, mv)
+		}
+	case KillNode:
+		s.Schedule = append(s.Schedule, FaultOp{At: frac(0.45, 0.6), Kind: FaultKill, Node: rng.Intn(s.Nodes)})
+	}
+
+	sortSchedule(s.Schedule)
+}
+
+// routedNodes maps each stream to the set of nodes holding any route for it
+// under the given placement: its producer's home (forwarding) and each
+// consumer's home (subscription).
+func routedNodes(g *query.Graph, nodeOf []int) map[query.StreamID]map[int]bool {
+	routed := map[query.StreamID]map[int]bool{}
+	mark := func(sid query.StreamID, node int) {
+		m := routed[sid]
+		if m == nil {
+			m = map[int]bool{}
+			routed[sid] = m
+		}
+		m[node] = true
+	}
+	for _, op := range g.Ops() {
+		home := nodeOf[op.ID]
+		for _, in := range op.Inputs {
+			mark(in, home)
+		}
+		mark(op.Out, home)
+	}
+	return routed
+}
+
+// pickMigration draws a random (operator, destination) pair whose
+// destination holds no route — past or present — for any of the operator's
+// streams, then updates nodeOf and the routed sets as if the move ran.
+func pickMigration(rng *rand.Rand, g *query.Graph, nodeOf []int, routed map[query.StreamID]map[int]bool, nodes int) (FaultOp, bool) {
+	for attempt := 0; attempt < 32; attempt++ {
+		op := g.Op(query.OpID(rng.Intn(g.NumOps())))
+		dst := rng.Intn(nodes)
+		if dst == nodeOf[op.ID] {
+			continue
+		}
+		ok := !routed[op.Out][dst]
+		for _, in := range op.Inputs {
+			if routed[in][dst] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		from := nodeOf[op.ID]
+		nodeOf[op.ID] = dst
+		for _, in := range op.Inputs {
+			routed[in][dst] = true
+		}
+		routed[op.Out][dst] = true
+		return FaultOp{Kind: FaultMigrate, Node: from, Op: int(op.ID), To: dst}, true
+	}
+	return FaultOp{}, false
+}
+
+// sortSchedule orders by time (stable for equal times, insertion order).
+func sortSchedule(ops []FaultOp) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].At < ops[j-1].At; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}

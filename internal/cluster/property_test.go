@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/core"
+	"rodsp/internal/feasible"
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+	"rodsp/internal/workload"
+)
+
+// Seeded random load models with transfer costs, for property checks over
+// many instances rather than one hand-built graph.
+func randomModel(t *testing.T, rng *rand.Rand) *query.LoadModel {
+	t.Helper()
+	g, err := workload.RandomTrees(workload.TreeConfig{
+		Streams:      1 + rng.Intn(3),
+		OpsPerStream: 3 + rng.Intn(5),
+		Seed:         rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RandomTrees leaves XferCost to the caller; rebuild the graph giving
+	// most arcs a random shipping cost so clustering has something to merge.
+	g2, err := rebuildWithXfer(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := query.BuildLoadModel(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+// rebuildWithXfer clones g as a fresh builder graph, attaching a random
+// transfer cost to ~70% of operator output streams.
+func rebuildWithXfer(g *query.Graph, rng *rand.Rand) (*query.Graph, error) {
+	b := query.NewBuilder()
+	streams := map[query.StreamID]query.StreamID{}
+	for _, in := range g.Inputs() {
+		streams[in] = b.Input("")
+	}
+	for _, op := range g.Ops() {
+		ins := make([]query.StreamID, len(op.Inputs))
+		for i, s := range op.Inputs {
+			ins[i] = streams[s]
+		}
+		cost := 0.0005 + rng.Float64()*0.002
+		var out query.StreamID
+		if len(ins) == 1 {
+			out = b.Delay("", cost, 1, ins[0])
+		} else {
+			out = b.Union("", cost, ins...)
+		}
+		if rng.Float64() < 0.7 {
+			b.SetXferCost(out, rng.Float64()*0.01)
+		}
+		streams[op.Out] = out
+	}
+	return b.Build()
+}
+
+// TestSweepWinnerProperties: for any model, (1) the winning threshold is 0
+// or one of the swept values, (2) the winner's plane distance is at least
+// the unclustered baseline's — the sweep may never return something worse
+// than not clustering, and (3) the expanded plan covers every operator.
+func TestSweepWinnerProperties(t *testing.T) {
+	thresholds := []float64{0.5, 1, 2, 5}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lm := randomModel(t, rng)
+		nodes := 2 + rng.Intn(3)
+		c := make(mat.Vec, nodes)
+		for i := range c {
+			c[i] = 0.5 + rng.Float64()*1.5
+		}
+		res, err := Sweep(lm, c, core.Config{Selector: core.SelectMaxPlaneDistance}, thresholds)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		inSwept := res.Threshold == 0
+		for _, th := range thresholds {
+			if res.Threshold == th {
+				inSwept = true
+			}
+		}
+		if !inSwept {
+			t.Fatalf("seed %d: winner threshold %g not in swept set", seed, res.Threshold)
+		}
+		if res.Plan.NumOps() != lm.G.NumOps() {
+			t.Fatalf("seed %d: expanded plan covers %d of %d operators", seed, res.Plan.NumOps(), lm.G.NumOps())
+		}
+
+		// Baseline: unclustered placement evaluated the same way Sweep
+		// scores its candidates.
+		base, err := Sweep(lm, c, core.Config{Selector: core.SelectMaxPlaneDistance}, nil)
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		if base.Threshold != 0 {
+			t.Fatalf("seed %d: empty sweep must return the unclustered baseline", seed)
+		}
+		if res.PlaneDist < base.PlaneDist-1e-12 {
+			t.Fatalf("seed %d: sweep winner (%g) worse than unclustered baseline (%g)",
+				seed, res.PlaneDist, base.PlaneDist)
+		}
+	}
+}
+
+// TestClusteringNeverIncreasesTotalLoad: merging operators can only remove
+// cross-cluster transfer charges — never add any — so for every threshold
+// the cluster-level coefficient column sums stay at or below the
+// unclustered (all arcs cut) baseline. Note the bound is against threshold
+// 0, not the previous threshold: the greedy merge order under the
+// MaxWeight cap means a higher threshold does not always dominate a lower
+// one.
+func TestClusteringNeverIncreasesTotalLoad(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		lm := randomModel(t, rng)
+		for _, strat := range []Strategy{ByRatio, ByMinWeight} {
+			base, err := Build(lm, Config{Strategy: strat, Threshold: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseSums := base.Coef.ColSums()
+			for _, th := range []float64{0.5, 1, 2, 5, 1e9} {
+				cl, err := Build(lm, Config{Strategy: strat, Threshold: th})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sums := cl.Coef.ColSums()
+				for k := range sums {
+					if sums[k] > baseSums[k]+1e-12 {
+						t.Fatalf("seed %d %s th=%g: clustering increased var %d load: %g > %g",
+							seed, strat, th, k, sums[k], baseSums[k])
+					}
+				}
+
+				// And clustering is a partition: every operator in exactly
+				// one cluster, Members consistent with ClusterOf.
+				seen := make([]int, lm.G.NumOps())
+				for ci, ms := range cl.Members {
+					for _, op := range ms {
+						seen[op]++
+						if cl.ClusterOf[op] != ci {
+							t.Fatalf("seed %d: op %d in Members[%d] but ClusterOf says %d", seed, op, ci, cl.ClusterOf[op])
+						}
+					}
+				}
+				for op, k := range seen {
+					if k != 1 {
+						t.Fatalf("seed %d th=%g: op %d appears in %d clusters", seed, th, op, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepBaselineMatchesDirectPlacement: with no thresholds the sweep's
+// plane distance equals scoring the direct unclustered ROD placement in
+// the same normalization — the sweep adds selection, not a different
+// objective.
+func TestSweepBaselineMatchesDirectPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lm := randomModel(t, rng)
+	c := mat.VecOf(1, 1, 1)
+	res, err := Sweep(lm, c, core.Config{Selector: core.SelectMaxPlaneDistance}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NodeCoefWithTransfer(lm, res.Plan.NodeOf, len(c))
+	w, err := feasible.Weights(ln, c, lm.CoefSums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := feasible.MinPlaneDistance(w); got != res.PlaneDist {
+		t.Fatalf("reported plane distance %g != recomputed %g", res.PlaneDist, got)
+	}
+}

@@ -95,7 +95,11 @@ func TestChaosKillAndPartition(t *testing.T) {
 	if injected == 0 {
 		t.Fatal("source injected nothing")
 	}
-	time.Sleep(300 * time.Millisecond) // drain
+	// Drain: the killed node never flushes, so settle (stable counters on
+	// the survivors) is the strongest barrier available.
+	if err := cl.AwaitSettled(5*time.Second, 100*time.Millisecond); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
 
 	// The healed path delivered again after the partition.
 	endCount, _, _, _, _ := cl.Collector.LatencyStats()

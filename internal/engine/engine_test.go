@@ -209,7 +209,9 @@ func TestClusterEndToEnd(t *testing.T) {
 	if injected < 100 || injected > 140 {
 		t.Fatalf("injected = %d, want ~120", injected)
 	}
-	time.Sleep(150 * time.Millisecond) // drain
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	sts, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -316,7 +318,9 @@ func TestConnectClusterToExternalNodes(t *testing.T) {
 	if _, err := src.Run(500*time.Millisecond, nil); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	sts, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -372,7 +376,9 @@ func TestEngineJoinThroughput(t *testing.T) {
 	}
 	<-done
 	<-done
-	time.Sleep(150 * time.Millisecond)
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	sts, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -420,7 +426,9 @@ func TestStatisticsDrivenLoadModel(t *testing.T) {
 	if _, err := src.Run(1200*time.Millisecond, nil); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(150 * time.Millisecond)
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	sts, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -502,7 +510,9 @@ func TestHeterogeneousCapacity(t *testing.T) {
 	if _, err := src.Run(1100*time.Millisecond, nil); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(150 * time.Millisecond)
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	sts, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)

@@ -2,7 +2,11 @@ package engine
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 // FuzzReadTuple ensures the frame decoder never panics and round-trips
@@ -75,6 +79,78 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if cap(tr.slab) > MaxBatchWire {
 			t.Fatalf("decode slab grew to %d", cap(tr.slab))
+		}
+	})
+}
+
+// FuzzControlCommand drives raw bytes at a live node's control plane. The
+// contract under attack: no input — malformed JSON, absurd specs, truncated
+// frames, valid commands in hostile order — may panic the node or wedge it;
+// after the fuzz bytes are consumed a fresh control connection must still
+// answer a well-formed stats request. The one exception is an input that
+// legitimately decodes to a kill fault, which is *supposed* to stop the node.
+func FuzzControlCommand(f *testing.F) {
+	f.Add([]byte(`{"cmd":"stats"}`))
+	f.Add([]byte(`{"cmd":"deploy"}`))
+	f.Add([]byte(`{"cmd":"deploy","spec":{"nodeId":-7,"ops":[{"id":99}]}}`))
+	f.Add([]byte(`{"cmd":"addop","op":{"id":0,"kind":"delay","cost":-1}}`))
+	f.Add([]byte(`{"cmd":"removeop","opId":12345}`))
+	f.Add([]byte(`{"cmd":"stall","stallSec":-3}`))
+	f.Add([]byte(`{"cmd":"stall","stallSec":1e308}`))
+	f.Add([]byte(`{"cmd":"fault"}`))
+	f.Add([]byte(`{"cmd":"fault","fault":{"delayMs":-5}}`))
+	f.Add([]byte(`{"cmd":"fault","fault":{"addr":" bogus","sever":true}}`))
+	f.Add([]byte(`{"cmd":"nosuch"}{"cmd":"stats"}`))
+	f.Add([]byte(`{"cmd":`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Add([]byte(`{"cmd":"stats"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// An input containing a decodable kill fault is allowed (required,
+		// even) to stop the node; skip the liveness assertion for those.
+		expectDead := false
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var req controlRequest
+			if err := dec.Decode(&req); err != nil {
+				break
+			}
+			if req.Cmd == "fault" && req.Fault != nil && req.Fault.Kill {
+				expectDead = true
+			}
+		}
+
+		n, err := NewNode("127.0.0.1:0", 1)
+		if err != nil {
+			t.Skip("node listen unavailable")
+		}
+		defer n.Close()
+
+		conn, err := net.DialTimeout("tcp", n.Addr(), 2*time.Second)
+		if err != nil {
+			t.Skip("dial unavailable")
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		conn.Write([]byte{connControl})                   //nolint:errcheck
+		conn.Write(data)                                  //nolint:errcheck
+		// Half-close the write side so the server sees EOF once it has
+		// consumed the input, then drain its responses until it hangs up
+		// (the deadline bounds a server that neither answers nor closes).
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite() //nolint:errcheck
+		}
+		io.Copy(io.Discard, conn) //nolint:errcheck
+		conn.Close()
+
+		if expectDead {
+			return
+		}
+		ctl, err := DialControl(n.Addr())
+		if err != nil {
+			t.Fatalf("control plane wedged after %q: %v", data, err)
+		}
+		defer ctl.Close()
+		if _, err := ctl.Stats(); err != nil {
+			t.Fatalf("stats refused after %q: %v", data, err)
 		}
 	})
 }

@@ -66,7 +66,9 @@ func TestLiveMigration(t *testing.T) {
 	time.Sleep(1200 * time.Millisecond)
 	close(stop)
 	injected := <-srcDone
-	time.Sleep(200 * time.Millisecond)
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 
 	postStats, err := cl.Stats()
 	if err != nil {

@@ -133,6 +133,7 @@ type Node struct {
 
 	queue        []Tuple
 	qhead        int
+	inRun        int // tuples drained into the worker's current run
 	qcond        *sync.Cond
 	closing      bool
 	shedTotal    int64
@@ -465,16 +466,21 @@ type workerRun struct {
 	tuples []Tuple
 	outs   []Tuple
 	cons   []consEntry
+	fwds   []relayRun // queued-before-migration tuples to relay onward
 }
 
 // consEntry caches one stream's local consumer operators for the current
 // run. liveOp pointers stay valid after the lock is dropped: their mutable
 // state is touched only by the worker itself, and a concurrent addOp or
 // removeOp swaps map entries without mutating existing ones. The ops
-// backing array is reused across runs.
+// backing array is reused across runs. When a stream's subscriptions have
+// all been removed (its operator migrated away between admission and
+// processing), relay carries the stream's relay routes so the drained
+// tuples follow the operator to its new home instead of vanishing.
 type consEntry struct {
-	sid int32
-	ops []*liveOp
+	sid   int32
+	ops   []*liveOp
+	relay []Dest
 }
 
 // consumersOf returns the cached consumer set for sid, resolving it from
@@ -499,7 +505,25 @@ func (r *workerRun) consumersOf(n *Node, sid int32) []*liveOp {
 			e.ops = append(e.ops, op)
 		}
 	}
+	e.relay = e.relay[:0]
+	if len(e.ops) == 0 {
+		// The stream's consumer left after these tuples were admitted
+		// (operator migration). Snapshot the relay routes so the worker can
+		// forward the stranded tuples to the new home.
+		e.relay = append(e.relay, n.relays[int(sid)]...)
+	}
 	return e.ops
+}
+
+// relayOf returns the relay routes snapshotted for sid (non-empty only
+// when the stream has no local consumers).
+func (r *workerRun) relayOf(sid int32) []Dest {
+	for i := range r.cons {
+		if r.cons[i].sid == sid {
+			return r.cons[i].relay
+		}
+	}
+	return nil
 }
 
 // worker is the node's single virtual CPU: it dequeues tuples, charges
@@ -528,6 +552,11 @@ func (n *Node) worker() {
 			n.queue[n.qhead+i] = Tuple{}
 		}
 		n.qhead += k
+		// Tuples leave the queue before they finish processing; a costly
+		// run can hold them for hundreds of milliseconds. Track the count
+		// so stats (and the quiescence barrier) never report an empty
+		// pipeline while the worker still owns admitted tuples.
+		n.inRun = k
 		if n.qhead > 4096 && n.qhead*2 > len(n.queue) {
 			n.queue = append(n.queue[:0], n.queue[n.qhead:]...)
 			n.qhead = 0
@@ -562,7 +591,9 @@ func (n *Node) worker() {
 		// locally accumulated busy delta (concurrent transfer-cost charges
 		// land in n.busy and are picked up by the next run's base).
 		var busyDelta time.Duration
+		var stranded int64
 		run.outs = run.outs[:0]
+		run.fwds = run.fwds[:0]
 		for _, t := range run.tuples {
 			var cost float64
 			outsBefore := len(run.outs)
@@ -570,9 +601,36 @@ func (n *Node) worker() {
 				// Migration state-transfer pause: Value already carries the
 				// cost units making svc = Value/capacity = the stall seconds.
 				cost = t.Value
-			} else {
-				for _, op := range run.consumersOf(n, t.Stream) {
+			} else if cons := run.consumersOf(n, t.Stream); len(cons) > 0 {
+				for _, op := range cons {
 					cost += n.process(op, t, &run.outs)
+				}
+			} else {
+				// Admitted while a local consumer existed, drained after it
+				// migrated away: relay toward the new home, or — with no
+				// relay route left — count the loss instead of silently
+				// absorbing the tuple (the conservation ledger audits this).
+				relay := run.relayOf(t.Stream)
+				if len(relay) == 0 {
+					stranded++
+				}
+				for _, d := range relay {
+					i := 0
+					for ; i < len(run.fwds); i++ {
+						if run.fwds[i].addr == d.Addr {
+							break
+						}
+					}
+					if i == len(run.fwds) {
+						if i < cap(run.fwds) {
+							run.fwds = run.fwds[:i+1]
+							run.fwds[i].addr = d.Addr
+							run.fwds[i].ts = run.fwds[i].ts[:0]
+						} else {
+							run.fwds = append(run.fwds, relayRun{addr: d.Addr})
+						}
+					}
+					run.fwds[i].ts = append(run.fwds[i].ts, t)
 				}
 			}
 			if cost > 0 {
@@ -599,12 +657,22 @@ func (n *Node) worker() {
 					"cost", cost, "outs", len(run.outs)-outsBefore)
 			}
 		}
-		if busyDelta > 0 {
+		if busyDelta > 0 || stranded > 0 {
 			n.mu.Lock()
 			n.busy += busyDelta
+			n.droppedNoRoute += stranded
 			n.mu.Unlock()
 		}
+		for i := range run.fwds {
+			n.sendBatch(run.fwds[i].addr, run.fwds[i].ts)
+		}
 		n.routeBatch(run.outs)
+		// Only after the outputs are routed (and counted) does the run's
+		// in-flight claim lapse — one uncontended lock per run, not per
+		// tuple.
+		n.mu.Lock()
+		n.inRun = 0
+		n.mu.Unlock()
 	}
 }
 
@@ -876,6 +944,11 @@ type NodeStats struct {
 	Emitted     int64   `json:"emitted"`
 	ElapsedSec  float64 `json:"elapsedSec"`
 
+	// WorkerInFlight counts tuples the worker has dequeued but not yet
+	// finished processing and routing: admitted work that QueueLen no
+	// longer covers (a costly batch can hold it for hundreds of ms).
+	WorkerInFlight int64 `json:"workerInFlight,omitempty"`
+
 	// Load-shedding accounting: tuples refused (or evicted from) the
 	// bounded ingress queue, total and per stream.
 	Shed         int64         `json:"shed,omitempty"`
@@ -1142,6 +1215,7 @@ func (n *Node) Stats() *NodeStats {
 	n.mu.Lock()
 	s := &NodeStats{
 		QueueLen:       len(n.queue) - n.qhead,
+		WorkerInFlight: int64(n.inRun),
 		Injected:       n.injected,
 		Emitted:        n.emitted,
 		Shed:           n.shedTotal,

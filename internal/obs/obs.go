@@ -83,6 +83,11 @@ const (
 	// EventNoRoute warns (once per stream) that inbound tuples are being
 	// discarded for lack of any local subscription or relay route.
 	EventNoRoute = "no_route"
+	// EventInvariantViolation is emitted by the conformance harness
+	// (internal/check) when a cluster-wide invariant — the tuple
+	// conservation ledger, an outbox identity, or a paper-derived
+	// metamorphic property — fails on a checked scenario.
+	EventInvariantViolation = "invariant_violation"
 )
 
 // Event levels.

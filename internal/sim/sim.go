@@ -61,6 +61,14 @@ type Config struct {
 	// placement, the paper's setting for ROD).
 	Rebalance *RebalanceConfig
 
+	// Moves schedules explicit operator migrations at fixed virtual times,
+	// independent of any rebalancing policy — the hook the conformance
+	// harness (internal/check) uses to drive the simulator through the
+	// exact fault schedule applied to the live engine. Each move relocates
+	// one operator and, when Stall > 0, freezes both nodes for the
+	// state-transfer time, mirroring engine Cluster.MoveOperator.
+	Moves []ScheduledMove
+
 	// Obs enables in-run observability: virtual-time sampling of the same
 	// metric schema the engine monitor emits, plus overload and migration
 	// events (nil = disabled).
@@ -126,11 +134,22 @@ const (
 	evSource
 	evRebalance
 	evSample
+	evMove
 )
 
 // overheadOp marks a work item that burns CPU (network send/receive cost)
 // without producing output.
 const overheadOp query.OpID = -1
+
+// ScheduledMove is one scripted operator migration (Config.Moves): at
+// virtual time Time, operator Op relocates to node To, charging Stall
+// seconds of state-transfer freeze to both the old and the new home.
+type ScheduledMove struct {
+	Time  float64
+	Op    int
+	To    int
+	Stall float64
+}
 
 type workItem struct {
 	op    query.OpID
@@ -254,6 +273,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	for i, mv := range cfg.Moves {
+		if mv.Op < 0 || mv.Op >= g.NumOps() {
+			return nil, fmt.Errorf("sim: scheduled move %d targets unknown operator %d", i, mv.Op)
+		}
+		if mv.To < 0 || mv.To >= n {
+			return nil, fmt.Errorf("sim: scheduled move %d targets node %d outside [0,%d)", i, mv.To, n)
+		}
+		if mv.Time < 0 || mv.Stall < 0 {
+			return nil, fmt.Errorf("sim: scheduled move %d has negative time or stall", i)
+		}
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nodes := make([]nodeState, n)
@@ -365,6 +395,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Rebalance != nil {
 		sched(event{time: cfg.Rebalance.Period, kind: evRebalance})
+	}
+	for i := range cfg.Moves {
+		sched(event{time: cfg.Moves[i].Time, kind: evMove, src: i})
 	}
 	if obsv != nil {
 		sched(event{time: obsv.cfg.Interval, kind: evSample})
@@ -517,6 +550,28 @@ func Run(cfg Config) (*Result, error) {
 			rebalance(e.time)
 			if next := e.time + cfg.Rebalance.Period; next <= cfg.Duration {
 				sched(event{time: next, kind: evRebalance})
+			}
+		case evMove:
+			mv := cfg.Moves[e.src]
+			from := nodeOf[mv.Op]
+			if from == mv.To {
+				break
+			}
+			nodeOf[mv.Op] = mv.To
+			result.Rebalance.Moves++
+			if obsv != nil {
+				obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateInstall, "op", mv.Op, "from", from, "to", mv.To)
+				obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateRemove, "op", mv.Op, "from", from, "to", mv.To)
+			}
+			if mv.Stall > 0 {
+				for _, node := range []int{from, mv.To} {
+					sched(event{time: e.time, kind: evArrival, node: node,
+						item: workItem{op: overheadOp, ts: e.time, extra: mv.Stall * cfg.Capacities[node]}})
+				}
+				result.Rebalance.StallSeconds += 2 * mv.Stall
+				if obsv != nil {
+					obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateStall, "op", mv.Op, "sec", mv.Stall)
+				}
 			}
 		case evSample:
 			obsv.sample(e.time, nodes, nodeOf)

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+// Seeded determinism regression tests: the same seed must reproduce the
+// same workload byte for byte, independent of run order and parallelism.
+// Every conformance scenario, lockstep comparison and failing-seed
+// artifact relies on this — a generator that drifts across runs makes
+// "re-run the failing seed" meaningless.
+
+func graphFingerprint(g *query.Graph) string {
+	s := fmt.Sprintf("inputs=%v;", g.Inputs())
+	for _, op := range g.Ops() {
+		s += fmt.Sprintf("op%d(%s,%g,%g,in=%v,out=%d);",
+			op.ID, op.Kind, op.Cost, op.Selectivity, op.Inputs, op.Out)
+	}
+	return s
+}
+
+func traceBytes(ts []*trace.Trace) string {
+	s := ""
+	for _, tr := range ts {
+		s += fmt.Sprintf("%s dt=%g rates=%v;", tr.Name, tr.Dt, tr.Rates)
+	}
+	return s
+}
+
+// Stronger than TestRandomTreesDeterministic (which compares load-model
+// coefficients): the full structural fingerprint must match.
+func TestRandomTreesByteIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := TreeConfig{Streams: 3, OpsPerStream: 5, Seed: seed}
+		a, err := RandomTrees(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomTrees(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graphFingerprint(a) != graphFingerprint(b) {
+			t.Fatalf("seed %d: two RandomTrees runs differ:\n%s\n%s",
+				seed, graphFingerprint(a), graphFingerprint(b))
+		}
+	}
+}
+
+func TestScaledTracesDeterministic(t *testing.T) {
+	g, err := RandomTrees(TreeConfig{Streams: 2, OpsPerStream: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := query.BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		traces, rates, err := ScaledTraces(lm, 4, 0.6, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traceBytes(traces) + fmt.Sprintf("rates=%v", rates)
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("ScaledTraces drifted on repeat %d", i)
+		}
+	}
+}
+
+func TestPresetTracesDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	render := func() string {
+		return traceBytes(trace.Presets(7))
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	single := render()
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	parallel := render()
+	if single != parallel {
+		t.Fatal("preset traces depend on GOMAXPROCS")
+	}
+}
+
+func TestRandomRatesDeterministic(t *testing.T) {
+	a := RandomRates(6, 100, rand.New(rand.NewSource(5)))
+	b := RandomRates(6, 100, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RandomRates diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
