@@ -7,6 +7,7 @@
 //
 //	rodcheck -seed 1 -episodes 20 [-nodes 4] [-lockstep] [-v]
 //	rodcheck -seed 1 -soak 30m [-fail-out failing.json]
+//	rodcheck -seed 1 -episodes 20 -slo p99=750ms,zero-shed -report report.json
 //
 // Each episode derives its own seed (base seed + index) and class: every
 // third episode kills a node, the rest stay strict (full ledger). With
@@ -15,6 +16,12 @@
 // the first failure rodcheck writes the failing seed and diagnosis to
 // -fail-out (if set) so CI can archive a one-command reproduction, then
 // exits 1.
+//
+// With -slo each strict episode's sink p99 and ledger shed/drop counts are
+// graded against the spec; the run's grade is the worst episode's. KillNode
+// episodes are exempt (losing a node legitimately sheds and drops — the
+// ledger still holds them to conservation) and only counted. -report writes
+// the aggregate obs.RunReport; an invariant failure always grades fail.
 package main
 
 import (
@@ -46,9 +53,32 @@ func main() {
 		soak     = flag.Duration("soak", 0, "run episodes until this duration elapses (overrides -episodes)")
 		lockstep = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
 		failOut  = flag.String("fail-out", "", "write the first failure as JSON to this file")
+		sloFlag  = flag.String("slo", "", "SLO spec graded per strict episode, e.g. p99=750ms,zero-shed")
+		report   = flag.String("report", "", "write the aggregate obs.RunReport JSON here")
 		verbose  = flag.Bool("v", false, "per-episode ledger summaries")
 	)
 	flag.Parse()
+
+	slo := obs.SLOSpec{MaxDrops: -1}
+	if *sloFlag != "" {
+		var err error
+		if slo, err = obs.ParseSLOSpec(*sloFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "rodcheck:", err)
+			os.Exit(2)
+		}
+	}
+	// rep aggregates across episodes: worst strict-episode quantiles, summed
+	// strict shed/drop counts, worst grade. fatal() stamps it fail.
+	rep := obs.RunReport{Harness: "rodcheck", Grade: obs.GradePass, SLO: slo,
+		Scenario: fmt.Sprintf("seed=%d nodes=%d", *seed, *nodes)}
+	writeReport := func() {
+		if *report == "" {
+			return
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "rodcheck: writing %s: %v\n", *report, err)
+		}
+	}
 
 	fatal := func(f failure) {
 		f.Nodes = *nodes
@@ -64,6 +94,10 @@ func main() {
 				}
 			}
 		}
+		rep.Grade = obs.GradeFail
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("%s failure at seed %d: %s", f.Kind, f.Seed, f.Error))
+		rep.Episodes = f.Episodes
+		writeReport()
 		os.Exit(1)
 	}
 
@@ -122,6 +156,23 @@ func main() {
 			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: res.Violation.Error(), Episodes: ran})
 		}
 		ran++
+		// Grade strict episodes only: KillNode episodes shed and drop by
+		// design (the ledger still audits them), so they'd poison the SLO.
+		if class == check.Strict {
+			g, reasons := slo.Grade(res.P99Ms, res.Ledger.Shed, res.Ledger.OutboxDropped+res.Ledger.NoRoute)
+			if res.P99Ms > rep.P99Ms {
+				rep.P50Ms, rep.P99Ms = res.P50Ms, res.P99Ms
+			}
+			rep.SinkTuples += res.Delivered
+			rep.Shed += res.Ledger.Shed
+			rep.Drops += res.Ledger.OutboxDropped + res.Ledger.NoRoute
+			if gradeRank(g) > gradeRank(rep.Grade) {
+				rep.Grade = g
+			}
+			for _, r := range reasons {
+				rep.Reasons = append(rep.Reasons, fmt.Sprintf("episode %d (seed %d): %s", i, epSeed, r))
+			}
+		}
 		if *verbose {
 			fmt.Printf("rodcheck: episode %d ok (seed %d, %s, %d faults, %d migrations, residual %d)\n%s\n",
 				i, epSeed, class, len(sc.Schedule), res.Migrations, res.Ledger.Residual(), res.Ledger)
@@ -130,5 +181,26 @@ func main() {
 				i, epSeed, class, res.Sources, res.Delivered, res.Ledger.Shed, res.Ledger.Residual())
 		}
 	}
+	rep.Episodes = ran
+	writeReport()
+	if *sloFlag != "" {
+		fmt.Printf("rodcheck: grade %s against %s (worst p99 %.2f ms, shed %d, drops %d)\n",
+			rep.Grade, slo, rep.P99Ms, rep.Shed, rep.Drops)
+		if rep.Grade == obs.GradeFail {
+			fmt.Fprintf(os.Stderr, "rodcheck: FAIL (slo): %s\n", rep.Reasons)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("rodcheck: PASS (%d episodes)\n", ran)
+}
+
+// gradeRank orders run grades for worst-of aggregation.
+func gradeRank(g string) int {
+	switch g {
+	case obs.GradeDegraded:
+		return 1
+	case obs.GradeFail:
+		return 2
+	}
+	return 0
 }

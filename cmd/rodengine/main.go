@@ -61,6 +61,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /series and /events over HTTP on this address (empty = disabled)")
 		eventsPath  = flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 		hold        = flag.Float64("hold", 0, "keep serving -metrics-addr this many seconds after the drive ends")
+		traceEvery  = flag.Int64("trace-sample", 8192, "trace 1 in N tuples per stream through the data plane (0 disables)")
 
 		queue      = flag.Int("queue", engine.DefaultIngressCap, "per-node ingress queue bound (tuples); arrivals beyond it are shed")
 		shedPolicy = flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
@@ -158,10 +159,11 @@ func main() {
 		}
 	}
 	mon := cl.StartMonitor(engine.MonitorConfig{
-		LM:     lm,
-		Plan:   plan,
-		Caps:   caps,
-		Events: ev,
+		LM:         lm,
+		Plan:       plan,
+		Caps:       caps,
+		Events:     ev,
+		TraceEvery: *traceEvery,
 	})
 	if *metricsAddr != "" {
 		bound, closeHTTP, err := obs.ServeHTTP(*metricsAddr, mon.Registry(), mon.Series(), mon.Events())
@@ -188,12 +190,13 @@ func main() {
 			dests = append(dests, addrs[n])
 		}
 		src := &engine.SourceDriver{
-			Stream:  in,
-			Trace:   traces[i],
-			Addrs:   dests,
-			Speedup: *speedup,
-			MaxRate: 5000,
-			Count:   mon.SourceCounter(in),
+			Stream:     in,
+			Trace:      traces[i],
+			Addrs:      dests,
+			Speedup:    *speedup,
+			MaxRate:    5000,
+			Count:      mon.SourceCounter(in),
+			TraceEvery: *traceEvery,
 		}
 		go func() {
 			_, err := src.Run(time.Duration(*seconds*float64(time.Second)), nil)

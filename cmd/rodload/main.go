@@ -8,6 +8,7 @@
 //
 //	rodload [-quick] [-nodes N] [-batch N] [-out FILE]
 //	        [-baseline FILE] [-threshold F] [-mode all|legacy|batched]
+//	        [-trace-sample N] [-slo SPEC] [-report FILE] [-trace-out FILE]
 //
 // Per mode it runs three phases against a fresh cluster:
 //
@@ -26,17 +27,32 @@
 // -baseline, rodload exits non-zero when the batched sustained throughput
 // falls below threshold × the baseline's batched sustained throughput — the
 // CI regression gate.
+//
+// Tracing is armed for every phase at 1-in-trace-sample per-stream sampling
+// (default 8192; 0 disables), so the committed throughput numbers measure
+// the hot path with trace capture compiled in and live. The per-stage
+// latency decomposition (transit/queue/service/outbox/deliver) is reset
+// before the latency probe so it describes the same steady state as the
+// p50/p99 quantiles; -trace-out streams the sampled span events as JSON
+// lines for rodtrace. With -slo the latency-probe results of the batched
+// mode (or the only mode run) are graded pass/degraded/fail — shed and drop
+// counts are deltas over the probe window only, since the closed-loop blast
+// phase sheds by design — and -report writes the machine-readable
+// obs.RunReport that CI archives and gates on (exit 1 on grade "fail").
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"rodsp/internal/engine"
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/trace"
@@ -58,6 +74,17 @@ type ModeResult struct {
 	P99Ms      float64 `json:"p99_ms"`
 
 	SinkTuples int64 `json:"sink_tuples"` // total sink deliveries this mode
+
+	// Latency-probe resilience deltas: tuples shed at ingress queues and
+	// dropped in flight (outbox overflow/faults + no-route) during phase 3
+	// only — the closed-loop blast phase sheds by design, so the SLO's
+	// zero-shed/max-drops gates judge the steady-state probe window.
+	Shed    int64 `json:"shed"`
+	Dropped int64 `json:"dropped"`
+
+	// Stages is the phase-3 per-stage latency decomposition from sampled
+	// trace capture (empty when -trace-sample 0).
+	Stages []obs.StageReport `json:"stages,omitempty"`
 }
 
 // Result is the whole benchmark record (BENCH_engine.json).
@@ -74,11 +101,13 @@ type Result struct {
 }
 
 type config struct {
-	nodes     int
-	batch     int
-	warmup    time.Duration
-	measure   time.Duration
-	blastRate float64
+	nodes      int
+	batch      int
+	warmup     time.Duration
+	measure    time.Duration
+	blastRate  float64
+	traceEvery int64     // 1-in-N per-stream span sampling (0 = tracing off)
+	traceW     io.Writer // JSONL span sink for -trace-out (nil = ring only)
 }
 
 func main() {
@@ -92,21 +121,44 @@ func main() {
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "per-phase warmup window")
 	measure := flag.Duration("measure", 2*time.Second, "per-phase measurement window")
 	blast := flag.Float64("blast-rate", 3e6, "closed-loop injection target (tuples/sec; far above capacity)")
+	traceSample := flag.Int64("trace-sample", 8192, "trace 1 in N tuples per stream (0 disables tracing)")
+	sloFlag := flag.String("slo", "", "SLO spec to grade the run against, e.g. p99=250ms,zero-shed,max-drops=100")
+	report := flag.String("report", "", "write the graded obs.RunReport JSON here")
+	traceOut := flag.String("trace-out", "", "append sampled span events as JSON lines here (for rodtrace -spans)")
 	flag.Parse()
 
 	if *nodes < 2 {
 		fail(fmt.Errorf("need -nodes >= 2, got %d", *nodes))
 	}
+	if *traceSample < 0 {
+		fail(fmt.Errorf("need -trace-sample >= 0, got %d", *traceSample))
+	}
+	slo := obs.SLOSpec{MaxDrops: -1}
+	if *sloFlag != "" {
+		var err error
+		if slo, err = obs.ParseSLOSpec(*sloFlag); err != nil {
+			fail(err)
+		}
+	}
 	cfg := config{
-		nodes:     *nodes,
-		batch:     *batch,
-		warmup:    *warmup,
-		measure:   *measure,
-		blastRate: *blast,
+		nodes:      *nodes,
+		batch:      *batch,
+		warmup:     *warmup,
+		measure:    *measure,
+		blastRate:  *blast,
+		traceEvery: *traceSample,
 	}
 	if *quick {
 		cfg.warmup = 200 * time.Millisecond
 		cfg.measure = 600 * time.Millisecond
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cfg.traceW = f
 	}
 
 	// Read the baseline up front: -out may overwrite the same file.
@@ -160,6 +212,42 @@ func main() {
 		os.Stdout.Write(enc)
 	}
 
+	// Grade the batched mode's latency probe (or the only mode run) against
+	// the SLO and write the machine-readable run report CI archives.
+	graded := find(res.Modes, "batched")
+	if graded == nil && len(res.Modes) > 0 {
+		graded = &res.Modes[len(res.Modes)-1]
+	}
+	grade := obs.GradePass
+	if graded != nil && (*report != "" || *sloFlag != "") {
+		var reasons []string
+		grade, reasons = slo.Grade(graded.P99Ms, graded.Shed, graded.Dropped)
+		rep := obs.RunReport{
+			Harness: "rodload",
+			Grade:   grade,
+			Reasons: reasons,
+			SLO:     slo,
+			Scenario: fmt.Sprintf("mode=%s nodes=%d probe=%.0ftps quick=%v",
+				graded.Name, cfg.nodes, graded.LatencyTPS, *quick),
+			P50Ms:      graded.P50Ms,
+			P99Ms:      graded.P99Ms,
+			SinkTuples: graded.SinkTuples,
+			Shed:       graded.Shed,
+			Drops:      graded.Dropped,
+			Stages:     graded.Stages,
+		}
+		if *report != "" {
+			if err := rep.WriteFile(*report); err != nil {
+				fail(err)
+			}
+		}
+		msg := "rodload: grade " + grade
+		if len(reasons) > 0 {
+			msg += " (" + strings.Join(reasons, "; ") + ")"
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	}
+
 	if base != nil {
 		cur := find(res.Modes, "batched")
 		ref := find(base.Modes, "batched")
@@ -172,6 +260,10 @@ func main() {
 				cur.SustainedTPS, floor, *threshold*100, ref.SustainedTPS))
 		}
 		fmt.Fprintf(os.Stderr, "rodload: regression gate ok (%.0f tps >= %.0f tps floor)\n", cur.SustainedTPS, floor)
+	}
+
+	if *sloFlag != "" && grade == obs.GradeFail {
+		fail(fmt.Errorf("run graded %s against SLO %s", grade, slo))
 	}
 }
 
@@ -241,6 +333,20 @@ func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
 	input := g.Inputs()[0]
 	legacyWire := m.BatchMax <= 1
 
+	// Arm trace capture for every phase: the committed throughput numbers
+	// must include the sampled hot-path cost. The span ring doubles as the
+	// -trace-out JSONL source.
+	var ev *obs.EventLog
+	var stages *obs.StageSet
+	if cfg.traceEvery > 0 {
+		ev = obs.NewEventLog(8192)
+		if cfg.traceW != nil {
+			ev.SetWriter(cfg.traceW)
+		}
+		stages = obs.NewStageSet(obs.NewRegistry())
+		attachObserver(cl, ev, stages, cfg.traceEvery)
+	}
+
 	// Phase 1 — closed loop: blast far above capacity; the sink rate over
 	// the measurement window is the sustained throughput.
 	sustained, err := measureRate(cl, input, cfg.blastRate, legacyWire, cfg)
@@ -273,12 +379,20 @@ func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
 	m.KneeTPS = knee
 
 	// Phase 3 — latency probe: reset the reservoir after warmup so the
-	// quantiles describe steady state, not connection ramp-up.
+	// quantiles describe steady state, not connection ramp-up. The stage
+	// decomposition is rebuilt fresh so it describes this phase alone, and
+	// shed/drop counters are deltas over the same window (the blast phase
+	// sheds by design; the SLO judges the steady-state probe).
 	m.LatencyTPS = latRate
 	if m.LatencyTPS <= 0 {
 		m.LatencyTPS = knee / 2
 	}
-	if err := runDriver(cl, input, m.LatencyTPS, legacyWire, cfg.warmup+cfg.measure, func() {
+	if cfg.traceEvery > 0 {
+		stages = obs.NewStageSet(obs.NewRegistry())
+		attachObserver(cl, ev, stages, cfg.traceEvery)
+	}
+	shed0, drop0 := clusterShedDrops(cl)
+	if err := runDriver(cl, input, m.LatencyTPS, legacyWire, cfg, cfg.warmup+cfg.measure, func() {
 		time.Sleep(cfg.warmup)
 		cl.Collector.Reset()
 	}); err != nil {
@@ -290,14 +404,42 @@ func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
 	}
 	count, _, _, _, _ := cl.Collector.LatencyStats()
 	m.SinkTuples = count
+	shed1, drop1 := clusterShedDrops(cl)
+	m.Shed, m.Dropped = shed1-shed0, drop1-drop0
+	m.Stages = obs.StageReportFrom(stages)
 	return m, nil
+}
+
+// attachObserver wires span/stage capture into every node and the collector.
+func attachObserver(cl *engine.Cluster, ev *obs.EventLog, stages *obs.StageSet, every int64) {
+	for _, nd := range cl.Nodes {
+		nd.SetObserver(ev, stages, every)
+	}
+	cl.Collector.SetObserver(nil, nil, stages, ev, every)
+}
+
+// clusterShedDrops sums ingress sheds and in-flight drops (outbox +
+// no-route) across the cluster; errors read as zero (delta stays sane).
+func clusterShedDrops(cl *engine.Cluster) (shed, drops int64) {
+	stats, err := cl.Stats()
+	if err != nil {
+		return 0, 0
+	}
+	for _, s := range stats {
+		if s == nil {
+			continue
+		}
+		shed += s.Shed
+		drops += s.OutboxDropped + s.DroppedNoRoute
+	}
+	return shed, drops
 }
 
 // measureRate drives the input at the target rate and returns the sink
 // throughput over the post-warmup measurement window.
 func measureRate(cl *engine.Cluster, input query.StreamID, target float64, legacyWire bool, cfg config) (float64, error) {
 	var c0, c1 int64
-	err := runDriver(cl, input, target, legacyWire, cfg.warmup+cfg.measure, func() {
+	err := runDriver(cl, input, target, legacyWire, cfg, cfg.warmup+cfg.measure, func() {
 		time.Sleep(cfg.warmup)
 		c0, _, _, _, _ = cl.Collector.LatencyStats()
 		time.Sleep(cfg.measure)
@@ -311,12 +453,16 @@ func measureRate(cl *engine.Cluster, input query.StreamID, target float64, legac
 
 // runDriver runs one SourceDriver pass at a constant rate for the given
 // duration while sample() observes the cluster from the main goroutine.
-func runDriver(cl *engine.Cluster, input query.StreamID, rate float64, legacyWire bool, d time.Duration, sample func()) error {
+// Trace sampling is marked at the source so spans carry origin timestamps
+// (legacy wire strips the context; the first ingress re-picks the same
+// tuples by the shared per-stream stride).
+func runDriver(cl *engine.Cluster, input query.StreamID, rate float64, legacyWire bool, cfg config, d time.Duration, sample func()) error {
 	drv := &engine.SourceDriver{
-		Stream: input,
-		Trace:  trace.New("const", 1, []float64{rate}),
-		Addrs:  []string{cl.Addrs()[0]},
-		Legacy: legacyWire,
+		Stream:     input,
+		Trace:      trace.New("const", 1, []float64{rate}),
+		Addrs:      []string{cl.Addrs()[0]},
+		Legacy:     legacyWire,
+		TraceEvery: cfg.traceEvery,
 	}
 	errc := make(chan error, 1)
 	go func() {

@@ -66,7 +66,7 @@ func main() {
 			defer f.Close()
 			ev.SetWriter(f)
 		}
-		node.SetObserver(ev, 0)
+		node.SetObserver(ev, nil, 0)
 	}
 	fmt.Printf("rodnode listening on %s (capacity %g)\n", node.Addr(), *capacity)
 

@@ -7,14 +7,21 @@
 //	rodengine -seconds 30 -metrics-addr 127.0.0.1:9900 -hold 60 &
 //	rodtop -addr 127.0.0.1:9900
 //
+// When the monitor exports the sampled trace decomposition, each frame
+// leads with a per-stage latency table (p50/p99 and the sampled-crossing
+// rate per stage), and ends with a tail of the most recent structured
+// events polled from /events.
+//
 // Flags:
 //
 //	-addr     host:port of the coordinator's -metrics-addr (required)
 //	-interval refresh period (default 1s)
 //	-frames   number of frames to draw before exiting; 0 = until interrupt
 //	-last     how many trailing points each sparkline shows (default 60)
-//	-filter   only show series whose name{labels} contains this substring
-//	          (e.g. -filter shed, -filter node=1)
+//	-events   events shown in the tail (default 8; 0 hides it)
+//	-filter   only show series whose name{labels} — and events whose
+//	          rendered type/fields, span and trace events included —
+//	          contain this substring (e.g. -filter shed, -filter node=1)
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rodsp/internal/obs"
 )
 
 // sparkChars ramp from empty to full; index 0 renders missing/zero-range.
@@ -49,7 +58,8 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "refresh period")
 		frames   = flag.Int("frames", 0, "frames to render before exiting (0 = until interrupt)")
 		last     = flag.Int("last", 60, "trailing points per sparkline")
-		filter   = flag.String("filter", "", "only show series whose name{labels} contains this substring")
+		events   = flag.Int("events", 8, "events shown in the tail (0 hides it)")
+		filter   = flag.String("filter", "", "only show series and events containing this substring")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -57,6 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 	url := "http://" + *addr + "/series"
+	eventsURL := "http://" + *addr + "/events"
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	interrupt := make(chan os.Signal, 1)
@@ -75,17 +86,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rodtop:", err)
 			os.Exit(1)
 		}
+		tail := ""
+		if *events > 0 {
+			// The events tail is best-effort: a monitor without an event
+			// log serves 404 and the panel just stays absent.
+			tail, _ = fetchEvents(client, eventsURL, *events, *filter)
+		}
 		// Home the cursor and clear below rather than clearing the whole
 		// screen, so the redraw doesn't flicker.
 		fmt.Print("\x1b[H\x1b[J")
 		fmt.Printf("rodtop — %s — %s\n\n", *addr, time.Now().Format("15:04:05"))
 		fmt.Print(frame)
+		fmt.Print(tail)
 	}
 }
 
-// fetch pulls /series and renders one frame: a sparkline per series over the
-// trailing `last` points, with the latest value and observed min/max. A
-// non-empty filter keeps only series whose rendered id contains it.
+// fetch pulls /series and renders one frame: the per-stage latency
+// decomposition table (when the monitor exports it), then a sparkline per
+// remaining series over the trailing `last` points, with the latest value
+// and observed min/max. A non-empty filter keeps only table rows and series
+// whose rendered id contains it.
 func fetch(client *http.Client, url string, last int, filter string) (string, error) {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -100,6 +120,11 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 		return "", err
 	}
 	sort.Slice(sr.Series, func(i, j int) bool { return seriesID(sr.Series[i]) < seriesID(sr.Series[j]) })
+
+	// Pull the stage-decomposition series out into their own table; their
+	// sparklines would only repeat the same numbers 15 rows tall.
+	stageTable, rest := stagePanel(sr.Series, filter)
+	sr.Series = rest
 	if filter != "" {
 		kept := sr.Series[:0]
 		for _, s := range sr.Series {
@@ -111,6 +136,7 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	}
 
 	var b strings.Builder
+	b.WriteString(stageTable)
 	width := 0
 	for _, s := range sr.Series {
 		if w := len(seriesID(s)); w > width {
@@ -132,6 +158,156 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 		fmt.Fprintf(&b, "%-*s %s %s%s\n", width, seriesID(s), sparkline(vals, last), fmtVal(cur), rateCol(s))
 	}
 	return b.String(), nil
+}
+
+// stagePanel extracts the trace-decomposition series (stage latency
+// quantiles and crossing counters) and renders them as one aligned table:
+//
+//	stage      p50_ms    p99_ms  crossings    rate/s
+//	transit     0.105     0.488       1234      12.3
+//
+// It returns the rendered table ("" when the monitor exports no stage
+// series or the filter drops every row) and the remaining series. The
+// filter matches against "stage=<name>" plus the stage metric names, so
+// -filter queue or -filter stage narrows the table like any series.
+func stagePanel(series []seriesJSON, filter string) (string, []seriesJSON) {
+	type row struct {
+		p50, p99  float64
+		crossings float64
+		rate      string
+		seen      bool
+	}
+	rows := map[string]*row{}
+	var order []string
+	get := func(stage string) *row {
+		r := rows[stage]
+		if r == nil {
+			r = &row{p50: math.NaN(), p99: math.NaN(), crossings: math.NaN()}
+			rows[stage] = r
+			order = append(order, stage)
+		}
+		return r
+	}
+	rest := series[:0]
+	for _, s := range series {
+		stage := s.Labels["stage"]
+		if stage == "" || (s.Name != obs.MetricStageLatencyQuantile && s.Name != obs.MetricStageTuples) {
+			rest = append(rest, s)
+			continue
+		}
+		var cur float64 = math.NaN()
+		if len(s.Points) > 0 {
+			cur = s.Points[len(s.Points)-1][1]
+		}
+		r := get(stage)
+		r.seen = true
+		switch {
+		case s.Name == obs.MetricStageTuples:
+			r.crossings = cur
+			r.rate = strings.TrimPrefix(rateCol(s), "  ")
+		case s.Labels["quantile"] == "p50":
+			r.p50 = cur * 1000
+		case s.Labels["quantile"] == "p99":
+			r.p99 = cur * 1000
+		}
+	}
+	if len(order) == 0 {
+		return "", rest
+	}
+	// Keep the canonical pipeline order for known stages.
+	sort.SliceStable(order, func(i, j int) bool { return stageRank(order[i]) < stageRank(order[j]) })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %10s %9s\n", "stage", "p50_ms", "p99_ms", "crossings", "rate/s")
+	shown := 0
+	for _, stage := range order {
+		if filter != "" &&
+			!strings.Contains("stage="+stage, filter) &&
+			!strings.Contains(obs.MetricStageLatencyQuantile, filter) &&
+			!strings.Contains(obs.MetricStageTuples, filter) {
+			continue
+		}
+		r := rows[stage]
+		rate := r.rate
+		if rate == "" {
+			rate = "-"
+		}
+		fmt.Fprintf(&b, "%-8s %9s %9s %10s %9s\n",
+			stage, fmtMs(r.p50), fmtMs(r.p99), fmtVal(r.crossings), rate)
+		shown++
+	}
+	if shown == 0 {
+		return "", rest
+	}
+	b.WriteString("\n")
+	return b.String(), rest
+}
+
+// stageRank orders table rows along the data path; unknown stages sort last
+// alphabetically after the known five.
+func stageRank(stage string) int {
+	for i := 0; i < obs.NumStages; i++ {
+		if obs.StageName(i) == stage {
+			return i
+		}
+	}
+	return obs.NumStages
+}
+
+func fmtMs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// fetchEvents pulls /events and renders the last `n` events whose rendered
+// line (type, level and fields — span and trace events included) contains
+// the filter.
+func fetchEvents(client *http.Client, url string, n int, filter string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var events []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, e := range events {
+		line := fmt.Sprintf("%9.3fs %-5s %-16s %s", e.T, e.Level, e.Type, fieldsStr(e.Fields))
+		if filter != "" && !strings.Contains(line, filter) {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return "", nil
+	}
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return "\nevents:\n  " + strings.Join(lines, "\n  ") + "\n", nil
+}
+
+// fieldsStr renders event fields as sorted k=v pairs.
+func fieldsStr(fields map[string]any) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, fields[k]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // rateCol renders a live tuples/sec column for cumulative counter series

@@ -1,10 +1,20 @@
 // Command rodtrace generates and inspects the synthetic input-rate traces
-// used throughout the experiments.
+// used throughout the experiments, and renders causal tuple traces captured
+// by the engine's sampled span instrumentation.
 //
 // Usage:
 //
 //	rodtrace -kind pkt|tcp|http|poisson|bmodel|onoff|diurnal [-seed 1] \
 //	         [-bins 4096] [-mean 100] [-stats] [-csv out.csv] [-sparkline]
+//	rodtrace -spans spans.jsonl [-top 5]
+//
+// With -spans, rodtrace reads span events (JSON lines from rodload
+// -trace-out, or the JSON array served by the monitor's /events endpoint),
+// correlates them into per-tuple traces keyed by origin timestamp and
+// sequence number, prints the per-stage latency decomposition across all
+// sampled tuples, and renders the slowest fully-correlated traces hop by
+// hop with the critical-path stage starred. Traces whose hops appear out of
+// causal order are reported (they indicate clock or instrumentation bugs).
 package main
 
 import (
@@ -25,8 +35,17 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the trace as CSV to this path ('-' for stdout)")
 		stats     = flag.Bool("stats", true, "print summary statistics")
 		sparkline = flag.Bool("sparkline", false, "print a coarse text sparkline")
+		spansPath = flag.String("spans", "", "correlate span events from this file (JSONL or JSON array) instead of generating a trace")
+		top       = flag.Int("top", 5, "with -spans: render the N slowest fully-correlated traces")
 	)
 	flag.Parse()
+
+	if *spansPath != "" {
+		if err := runSpans(*spansPath, *top); err != nil {
+			fail(err.Error())
+		}
+		return
+	}
 
 	var tr *trace.Trace
 	switch *kind {

@@ -25,6 +25,12 @@ type EpisodeResult struct {
 	Delivered  int64
 	Migrations int
 	Violation  error
+
+	// End-to-end sink latency quantiles (milliseconds) from the collector's
+	// reservoir at episode end; zero when nothing reached the sink. Feeds
+	// rodcheck's SLO grading.
+	P50Ms float64
+	P99Ms float64
 }
 
 // RunEpisode drives one scenario through a loopback engine cluster:
@@ -174,6 +180,9 @@ func RunEpisode(sc *Scenario, ev *obs.EventLog) (*EpisodeResult, error) {
 	stats, _ := cl.Stats()
 	delivered, _, _, _, _ := cl.Collector.LatencyStats()
 	res.Delivered = delivered
+	if s, ok := cl.Collector.LatencySummary(); ok {
+		res.P50Ms, res.P99Ms = s.P50*1000, s.P99*1000
+	}
 	res.Ledger = Assemble(stats, delivered, res.Sources, res.SrcDropped)
 	// CHECKDEBUG=1 dumps the raw per-node snapshots for failing-seed triage.
 	if os.Getenv("CHECKDEBUG") != "" {

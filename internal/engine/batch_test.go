@@ -121,7 +121,7 @@ func TestNoRouteAccounting(t *testing.T) {
 	}
 	defer n.Close()
 	ev := obs.NewEventLog(0)
-	n.SetObserver(ev, 0)
+	n.SetObserver(ev, nil, 0)
 
 	for i := 0; i < 10; i++ {
 		n.enqueueInbound(Tuple{Stream: 7, Seq: int64(i)})

@@ -47,7 +47,7 @@ func TestChaosKillAndPartition(t *testing.T) {
 	ev := obs.NewEventLog(0)
 	cl.SetEvents(ev)
 	for _, nd := range cl.Nodes {
-		nd.SetObserver(ev, 0)
+		nd.SetObserver(ev, nil, 0)
 	}
 	if err := cl.Deploy(g, plan, caps); err != nil {
 		t.Fatal(err)

@@ -117,6 +117,7 @@ type Collector struct {
 
 	hist       *obs.Histogram // optional; set via SetObserver
 	sinkCount  *obs.Counter
+	stages     *obs.StageSet
 	events     *obs.EventLog
 	traceEvery int64
 }
@@ -169,12 +170,13 @@ func (c *Collector) record(lat float64) {
 // Addr returns the collector's address.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
 
-// SetObserver mirrors sink latencies into an obs histogram and counter and
-// emits sampled sink trace spans (tuples whose Seq is a multiple of
-// traceEvery; 0 disables spans). Any argument may be nil.
-func (c *Collector) SetObserver(h *obs.Histogram, count *obs.Counter, ev *obs.EventLog, traceEvery int64) {
+// SetObserver mirrors sink latencies into an obs histogram and counter,
+// records traced tuples' final deliver stage into stages, and emits sampled
+// sink trace spans (1 in traceEvery tuples per stream; 0 disables spans).
+// Any argument may be nil.
+func (c *Collector) SetObserver(h *obs.Histogram, count *obs.Counter, stages *obs.StageSet, ev *obs.EventLog, traceEvery int64) {
 	c.mu.Lock()
-	c.hist, c.sinkCount, c.events, c.traceEvery = h, count, ev, traceEvery
+	c.hist, c.sinkCount, c.stages, c.events, c.traceEvery = h, count, stages, ev, traceEvery
 	c.mu.Unlock()
 }
 
@@ -210,7 +212,7 @@ func (c *Collector) accept() {
 				}
 				now := time.Now().UnixNano()
 				c.mu.Lock()
-				hist, count, ev, every := c.hist, c.sinkCount, c.events, c.traceEvery
+				hist, count, stages, ev, every := c.hist, c.sinkCount, c.stages, c.events, c.traceEvery
 				c.mu.Unlock()
 				for _, t := range batch {
 					lat := float64(now-t.Ts) / float64(time.Second)
@@ -221,9 +223,24 @@ func (c *Collector) accept() {
 					if count != nil {
 						count.Inc()
 					}
-					if traced(every, t) {
+					if t.Flags&TupleTraced != 0 {
+						// Final stage boundary: the latency is computed at the
+						// same instant, so the tuple's stage durations
+						// telescope to exactly this sink latency.
+						var deliver float64
+						if t.TraceTs > 0 {
+							deliver = float64(now-t.TraceTs) / float64(time.Second)
+						}
+						stages.Observe(obs.StageDeliver, deliver)
 						ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "sink",
-							"stream", int(t.Stream), "seq", t.Seq, "latency", lat)
+							"stream", int(t.Stream), "seq", t.Seq, "ts", t.Ts,
+							"deliver", deliver, "latency", lat)
+					} else if tracePick(every, t) {
+						// Context stripped by a legacy hop: still emit the sink
+						// span so the trace remains correlated end to end.
+						ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "sink",
+							"stream", int(t.Stream), "seq", t.Seq, "ts", t.Ts,
+							"latency", lat)
 					}
 				}
 			}
@@ -303,7 +320,15 @@ type SourceDriver struct {
 
 	// Legacy forces per-tuple legacy wire frames instead of batch frames —
 	// the pre-batching baseline that rodload measures the speedup against.
+	// Legacy frames cannot carry trace context; the first batch-aware node
+	// re-marks the same sampled tuples from the shared stride.
 	Legacy bool
+
+	// TraceEvery flags 1 in TraceEvery tuples (per-stream rotating offset)
+	// with trace context at the source, stamping the origin timestamp as
+	// the first stage boundary so downstream hops decompose the end-to-end
+	// latency. 0 disables source-side marking.
+	TraceEvery int64
 
 	// Dropped counts per-destination sends skipped because that
 	// destination's connection died mid-run (the driver keeps feeding the
@@ -382,7 +407,12 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 			if k > 0 {
 				batch = batch[:0]
 				for i := 0; i < k; i++ {
-					batch = append(batch, Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq})
+					t := Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq}
+					if s.TraceEvery > 0 && tracePick(s.TraceEvery, t) {
+						t.Flags = TupleTraced
+						t.TraceTs = t.Ts
+					}
+					batch = append(batch, t)
 					seq++
 				}
 				alive := 0

@@ -45,9 +45,27 @@ func FuzzReadFrame(f *testing.F) {
 	tw.SendBatch([]Tuple{{Stream: 1}, {Stream: 2, Seq: 9}, {Stream: 3, Value: -1}}) //nolint:errcheck
 	tw.Flush()                                                                      //nolint:errcheck
 	f.Add(batched.Bytes()[1:])                                                      // strip the connTuples preamble
-	f.Add([]byte{opBatch, 0xff, 0xff, 0xff, 0xff})                                  // absurd declared count
-	f.Add([]byte{opBatch, 0, 0, 0, 0})                                              // keep-alive (empty batch)
-	f.Add([]byte{0x80, 1, 2, 3})                                                    // unknown opcode
+	var traced bytes.Buffer
+	tw2, _ := NewTupleWriter(&traced)
+	tw2.SendBatch([]Tuple{ //nolint:errcheck
+		{Stream: 1, Flags: TupleTraced, TraceTs: 987654321},
+		{Stream: 2, Seq: 9},
+	})
+	tw2.Flush() //nolint:errcheck
+	f.Add(traced.Bytes()[1:])
+	// One connection interleaving all three frame variants.
+	var mixed bytes.Buffer
+	tw3, _ := NewTupleWriter(&mixed)
+	tw3.Send(Tuple{Stream: 7, Seq: 1})                                          //nolint:errcheck
+	tw3.SendBatch([]Tuple{{Stream: 7, Seq: 2}, {Stream: 8, Seq: 3}})            //nolint:errcheck
+	tw3.SendBatch([]Tuple{{Stream: 7, Seq: 4, Flags: TupleTraced, TraceTs: 5}}) //nolint:errcheck
+	tw3.Flush()                                                                 //nolint:errcheck
+	f.Add(mixed.Bytes()[1:])
+	f.Add([]byte{opBatch, 0xff, 0xff, 0xff, 0xff})  // absurd declared count
+	f.Add([]byte{opBatch, 0, 0, 0, 0})              // keep-alive (empty batch)
+	f.Add([]byte{opTraced, 0xff, 0xff, 0xff, 0xff}) // absurd traced count
+	f.Add([]byte{opTraced, 0, 0, 0, 0})             // empty traced batch
+	f.Add([]byte{0x80, 1, 2, 3})                    // unknown opcode
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr := NewTupleReader(bytes.NewReader(data))
@@ -73,8 +91,9 @@ func FuzzReadFrame(f *testing.F) {
 			first = false
 		}
 		// The reader's reusable buffers stay bounded by the wire cap no
-		// matter what lengths the input declared.
-		if cap(tr.buf) > MaxBatchWire*tupleFrameSize {
+		// matter what lengths the input declared (traced records are the
+		// widest frame variant).
+		if cap(tr.buf) > MaxBatchWire*tracedFrameSize {
 			t.Fatalf("payload buffer grew to %d", cap(tr.buf))
 		}
 		if cap(tr.slab) > MaxBatchWire {

@@ -44,9 +44,12 @@ type MonitorConfig struct {
 	// RateAlpha is the EWMA smoothing factor for source rates. Default 0.4.
 	RateAlpha float64
 
-	// TraceEvery forwards sampled per-tuple trace spans from nodes and the
-	// collector: tuples whose Seq is a multiple of TraceEvery emit span
-	// events. 0 disables tracing.
+	// TraceEvery enables causal tracing: 1 in TraceEvery tuples per stream
+	// (rotating per-stream offsets, so every stream is sampled) carries
+	// trace context through the data plane, emitting correlated span events
+	// at each hop and feeding the per-stage latency decomposition
+	// histograms. 0 disables tracing; the stage series are registered
+	// either way so the schema does not depend on the sampling rate.
 	TraceEvery int64
 }
 
@@ -106,6 +109,9 @@ type Monitor struct {
 	latHist  *obs.Histogram
 	sinkC    *obs.Counter
 	latQ     map[float64]*obs.Gauge
+	stages   *obs.StageSet
+	stageP50 []*obs.Gauge
+	stageP99 []*obs.Gauge
 	overQ    []bool
 	lastBusy []float64
 	lastElap []float64
@@ -199,6 +205,21 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 	}
 	m.sampler.ProbeCounter(obs.MetricSinkTuples, m.sinkC)
 
+	// Per-stage latency decomposition: the histograms traced tuples feed at
+	// each hop, plus sampled p50/p99 gauges and crossing counters per stage.
+	m.stages = obs.NewStageSet(reg)
+	m.stageP50 = make([]*obs.Gauge, obs.NumStages)
+	m.stageP99 = make([]*obs.Gauge, obs.NumStages)
+	for st := 0; st < obs.NumStages; st++ {
+		name := obs.StageName(st)
+		m.stageP50[st] = reg.Gauge(obs.MetricStageLatencyQuantile, "stage", name, "quantile", "p50")
+		m.stageP99[st] = reg.Gauge(obs.MetricStageLatencyQuantile, "stage", name, "quantile", "p99")
+		m.sampler.ProbeGauge(obs.MetricStageLatencyQuantile, m.stageP50[st], "stage", name, "quantile", "p50")
+		m.sampler.ProbeGauge(obs.MetricStageLatencyQuantile, m.stageP99[st], "stage", name, "quantile", "p99")
+		m.sampler.ProbeCounter(obs.MetricStageTuples,
+			reg.Counter(obs.MetricStageTuples, "stage", name), "stage", name)
+	}
+
 	if cfg.LM != nil {
 		m.inputs = cfg.LM.G.Inputs()
 		for _, in := range m.inputs {
@@ -221,11 +242,11 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 	}
 
 	if cl.Collector != nil {
-		cl.Collector.SetObserver(m.latHist, m.sinkC, cfg.Events, cfg.TraceEvery)
+		cl.Collector.SetObserver(m.latHist, m.sinkC, m.stages, cfg.Events, cfg.TraceEvery)
 	}
 	for _, nd := range cl.Nodes {
 		if nd != nil {
-			nd.SetObserver(cfg.Events, cfg.TraceEvery)
+			nd.SetObserver(cfg.Events, m.stages, cfg.TraceEvery)
 		}
 	}
 	cl.SetEvents(cfg.Events)
@@ -243,6 +264,9 @@ func (m *Monitor) Series() *obs.SeriesSet { return m.cfg.Series }
 
 // Events returns the event log.
 func (m *Monitor) Events() *obs.EventLog { return m.cfg.Events }
+
+// Stages returns the per-stage latency decomposition traced tuples feed.
+func (m *Monitor) Stages() *obs.StageSet { return m.stages }
 
 // SourceCounter returns the injection counter for one input stream; wire it
 // to the matching SourceDriver.Count so the monitor can estimate R̂. The
@@ -406,6 +430,17 @@ func (m *Monitor) tick(now time.Time) {
 	for p, g := range m.latQ {
 		if v, ok := m.latHist.Quantile(p); ok {
 			g.Set(v)
+		}
+	}
+
+	// Per-stage latency quantiles from the decomposition histograms.
+	for st := 0; st < obs.NumStages; st++ {
+		h := m.stages.Hist(st)
+		if v, ok := h.Quantile(50); ok {
+			m.stageP50[st].Set(v)
+		}
+		if v, ok := h.Quantile(99); ok {
+			m.stageP99[st].Set(v)
 		}
 	}
 

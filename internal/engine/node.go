@@ -158,9 +158,16 @@ type Node struct {
 	sendMaxNanos atomic.Int64 // worst observed send() duration (worker path)
 	egress       []egressRun  // worker-owned routeBatch grouping scratch
 
-	events      *obs.EventLog // nil-safe; see SetObserver
-	traceEvery  int64
-	relayWarned map[string]bool // per-peer latch; re-armed on recovery
+	probe       atomic.Pointer[nodeProbe] // observer state; see SetObserver
+	relayWarned map[string]bool           // per-peer latch; re-armed on recovery
+}
+
+// nodeProbe bundles the observer state so data-plane goroutines (ingress,
+// worker, outboxes) read it with one atomic load instead of contending n.mu.
+type nodeProbe struct {
+	ev     *obs.EventLog
+	stages *obs.StageSet
+	every  int64
 }
 
 type liveOp struct {
@@ -214,21 +221,35 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// SetObserver attaches an event log for relay-error events and sampled
-// per-tuple trace spans (tuples whose Seq is a multiple of traceEvery emit
-// span events; 0 disables spans). The obs.EventLog methods are nil-receiver
-// safe, so instrumentation sites emit unconditionally.
-func (n *Node) SetObserver(ev *obs.EventLog, traceEvery int64) {
-	n.mu.Lock()
-	n.events = ev
-	n.traceEvery = traceEvery
-	n.mu.Unlock()
+// SetObserver attaches an event log for control-plane events and sampled
+// per-tuple trace spans, plus the per-stage latency histograms the spans
+// feed (1 in traceEvery tuples per stream is sampled; 0 disables tracing).
+// The obs.EventLog methods and obs.StageSet.Observe are nil-receiver safe,
+// so instrumentation sites emit unconditionally.
+func (n *Node) SetObserver(ev *obs.EventLog, stages *obs.StageSet, traceEvery int64) {
+	n.probe.Store(&nodeProbe{ev: ev, stages: stages, every: traceEvery})
 }
 
-// traced reports whether tuple t should emit trace spans under the
-// configured sampling stride.
-func traced(every int64, t Tuple) bool {
-	return every > 0 && t.Stream >= 0 && t.Seq%every == 0
+// observer returns the attached observer state (nil/0 before SetObserver).
+func (n *Node) observer() (*obs.EventLog, *obs.StageSet, int64) {
+	if p := n.probe.Load(); p != nil {
+		return p.ev, p.stages, p.every
+	}
+	return nil, nil, 0
+}
+
+// tracePick reports whether the sampling stride selects tuple t. The
+// stride offset is derived from the stream id (a splitmix-style hash), so
+// every stream rotates through its own sampling phase: with the previous
+// shared `Seq%every == 0` residue, streams whose seqs never hit zero modulo
+// the stride (or that emit fewer than `every` tuples) went entirely
+// unsampled for whole runs.
+func tracePick(every int64, t Tuple) bool {
+	if every <= 0 || t.Stream < 0 {
+		return false
+	}
+	off := int64(((uint64(uint32(t.Stream)) * 0x9E3779B97F4A7C15) >> 33) % uint64(every))
+	return t.Seq%every == off
 }
 
 // Close shuts the node down and waits for its goroutines. Outboxes drain
@@ -342,19 +363,53 @@ func (n *Node) enqueueInboundBatch(ts []Tuple) {
 	}
 }
 
+// ingressSpan records one traced tuple's transit crossing for the span
+// event emitted after the node lock is released.
+type ingressSpan struct {
+	stream int32
+	seq    int64
+	ts     int64
+	wait   float64
+}
+
 func (n *Node) enqueueChunk(chunk []Tuple) {
 	var relays []relayRun
 	var noRouteStreams []int32
 	admitted := false
 	shedOnset := false
 	var shedStream int32
+	ev, stages, every := n.observer()
+	var spans []ingressSpan
+	var spanNow int64 // lazy arrival timestamp shared by the chunk's traced tuples
 	n.mu.Lock()
 	if n.closing {
 		n.mu.Unlock()
 		return
 	}
-	for _, t := range chunk {
+	for ci := range chunk {
+		t := &chunk[ci]
 		n.injected++
+		// Mark trace samples at first ingress. Sources that pre-flag their
+		// tuples use the same stride, so a legacy link that strips the
+		// context re-selects the same tuples here (TraceTs restarts from the
+		// origin Ts, keeping the telescoped sum equal to the sink latency).
+		if every > 0 && t.Flags&TupleTraced == 0 && tracePick(every, *t) {
+			t.Flags |= TupleTraced
+		}
+		if t.Flags&TupleTraced != 0 {
+			if spanNow == 0 {
+				spanNow = time.Now().UnixNano()
+			}
+			if t.TraceTs == 0 {
+				t.TraceTs = t.Ts
+			}
+			wait := float64(spanNow-t.TraceTs) / float64(time.Second)
+			t.TraceTs = spanNow
+			stages.Observe(obs.StageTransit, wait)
+			if ev != nil {
+				spans = append(spans, ingressSpan{stream: t.Stream, seq: t.Seq, ts: t.Ts, wait: wait})
+			}
+		}
 		// Receive-side transfer CPU cost.
 		if x := n.xfer[int(t.Stream)]; x > 0 {
 			n.busy += time.Duration(x / n.capacity * float64(time.Second))
@@ -365,12 +420,12 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 			if len(n.queue)-n.qhead >= n.cfg.IngressCap {
 				// Queue full: shed. Drop-newest rejects the arrival;
 				// drop-oldest evicts the head to admit it.
-				victim := t
+				victim := *t
 				if n.cfg.ShedPolicy == DropOldest {
 					victim = n.queue[n.qhead]
 					n.queue[n.qhead] = Tuple{}
 					n.qhead++
-					n.queue = append(n.queue, t)
+					n.queue = append(n.queue, *t)
 					admitted = true
 				}
 				n.shedTotal++
@@ -381,7 +436,7 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 					shedStream = victim.Stream
 				}
 			} else {
-				n.queue = append(n.queue, t)
+				n.queue = append(n.queue, *t)
 				admitted = true
 			}
 		} else if len(relay) == 0 {
@@ -404,7 +459,7 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 			if i == len(relays) {
 				relays = append(relays, relayRun{addr: d.Addr})
 			}
-			relays[i].ts = append(relays[i].ts, t)
+			relays[i].ts = append(relays[i].ts, *t)
 		}
 	}
 	if admitted {
@@ -412,7 +467,7 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 	}
 	qlen := len(n.queue) - n.qhead
 	shedTotal := n.shedTotal
-	ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
+	nodeID := n.nodeIDLocked()
 	n.mu.Unlock()
 	if shedOnset {
 		ev.Emit(obs.LevelWarn, obs.EventShedOnset,
@@ -424,13 +479,10 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 		ev.Emit(obs.LevelWarn, obs.EventNoRoute,
 			"node", nodeID, "stream", int(sid))
 	}
-	if every > 0 {
-		for _, t := range chunk {
-			if traced(every, t) {
-				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
-					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq)
-			}
-		}
+	for _, sp := range spans {
+		ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
+			"node", nodeID, "stream", int(sp.stream), "seq", sp.seq,
+			"ts", sp.ts, "wait", sp.wait)
 	}
 	// Relays are best-effort: the per-peer outbox absorbs (or drops) the
 	// run without ever blocking the receive path, and link failures
@@ -579,8 +631,9 @@ func (n *Node) worker() {
 		started := n.started
 		start := n.startT
 		busyBase := n.busy
-		ev, every, nodeID := n.events, n.traceEvery, n.nodeIDLocked()
+		nodeID := n.nodeIDLocked()
 		n.mu.Unlock()
+		ev, stages, _ := n.observer()
 		if shedClear {
 			ev.Emit(obs.LevelInfo, obs.EventShedClear,
 				"node", nodeID, "queue", qlen, "cap", n.cfg.IngressCap,
@@ -597,6 +650,14 @@ func (n *Node) worker() {
 		for _, t := range run.tuples {
 			var cost float64
 			outsBefore := len(run.outs)
+			// Stage boundary: a traced tuple leaves the queue now; the time
+			// since its ingress admission is queue wait, the time until its
+			// outputs are ready (including virtual-CPU pacing) is service.
+			tracedT := t.Flags&TupleTraced != 0 && t.Stream != stallStream
+			var svcStart int64
+			if tracedT {
+				svcStart = time.Now().UnixNano()
+			}
 			if t.Stream == stallStream {
 				// Migration state-transfer pause: Value already carries the
 				// cost units making svc = Value/capacity = the stall seconds.
@@ -651,9 +712,24 @@ func (n *Node) worker() {
 					}
 				}
 			}
-			if traced(every, t) {
+			if tracedT {
+				svcEnd := time.Now().UnixNano()
+				var queueSec float64
+				if t.TraceTs > 0 {
+					queueSec = float64(svcStart-t.TraceTs) / float64(time.Second)
+				}
+				svcSec := float64(svcEnd-svcStart) / float64(time.Second)
+				stages.Observe(obs.StageQueue, queueSec)
+				stages.Observe(obs.StageService, svcSec)
+				// Outputs inherit the service-end boundary, so their next
+				// crossing (outbox residence or local re-queue wait) starts
+				// here and the stage durations keep telescoping.
+				for j := outsBefore; j < len(run.outs); j++ {
+					run.outs[j].TraceTs = svcEnd
+				}
 				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
 					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
+					"ts", t.Ts, "queue", queueSec, "service", svcSec,
 					"cost", cost, "outs", len(run.outs)-outsBefore)
 			}
 		}
@@ -705,7 +781,10 @@ func (n *Node) process(op *liveOp, t Tuple, outs *[]Tuple) float64 {
 	op.processed++
 	n.estimator.Record(op.spec.ID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
 	for i := 0; i < k; i++ {
-		*outs = append(*outs, Tuple{Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value})
+		*outs = append(*outs, Tuple{
+			Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value,
+			Flags: t.Flags, TraceTs: t.TraceTs,
+		})
 	}
 	return cost
 }
@@ -845,8 +924,9 @@ func (n *Node) SetLinkFault(addr string, f LinkFault) {
 		}
 	}
 	n.mu.Lock()
-	ev, nodeID := n.events, n.nodeIDLocked()
+	nodeID := n.nodeIDLocked()
 	n.mu.Unlock()
+	ev, _, _ := n.observer()
 	ev.Emit(obs.LevelWarn, obs.EventLinkFault, "node", nodeID, "addr", addr,
 		"sever", f.Sever, "drop", f.Drop, "delayMs", f.Delay.Seconds()*1000)
 }
@@ -861,8 +941,9 @@ func (n *Node) ClearLinkFault(addr string) {
 	}
 	n.faultsMu.Unlock()
 	n.mu.Lock()
-	ev, nodeID := n.events, n.nodeIDLocked()
+	nodeID := n.nodeIDLocked()
 	n.mu.Unlock()
+	ev, _, _ := n.observer()
 	ev.Emit(obs.LevelInfo, obs.EventLinkFault, "node", nodeID, "addr", addr, "clear", true)
 }
 
@@ -873,8 +954,9 @@ func (n *Node) peerDown(addr string, err error) {
 	n.mu.Lock()
 	warned := n.relayWarned[addr]
 	n.relayWarned[addr] = true
-	ev, nodeID := n.events, n.nodeIDLocked()
+	nodeID := n.nodeIDLocked()
 	n.mu.Unlock()
+	ev, _, _ := n.observer()
 	if !warned {
 		ev.Emit(obs.LevelWarn, obs.EventRelayError,
 			"node", nodeID, "addr", addr, "err", err.Error())
@@ -886,8 +968,9 @@ func (n *Node) peerUp(addr string) {
 	n.mu.Lock()
 	warned := n.relayWarned[addr]
 	delete(n.relayWarned, addr)
-	ev, nodeID := n.events, n.nodeIDLocked()
+	nodeID := n.nodeIDLocked()
 	n.mu.Unlock()
+	ev, _, _ := n.observer()
 	if warned {
 		ev.Emit(obs.LevelInfo, obs.EventPeerUp, "node", nodeID, "addr", addr)
 	}

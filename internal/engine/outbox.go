@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rodsp/internal/obs"
 )
 
 // Per-peer outbox: every remote destination gets its own goroutine fed by a
@@ -268,6 +270,30 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 		o.dropped.Add(n)
 		o.inflight.Store(0)
 		return nil
+	}
+	// Stage boundary: a traced tuple leaves the outbox now; the time since
+	// its last boundary (the worker's service end, or its ingress admission
+	// on a relay hop) is outbox residence. The tuples go onto the wire with
+	// the refreshed TraceTs, so the receiver's transit stage starts here.
+	if ev, stages, _ := o.node.observer(); ev != nil || stages != nil {
+		var now int64
+		for i := range run {
+			if run[i].Flags&TupleTraced == 0 {
+				continue
+			}
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			var wait float64
+			if run[i].TraceTs > 0 {
+				wait = float64(now-run[i].TraceTs) / float64(time.Second)
+			}
+			run[i].TraceTs = now
+			stages.Observe(obs.StageOutbox, wait)
+			ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "outbox",
+				"addr", o.addr, "stream", int(run[i].Stream), "seq", run[i].Seq,
+				"ts", run[i].Ts, "wait", wait)
+		}
 	}
 	var err error
 	if o.node.cfg.BatchMax > 1 {

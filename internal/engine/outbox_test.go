@@ -114,7 +114,7 @@ func TestOutboxReconnectAfterPartition(t *testing.T) {
 	}
 	defer a.Close()
 	ev := obs.NewEventLog(0)
-	a.SetObserver(ev, 0)
+	a.SetObserver(ev, nil, 0)
 	b, err := NewNode("127.0.0.1:0", 1)
 	if err != nil {
 		t.Fatal(err)

@@ -21,7 +21,7 @@ func startShedNode(t *testing.T, ingressCap int, policy ShedPolicy, stallSec flo
 	}
 	t.Cleanup(func() { n.Close() })
 	ev := obs.NewEventLog(0)
-	n.SetObserver(ev, 0)
+	n.SetObserver(ev, nil, 0)
 	err = n.deploy(&NodeSpec{
 		NodeID:   0,
 		Capacity: 1,

@@ -34,6 +34,16 @@ const (
 	//
 	//	opBatch | uint32(count) | count × 28-byte tuple
 	opBatch byte = 0x81
+	// opTraced introduces a trace-annotated batch frame:
+	//
+	//	opTraced | uint32(count) | count × 37-byte traced record
+	//
+	// where each record is the 28-byte tuple followed by one flags byte
+	// and the big-endian trace timestamp (nanoseconds at the tuple's last
+	// stage boundary). Writers emit it only when a batch contains at least
+	// one flagged tuple, so untraced traffic pays no wire overhead; legacy
+	// and plain batch frames decode with zero trace context.
+	opTraced byte = 0x82
 )
 
 // MaxBatchWire caps the tuple count one batch frame may declare; larger
@@ -41,17 +51,32 @@ const (
 // the decoder's allocation to ~1.8 MB no matter what the prefix claims).
 const MaxBatchWire = 65536
 
+// TupleTraced flags a tuple carrying causal trace context: its TraceTs is
+// live and every hop records a stage duration for it.
+const TupleTraced uint8 = 1 << 0
+
 // Tuple is the data-plane unit. Ts is the origin timestamp in nanoseconds
 // (wall clock at injection) used for end-to-end latency; Value is an opaque
-// payload the delay-style operators carry through.
+// payload the delay-style operators carry through. Flags and TraceTs are
+// the sampled-trace context: TraceTs holds the wall timestamp (ns) of the
+// tuple's last recorded stage boundary, so each hop can attribute
+// now−TraceTs to one stage and the stage durations telescope to the
+// end-to-end latency. Only the traced batch frame carries them on the
+// wire; legacy and plain batch frames drop both (decode as zero).
 type Tuple struct {
 	Stream int32
 	Ts     int64
 	Seq    int64
 	Value  float64
+
+	Flags   uint8
+	TraceTs int64
 }
 
 const tupleFrameSize = 4 + 8 + 8 + 8
+
+// tracedFrameSize is the traced record: tuple + flags byte + trace ts.
+const tracedFrameSize = tupleFrameSize + 1 + 8
 
 // batchHeaderSize is the opcode plus the uint32 tuple count.
 const batchHeaderSize = 1 + 4
@@ -72,6 +97,21 @@ func decodeTuple(buf []byte) Tuple {
 		Seq:    int64(binary.BigEndian.Uint64(buf[12:20])),
 		Value:  math.Float64frombits(binary.BigEndian.Uint64(buf[20:28])),
 	}
+}
+
+// encodeTraced writes t's 37-byte traced record into buf[:tracedFrameSize].
+func encodeTraced(buf []byte, t Tuple) {
+	encodeTuple(buf, t)
+	buf[tupleFrameSize] = t.Flags
+	binary.BigEndian.PutUint64(buf[tupleFrameSize+1:tracedFrameSize], uint64(t.TraceTs))
+}
+
+// decodeTraced parses one traced record from buf[:tracedFrameSize].
+func decodeTraced(buf []byte) Tuple {
+	t := decodeTuple(buf)
+	t.Flags = buf[tupleFrameSize]
+	t.TraceTs = int64(binary.BigEndian.Uint64(buf[tupleFrameSize+1 : tracedFrameSize]))
+	return t
 }
 
 // WriteTuple writes one legacy single-tuple frame.
@@ -129,13 +169,23 @@ func NewTupleWriterDial(addr string) (*TupleWriter, error) {
 // Send writes one tuple into the buffer as a legacy single-tuple frame.
 func (tw *TupleWriter) Send(t Tuple) error { return WriteTuple(tw.bw, t) }
 
-// SendBatch writes a batch of tuples into the buffer. A single tuple goes
-// out as a legacy frame (no batch overhead); larger batches use the
-// versioned batch frame, split at MaxBatchWire. The encode buffer is
-// reused across calls, so the steady-state path allocates nothing.
+// SendBatch writes a batch of tuples into the buffer. A single untraced
+// tuple goes out as a legacy frame (no batch overhead); larger batches use
+// the versioned batch frame, split at MaxBatchWire. Batches containing any
+// flagged tuple use the traced frame so the context survives the hop — a
+// single flagged tuple goes as a one-record traced frame, since the legacy
+// frame cannot carry it. The encode buffer is reused across calls, so the
+// steady-state path allocates nothing.
 func (tw *TupleWriter) SendBatch(ts []Tuple) error {
+	traced := false
+	for i := range ts {
+		if ts[i].Flags != 0 {
+			traced = true
+			break
+		}
+	}
 	for len(ts) > MaxBatchWire {
-		if err := tw.sendBatchFrame(ts[:MaxBatchWire]); err != nil {
+		if err := tw.sendBatchFrame(ts[:MaxBatchWire], traced); err != nil {
 			return err
 		}
 		ts = ts[MaxBatchWire:]
@@ -144,22 +194,35 @@ func (tw *TupleWriter) SendBatch(ts []Tuple) error {
 	case 0:
 		return nil
 	case 1:
+		if traced {
+			return tw.sendBatchFrame(ts, true)
+		}
 		return WriteTuple(tw.bw, ts[0])
 	default:
-		return tw.sendBatchFrame(ts)
+		return tw.sendBatchFrame(ts, traced)
 	}
 }
 
-func (tw *TupleWriter) sendBatchFrame(ts []Tuple) error {
-	need := batchHeaderSize + len(ts)*tupleFrameSize
+func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced bool) error {
+	rec, op := tupleFrameSize, opBatch
+	if traced {
+		rec, op = tracedFrameSize, opTraced
+	}
+	need := batchHeaderSize + len(ts)*rec
 	if cap(tw.enc) < need {
 		tw.enc = make([]byte, need)
 	}
 	buf := tw.enc[:need]
-	buf[0] = opBatch
+	buf[0] = op
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(ts)))
-	for i, t := range ts {
-		encodeTuple(buf[batchHeaderSize+i*tupleFrameSize:], t)
+	if traced {
+		for i, t := range ts {
+			encodeTraced(buf[batchHeaderSize+i*rec:], t)
+		}
+	} else {
+		for i, t := range ts {
+			encodeTuple(buf[batchHeaderSize+i*rec:], t)
+		}
 	}
 	_, err := tw.bw.Write(buf)
 	return err
@@ -181,8 +244,8 @@ func (tw *TupleWriter) Close() error {
 }
 
 // TupleReader decodes the frame stream after the connTuples preamble,
-// accepting legacy single-tuple frames and versioned batch frames
-// interleaved on the same connection. The decode slab and payload buffer
+// accepting legacy single-tuple frames, versioned batch frames and
+// trace-annotated batch frames interleaved on the same connection. The decode slab and payload buffer
 // are reused across calls, so steady-state decoding allocates nothing.
 type TupleReader struct {
 	r    io.Reader
@@ -223,8 +286,12 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 			tr.slab[0] = decodeTuple(buf)
 			return tr.slab, nil
 		}
-		if tr.hdr[0] != opBatch {
+		if tr.hdr[0] != opBatch && tr.hdr[0] != opTraced {
 			return nil, fmt.Errorf("engine: unknown frame opcode 0x%02x", tr.hdr[0])
+		}
+		rec := tupleFrameSize
+		if tr.hdr[0] == opTraced {
+			rec = tracedFrameSize
 		}
 		if _, err := io.ReadFull(tr.r, tr.hdr[1:]); err != nil {
 			return nil, unexpectedEOF(err)
@@ -236,7 +303,7 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 		if n == 0 {
 			continue // empty batch: keep-alive, nothing to deliver
 		}
-		need := n * tupleFrameSize
+		need := n * rec
 		if cap(tr.buf) < need {
 			tr.buf = make([]byte, need)
 		}
@@ -248,8 +315,14 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 			tr.slab = make([]Tuple, n)
 		}
 		tr.slab = tr.slab[:n]
-		for i := range tr.slab {
-			tr.slab[i] = decodeTuple(buf[i*tupleFrameSize:])
+		if rec == tracedFrameSize {
+			for i := range tr.slab {
+				tr.slab[i] = decodeTraced(buf[i*rec:])
+			}
+		} else {
+			for i := range tr.slab {
+				tr.slab[i] = decodeTuple(buf[i*rec:])
+			}
 		}
 		return tr.slab, nil
 	}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSLOSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    SLOSpec
+		wantErr string
+	}{
+		{in: "", want: SLOSpec{MaxDrops: -1}},
+		{in: "p99=250ms", want: SLOSpec{P99Ms: 250, MaxDrops: -1}},
+		{in: "p99=1s", want: SLOSpec{P99Ms: 1000, MaxDrops: -1}},
+		{in: "p99=500us", want: SLOSpec{P99Ms: 0.5, MaxDrops: -1}},
+		{in: "zero-shed", want: SLOSpec{ZeroShed: true, MaxDrops: -1}},
+		{in: "max-drops=0", want: SLOSpec{MaxDrops: 0}},
+		{
+			in:   "p99=250ms,zero-shed,max-drops=100",
+			want: SLOSpec{P99Ms: 250, ZeroShed: true, MaxDrops: 100},
+		},
+		{
+			in:   " p99=250ms , degraded-factor=2 ",
+			want: SLOSpec{P99Ms: 250, DegradedFactor: 2, MaxDrops: -1},
+		},
+		{in: "p99", wantErr: "needs a duration"},
+		{in: "p99=fast", wantErr: "slo p99"},
+		{in: "degraded-factor=0.5", wantErr: "must be a number"},
+		{in: "zero-shed=yes", wantErr: "takes no value"},
+		{in: "max-drops=-3", wantErr: "non-negative"},
+		{in: "max-drops=many", wantErr: "non-negative"},
+		{in: "latency=1ms", wantErr: "unknown slo term"},
+	}
+	for _, c := range cases {
+		got, err := ParseSLOSpec(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSLOSpec(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLOSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSLOSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSLOSpecStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"p99=250ms", "p99=250ms,zero-shed,max-drops=100", "p99=100ms,degraded-factor=2"} {
+		spec, err := ParseSLOSpec(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		again, err := ParseSLOSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if again != spec {
+			t.Errorf("round trip %q → %q → %+v, want %+v", s, spec.String(), again, spec)
+		}
+	}
+	if got := (SLOSpec{MaxDrops: -1}).String(); got != "(empty)" {
+		t.Errorf("empty spec renders %q", got)
+	}
+}
+
+func TestSLOSpecEmpty(t *testing.T) {
+	if !(SLOSpec{MaxDrops: -1}).Empty() {
+		t.Error("gateless spec should be Empty")
+	}
+	for _, s := range []SLOSpec{
+		{P99Ms: 1, MaxDrops: -1},
+		{ZeroShed: true, MaxDrops: -1},
+		{MaxDrops: 0},
+	} {
+		if s.Empty() {
+			t.Errorf("%+v should not be Empty", s)
+		}
+	}
+}
+
+func TestSLOGrade(t *testing.T) {
+	latency := SLOSpec{P99Ms: 100, MaxDrops: -1} // degraded band ends at 150ms
+	strict := SLOSpec{P99Ms: 100, ZeroShed: true, MaxDrops: 10}
+	cases := []struct {
+		name        string
+		spec        SLOSpec
+		p99         float64
+		shed, drops int64
+		want        string
+		reasons     int
+	}{
+		{name: "empty spec passes anything", spec: SLOSpec{MaxDrops: -1}, p99: 1e9, shed: 9, drops: 9, want: GradePass},
+		{name: "at target", spec: latency, p99: 100, want: GradePass},
+		{name: "degraded band", spec: latency, p99: 149, want: GradeDegraded, reasons: 1},
+		{name: "band edge", spec: latency, p99: 150, want: GradeDegraded, reasons: 1},
+		{name: "beyond band", spec: latency, p99: 151, want: GradeFail, reasons: 1},
+		{name: "custom factor", spec: SLOSpec{P99Ms: 100, DegradedFactor: 3, MaxDrops: -1}, p99: 250, want: GradeDegraded, reasons: 1},
+		{name: "shed fails zero-shed", spec: strict, p99: 50, shed: 1, want: GradeFail, reasons: 1},
+		{name: "drops within budget", spec: strict, p99: 50, drops: 10, want: GradePass},
+		{name: "drops over budget", spec: strict, p99: 50, drops: 11, want: GradeFail, reasons: 1},
+		{name: "fail beats degraded", spec: strict, p99: 120, shed: 5, want: GradeFail, reasons: 2},
+		{name: "everything wrong", spec: strict, p99: 1000, shed: 5, drops: 99, want: GradeFail, reasons: 3},
+	}
+	for _, c := range cases {
+		grade, reasons := c.spec.Grade(c.p99, c.shed, c.drops)
+		if grade != c.want || len(reasons) != c.reasons {
+			t.Errorf("%s: Grade(%g, %d, %d) = %q %v, want %q with %d reasons",
+				c.name, c.p99, c.shed, c.drops, grade, reasons, c.want, c.reasons)
+		}
+	}
+}
+
+func TestStageReportFrom(t *testing.T) {
+	if StageReportFrom(nil) != nil {
+		t.Fatal("nil set must yield nil report")
+	}
+	set := NewStageSet(NewRegistry())
+	set.Observe(StageQueue, 0.010)
+	set.Observe(StageQueue, 0.030)
+	set.Observe(StageService, -1) // clamps to 0
+	rep := StageReportFrom(set)
+	if len(rep) != NumStages {
+		t.Fatalf("report has %d stages, want %d", len(rep), NumStages)
+	}
+	if rep[StageQueue].Stage != "queue" || rep[StageQueue].Count != 2 {
+		t.Fatalf("queue row %+v", rep[StageQueue])
+	}
+	if rep[StageQueue].MeanMs != 20 {
+		t.Fatalf("queue mean %.3fms, want 20", rep[StageQueue].MeanMs)
+	}
+	if rep[StageService].Count != 1 || rep[StageService].MeanMs != 0 {
+		t.Fatalf("service row %+v (negative observation must clamp)", rep[StageService])
+	}
+	if rep[StageTransit].Count != 0 || rep[StageTransit].P99Ms != 0 {
+		t.Fatalf("idle stage row %+v", rep[StageTransit])
+	}
+	want := []string{"transit", "queue", "service", "outbox", "deliver"}
+	var got []string
+	for _, r := range rep {
+		got = append(got, r.Stage)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stage order %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+// Data-plane stage taxonomy for the causal trace decomposition. A sampled
+// tuple carries the timestamp of its last stage boundary; at each boundary
+// the elapsed time is recorded against one of these stages, so the stage
+// durations telescope exactly to the end-to-end sink latency:
+//
+//	transit  source emit (or outbox ship) → ingress admit; covers the
+//	         network hop and relay re-entry at intermediate nodes
+//	queue    ingress admit → worker dequeue (ingress-queue wait)
+//	service  worker dequeue → operator outputs ready, including the
+//	         virtual-CPU pacing that models service time
+//	outbox   egress routing → outbox ship onto the wire (outbox residence)
+//	deliver  final ship → sink collector receive
+const (
+	StageTransit = iota
+	StageQueue
+	StageService
+	StageOutbox
+	StageDeliver
+	NumStages
+)
+
+// stageNames is indexed by the Stage* constants.
+var stageNames = [NumStages]string{"transit", "queue", "service", "outbox", "deliver"}
+
+// StageName returns the label value for a stage index ("" out of range).
+func StageName(stage int) string {
+	if stage < 0 || stage >= NumStages {
+		return ""
+	}
+	return stageNames[stage]
+}
+
+// Stage metric names, shared by the engine monitor and the sim observer so
+// the two runtimes keep an identical series schema.
+const (
+	// MetricStageLatency is the per-stage latency histogram (seconds),
+	// labelled stage="transit"|"queue"|"service"|"outbox"|"deliver".
+	MetricStageLatency = "rodsp_stage_latency_seconds"
+	// MetricStageLatencyQuantile carries the sampled per-stage p50/p99
+	// series (labels stage=..., quantile="p50"|"p99").
+	MetricStageLatencyQuantile = "rodsp_stage_latency_quantile_seconds"
+	// MetricStageTuples counts stage boundary crossings by sampled tuples.
+	MetricStageTuples = "rodsp_stage_tuples_total"
+)
+
+// StageLatencyBuckets are the histogram upper bounds (seconds) for stage
+// durations: finer than the sink buckets at the low end because individual
+// hops (a queue wait, a loopback network transit) sit well under 1 ms.
+func StageLatencyBuckets() []float64 {
+	return []float64{
+		0.00005, 0.0001, 0.0002, 0.0005,
+		0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+		0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
+	}
+}
+
+// StageSet bundles the per-stage latency histograms and crossing counters.
+// A nil *StageSet is a valid no-op observer, so hot paths can call Observe
+// unconditionally behind their sampling branch.
+type StageSet struct {
+	hists  [NumStages]*Histogram
+	counts [NumStages]*Counter
+}
+
+// NewStageSet registers (or re-binds) the stage series in reg.
+func NewStageSet(reg *Registry) *StageSet {
+	s := &StageSet{}
+	for i := 0; i < NumStages; i++ {
+		s.hists[i] = reg.Histogram(MetricStageLatency, StageLatencyBuckets(), "stage", stageNames[i])
+		s.counts[i] = reg.Counter(MetricStageTuples, "stage", stageNames[i])
+	}
+	return s
+}
+
+// Observe records one stage crossing of sec seconds. Negative durations
+// (wall-clock steps between hosts) clamp to zero so the telescoped sum
+// stays comparable to the sink latency.
+func (s *StageSet) Observe(stage int, sec float64) {
+	if s == nil || stage < 0 || stage >= NumStages {
+		return
+	}
+	if sec < 0 {
+		sec = 0
+	}
+	s.hists[stage].Observe(sec)
+	s.counts[stage].Inc()
+}
+
+// Hist returns the stage's histogram (nil for a nil set or bad index).
+func (s *StageSet) Hist(stage int) *Histogram {
+	if s == nil || stage < 0 || stage >= NumStages {
+		return nil
+	}
+	return s.hists[stage]
+}
+
+// Count returns the stage's crossing count.
+func (s *StageSet) Count(stage int) int64 {
+	if s == nil || stage < 0 || stage >= NumStages {
+		return 0
+	}
+	return s.counts[stage].Value()
+}
+
+// SumSeconds returns the total observed seconds across all stages — on a
+// lossless fully-sampled run this telescopes to the sink histogram's Sum.
+func (s *StageSet) SumSeconds() float64 {
+	if s == nil {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < NumStages; i++ {
+		sum += s.hists[i].Sum()
+	}
+	return sum
+}

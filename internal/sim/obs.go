@@ -64,6 +64,10 @@ type observer struct {
 	sinkC *obs.Counter
 	latQ  map[float64]*obs.Gauge
 
+	stages   *obs.StageSet
+	stageP50 []*obs.Gauge
+	stageP99 []*obs.Gauge
+
 	lastBusy []float64
 	over     []bool
 
@@ -159,7 +163,29 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 		o.sampler.ProbeGauge(obs.MetricSinkLatencyQuantile, g, "quantile", q)
 	}
 	o.sampler.ProbeCounter(obs.MetricSinkTuples, o.sinkC)
+	// Per-stage latency decomposition, matching the engine monitor's schema.
+	// The simulator genuinely populates transit (network delay), queue and
+	// service; outbox and deliver are engine wire artifacts and stay at zero
+	// observations — but every stage's series is registered and probed so
+	// the two runtimes' schemas remain identical.
+	o.stages = obs.NewStageSet(o.reg)
+	o.stageP50 = make([]*obs.Gauge, obs.NumStages)
+	o.stageP99 = make([]*obs.Gauge, obs.NumStages)
+	for st := 0; st < obs.NumStages; st++ {
+		name := obs.StageName(st)
+		o.stageP50[st] = o.reg.Gauge(obs.MetricStageLatencyQuantile, "stage", name, "quantile", "p50")
+		o.stageP99[st] = o.reg.Gauge(obs.MetricStageLatencyQuantile, "stage", name, "quantile", "p99")
+		o.sampler.ProbeGauge(obs.MetricStageLatencyQuantile, o.stageP50[st], "stage", name, "quantile", "p50")
+		o.sampler.ProbeGauge(obs.MetricStageLatencyQuantile, o.stageP99[st], "stage", name, "quantile", "p99")
+		o.sampler.ProbeCounter(obs.MetricStageTuples,
+			o.reg.Counter(obs.MetricStageTuples, "stage", name), "stage", name)
+	}
 	return o
+}
+
+// onStage records one stage crossing (seconds of wall/sim time).
+func (o *observer) onStage(stage int, sec float64) {
+	o.stages.Observe(stage, sec)
 }
 
 // onSource records one source arrival on input stream index s and feeds
@@ -234,6 +260,17 @@ func (o *observer) sample(now float64, nodes []nodeState, nodeOf []int) {
 	for p, g := range o.latQ {
 		if v, ok := o.hist.Quantile(p); ok {
 			g.Set(v)
+		}
+	}
+
+	// Per-stage latency quantiles from the decomposition histograms.
+	for st := 0; st < obs.NumStages; st++ {
+		h := o.stages.Hist(st)
+		if v, ok := h.Quantile(50); ok {
+			o.stageP50[st].Set(v)
+		}
+		if v, ok := h.Quantile(99); ok {
+			o.stageP99[st].Set(v)
 		}
 	}
 

@@ -154,6 +154,7 @@ type ScheduledMove struct {
 type workItem struct {
 	op    query.OpID
 	ts    float64 // origin timestamp of the tuple lineage
+	enq   float64 // when the item joined its node's queue (stage decomposition)
 	side  int8    // which join input the tuple arrived on
 	extra float64 // additional CPU seconds (transfer overhead)
 }
@@ -369,6 +370,11 @@ func Run(cfg Config) (*Result, error) {
 		var extra float64
 		if fromNode >= 0 && dst != fromNode {
 			at += cfg.NetworkDelay
+			if obsv != nil && cfg.NetworkDelay > 0 {
+				// Cross-node hop: the same transit stage the engine's traced
+				// tuples record between outbox ship and remote ingress.
+				obsv.onStage(obs.StageTransit, cfg.NetworkDelay)
+			}
 			if cfg.ChargeTransfer {
 				xfer := g.Stream(via).XferCost
 				if xfer > 0 {
@@ -506,6 +512,13 @@ func Run(cfg Config) (*Result, error) {
 			work := svc * cfg.Capacities[node]
 			opBusy[w.op] += work
 			opBusyTotal[w.op] += work
+			if obsv != nil {
+				// Stage decomposition: queue wait since enqueue, then the
+				// service time itself (overhead items are not tuples and are
+				// excluded, matching the engine's per-tuple tracing).
+				obsv.onStage(obs.StageQueue, now-w.enq)
+				obsv.onStage(obs.StageService, svc)
+			}
 		}
 		sched(event{time: now + svc, kind: evCompletion, node: node, item: w})
 	}
@@ -580,6 +593,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		case evArrival:
 			ns := &nodes[e.node]
+			e.item.enq = e.time
 			ns.push(e.item)
 			if obsv != nil {
 				obsv.injC[e.node].Inc()
