@@ -8,6 +8,14 @@
 //	rodcheck -seed 1 -episodes 20 [-nodes 4] [-lockstep] [-v]
 //	rodcheck -seed 1 -soak 30m [-fail-out failing.json]
 //	rodcheck -seed 1 -episodes 20 -slo p99=750ms,zero-shed -report report.json
+//	rodcheck -seed 1 -episodes 0 -controller 1
+//
+// -controller N runs N closed-loop acceptance pairs: a flash-crowd episode
+// executed twice, elastic controller on and off. The on-arm must migrate the
+// hot operator autonomously and strictly before any overload onset, settle
+// at ledger residual 0 with zero shed; the off-arm must shed or overload
+// (proving the workload genuinely exceeded the static placement). During
+// -soak a controller pair is interleaved every fifteenth episode.
 //
 // Each episode derives its own seed (base seed + index) and class: every
 // third episode kills a node, the rest stay strict (full ledger). With
@@ -47,15 +55,16 @@ type failure struct {
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "base random seed")
-		episodes = flag.Int("episodes", 10, "chaos episodes to run")
-		nodes    = flag.Int("nodes", 4, "loopback cluster size")
-		soak     = flag.Duration("soak", 0, "run episodes until this duration elapses (overrides -episodes)")
-		lockstep = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
-		failOut  = flag.String("fail-out", "", "write the first failure as JSON to this file")
-		sloFlag  = flag.String("slo", "", "SLO spec graded per strict episode, e.g. p99=750ms,zero-shed")
-		report   = flag.String("report", "", "write the aggregate obs.RunReport JSON here")
-		verbose  = flag.Bool("v", false, "per-episode ledger summaries")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		episodes    = flag.Int("episodes", 10, "chaos episodes to run")
+		nodes       = flag.Int("nodes", 4, "loopback cluster size")
+		soak        = flag.Duration("soak", 0, "run episodes until this duration elapses (overrides -episodes)")
+		lockstep    = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
+		controllerN = flag.Int("controller", 0, "controller pair episodes to run (flash-crowd, elastic controller on vs off)")
+		failOut     = flag.String("fail-out", "", "write the first failure as JSON to this file")
+		sloFlag     = flag.String("slo", "", "SLO spec graded per strict episode, e.g. p99=750ms,zero-shed")
+		report      = flag.String("report", "", "write the aggregate obs.RunReport JSON here")
+		verbose     = flag.Bool("v", false, "per-episode ledger summaries")
 	)
 	flag.Parse()
 
@@ -85,6 +94,9 @@ func main() {
 		f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 1 -nodes %d", f.Seed, *nodes)
 		if f.Kind == "lockstep" {
 			f.Repro += " -lockstep"
+		}
+		if f.Kind == "controller" {
+			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -controller 1", f.Seed)
 		}
 		fmt.Fprintf(os.Stderr, "rodcheck: FAIL (%s, seed %d): %s\n", f.Kind, f.Seed, f.Error)
 		if *failOut != "" {
@@ -121,12 +133,33 @@ func main() {
 	if *lockstep {
 		runLockstep(*seed)
 	}
+	ran := 0
+
+	// Controller pairs: the closed-loop acceptance gate. Each pair runs the
+	// seeded flash-crowd episode twice — elastic controller on, then off —
+	// and fails unless the on-arm migrated proactively (every migration
+	// strictly before any overload onset) at residual 0 with zero shed while
+	// the off-arm genuinely shed or overloaded.
+	runControllerPair := func(s int64) {
+		ev := obs.NewEventLog(1024)
+		pr, err := check.RunControllerPair(s, ev)
+		if err != nil {
+			fatal(failure{Kind: "controller", Seed: s, Class: "controller", Error: err.Error(), Episodes: ran})
+		}
+		if pr.Violation != nil {
+			fatal(failure{Kind: "controller", Seed: s, Class: "controller", Error: pr.Violation.Error(), Episodes: ran})
+		}
+		fmt.Printf("rodcheck: controller pair ok (seed %d: %d proactive migrations, first at %.3fs; baseline shed %d)\n",
+			s, pr.On.Migrations, pr.FirstMoveT, pr.Off.Ledger.Shed)
+	}
+	for i := 0; i < *controllerN; i++ {
+		runControllerPair(*seed + int64(i))
+	}
 
 	deadline := time.Time{}
 	if *soak > 0 {
 		deadline = time.Now().Add(*soak)
 	}
-	ran := 0
 	for i := 0; ; i++ {
 		if *soak > 0 {
 			if time.Now().After(deadline) {
@@ -142,6 +175,9 @@ func main() {
 		}
 		if *soak > 0 && i > 0 && i%10 == 0 {
 			runLockstep(epSeed)
+		}
+		if *soak > 0 && i > 0 && i%15 == 0 {
+			runControllerPair(epSeed)
 		}
 		sc, err := check.Generate(epSeed, *nodes, class)
 		if err != nil {

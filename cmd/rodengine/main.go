@@ -7,8 +7,17 @@
 //
 //	rodengine [-nodes 3] [-streams 3] [-algo rod|llf|random] [-util 0.6] \
 //	          [-seconds 5] [-speedup 20] [-seed 1] \
+//	          [-controller] [-forecast-horizon 1.5s] [-cooldown 2s] [-max-moves 1] \
 //	          [-queue 100000] [-shed-policy drop-newest|drop-oldest] [-outbox 4096] \
 //	          [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30]
+//
+// -controller closes the loop: an elastic placement controller watches the
+// monitor's live headroom, forecasts input rates a -forecast-horizon ahead
+// (Holt trend + optional seasonality), and when the forecast headroom sinks
+// below threshold re-runs ROD placement and live-migrates up to -max-moves
+// operators per cycle, at most once per -cooldown. Decisions and migrations
+// surface as controller_decide / controller_migrate events and
+// rodsp_controller_* metrics.
 //
 // -queue bounds each node's ingress queue (arrivals beyond it are shed under
 // -shed-policy and counted), and -outbox bounds each per-peer send buffer;
@@ -62,6 +71,11 @@ func main() {
 		eventsPath  = flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 		hold        = flag.Float64("hold", 0, "keep serving -metrics-addr this many seconds after the drive ends")
 		traceEvery  = flag.Int64("trace-sample", 8192, "trace 1 in N tuples per stream through the data plane (0 disables)")
+
+		controller      = flag.Bool("controller", false, "run the elastic placement controller: watch headroom, re-place proactively, migrate under load")
+		forecastHorizon = flag.Duration("forecast-horizon", 0, "controller forecast lead time (default 3× the decision interval)")
+		cooldown        = flag.Duration("cooldown", 0, "minimum gap between controller migration rounds (default 2s)")
+		maxMoves        = flag.Int("max-moves", 0, "controller migration budget per decision cycle (default 1)")
 
 		queue      = flag.Int("queue", engine.DefaultIngressCap, "per-node ingress queue bound (tuples); arrivals beyond it are shed")
 		shedPolicy = flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
@@ -180,6 +194,19 @@ func main() {
 	if err := cl.Start(); err != nil {
 		fail(err)
 	}
+	var ctrl *engine.Controller
+	if *controller {
+		ctrl, err = cl.StartController(engine.ControllerConfig{
+			Horizon:  *forecastHorizon,
+			Cooldown: *cooldown,
+			MaxMoves: *maxMoves,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("elastic controller running (headroom-triggered proactive re-placement)")
+	}
 
 	inputNodes := engine.InputNodes(g, plan)
 	addrs := cl.Addrs()
@@ -207,6 +234,9 @@ func main() {
 		if err := <-done; err != nil {
 			fail(err)
 		}
+	}
+	if ctrl != nil {
+		ctrl.Close() // stop deciding before the drain
 	}
 	time.Sleep(300 * time.Millisecond) // drain
 
@@ -238,6 +268,18 @@ func main() {
 	if n := ev.Count(obs.EventOverloadOnset); n > 0 {
 		fmt.Printf("overload: %d onset / %d clearance events (see -events or /events)\n",
 			n, ev.Count(obs.EventOverloadClear))
+	}
+	if ctrl != nil {
+		st := ctrl.Stats()
+		fmt.Printf("controller: %d decisions, %d migrations (%d failed), last action %s, forecast headroom %.3f\n",
+			st.Decisions, st.Moves, st.MoveFailures, st.LastAction, st.ForecastHeadroom)
+		for _, mv := range ctrl.Moves() {
+			status := "ok"
+			if !mv.OK {
+				status = "FAILED"
+			}
+			fmt.Printf("  migrated op %d: node %d -> node %d (%s)\n", mv.Op, mv.From, mv.To, status)
+		}
 	}
 	if *hold > 0 && *metricsAddr != "" {
 		fmt.Printf("holding observability endpoints for %gs...\n", *hold)

@@ -125,6 +125,8 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	// sparklines would only repeat the same numbers 15 rows tall.
 	stageTable, rest := stagePanel(sr.Series, filter)
 	sr.Series = rest
+	ctrlLine, rest := controllerPanel(sr.Series, filter)
+	sr.Series = rest
 	if filter != "" {
 		kept := sr.Series[:0]
 		for _, s := range sr.Series {
@@ -137,6 +139,7 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 
 	var b strings.Builder
 	b.WriteString(stageTable)
+	b.WriteString(ctrlLine)
 	width := 0
 	for _, s := range sr.Series {
 		if w := len(seriesID(s)); w > width {
@@ -240,6 +243,48 @@ func stagePanel(series []seriesJSON, filter string) (string, []seriesJSON) {
 	}
 	b.WriteString("\n")
 	return b.String(), rest
+}
+
+// controllerPanel extracts the elastic controller's series and renders them
+// as a single status line above the sparklines:
+//
+//	controller  decisions 42 (2.1/s)  moves 3  failures 0  forecast headroom 0.312
+//
+// It returns "" (and the series untouched) when the coordinator runs without
+// -controller, and respects the filter like any other row.
+func controllerPanel(series []seriesJSON, filter string) (string, []seriesJSON) {
+	cur := map[string]float64{}
+	var decRate string
+	rest := series[:0]
+	for _, s := range series {
+		switch s.Name {
+		case obs.MetricControllerDecisions, obs.MetricControllerMoves,
+			obs.MetricControllerMoveFailures, obs.MetricControllerForecastHeadroom:
+			if len(s.Points) > 0 {
+				cur[s.Name] = s.Points[len(s.Points)-1][1]
+			}
+			if s.Name == obs.MetricControllerDecisions {
+				decRate = strings.TrimPrefix(rateCol(s), "  ")
+			}
+		default:
+			rest = append(rest, s)
+		}
+	}
+	if len(cur) == 0 {
+		return "", rest
+	}
+	line := fmt.Sprintf("controller  decisions %s", fmtVal(cur[obs.MetricControllerDecisions]))
+	if decRate != "" {
+		line += fmt.Sprintf(" (%s)", decRate)
+	}
+	line += fmt.Sprintf("  moves %s  failures %s  forecast headroom %s\n\n",
+		fmtVal(cur[obs.MetricControllerMoves]),
+		fmtVal(cur[obs.MetricControllerMoveFailures]),
+		fmtVal(cur[obs.MetricControllerForecastHeadroom]))
+	if filter != "" && !strings.Contains(line, filter) && !strings.Contains("rodsp_controller", filter) {
+		return "", rest
+	}
+	return line, rest
 }
 
 // stageRank orders table rows along the data path; unknown stages sort last

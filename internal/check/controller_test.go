@@ -1,0 +1,29 @@
+package check
+
+import (
+	"testing"
+
+	"rodsp/internal/obs"
+)
+
+// TestControllerPair runs the closed-loop acceptance episode: with the
+// elastic controller the flash crowd is migrated away proactively and the
+// ledger stays at residual 0; without it the same workload sheds or
+// overloads.
+func TestControllerPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller episode drives ~6s of wall-clock sources")
+	}
+	ev := obs.NewEventLog(0)
+	pr, err := RunControllerPair(1, ev)
+	if err != nil {
+		t.Fatalf("infrastructure: %v", err)
+	}
+	if pr.Violation != nil {
+		t.Fatalf("violation: %v", pr.Violation)
+	}
+	t.Logf("on-arm: %d migrations (first at %.3fs), first onset %.3fs, residual %d, shed %d",
+		pr.On.Migrations, pr.FirstMoveT, pr.FirstOnsetT,
+		pr.On.Ledger.Residual(), pr.On.Ledger.Shed)
+	t.Logf("off-arm: shed %d, residual %d", pr.Off.Ledger.Shed, pr.Off.Ledger.Residual())
+}

@@ -22,11 +22,19 @@ const (
 	// unreachable and tuples flushed into its sockets are unaccounted, so
 	// only the survivors' outbox identities and liveness are asserted.
 	KillNode
+	// Controller scenarios drive a flash-crowd + diurnal-wave workload with
+	// the elastic placement controller closed over the cluster, and assert
+	// that its autonomous migrations keep the conservation ledger at
+	// residual 0 — and fire *before* the overload onset (see controller.go).
+	Controller
 )
 
 func (c Class) String() string {
-	if c == KillNode {
+	switch c {
+	case KillNode:
 		return "kill"
+	case Controller:
+		return "controller"
 	}
 	return "strict"
 }

@@ -1,0 +1,577 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rodsp/internal/core"
+	"rodsp/internal/mat"
+	"rodsp/internal/obs"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+)
+
+// The elastic placement controller closes the paper's loop: resilient
+// static placement (ROD) buys time under load variation, but surviving
+// sustained shifts requires dynamic operator movement. The controller
+// watches the Monitor's live feasibility headroom and overload latches,
+// forecasts each source rate a short horizon ahead (Holt/Holt-Winters, see
+// forecast.go), and when the *forecast* rate point erodes the minimum
+// headroom below a threshold it re-runs ROD placement against that point
+// and executes the smallest admissible set of MoveOperator calls — so
+// migration completes before the overload onset rather than after it.
+//
+// Guard rails, in decision order:
+//
+//   - warmup: no actuation until every stream's forecaster has seen a
+//     minimum number of samples (a trend fitted to one point is noise);
+//   - cooldown: a minimum wall-clock gap between actuations, so one hot
+//     window cannot thrash operators back and forth;
+//   - admissibility: a migration destination must hold no route — past or
+//     present — for any of the operator's streams, the same no-duplication
+//     constraint internal/check enforces for scheduled migrations (relays
+//     left behind by earlier moves would otherwise double-deliver);
+//   - budget: at most MaxMoves migrations per actuation;
+//   - hysteresis: the post-budget candidate must improve the forecast
+//     minimum headroom by at least HysteresisGain, or the controller holds.
+//
+// An aborted migration (MoveOperator rolled the destination back) counts as
+// actuation failure: the failure counter increments, controller_migrate is
+// emitted with ok=false, and the destination is conservatively marked
+// routed so it is never retried for that operator's streams.
+
+// ControllerConfig tunes the elastic placement controller.
+type ControllerConfig struct {
+	// Interval between decision cycles. Default 500ms.
+	Interval time.Duration
+	// Horizon is how far ahead the rate forecast is projected; migrations
+	// should complete within it. Default 3×Interval.
+	Horizon time.Duration
+	// Cooldown is the minimum gap between actuations. Default 2s.
+	Cooldown time.Duration
+	// MaxMoves caps migrations per actuation. Default 1.
+	MaxMoves int
+	// HeadroomLow triggers re-placement when the forecast minimum headroom
+	// drops below it (or a node is already overloaded). Default 0.1.
+	HeadroomLow float64
+	// HysteresisGain is the minimum forecast-headroom improvement the
+	// budgeted move set must deliver for the controller to act. Default 0.02.
+	HysteresisGain float64
+	// Samples drives PlaceBest's feasible-set estimation. Default 400.
+	Samples int
+	// Stall is the state-transfer pause charged per migration. Default 0.
+	Stall time.Duration
+	// Seed drives the ROD re-placement.
+	Seed int64
+
+	// Forecaster smoothing: Alpha (level), Beta (trend), Gamma (seasonal);
+	// defaults 0.5/0.3/0.2. SeasonPeriod is the seasonal cycle length in
+	// decision ticks (0 disables the seasonal term). Warmup is the minimum
+	// samples per stream before the controller may act; default 3.
+	Alpha, Beta, Gamma float64
+	SeasonPeriod       int
+	Warmup             int
+
+	// LoadCeiling clamps the forecast rate point so the total resolved load
+	// stays at or under this fraction of the live capacity sum before it is
+	// fed to placement as a lower bound (an infeasible floor would distort
+	// every Class II decision). Default 0.9.
+	LoadCeiling float64
+}
+
+func (cfg *ControllerConfig) applyDefaults() {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 3 * cfg.Interval
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 1
+	}
+	if cfg.HeadroomLow <= 0 {
+		cfg.HeadroomLow = 0.1
+	}
+	if cfg.HysteresisGain <= 0 {
+		cfg.HysteresisGain = 0.02
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 400
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 3
+	}
+	if cfg.LoadCeiling <= 0 || cfg.LoadCeiling > 1 {
+		cfg.LoadCeiling = 0.9
+	}
+}
+
+// ControllerMove records one controller-initiated migration attempt.
+type ControllerMove struct {
+	T        float64 // seconds since controller start
+	Op       int
+	From, To int
+	OK       bool
+	Err      string
+}
+
+// ControllerStats is a point-in-time summary of the controller's activity.
+type ControllerStats struct {
+	Decisions        int64
+	Moves            int64
+	MoveFailures     int64
+	ForecastHeadroom float64
+	LastAction       string // "hold:<reason>" or "migrate:<n>"
+}
+
+// Controller is the closed-loop elastic placement controller. Start it with
+// Cluster.StartController after StartMonitor; it is the only actuator that
+// should call MoveOperator while running.
+type Controller struct {
+	cl  *Cluster
+	m   *Monitor
+	cfg ControllerConfig
+	lm  *query.LoadModel
+
+	decC   *obs.Counter
+	movC   *obs.Counter
+	failC  *obs.Counter
+	fheadG *obs.Gauge
+
+	fc     map[query.StreamID]*forecaster
+	routed map[query.StreamID]map[int]bool
+
+	mu            sync.Mutex
+	log           []ControllerMove
+	lastAction    string
+	cooldownUntil time.Time
+
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// StartController attaches the elastic controller to a cluster whose
+// monitor was started with a load model and plan (the headroom inputs) and
+// starts its decision loop. Close the controller before the monitor.
+func (cl *Cluster) StartController(cfg ControllerConfig) (*Controller, error) {
+	cfg.applyDefaults()
+	m := cl.monitor
+	if m == nil {
+		return nil, fmt.Errorf("engine: StartController requires StartMonitor first")
+	}
+	if m.cfg.LM == nil || m.cfg.Plan == nil {
+		return nil, fmt.Errorf("engine: StartController requires a monitor with LM and Plan (headroom inputs)")
+	}
+	c := &Controller{
+		cl:     cl,
+		m:      m,
+		cfg:    cfg,
+		lm:     m.cfg.LM,
+		fc:     map[query.StreamID]*forecaster{},
+		routed: map[query.StreamID]map[int]bool{},
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	reg := m.cfg.Registry
+	c.decC = reg.Counter(obs.MetricControllerDecisions)
+	c.movC = reg.Counter(obs.MetricControllerMoves)
+	c.failC = reg.Counter(obs.MetricControllerMoveFailures)
+	c.fheadG = reg.Gauge(obs.MetricControllerForecastHeadroom)
+	c.fheadG.Set(1)
+	m.sampler.ProbeCounter(obs.MetricControllerDecisions, c.decC)
+	m.sampler.ProbeCounter(obs.MetricControllerMoves, c.movC)
+	m.sampler.ProbeCounter(obs.MetricControllerMoveFailures, c.failC)
+	m.sampler.ProbeGauge(obs.MetricControllerForecastHeadroom, c.fheadG)
+
+	snap := m.Snapshot()
+	for _, in := range snap.Inputs {
+		c.fc[in] = newForecaster(cfg.Alpha, cfg.Beta, cfg.Gamma, cfg.SeasonPeriod)
+	}
+	// Seed the no-duplication sets from the placement at controller start.
+	// Migrations executed by other actors afterwards are not tracked — the
+	// controller assumes it is the only mover while running.
+	seedRouted(c.routed, c.lm.G, snap.NodeOf)
+
+	go c.run()
+	return c, nil
+}
+
+// Close stops the decision loop and waits for it to exit.
+func (c *Controller) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// Stats summarizes the controller's activity so far.
+func (c *Controller) Stats() ControllerStats {
+	c.mu.Lock()
+	last := c.lastAction
+	c.mu.Unlock()
+	return ControllerStats{
+		Decisions:        c.decC.Value(),
+		Moves:            c.movC.Value(),
+		MoveFailures:     c.failC.Value(),
+		ForecastHeadroom: c.fheadG.Value(),
+		LastAction:       last,
+	}
+}
+
+// Moves returns the executed-migration log (successes and aborts) in
+// decision order.
+func (c *Controller) Moves() []ControllerMove {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ControllerMove(nil), c.log...)
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tick.C:
+			c.decide(now)
+		}
+	}
+}
+
+// decide runs one decision cycle: observe, forecast, evaluate, and — when
+// the guard rails allow — re-place and migrate.
+func (c *Controller) decide(now time.Time) {
+	ev := c.m.cfg.Events
+	c.decC.Inc()
+	snap := c.m.Snapshot()
+
+	// Feed this cycle's smoothed rates into the per-stream forecasters and
+	// project the rate point Horizon ahead.
+	h := int((c.cfg.Horizon + c.cfg.Interval - 1) / c.cfg.Interval)
+	warm := true
+	fRates := mat.NewVec(len(snap.Inputs))
+	for k, in := range snap.Inputs {
+		f := c.fc[in]
+		if f == nil {
+			f = newForecaster(c.cfg.Alpha, c.cfg.Beta, c.cfg.Gamma, c.cfg.SeasonPeriod)
+			c.fc[in] = f
+		}
+		f.Observe(snap.Rates[k])
+		if f.seen < c.cfg.Warmup {
+			warm = false
+		}
+		fRates[k] = f.Forecast(h)
+	}
+
+	opLoads, fRates, err := c.resolveClamped(fRates, snap)
+	if err != nil {
+		ev.Emit(obs.LevelWarn, obs.EventControlError, "op", "controller_resolve", "err", err.Error())
+		return
+	}
+	loads := nodeLoads(opLoads, snap.NodeOf, len(snap.Caps))
+	minHead, hotNode := minHeadroom(loads, snap.Caps, snap.Stale)
+	c.fheadG.Set(minHead)
+
+	overloaded := false
+	for i, ov := range snap.Overloaded {
+		if ov && !snap.Stale[i] {
+			overloaded = true
+			break
+		}
+	}
+
+	hold := func(reason string) {
+		c.setAction("hold:" + reason)
+		ev.Emit(obs.LevelInfo, obs.EventControllerDecide,
+			"action", "hold", "reason", reason,
+			"forecast_headroom", minHead, "hot_node", hotNode)
+	}
+
+	if minHead >= c.cfg.HeadroomLow && !overloaded {
+		hold("headroom_ok")
+		return
+	}
+	if !warm {
+		hold("warmup")
+		return
+	}
+	c.mu.Lock()
+	cooling := now.Before(c.cooldownUntil)
+	c.mu.Unlock()
+	if cooling {
+		hold("cooldown")
+		return
+	}
+
+	// Re-place against the forecast rate point. Stale nodes keep their
+	// pinned operators and a vanishing capacity so the placer routes load
+	// away from them.
+	caps := append(mat.Vec(nil), snap.Caps...)
+	pinned := map[int]int{}
+	for i, st := range snap.Stale {
+		if st {
+			caps[i] = 1e-6
+			for op, node := range snap.NodeOf {
+				if node == i {
+					pinned[op] = i
+				}
+			}
+		}
+	}
+	cand, _, err := core.PlaceBest(c.lm.Coef, caps, core.Config{
+		Graph:      c.lm.G,
+		LowerBound: fRates,
+		Seed:       c.cfg.Seed,
+		Pinned:     pinned,
+	}, c.cfg.Samples)
+	if err != nil {
+		ev.Emit(obs.LevelWarn, obs.EventControlError, "op", "controller_place", "err", err.Error())
+		hold("place_error")
+		return
+	}
+
+	moves := planMoves(snap.NodeOf, cand.NodeOf, opLoads, snap.Stale, c.lm.G, c.routed, c.cfg.MaxMoves)
+	if len(moves) == 0 {
+		hold("no_admissible_moves")
+		return
+	}
+
+	// Hysteresis: the budgeted subset must actually buy headroom at the
+	// forecast point.
+	next := append([]int(nil), snap.NodeOf...)
+	for _, mv := range moves {
+		next[mv.Op] = mv.To
+	}
+	newHead, _ := minHeadroom(nodeLoads(opLoads, next, len(snap.Caps)), snap.Caps, snap.Stale)
+	if newHead < minHead+c.cfg.HysteresisGain {
+		hold("insufficient_gain")
+		return
+	}
+
+	c.setAction(fmt.Sprintf("migrate:%d", len(moves)))
+	ev.Emit(obs.LevelInfo, obs.EventControllerDecide,
+		"action", "migrate", "moves", len(moves),
+		"forecast_headroom", minHead, "projected_headroom", newHead,
+		"hot_node", hotNode)
+	c.execute(moves, snap)
+
+	c.mu.Lock()
+	c.cooldownUntil = now.Add(c.cfg.Cooldown)
+	c.mu.Unlock()
+}
+
+// execute runs the budgeted move set against the live cluster, updating the
+// no-duplication sets and the migration log per outcome.
+func (c *Controller) execute(moves []ctrlMove, snap MonitorSnapshot) {
+	ev := c.m.cfg.Events
+	plan := &placement.Plan{NodeOf: append([]int(nil), snap.NodeOf...), N: len(snap.Caps)}
+	for _, mv := range moves {
+		from := plan.NodeOf[mv.Op]
+		err := c.cl.MoveOperator(c.lm.G, plan, query.OpID(mv.Op), mv.To, c.cfg.Stall)
+		rec := ControllerMove{
+			T:    time.Since(c.start).Seconds(),
+			Op:   mv.Op,
+			From: from,
+			To:   mv.To,
+			OK:   err == nil,
+		}
+		if err == nil {
+			c.movC.Inc()
+			ev.Emit(obs.LevelInfo, obs.EventControllerMigrate,
+				"op", mv.Op, "from", from, "to", mv.To, "ok", true)
+		} else {
+			rec.Err = err.Error()
+			c.failC.Inc()
+			ev.Emit(obs.LevelWarn, obs.EventControllerMigrate,
+				"op", mv.Op, "from", from, "to", mv.To, "ok", false, "err", err.Error())
+		}
+		// Mark the destination routed either way: even an aborted move
+		// briefly installed routes there, so it is never reused for these
+		// streams (conservative, keeps the ledger exact).
+		markRouted(c.routed, c.lm.G.Op(query.OpID(mv.Op)), mv.To)
+		c.mu.Lock()
+		c.log = append(c.log, rec)
+		c.mu.Unlock()
+	}
+}
+
+func (c *Controller) setAction(a string) {
+	c.mu.Lock()
+	c.lastAction = a
+	c.mu.Unlock()
+}
+
+// resolveClamped resolves per-operator loads at the forecast rate point,
+// scaling the rates down if the total load exceeds LoadCeiling × the live
+// (non-stale) capacity sum — an infeasible lower bound would distort the
+// re-placement rather than inform it.
+func (c *Controller) resolveClamped(fRates mat.Vec, snap MonitorSnapshot) ([]float64, mat.Vec, error) {
+	x, err := c.lm.ResolveVars(fRates)
+	if err != nil {
+		return nil, nil, err
+	}
+	opLoads := c.lm.Loads(x)
+	total := 0.0
+	for _, l := range opLoads {
+		total += l
+	}
+	capSum := 0.0
+	for i, cp := range snap.Caps {
+		if i < len(snap.Stale) && snap.Stale[i] {
+			continue
+		}
+		capSum += cp
+	}
+	if ceil := c.cfg.LoadCeiling * capSum; total > ceil && total > 0 {
+		scale := ceil / total
+		scaled := append(mat.Vec(nil), fRates...)
+		for k := range scaled {
+			scaled[k] *= scale
+		}
+		x, err = c.lm.ResolveVars(scaled)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.lm.Loads(x), scaled, nil
+	}
+	return opLoads, fRates, nil
+}
+
+// ctrlMove is one (operator, destination) migration the controller plans.
+type ctrlMove struct {
+	Op   int
+	To   int
+	Load float64
+}
+
+// nodeLoads aggregates per-operator loads by placement.
+func nodeLoads(opLoads []float64, nodeOf []int, n int) []float64 {
+	loads := make([]float64, n)
+	for op, node := range nodeOf {
+		if op < len(opLoads) && node >= 0 && node < n {
+			loads[node] += opLoads[op]
+		}
+	}
+	return loads
+}
+
+// minHeadroom returns the minimum 1 − load_i/C_i over non-stale nodes and
+// the node attaining it (−1 when every node is stale).
+func minHeadroom(loads []float64, caps mat.Vec, stale []bool) (float64, int) {
+	min, arg := 1.0, -1
+	for i, l := range loads {
+		if i < len(stale) && stale[i] {
+			continue
+		}
+		cp := 1.0
+		if i < len(caps) && caps[i] > 0 {
+			cp = caps[i]
+		}
+		h := 1 - l/cp
+		if arg < 0 || h < min {
+			min, arg = h, i
+		}
+	}
+	return min, arg
+}
+
+// planMoves diffs the candidate plan against the current placement and
+// returns the admissible moves, highest forecast load first, capped at
+// maxMoves. A move is admissible when neither endpoint is stale and the
+// destination holds no route — past or present — for any of the operator's
+// streams (the relay no-duplication constraint). Later candidates see
+// earlier admitted moves through a tentative overlay; the shared routed
+// sets are only committed by execute, so a move set the hysteresis gate
+// rejects burns no admissibility.
+func planMoves(cur, cand []int, opLoads []float64, stale []bool, g *query.Graph, routed map[query.StreamID]map[int]bool, maxMoves int) []ctrlMove {
+	var diff []ctrlMove
+	for op := range cur {
+		if cand[op] == cur[op] {
+			continue
+		}
+		load := 0.0
+		if op < len(opLoads) {
+			load = opLoads[op]
+		}
+		diff = append(diff, ctrlMove{Op: op, To: cand[op], Load: load})
+	}
+	// Highest-load operators first: moving them buys the most headroom per
+	// migration, and the budget truncates the tail. Stable insertion sort —
+	// the diff is small and ties keep operator order deterministic.
+	for i := 1; i < len(diff); i++ {
+		for j := i; j > 0 && diff[j].Load > diff[j-1].Load; j-- {
+			diff[j], diff[j-1] = diff[j-1], diff[j]
+		}
+	}
+	tent := map[query.StreamID]map[int]bool{}
+	var moves []ctrlMove
+	for _, mv := range diff {
+		if len(moves) >= maxMoves {
+			break
+		}
+		src := cur[mv.Op]
+		if src < len(stale) && stale[src] {
+			continue // source control plane unreachable
+		}
+		if mv.To < len(stale) && stale[mv.To] {
+			continue
+		}
+		op := g.Op(query.OpID(mv.Op))
+		if !admissible(routed, op, mv.To) || !admissible(tent, op, mv.To) {
+			continue
+		}
+		markRouted(tent, op, mv.To)
+		moves = append(moves, mv)
+	}
+	return moves
+}
+
+// admissible reports whether dst holds no route for any of op's streams.
+func admissible(routed map[query.StreamID]map[int]bool, op *query.Operator, dst int) bool {
+	if routed[op.Out][dst] {
+		return false
+	}
+	for _, in := range op.Inputs {
+		if routed[in][dst] {
+			return false
+		}
+	}
+	return true
+}
+
+// markRouted records dst as holding routes for all of op's streams.
+func markRouted(routed map[query.StreamID]map[int]bool, op *query.Operator, dst int) {
+	mark := func(sid query.StreamID) {
+		m := routed[sid]
+		if m == nil {
+			m = map[int]bool{}
+			routed[sid] = m
+		}
+		m[dst] = true
+	}
+	mark(op.Out)
+	for _, in := range op.Inputs {
+		mark(in)
+	}
+}
+
+// seedRouted marks every stream's producer and consumer homes under the
+// given placement (mirrors internal/check's routedNodes).
+func seedRouted(routed map[query.StreamID]map[int]bool, g *query.Graph, nodeOf []int) {
+	for _, op := range g.Ops() {
+		if int(op.ID) >= len(nodeOf) {
+			continue
+		}
+		markRouted(routed, op, nodeOf[op.ID])
+	}
+}

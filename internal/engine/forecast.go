@@ -1,0 +1,96 @@
+package engine
+
+// Short-horizon per-stream rate forecasting for the elastic controller:
+// Holt's linear-trend double exponential smoothing, with an optional
+// additive seasonal component (Holt-Winters) for diurnal-wave workloads.
+// A plain EWMA lags a ramp by construction — by the time the smoothed rate
+// crosses the feasibility boundary the node is already overloaded. Tracking
+// the trend lets the controller project the rate point a horizon ahead and
+// start migration while the cluster still has headroom to pay for it.
+
+// forecaster smooths one stream's observed rate and extrapolates it h steps
+// ahead. Zero value is not usable; construct with newForecaster.
+type forecaster struct {
+	alpha float64 // level smoothing
+	beta  float64 // trend smoothing
+	gamma float64 // seasonal smoothing (ignored when period == 0)
+
+	period   int // seasonal buckets per cycle; 0 disables seasonality
+	seasonal []float64
+	idx      int // bucket the next observation falls into
+
+	level float64
+	trend float64
+	seen  int
+}
+
+// newForecaster builds a Holt(-Winters) forecaster. alpha/beta outside (0,1]
+// fall back to 0.5/0.3; period <= 1 disables the seasonal term and gamma is
+// then ignored (out-of-range gamma falls back to 0.2).
+func newForecaster(alpha, beta, gamma float64, period int) *forecaster {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if beta <= 0 || beta > 1 {
+		beta = 0.3
+	}
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.2
+	}
+	if period <= 1 {
+		period = 0
+	}
+	f := &forecaster{alpha: alpha, beta: beta, gamma: gamma, period: period}
+	if period > 0 {
+		f.seasonal = make([]float64, period)
+	}
+	return f
+}
+
+// Observe folds one rate sample into the level/trend (and seasonal) state.
+// Samples are assumed equally spaced at the controller's tick interval.
+func (f *forecaster) Observe(x float64) {
+	defer func() {
+		f.seen++
+		if f.period > 0 {
+			f.idx = (f.idx + 1) % f.period
+		}
+	}()
+	switch f.seen {
+	case 0:
+		f.level = x
+		return
+	case 1:
+		f.trend = x - f.level
+	}
+	s := 0.0
+	if f.period > 0 {
+		s = f.seasonal[f.idx]
+	}
+	prevLevel := f.level
+	f.level = f.alpha*(x-s) + (1-f.alpha)*(f.level+f.trend)
+	f.trend = f.beta*(f.level-prevLevel) + (1-f.beta)*f.trend
+	if f.period > 0 {
+		f.seasonal[f.idx] = f.gamma*(x-f.level) + (1-f.gamma)*s
+	}
+}
+
+// Forecast extrapolates h steps past the last observation, clamped at 0
+// (a projected negative rate is meaningless). h <= 0 returns the current
+// level plus the seasonal term for the next bucket.
+func (f *forecaster) Forecast(h int) float64 {
+	if f.seen == 0 {
+		return 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	v := f.level + float64(h)*f.trend
+	if f.period > 0 {
+		v += f.seasonal[(f.idx+h)%f.period]
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

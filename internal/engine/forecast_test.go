@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForecastConstantSeries(t *testing.T) {
+	f := newForecaster(0.5, 0.3, 0, 0)
+	for i := 0; i < 50; i++ {
+		f.Observe(100)
+	}
+	for _, h := range []int{0, 1, 10} {
+		if got := f.Forecast(h); math.Abs(got-100) > 1e-6 {
+			t.Fatalf("Forecast(%d) = %g on a constant 100 series", h, got)
+		}
+	}
+}
+
+func TestForecastLinearRamp(t *testing.T) {
+	// A plain EWMA lags a ramp forever; the Holt trend must project ahead
+	// of the last observation.
+	f := newForecaster(0.5, 0.3, 0, 0)
+	for i := 0; i < 60; i++ {
+		f.Observe(float64(100 + 10*i))
+	}
+	last := 100.0 + 10*59
+	h := 10
+	want := last + 10*float64(h)
+	got := f.Forecast(h)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("Forecast(%d) = %g, want ≈ %g (last obs %g)", h, got, want, last)
+	}
+	if got <= last {
+		t.Fatalf("Forecast(%d) = %g does not lead the ramp (last obs %g)", h, got, last)
+	}
+}
+
+func TestForecastClampedNonNegative(t *testing.T) {
+	f := newForecaster(0.5, 0.3, 0, 0)
+	for i := 0; i < 30; i++ {
+		f.Observe(float64(300 - 10*i)) // steep decline through zero
+	}
+	if got := f.Forecast(20); got < 0 {
+		t.Fatalf("Forecast projected a negative rate: %g", got)
+	}
+}
+
+func TestForecastSeasonalCycle(t *testing.T) {
+	// An additive sine of period 8: after a few cycles the seasonal
+	// forecaster should predict the cycle markedly better than the
+	// trend-only one, whose slope chases the oscillation.
+	period := 8
+	series := func(i int) float64 {
+		return 100 + 50*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	sf := newForecaster(0.3, 0.1, 0.4, period)
+	tf := newForecaster(0.3, 0.1, 0, 0)
+	n := period * 12
+	for i := 0; i < n; i++ {
+		sf.Observe(series(i))
+		tf.Observe(series(i))
+	}
+	var seasErr, trendErr float64
+	for h := 1; h <= period; h++ {
+		want := series(n - 1 + h)
+		seasErr += math.Abs(sf.Forecast(h) - want)
+		trendErr += math.Abs(tf.Forecast(h) - want)
+	}
+	if seasErr >= trendErr {
+		t.Fatalf("seasonal forecaster no better than trend-only on a pure cycle: %g vs %g", seasErr, trendErr)
+	}
+}
+
+func TestForecastDefaults(t *testing.T) {
+	f := newForecaster(-1, 2, 0, 1)
+	if f.alpha != 0.5 || f.beta != 0.3 {
+		t.Fatalf("out-of-range smoothing not defaulted: alpha=%g beta=%g", f.alpha, f.beta)
+	}
+	if f.period != 0 {
+		t.Fatalf("period 1 should disable seasonality, got %d", f.period)
+	}
+	if got := f.Forecast(5); got != 0 {
+		t.Fatalf("Forecast before any observation = %g, want 0", got)
+	}
+}

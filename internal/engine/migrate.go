@@ -72,15 +72,32 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 	}
 	cl.events.Emit(obs.LevelInfo, obs.EventMigrateInstall,
 		"op", int(opID), "from", srcNode, "to", dstNode)
+
+	// abort rolls the destination install back after a later step failed, so
+	// the operator is never left live on both homes with no relay and a
+	// stale plan. If the rollback itself fails (destination died too), the
+	// plan still reflects reality — the source copy is the only survivor.
+	abort := func(step string, cause error) error {
+		if rbErr := cl.Controls[dstNode].RemoveOp(int(op.ID), nil); rbErr != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError,
+				"op", "rollback", "node", dstNode, "err", rbErr.Error())
+		}
+		cl.events.Emit(obs.LevelWarn, obs.EventMigrateAbort,
+			"op", int(opID), "from", srcNode, "to", dstNode,
+			"step", step, "err", cause.Error())
+		return fmt.Errorf("engine: migrating op %d to node %d aborted at %s (destination rolled back): %w",
+			opID, dstNode, step, cause)
+	}
+
 	// 2. State-transfer stall on both ends.
 	if stall > 0 {
 		if err := cl.Controls[srcNode].Stall(stall); err != nil {
 			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "stall", "node", srcNode, "err", err.Error())
-			return err
+			return abort("stall_src", err)
 		}
 		if err := cl.Controls[dstNode].Stall(stall); err != nil {
 			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "stall", "node", dstNode, "err", err.Error())
-			return err
+			return abort("stall_dst", err)
 		}
 		cl.events.Emit(obs.LevelInfo, obs.EventMigrateStall,
 			"op", int(opID), "sec", stall.Seconds())
@@ -92,7 +109,7 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 	}
 	if err := cl.Controls[srcNode].RemoveOp(int(op.ID), relay); err != nil {
 		cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "removeop", "node", srcNode, "err", err.Error())
-		return fmt.Errorf("engine: removing op %d from node %d: %w", opID, srcNode, err)
+		return abort("removeop", fmt.Errorf("engine: removing op %d from node %d: %w", opID, srcNode, err))
 	}
 	cl.events.Emit(obs.LevelInfo, obs.EventMigrateRemove,
 		"op", int(opID), "from", srcNode, "to", dstNode)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"rodsp/internal/obs"
 	"rodsp/internal/placement"
 	"rodsp/internal/query"
 	"rodsp/internal/trace"
@@ -114,6 +115,62 @@ func TestMoveOperatorValidation(t *testing.T) {
 	// Moving to the current home is a no-op.
 	if err := cl.MoveOperator(g, plan, 0, 0, 0); err != nil {
 		t.Fatalf("no-op move errored: %v", err)
+	}
+}
+
+// A migration that fails after the destination install must roll the
+// install back: the operator stays at its source in the plan, the
+// destination does not keep a live copy, and a migrate_abort event records
+// the failure. Killing the source node makes the post-install stall fail
+// deterministically.
+func TestMoveOperatorRollbackOnSourceFailure(t *testing.T) {
+	b := query.NewBuilder()
+	in := b.Input("I")
+	b.Delay("a", 0.001, 1, in)
+	g := b.MustBuild()
+	plan, _ := placement.NewPlan([]int{0}, 2)
+	caps := []float64{1, 1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ev := obs.NewEventLog(0)
+	cl.SetEvents(ev)
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Controls[0].Fault(FaultSpec{Kill: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill acknowledges before dying; wait until the control plane is
+	// genuinely down so the migration's source stall must fail.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := cl.Controls[0].Stats(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 0 never died after the kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cl.MoveOperator(g, plan, 0, 1, 50*time.Millisecond); err == nil {
+		t.Fatal("migrating off a dead source must error")
+	}
+	if plan.NodeOf[0] != 0 {
+		t.Fatalf("aborted move mutated the plan: op 0 on node %d", plan.NodeOf[0])
+	}
+	if _, ok := ev.Find(obs.EventMigrateAbort); !ok {
+		t.Fatal("no migrate_abort event emitted")
+	}
+	// The destination rolled back: removing the operator there must report
+	// it was never (still) deployed.
+	if err := cl.Controls[1].RemoveOp(0, nil); err == nil {
+		t.Fatal("destination kept a live copy after the abort")
 	}
 }
 

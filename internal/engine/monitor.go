@@ -35,8 +35,11 @@ type MonitorConfig struct {
 	// reaches OverloadUtil (default 0.95) with at least OverloadQueue queued
 	// tuples (default 100); clearance fires once utilization drops below
 	// OverloadUtil and the queue drains to ClearQueue (default
-	// OverloadQueue/4). The queue hysteresis keeps a saturated-but-draining
-	// node in the overloaded state.
+	// OverloadQueue/4, clamped to at least 1 so a small OverloadQueue never
+	// demands a perfectly empty queue to clear). Set ClearQueue negative to
+	// request an explicit empty-queue clearance threshold of 0. The queue
+	// hysteresis keeps a saturated-but-draining node in the overloaded
+	// state.
 	OverloadUtil  float64
 	OverloadQueue int
 	ClearQueue    int
@@ -72,8 +75,14 @@ func (cfg *MonitorConfig) applyDefaults() {
 	if cfg.OverloadQueue <= 0 {
 		cfg.OverloadQueue = 100
 	}
-	if cfg.ClearQueue <= 0 {
+	switch {
+	case cfg.ClearQueue < 0:
+		cfg.ClearQueue = 0 // explicit empty-queue requirement
+	case cfg.ClearQueue == 0:
 		cfg.ClearQueue = cfg.OverloadQueue / 4
+		if cfg.ClearQueue < 1 {
+			cfg.ClearQueue = 1
+		}
 	}
 	if cfg.RateAlpha <= 0 || cfg.RateAlpha > 1 {
 		cfg.RateAlpha = 0.4
@@ -112,10 +121,16 @@ type Monitor struct {
 	stages   *obs.StageSet
 	stageP50 []*obs.Gauge
 	stageP99 []*obs.Gauge
-	overQ    []bool
 	lastBusy []float64
 	lastElap []float64
 	havePrev bool
+
+	// stateMu guards the overload latch and staleness flags, which the
+	// sampling goroutine writes and Snapshot (the elastic controller's read
+	// path) copies.
+	stateMu sync.Mutex
+	overQ   []bool
+	stale   []bool
 
 	srcMu   sync.Mutex
 	srcC    map[query.StreamID]*obs.Counter
@@ -161,6 +176,7 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 
 		latQ:     map[float64]*obs.Gauge{},
 		overQ:    make([]bool, n),
+		stale:    make([]bool, n),
 		lastBusy: make([]float64, n),
 		lastElap: make([]float64, n),
 		srcC:     map[query.StreamID]*obs.Counter{},
@@ -306,6 +322,64 @@ func (m *Monitor) setOp(opID query.OpID, node int) {
 	m.planMu.Unlock()
 }
 
+// MonitorSnapshot is a point-in-time copy of the monitor's view of the
+// cluster, consumed by the elastic controller's decision cycle.
+type MonitorSnapshot struct {
+	// Utils, Queues and Headrooms are the per-node windowed utilization,
+	// queue depth and live feasibility headroom gauges.
+	Utils     []float64
+	Queues    []float64
+	Headrooms []float64
+	// Overloaded is the hysteresis overload latch; Stale marks nodes whose
+	// stats went unreachable (gauges zeroed, latch cleared).
+	Overloaded []bool
+	Stale      []bool
+	// Inputs is the load model's rate-vector order and Rates the matching
+	// EWMA-smoothed source rates R̂ (nil without an attached load model).
+	Inputs []query.StreamID
+	Rates  mat.Vec
+	// NodeOf is the live operator placement as tracked across migrations;
+	// Caps the node capacities used in the headroom computation.
+	NodeOf []int
+	Caps   mat.Vec
+}
+
+// Snapshot copies the monitor's current view of the cluster. Safe to call
+// from any goroutine.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	n := len(m.utilG)
+	s := MonitorSnapshot{
+		Utils:     make([]float64, n),
+		Queues:    make([]float64, n),
+		Headrooms: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.Utils[i] = m.utilG[i].Value()
+		s.Queues[i] = m.queueG[i].Value()
+		s.Headrooms[i] = m.headG[i].Value()
+	}
+	m.stateMu.Lock()
+	s.Overloaded = append([]bool(nil), m.overQ...)
+	s.Stale = append([]bool(nil), m.stale...)
+	m.stateMu.Unlock()
+	m.srcMu.Lock()
+	if len(m.inputs) > 0 {
+		s.Inputs = append([]query.StreamID(nil), m.inputs...)
+		s.Rates = mat.NewVec(len(m.inputs))
+		for k, in := range m.inputs {
+			if e, ok := m.srcRate[in]; ok {
+				s.Rates[k] = e.Value()
+			}
+		}
+	}
+	m.srcMu.Unlock()
+	m.planMu.Lock()
+	s.NodeOf = append([]int(nil), m.nodeOf...)
+	m.planMu.Unlock()
+	s.Caps = append(mat.Vec(nil), m.caps...)
+	return s
+}
+
 // Close stops the sampling loop and waits for it to exit.
 func (m *Monitor) Close() {
 	select {
@@ -346,13 +420,32 @@ func (m *Monitor) tick(now time.Time) {
 
 	// Per-node gauges: windowed utilization from busy-time deltas (the
 	// control plane reports cumulative busy/elapsed), queue depth, counts.
-	// Unreachable nodes report nil stats (Cluster.Stats is partial); their
-	// gauges keep the last observed values for this window.
+	// Unreachable nodes report nil stats (Cluster.Stats is partial); they
+	// are marked stale: utilization/queue gauges zeroed and any overload
+	// latch cleared, so nothing — controller included — keeps reacting to
+	// frozen last-observed values or chases a dead node.
 	utils := make([]float64, len(sts))
 	for i, s := range sts {
 		if s == nil {
-			utils[i] = m.utilG[i].Value()
+			if !m.stale[i] {
+				m.stateMu.Lock()
+				wasOver := m.overQ[i]
+				m.overQ[i] = false
+				m.stale[i] = true
+				m.stateMu.Unlock()
+				m.utilG[i].Set(0)
+				m.queueG[i].Set(0)
+				m.headG[i].Set(0)
+				ev.Emit(obs.LevelWarn, obs.EventNodeStale,
+					"node", i, "state", "stale", "was_overloaded", wasOver)
+			}
 			continue
+		}
+		if m.stale[i] {
+			m.stateMu.Lock()
+			m.stale[i] = false
+			m.stateMu.Unlock()
+			ev.Emit(obs.LevelInfo, obs.EventNodeStale, "node", i, "state", "fresh")
 		}
 		busy := s.Utilization * s.ElapsedSec
 		util := s.Utilization
@@ -415,6 +508,9 @@ func (m *Monitor) tick(now time.Time) {
 			}
 			m.planMu.Unlock()
 			for i := range loads {
+				if m.stale[i] {
+					continue // gauge pinned at 0 until the node recovers
+				}
 				cap := 1.0
 				if i < len(m.caps) && m.caps[i] > 0 {
 					cap = m.caps[i]
@@ -444,18 +540,27 @@ func (m *Monitor) tick(now time.Time) {
 		}
 	}
 
-	// Overload onset/clearance with queue hysteresis.
+	// Overload onset/clearance with queue hysteresis. Stale nodes were
+	// already un-latched above.
 	for i, s := range sts {
 		if s == nil {
 			continue
 		}
+		m.stateMu.Lock()
+		var onset, clear bool
 		if !m.overQ[i] && utils[i] >= m.cfg.OverloadUtil && s.QueueLen >= m.cfg.OverloadQueue {
 			m.overQ[i] = true
+			onset = true
+		} else if m.overQ[i] && utils[i] < m.cfg.OverloadUtil && s.QueueLen <= m.cfg.ClearQueue {
+			m.overQ[i] = false
+			clear = true
+		}
+		m.stateMu.Unlock()
+		if onset {
 			ev.Emit(obs.LevelWarn, obs.EventOverloadOnset,
 				"node", i, "util", utils[i], "queue", s.QueueLen,
 				"headroom", m.headG[i].Value())
-		} else if m.overQ[i] && utils[i] < m.cfg.OverloadUtil && s.QueueLen <= m.cfg.ClearQueue {
-			m.overQ[i] = false
+		} else if clear {
 			ev.Emit(obs.LevelInfo, obs.EventOverloadClear,
 				"node", i, "util", utils[i], "queue", s.QueueLen,
 				"headroom", m.headG[i].Value())

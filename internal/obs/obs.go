@@ -55,6 +55,19 @@ const (
 	// MetricNodeNoRoute counts inbound tuples discarded because their
 	// stream had neither a local subscription nor a relay route.
 	MetricNodeNoRoute = "rodsp_node_tuples_no_route_total"
+
+	// MetricControllerDecisions counts elastic-controller decision cycles
+	// (every evaluation of the forecast headroom, whether or not it acted).
+	MetricControllerDecisions = "rodsp_controller_decisions_total"
+	// MetricControllerMoves counts migrations the controller executed.
+	MetricControllerMoves = "rodsp_controller_moves_total"
+	// MetricControllerMoveFailures counts controller-initiated migrations
+	// that aborted (the destination install was rolled back).
+	MetricControllerMoveFailures = "rodsp_controller_move_failures_total"
+	// MetricControllerForecastHeadroom is the minimum per-node feasibility
+	// headroom 1 − L^n_i·R̂(t+H)/C_i at the controller's forecast rate
+	// point — the signal the decision rule triggers on.
+	MetricControllerForecastHeadroom = "rodsp_controller_forecast_headroom"
 )
 
 // Event types emitted by the engine and the simulator.
@@ -88,6 +101,22 @@ const (
 	// conservation ledger, an outbox identity, or a paper-derived
 	// metamorphic property — fails on a checked scenario.
 	EventInvariantViolation = "invariant_violation"
+	// EventMigrateAbort records a migration that failed after the
+	// destination install: the install was rolled back (or the source was
+	// already dead) and the plan was left at the pre-move assignment.
+	EventMigrateAbort = "migrate_abort"
+	// EventNodeStale marks a node whose stats became unreachable (killed or
+	// partitioned): its overload latch is cleared and its gauges zeroed so
+	// nothing keeps reacting to frozen last-observed values. Emitted with
+	// state=stale on loss and state=fresh on recovery.
+	EventNodeStale = "node_stale"
+	// EventControllerDecide records one elastic-controller decision: the
+	// forecast minimum headroom and the action taken (hold/migrate, with a
+	// reason for holds).
+	EventControllerDecide = "controller_decide"
+	// EventControllerMigrate records one controller-initiated migration
+	// (ok=false when the move aborted and was rolled back).
+	EventControllerMigrate = "controller_migrate"
 )
 
 // Event levels.

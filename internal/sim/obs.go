@@ -28,13 +28,22 @@ type ObsConfig struct {
 	// Overload detection thresholds, matching engine.MonitorConfig:
 	// onset at OverloadUtil (default 0.95) with OverloadQueue queued items
 	// (default 100); clearance below OverloadUtil with the queue at or
-	// under ClearQueue (default OverloadQueue/4).
+	// under ClearQueue (default OverloadQueue/4, clamped to at least 1;
+	// negative requests an explicit empty-queue threshold of 0).
 	OverloadUtil  float64
 	OverloadQueue int
 	ClearQueue    int
 
 	// RateAlpha is the EWMA smoothing for source rates (default 0.4).
 	RateAlpha float64
+
+	// Controller mirrors the engine's elastic-controller observability:
+	// the rodsp_controller_* series are registered (so a controller-mode
+	// engine run and a sim replay of its recorded decisions keep identical
+	// series schemas for the lockstep cross-validation), scheduled moves
+	// emit controller_migrate events and feed the decision/move counters,
+	// and the forecast-headroom gauge tracks the minimum node headroom.
+	Controller bool
 }
 
 // observer carries the per-run observability state; nil when disabled.
@@ -71,6 +80,12 @@ type observer struct {
 	lastBusy []float64
 	over     []bool
 
+	// Controller-mirror instruments; nil unless ObsConfig.Controller.
+	ctrlDecC  *obs.Counter
+	ctrlMovC  *obs.Counter
+	ctrlFailC *obs.Counter
+	ctrlHeadG *obs.Gauge
+
 	scratch mat.Scratch // per-sample vectors; sample() runs on one goroutine
 }
 
@@ -92,8 +107,14 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 	if oc.OverloadQueue <= 0 {
 		oc.OverloadQueue = 100
 	}
-	if oc.ClearQueue <= 0 {
+	switch {
+	case oc.ClearQueue < 0:
+		oc.ClearQueue = 0 // explicit empty-queue requirement
+	case oc.ClearQueue == 0:
 		oc.ClearQueue = oc.OverloadQueue / 4
+		if oc.ClearQueue < 1 {
+			oc.ClearQueue = 1
+		}
 	}
 
 	o := &observer{
@@ -180,7 +201,34 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 		o.sampler.ProbeCounter(obs.MetricStageTuples,
 			o.reg.Counter(obs.MetricStageTuples, "stage", name), "stage", name)
 	}
+	if oc.Controller {
+		// One mirrored decision per sample window; scheduled moves feed the
+		// move counter and the failure counter stays at zero (the simulator
+		// cannot abort a migration). Registered only on request so the
+		// schema matches the engine, which registers these series only when
+		// its controller is running.
+		o.ctrlDecC = o.reg.Counter(obs.MetricControllerDecisions)
+		o.ctrlMovC = o.reg.Counter(obs.MetricControllerMoves)
+		o.ctrlFailC = o.reg.Counter(obs.MetricControllerMoveFailures)
+		o.ctrlHeadG = o.reg.Gauge(obs.MetricControllerForecastHeadroom)
+		o.ctrlHeadG.Set(1)
+		o.sampler.ProbeCounter(obs.MetricControllerDecisions, o.ctrlDecC)
+		o.sampler.ProbeCounter(obs.MetricControllerMoves, o.ctrlMovC)
+		o.sampler.ProbeCounter(obs.MetricControllerMoveFailures, o.ctrlFailC)
+		o.sampler.ProbeGauge(obs.MetricControllerForecastHeadroom, o.ctrlHeadG)
+	}
 	return o
+}
+
+// onMove mirrors one applied scheduled move into the controller series
+// (no-op unless ObsConfig.Controller).
+func (o *observer) onMove(now float64, op, from, to int) {
+	if o.ctrlMovC == nil {
+		return
+	}
+	o.ctrlMovC.Inc()
+	o.ev.EmitAt(now, obs.LevelInfo, obs.EventControllerMigrate,
+		"op", op, "from", from, "to", to, "ok", true)
 }
 
 // onStage records one stage crossing (seconds of wall/sim time).
@@ -246,14 +294,25 @@ func (o *observer) sample(now float64, nodes []nodeState, nodeOf []int) {
 					loads[node] += opLoads[op]
 				}
 			}
+			minHead := 1.0
 			for i := range loads {
 				cap := 1.0
 				if i < len(o.caps) && o.caps[i] > 0 {
 					cap = o.caps[i]
 				}
-				o.headG[i].Set(1 - loads[i]/cap)
+				h := 1 - loads[i]/cap
+				o.headG[i].Set(h)
+				if i == 0 || h < minHead {
+					minHead = h
+				}
+			}
+			if o.ctrlHeadG != nil {
+				o.ctrlHeadG.Set(minHead)
 			}
 		}
+	}
+	if o.ctrlDecC != nil {
+		o.ctrlDecC.Inc() // one mirrored decision per sample window
 	}
 
 	// Sink latency quantiles from the cumulative histogram.

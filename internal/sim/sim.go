@@ -575,6 +575,7 @@ func Run(cfg Config) (*Result, error) {
 			if obsv != nil {
 				obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateInstall, "op", mv.Op, "from", from, "to", mv.To)
 				obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateRemove, "op", mv.Op, "from", from, "to", mv.To)
+				obsv.onMove(e.time, mv.Op, from, mv.To)
 			}
 			if mv.Stall > 0 {
 				for _, node := range []int{from, mv.To} {

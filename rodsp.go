@@ -127,6 +127,12 @@ type (
 	// Monitor is the running engine observability loop; see
 	// EngineCluster.StartMonitor.
 	Monitor = engine.Monitor
+	// ControllerConfig tunes the elastic placement controller (decision
+	// interval, forecast horizon, migration budget, hysteresis, cooldown).
+	ControllerConfig = engine.ControllerConfig
+	// Controller is the running closed-loop elastic placement controller;
+	// see EngineCluster.StartController.
+	Controller = engine.Controller
 	// SimObsConfig enables the simulator's virtual-time observer, which
 	// emits the same metric schema as the engine monitor.
 	SimObsConfig = sim.ObsConfig
