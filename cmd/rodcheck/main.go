@@ -9,6 +9,7 @@
 //	rodcheck -seed 1 -soak 30m [-fail-out failing.json]
 //	rodcheck -seed 1 -episodes 20 -slo p99=750ms,zero-shed -report report.json
 //	rodcheck -seed 1 -episodes 0 -controller 1
+//	rodcheck -seed 1 -episodes 0 -sharded 1
 //
 // -controller N runs N closed-loop acceptance pairs: a flash-crowd episode
 // executed twice, elastic controller on and off. The on-arm must migrate the
@@ -17,13 +18,27 @@
 // (proving the workload genuinely exceeded the static placement). During
 // -soak a controller pair is interleaved every fifteenth episode.
 //
+// -sharded N runs N keyed-parallelism acceptance pairs: a hot operator whose
+// load exceeds any single node, driven unsharded (must shed), sharded k=4
+// with uniform hashing, and sharded with a skew-aware slot table plus one
+// live repartition. Both sharded arms must hold the ledger at residual 0
+// with zero shed, and under Zipf(1.1) keys the skew-aware arm's minimum
+// node headroom must strictly beat uniform's.
+//
+// -ctrl-lockstep N cross-validates the closed loop itself: the engine's
+// autonomous migrations are replayed in the simulator and the per-node
+// series must agree under an identical obs schema (controller instruments
+// included).
+//
 // Each episode derives its own seed (base seed + index) and class: every
-// third episode kills a node, the rest stay strict (full ledger). With
+// third episode kills a node, every seventh drives a correlated spike (two
+// chains ramping together, strict ledger), the rest stay strict. With
 // -soak the episode loop runs until the duration elapses instead of a fixed
-// count, interleaving a lockstep cross-validation every tenth episode. On
-// the first failure rodcheck writes the failing seed and diagnosis to
-// -fail-out (if set) so CI can archive a one-command reproduction, then
-// exits 1.
+// count, interleaving a lockstep cross-validation every tenth episode, a
+// controller pair every fifteenth, a controller lockstep every twentieth,
+// and a sharded pair every twenty-fifth. On the first failure rodcheck
+// writes the failing seed and diagnosis to -fail-out (if set) so CI can
+// archive a one-command reproduction, then exits 1.
 //
 // With -slo each strict episode's sink p99 and ledger shed/drop counts are
 // graded against the spec; the run's grade is the worst episode's. KillNode
@@ -61,6 +76,8 @@ func main() {
 		soak        = flag.Duration("soak", 0, "run episodes until this duration elapses (overrides -episodes)")
 		lockstep    = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
 		controllerN = flag.Int("controller", 0, "controller pair episodes to run (flash-crowd, elastic controller on vs off)")
+		shardedN    = flag.Int("sharded", 0, "sharded pair episodes to run (hot operator: unsharded vs k=4 uniform vs skew-aware)")
+		ctrlLockN   = flag.Int("ctrl-lockstep", 0, "controller lockstep cross-validations to run (engine closed loop replayed in the simulator)")
 		failOut     = flag.String("fail-out", "", "write the first failure as JSON to this file")
 		sloFlag     = flag.String("slo", "", "SLO spec graded per strict episode, e.g. p99=750ms,zero-shed")
 		report      = flag.String("report", "", "write the aggregate obs.RunReport JSON here")
@@ -97,6 +114,12 @@ func main() {
 		}
 		if f.Kind == "controller" {
 			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -controller 1", f.Seed)
+		}
+		if f.Kind == "sharded" {
+			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -sharded 1", f.Seed)
+		}
+		if f.Kind == "ctrl-lockstep" {
+			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -ctrl-lockstep 1", f.Seed)
 		}
 		fmt.Fprintf(os.Stderr, "rodcheck: FAIL (%s, seed %d): %s\n", f.Kind, f.Seed, f.Error)
 		if *failOut != "" {
@@ -156,6 +179,42 @@ func main() {
 		runControllerPair(*seed + int64(i))
 	}
 
+	// Sharded pairs: the keyed-parallelism acceptance gate. Each pair drives
+	// the seeded hot-operator workload three ways — unsharded (must shed),
+	// k=4 uniform hashing, k=4 skew-aware with a live repartition — and
+	// fails unless both sharded arms settle at residual 0 with zero shed and
+	// the skew-aware table strictly wins on minimum node headroom.
+	runShardedPair := func(s int64) {
+		ev := obs.NewEventLog(1024)
+		pr, err := check.RunShardedPair(s, 0, ev)
+		if err != nil {
+			fatal(failure{Kind: "sharded", Seed: s, Class: "sharded", Error: err.Error(), Episodes: ran})
+		}
+		if pr.Violation != nil {
+			fatal(failure{Kind: "sharded", Seed: s, Class: "sharded", Error: pr.Violation.Error(), Episodes: ran})
+		}
+		fmt.Printf("rodcheck: sharded pair ok (seed %d: unsharded shed %d; k=%d headroom uniform %.3f vs skew-aware %.3f)\n",
+			s, pr.Unsharded.Ledger.Shed, pr.Scenario.K, pr.HeadroomUniform, pr.HeadroomSkew)
+	}
+	for i := 0; i < *shardedN; i++ {
+		runShardedPair(*seed + int64(i))
+	}
+
+	runCtrlLockstep := func(s int64) {
+		res, err := check.RunControllerLockstep(s, check.Tolerances{})
+		if err != nil {
+			fatal(failure{Kind: "ctrl-lockstep", Seed: s, Class: "controller", Error: err.Error(), Episodes: ran})
+		}
+		if res.Violation != nil {
+			fatal(failure{Kind: "ctrl-lockstep", Seed: s, Class: "controller", Error: res.Violation.Error(), Episodes: ran})
+		}
+		fmt.Printf("rodcheck: controller lockstep ok (seed %d: %d autonomous moves replayed, sim delivered %d, engine delivered %d)\n",
+			s, len(res.Moves), res.SimDelivered, res.EngDelivered)
+	}
+	for i := 0; i < *ctrlLockN; i++ {
+		runCtrlLockstep(*seed + int64(i))
+	}
+
 	deadline := time.Time{}
 	if *soak > 0 {
 		deadline = time.Now().Add(*soak)
@@ -170,8 +229,11 @@ func main() {
 		}
 		epSeed := *seed + int64(i)
 		class := check.Strict
-		if i%3 == 2 {
+		switch {
+		case i%3 == 2:
 			class = check.KillNode
+		case i%7 == 3:
+			class = check.CorrSpike
 		}
 		if *soak > 0 && i > 0 && i%10 == 0 {
 			runLockstep(epSeed)
@@ -179,7 +241,19 @@ func main() {
 		if *soak > 0 && i > 0 && i%15 == 0 {
 			runControllerPair(epSeed)
 		}
-		sc, err := check.Generate(epSeed, *nodes, class)
+		if *soak > 0 && i > 0 && i%20 == 0 {
+			runCtrlLockstep(epSeed)
+		}
+		if *soak > 0 && i > 0 && i%25 == 0 {
+			runShardedPair(epSeed)
+		}
+		var sc *check.Scenario
+		var err error
+		if class == check.CorrSpike {
+			sc, err = check.GenerateCorrSpike(epSeed, *nodes)
+		} else {
+			sc, err = check.Generate(epSeed, *nodes, class)
+		}
 		if err != nil {
 			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: err.Error(), Episodes: ran})
 		}
@@ -192,9 +266,10 @@ func main() {
 			fatal(failure{Kind: "episode", Seed: epSeed, Class: class.String(), Error: res.Violation.Error(), Episodes: ran})
 		}
 		ran++
-		// Grade strict episodes only: KillNode episodes shed and drop by
-		// design (the ledger still audits them), so they'd poison the SLO.
-		if class == check.Strict {
+		// Grade strict-path episodes only (Strict and CorrSpike hold the full
+		// ledger): KillNode episodes shed and drop by design (the ledger
+		// still audits them), so they'd poison the SLO.
+		if class == check.Strict || class == check.CorrSpike {
 			g, reasons := slo.Grade(res.P99Ms, res.Ledger.Shed, res.Ledger.OutboxDropped+res.Ledger.NoRoute)
 			if res.P99Ms > rep.P99Ms {
 				rep.P50Ms, rep.P99Ms = res.P50Ms, res.P99Ms

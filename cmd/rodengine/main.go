@@ -6,10 +6,16 @@
 // Usage:
 //
 //	rodengine [-nodes 3] [-streams 3] [-algo rod|llf|random] [-util 0.6] \
-//	          [-seconds 5] [-speedup 20] [-seed 1] \
+//	          [-seconds 5] [-speedup 20] [-seed 1] [-max-shards 4] \
 //	          [-controller] [-forecast-horizon 1.5s] [-cooldown 2s] [-max-moves 1] \
 //	          [-queue 100000] [-shed-policy drop-newest|drop-oldest] [-outbox 4096] \
 //	          [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30]
+//
+// -max-shards k enables keyed operator parallelism: before placement, any
+// operator whose forecast load exceeds a single node's capacity is split
+// into up to k key-partitioned replicas (splitter → replicas → merge), and
+// the replicas are placed like first-class operators. 0 (the default)
+// leaves the graph unsharded.
 //
 // -controller closes the loop: an elastic placement controller watches the
 // monitor's live headroom, forecasts input rates a -forecast-horizon ahead
@@ -67,6 +73,8 @@ func main() {
 		speedup = flag.Float64("speedup", 20, "trace seconds played per wall second")
 		seed    = flag.Int64("seed", 1, "random seed")
 
+		maxShards = flag.Int("max-shards", 0, "split operators hotter than one node into up to this many keyed shards before placement (0 = off)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /series and /events over HTTP on this address (empty = disabled)")
 		eventsPath  = flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 		hold        = flag.Float64("hold", 0, "keep serving -metrics-addr this many seconds after the drive ends")
@@ -123,6 +131,24 @@ func main() {
 	if *speedup > 1 {
 		for k := range traces {
 			traces[k] = traces[k].ScaleToMean(means[k] / *speedup)
+		}
+	}
+
+	// Keyed parallelism: shard any operator the forecast says no single node
+	// can host, then rebuild the load model so placement sees the replicas.
+	if *maxShards > 1 {
+		var decisions []core.ShardDecision
+		g, decisions, err = core.PlanShards(g, caps, means, core.ShardPlanConfig{MaxShards: *maxShards})
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range decisions {
+			fmt.Printf("sharding %s into %d keyed replicas (standalone load %.2f)\n", d.Op, d.K, d.Load)
+		}
+		if len(decisions) > 0 {
+			if lm, err = query.BuildLoadModel(g); err != nil {
+				fail(err)
+			}
 		}
 	}
 

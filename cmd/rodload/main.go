@@ -22,11 +22,13 @@
 //
 // The "legacy" mode forces BatchMax=1 and per-tuple wire frames (the
 // pre-batching hot path); "batched" uses batch frames and lock-amortized
-// runs. Results are written as machine-readable JSON (BENCH_engine.json by
-// convention, committed and uploaded by CI like BENCH_placement.json). With
-// -baseline, rodload exits non-zero when the batched sustained throughput
-// falls below threshold × the baseline's batched sustained throughput — the
-// CI regression gate.
+// runs; "sharded" drives keyed tuples through a hot operator split into one
+// keyed replica per node (splitter → replicas → merge), measuring the
+// partition-table routing path under scale-out. Results are written as
+// machine-readable JSON (BENCH_engine.json by convention, committed and
+// uploaded by CI like BENCH_placement.json). With -baseline, rodload exits
+// non-zero when the batched sustained throughput falls below threshold ×
+// the baseline's batched sustained throughput — the CI regression gate.
 //
 // Tracing is armed for every phase at 1-in-trace-sample per-stream sampling
 // (default 8192; 0 disables), so the committed throughput numbers measure
@@ -62,6 +64,9 @@ import (
 type ModeResult struct {
 	Name     string `json:"name"`
 	BatchMax int    `json:"batch_max"`
+	// Sharded marks the keyed hot-operator topology: the single middle
+	// operator is split into one replica per node and tuples carry keys.
+	Sharded bool `json:"sharded,omitempty"`
 
 	SustainedTPS float64 `json:"sustained_tps"` // closed-loop sink rate
 	KneeTPS      float64 `json:"knee_tps"`      // open-loop feasibility knee
@@ -108,13 +113,17 @@ type config struct {
 	blastRate  float64
 	traceEvery int64     // 1-in-N per-stream span sampling (0 = tracing off)
 	traceW     io.Writer // JSONL span sink for -trace-out (nil = ring only)
+
+	// keys stamps each injected tuple's partition key (sharded mode only;
+	// nil leaves tuples unkeyed).
+	keys func() uint64
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "short CI run (smaller warmup/measure windows)")
 	nodes := flag.Int("nodes", 2, "cluster size (>= 2 so tuples cross a real TCP hop)")
 	batch := flag.Int("batch", engine.DefaultBatchMax, "BatchMax for the batched mode (>= 64 for the committed numbers)")
-	mode := flag.String("mode", "all", "which modes to run: all|legacy|batched")
+	mode := flag.String("mode", "all", "which modes to run: all|legacy|batched|sharded")
 	out := flag.String("out", "BENCH_engine.json", "write the JSON record here ('' = stdout only)")
 	baseline := flag.String("baseline", "", "compare against this committed BENCH_engine.json and fail on regression")
 	threshold := flag.Float64("threshold", 0.5, "minimum fraction of the baseline's batched sustained_tps")
@@ -273,10 +282,16 @@ func modesFor(mode string, batch int) []ModeResult {
 		return []ModeResult{{Name: "legacy", BatchMax: 1}}
 	case "batched":
 		return []ModeResult{{Name: "batched", BatchMax: batch}}
+	case "sharded":
+		return []ModeResult{{Name: "sharded", BatchMax: batch, Sharded: true}}
 	case "all", "":
-		return []ModeResult{{Name: "legacy", BatchMax: 1}, {Name: "batched", BatchMax: batch}}
+		return []ModeResult{
+			{Name: "legacy", BatchMax: 1},
+			{Name: "batched", BatchMax: batch},
+			{Name: "sharded", BatchMax: batch, Sharded: true},
+		}
 	default:
-		fail(fmt.Errorf("unknown -mode %q (want all|legacy|batched)", mode))
+		fail(fmt.Errorf("unknown -mode %q (want all|legacy|batched|sharded)", mode))
 		return nil
 	}
 }
@@ -314,11 +329,66 @@ func buildPipeline(nodes int) (*query.Graph, *placement.Plan, []float64) {
 	return g, plan, caps
 }
 
+// buildShardedPipeline is the keyed hot-operator topology: one zero-cost
+// operator split into keyed replicas spread over the worker nodes, so every
+// tuple rides the keyed wire frame, crosses the splitter's partition table,
+// and merges back — the scale-out routing path itself is what's being
+// measured. The flow stays strictly forward (splitter alone on node 0,
+// replicas and merge on nodes 1..n-1): merged tuples must never re-enter
+// the ingress queue the closed-loop blast saturates, or they queue behind
+// the flood and the sink starves.
+func buildShardedPipeline(nodes int) (*query.Graph, *placement.Plan, []float64) {
+	k := nodes - 1
+	if k < 2 {
+		k = 2
+	}
+	b := query.NewBuilder()
+	in := b.Input("load")
+	b.Delay("hot", 0, 1, in)
+	// Zero shuffle costs, like the unsharded pipeline's zero-cost hops: the
+	// virtual CPU must never pace, so the keyed data plane is the bottleneck.
+	g, err := query.Shards(b.MustBuild(), 0, query.ShardConfig{K: k})
+	if err != nil {
+		fail(err)
+	}
+	groups, err := query.ShardGroups(g)
+	if err != nil {
+		fail(err)
+	}
+	assign := make([]int, g.NumOps())
+	for i, r := range groups[0].Replicas {
+		assign[r] = 1 + i%(nodes-1)
+	}
+	assign[groups[0].Merge] = nodes - 1
+	caps := make([]float64, nodes)
+	for i := range caps {
+		caps[i] = 1
+	}
+	plan, err := placement.NewPlan(assign, nodes)
+	if err != nil {
+		fail(err)
+	}
+	return g, plan, caps
+}
+
 // runMode measures one wire/hot-path configuration on a fresh cluster.
 // latRate pins the latency probe to a rate shared across modes (0 = use
 // this mode's own half-knee; the caller passes the first mode's in).
 func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
-	g, plan, caps := buildPipeline(cfg.nodes)
+	var (
+		g    *query.Graph
+		plan *placement.Plan
+		caps []float64
+	)
+	if m.Sharded {
+		g, plan, caps = buildShardedPipeline(cfg.nodes)
+		// Sequential keys sweep the partition table's slots uniformly, so the
+		// measured rate reflects all replicas (and all hops) in rotation.
+		var n uint64
+		cfg.keys = func() uint64 { n++; return n }
+	} else {
+		g, plan, caps = buildPipeline(cfg.nodes)
+	}
 	cl, err := engine.StartClusterConfig(caps, engine.NodeConfig{BatchMax: m.BatchMax})
 	if err != nil {
 		return m, err
@@ -457,12 +527,19 @@ func measureRate(cl *engine.Cluster, input query.StreamID, target float64, legac
 // (legacy wire strips the context; the first ingress re-picks the same
 // tuples by the shared per-stream stride).
 func runDriver(cl *engine.Cluster, input query.StreamID, rate float64, legacyWire bool, cfg config, d time.Duration, sample func()) error {
+	// Start from a drained cluster: the previous phase's backlog (the blast
+	// phase leaves the ingress queue full by design) would otherwise bleed
+	// queue-drain latency into this phase's window. Slow-draining topologies
+	// (the sharded splitter paces at its split cost) need the long timeout;
+	// a failure here just means measuring against residual backlog.
+	cl.AwaitQuiescence(30*time.Second, 50*time.Millisecond) //nolint:errcheck
 	drv := &engine.SourceDriver{
 		Stream:     input,
 		Trace:      trace.New("const", 1, []float64{rate}),
 		Addrs:      []string{cl.Addrs()[0]},
 		Legacy:     legacyWire,
 		TraceEvery: cfg.traceEvery,
+		Keys:       cfg.keys,
 	}
 	errc := make(chan error, 1)
 	go func() {

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -127,6 +128,8 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	sr.Series = rest
 	ctrlLine, rest := controllerPanel(sr.Series, filter)
 	sr.Series = rest
+	shardTable, rest := shardPanel(sr.Series, filter)
+	sr.Series = rest
 	if filter != "" {
 		kept := sr.Series[:0]
 		for _, s := range sr.Series {
@@ -140,6 +143,7 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	var b strings.Builder
 	b.WriteString(stageTable)
 	b.WriteString(ctrlLine)
+	b.WriteString(shardTable)
 	width := 0
 	for _, s := range sr.Series {
 		if w := len(seriesID(s)); w > width {
@@ -285,6 +289,64 @@ func controllerPanel(series []seriesJSON, filter string) (string, []seriesJSON) 
 		return "", rest
 	}
 	return line, rest
+}
+
+// shardPanel extracts the per-shard routed-rate series (rodsp_shard_rate)
+// and groups the replicas of each keyed shard group under the operator that
+// was sharded:
+//
+//	shards of hot (4 replicas, tuples/s):  #0 123  #1 118  #2 121  #3 124
+//
+// It returns "" (and the series untouched) when the deployment has no keyed
+// shard groups, and respects the filter like any other row.
+func shardPanel(series []seriesJSON, filter string) (string, []seriesJSON) {
+	type replica struct {
+		idx  int
+		rate float64
+	}
+	groups := map[string][]replica{}
+	var order []string
+	rest := series[:0]
+	for _, s := range series {
+		if s.Name != obs.MetricShardRate {
+			rest = append(rest, s)
+			continue
+		}
+		op := s.Labels["op"]
+		idx, _ := strconv.Atoi(s.Labels["shard"])
+		cur := math.NaN()
+		if len(s.Points) > 0 {
+			cur = s.Points[len(s.Points)-1][1]
+		}
+		if _, seen := groups[op]; !seen {
+			order = append(order, op)
+		}
+		groups[op] = append(groups[op], replica{idx: idx, rate: cur})
+	}
+	if len(order) == 0 {
+		return "", rest
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	shown := 0
+	for _, op := range order {
+		rs := groups[op]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].idx < rs[j].idx })
+		line := fmt.Sprintf("shards of %s (%d replicas, tuples/s): ", op, len(rs))
+		for _, r := range rs {
+			line += fmt.Sprintf(" #%d %s", r.idx, fmtVal(r.rate))
+		}
+		if filter != "" && !strings.Contains(line, filter) && !strings.Contains(obs.MetricShardRate, filter) {
+			continue
+		}
+		b.WriteString(line + "\n")
+		shown++
+	}
+	if shown == 0 {
+		return "", rest
+	}
+	b.WriteString("\n")
+	return b.String(), rest
 }
 
 // stageRank orders table rows along the data path; unknown stages sort last

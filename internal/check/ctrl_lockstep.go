@@ -1,0 +1,219 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"rodsp/internal/engine"
+	"rodsp/internal/mat"
+	"rodsp/internal/obs"
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/sim"
+	"rodsp/internal/trace"
+)
+
+// ControllerLockstepResult carries both runs' summaries for reporting.
+type ControllerLockstepResult struct {
+	Scenario *Scenario
+	// Moves are the engine controller's successful autonomous migrations,
+	// replayed verbatim into the simulator.
+	Moves        []sim.ScheduledMove
+	SimUtil      []float64
+	EngUtil      []float64
+	SimHeadroom  []float64
+	EngHeadroom  []float64
+	SimDelivered int64
+	EngDelivered int64
+	Violation    error
+}
+
+// RunControllerLockstep cross-validates the closed loop itself: the seeded
+// controller scenario runs live on the engine with the elastic controller
+// deciding, then the migrations it actually executed are replayed into the
+// discrete-event simulator as a scheduled-move script with the simulator's
+// controller schema mirror enabled. Both runtimes must emit the identical
+// obs metric schema — including the five controller instruments — and
+// agree on per-node utilization, feasibility headroom, and delivery within
+// tolerances. A systematic gap here means the controller's view of the
+// cluster (the monitor it steers by) has drifted from the model the
+// placement math assumes.
+func RunControllerLockstep(seed int64, tol Tolerances) (*ControllerLockstepResult, error) {
+	tol.defaults()
+	sc, err := GenerateController(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ControllerLockstepResult{Scenario: sc}
+
+	engSeries, engStats, engDelivered, moves, err := runControllerLockstepEngine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("check: controller lockstep engine: %w", err)
+	}
+	res.Moves = moves
+	simRes, err := runControllerLockstepSim(sc, moves)
+	if err != nil {
+		return nil, fmt.Errorf("check: controller lockstep sim: %w", err)
+	}
+
+	if err := sameSchema(simRes.Series, engSeries); err != nil {
+		res.Violation = err
+		return res, nil
+	}
+
+	res.SimDelivered = simRes.TuplesOut
+	res.EngDelivered = engDelivered
+	for i := 0; i < sc.Nodes; i++ {
+		node := strconv.Itoa(i)
+		res.SimUtil = append(res.SimUtil, seriesMean(simRes.Series, obs.MetricNodeUtilization, node))
+		res.EngUtil = append(res.EngUtil, seriesMean(engSeries, obs.MetricNodeUtilization, node))
+		res.SimHeadroom = append(res.SimHeadroom, seriesMean(simRes.Series, obs.MetricNodeHeadroom, node))
+		res.EngHeadroom = append(res.EngHeadroom, seriesMean(engSeries, obs.MetricNodeHeadroom, node))
+	}
+	var engShed int64
+	for _, s := range engStats {
+		if s != nil {
+			engShed += s.Shed
+		}
+	}
+
+	for i := 0; i < sc.Nodes; i++ {
+		if d := math.Abs(res.SimUtil[i] - res.EngUtil[i]); d > tol.UtilAbs {
+			res.Violation = fmt.Errorf("check: controller lockstep: node %d mean utilization diverged by %.3f (sim %.3f vs engine %.3f, tol %.3f)",
+				i, d, res.SimUtil[i], res.EngUtil[i], tol.UtilAbs)
+			return res, nil
+		}
+		if d := math.Abs(res.SimHeadroom[i] - res.EngHeadroom[i]); d > tol.HeadroomAbs {
+			res.Violation = fmt.Errorf("check: controller lockstep: node %d mean headroom diverged by %.3f (sim %.3f vs engine %.3f, tol %.3f)",
+				i, d, res.SimHeadroom[i], res.EngHeadroom[i], tol.HeadroomAbs)
+			return res, nil
+		}
+	}
+	if simRes.TuplesOut > 0 {
+		gap := math.Abs(float64(engDelivered-simRes.TuplesOut)) / float64(simRes.TuplesOut)
+		if gap > tol.DeliveredRel {
+			res.Violation = fmt.Errorf("check: controller lockstep: delivered counts diverged by %.1f%% (sim %d vs engine %d, tol %.0f%%)",
+				gap*100, simRes.TuplesOut, engDelivered, tol.DeliveredRel*100)
+			return res, nil
+		}
+	}
+	if engShed > tol.ShedMax {
+		res.Violation = fmt.Errorf("check: controller lockstep: engine shed %d tuples under the closed loop (tol %d)",
+			engShed, tol.ShedMax)
+		return res, nil
+	}
+	return res, nil
+}
+
+// runControllerLockstepEngine drives the controller scenario with the
+// elastic controller live, returning the monitor series, node stats,
+// delivered count, and the successful autonomous migrations as a
+// sim-replayable move script.
+func runControllerLockstepEngine(sc *Scenario) (*obs.SeriesSet, []*engine.NodeStats, int64, []sim.ScheduledMove, error) {
+	plan, err := placement.NewPlan(append([]int(nil), sc.Plan.NodeOf...), sc.Nodes)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	lm, err := query.BuildLoadModel(sc.Graph)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	cl, err := engine.StartClusterConfig(sc.Caps, sc.Config)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	defer cl.Close()
+	if err := cl.Deploy(sc.Graph, plan, sc.Caps); err != nil {
+		return nil, nil, 0, nil, err
+	}
+	if err := cl.Start(); err != nil {
+		return nil, nil, 0, nil, err
+	}
+	mon := cl.StartMonitor(engine.MonitorConfig{
+		Interval:  50 * time.Millisecond,
+		LM:        lm,
+		Plan:      plan,
+		Caps:      mat.Vec(sc.Caps),
+		RateAlpha: 0.6,
+	})
+	defer mon.Close()
+	ctrlCfg := controllerConfigFor(sc.Seed)
+	ctrl, err := cl.StartController(ctrlCfg)
+	if err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("check: starting controller: %w", err)
+	}
+
+	addrs := cl.Addrs()
+	inputNodes := engine.InputNodes(sc.Graph, plan)
+	inputs := sc.Graph.Inputs()
+	errs := make([]error, len(inputs))
+	done := make(chan int, len(inputs))
+	for i, in := range inputs {
+		var dests []string
+		for _, n := range inputNodes[in] {
+			dests = append(dests, addrs[n])
+		}
+		drv := &engine.SourceDriver{
+			Stream:  in,
+			Trace:   sc.Traces[i],
+			Addrs:   dests,
+			MaxRate: 5000,
+			Count:   mon.SourceCounter(in),
+		}
+		go func(slot int) {
+			_, errs[slot] = drv.Run(sc.Wall, nil)
+			done <- slot
+		}(i)
+	}
+	for range inputs {
+		<-done
+	}
+	ctrl.Close()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, 0, nil, e
+		}
+	}
+	if err := cl.AwaitQuiescence(15*time.Second, 100*time.Millisecond); err != nil {
+		return nil, nil, 0, nil, err
+	}
+	var moves []sim.ScheduledMove
+	for _, mv := range ctrl.Moves() {
+		if mv.OK {
+			moves = append(moves, sim.ScheduledMove{
+				Time:  mv.T,
+				Op:    mv.Op,
+				To:    mv.To,
+				Stall: ctrlCfg.Stall.Seconds(),
+			})
+		}
+	}
+	stats, _ := cl.Stats()
+	delivered, _, _, _, _ := cl.Collector.LatencyStats()
+	return mon.Series(), stats, delivered, moves, nil
+}
+
+// runControllerLockstepSim replays the controller arm in the simulator:
+// same graph, plan and traces, the controller's migrations as scheduled
+// moves, and the controller schema mirror on so both runtimes expose the
+// same instrument set.
+func runControllerLockstepSim(sc *Scenario, moves []sim.ScheduledMove) (*sim.Result, error) {
+	sources := map[query.StreamID]*trace.Trace{}
+	for i, in := range sc.Graph.Inputs() {
+		sources[in] = sc.Traces[i]
+	}
+	return sim.Run(sim.Config{
+		Graph:          sc.Graph,
+		NodeOf:         sc.Plan.NodeOf,
+		Capacities:     mat.Vec(sc.Caps),
+		Sources:        sources,
+		Duration:       sc.Wall.Seconds(),
+		Seed:           sc.Seed,
+		ChargeTransfer: true,
+		MaxEvents:      20_000_000,
+		Moves:          moves,
+		Obs:            &sim.ObsConfig{Controller: true},
+	})
+}

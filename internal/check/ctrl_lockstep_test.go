@@ -1,0 +1,25 @@
+package check
+
+import "testing"
+
+// TestControllerLockstep cross-validates the closed loop: the engine's
+// autonomous migrations replayed in the simulator must land on the same
+// per-node utilization/headroom profile under an identical obs schema.
+func TestControllerLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller lockstep drives ~3s of wall-clock sources")
+	}
+	res, err := RunControllerLockstep(1, Tolerances{})
+	if err != nil {
+		t.Fatalf("infrastructure: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	t.Logf("replayed %d autonomous moves; delivered sim %d vs engine %d",
+		len(res.Moves), res.SimDelivered, res.EngDelivered)
+	for i := range res.SimUtil {
+		t.Logf("node %d: util sim %.3f eng %.3f | headroom sim %.3f eng %.3f",
+			i, res.SimUtil[i], res.EngUtil[i], res.SimHeadroom[i], res.EngHeadroom[i])
+	}
+}

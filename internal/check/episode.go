@@ -150,11 +150,11 @@ func RunEpisode(sc *Scenario, ev *obs.EventLog) (*EpisodeResult, error) {
 	for i := range outs {
 		res.Sources += outs[i].injected
 		res.SrcDropped += outs[i].dropped
-		if outs[i].err != nil && sc.Class == Strict {
+		if outs[i].err != nil && (sc.Class == Strict || sc.Class == CorrSpike) {
 			return nil, fmt.Errorf("check: source %d: %w", i, outs[i].err)
 		}
 	}
-	if applyErr != nil && sc.Class == Strict {
+	if applyErr != nil && (sc.Class == Strict || sc.Class == CorrSpike) {
 		return nil, applyErr
 	}
 
@@ -199,10 +199,10 @@ func RunEpisode(sc *Scenario, ev *obs.EventLog) (*EpisodeResult, error) {
 	}
 
 	switch sc.Class {
-	case Strict:
+	case Strict, CorrSpike:
 		for i, s := range stats {
 			if s == nil {
-				res.Violation = violation(ev, sc, fmt.Errorf("check: node %d unreachable in a strict episode", i))
+				res.Violation = violation(ev, sc, fmt.Errorf("check: node %d unreachable in a %s episode", i, sc.Class))
 				return res, nil
 			}
 		}

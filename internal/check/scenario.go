@@ -27,6 +27,14 @@ const (
 	// that its autonomous migrations keep the conservation ledger at
 	// residual 0 — and fire *before* the overload onset (see controller.go).
 	Controller
+	// Sharded scenarios drive a hot operator whose standalone load exceeds
+	// one node's capacity through a keyed shard group, comparing the
+	// unsharded, uniform-hash and skew-aware arms (see shard.go).
+	Sharded
+	// CorrSpike scenarios ramp two streams together — the correlated load
+	// variation ROD's rate-space reasoning is built for — and hold the
+	// strict conservation ledger across the simultaneous spike.
+	CorrSpike
 )
 
 func (c Class) String() string {
@@ -35,6 +43,10 @@ func (c Class) String() string {
 		return "kill"
 	case Controller:
 		return "controller"
+	case Sharded:
+		return "sharded"
+	case CorrSpike:
+		return "corr-spike"
 	}
 	return "strict"
 }
@@ -211,6 +223,87 @@ func generate(seed int64, nodes int, class Class, allowShed bool) (*Scenario, er
 	s.LegacySources = rng.Float64() < 0.3
 
 	s.genSchedule(rng)
+	return s, nil
+}
+
+// GenerateCorrSpike builds the deterministic correlated-spike scenario:
+// two selectivity-1 chains whose input rates ramp up together over the same
+// window — the correlated load variation ROD's rate-space reasoning targets
+// (independent per-stream headroom overstates safety when streams move in
+// lockstep). The spike is sized to stay feasible, so the strict conservation
+// ledger holds exactly across it, and a mid-spike migration stresses the
+// hand-over under the combined ramp.
+func GenerateCorrSpike(seed int64, nodes int) (*Scenario, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("check: need at least 2 nodes, got %d", nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scenario{Seed: seed, Class: CorrSpike, Nodes: nodes}
+
+	b := query.NewBuilder()
+	var nodeOf []int
+	const chains = 2
+	for c := 0; c < chains; c++ {
+		length := 2 + rng.Intn(2)
+		in := b.Input(fmt.Sprintf("corr%d", c))
+		cur := in
+		for o := 0; o < length; o++ {
+			cost := 0.00004 + rng.Float64()*0.00004
+			cur = b.Delay(fmt.Sprintf("s%d_op%d", c, o), cost, 1, cur)
+			if rng.Float64() < 0.4 {
+				b.SetXferCost(cur, 0.00001+rng.Float64()*0.00002)
+			}
+			nodeOf = append(nodeOf, (c+o)%nodes)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("check: corr-spike graph: %w", err)
+	}
+	s.Graph = g
+	plan, err := placement.NewPlan(nodeOf, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("check: corr-spike plan: %w", err)
+	}
+	s.Plan = plan
+	s.Caps = make([]float64, nodes)
+	for i := range s.Caps {
+		s.Caps[i] = 1
+	}
+
+	// Both streams ramp 3× over the same mid-episode window: identical
+	// timing, per-stream jitter only in the base rate.
+	s.Wall = time.Duration(1100+rng.Intn(400)) * time.Millisecond
+	const dt = 0.05
+	bins := int(s.Wall.Seconds()/dt) + 1
+	lo, hi := int(float64(bins)*0.35), int(float64(bins)*0.65)
+	for c := 0; c < chains; c++ {
+		base := 150 + rng.Float64()*150
+		rates := make([]float64, bins)
+		for i := range rates {
+			rates[i] = base
+			if i >= lo && i < hi {
+				rates[i] = base * 3
+			}
+		}
+		s.Traces = append(s.Traces, trace.New(fmt.Sprintf("corr%d", c), dt, rates))
+	}
+
+	s.Config = engine.NodeConfig{
+		BatchMax:    64,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  150 * time.Millisecond,
+	}
+
+	// One migration inside the spike window, subject to the no-duplication
+	// constraint, so the hand-over happens under the correlated peak.
+	routed := routedNodes(s.Graph, s.Plan.NodeOf)
+	migNodeOf := append([]int(nil), s.Plan.NodeOf...)
+	if mv, ok := pickMigration(rng, s.Graph, migNodeOf, routed, s.Nodes); ok {
+		mv.At = time.Duration((0.4 + rng.Float64()*0.2) * float64(s.Wall))
+		mv.Stall = time.Duration(rng.Intn(10)) * time.Millisecond
+		s.Schedule = append(s.Schedule, mv)
+	}
 	return s, nil
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/query"
+)
+
+// ShardPlanConfig tunes the sharding planner.
+type ShardPlanConfig struct {
+	// MaxShards caps k per operator (default 8).
+	MaxShards int
+	// TargetUtil is the fraction of the largest node's capacity one shard
+	// should sit at after splitting (default 0.75): k is the smallest count
+	// bringing the per-shard load under TargetUtil × max capacity.
+	TargetUtil float64
+	// Shard supplies the shuffle-cost terms (K is overridden per decision);
+	// zero value uses query.DefaultShardConfig's costs.
+	Shard query.ShardConfig
+}
+
+// ShardDecision records one operator the planner split.
+type ShardDecision struct {
+	Op   string  // the (pre-shard) operator name
+	K    int     // chosen shard count
+	Load float64 // standalone load at the forecast point
+}
+
+// PlanShards walks the graph and shards every operator whose standalone
+// load at the forecast rate point exceeds a single node's capacity — the
+// condition under which no placement can be feasible, since ROD allocates
+// whole operators. For each such operator it picks the smallest k that
+// brings the per-shard load under TargetUtil of the largest node (clamped
+// to [2, MaxShards]) and applies the Shards transform. The sharded graph's
+// replicas are first-class operators: ROD places them like any other.
+//
+// The planner is strictly serial and iterates operators in id order, so the
+// resulting graph (and any plan built from it) is deterministic for a given
+// input, independent of par.SetWorkers.
+func PlanShards(g *query.Graph, caps mat.Vec, forecast mat.Vec, cfg ShardPlanConfig) (*query.Graph, []ShardDecision, error) {
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = 8
+	}
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil > 1 {
+		cfg.TargetUtil = 0.75
+	}
+	if cfg.Shard.SplitCost == 0 && cfg.Shard.MergeCost == 0 && cfg.Shard.XferCost == 0 {
+		def := query.DefaultShardConfig(2)
+		cfg.Shard.SplitCost, cfg.Shard.MergeCost, cfg.Shard.XferCost = def.SplitCost, def.MergeCost, def.XferCost
+	}
+	maxCap := 0.0
+	for _, c := range caps {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	if maxCap <= 0 {
+		return nil, nil, fmt.Errorf("core: PlanShards needs a positive node capacity")
+	}
+
+	var decisions []ShardDecision
+	for {
+		lm, err := query.BuildLoadModel(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		loads, err := lm.ActualLoads(forecast)
+		if err != nil {
+			return nil, nil, err
+		}
+		target := query.OpID(-1)
+		for _, op := range g.Ops() {
+			if op.Shard != query.ShardNone || op.Kind == query.Join || op.Kind == query.Union {
+				continue
+			}
+			if loads[op.ID] > maxCap {
+				target = op.ID
+				break
+			}
+		}
+		if target < 0 {
+			return g, decisions, nil
+		}
+		op := g.Op(target)
+		k := int(math.Ceil(loads[target] / (cfg.TargetUtil * maxCap)))
+		if k < 2 {
+			k = 2
+		}
+		if k > cfg.MaxShards {
+			k = cfg.MaxShards
+		}
+		sc := cfg.Shard
+		sc.K = k
+		next, err := query.Shards(g, target, sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: sharding %q: %w", op.Name, err)
+		}
+		decisions = append(decisions, ShardDecision{Op: op.Name, K: k, Load: loads[target]})
+		g = next
+	}
+}

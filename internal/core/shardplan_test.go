@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"rodsp/internal/mat"
+	"rodsp/internal/par"
+	"rodsp/internal/query"
+)
+
+func shardHotGraph() *query.Graph {
+	b := query.NewBuilder()
+	in := b.Input("hot")
+	pre := b.Delay("pre", 0.00005, 1, in)
+	h := b.Delay("hotop", 0.0012, 1, pre)
+	b.Delay("tail", 0.00005, 1, h)
+	return b.MustBuild()
+}
+
+func TestPlanShardsSplitsHotOperator(t *testing.T) {
+	g := shardHotGraph()
+	caps := mat.Vec{1, 1, 1, 1}
+	// 2500 tup/s × 1.2 ms = 3.0 load for hotop: three times one node.
+	forecast := mat.Vec{2500}
+	sg, dec, err := PlanShards(g, caps, forecast, ShardPlanConfig{MaxShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 1 || dec[0].Op != "hotop" {
+		t.Fatalf("decisions: %+v", dec)
+	}
+	if dec[0].K != 4 { // ceil(3.0 / 0.75) = 4
+		t.Fatalf("k = %d, want 4", dec[0].K)
+	}
+	groups, err := query.ShardGroups(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].K != 4 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	// Each replica's load now fits a node.
+	lm, err := query.BuildLoadModel(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := lm.ActualLoads(forecast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range groups[0].Replicas {
+		if loads[r] > 1 {
+			t.Fatalf("replica %d load %g still exceeds capacity", r, loads[r])
+		}
+	}
+	// A cold graph is untouched.
+	cold, dec2, err := PlanShards(g, caps, mat.Vec{100}, ShardPlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec2) != 0 || cold.NumOps() != g.NumOps() {
+		t.Fatalf("cold graph was sharded: %+v", dec2)
+	}
+}
+
+func TestShardedPlanDeterministicAcrossWorkers(t *testing.T) {
+	g := shardHotGraph()
+	caps := mat.Vec{1, 1, 1, 1}
+	forecast := mat.Vec{2500}
+
+	type result struct {
+		nodeOf []int
+		dec    []ShardDecision
+	}
+	run := func() result {
+		sg, dec, err := PlanShards(g, caps, forecast, ShardPlanConfig{MaxShards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, _, _, err := PlaceGraph(sg, caps, Config{Selector: SelectMaxPlaneDistance, LowerBound: forecast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{nodeOf: plan.NodeOf, dec: dec}
+	}
+	defer par.SetWorkers(0)
+	var base result
+	for i, w := range []int{1, 2, 8} {
+		par.SetWorkers(w)
+		r := run()
+		if i == 0 {
+			base = r
+			continue
+		}
+		if len(r.nodeOf) != len(base.nodeOf) {
+			t.Fatalf("workers=%d: plan size differs", w)
+		}
+		for j := range r.nodeOf {
+			if r.nodeOf[j] != base.nodeOf[j] {
+				t.Fatalf("workers=%d: plan differs at op %d (%d vs %d)", w, j, r.nodeOf[j], base.nodeOf[j])
+			}
+		}
+		if len(r.dec) != len(base.dec) || r.dec[0] != base.dec[0] {
+			t.Fatalf("workers=%d: decisions differ: %+v vs %+v", w, r.dec, base.dec)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,6 +79,21 @@ type ControllerConfig struct {
 	// fed to placement as a lower bound (an infeasible floor would distort
 	// every Class II decision). Default 0.9.
 	LoadCeiling float64
+
+	// ShardRebalance, when set, arms the shard scale actuator: given a
+	// keyed stream's observed per-slot rates and shard count it returns a
+	// fresh slot assignment (wire workload.AssignSkewAware here; the engine
+	// deliberately does not import the generator package). The actuator
+	// shares the migration cooldown, acts on at most one stream per cycle,
+	// and only when the assignment cuts the maximum per-shard load share by
+	// at least RebalanceGain. nil disables scaling.
+	ShardRebalance func(rates []float64, k int) []int
+	// RebalanceGain is the minimum relative reduction of the maximum
+	// per-shard load share a reassignment must deliver. Default 0.1.
+	RebalanceGain float64
+	// RebalanceMinRate is the minimum total observed keyed-stream rate
+	// (tuples/second) before the actuator considers it. Default 10.
+	RebalanceMinRate float64
 }
 
 func (cfg *ControllerConfig) applyDefaults() {
@@ -108,6 +124,12 @@ func (cfg *ControllerConfig) applyDefaults() {
 	if cfg.LoadCeiling <= 0 || cfg.LoadCeiling > 1 {
 		cfg.LoadCeiling = 0.9
 	}
+	if cfg.RebalanceGain <= 0 {
+		cfg.RebalanceGain = 0.1
+	}
+	if cfg.RebalanceMinRate <= 0 {
+		cfg.RebalanceMinRate = 10
+	}
 }
 
 // ControllerMove records one controller-initiated migration attempt.
@@ -124,8 +146,9 @@ type ControllerStats struct {
 	Decisions        int64
 	Moves            int64
 	MoveFailures     int64
+	Scales           int64
 	ForecastHeadroom float64
-	LastAction       string // "hold:<reason>" or "migrate:<n>"
+	LastAction       string // "hold:<reason>", "migrate:<n>" or "scale:<stream>"
 }
 
 // Controller is the closed-loop elastic placement controller. Start it with
@@ -140,10 +163,14 @@ type Controller struct {
 	decC   *obs.Counter
 	movC   *obs.Counter
 	failC  *obs.Counter
+	sclC   *obs.Counter
 	fheadG *obs.Gauge
 
 	fc     map[query.StreamID]*forecaster
 	routed map[query.StreamID]map[int]bool
+	keyed  map[query.StreamID]bool // partitioned streams: exempt from the
+	// no-duplication admissibility constraint (targeted delivery routes
+	// each keyed tuple to exactly one replica, so relays cannot duplicate)
 
 	mu            sync.Mutex
 	log           []ControllerMove
@@ -174,6 +201,7 @@ func (cl *Cluster) StartController(cfg ControllerConfig) (*Controller, error) {
 		lm:     m.cfg.LM,
 		fc:     map[query.StreamID]*forecaster{},
 		routed: map[query.StreamID]map[int]bool{},
+		keyed:  map[query.StreamID]bool{},
 		start:  time.Now(),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -182,12 +210,20 @@ func (cl *Cluster) StartController(cfg ControllerConfig) (*Controller, error) {
 	c.decC = reg.Counter(obs.MetricControllerDecisions)
 	c.movC = reg.Counter(obs.MetricControllerMoves)
 	c.failC = reg.Counter(obs.MetricControllerMoveFailures)
+	c.sclC = reg.Counter(obs.MetricControllerScales)
 	c.fheadG = reg.Gauge(obs.MetricControllerForecastHeadroom)
 	c.fheadG.Set(1)
 	m.sampler.ProbeCounter(obs.MetricControllerDecisions, c.decC)
 	m.sampler.ProbeCounter(obs.MetricControllerMoves, c.movC)
 	m.sampler.ProbeCounter(obs.MetricControllerMoveFailures, c.failC)
+	m.sampler.ProbeCounter(obs.MetricControllerScales, c.sclC)
 	m.sampler.ProbeGauge(obs.MetricControllerForecastHeadroom, c.fheadG)
+
+	if groups, err := query.ShardGroups(c.lm.G); err == nil {
+		for _, grp := range groups {
+			c.keyed[grp.Stream] = true
+		}
+	}
 
 	snap := m.Snapshot()
 	for _, in := range snap.Inputs {
@@ -196,7 +232,7 @@ func (cl *Cluster) StartController(cfg ControllerConfig) (*Controller, error) {
 	// Seed the no-duplication sets from the placement at controller start.
 	// Migrations executed by other actors afterwards are not tracked — the
 	// controller assumes it is the only mover while running.
-	seedRouted(c.routed, c.lm.G, snap.NodeOf)
+	seedRouted(c.routed, c.keyed, c.lm.G, snap.NodeOf)
 
 	go c.run()
 	return c, nil
@@ -221,6 +257,7 @@ func (c *Controller) Stats() ControllerStats {
 		Decisions:        c.decC.Value(),
 		Moves:            c.movC.Value(),
 		MoveFailures:     c.failC.Value(),
+		Scales:           c.sclC.Value(),
 		ForecastHeadroom: c.fheadG.Value(),
 		LastAction:       last,
 	}
@@ -297,6 +334,21 @@ func (c *Controller) decide(now time.Time) {
 			"forecast_headroom", minHead, "hot_node", hotNode)
 	}
 
+	c.mu.Lock()
+	cooling := now.Before(c.cooldownUntil)
+	c.mu.Unlock()
+
+	// Shard scale actuator first: it acts on observed per-slot skew, which
+	// the model headroom cannot see (the load model assumes each replica
+	// carries a uniform 1/k of the keyed stream). Shares the cooldown and
+	// actuates at most one stream per cycle.
+	if !cooling && c.maybeRebalance(snap) {
+		c.mu.Lock()
+		c.cooldownUntil = now.Add(c.cfg.Cooldown)
+		c.mu.Unlock()
+		return
+	}
+
 	if minHead >= c.cfg.HeadroomLow && !overloaded {
 		hold("headroom_ok")
 		return
@@ -305,9 +357,6 @@ func (c *Controller) decide(now time.Time) {
 		hold("warmup")
 		return
 	}
-	c.mu.Lock()
-	cooling := now.Before(c.cooldownUntil)
-	c.mu.Unlock()
 	if cooling {
 		hold("cooldown")
 		return
@@ -340,7 +389,7 @@ func (c *Controller) decide(now time.Time) {
 		return
 	}
 
-	moves := planMoves(snap.NodeOf, cand.NodeOf, opLoads, snap.Stale, c.lm.G, c.routed, c.cfg.MaxMoves)
+	moves := planMoves(snap.NodeOf, cand.NodeOf, opLoads, snap.Stale, c.lm.G, c.routed, c.keyed, c.cfg.MaxMoves)
 	if len(moves) == 0 {
 		hold("no_admissible_moves")
 		return
@@ -398,7 +447,7 @@ func (c *Controller) execute(moves []ctrlMove, snap MonitorSnapshot) {
 		// Mark the destination routed either way: even an aborted move
 		// briefly installed routes there, so it is never reused for these
 		// streams (conservative, keeps the ledger exact).
-		markRouted(c.routed, c.lm.G.Op(query.OpID(mv.Op)), mv.To)
+		markRouted(c.routed, c.keyed, c.lm.G.Op(query.OpID(mv.Op)), mv.To)
 		c.mu.Lock()
 		c.log = append(c.log, rec)
 		c.mu.Unlock()
@@ -409,6 +458,93 @@ func (c *Controller) setAction(a string) {
 	c.mu.Lock()
 	c.lastAction = a
 	c.mu.Unlock()
+}
+
+// maybeRebalance runs the shard scale actuator over the observed per-slot
+// rates: for the first keyed stream (ascending id) whose reassignment cuts
+// the maximum per-shard load share by at least RebalanceGain, it pushes
+// the new slot table via Repartition. Returns whether it actuated (success
+// or failure — either way the caller applies the cooldown).
+func (c *Controller) maybeRebalance(snap MonitorSnapshot) bool {
+	if c.cfg.ShardRebalance == nil || len(snap.SlotRates) == 0 {
+		return false
+	}
+	ev := c.m.cfg.Events
+	sids := make([]int, 0, len(snap.SlotRates))
+	for sid := range snap.SlotRates {
+		sids = append(sids, sid)
+	}
+	sort.Ints(sids)
+	for _, sid := range sids {
+		k := c.cl.ShardK(query.StreamID(sid))
+		if k < 2 {
+			continue
+		}
+		rates := snap.SlotRates[sid]
+		total := 0.0
+		for _, r := range rates {
+			total += r
+		}
+		if total < c.cfg.RebalanceMinRate {
+			continue
+		}
+		cur := c.cl.ShardSlotsOf(query.StreamID(sid))
+		if len(cur) != len(rates) {
+			continue
+		}
+		next := c.cfg.ShardRebalance(rates, k)
+		if len(next) != len(rates) {
+			continue
+		}
+		curMax := maxShardShare(cur, rates, k)
+		nextMax := maxShardShare(next, rates, k)
+		// Hysteresis: the reassignment must cut the hottest shard's share
+		// by the configured relative gain, or the actuator holds.
+		if curMax <= 0 || nextMax >= curMax*(1-c.cfg.RebalanceGain) {
+			continue
+		}
+		same := true
+		for i := range cur {
+			if cur[i] != next[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			continue
+		}
+		err := c.cl.Repartition(query.StreamID(sid), next)
+		c.setAction(fmt.Sprintf("scale:%d", sid))
+		if err == nil {
+			c.sclC.Inc()
+			ev.Emit(obs.LevelInfo, obs.EventControllerScale,
+				"stream", sid, "k", k, "ok", true,
+				"max_share_before", curMax/total, "max_share_after", nextMax/total)
+		} else {
+			c.failC.Inc()
+			ev.Emit(obs.LevelWarn, obs.EventControllerScale,
+				"stream", sid, "k", k, "ok", false, "err", err.Error())
+		}
+		return true
+	}
+	return false
+}
+
+// maxShardShare is the largest per-shard rate sum under the assignment.
+func maxShardShare(assign []int, rates []float64, k int) float64 {
+	loads := make([]float64, k)
+	for i, s := range assign {
+		if s >= 0 && s < k && i < len(rates) {
+			loads[s] += rates[i]
+		}
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // resolveClamped resolves per-operator loads at the forecast rate point,
@@ -493,7 +629,7 @@ func minHeadroom(loads []float64, caps mat.Vec, stale []bool) (float64, int) {
 // earlier admitted moves through a tentative overlay; the shared routed
 // sets are only committed by execute, so a move set the hysteresis gate
 // rejects burns no admissibility.
-func planMoves(cur, cand []int, opLoads []float64, stale []bool, g *query.Graph, routed map[query.StreamID]map[int]bool, maxMoves int) []ctrlMove {
+func planMoves(cur, cand []int, opLoads []float64, stale []bool, g *query.Graph, routed map[query.StreamID]map[int]bool, keyed map[query.StreamID]bool, maxMoves int) []ctrlMove {
 	var diff []ctrlMove
 	for op := range cur {
 		if cand[op] == cur[op] {
@@ -527,21 +663,27 @@ func planMoves(cur, cand []int, opLoads []float64, stale []bool, g *query.Graph,
 			continue
 		}
 		op := g.Op(query.OpID(mv.Op))
-		if !admissible(routed, op, mv.To) || !admissible(tent, op, mv.To) {
+		if !admissible(routed, keyed, op, mv.To) || !admissible(tent, keyed, op, mv.To) {
 			continue
 		}
-		markRouted(tent, op, mv.To)
+		markRouted(tent, keyed, op, mv.To)
 		moves = append(moves, mv)
 	}
 	return moves
 }
 
 // admissible reports whether dst holds no route for any of op's streams.
-func admissible(routed map[query.StreamID]map[int]bool, op *query.Operator, dst int) bool {
-	if routed[op.Out][dst] {
+// Keyed (partitioned) streams are exempt: their targeted routing delivers
+// each tuple to exactly one replica regardless of how many nodes hold the
+// table, so a shard replica (or splitter) can migrate anywhere.
+func admissible(routed map[query.StreamID]map[int]bool, keyed map[query.StreamID]bool, op *query.Operator, dst int) bool {
+	if !keyed[op.Out] && routed[op.Out][dst] {
 		return false
 	}
 	for _, in := range op.Inputs {
+		if keyed[in] {
+			continue
+		}
 		if routed[in][dst] {
 			return false
 		}
@@ -549,9 +691,12 @@ func admissible(routed map[query.StreamID]map[int]bool, op *query.Operator, dst 
 	return true
 }
 
-// markRouted records dst as holding routes for all of op's streams.
-func markRouted(routed map[query.StreamID]map[int]bool, op *query.Operator, dst int) {
+// markRouted records dst as holding routes for op's non-keyed streams.
+func markRouted(routed map[query.StreamID]map[int]bool, keyed map[query.StreamID]bool, op *query.Operator, dst int) {
 	mark := func(sid query.StreamID) {
+		if keyed[sid] {
+			return
+		}
 		m := routed[sid]
 		if m == nil {
 			m = map[int]bool{}
@@ -567,11 +712,11 @@ func markRouted(routed map[query.StreamID]map[int]bool, op *query.Operator, dst 
 
 // seedRouted marks every stream's producer and consumer homes under the
 // given placement (mirrors internal/check's routedNodes).
-func seedRouted(routed map[query.StreamID]map[int]bool, g *query.Graph, nodeOf []int) {
+func seedRouted(routed map[query.StreamID]map[int]bool, keyed map[query.StreamID]bool, g *query.Graph, nodeOf []int) {
 	for _, op := range g.Ops() {
 		if int(op.ID) >= len(nodeOf) {
 			continue
 		}
-		markRouted(routed, op, nodeOf[op.ID])
+		markRouted(routed, keyed, op, nodeOf[op.ID])
 	}
 }

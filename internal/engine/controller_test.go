@@ -27,22 +27,22 @@ func TestPlanMovesBudgetAndOrder(t *testing.T) {
 	opLoads := []float64{0.8, 0.1}
 	stale := []bool{false, false, false}
 	routed := map[query.StreamID]map[int]bool{}
-	seedRouted(routed, g, cur)
+	seedRouted(routed, nil, g, cur)
 
 	// Budget 1: only the heaviest operator moves.
-	moves := planMoves(cur, cand, opLoads, stale, g, routed, 1)
+	moves := planMoves(cur, cand, opLoads, stale, g, routed, nil, 1)
 	if len(moves) != 1 || moves[0].Op != 0 || moves[0].To != 1 {
 		t.Fatalf("budget-1 moves = %+v, want op 0 → node 1", moves)
 	}
 	// Budget 2: both, heaviest first.
-	moves = planMoves(cur, cand, opLoads, stale, g, routed, 2)
+	moves = planMoves(cur, cand, opLoads, stale, g, routed, nil, 2)
 	if len(moves) != 2 || moves[0].Op != 0 || moves[1].Op != 1 {
 		t.Fatalf("budget-2 moves = %+v, want ops [0 1]", moves)
 	}
 	// planMoves must not commit to the shared routed sets (the hysteresis
 	// gate may still reject the whole set): planning again must yield the
 	// same moves.
-	again := planMoves(cur, cand, opLoads, stale, g, routed, 2)
+	again := planMoves(cur, cand, opLoads, stale, g, routed, nil, 2)
 	if len(again) != 2 {
 		t.Fatalf("replanning yielded %+v — planMoves committed tentative routes", again)
 	}
@@ -58,10 +58,10 @@ func TestPlanMovesAdmissibility(t *testing.T) {
 	// Node 2 already held a route for b's input stream (a past migration
 	// left a relay): moving b there would double-deliver, so only a moves.
 	routed := map[query.StreamID]map[int]bool{}
-	seedRouted(routed, g, cur)
+	seedRouted(routed, nil, g, cur)
 	bOp := g.Op(1)
 	routed[bOp.Inputs[0]][2] = true
-	moves := planMoves(cur, cand, opLoads, stale, g, routed, 2)
+	moves := planMoves(cur, cand, opLoads, stale, g, routed, nil, 2)
 	if len(moves) != 1 || moves[0].Op != 0 {
 		t.Fatalf("moves = %+v, want only op 0 (node 2 inadmissible for op 1)", moves)
 	}
@@ -69,12 +69,12 @@ func TestPlanMovesAdmissibility(t *testing.T) {
 	// Stale endpoints are skipped: a stale destination for a, a stale
 	// source for everything on node 0.
 	routed = map[query.StreamID]map[int]bool{}
-	seedRouted(routed, g, cur)
-	moves = planMoves(cur, cand, opLoads, []bool{false, true, false}, g, routed, 2)
+	seedRouted(routed, nil, g, cur)
+	moves = planMoves(cur, cand, opLoads, []bool{false, true, false}, g, routed, nil, 2)
 	if len(moves) != 1 || moves[0].Op != 1 {
 		t.Fatalf("moves = %+v, want only op 1 (node 1 stale)", moves)
 	}
-	moves = planMoves(cur, cand, opLoads, []bool{true, false, false}, g, routed, 2)
+	moves = planMoves(cur, cand, opLoads, []bool{true, false, false}, g, routed, nil, 2)
 	if len(moves) != 0 {
 		t.Fatalf("moves = %+v, want none (source node stale)", moves)
 	}

@@ -318,6 +318,12 @@ type SourceDriver struct {
 	// Monitor.SourceCounter so the monitor can estimate the stream's rate.
 	Count *obs.Counter
 
+	// Keys, when set, stamps each injected tuple's partition key (e.g. a
+	// seeded Zipfian generator from internal/workload). Keyed tuples ride
+	// the keyed wire frames and route through partition tables downstream;
+	// nil leaves tuples unkeyed (slot fallback hashes the sequence number).
+	Keys func() uint64
+
 	// Legacy forces per-tuple legacy wire frames instead of batch frames —
 	// the pre-batching baseline that rodload measures the speedup against.
 	// Legacy frames cannot carry trace context; the first batch-aware node
@@ -408,6 +414,9 @@ func (s *SourceDriver) Run(duration time.Duration, stop <-chan struct{}) (int64,
 				batch = batch[:0]
 				for i := 0; i < k; i++ {
 					t := Tuple{Stream: int32(s.Stream), Ts: time.Now().UnixNano(), Seq: seq}
+					if s.Keys != nil {
+						t.Key = s.Keys()
+					}
 					if s.TraceEvery > 0 && tracePick(s.TraceEvery, t) {
 						t.Flags = TupleTraced
 						t.TraceTs = t.Ts
@@ -489,6 +498,13 @@ type Cluster struct {
 
 	events  *obs.EventLog // nil-safe; set via SetEvents or StartMonitor
 	monitor *Monitor
+
+	// Keyed-stream bookkeeping, recorded at Deploy: the live slot tables
+	// and replica sets (see shard.go), plus the plan whose NodeOf tracks
+	// migrations so table pushes resolve replica homes correctly.
+	shardMu sync.Mutex
+	shards  map[int]*shardState
+	plan    *placement.Plan
 }
 
 // SetEvents attaches an event log to the cluster's control plane: deploys,
@@ -577,6 +593,23 @@ func (cl *Cluster) Deploy(g *query.Graph, plan *placement.Plan, capacities []flo
 	if err != nil {
 		return err
 	}
+	groups, err := query.ShardGroups(g)
+	if err != nil {
+		return err
+	}
+	cl.shardMu.Lock()
+	cl.plan = plan
+	cl.shards = map[int]*shardState{}
+	for _, grp := range groups {
+		cl.shards[int(grp.Stream)] = &shardState{
+			parent: grp.Parent,
+			split:  grp.Split,
+			k:      grp.K,
+			slots:  query.UniformSlots(grp.K),
+			ops:    append([]query.OpID(nil), grp.Replicas...),
+		}
+	}
+	cl.shardMu.Unlock()
 	for i, spec := range specs {
 		if err := cl.Controls[i].Deploy(spec); err != nil {
 			cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "deploy", "node", i, "err", err.Error())

@@ -45,21 +45,26 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 	addrs := cl.Addrs()
 
 	// Routes the destination needs: the operator's output fan-out under the
-	// updated plan, plus local subscriptions for its input streams.
+	// updated plan, plus local subscriptions for its input streams. A
+	// splitter's output is keyed — it routes through a partition table
+	// pushed separately below, never through broadcast fan-out (fan-out
+	// would deliver every tuple to every replica).
 	routes := map[int][]Dest{}
 	consumers := g.Consumers(op.Out)
-	remote := map[int]bool{}
-	for _, c := range consumers {
-		cn := plan.NodeOf[c]
-		if cn == dstNode {
-			routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Local: true, LocalOp: int(c)})
-		} else if !remote[cn] {
-			remote[cn] = true
-			routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: addrs[cn]})
+	if op.Shard != query.ShardSplit {
+		remote := map[int]bool{}
+		for _, c := range consumers {
+			cn := plan.NodeOf[c]
+			if cn == dstNode {
+				routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Local: true, LocalOp: int(c)})
+			} else if !remote[cn] {
+				remote[cn] = true
+				routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: addrs[cn]})
+			}
 		}
-	}
-	if len(consumers) == 0 && cl.Collector != nil {
-		routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: cl.Collector.Addr()})
+		if len(consumers) == 0 && cl.Collector != nil {
+			routes[int(op.Out)] = append(routes[int(op.Out)], Dest{Addr: cl.Collector.Addr()})
+		}
 	}
 	for _, in := range op.Inputs {
 		routes[int(in)] = append(routes[int(in)], Dest{Local: true, LocalOp: int(op.ID)})
@@ -89,6 +94,40 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 			opID, dstNode, step, cause)
 	}
 
+	// Sharded operators carry keyed routing state: the destination must
+	// hold a partition table marking the moved shard local *before* the
+	// source gives the operator up, or a destination already hosting a
+	// sibling replica would bounce the shard's tuples back per its stale
+	// table (a routing loop, since the source then forwards them right
+	// back). A migrating splitter likewise needs the table at its new home
+	// to route its own keyed output.
+	var shardSt *shardState
+	var shardSid int
+	switch {
+	case op.Shard == query.ShardReplica && len(op.Inputs) == 1:
+		shardSid = int(op.Inputs[0])
+	case op.Shard == query.ShardSplit:
+		shardSid = int(op.Out)
+	}
+	if op.Shard == query.ShardReplica || op.Shard == query.ShardSplit {
+		cl.shardMu.Lock()
+		shardSt = cl.shards[shardSid]
+		var dstSpec *PartitionSpec
+		if shardSt != nil {
+			nodeOf := append([]int(nil), plan.NodeOf...)
+			nodeOf[opID] = dstNode
+			ps := shardSt.specFor(shardSid, dstNode, nodeOf, addrs)
+			dstSpec = &ps
+		}
+		cl.shardMu.Unlock()
+		if dstSpec != nil {
+			if err := cl.Controls[dstNode].Repart(dstSpec); err != nil {
+				cl.events.Emit(obs.LevelWarn, obs.EventControlError, "op", "repart", "node", dstNode, "err", err.Error())
+				return abort("repart_dst", err)
+			}
+		}
+	}
+
 	// 2. State-transfer stall on both ends.
 	if stall > 0 {
 		if err := cl.Controls[srcNode].Stall(stall); err != nil {
@@ -114,8 +153,43 @@ func (cl *Cluster) MoveOperator(g *query.Graph, plan *placement.Plan, opID query
 	cl.events.Emit(obs.LevelInfo, obs.EventMigrateRemove,
 		"op", int(opID), "from", srcNode, "to", dstNode)
 	plan.NodeOf[opID] = dstNode
+	// Keep the Deploy-time plan (the shard table pushes' source of truth)
+	// tracking migrations executed against a caller-owned plan copy.
+	cl.shardMu.Lock()
+	if cl.plan != nil && cl.plan != plan && int(opID) < len(cl.plan.NodeOf) {
+		cl.plan.NodeOf[opID] = dstNode
+	}
+	cl.shardMu.Unlock()
 	if cl.monitor != nil {
 		cl.monitor.setOp(opID, dstNode)
+	}
+
+	// Refresh every remaining table holder (splitter home, sibling replica
+	// homes, the vacated source) so keyed tuples stop detouring through the
+	// old home's relay. Push failures only warn: a stale table still routes
+	// correctly via that relay, so the move itself has succeeded.
+	if shardSt != nil {
+		nodeOf := append([]int(nil), plan.NodeOf...)
+		involved := shardSt.nodes(nodeOf)
+		hasSrc := false
+		for _, nd := range involved {
+			if nd == srcNode {
+				hasSrc = true
+			}
+		}
+		if !hasSrc {
+			involved = append(involved, srcNode)
+		}
+		for _, nd := range involved {
+			if nd == dstNode {
+				continue // already holds the updated table
+			}
+			ps := shardSt.specFor(shardSid, nd, nodeOf, addrs)
+			if err := cl.Controls[nd].Repart(&ps); err != nil {
+				cl.events.Emit(obs.LevelWarn, obs.EventControlError,
+					"op", "repart", "node", nd, "err", err.Error())
+			}
+		}
 	}
 	return nil
 }

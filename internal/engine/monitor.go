@@ -143,6 +143,17 @@ type Monitor struct {
 	nodeOf []int
 	caps   mat.Vec
 
+	// Per-slot routed rates of keyed streams, EWMA-smoothed from the
+	// cumulative PartCounts the splitter homes report — the observed skew
+	// signal the controller's shard-rebalance actuator feeds on.
+	partMu   sync.Mutex
+	partLast map[int][]int64
+	partRate map[int][]float64
+	// shardG exposes each keyed stream's per-shard routed rate (slot rates
+	// summed per the live partition table) as rodsp_shard_rate gauges,
+	// labeled with the sharded parent operator's name and the replica index.
+	shardG map[int][]*obs.Gauge
+
 	start    time.Time
 	lastTick time.Time
 	stop     chan struct{}
@@ -183,6 +194,8 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		srcRate:  map[query.StreamID]*obs.EWMA{},
 		srcG:     map[query.StreamID]*obs.Gauge{},
 		srcLast:  map[query.StreamID]int64{},
+		partLast: map[int][]int64{},
+		partRate: map[int][]float64{},
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -240,6 +253,21 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		m.inputs = cfg.LM.G.Inputs()
 		for _, in := range m.inputs {
 			m.sourceCounterLocked(in)
+		}
+		// Per-shard routed-rate gauges for every keyed shard group, so a
+		// viewer can group replicas under the operator that was sharded.
+		if groups, err := query.ShardGroups(cfg.LM.G); err == nil && len(groups) > 0 {
+			m.shardG = map[int][]*obs.Gauge{}
+			for _, grp := range groups {
+				parent := cfg.LM.G.Op(grp.Replicas[0]).ShardParent
+				gs := make([]*obs.Gauge, len(grp.Replicas))
+				for i := range gs {
+					shard := strconv.Itoa(i)
+					gs[i] = reg.Gauge(obs.MetricShardRate, "op", parent, "shard", shard)
+					m.sampler.ProbeGauge(obs.MetricShardRate, gs[i], "op", parent, "shard", shard)
+				}
+				m.shardG[int(grp.Stream)] = gs
+			}
 		}
 	}
 	if cfg.Plan != nil {
@@ -342,6 +370,9 @@ type MonitorSnapshot struct {
 	// Caps the node capacities used in the headroom computation.
 	NodeOf []int
 	Caps   mat.Vec
+	// SlotRates holds, per keyed stream, the EWMA-smoothed per-slot routed
+	// rates (tuples/second) — empty until a sharded stream reports counts.
+	SlotRates map[int][]float64
 }
 
 // Snapshot copies the monitor's current view of the cluster. Safe to call
@@ -377,6 +408,14 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	s.NodeOf = append([]int(nil), m.nodeOf...)
 	m.planMu.Unlock()
 	s.Caps = append(mat.Vec(nil), m.caps...)
+	m.partMu.Lock()
+	if len(m.partRate) > 0 {
+		s.SlotRates = make(map[int][]float64, len(m.partRate))
+		for sid, r := range m.partRate {
+			s.SlotRates[sid] = append([]float64(nil), r...)
+		}
+	}
+	m.partMu.Unlock()
 	return s
 }
 
@@ -481,6 +520,64 @@ func (m *Monitor) tick(now time.Time) {
 		}
 	}
 	m.havePrev = true
+
+	// Per-slot keyed-stream rates: PartCounts deltas over the window,
+	// EWMA-smoothed per slot. Summing over nodes is safe — only a
+	// splitter's home accumulates counts for its stream.
+	partTotals := map[int][]int64{}
+	for _, s := range sts {
+		if s == nil {
+			continue
+		}
+		for sid, counts := range s.PartCounts {
+			tot := partTotals[sid]
+			if len(tot) < len(counts) {
+				tot = append(tot, make([]int64, len(counts)-len(tot))...)
+			}
+			for j, c := range counts {
+				tot[j] += c
+			}
+			partTotals[sid] = tot
+		}
+	}
+	m.partMu.Lock()
+	for sid, tot := range partTotals {
+		last := m.partLast[sid]
+		rate := m.partRate[sid]
+		if len(last) != len(tot) {
+			last = make([]int64, len(tot))
+			rate = make([]float64, len(tot))
+		}
+		for j := range tot {
+			obsRate := float64(tot[j]-last[j]) / dt
+			if obsRate < 0 {
+				obsRate = 0 // counter reset (redeploy)
+			}
+			rate[j] += m.cfg.RateAlpha * (obsRate - rate[j])
+			last[j] = tot[j]
+		}
+		m.partLast[sid] = last
+		m.partRate[sid] = rate
+	}
+	// Fold slot rates into per-shard gauges through the live partition
+	// table, so /series carries each replica's routed share.
+	for sid, rate := range m.partRate {
+		gs := m.shardG[sid]
+		if gs == nil {
+			continue
+		}
+		slots := m.cl.ShardSlotsOf(query.StreamID(sid))
+		sums := make([]float64, len(gs))
+		for j, sh := range slots {
+			if j < len(rate) && sh >= 0 && sh < len(sums) {
+				sums[sh] += rate[j]
+			}
+		}
+		for i, g := range gs {
+			g.Set(sums[i])
+		}
+	}
+	m.partMu.Unlock()
 
 	// Source rates: counter deltas over the window, EWMA-smoothed into R̂.
 	m.srcMu.Lock()

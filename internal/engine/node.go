@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rodsp/internal/obs"
+	"rodsp/internal/query"
 	"rodsp/internal/stats"
 )
 
@@ -124,6 +125,7 @@ type Node struct {
 	subs     map[int][]int  // stream → local consumer ops
 	fwd      map[int][]Dest // stream → remote destinations (producer side)
 	relays   map[int][]Dest // stream → relay targets for *inbound* tuples (post-migration)
+	parts    map[int]*partTable
 	xfer     map[int]float64
 	started  bool
 	startT   time.Time
@@ -178,6 +180,46 @@ type liveOp struct {
 	processed int64
 }
 
+// partTable is a node's keyed routing table for one sharded stream: fixed
+// slots map to shard indices, shard indices to destinations (a co-located
+// replica, or a remote replica home). relay records the new home of a
+// replica that migrated away from this node, so keyed tuples addressed to
+// the departed copy follow it instead of vanishing. counts accumulates
+// per-slot routed tuples on the splitter's home — the observed slot rates
+// skew-aware repartitioning feeds on. All fields are guarded by n.mu.
+type partTable struct {
+	parent string
+	k      int
+	slots  []int
+	shards []Dest
+	ops    []int
+	counts []int64
+	relay  map[int]string
+}
+
+func newPartTable(ps *PartitionSpec) *partTable {
+	return &partTable{
+		parent: ps.Parent,
+		k:      ps.K,
+		slots:  append([]int(nil), ps.Slots...),
+		shards: append([]Dest(nil), ps.Shards...),
+		ops:    append([]int(nil), ps.Ops...),
+		counts: make([]int64, len(ps.Slots)),
+		relay:  map[int]string{},
+	}
+}
+
+// slotOf maps a tuple to its partition slot. Unkeyed tuples (Key zero)
+// hash their sequence number instead, so a keyless workload degrades to a
+// uniform spread rather than collapsing onto one shard.
+func slotOf(t *Tuple) int {
+	k := t.Key
+	if k == 0 {
+		k = uint64(t.Seq)
+	}
+	return query.SlotOfKey(k)
+}
+
 // NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
 // port) with the given virtual CPU capacity and default resilience bounds.
 func NewNode(addr string, capacity float64) (*Node, error) {
@@ -202,6 +244,7 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 		subs:          map[int][]int{},
 		fwd:           map[int][]Dest{},
 		relays:        map[int][]Dest{},
+		parts:         map[int]*partTable{},
 		xfer:          map[int]float64{},
 		shedByStream:  map[int32]int64{},
 		noRouteWarned: map[int32]bool{},
@@ -414,8 +457,32 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 		if x := n.xfer[int(t.Stream)]; x > 0 {
 			n.busy += time.Duration(x / n.capacity * float64(time.Second))
 		}
-		relay := n.relays[int(t.Stream)]
-		hasLocal := len(n.subs[int(t.Stream)]) > 0
+		// Keyed (sharded) streams route through the partition table: each
+		// tuple goes to exactly one replica — targeted locally when that
+		// replica lives here, forwarded to its home otherwise. The broadcast
+		// subs/relays paths below never see partitioned streams.
+		var relay []Dest
+		var partFwd [1]Dest
+		hasLocal := false
+		if pt := n.parts[int(t.Stream)]; pt != nil {
+			d := pt.shards[pt.slots[slotOf(t)]]
+			if d.Local {
+				if _, ok := n.ops[d.LocalOp]; ok {
+					t.target = int32(d.LocalOp) + 1
+					hasLocal = true
+				} else if addr := pt.relay[d.LocalOp]; addr != "" {
+					// The replica migrated away; follow it to its new home.
+					partFwd[0] = Dest{Addr: addr}
+					relay = partFwd[:]
+				}
+			} else {
+				partFwd[0] = d
+				relay = partFwd[:]
+			}
+		} else {
+			relay = n.relays[int(t.Stream)]
+			hasLocal = len(n.subs[int(t.Stream)]) > 0
+		}
 		if hasLocal {
 			if len(n.queue)-n.qhead >= n.cfg.IngressCap {
 				// Queue full: shed. Drop-newest rejects the arrival;
@@ -518,7 +585,58 @@ type workerRun struct {
 	tuples []Tuple
 	outs   []Tuple
 	cons   []consEntry
+	tgts   []tgtEntry
 	fwds   []relayRun // queued-before-migration tuples to relay onward
+}
+
+// tgtEntry caches the resolution of one targeted (keyed) delivery for the
+// current run: the addressed replica when it is still installed, or the
+// relay address of its new home when it migrated away mid-queue.
+type tgtEntry struct {
+	id    int32
+	op    *liveOp
+	relay string
+}
+
+// targetOf returns the cached resolution for a targeted tuple, resolving
+// it from n.ops (and the stream's partition-table relay map) on a miss.
+// Like consumersOf, the worker warms the cache for every tuple in the run
+// under the drain lock, so out-of-lock calls always hit.
+func (r *workerRun) targetOf(n *Node, t *Tuple) *tgtEntry {
+	for i := range r.tgts {
+		if r.tgts[i].id == t.target {
+			return &r.tgts[i]
+		}
+	}
+	e := tgtEntry{id: t.target}
+	if op := n.ops[int(t.target)-1]; op != nil {
+		e.op = op
+	} else if pt := n.parts[int(t.Stream)]; pt != nil {
+		e.relay = pt.relay[int(t.target)-1]
+	}
+	r.tgts = append(r.tgts, e)
+	return &r.tgts[len(r.tgts)-1]
+}
+
+// fwdTo groups one tuple into the run's per-destination forward slices,
+// reusing backing arrays across runs.
+func (r *workerRun) fwdTo(addr string, t Tuple) {
+	i := 0
+	for ; i < len(r.fwds); i++ {
+		if r.fwds[i].addr == addr {
+			break
+		}
+	}
+	if i == len(r.fwds) {
+		if i < cap(r.fwds) {
+			r.fwds = r.fwds[:i+1]
+			r.fwds[i].addr = addr
+			r.fwds[i].ts = r.fwds[i].ts[:0]
+		} else {
+			r.fwds = append(r.fwds, relayRun{addr: addr})
+		}
+	}
+	r.fwds[i].ts = append(r.fwds[i].ts, t)
 }
 
 // consEntry caches one stream's local consumer operators for the current
@@ -623,8 +741,15 @@ func (n *Node) worker() {
 		}
 		shedTotal := n.shedTotal
 		run.cons = run.cons[:0]
-		for _, t := range run.tuples {
-			if t.Stream != stallStream {
+		run.tgts = run.tgts[:0]
+		for i := range run.tuples {
+			t := &run.tuples[i]
+			if t.Stream == stallStream {
+				continue
+			}
+			if t.target != 0 {
+				run.targetOf(n, t)
+			} else {
 				run.consumersOf(n, t.Stream)
 			}
 		}
@@ -662,6 +787,18 @@ func (n *Node) worker() {
 				// Migration state-transfer pause: Value already carries the
 				// cost units making svc = Value/capacity = the stall seconds.
 				cost = t.Value
+			} else if t.target != 0 {
+				// Targeted (keyed) delivery: exactly one addressed replica,
+				// never the stream's broadcast consumer set. If the replica
+				// migrated between admission and draining, forward to its
+				// recorded new home; with no record left, count the loss.
+				if e := run.targetOf(n, &t); e.op != nil {
+					cost = n.process(e.op, t, &run.outs)
+				} else if e.relay != "" {
+					run.fwdTo(e.relay, t)
+				} else {
+					stranded++
+				}
 			} else if cons := run.consumersOf(n, t.Stream); len(cons) > 0 {
 				for _, op := range cons {
 					cost += n.process(op, t, &run.outs)
@@ -676,22 +813,7 @@ func (n *Node) worker() {
 					stranded++
 				}
 				for _, d := range relay {
-					i := 0
-					for ; i < len(run.fwds); i++ {
-						if run.fwds[i].addr == d.Addr {
-							break
-						}
-					}
-					if i == len(run.fwds) {
-						if i < cap(run.fwds) {
-							run.fwds = run.fwds[:i+1]
-							run.fwds[i].addr = d.Addr
-							run.fwds[i].ts = run.fwds[i].ts[:0]
-						} else {
-							run.fwds = append(run.fwds, relayRun{addr: d.Addr})
-						}
-					}
-					run.fwds[i].ts = append(run.fwds[i].ts, t)
+					run.fwdTo(d.Addr, t)
 				}
 			}
 			if cost > 0 {
@@ -781,9 +903,12 @@ func (n *Node) process(op *liveOp, t Tuple, outs *[]Tuple) float64 {
 	op.processed++
 	n.estimator.Record(op.spec.ID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
 	for i := 0; i < k; i++ {
+		// Outputs inherit the partition key (so downstream sharded stages
+		// keep keyed semantics) but never the in-memory target: addressing
+		// is resolved per stream by whoever routes the output.
 		*outs = append(*outs, Tuple{
 			Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value,
-			Flags: t.Flags, TraceTs: t.TraceTs,
+			Key: t.Key, Flags: t.Flags, TraceTs: t.TraceTs,
 		})
 	}
 	return cost
@@ -809,6 +934,48 @@ func (n *Node) routeBatch(outs []Tuple) {
 	admitted := false
 	n.mu.Lock()
 	for _, t := range outs {
+		// Partitioned (keyed) streams: pick the one replica owning the
+		// tuple's slot — a targeted local re-entry when it lives here, a
+		// grouped remote send otherwise. This is also where the per-slot
+		// rate counters accumulate: every tuple of the keyed stream passes
+		// through its splitter's home exactly once.
+		if pt := n.parts[int(t.Stream)]; pt != nil {
+			slot := slotOf(&t)
+			pt.counts[slot]++
+			d := pt.shards[pt.slots[slot]]
+			if d.Local {
+				if _, ok := n.ops[d.LocalOp]; ok && !n.closing {
+					t.target = int32(d.LocalOp) + 1
+					n.emitted++
+					n.queue = append(n.queue, t)
+					admitted = true
+					continue
+				}
+				addr := pt.relay[d.LocalOp]
+				if addr == "" {
+					n.droppedNoRoute++
+					continue
+				}
+				d = Dest{Addr: addr}
+			}
+			i := 0
+			for ; i < len(groups); i++ {
+				if groups[i].addr == d.Addr {
+					break
+				}
+			}
+			if i == len(groups) {
+				if i < cap(groups) {
+					groups = groups[:i+1]
+					groups[i].addr = d.Addr
+					groups[i].ts = groups[i].ts[:0]
+				} else {
+					groups = append(groups, egressRun{addr: d.Addr})
+				}
+			}
+			groups[i].ts = append(groups[i].ts, t)
+			continue
+		}
 		if len(n.subs[int(t.Stream)]) > 0 && !n.closing {
 			n.emitted++
 			n.queue = append(n.queue, t)
@@ -995,6 +1162,7 @@ type controlRequest struct {
 	Op       *OpSpec        `json:"op,omitempty"`
 	OpID     *int           `json:"opId,omitempty"`
 	Routes   map[int][]Dest `json:"routes,omitempty"`
+	Part     *PartitionSpec `json:"part,omitempty"`
 	StallSec *float64       `json:"stallSec,omitempty"`
 	Fault    *FaultSpec     `json:"fault,omitempty"`
 }
@@ -1041,6 +1209,12 @@ type NodeStats struct {
 	// had neither a local subscription nor a relay route (a routing gap —
 	// each affected stream also emits one no_route warn event).
 	DroppedNoRoute int64 `json:"droppedNoRoute,omitempty"`
+
+	// PartCounts reports, per keyed stream, the cumulative tuples routed
+	// through each partition slot. Only a splitter's home accumulates
+	// counts (every keyed tuple crosses it exactly once), so summing over
+	// nodes never double-counts.
+	PartCounts map[int][]int64 `json:"partCounts,omitempty"`
 
 	// Outbox accounting summed over peers: enqueued == sent + dropped +
 	// pending at quiescence. Reconnects counts links re-established after
@@ -1108,6 +1282,14 @@ func (n *Node) handleControl(req *controlRequest) *ControlResponse {
 			return &ControlResponse{Err: err.Error()}
 		}
 		return &ControlResponse{OK: true}
+	case "repart":
+		if req.Part == nil {
+			return &ControlResponse{Err: "repart without partition spec"}
+		}
+		if err := n.repart(req.Part); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
 	case "stall":
 		if req.StallSec == nil || *req.StallSec < 0 {
 			return &ControlResponse{Err: "stall needs a non-negative duration"}
@@ -1160,7 +1342,11 @@ func (n *Node) deploy(spec *NodeSpec) error {
 	n.subs = map[int][]int{}
 	n.fwd = map[int][]Dest{}
 	n.relays = map[int][]Dest{}
+	n.parts = map[int]*partTable{}
 	n.xfer = map[int]float64{}
+	for i := range spec.Parts {
+		n.parts[spec.Parts[i].Stream] = newPartTable(&spec.Parts[i])
+	}
 	for _, os := range spec.Ops {
 		lo := &liveOp{spec: os, sideOf: map[int]int{}}
 		for i, in := range os.Inputs {
@@ -1235,6 +1421,57 @@ func (n *Node) removeOp(id int, relay map[int][]Dest) error {
 			if !hasDest(n.fwd[sid], d.Addr) {
 				n.fwd[sid] = append(n.fwd[sid], d)
 			}
+			// A migrating shard replica: repoint its shard slot at the new
+			// home and record the per-op relay, so keyed tuples — queued,
+			// in-flight, or arriving from peers with stale tables — follow
+			// it. (The blanket relays/fwd entries above are inert for
+			// partitioned streams, whose routing bypasses those maps.)
+			if pt := n.parts[sid]; pt != nil {
+				for i, opID := range pt.ops {
+					if opID == id && pt.shards[i].Local && pt.shards[i].LocalOp == id {
+						pt.shards[i] = Dest{Addr: d.Addr}
+					}
+				}
+				pt.relay[id] = d.Addr
+			}
+		}
+	}
+	return nil
+}
+
+// repart installs or replaces the keyed routing table of one sharded
+// stream at runtime (slot reassignment, or a post-migration table push).
+// Per-slot counters survive the swap so observed slot rates keep
+// accumulating; relay entries for replicas the new table marks local
+// again are retired.
+func (n *Node) repart(ps *PartitionSpec) error {
+	if ps.K < 1 || len(ps.Shards) != ps.K || len(ps.Ops) != ps.K {
+		return fmt.Errorf("engine: repart stream %d: malformed table (k=%d, %d shards, %d ops)",
+			ps.Stream, ps.K, len(ps.Shards), len(ps.Ops))
+	}
+	for _, s := range ps.Slots {
+		if s < 0 || s >= ps.K {
+			return fmt.Errorf("engine: repart stream %d: slot shard %d outside [0,%d)", ps.Stream, s, ps.K)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pt := n.parts[ps.Stream]
+	if pt == nil {
+		n.parts[ps.Stream] = newPartTable(ps)
+		return nil
+	}
+	pt.parent = ps.Parent
+	pt.k = ps.K
+	pt.slots = append(pt.slots[:0], ps.Slots...)
+	pt.shards = append(pt.shards[:0], ps.Shards...)
+	pt.ops = append(pt.ops[:0], ps.Ops...)
+	if len(pt.counts) != len(pt.slots) {
+		pt.counts = make([]int64, len(pt.slots))
+	}
+	for i, d := range pt.shards {
+		if d.Local {
+			delete(pt.relay, pt.ops[i])
 		}
 	}
 	return nil
@@ -1312,6 +1549,22 @@ func (n *Node) Stats() *NodeStats {
 		for sid, v := range n.shedByStream {
 			s.ShedByStream[int(sid)] = v
 		}
+	}
+	for sid, pt := range n.parts {
+		routed := false
+		for _, c := range pt.counts {
+			if c > 0 {
+				routed = true
+				break
+			}
+		}
+		if !routed {
+			continue
+		}
+		if s.PartCounts == nil {
+			s.PartCounts = map[int][]int64{}
+		}
+		s.PartCounts[sid] = append([]int64(nil), pt.counts...)
 	}
 	if n.spec != nil {
 		s.NodeID = n.spec.NodeID

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+
+	"rodsp/internal/obs"
+	"rodsp/internal/query"
+)
+
+// Cluster-side shard bookkeeping: the coordinator mirrors every keyed
+// stream's slot table and replica set so it can push consistent partition
+// tables on repartition and keep them tracking replica migrations. Node
+// tables may go stale between pushes — routing stays safe because a stale
+// entry forwards through the replica's previous home, which relays onward.
+
+// shardState is the coordinator's view of one sharded stream.
+type shardState struct {
+	parent string
+	split  query.OpID
+	k      int
+	slots  []int
+	ops    []query.OpID // shard index → replica operator
+}
+
+// specFor renders the node-specific partition table: shard destinations
+// are local where the replica is co-located under nodeOf, remote addresses
+// otherwise.
+func (st *shardState) specFor(sid, node int, nodeOf []int, addrs []string) PartitionSpec {
+	ps := PartitionSpec{
+		Stream: sid,
+		Parent: st.parent,
+		K:      st.k,
+		Slots:  append([]int(nil), st.slots...),
+		Shards: make([]Dest, st.k),
+		Ops:    make([]int, st.k),
+	}
+	for i, r := range st.ops {
+		ps.Ops[i] = int(r)
+		if rn := nodeOf[r]; rn == node {
+			ps.Shards[i] = Dest{Local: true, LocalOp: int(r)}
+		} else {
+			ps.Shards[i] = Dest{Addr: addrs[rn]}
+		}
+	}
+	return ps
+}
+
+// nodes returns the nodes carrying this stream's table under nodeOf: the
+// splitter's home plus every replica home, deduplicated, ascending.
+func (st *shardState) nodes(nodeOf []int) []int {
+	seen := map[int]bool{nodeOf[st.split]: true}
+	out := []int{nodeOf[st.split]}
+	for _, r := range st.ops {
+		if n := nodeOf[r]; !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Repart pushes a partition table to the node.
+func (c *ControlClient) Repart(ps *PartitionSpec) error {
+	_, err := c.call(&controlRequest{Cmd: "repart", Part: ps})
+	return err
+}
+
+// ShardStreams returns the keyed stream ids the deployed graph shards,
+// ascending (empty before Deploy or for unsharded graphs).
+func (cl *Cluster) ShardStreams() []query.StreamID {
+	cl.shardMu.Lock()
+	defer cl.shardMu.Unlock()
+	out := make([]query.StreamID, 0, len(cl.shards))
+	for sid := range cl.shards {
+		out = append(out, query.StreamID(sid))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ShardSlotsOf returns a copy of the current slot assignment of one keyed
+// stream (nil when the stream is not sharded).
+func (cl *Cluster) ShardSlotsOf(sid query.StreamID) []int {
+	cl.shardMu.Lock()
+	defer cl.shardMu.Unlock()
+	st := cl.shards[int(sid)]
+	if st == nil {
+		return nil
+	}
+	return append([]int(nil), st.slots...)
+}
+
+// ShardK returns the shard count of one keyed stream (0 when unsharded).
+func (cl *Cluster) ShardK(sid query.StreamID) int {
+	cl.shardMu.Lock()
+	defer cl.shardMu.Unlock()
+	if st := cl.shards[int(sid)]; st != nil {
+		return st.k
+	}
+	return 0
+}
+
+// Repartition reassigns the slot table of one sharded stream at runtime,
+// pushing the updated table to every node hosting the splitter or a
+// replica. slots must have query.ShardSlots entries in [0, k). The swap is
+// lossless: a node still on the old table routes each slot to a live
+// replica either way, and in-queue targeted tuples are unaffected. On a
+// partial push failure the cluster keeps the new assignment (mixed tables
+// remain safe) and the error is returned.
+func (cl *Cluster) Repartition(sid query.StreamID, slots []int) error {
+	cl.shardMu.Lock()
+	st := cl.shards[int(sid)]
+	if st == nil {
+		cl.shardMu.Unlock()
+		return fmt.Errorf("engine: stream %d is not sharded", sid)
+	}
+	if len(slots) != query.ShardSlots {
+		cl.shardMu.Unlock()
+		return fmt.Errorf("engine: repartition needs %d slots, got %d", query.ShardSlots, len(slots))
+	}
+	for i, s := range slots {
+		if s < 0 || s >= st.k {
+			cl.shardMu.Unlock()
+			return fmt.Errorf("engine: slot %d assigned to shard %d outside [0,%d)", i, s, st.k)
+		}
+	}
+	st.slots = append(st.slots[:0], slots...)
+	nodeOf := cl.planNodeOfLocked()
+	cl.shardMu.Unlock()
+
+	addrs := cl.Addrs()
+	for _, node := range st.nodes(nodeOf) {
+		ps := st.specFor(int(sid), node, nodeOf, addrs)
+		if err := cl.Controls[node].Repart(&ps); err != nil {
+			cl.events.Emit(obs.LevelWarn, obs.EventControlError,
+				"op", "repart", "node", node, "err", err.Error())
+			return fmt.Errorf("engine: repartitioning stream %d on node %d: %w", sid, node, err)
+		}
+	}
+	cl.events.Emit(obs.LevelInfo, obs.EventRepartition,
+		"stream", int(sid), "k", st.k, "nodes", len(st.nodes(nodeOf)))
+	return nil
+}
+
+// planNodeOfLocked copies the live placement recorded at Deploy (updated
+// in place by MoveOperator). Callers hold cl.shardMu.
+func (cl *Cluster) planNodeOfLocked() []int {
+	if cl.plan == nil {
+		return nil
+	}
+	return append([]int(nil), cl.plan.NodeOf...)
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"rodsp/internal/placement"
+	"rodsp/internal/query"
+	"rodsp/internal/trace"
+)
+
+// shardedPipeline builds I → a → b with a sharded into k replicas, and
+// returns the graph plus its shard group.
+func shardedPipeline(t *testing.T, costA, costB float64, k int) (*query.Graph, query.ShardGroup) {
+	t.Helper()
+	b := query.NewBuilder()
+	in := b.Input("I")
+	s := b.Delay("a", costA, 1, in)
+	b.Delay("b", costB, 1, s)
+	g, err := query.Shards(b.MustBuild(), 0, query.DefaultShardConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := query.ShardGroups(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("%d shard groups", len(groups))
+	}
+	return g, groups[0]
+}
+
+// keyCounter returns a deterministic key source: sequential keys spread
+// across the slot table by the Fibonacci hash.
+func keyCounter() func() uint64 {
+	var k uint64
+	return func() uint64 {
+		k++
+		return k
+	}
+}
+
+func sumStats(sts []*NodeStats) (shed, noroute, partTotal int64) {
+	for _, s := range sts {
+		shed += s.Shed
+		noroute += s.DroppedNoRoute
+		for _, counts := range s.PartCounts {
+			for _, c := range counts {
+				partTotal += c
+			}
+		}
+	}
+	return
+}
+
+// End-to-end keyed routing: a k=3 sharded operator spread over two nodes
+// must deliver every injected tuple exactly once (co-located replicas do
+// not double-process), feed every replica, and account every keyed tuple
+// in the splitter home's partition counters.
+func TestShardedClusterEndToEnd(t *testing.T) {
+	g, grp := shardedPipeline(t, 0.002, 0.0005, 3)
+	// split:0  replicas:1,2,3  merge:4  b:5 — splitter and two replicas
+	// co-located on node 0, the rest on node 1.
+	nodeOf := make([]int, g.NumOps())
+	nodeOf[grp.Split] = 0
+	nodeOf[grp.Replicas[0]] = 0
+	nodeOf[grp.Replicas[1]] = 1
+	nodeOf[grp.Replicas[2]] = 0
+	nodeOf[grp.Merge] = 1
+	for _, op := range g.Ops() {
+		if op.Shard == query.ShardNone {
+			nodeOf[op.ID] = 1
+		}
+	}
+	plan, err := placement.NewPlan(nodeOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.ShardStreams(); len(got) != 1 || got[0] != grp.Stream {
+		t.Fatalf("ShardStreams = %v, want [%d]", got, grp.Stream)
+	}
+	if cl.ShardK(grp.Stream) != 3 {
+		t.Fatalf("ShardK = %d", cl.ShardK(grp.Stream))
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &SourceDriver{
+		Stream: g.Inputs()[0],
+		Trace:  trace.New("const", 1, []float64{200, 200}),
+		Addrs:  []string{cl.Nodes[0].Addr()},
+		Keys:   keyCounter(),
+	}
+	injected, err := src.Run(1200*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	sts, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, noroute, partTotal := sumStats(sts)
+	if shed != 0 || noroute != 0 {
+		t.Fatalf("shed = %d, noroute = %d, want 0/0", shed, noroute)
+	}
+	// Exactly-once: the collector must see every tuple exactly once even
+	// though two replicas share node 0.
+	count, _, _, _, _ := cl.Collector.LatencyStats()
+	if count != injected {
+		t.Fatalf("collector saw %d of %d tuples (keyed routing lost or duplicated)", count, injected)
+	}
+	// Every keyed tuple crosses the splitter's partition table once.
+	if partTotal != injected {
+		t.Fatalf("partition counters total %d, want %d", partTotal, injected)
+	}
+	// Sequential keys through the Fibonacci hash feed all three replicas.
+	cost := map[int]bool{}
+	for _, s := range sts {
+		for id := range s.OpCost {
+			cost[id] = true
+		}
+	}
+	for _, r := range grp.Replicas {
+		if !cost[int(r)] {
+			t.Fatalf("replica %d processed nothing (OpCost keys %v)", r, cost)
+		}
+	}
+}
+
+// A live repartition mid-traffic must lose nothing: old and new tables both
+// route every slot to a live replica.
+func TestShardedRepartitionLive(t *testing.T) {
+	g, grp := shardedPipeline(t, 0.002, 0.0005, 3)
+	nodeOf := make([]int, g.NumOps())
+	nodeOf[grp.Split] = 0
+	nodeOf[grp.Replicas[0]] = 0
+	nodeOf[grp.Replicas[1]] = 1
+	nodeOf[grp.Replicas[2]] = 1
+	nodeOf[grp.Merge] = 0
+	for _, op := range g.Ops() {
+		if op.Shard == query.ShardNone {
+			nodeOf[op.ID] = 0
+		}
+	}
+	plan, err := placement.NewPlan(nodeOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &SourceDriver{
+		Stream: g.Inputs()[0],
+		Trace:  trace.New("const", 1, []float64{200, 200, 200}),
+		Addrs:  []string{cl.Nodes[0].Addr()},
+		Keys:   keyCounter(),
+	}
+	done := make(chan int64, 1)
+	go func() {
+		inj, _ := src.Run(1500*time.Millisecond, nil)
+		done <- inj
+	}()
+	time.Sleep(500 * time.Millisecond)
+	// Rotate every slot to the next replica while tuples are in flight.
+	cur := cl.ShardSlotsOf(grp.Stream)
+	next := make([]int, len(cur))
+	for i, s := range cur {
+		next[i] = (s + 1) % 3
+	}
+	if err := cl.Repartition(grp.Stream, next); err != nil {
+		t.Fatalf("repartition: %v", err)
+	}
+	injected := <-done
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := cl.ShardSlotsOf(grp.Stream); got[0] != next[0] {
+		t.Fatalf("slot table not updated: %v", got[:4])
+	}
+	sts, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, noroute, partTotal := sumStats(sts)
+	if shed != 0 || noroute != 0 {
+		t.Fatalf("shed = %d, noroute = %d across repartition, want 0/0", shed, noroute)
+	}
+	count, _, _, _, _ := cl.Collector.LatencyStats()
+	if count != injected {
+		t.Fatalf("collector saw %d of %d tuples across a live repartition", count, injected)
+	}
+	if partTotal != injected {
+		t.Fatalf("partition counters total %d, want %d", partTotal, injected)
+	}
+}
+
+// Migrating a shard replica mid-traffic: the destination's table must mark
+// the shard local before the source lets go (no routing loop), and no
+// tuples may be lost.
+func TestShardedReplicaMigration(t *testing.T) {
+	g, grp := shardedPipeline(t, 0.002, 0.0005, 3)
+	nodeOf := make([]int, g.NumOps())
+	nodeOf[grp.Split] = 0
+	nodeOf[grp.Replicas[0]] = 0
+	nodeOf[grp.Replicas[1]] = 1
+	nodeOf[grp.Replicas[2]] = 1
+	nodeOf[grp.Merge] = 0
+	for _, op := range g.Ops() {
+		if op.Shard == query.ShardNone {
+			nodeOf[op.ID] = 0
+		}
+	}
+	plan, err := placement.NewPlan(nodeOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &SourceDriver{
+		Stream: g.Inputs()[0],
+		Trace:  trace.New("const", 1, []float64{200, 200, 200}),
+		Addrs:  []string{cl.Nodes[0].Addr()},
+		Keys:   keyCounter(),
+	}
+	done := make(chan int64, 1)
+	go func() {
+		inj, _ := src.Run(1500*time.Millisecond, nil)
+		done <- inj
+	}()
+	time.Sleep(500 * time.Millisecond)
+	// Move replica 1 onto node 0, where replica 0 already lives — the case
+	// where a stale destination table would bounce tuples back.
+	if err := cl.MoveOperator(g, plan, grp.Replicas[1], 0, 0); err != nil {
+		t.Fatalf("migrate replica: %v", err)
+	}
+	if plan.NodeOf[grp.Replicas[1]] != 0 {
+		t.Fatal("plan not updated")
+	}
+	injected := <-done
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	sts, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, noroute, _ := sumStats(sts)
+	if shed != 0 || noroute != 0 {
+		t.Fatalf("shed = %d, noroute = %d across migration, want 0/0", shed, noroute)
+	}
+	count, _, _, _, _ := cl.Collector.LatencyStats()
+	if count < injected*98/100 || count > injected {
+		t.Fatalf("collector saw %d of %d tuples across a replica migration", count, injected)
+	}
+	// The monitor's per-slot rates must reflect the keyed stream.
+	if cl.monitor != nil {
+		t.Fatal("no controller started — monitor must be nil")
+	}
+}
+
+// Migrating the splitter moves the partition table with it: keyed routing
+// keeps working from the new home.
+func TestShardedSplitterMigration(t *testing.T) {
+	g, grp := shardedPipeline(t, 0.002, 0.0005, 2)
+	nodeOf := make([]int, g.NumOps())
+	nodeOf[grp.Split] = 0
+	nodeOf[grp.Replicas[0]] = 0
+	nodeOf[grp.Replicas[1]] = 1
+	nodeOf[grp.Merge] = 1
+	for _, op := range g.Ops() {
+		if op.Shard == query.ShardNone {
+			nodeOf[op.ID] = 1
+		}
+	}
+	plan, err := placement.NewPlan(nodeOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1, 1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	src := &SourceDriver{
+		Stream: g.Inputs()[0],
+		Trace:  trace.New("const", 1, []float64{200, 200, 200}),
+		Addrs:  []string{cl.Nodes[0].Addr()},
+		Keys:   keyCounter(),
+	}
+	done := make(chan int64, 1)
+	go func() {
+		inj, _ := src.Run(1500*time.Millisecond, nil)
+		done <- inj
+	}()
+	time.Sleep(500 * time.Millisecond)
+	if err := cl.MoveOperator(g, plan, grp.Split, 1, 0); err != nil {
+		t.Fatalf("migrate splitter: %v", err)
+	}
+	injected := <-done
+	if err := cl.AwaitQuiescence(5*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	sts, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, noroute, _ := sumStats(sts)
+	if shed != 0 || noroute != 0 {
+		t.Fatalf("shed = %d, noroute = %d across splitter migration, want 0/0", shed, noroute)
+	}
+	count, _, _, _, _ := cl.Collector.LatencyStats()
+	if count < injected*98/100 || count > injected {
+		t.Fatalf("collector saw %d of %d tuples across a splitter migration", count, injected)
+	}
+}
+
+// Repartition input validation.
+func TestRepartitionValidation(t *testing.T) {
+	g, grp := shardedPipeline(t, 0.001, 0.0005, 2)
+	nodeOf := make([]int, g.NumOps())
+	plan, err := placement.NewPlan(nodeOf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{1}
+	cl, err := StartCluster(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Repartition(grp.Stream+100, query.UniformSlots(2)); err == nil {
+		t.Fatal("unsharded stream must error")
+	}
+	if err := cl.Repartition(grp.Stream, []int{0, 1}); err == nil {
+		t.Fatal("short slot table must error")
+	}
+	bad := query.UniformSlots(2)
+	bad[5] = 2
+	if err := cl.Repartition(grp.Stream, bad); err == nil {
+		t.Fatal("out-of-range shard must error")
+	}
+}

@@ -27,6 +27,21 @@ type Dest struct {
 	Local   bool   `json:"local"`
 }
 
+// PartitionSpec installs the keyed routing table of one sharded stream on a
+// node: the fixed slot table (query.ShardSlots entries, slot → shard index)
+// and the per-shard destination — local when that replica lives on this
+// node, the replica's node address otherwise. Every node hosting the
+// splitter or any replica carries the table, so each can route a keyed
+// tuple to exactly one replica wherever it arrives.
+type PartitionSpec struct {
+	Stream int    `json:"stream"`
+	Parent string `json:"parent"`
+	K      int    `json:"k"`
+	Slots  []int  `json:"slots"`
+	Shards []Dest `json:"shards"` // shard index → destination
+	Ops    []int  `json:"ops"`    // shard index → replica operator id
+}
+
 // NodeSpec is the full deployment for one node.
 type NodeSpec struct {
 	NodeID   int             `json:"nodeId"`
@@ -34,6 +49,7 @@ type NodeSpec struct {
 	Ops      []OpSpec        `json:"ops"`
 	Routes   map[int][]Dest  `json:"routes"` // stream id → destinations
 	XferCost map[int]float64 `json:"xferCost,omitempty"`
+	Parts    []PartitionSpec `json:"parts,omitempty"`
 }
 
 // BuildSpecs compiles a graph + plan into one deployment spec per node.
@@ -72,11 +88,54 @@ func BuildSpecs(g *query.Graph, plan *placement.Plan, capacities []float64, addr
 			Out:         int(op.Out),
 		})
 	}
+	// Keyed (sharded) streams route through a partition table, not the
+	// broadcast fan-out below: each tuple goes to exactly one replica.
+	groups, err := query.ShardGroups(g)
+	if err != nil {
+		return nil, err
+	}
+	keyed := map[query.StreamID]query.ShardGroup{}
+	for _, grp := range groups {
+		keyed[grp.Stream] = grp
+	}
+	for _, grp := range groups {
+		onNode := map[int]bool{plan.NodeOf[grp.Split]: true}
+		for _, r := range grp.Replicas {
+			onNode[plan.NodeOf[r]] = true
+		}
+		s := g.Stream(grp.Stream)
+		for node := range onNode {
+			ps := PartitionSpec{
+				Stream: int(grp.Stream),
+				Parent: grp.Parent,
+				K:      grp.K,
+				Slots:  query.UniformSlots(grp.K),
+				Shards: make([]Dest, grp.K),
+				Ops:    make([]int, grp.K),
+			}
+			for i, r := range grp.Replicas {
+				ps.Ops[i] = int(r)
+				if rn := plan.NodeOf[r]; rn == node {
+					ps.Shards[i] = Dest{Local: true, LocalOp: int(r)}
+				} else {
+					ps.Shards[i] = Dest{Addr: addrs[rn]}
+				}
+			}
+			specs[node].Parts = append(specs[node].Parts, ps)
+			if s.XferCost > 0 {
+				specs[node].XferCost[int(s.ID)] = s.XferCost
+			}
+		}
+	}
+
 	// Routing: every stream's producer node forwards to each consumer —
 	// locally when co-located, to the consumer's node address otherwise.
 	// Remote deliveries are deduplicated per destination node (the receiving
 	// node fans out to its own local consumers).
 	for _, s := range g.Streams() {
+		if _, isKeyed := keyed[s.ID]; isKeyed {
+			continue
+		}
 		consumers := g.Consumers(s.ID)
 		producerNodes := producerNodesOf(g, plan, s.ID)
 		for _, prodNode := range producerNodes {
@@ -105,6 +164,9 @@ func BuildSpecs(g *query.Graph, plan *placement.Plan, capacities []float64, addr
 	// receiving node; add local routes for consumers of streams whose
 	// producer lives elsewhere (or is a system input).
 	for _, s := range g.Streams() {
+		if _, isKeyed := keyed[s.ID]; isKeyed {
+			continue // keyed ingress delivers through the partition table
+		}
 		for _, c := range g.Consumers(s.ID) {
 			cn := plan.NodeOf[c]
 			if !s.Input() && plan.NodeOf[s.Producer] == cn {

@@ -44,6 +44,18 @@ const (
 	// one flagged tuple, so untraced traffic pays no wire overhead; legacy
 	// and plain batch frames decode with zero trace context.
 	opTraced byte = 0x82
+	// opKeyed introduces a keyed batch frame:
+	//
+	//	opKeyed | uint32(count) | count × 36-byte keyed record
+	//
+	// where each record is the 28-byte tuple followed by the big-endian
+	// 64-bit partition key. Writers emit it only when a batch carries at
+	// least one nonzero key, so unkeyed traffic pays no wire overhead;
+	// older frames decode with key zero.
+	opKeyed byte = 0x83
+	// opKeyedTraced combines opTraced and opKeyed: 45-byte records, the
+	// traced record followed by the 64-bit key.
+	opKeyedTraced byte = 0x84
 )
 
 // MaxBatchWire caps the tuple count one batch frame may declare; larger
@@ -71,12 +83,29 @@ type Tuple struct {
 
 	Flags   uint8
 	TraceTs int64
+
+	// Key is the partition key for keyed (sharded) streams: hashed through
+	// the per-operator partition table to pick a shard replica. Zero means
+	// unkeyed; only the keyed frames carry it on the wire.
+	Key uint64
+
+	// target is in-memory routing state (never on the wire): when nonzero,
+	// the tuple is addressed to local operator id target−1 alone instead of
+	// every subscriber of its stream — how keyed ingress delivers one key
+	// partition to one co-located shard replica.
+	target int32
 }
 
 const tupleFrameSize = 4 + 8 + 8 + 8
 
 // tracedFrameSize is the traced record: tuple + flags byte + trace ts.
 const tracedFrameSize = tupleFrameSize + 1 + 8
+
+// keyedFrameSize is the keyed record: tuple + 64-bit partition key.
+const keyedFrameSize = tupleFrameSize + 8
+
+// keyedTracedFrameSize is the keyed traced record: traced record + key.
+const keyedTracedFrameSize = tracedFrameSize + 8
 
 // batchHeaderSize is the opcode plus the uint32 tuple count.
 const batchHeaderSize = 1 + 4
@@ -111,6 +140,32 @@ func decodeTraced(buf []byte) Tuple {
 	t := decodeTuple(buf)
 	t.Flags = buf[tupleFrameSize]
 	t.TraceTs = int64(binary.BigEndian.Uint64(buf[tupleFrameSize+1 : tracedFrameSize]))
+	return t
+}
+
+// encodeKeyed writes t's 36-byte keyed record into buf[:keyedFrameSize].
+func encodeKeyed(buf []byte, t Tuple) {
+	encodeTuple(buf, t)
+	binary.BigEndian.PutUint64(buf[tupleFrameSize:keyedFrameSize], t.Key)
+}
+
+// decodeKeyed parses one keyed record from buf[:keyedFrameSize].
+func decodeKeyed(buf []byte) Tuple {
+	t := decodeTuple(buf)
+	t.Key = binary.BigEndian.Uint64(buf[tupleFrameSize:keyedFrameSize])
+	return t
+}
+
+// encodeKeyedTraced writes t's 45-byte keyed traced record.
+func encodeKeyedTraced(buf []byte, t Tuple) {
+	encodeTraced(buf, t)
+	binary.BigEndian.PutUint64(buf[tracedFrameSize:keyedTracedFrameSize], t.Key)
+}
+
+// decodeKeyedTraced parses one keyed traced record.
+func decodeKeyedTraced(buf []byte) Tuple {
+	t := decodeTraced(buf)
+	t.Key = binary.BigEndian.Uint64(buf[tracedFrameSize:keyedTracedFrameSize])
 	return t
 }
 
@@ -177,15 +232,20 @@ func (tw *TupleWriter) Send(t Tuple) error { return WriteTuple(tw.bw, t) }
 // frame cannot carry it. The encode buffer is reused across calls, so the
 // steady-state path allocates nothing.
 func (tw *TupleWriter) SendBatch(ts []Tuple) error {
-	traced := false
+	traced, keyed := false, false
 	for i := range ts {
 		if ts[i].Flags != 0 {
 			traced = true
+		}
+		if ts[i].Key != 0 {
+			keyed = true
+		}
+		if traced && keyed {
 			break
 		}
 	}
 	for len(ts) > MaxBatchWire {
-		if err := tw.sendBatchFrame(ts[:MaxBatchWire], traced); err != nil {
+		if err := tw.sendBatchFrame(ts[:MaxBatchWire], traced, keyed); err != nil {
 			return err
 		}
 		ts = ts[MaxBatchWire:]
@@ -194,19 +254,24 @@ func (tw *TupleWriter) SendBatch(ts []Tuple) error {
 	case 0:
 		return nil
 	case 1:
-		if traced {
-			return tw.sendBatchFrame(ts, true)
+		if traced || keyed {
+			return tw.sendBatchFrame(ts, traced, keyed)
 		}
 		return WriteTuple(tw.bw, ts[0])
 	default:
-		return tw.sendBatchFrame(ts, traced)
+		return tw.sendBatchFrame(ts, traced, keyed)
 	}
 }
 
-func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced bool) error {
+func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced, keyed bool) error {
 	rec, op := tupleFrameSize, opBatch
-	if traced {
+	switch {
+	case traced && keyed:
+		rec, op = keyedTracedFrameSize, opKeyedTraced
+	case traced:
 		rec, op = tracedFrameSize, opTraced
+	case keyed:
+		rec, op = keyedFrameSize, opKeyed
 	}
 	need := batchHeaderSize + len(ts)*rec
 	if cap(tw.enc) < need {
@@ -215,11 +280,20 @@ func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced bool) error {
 	buf := tw.enc[:need]
 	buf[0] = op
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(ts)))
-	if traced {
+	switch op {
+	case opKeyedTraced:
+		for i, t := range ts {
+			encodeKeyedTraced(buf[batchHeaderSize+i*rec:], t)
+		}
+	case opTraced:
 		for i, t := range ts {
 			encodeTraced(buf[batchHeaderSize+i*rec:], t)
 		}
-	} else {
+	case opKeyed:
+		for i, t := range ts {
+			encodeKeyed(buf[batchHeaderSize+i*rec:], t)
+		}
+	default:
 		for i, t := range ts {
 			encodeTuple(buf[batchHeaderSize+i*rec:], t)
 		}
@@ -286,12 +360,18 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 			tr.slab[0] = decodeTuple(buf)
 			return tr.slab, nil
 		}
-		if tr.hdr[0] != opBatch && tr.hdr[0] != opTraced {
-			return nil, fmt.Errorf("engine: unknown frame opcode 0x%02x", tr.hdr[0])
-		}
-		rec := tupleFrameSize
-		if tr.hdr[0] == opTraced {
+		var rec int
+		switch tr.hdr[0] {
+		case opBatch:
+			rec = tupleFrameSize
+		case opTraced:
 			rec = tracedFrameSize
+		case opKeyed:
+			rec = keyedFrameSize
+		case opKeyedTraced:
+			rec = keyedTracedFrameSize
+		default:
+			return nil, fmt.Errorf("engine: unknown frame opcode 0x%02x", tr.hdr[0])
 		}
 		if _, err := io.ReadFull(tr.r, tr.hdr[1:]); err != nil {
 			return nil, unexpectedEOF(err)
@@ -315,11 +395,20 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 			tr.slab = make([]Tuple, n)
 		}
 		tr.slab = tr.slab[:n]
-		if rec == tracedFrameSize {
+		switch rec {
+		case tracedFrameSize:
 			for i := range tr.slab {
 				tr.slab[i] = decodeTraced(buf[i*rec:])
 			}
-		} else {
+		case keyedFrameSize:
+			for i := range tr.slab {
+				tr.slab[i] = decodeKeyed(buf[i*rec:])
+			}
+		case keyedTracedFrameSize:
+			for i := range tr.slab {
+				tr.slab[i] = decodeKeyedTraced(buf[i*rec:])
+			}
+		default:
 			for i := range tr.slab {
 				tr.slab[i] = decodeTuple(buf[i*rec:])
 			}

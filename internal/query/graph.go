@@ -55,6 +55,42 @@ func (k Kind) String() string {
 	}
 }
 
+// ShardRole marks an operator's role in a keyed shard group created by the
+// Shards transform: the splitter that key-partitions the parent's input, the
+// k replicas that each process one partition, and the merge that reunifies
+// their outputs. ShardNone is every ordinary operator.
+type ShardRole int
+
+const (
+	// ShardNone is an ordinary (unsharded) operator.
+	ShardNone ShardRole = iota
+	// ShardSplit is the key-partitioning splitter; its output stream is the
+	// keyed stream the engine routes through a partition table.
+	ShardSplit
+	// ShardReplica is one of the k key-partitioned replicas of the parent
+	// operator; it sees 1/k of the keyed stream's rate.
+	ShardReplica
+	// ShardMerge is the union reunifying the k replica outputs into the
+	// stream the parent's consumers read.
+	ShardMerge
+)
+
+// String names the shard role.
+func (r ShardRole) String() string {
+	switch r {
+	case ShardNone:
+		return "none"
+	case ShardSplit:
+		return "split"
+	case ShardReplica:
+		return "replica"
+	case ShardMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("shardrole(%d)", int(r))
+	}
+}
+
 // OpID identifies an operator within a Graph (dense, 0-based).
 type OpID int
 
@@ -81,6 +117,15 @@ type Operator struct {
 	// VariableSelectivity marks an operator whose selectivity is not stable,
 	// forcing a linearization cut at its output (Section 6.2, Example 3's o1).
 	VariableSelectivity bool
+
+	// Shard, ShardParent, ShardIndex and ShardK describe the operator's role
+	// in a keyed shard group (the Shards transform). ShardParent is the name
+	// of the operator that was sharded; ShardIndex is the replica's position
+	// in [0, ShardK) (replicas only); ShardK is the group's shard count.
+	Shard       ShardRole
+	ShardParent string
+	ShardIndex  int
+	ShardK      int
 
 	Inputs []StreamID
 	Out    StreamID

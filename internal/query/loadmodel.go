@@ -172,6 +172,12 @@ func totalInputRate(lm *LoadModel, op *Operator) (mat.Vec, error) {
 		}
 		total.AddInPlace(r)
 	}
+	// A shard replica reads one key partition of the keyed stream: 1/k of
+	// its rate. Each replica's coefficient row therefore inherits l/k of the
+	// parent's, and the k rows column-sum back to the parent's exactly.
+	if op.Shard == ShardReplica && op.ShardK > 1 {
+		total = total.Scale(1 / float64(op.ShardK))
+	}
 	return total, nil
 }
 
@@ -222,6 +228,9 @@ func (lm *LoadModel) ResolveVars(inputRates mat.Vec) (mat.Vec, error) {
 			for _, in := range op.Inputs {
 				total += rate[in]
 			}
+			if op.Shard == ShardReplica && op.ShardK > 1 {
+				total /= float64(op.ShardK)
+			}
 			rate[op.Out] = op.Selectivity * total
 		}
 	}
@@ -257,6 +266,9 @@ func (lm *LoadModel) ActualLoads(inputRates mat.Vec) (mat.Vec, error) {
 			var total float64
 			for _, in := range op.Inputs {
 				total += rate[in]
+			}
+			if op.Shard == ShardReplica && op.ShardK > 1 {
+				total /= float64(op.ShardK)
 			}
 			loads[id] = op.Cost * total
 			rate[op.Out] = op.Selectivity * total

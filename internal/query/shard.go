@@ -1,0 +1,227 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardSlots is the fixed slot count of every keyed partition table: keys
+// hash onto slots, slots map onto shard replicas. Fixed (Flink-style max
+// parallelism) so repartitioning reassigns slots without rehashing keys.
+const ShardSlots = 64
+
+// SlotOfKey hashes a tuple key onto a partition-table slot. Fibonacci
+// (multiplicative) hashing spreads sequential and clustered key spaces
+// evenly across the slot range.
+func SlotOfKey(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 58)
+}
+
+// UniformSlots is the uniform (hash-modulo) slot assignment: slot i to
+// shard i % k. The baseline skew-aware assignment is measured against.
+func UniformSlots(k int) []int {
+	a := make([]int, ShardSlots)
+	for i := range a {
+		a[i] = i % k
+	}
+	return a
+}
+
+// ShardConfig tunes the Shards transform. SplitCost and MergeCost are the
+// per-tuple CPU cost of the key-partitioning splitter and the reunifying
+// merge (the explicit shuffle-cost terms the load model carries); XferCost
+// is the per-tuple transfer cost stamped on every cut arc (splitter→replica
+// and replica→merge), so clustering and the migration planner see the
+// shuffle's network price.
+type ShardConfig struct {
+	K         int
+	SplitCost float64
+	MergeCost float64
+	XferCost  float64
+}
+
+// DefaultShardConfig returns the shuffle-cost defaults used when a caller
+// only knows k: splitter/merge at a fraction of the cheapest realistic
+// operator cost, cut arcs at the same transfer cost.
+func DefaultShardConfig(k int) ShardConfig {
+	return ShardConfig{K: k, SplitCost: 0.00002, MergeCost: 0.00001, XferCost: 0.00001}
+}
+
+// Shards rebuilds g with operator target split into cfg.K key-partitioned
+// shards: a splitter consuming the target's input (its output is the keyed
+// stream), K replica operators each inheriting the target's kind, cost,
+// selectivity and window but seeing 1/K of the keyed stream's rate, and a
+// merge union whose output takes the target's place for every downstream
+// consumer. The returned graph is freshly built — operator and stream ids
+// are renumbered — so Shards must run before placement and deployment.
+//
+// Join and Union operators cannot be sharded (their multi-input semantics
+// would need co-partitioning), and a shard-group member cannot be sharded
+// again.
+func Shards(g *Graph, target OpID, cfg ShardConfig) (*Graph, error) {
+	if int(target) < 0 || int(target) >= g.NumOps() {
+		return nil, fmt.Errorf("query: Shards target %d outside [0,%d)", target, g.NumOps())
+	}
+	t := g.Op(target)
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("query: Shards(%q) needs k ≥ 2, got %d", t.Name, cfg.K)
+	}
+	if t.Kind == Join || t.Kind == Union {
+		return nil, fmt.Errorf("query: cannot shard %s %q (multi-input operators need co-partitioning)", t.Kind, t.Name)
+	}
+	if t.Shard != ShardNone {
+		return nil, fmt.Errorf("query: %q is already part of shard group %q", t.Name, t.ShardParent)
+	}
+	if cfg.SplitCost < 0 || cfg.MergeCost < 0 || cfg.XferCost < 0 {
+		return nil, fmt.Errorf("query: Shards(%q) costs must be non-negative", t.Name)
+	}
+
+	b := NewBuilder()
+	// System inputs first, in the original creation order, so input indices
+	// (and therefore load-model variable positions) are stable.
+	smap := make(map[StreamID]StreamID, g.NumStreams())
+	for _, in := range g.Inputs() {
+		smap[in] = b.Input(g.Stream(in).Name)
+	}
+	for _, id := range g.TopoOrder() {
+		op := g.Op(id)
+		ins := make([]StreamID, len(op.Inputs))
+		for i, in := range op.Inputs {
+			ns, ok := smap[in]
+			if !ok {
+				return nil, fmt.Errorf("query: Shards: stream %d unmapped at %q (topological order broken)", in, op.Name)
+			}
+			ins[i] = ns
+		}
+		if id != target {
+			smap[op.Out] = b.AddOp(cloneOp(op, ins))
+			continue
+		}
+		// Splitter: consumes the parent's input, emits the keyed stream.
+		split := &Operator{
+			Name: t.Name + "#split", Kind: Map, Cost: cfg.SplitCost, Selectivity: 1,
+			Shard: ShardSplit, ShardParent: t.Name, ShardK: cfg.K,
+			Inputs: []StreamID{ins[0]},
+		}
+		keyed := b.AddOp(split)
+		b.SetXferCost(keyed, cfg.XferCost)
+		// K replicas, each a 1/K-rate copy of the parent.
+		outs := make([]StreamID, cfg.K)
+		for i := 0; i < cfg.K; i++ {
+			r := &Operator{
+				Name: fmt.Sprintf("%s#%d", t.Name, i), Kind: t.Kind,
+				Cost: t.Cost, Selectivity: t.Selectivity, Window: t.Window,
+				VariableSelectivity: t.VariableSelectivity,
+				Shard:               ShardReplica, ShardParent: t.Name, ShardIndex: i, ShardK: cfg.K,
+				Inputs: []StreamID{keyed},
+			}
+			outs[i] = b.AddOp(r)
+			b.SetXferCost(outs[i], cfg.XferCost)
+		}
+		// Merge: reunifies the replica outputs under the parent's old stream
+		// identity for every downstream consumer.
+		merge := &Operator{
+			Name: t.Name + "#merge", Kind: Union, Cost: cfg.MergeCost, Selectivity: 1,
+			Shard: ShardMerge, ShardParent: t.Name, ShardK: cfg.K,
+			Inputs: outs,
+		}
+		smap[op.Out] = b.AddOp(merge)
+	}
+	// Preserve the original per-stream transfer costs.
+	for _, s := range g.Streams() {
+		if s.XferCost != 0 {
+			if ns, ok := smap[s.ID]; ok {
+				b.SetXferCost(ns, s.XferCost)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// cloneOp copies an operator for re-insertion into a fresh builder (ID, Out
+// and name bookkeeping are reassigned by AddOp).
+func cloneOp(op *Operator, ins []StreamID) *Operator {
+	return &Operator{
+		Name: op.Name, Kind: op.Kind, Cost: op.Cost, Selectivity: op.Selectivity,
+		Window: op.Window, VariableSelectivity: op.VariableSelectivity,
+		Shard: op.Shard, ShardParent: op.ShardParent,
+		ShardIndex: op.ShardIndex, ShardK: op.ShardK,
+		Inputs: ins,
+	}
+}
+
+// ShardGroup collects the members of one keyed shard group: the splitter,
+// the replicas ordered by shard index, the merge, and the keyed stream the
+// engine routes through a partition table.
+type ShardGroup struct {
+	Parent   string
+	Split    OpID
+	Replicas []OpID
+	Merge    OpID
+	Stream   StreamID // the splitter's output: the keyed stream
+	K        int
+}
+
+// ShardGroups returns every shard group in the graph, ordered by splitter
+// id (deterministic). It errors on structurally broken groups — a replica
+// without its splitter, a mismatched K — which can only arise from graphs
+// assembled outside the Shards transform.
+func ShardGroups(g *Graph) ([]ShardGroup, error) {
+	byParent := map[string]*ShardGroup{}
+	for _, op := range g.Ops() {
+		if op.Shard == ShardNone {
+			continue
+		}
+		grp := byParent[op.ShardParent]
+		if grp == nil {
+			grp = &ShardGroup{Parent: op.ShardParent, Split: -1, Merge: -1, Stream: -1, K: op.ShardK}
+			byParent[op.ShardParent] = grp
+		}
+		if op.ShardK != grp.K {
+			return nil, fmt.Errorf("query: shard group %q has mixed k (%d vs %d)", op.ShardParent, op.ShardK, grp.K)
+		}
+		switch op.Shard {
+		case ShardSplit:
+			grp.Split = op.ID
+			grp.Stream = op.Out
+		case ShardReplica:
+			grp.Replicas = append(grp.Replicas, op.ID)
+		case ShardMerge:
+			grp.Merge = op.ID
+		}
+	}
+	out := make([]ShardGroup, 0, len(byParent))
+	for _, grp := range byParent {
+		if grp.Split < 0 || grp.Merge < 0 {
+			return nil, fmt.Errorf("query: shard group %q is missing its splitter or merge", grp.Parent)
+		}
+		if len(grp.Replicas) != grp.K {
+			return nil, fmt.Errorf("query: shard group %q has %d replicas for k=%d", grp.Parent, len(grp.Replicas), grp.K)
+		}
+		sort.Slice(grp.Replicas, func(i, j int) bool {
+			return g.Op(grp.Replicas[i]).ShardIndex < g.Op(grp.Replicas[j]).ShardIndex
+		})
+		out = append(out, *grp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Split < out[j].Split })
+	return out, nil
+}
+
+// ShardGroupOf returns the group a replica operator belongs to, or an error
+// when op is not a shard replica.
+func ShardGroupOf(g *Graph, op OpID) (ShardGroup, error) {
+	o := g.Op(op)
+	if o.Shard != ShardReplica {
+		return ShardGroup{}, fmt.Errorf("query: %q is not a shard replica", o.Name)
+	}
+	groups, err := ShardGroups(g)
+	if err != nil {
+		return ShardGroup{}, err
+	}
+	for _, grp := range groups {
+		if grp.Parent == o.ShardParent {
+			return grp, nil
+		}
+	}
+	return ShardGroup{}, fmt.Errorf("query: shard group %q not found", o.ShardParent)
+}

@@ -1,0 +1,214 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+// hotChain builds in → pre → hot → tail with a deliberately heavy hot
+// operator.
+func hotChain() *Graph {
+	b := NewBuilder()
+	in := b.Input("hot")
+	pre := b.Delay("pre", 0.0001, 1, in)
+	h := b.Delay("hotop", 0.002, 1, pre)
+	b.Delay("tail", 0.0001, 0.5, h)
+	return b.MustBuild()
+}
+
+func findOp(g *Graph, name string) *Operator {
+	for _, op := range g.Ops() {
+		if op.Name == name {
+			return op
+		}
+	}
+	return nil
+}
+
+func TestShardsColumnSumsConserved(t *testing.T) {
+	g := hotChain()
+	lm, err := BuildLoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lm.CoefSums()
+
+	for _, k := range []int{2, 4, 8} {
+		sg, err := Shards(g, findOp(g, "hotop").ID, ShardConfig{K: k})
+		if err != nil {
+			t.Fatalf("Shards k=%d: %v", k, err)
+		}
+		slm, err := BuildLoadModel(sg)
+		if err != nil {
+			t.Fatalf("sharded load model k=%d: %v", k, err)
+		}
+		got := slm.CoefSums()
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: variable count changed: %d vs %d", k, len(got), len(want))
+		}
+		// Zero shuffle costs: the k replica rows must column-sum exactly to
+		// the parent's row, so the model totals are unchanged.
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-12 {
+				t.Fatalf("k=%d: column %d sum changed: %g vs %g", k, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestShardsShuffleCostExplicit(t *testing.T) {
+	g := hotChain()
+	lm, _ := BuildLoadModel(g)
+	base := lm.CoefSums()
+
+	cfg := ShardConfig{K: 4, SplitCost: 0.0003, MergeCost: 0.0002, XferCost: 0.0001}
+	sg, err := Shards(g, findOp(g, "hotop").ID, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slm, err := BuildLoadModel(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := slm.CoefSums()
+	// The splitter sees the parent's input rate (1 per unit of the input
+	// variable here: pre has selectivity 1) and the merge sees the parent's
+	// output rate (selectivity 1), so the shuffle adds exactly
+	// SplitCost + MergeCost per unit input.
+	wantExtra := cfg.SplitCost + cfg.MergeCost
+	if math.Abs((got[0]-base[0])-wantExtra) > 1e-12 {
+		t.Fatalf("shuffle-cost term: got extra %g, want %g", got[0]-base[0], wantExtra)
+	}
+	// Cut arcs carry the transfer cost.
+	grp := mustGroup(t, sg, "hotop")
+	if sg.Stream(grp.Stream).XferCost != cfg.XferCost {
+		t.Fatalf("keyed stream xfer cost = %g, want %g", sg.Stream(grp.Stream).XferCost, cfg.XferCost)
+	}
+	for _, r := range grp.Replicas {
+		if sg.Stream(sg.Op(r).Out).XferCost != cfg.XferCost {
+			t.Fatalf("replica out xfer cost = %g, want %g", sg.Stream(sg.Op(r).Out).XferCost, cfg.XferCost)
+		}
+	}
+}
+
+func TestShardsPreservesDownstreamRates(t *testing.T) {
+	g := hotChain()
+	lm, _ := BuildLoadModel(g)
+	sg, err := Shards(g, findOp(g, "hotop").ID, ShardConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slm, err := BuildLoadModel(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{1000}
+	want, err := lm.ActualLoads(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := slm.ActualLoads(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail sees the same rate and load either way.
+	tail := findOp(g, "tail")
+	stail := findOp(sg, "tail")
+	if math.Abs(got[stail.ID]-want[tail.ID]) > 1e-9 {
+		t.Fatalf("tail load changed under sharding: %g vs %g", got[stail.ID], want[tail.ID])
+	}
+	// Each replica carries exactly 1/3 of the parent's load.
+	hot := findOp(g, "hotop")
+	grp := mustGroup(t, sg, "hotop")
+	for _, r := range grp.Replicas {
+		if math.Abs(got[r]-want[hot.ID]/3) > 1e-9 {
+			t.Fatalf("replica load %g, want %g", got[r], want[hot.ID]/3)
+		}
+	}
+}
+
+func TestShardsRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	l := b.Input("l")
+	r := b.Input("r")
+	j := b.Join("j", 0.0001, 0.5, 1, l, r)
+	u := b.Union("u", 0.0001, j)
+	b.Map("m", 0.0001, u)
+	g := b.MustBuild()
+
+	if _, err := Shards(g, findOp(g, "j").ID, ShardConfig{K: 2}); err == nil {
+		t.Fatal("sharding a join must fail")
+	}
+	if _, err := Shards(g, findOp(g, "u").ID, ShardConfig{K: 2}); err == nil {
+		t.Fatal("sharding a union must fail")
+	}
+	if _, err := Shards(g, findOp(g, "m").ID, ShardConfig{K: 1}); err == nil {
+		t.Fatal("k=1 must fail")
+	}
+	sg, err := Shards(g, findOp(g, "m").ID, ShardConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := mustGroup(t, sg, "m")
+	if _, err := Shards(sg, grp.Replicas[0], ShardConfig{K: 2}); err == nil {
+		t.Fatal("re-sharding a replica must fail")
+	}
+}
+
+func TestShardGroupOf(t *testing.T) {
+	g := hotChain()
+	sg, err := Shards(g, findOp(g, "hotop").ID, ShardConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := mustGroup(t, sg, "hotop")
+	if grp.K != 4 || len(grp.Replicas) != 4 {
+		t.Fatalf("group shape: %+v", grp)
+	}
+	for i, r := range grp.Replicas {
+		if sg.Op(r).ShardIndex != i {
+			t.Fatalf("replica %d has index %d", i, sg.Op(r).ShardIndex)
+		}
+		got, err := ShardGroupOf(sg, r)
+		if err != nil || got.Parent != "hotop" {
+			t.Fatalf("ShardGroupOf(%d): %+v, %v", r, got, err)
+		}
+	}
+	if sg.Op(grp.Split).Out != grp.Stream {
+		t.Fatal("group keyed stream is not the splitter's output")
+	}
+	if _, err := ShardGroupOf(sg, grp.Split); err == nil {
+		t.Fatal("ShardGroupOf on the splitter must fail")
+	}
+}
+
+func TestSlotOfKeyInRange(t *testing.T) {
+	for key := uint64(0); key < 10000; key++ {
+		if s := SlotOfKey(key); s < 0 || s >= ShardSlots {
+			t.Fatalf("SlotOfKey(%d) = %d out of range", key, s)
+		}
+	}
+	// Sequential keys should spread over many slots, not collapse.
+	seen := map[int]bool{}
+	for key := uint64(0); key < 1000; key++ {
+		seen[SlotOfKey(key)] = true
+	}
+	if len(seen) < ShardSlots/2 {
+		t.Fatalf("sequential keys hit only %d/%d slots", len(seen), ShardSlots)
+	}
+}
+
+func mustGroup(t *testing.T, g *Graph, parent string) ShardGroup {
+	t.Helper()
+	groups, err := ShardGroups(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range groups {
+		if grp.Parent == parent {
+			return grp
+		}
+	}
+	t.Fatalf("no shard group %q", parent)
+	return ShardGroup{}
+}

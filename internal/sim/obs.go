@@ -84,6 +84,7 @@ type observer struct {
 	ctrlDecC  *obs.Counter
 	ctrlMovC  *obs.Counter
 	ctrlFailC *obs.Counter
+	ctrlSclC  *obs.Counter
 	ctrlHeadG *obs.Gauge
 
 	scratch mat.Scratch // per-sample vectors; sample() runs on one goroutine
@@ -210,11 +211,13 @@ func newObserver(cfg *Config, g *query.Graph, inputs []query.StreamID, n int) *o
 		o.ctrlDecC = o.reg.Counter(obs.MetricControllerDecisions)
 		o.ctrlMovC = o.reg.Counter(obs.MetricControllerMoves)
 		o.ctrlFailC = o.reg.Counter(obs.MetricControllerMoveFailures)
+		o.ctrlSclC = o.reg.Counter(obs.MetricControllerScales)
 		o.ctrlHeadG = o.reg.Gauge(obs.MetricControllerForecastHeadroom)
 		o.ctrlHeadG.Set(1)
 		o.sampler.ProbeCounter(obs.MetricControllerDecisions, o.ctrlDecC)
 		o.sampler.ProbeCounter(obs.MetricControllerMoves, o.ctrlMovC)
 		o.sampler.ProbeCounter(obs.MetricControllerMoveFailures, o.ctrlFailC)
+		o.sampler.ProbeCounter(obs.MetricControllerScales, o.ctrlSclC)
 		o.sampler.ProbeGauge(obs.MetricControllerForecastHeadroom, o.ctrlHeadG)
 	}
 	return o
@@ -229,6 +232,18 @@ func (o *observer) onMove(now float64, op, from, to int) {
 	o.ctrlMovC.Inc()
 	o.ev.EmitAt(now, obs.LevelInfo, obs.EventControllerMigrate,
 		"op", op, "from", from, "to", to, "ok", true)
+}
+
+// onRepart mirrors one applied scheduled repartition: always an event,
+// plus the controller scale counter when ObsConfig.Controller (the engine
+// increments it from the shard scale actuator).
+func (o *observer) onRepart(now float64, stream, k int) {
+	o.ev.EmitAt(now, obs.LevelInfo, obs.EventRepartition, "stream", stream, "k", k)
+	if o.ctrlSclC != nil {
+		o.ctrlSclC.Inc()
+		o.ev.EmitAt(now, obs.LevelInfo, obs.EventControllerScale,
+			"stream", stream, "k", k, "ok", true)
+	}
 }
 
 // onStage records one stage crossing (seconds of wall/sim time).

@@ -69,6 +69,19 @@ type Config struct {
 	// state-transfer time, mirroring engine Cluster.MoveOperator.
 	Moves []ScheduledMove
 
+	// Partitions overrides the slot table of keyed (sharded) streams; any
+	// keyed stream not listed defaults to query.UniformSlots(k). Keys must
+	// be keyed streams, tables must have query.ShardSlots entries in
+	// [0, k). Keyed streams route each tuple to exactly one replica — a
+	// deterministic per-stream counter stands in for the engine's tuple
+	// key, spread by the same query.SlotOfKey hash.
+	Partitions map[query.StreamID][]int
+
+	// Repartitions schedules slot-table swaps at fixed virtual times,
+	// mirroring engine Cluster.Repartition (the shard scale actuator's
+	// effect) for lockstep cross-validation.
+	Repartitions []ScheduledRepartition
+
 	// Obs enables in-run observability: virtual-time sampling of the same
 	// metric schema the engine monitor emits, plus overload and migration
 	// events (nil = disabled).
@@ -135,6 +148,7 @@ const (
 	evRebalance
 	evSample
 	evMove
+	evRepart
 )
 
 // overheadOp marks a work item that burns CPU (network send/receive cost)
@@ -149,6 +163,21 @@ type ScheduledMove struct {
 	Op    int
 	To    int
 	Stall float64
+}
+
+// ScheduledRepartition is one scripted slot-table swap (Config.Repartitions):
+// at virtual time Time, keyed stream Stream adopts the Slots assignment.
+type ScheduledRepartition struct {
+	Time   float64
+	Stream query.StreamID
+	Slots  []int
+}
+
+// keyedStream is the simulator's partition table for one sharded stream.
+type keyedStream struct {
+	slots    []int
+	replicas []query.OpID
+	next     uint64 // deterministic synthetic key (the engine's Seq fallback)
 }
 
 type workItem struct {
@@ -286,6 +315,54 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Keyed (sharded) streams route 1-of-k through a partition table
+	// instead of broadcasting to every replica.
+	groups, err := query.ShardGroups(g)
+	if err != nil {
+		return nil, err
+	}
+	keyed := map[query.StreamID]*keyedStream{}
+	validSlots := func(slots []int, k int) error {
+		if len(slots) != query.ShardSlots {
+			return fmt.Errorf("%d slots, want %d", len(slots), query.ShardSlots)
+		}
+		for i, s := range slots {
+			if s < 0 || s >= k {
+				return fmt.Errorf("slot %d assigned to shard %d outside [0,%d)", i, s, k)
+			}
+		}
+		return nil
+	}
+	for _, grp := range groups {
+		slots := cfg.Partitions[grp.Stream]
+		if slots == nil {
+			slots = query.UniformSlots(grp.K)
+		} else if err := validSlots(slots, grp.K); err != nil {
+			return nil, fmt.Errorf("sim: partition table for stream %d: %w", grp.Stream, err)
+		}
+		keyed[grp.Stream] = &keyedStream{
+			slots:    append([]int(nil), slots...),
+			replicas: grp.Replicas,
+		}
+	}
+	for sid := range cfg.Partitions {
+		if keyed[sid] == nil {
+			return nil, fmt.Errorf("sim: partition table for stream %d, which is not keyed", sid)
+		}
+	}
+	for i, rp := range cfg.Repartitions {
+		ks := keyed[rp.Stream]
+		if ks == nil {
+			return nil, fmt.Errorf("sim: scheduled repartition %d targets stream %d, which is not keyed", i, rp.Stream)
+		}
+		if err := validSlots(rp.Slots, len(ks.replicas)); err != nil {
+			return nil, fmt.Errorf("sim: scheduled repartition %d: %w", i, err)
+		}
+		if rp.Time < 0 {
+			return nil, fmt.Errorf("sim: scheduled repartition %d has negative time", i)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nodes := make([]nodeState, n)
 	ops := make([]opState, g.NumOps())
@@ -404,6 +481,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := range cfg.Moves {
 		sched(event{time: cfg.Moves[i].Time, kind: evMove, src: i})
+	}
+	for i := range cfg.Repartitions {
+		sched(event{time: cfg.Repartitions[i].Time, kind: evRepart, src: i})
 	}
 	if obsv != nil {
 		sched(event{time: obsv.cfg.Interval, kind: evSample})
@@ -587,6 +667,13 @@ func Run(cfg Config) (*Result, error) {
 					obsv.ev.EmitAt(e.time, obs.LevelInfo, obs.EventMigrateStall, "op", mv.Op, "sec", mv.Stall)
 				}
 			}
+		case evRepart:
+			rp := cfg.Repartitions[e.src]
+			ks := keyed[rp.Stream]
+			ks.slots = append(ks.slots[:0], rp.Slots...)
+			if obsv != nil {
+				obsv.onRepart(e.time, int(rp.Stream), len(ks.replicas))
+			}
 		case evSample:
 			obsv.sample(e.time, nodes, nodeOf)
 			if next := e.time + obsv.cfg.Interval; next <= cfg.Duration {
@@ -610,10 +697,19 @@ func Run(cfg Config) (*Result, error) {
 			if k > 0 {
 				op := g.Op(e.item.op)
 				consumers := g.Consumers(op.Out)
+				ks := keyed[op.Out]
 				for c := 0; c < k; c++ {
 					if len(consumers) == 0 {
 						result.TuplesOut++
 						recordLatency(e.time-e.item.ts, e.time)
+						continue
+					}
+					if ks != nil {
+						// Keyed stream: exactly one replica per tuple, chosen
+						// by the partition table.
+						ks.next++
+						r := ks.replicas[ks.slots[query.SlotOfKey(ks.next)]]
+						routeTo(r, op.Out, e.node, e.item.ts, e.time)
 						continue
 					}
 					for _, consumer := range consumers {

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rodsp/internal/query"
+)
+
+// ZipfKeys returns a seeded Zipf(s) key generator over [0, domain): the
+// skewed key distribution of "Parallel Stream Processing Against Workload
+// Skewness and Variance" (PAPERS.md), under which uniform hash partitioning
+// concentrates load on whichever shard draws the hot keys. The generator is
+// deterministic: the same seed yields the same key sequence.
+func ZipfKeys(seed int64, s float64, domain uint64) (func() uint64, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent must exceed 1, got %g", s)
+	}
+	if domain < 2 {
+		return nil, fmt.Errorf("workload: Zipf key domain must hold at least 2 keys, got %d", domain)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, domain-1)
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters (s=%g, domain=%d)", s, domain)
+	}
+	return z.Uint64, nil
+}
+
+// UniformKeys returns a seeded uniform key generator over [0, domain).
+func UniformKeys(seed int64, domain uint64) (func() uint64, error) {
+	if domain < 1 {
+		return nil, fmt.Errorf("workload: key domain must be positive, got %d", domain)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func() uint64 { return rng.Uint64() % domain }, nil
+}
+
+// SlotRates draws n keys from gen and histograms them over the partition
+// table's slots (query.SlotOfKey), returning each slot's fraction of the
+// total — the observed per-slot rate profile skew-aware assignment packs.
+func SlotRates(gen func() uint64, n int) []float64 {
+	rates := make([]float64, query.ShardSlots)
+	if n <= 0 {
+		return rates
+	}
+	for i := 0; i < n; i++ {
+		rates[query.SlotOfKey(gen())]++
+	}
+	for s := range rates {
+		rates[s] /= float64(n)
+	}
+	return rates
+}
+
+// AssignSkewAware bin-packs the partition table's slots onto k shards by
+// observed per-slot rates: slots sorted by rate descending (index ascending
+// on ties) go greedily to the least-loaded shard (LPT scheduling). The
+// result is compared against the uniform assignment and the better of the
+// two is returned, so the skew-aware max-shard load never exceeds uniform
+// hashing's. Deterministic for a fixed rates vector.
+func AssignSkewAware(rates []float64, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	uniform := query.UniformSlots(k)
+	if len(rates) != query.ShardSlots || k == 1 {
+		return uniform
+	}
+	order := make([]int, len(rates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rates[order[a]] > rates[order[b]] })
+	assign := make([]int, len(rates))
+	load := make([]float64, k)
+	for _, slot := range order {
+		best := 0
+		for sh := 1; sh < k; sh++ {
+			if load[sh] < load[best] {
+				best = sh
+			}
+		}
+		assign[slot] = best
+		load[best] += rates[slot]
+	}
+	if MaxShardLoad(uniform, rates, k) < MaxShardLoad(assign, rates, k) {
+		return uniform
+	}
+	return assign
+}
+
+// MaxShardLoad returns the heaviest shard's total slot rate under the given
+// slot→shard assignment.
+func MaxShardLoad(assign []int, rates []float64, k int) float64 {
+	load := make([]float64, k)
+	for slot, sh := range assign {
+		if sh >= 0 && sh < k && slot < len(rates) {
+			load[sh] += rates[slot]
+		}
+	}
+	max := 0.0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

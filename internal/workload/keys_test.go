@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"rodsp/internal/query"
+)
+
+func TestZipfKeysSeededDeterminism(t *testing.T) {
+	a, err := ZipfKeys(42, 1.1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfKeys(42, 1.1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ZipfKeys(43, 1.1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := true, false
+	for i := 0; i < 10000; i++ {
+		ka, kb, kc := a(), b(), c()
+		if ka >= 1024 {
+			t.Fatalf("key %d outside domain", ka)
+		}
+		if ka != kb {
+			same = false
+		}
+		if ka != kc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different key sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical key sequences")
+	}
+	if _, err := ZipfKeys(1, 1.0, 1024); err == nil {
+		t.Fatal("s=1 must be rejected")
+	}
+}
+
+func TestSkewAwareNeverWorseThanUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rates := make([]float64, query.ShardSlots)
+		total := 0.0
+		for i := range rates {
+			rates[i] = rng.Float64()
+			if rng.Intn(8) == 0 { // spiky slots
+				rates[i] *= 20
+			}
+			total += rates[i]
+		}
+		for i := range rates {
+			rates[i] /= total
+		}
+		for _, k := range []int{2, 3, 4, 8} {
+			uni := MaxShardLoad(query.UniformSlots(k), rates, k)
+			skew := MaxShardLoad(AssignSkewAware(rates, k), rates, k)
+			if skew > uni+1e-12 {
+				t.Fatalf("trial %d k=%d: skew-aware max load %g exceeds uniform %g", trial, k, skew, uni)
+			}
+		}
+	}
+}
+
+func TestSkewAwareBeatsUniformUnderZipf(t *testing.T) {
+	gen, err := ZipfKeys(11, 1.1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := SlotRates(gen, 200000)
+	const k = 4
+	uni := MaxShardLoad(query.UniformSlots(k), rates, k)
+	skew := MaxShardLoad(AssignSkewAware(rates, k), rates, k)
+	if skew >= uni {
+		t.Fatalf("under Zipf(1.1) skew-aware must strictly beat uniform: %g vs %g", skew, uni)
+	}
+	// And the assignment covers all shards.
+	seen := map[int]bool{}
+	for _, sh := range AssignSkewAware(rates, k) {
+		seen[sh] = true
+	}
+	if len(seen) != k {
+		t.Fatalf("assignment uses %d of %d shards", len(seen), k)
+	}
+}
+
+func TestAssignSkewAwareDeterministic(t *testing.T) {
+	gen, _ := ZipfKeys(3, 1.1, 512)
+	rates := SlotRates(gen, 50000)
+	a := AssignSkewAware(rates, 4)
+	b := AssignSkewAware(rates, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment not deterministic at slot %d", i)
+		}
+	}
+}
