@@ -9,7 +9,19 @@
 //	          [-seconds 5] [-speedup 20] [-seed 1] [-max-shards 4] \
 //	          [-controller] [-forecast-horizon 1.5s] [-cooldown 2s] [-max-moves 1] \
 //	          [-queue 100000] [-shed-policy drop-newest|drop-oldest] [-outbox 4096] \
-//	          [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30]
+//	          [-workers 0] [-metrics-addr 127.0.0.1:9900] [-events events.jsonl] [-hold 30] \
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof-addr 127.0.0.1:6060]
+//
+// -workers sets each in-process node's worker-lane count — parallel
+// data-plane shards with per-lane bounded queues and lock-free per-peer
+// outbox rings. 0 (the default) runs one lane per core (GOMAXPROCS); 1
+// restores the single-lane data plane. Multi-lane runs additionally export
+// per-lane series (rodsp_lane_*) that rodtop renders as a lane panel.
+//
+// -cpuprofile / -memprofile write pprof profiles of the coordinator process
+// (CPU over the whole run, heap at exit); -pprof-addr serves the live
+// net/http/pprof handlers (goroutine, heap, profile, trace) for attaching
+// `go tool pprof` to a run in flight.
 //
 // -max-shards k enables keyed operator parallelism: before placement, any
 // operator whose forecast load exceeds a single node's capacity is split
@@ -48,7 +60,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rodsp/internal/cliutil"
@@ -89,6 +106,11 @@ func main() {
 		shedPolicy = flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
 		outboxCap  = flag.Int("outbox", engine.DefaultOutboxCap, "per-peer outbox buffer (tuples); overflow is dropped and counted")
 		batchMax   = flag.Int("batch", engine.DefaultBatchMax, "max tuples moved per lock acquisition / wire batch (1 = per-tuple hot path)")
+		workers    = flag.Int("workers", 0, "worker lanes per node (parallel data-plane shards; 0 = one per core, 1 = single-lane)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit here")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -96,11 +118,51 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 	nodeCfg := engine.NodeConfig{
 		IngressCap: *queue,
 		ShedPolicy: policy,
 		OutboxCap:  *outboxCap,
 		BatchMax:   *batchMax,
+		Workers:    w,
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			runtime.GC()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rodengine:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rodengine:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer ln.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // DefaultServeMux carries net/http/pprof
 	}
 
 	g, err := workload.TrafficMonitoring(workload.MonitoringConfig{Streams: *streams, Seed: *seed})
@@ -204,6 +266,7 @@ func main() {
 		Caps:       caps,
 		Events:     ev,
 		TraceEvery: *traceEvery,
+		LaneSeries: w > 1, // per-lane series for multicore nodes (rodtop lane panel)
 	})
 	if *metricsAddr != "" {
 		bound, closeHTTP, err := obs.ServeHTTP(*metricsAddr, mon.Registry(), mon.Series(), mon.Events())

@@ -8,6 +8,7 @@
 //
 //	rodload [-quick] [-nodes N] [-batch N] [-out FILE]
 //	        [-baseline FILE] [-threshold F] [-mode all|legacy|batched]
+//	        [-cores 1,4,16] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-trace-sample N] [-slo SPEC] [-report FILE] [-trace-out FILE]
 //
 // Per mode it runs three phases against a fresh cluster:
@@ -26,9 +27,25 @@
 // keyed replica per node (splitter → replicas → merge), measuring the
 // partition-table routing path under scale-out. Results are written as
 // machine-readable JSON (BENCH_engine.json by convention, committed and
-// uploaded by CI like BENCH_placement.json). With -baseline, rodload exits
-// non-zero when the batched sustained throughput falls below threshold ×
-// the baseline's batched sustained throughput — the CI regression gate.
+// uploaded by CI like BENCH_placement.json).
+//
+// After the mode phases, rodload sweeps the multicore scaling matrix: for
+// each core count in -cores (default 1,4,16, clamped nowhere — a 4-core
+// sweep on a 1-core host honestly records what timesharing delivers) it
+// pins GOMAXPROCS, builds the cluster with one worker lane per core
+// (NodeConfig.Workers = cores), and records the closed-loop sustained
+// throughput of the batched and sharded topologies as one keyed
+// (cores, mode) matrix cell. -cores none skips the sweep; -quick sweeps
+// only the current GOMAXPROCS.
+//
+// With -baseline, rodload exits non-zero on regression: when the baseline
+// carries a matrix, every (cores, mode) cell present in both records is
+// gated at threshold × the baseline cell; older baselines without a matrix
+// fall back to the batched-mode sustained-throughput gate.
+//
+// -cpuprofile captures a pprof CPU profile of the first closed-loop blast
+// phase (the hottest code path rodload exercises); -memprofile writes a
+// heap profile at exit.
 //
 // Tracing is armed for every phase at 1-in-trace-sample per-stream sampling
 // (default 8192; 0 disables), so the committed throughput numbers measure
@@ -50,6 +67,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,16 +111,29 @@ type ModeResult struct {
 	Stages []obs.StageReport `json:"stages,omitempty"`
 }
 
+// MatrixCell is one (cores, mode) cell of the multicore scaling matrix:
+// closed-loop sustained throughput at GOMAXPROCS=Cores with one worker
+// lane per core. The (Cores, Mode) pair keys the per-cell CI regression
+// gate.
+type MatrixCell struct {
+	Cores        int     `json:"cores"`
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers"`
+	SustainedTPS float64 `json:"sustained_tps"`
+}
+
 // Result is the whole benchmark record (BENCH_engine.json).
 type Result struct {
 	Bench      string       `json:"bench"`
 	GoVersion  string       `json:"go_version"`
 	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"` // physical cores of the bench host
 	Nodes      int          `json:"nodes"`
 	Quick      bool         `json:"quick"`
 	WarmupSec  float64      `json:"warmup_seconds"`
 	MeasureSec float64      `json:"measure_seconds"`
 	Modes      []ModeResult `json:"modes"`
+	Matrix     []MatrixCell `json:"matrix,omitempty"`
 	Speedup    float64      `json:"speedup,omitempty"` // batched / legacy sustained
 }
 
@@ -134,6 +166,9 @@ func main() {
 	sloFlag := flag.String("slo", "", "SLO spec to grade the run against, e.g. p99=250ms,zero-shed,max-drops=100")
 	report := flag.String("report", "", "write the graded obs.RunReport JSON here")
 	traceOut := flag.String("trace-out", "", "append sampled span events as JSON lines here (for rodtrace -spans)")
+	coresFlag := flag.String("cores", "", "core counts for the scaling matrix, comma-separated (default 1,4,16; -quick defaults to the current GOMAXPROCS; 'none' skips the sweep)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the first closed-loop blast phase here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit here")
 	flag.Parse()
 
 	if *nodes < 2 {
@@ -184,12 +219,14 @@ func main() {
 		Bench:      "engine",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Nodes:      cfg.nodes,
 		Quick:      *quick,
 		WarmupSec:  cfg.warmup.Seconds(),
 		MeasureSec: cfg.measure.Seconds(),
 	}
-	latRate := 0.0 // first mode's half-knee becomes every mode's latency probe rate
+	cpuProfilePath = *cpuProfile // consumed by the first blast phase
+	latRate := 0.0               // first mode's half-knee becomes every mode's latency probe rate
 	for _, m := range modesFor(*mode, cfg.batch) {
 		fmt.Fprintf(os.Stderr, "rodload: mode %s (batch=%d)\n", m.Name, m.BatchMax)
 		mr, err := runMode(m, cfg, latRate)
@@ -208,6 +245,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rodload: batched/legacy speedup %.2fx\n", res.Speedup)
 	}
 
+	// Multicore scaling matrix: per core count, pin GOMAXPROCS and run the
+	// batched and sharded topologies with one worker lane per core, keeping
+	// the closed-loop sustained throughput per (cores, mode) cell.
+	for _, c := range coresList(*coresFlag, *quick) {
+		prev := runtime.GOMAXPROCS(c)
+		for _, name := range []string{"batched", "sharded"} {
+			m := ModeResult{Name: name, BatchMax: cfg.batch, Sharded: name == "sharded"}
+			tps, err := runSustained(m, cfg, c)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				fail(err)
+			}
+			res.Matrix = append(res.Matrix, MatrixCell{Cores: c, Mode: name, Workers: c, SustainedTPS: tps})
+			fmt.Fprintf(os.Stderr, "rodload: matrix %2d-core %-8s sustained %.0f tps\n", c, name, tps)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
 	enc, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {
 		fail(err)
@@ -219,6 +274,17 @@ func main() {
 		}
 	} else {
 		os.Stdout.Write(enc)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 
 	// Grade the batched mode's latency probe (or the only mode run) against
@@ -258,17 +324,43 @@ func main() {
 	}
 
 	if base != nil {
-		cur := find(res.Modes, "batched")
-		ref := find(base.Modes, "batched")
-		if cur == nil || ref == nil {
-			fail(fmt.Errorf("baseline comparison needs a batched mode in both records"))
+		if len(base.Matrix) > 0 {
+			// Per-(cores, mode) gates: every matrix cell present in both
+			// records must hold its floor, so a regression that only shows at
+			// one core count (a lock reintroduced on the multi-lane path, say)
+			// cannot hide behind a healthy single-core number.
+			gated := 0
+			for i := range res.Matrix {
+				cell := &res.Matrix[i]
+				ref := findCell(base.Matrix, cell.Cores, cell.Mode)
+				if ref == nil || ref.SustainedTPS <= 0 {
+					continue
+				}
+				floor := ref.SustainedTPS * *threshold
+				if cell.SustainedTPS < floor {
+					fail(fmt.Errorf("regression: %d-core %s sustained %.0f tps < %.0f (%.0f%% of baseline %.0f)",
+						cell.Cores, cell.Mode, cell.SustainedTPS, floor, *threshold*100, ref.SustainedTPS))
+				}
+				gated++
+			}
+			if gated == 0 {
+				fail(fmt.Errorf("baseline has a scaling matrix but no (cores, mode) cell matches this run (ran -cores none?)"))
+			}
+			fmt.Fprintf(os.Stderr, "rodload: regression gate ok (%d matrix cells >= %.0f%% of baseline)\n", gated, *threshold*100)
+		} else {
+			// Pre-matrix baseline: fall back to the batched-mode gate.
+			cur := find(res.Modes, "batched")
+			ref := find(base.Modes, "batched")
+			if cur == nil || ref == nil {
+				fail(fmt.Errorf("baseline comparison needs a batched mode in both records"))
+			}
+			floor := ref.SustainedTPS * *threshold
+			if cur.SustainedTPS < floor {
+				fail(fmt.Errorf("regression: batched sustained %.0f tps < %.0f (%.0f%% of baseline %.0f)",
+					cur.SustainedTPS, floor, *threshold*100, ref.SustainedTPS))
+			}
+			fmt.Fprintf(os.Stderr, "rodload: regression gate ok (%.0f tps >= %.0f tps floor)\n", cur.SustainedTPS, floor)
 		}
-		floor := ref.SustainedTPS * *threshold
-		if cur.SustainedTPS < floor {
-			fail(fmt.Errorf("regression: batched sustained %.0f tps < %.0f (%.0f%% of baseline %.0f)",
-				cur.SustainedTPS, floor, *threshold*100, ref.SustainedTPS))
-		}
-		fmt.Fprintf(os.Stderr, "rodload: regression gate ok (%.0f tps >= %.0f tps floor)\n", cur.SustainedTPS, floor)
 	}
 
 	if *sloFlag != "" && grade == obs.GradeFail {
@@ -303,6 +395,65 @@ func find(ms []ModeResult, name string) *ModeResult {
 		}
 	}
 	return nil
+}
+
+func findCell(cells []MatrixCell, cores int, mode string) *MatrixCell {
+	for i := range cells {
+		if cells[i].Cores == cores && cells[i].Mode == mode {
+			return &cells[i]
+		}
+	}
+	return nil
+}
+
+// coresList resolves -cores into the matrix sweep's core counts.
+func coresList(spec string, quick bool) []int {
+	if spec == "none" {
+		return nil
+	}
+	if spec == "" {
+		if quick {
+			return []int{runtime.GOMAXPROCS(0)}
+		}
+		return []int{1, 4, 16}
+	}
+	var out []int
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		c, err := strconv.Atoi(p)
+		if err != nil || c < 1 {
+			fail(fmt.Errorf("bad -cores entry %q (want positive integers or 'none')", p))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// cpuProfilePath holds the pending -cpuprofile target; the first
+// closed-loop blast phase of the run consumes it.
+var cpuProfilePath string
+
+// profiledBlast runs one blast-phase measurement, capturing it as a pprof
+// CPU profile when -cpuprofile is still pending.
+func profiledBlast(f func() (float64, error)) (float64, error) {
+	if cpuProfilePath == "" {
+		return f()
+	}
+	path := cpuProfilePath
+	cpuProfilePath = ""
+	pf, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer pf.Close()
+	if err := pprof.StartCPUProfile(pf); err != nil {
+		return 0, err
+	}
+	defer pprof.StopCPUProfile()
+	return f()
 }
 
 // buildPipeline is the benchmark topology: one input fanned through a chain
@@ -371,24 +522,50 @@ func buildShardedPipeline(nodes int) (*query.Graph, *placement.Plan, []float64) 
 	return g, plan, caps
 }
 
+// buildFor builds one mode's topology, arming the keyed-tuple generator on
+// cfg for sharded runs (sequential keys sweep the partition table's slots
+// uniformly, so the measured rate reflects all replicas in rotation).
+func buildFor(m ModeResult, cfg *config) (*query.Graph, *placement.Plan, []float64) {
+	if m.Sharded {
+		g, plan, caps := buildShardedPipeline(cfg.nodes)
+		var n uint64
+		cfg.keys = func() uint64 { n++; return n }
+		return g, plan, caps
+	}
+	cfg.keys = nil
+	return buildPipeline(cfg.nodes)
+}
+
+// runSustained measures only the closed-loop sustained throughput of one
+// mode on a fresh cluster with the given worker-lane count — the scaling
+// matrix's per-cell measurement, with tracing armed like the full modes.
+func runSustained(m ModeResult, cfg config, workers int) (float64, error) {
+	g, plan, caps := buildFor(m, &cfg)
+	cl, err := engine.StartClusterConfig(caps, engine.NodeConfig{BatchMax: m.BatchMax, Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		return 0, err
+	}
+	if err := cl.Start(); err != nil {
+		return 0, err
+	}
+	if cfg.traceEvery > 0 {
+		attachObserver(cl, obs.NewEventLog(8192), obs.NewStageSet(obs.NewRegistry()), cfg.traceEvery)
+	}
+	input := g.Inputs()[0]
+	return profiledBlast(func() (float64, error) {
+		return measureRate(cl, input, cfg.blastRate, m.BatchMax <= 1, cfg)
+	})
+}
+
 // runMode measures one wire/hot-path configuration on a fresh cluster.
 // latRate pins the latency probe to a rate shared across modes (0 = use
 // this mode's own half-knee; the caller passes the first mode's in).
 func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
-	var (
-		g    *query.Graph
-		plan *placement.Plan
-		caps []float64
-	)
-	if m.Sharded {
-		g, plan, caps = buildShardedPipeline(cfg.nodes)
-		// Sequential keys sweep the partition table's slots uniformly, so the
-		// measured rate reflects all replicas (and all hops) in rotation.
-		var n uint64
-		cfg.keys = func() uint64 { n++; return n }
-	} else {
-		g, plan, caps = buildPipeline(cfg.nodes)
-	}
+	g, plan, caps := buildFor(m, &cfg)
 	cl, err := engine.StartClusterConfig(caps, engine.NodeConfig{BatchMax: m.BatchMax})
 	if err != nil {
 		return m, err
@@ -419,7 +596,9 @@ func runMode(m ModeResult, cfg config, latRate float64) (ModeResult, error) {
 
 	// Phase 1 — closed loop: blast far above capacity; the sink rate over
 	// the measurement window is the sustained throughput.
-	sustained, err := measureRate(cl, input, cfg.blastRate, legacyWire, cfg)
+	sustained, err := profiledBlast(func() (float64, error) {
+		return measureRate(cl, input, cfg.blastRate, legacyWire, cfg)
+	})
 	if err != nil {
 		return m, err
 	}

@@ -7,14 +7,18 @@
 // Usage:
 //
 //	rodnode -addr 127.0.0.1:7101 -capacity 1.0 \
-//	        [-queue 100000] [-shed-policy drop-newest|drop-oldest] \
+//	        [-workers 0] [-queue 100000] [-shed-policy drop-newest|drop-oldest] \
 //	        [-outbox 4096] [-events events.jsonl]
 //
-// -queue bounds the ingress queue (arrivals beyond it are shed under
-// -shed-policy), -outbox bounds each per-peer send buffer, and -events
-// appends the node's structured JSON-lines events (shed onset/clearance,
-// relay errors, peer recovery, injected link faults) to a file, or stderr
-// with "-".
+// -workers sets the node's worker-lane count — parallel data-plane shards,
+// each with its own bounded ingress queue and lock-free per-peer outbox
+// ring. 0 (the default) runs one lane per core (GOMAXPROCS); 1 restores
+// the single-lane data plane. -queue bounds the ingress queue (arrivals
+// beyond it are shed under -shed-policy; with W lanes each lane holds
+// queue/W), -outbox bounds each per-peer send buffer, and -events appends
+// the node's structured JSON-lines events (shed onset/clearance, relay
+// errors, peer recovery, injected link faults) to a file, or stderr with
+// "-".
 //
 // The node serves both the JSON control plane and the binary tuple plane on
 // the same port and runs until interrupted.
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"rodsp/internal/engine"
@@ -38,6 +43,7 @@ func main() {
 	shedPolicy := flag.String("shed-policy", "drop-newest", "load-shedding policy at the ingress bound: drop-newest | drop-oldest")
 	outboxCap := flag.Int("outbox", engine.DefaultOutboxCap, "per-peer outbox buffer (tuples); overflow is dropped and counted")
 	batchMax := flag.Int("batch", engine.DefaultBatchMax, "max tuples moved per lock acquisition / wire batch (1 = per-tuple hot path)")
+	workers := flag.Int("workers", 0, "worker lanes (parallel data-plane shards; 0 = one per core, 1 = single-lane)")
 	eventsPath := flag.String("events", "", "append JSON-lines events to this file ('-' for stderr)")
 	flag.Parse()
 
@@ -45,11 +51,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 	node, err := engine.NewNodeConfig(*addr, *capacity, engine.NodeConfig{
 		IngressCap: *queue,
 		ShedPolicy: policy,
 		OutboxCap:  *outboxCap,
 		BatchMax:   *batchMax,
+		Workers:    w,
 	})
 	if err != nil {
 		fail(err)
@@ -68,7 +79,7 @@ func main() {
 		}
 		node.SetObserver(ev, nil, 0)
 	}
-	fmt.Printf("rodnode listening on %s (capacity %g)\n", node.Addr(), *capacity)
+	fmt.Printf("rodnode listening on %s (capacity %g, %d worker lanes)\n", node.Addr(), *capacity, node.Workers())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

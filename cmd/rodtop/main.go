@@ -130,6 +130,8 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	sr.Series = rest
 	shardTable, rest := shardPanel(sr.Series, filter)
 	sr.Series = rest
+	laneTable, rest := lanePanel(sr.Series, filter)
+	sr.Series = rest
 	if filter != "" {
 		kept := sr.Series[:0]
 		for _, s := range sr.Series {
@@ -144,6 +146,7 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	b.WriteString(stageTable)
 	b.WriteString(ctrlLine)
 	b.WriteString(shardTable)
+	b.WriteString(laneTable)
 	width := 0
 	for _, s := range sr.Series {
 		if w := len(seriesID(s)); w > width {
@@ -347,6 +350,102 @@ func shardPanel(series []seriesJSON, filter string) (string, []seriesJSON) {
 	}
 	b.WriteString("\n")
 	return b.String(), rest
+}
+
+// lanePanel extracts the per-worker-lane series (emitted by multi-lane
+// nodes when the monitor runs with lane series enabled) and renders one
+// aligned row per (node, lane):
+//
+//	node/lane      util     queue  processed    rate/s
+//	0/0            0.42        12      12345      61.2
+//
+// It returns "" (and the series untouched) when no node exports lane
+// series, and respects the filter like any other row.
+func lanePanel(series []seriesJSON, filter string) (string, []seriesJSON) {
+	type row struct {
+		util, queue, processed float64
+		rate                   string
+	}
+	rows := map[string]*row{}
+	var order []string
+	get := func(key string) *row {
+		r := rows[key]
+		if r == nil {
+			r = &row{util: math.NaN(), queue: math.NaN(), processed: math.NaN()}
+			rows[key] = r
+			order = append(order, key)
+		}
+		return r
+	}
+	rest := series[:0]
+	for _, s := range series {
+		if s.Name != obs.MetricLaneQueueDepth && s.Name != obs.MetricLaneProcessed &&
+			s.Name != obs.MetricLaneUtilization {
+			rest = append(rest, s)
+			continue
+		}
+		key := s.Labels["node"] + "/" + s.Labels["lane"]
+		cur := math.NaN()
+		if len(s.Points) > 0 {
+			cur = s.Points[len(s.Points)-1][1]
+		}
+		r := get(key)
+		switch s.Name {
+		case obs.MetricLaneUtilization:
+			r.util = cur
+		case obs.MetricLaneQueueDepth:
+			r.queue = cur
+		case obs.MetricLaneProcessed:
+			r.processed = cur
+			r.rate = strings.TrimPrefix(rateCol(s), "  ")
+		}
+	}
+	if len(order) == 0 {
+		return "", rest
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ni, li := splitLaneKey(order[i])
+		nj, lj := splitLaneKey(order[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return li < lj
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %9s %10s %9s\n", "node/lane", "util", "queue", "processed", "rate/s")
+	shown := 0
+	for _, key := range order {
+		if filter != "" && !strings.Contains("lane="+key, filter) &&
+			!strings.Contains(obs.MetricLaneQueueDepth, filter) &&
+			!strings.Contains(obs.MetricLaneUtilization, filter) &&
+			!strings.Contains(obs.MetricLaneProcessed, filter) {
+			continue
+		}
+		r := rows[key]
+		rate := r.rate
+		if rate == "" {
+			rate = "-"
+		}
+		fmt.Fprintf(&b, "%-10s %9s %9s %10s %9s\n",
+			key, fmtVal(r.util), fmtVal(r.queue), fmtVal(r.processed), rate)
+		shown++
+	}
+	if shown == 0 {
+		return "", rest
+	}
+	b.WriteString("\n")
+	return b.String(), rest
+}
+
+// splitLaneKey parses a "node/lane" panel key into numeric parts for sorting.
+func splitLaneKey(key string) (int, int) {
+	parts := strings.SplitN(key, "/", 2)
+	n, _ := strconv.Atoi(parts[0])
+	l := 0
+	if len(parts) == 2 {
+		l, _ = strconv.Atoi(parts[1])
+	}
+	return n, l
 }
 
 // stageRank orders table rows along the data path; unknown stages sort last

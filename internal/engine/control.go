@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Control plane: JSON request handling plus the route mutators. Mutators
+// serialize on n.mu, clone the current route snapshot, edit the clone and
+// publish it with one atomic store — the data plane keeps running against
+// the old snapshot until the successor lands.
+
+// controlRequest is one JSON control-plane message.
+type controlRequest struct {
+	Cmd      string         `json:"cmd"`
+	Spec     *NodeSpec      `json:"spec,omitempty"`
+	Op       *OpSpec        `json:"op,omitempty"`
+	OpID     *int           `json:"opId,omitempty"`
+	Routes   map[int][]Dest `json:"routes,omitempty"`
+	Part     *PartitionSpec `json:"part,omitempty"`
+	StallSec *float64       `json:"stallSec,omitempty"`
+	Fault    *FaultSpec     `json:"fault,omitempty"`
+}
+
+// FaultSpec is the control-plane fault-injection command: sever/drop/delay
+// an outbound link, clear faults, or kill the node outright (the process
+// answers OK, then closes — restart it externally to recover).
+type FaultSpec struct {
+	Addr    string  `json:"addr,omitempty"`
+	Sever   bool    `json:"sever,omitempty"`
+	Drop    bool    `json:"drop,omitempty"`
+	DelayMs float64 `json:"delayMs,omitempty"`
+	Clear   bool    `json:"clear,omitempty"`
+	Kill    bool    `json:"kill,omitempty"`
+}
+
+// ControlResponse answers a control request.
+type ControlResponse struct {
+	OK    bool       `json:"ok"`
+	Err   string     `json:"err,omitempty"`
+	Stats *NodeStats `json:"stats,omitempty"`
+}
+
+// LaneStats is one worker lane's slice of the node metrics (reported only
+// when the node runs more than one lane).
+type LaneStats struct {
+	Lane      int     `json:"lane"`
+	Queue     int     `json:"queue"`
+	InFlight  int     `json:"inFlight,omitempty"`
+	Processed int64   `json:"processed,omitempty"`
+	Shed      int64   `json:"shed,omitempty"`
+	BusySec   float64 `json:"busySec,omitempty"`
+}
+
+// NodeStats is the metrics snapshot the control plane reports.
+type NodeStats struct {
+	NodeID      int     `json:"nodeId"`
+	Utilization float64 `json:"utilization"`
+	QueueLen    int     `json:"queueLen"`
+	Injected    int64   `json:"injected"`
+	Emitted     int64   `json:"emitted"`
+	ElapsedSec  float64 `json:"elapsedSec"`
+
+	// WorkerInFlight counts tuples the workers have dequeued but not yet
+	// finished processing and routing: admitted work that QueueLen no
+	// longer covers (a costly batch can hold it for hundreds of ms).
+	WorkerInFlight int64 `json:"workerInFlight,omitempty"`
+
+	// Workers is the node's worker-lane count; Lanes breaks the queue,
+	// in-flight, processed and shed figures down per lane when Workers > 1
+	// (so skewed lane assignment is visible).
+	Workers int         `json:"workers,omitempty"`
+	Lanes   []LaneStats `json:"lanes,omitempty"`
+
+	// Load-shedding accounting: tuples refused (or evicted from) the
+	// bounded ingress queue, total and per stream.
+	Shed         int64         `json:"shed,omitempty"`
+	ShedByStream map[int]int64 `json:"shedByStream,omitempty"`
+
+	// DroppedNoRoute counts inbound tuples discarded because their stream
+	// had neither a local subscription nor a relay route (a routing gap —
+	// each affected stream also emits one no_route warn event).
+	DroppedNoRoute int64 `json:"droppedNoRoute,omitempty"`
+
+	// PartCounts reports, per keyed stream, the cumulative tuples routed
+	// through each partition slot. Only a splitter's home accumulates
+	// counts (every keyed tuple crosses it exactly once), so summing over
+	// nodes never double-counts.
+	PartCounts map[int][]int64 `json:"partCounts,omitempty"`
+
+	// Outbox accounting summed over peers: enqueued == sent + dropped +
+	// pending at quiescence. Reconnects counts links re-established after
+	// a failure; SendMaxMs is the worst wall time one send() spent handing
+	// a tuple to an outbox (the non-blocking-worker-path guarantee).
+	OutboxEnqueued int64   `json:"outboxEnqueued,omitempty"`
+	OutboxSent     int64   `json:"outboxSent,omitempty"`
+	OutboxDropped  int64   `json:"outboxDropped,omitempty"`
+	OutboxPending  int64   `json:"outboxPending,omitempty"`
+	PeerReconnects int64   `json:"peerReconnects,omitempty"`
+	SendMaxMs      float64 `json:"sendMaxMs,omitempty"`
+
+	// Per-operator measured cost and selectivity (the Section 7.1 trial-run
+	// statistics used to build load models).
+	OpCost map[int]float64 `json:"opCost,omitempty"`
+	OpSel  map[int]float64 `json:"opSel,omitempty"`
+}
+
+func (n *Node) serveControl(br *bufio.Reader, conn net.Conn) {
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(br)
+	for {
+		var req controlRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := n.handleControl(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handleControl(req *controlRequest) *ControlResponse {
+	switch req.Cmd {
+	case "deploy":
+		if req.Spec == nil {
+			return &ControlResponse{Err: "deploy without spec"}
+		}
+		if err := n.deploy(req.Spec); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
+	case "start":
+		n.mu.Lock()
+		n.startNano.Store(time.Now().UnixNano())
+		n.busy.Store(0)
+		n.injected.Store(0)
+		n.emitted.Store(0)
+		for _, l := range n.lanes {
+			l.busy.Store(0)
+		}
+		n.started.Store(true)
+		n.mu.Unlock()
+		return &ControlResponse{OK: true}
+	case "stats":
+		return &ControlResponse{OK: true, Stats: n.Stats()}
+	case "addop":
+		if req.Op == nil {
+			return &ControlResponse{Err: "addop without op"}
+		}
+		n.addOp(req.Op, req.Routes)
+		return &ControlResponse{OK: true}
+	case "removeop":
+		if req.OpID == nil {
+			return &ControlResponse{Err: "removeop without opId"}
+		}
+		if err := n.removeOp(*req.OpID, req.Routes); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
+	case "repart":
+		if req.Part == nil {
+			return &ControlResponse{Err: "repart without partition spec"}
+		}
+		if err := n.repart(req.Part); err != nil {
+			return &ControlResponse{Err: err.Error()}
+		}
+		return &ControlResponse{OK: true}
+	case "stall":
+		if req.StallSec == nil || *req.StallSec < 0 {
+			return &ControlResponse{Err: "stall needs a non-negative duration"}
+		}
+		n.stall(*req.StallSec)
+		return &ControlResponse{OK: true}
+	case "fault":
+		if req.Fault == nil {
+			return &ControlResponse{Err: "fault without spec"}
+		}
+		switch f := req.Fault; {
+		case f.Kill:
+			// Answer first, then die: the brief delay lets the OK response
+			// flush before the listener and connections are torn down.
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				n.Close()
+			}()
+		case f.Clear:
+			n.ClearLinkFault(f.Addr)
+		default:
+			if f.Addr == "" {
+				return &ControlResponse{Err: "fault needs an addr (or clear/kill)"}
+			}
+			n.SetLinkFault(f.Addr, LinkFault{
+				Sever: f.Sever,
+				Drop:  f.Drop,
+				Delay: time.Duration(f.DelayMs * float64(time.Millisecond)),
+			})
+		}
+		return &ControlResponse{OK: true}
+	case "stop":
+		n.started.Store(false)
+		return &ControlResponse{OK: true}
+	default:
+		return &ControlResponse{Err: fmt.Sprintf("unknown command %q", req.Cmd)}
+	}
+}
+
+func (n *Node) deploy(spec *NodeSpec) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started.Load() {
+		return errors.New("engine: cannot deploy while started")
+	}
+	rs := emptyRouteState()
+	rs.spec = spec
+	for i := range spec.Parts {
+		rs.parts[spec.Parts[i].Stream] = newPartTable(&spec.Parts[i])
+	}
+	for _, os := range spec.Ops {
+		lo := &liveOp{spec: os, sideOf: map[int]int{}}
+		for i, in := range os.Inputs {
+			if i < 2 {
+				lo.sideOf[in] = i
+			}
+		}
+		rs.ops[os.ID] = lo
+	}
+	for sid, dests := range spec.Routes {
+		for _, d := range dests {
+			if d.Local {
+				rs.subs[sid] = append(rs.subs[sid], d.LocalOp)
+			} else {
+				rs.fwd[sid] = append(rs.fwd[sid], d)
+			}
+		}
+	}
+	for sid, x := range spec.XferCost {
+		rs.xfer[sid] = x
+	}
+	rs.computeLanes(n.workers)
+	n.route.Store(rs)
+	return nil
+}
+
+// addOp installs one operator at runtime and merges the supplied routes
+// (local subscriptions and forwards), deduplicating existing entries.
+func (n *Node) addOp(spec *OpSpec, routes map[int][]Dest) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rs := n.route.Load().clone()
+	lo := &liveOp{spec: *spec, sideOf: map[int]int{}}
+	for i, in := range spec.Inputs {
+		if i < 2 {
+			lo.sideOf[in] = i
+		}
+	}
+	rs.ops[spec.ID] = lo
+	rs.mergeRoutes(routes)
+	rs.computeLanes(n.workers)
+	n.route.Store(rs)
+}
+
+// removeOp uninstalls one operator: its local subscriptions disappear and
+// the given relay routes take over its input streams (forwarding in-flight
+// and future tuples toward the new home).
+func (n *Node) removeOp(id int, relay map[int][]Dest) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rs := n.route.Load().clone()
+	if _, ok := rs.ops[id]; !ok {
+		return fmt.Errorf("engine: operator %d not deployed here", id)
+	}
+	delete(rs.ops, id)
+	for sid, subs := range rs.subs {
+		kept := subs[:0]
+		for _, op := range subs {
+			if op != id {
+				kept = append(kept, op)
+			}
+		}
+		rs.subs[sid] = kept
+	}
+	// Tuples on the removed operator's input streams now relay to its new
+	// home — both tuples arriving from the network (relays, kept separate
+	// from producer forwards so they never loop: a relay target consumes
+	// locally and installs no relay of its own) and tuples produced by
+	// co-located upstream operators (fwd).
+	for sid, dests := range relay {
+		for _, d := range dests {
+			if d.Local {
+				continue
+			}
+			if !hasDest(rs.relays[sid], d.Addr) {
+				rs.relays[sid] = append(rs.relays[sid], d)
+			}
+			if !hasDest(rs.fwd[sid], d.Addr) {
+				rs.fwd[sid] = append(rs.fwd[sid], d)
+			}
+			// A migrating shard replica: repoint its shard slot at the new
+			// home and record the per-op relay, so keyed tuples — queued,
+			// in-flight, or arriving from peers with stale tables — follow
+			// it. (The blanket relays/fwd entries above are inert for
+			// partitioned streams, whose routing bypasses those maps.)
+			if pt := rs.parts[sid]; pt != nil {
+				for i, opID := range pt.ops {
+					if opID == id && pt.shards[i].Local && pt.shards[i].LocalOp == id {
+						pt.shards[i] = Dest{Addr: d.Addr}
+					}
+				}
+				pt.relay[id] = d.Addr
+			}
+		}
+	}
+	rs.computeLanes(n.workers)
+	n.route.Store(rs)
+	return nil
+}
+
+// repart installs or replaces the keyed routing table of one sharded
+// stream at runtime (slot reassignment, or a post-migration table push).
+// Per-slot counters survive the swap so observed slot rates keep
+// accumulating; relay entries for replicas the new table marks local
+// again are retired.
+func (n *Node) repart(ps *PartitionSpec) error {
+	if ps.K < 1 || len(ps.Shards) != ps.K || len(ps.Ops) != ps.K {
+		return fmt.Errorf("engine: repart stream %d: malformed table (k=%d, %d shards, %d ops)",
+			ps.Stream, ps.K, len(ps.Shards), len(ps.Ops))
+	}
+	for _, s := range ps.Slots {
+		if s < 0 || s >= ps.K {
+			return fmt.Errorf("engine: repart stream %d: slot shard %d outside [0,%d)", ps.Stream, s, ps.K)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rs := n.route.Load().clone()
+	pt := rs.parts[ps.Stream]
+	if pt == nil {
+		rs.parts[ps.Stream] = newPartTable(ps)
+		n.route.Store(rs)
+		return nil
+	}
+	pt.parent = ps.Parent
+	pt.k = ps.K
+	pt.slots = append([]int(nil), ps.Slots...)
+	pt.shards = append([]Dest(nil), ps.Shards...)
+	pt.ops = append([]int(nil), ps.Ops...)
+	if len(pt.counts) != len(pt.slots) {
+		pt.counts = make([]int64, len(pt.slots))
+	}
+	for i, d := range pt.shards {
+		if d.Local {
+			delete(pt.relay, pt.ops[i])
+		}
+	}
+	n.route.Store(rs)
+	return nil
+}
+
+func hasDest(dests []Dest, addr string) bool {
+	for _, d := range dests {
+		if !d.Local && d.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeRoutes merges route entries into the (cloned, unpublished) snapshot,
+// skipping exact duplicates.
+func (rs *routeState) mergeRoutes(routes map[int][]Dest) {
+	for sid, dests := range routes {
+		for _, d := range dests {
+			if d.Local {
+				dup := false
+				for _, existing := range rs.subs[sid] {
+					if existing == d.LocalOp {
+						dup = true
+					}
+				}
+				if !dup {
+					rs.subs[sid] = append(rs.subs[sid], d.LocalOp)
+				}
+			} else {
+				dup := false
+				for _, existing := range rs.fwd[sid] {
+					if existing.Addr == d.Addr {
+						dup = true
+					}
+				}
+				if !dup {
+					rs.fwd[sid] = append(rs.fwd[sid], d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Worker lanes — the node's sharded ingress and multi-worker data plane.
+//
+// A node runs W = NodeConfig.Workers lanes. Each lane owns a bounded work
+// queue, a condition variable, its own shed accounting and a worker
+// goroutine, so reader goroutines and workers stop serializing on one node
+// mutex. Tuples are assigned to lanes so that no operator's mutable state
+// is ever touched by two lanes at once and per-(stream, key) order is
+// preserved:
+//
+//   - targeted (keyed) tuples hash their addressed replica: every tuple of
+//     one partition slot resolves to one replica and therefore one lane,
+//     which is the Fibonacci hash of (stream, key) by way of the partition
+//     table — keyed-shard slot affinity;
+//   - broadcast tuples hash their stream's *consumer group*: streams that
+//     share a consumer operator (a join's two inputs, a merge's replica
+//     outputs) are unioned into one group so the shared operator stays
+//     single-lane, and the group's lane is the Fibonacci hash of its
+//     lowest stream id — per-stream FIFO order is preserved because one
+//     stream maps to exactly one lane.
+//
+// Route mutations (deploy, addop/removeop during migration, repart) can
+// re-pin a stream to a different lane; liveOp state is mutex-guarded (see
+// process) so such transitions are safe, and the transient cross-lane
+// reordering they allow is the same reordering migration relays already
+// introduce.
+
+// maxWorkers caps the lane count (and with it the per-peer SPSC ring
+// count) at a sane bound.
+const maxWorkers = 64
+
+// resolveWorkers maps the configured worker count to the effective lane
+// count. The zero value selects ONE lane: the deterministic legacy data
+// plane (single queue, single worker), which every existing workload and
+// test observes unchanged regardless of GOMAXPROCS. Multicore scaling is
+// opt-in: deployments pass an explicit count (the CLIs map their -workers
+// auto setting to runtime.GOMAXPROCS(0)), which is honored as given — also
+// above GOMAXPROCS, so tests can exercise multi-lane interleavings on a
+// single-core machine — and capped at maxWorkers.
+func resolveWorkers(cfg int) int {
+	if cfg <= 0 {
+		return 1
+	}
+	if cfg > maxWorkers {
+		return maxWorkers
+	}
+	return cfg
+}
+
+// fibLane is the Fibonacci-hash lane assignment: multiply by the 64-bit
+// golden-ratio constant and fold the well-mixed high bits onto [0, w).
+func fibLane(x uint64, w uint32) uint32 {
+	if w <= 1 {
+		return 0
+	}
+	return uint32((x*0x9E3779B97F4A7C15)>>33) % w
+}
+
+// lane is one worker lane: a bounded queue and the counters the ledger
+// aggregates. Counters that other goroutines read while the lane runs hot
+// are atomics; queue state is guarded by the lane's own mutex, which only
+// this lane's admissions and worker contend for. Lanes are individually
+// heap-allocated (the node holds []*lane) and padded so two lanes' hot
+// fields never share a cache line.
+type lane struct {
+	id  uint32
+	cap int // per-lane ingress bound: ceil(IngressCap / W)
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        []Tuple
+	qhead        int
+	inRun        int
+	shedding     bool
+	shedByStream map[int32]int64
+
+	shed      atomic.Int64
+	processed atomic.Int64
+	busy      atomic.Int64 // ns of virtual-CPU time charged by this lane
+	_         [64]byte
+}
+
+func newLane(id uint32, capacity int) *lane {
+	l := &lane{id: id, cap: capacity, shedByStream: map[int32]int64{}}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// qlenLocked returns the queued tuple count; callers hold l.mu.
+func (l *lane) qlenLocked() int { return len(l.queue) - l.qhead }
+
+// admitResult reports what one lane admission run did, so the caller can
+// emit events after all locks are released.
+type admitResult struct {
+	admitted    bool
+	shedOnset   bool
+	onsetStream int32
+	qlen        int
+	shedTotal   int64
+}
+
+// admit appends a run of tuples to the lane queue under one lock
+// acquisition, shedding per the node policy when the lane bound is hit.
+// Per-tuple accounting (shed counters, the onset hysteresis latch) matches
+// the single-queue semantics exactly, per lane.
+func (l *lane) admit(ts []Tuple, policy ShedPolicy) admitResult {
+	var res admitResult
+	l.mu.Lock()
+	for i := range ts {
+		if l.qlenLocked() >= l.cap {
+			// Lane full: shed. Drop-newest rejects the arrival; drop-oldest
+			// evicts the head to admit it.
+			victim := ts[i]
+			if policy == DropOldest {
+				victim = l.queue[l.qhead]
+				l.queue[l.qhead] = Tuple{}
+				l.qhead++
+				l.queue = append(l.queue, ts[i])
+				res.admitted = true
+			}
+			l.shed.Add(1)
+			l.shedByStream[victim.Stream]++
+			if !l.shedding {
+				l.shedding = true
+				res.shedOnset = true
+				res.onsetStream = victim.Stream
+			}
+		} else {
+			l.queue = append(l.queue, ts[i])
+			res.admitted = true
+		}
+	}
+	if res.admitted {
+		l.cond.Signal()
+	}
+	res.qlen = l.qlenLocked()
+	res.shedTotal = l.shed.Load()
+	l.mu.Unlock()
+	return res
+}
+
+// requeue appends operator outputs back onto the lane queue. Local
+// re-entries are never shed (matching the single-queue data plane: only
+// ingress admissions are bounded).
+func (l *lane) requeue(ts []Tuple) {
+	l.mu.Lock()
+	l.queue = append(l.queue, ts...)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// routeState is the node's copy-on-write routing snapshot: the data-plane
+// hot paths (ingress admission, worker consumer resolution, egress
+// routing) read it with one atomic load and then walk immutable maps, so
+// they never contend with control-plane mutations. Mutators (deploy,
+// addop, removeop, repart) serialize on n.mu, clone the state, and publish
+// the successor with n.route.Store. liveOp pointers and partTable counts
+// slices are shared across snapshots: operator state follows the operator,
+// and per-slot counters (atomics) keep accumulating across repartitions.
+type routeState struct {
+	spec   *NodeSpec
+	ops    map[int]*liveOp
+	subs   map[int][]int  // stream → local consumer ops
+	fwd    map[int][]Dest // stream → remote destinations (producer side)
+	relays map[int][]Dest // stream → relay targets for *inbound* tuples
+	parts  map[int]*partTable
+	xfer   map[int]float64
+	laneOf map[int32]uint32 // stream → pinned lane (consumer-group hash)
+}
+
+func emptyRouteState() *routeState {
+	return &routeState{
+		ops:    map[int]*liveOp{},
+		subs:   map[int][]int{},
+		fwd:    map[int][]Dest{},
+		relays: map[int][]Dest{},
+		parts:  map[int]*partTable{},
+		xfer:   map[int]float64{},
+		laneOf: map[int32]uint32{},
+	}
+}
+
+// nodeID returns the deployed node id (-1 before deployment).
+func (rs *routeState) nodeID() int {
+	if rs.spec == nil {
+		return -1
+	}
+	return rs.spec.NodeID
+}
+
+// clone deep-copies the routing maps (sharing liveOp pointers and
+// partition-count slices, see routeState) so a mutator can edit freely
+// before publishing.
+func (rs *routeState) clone() *routeState {
+	c := &routeState{
+		spec:   rs.spec,
+		ops:    make(map[int]*liveOp, len(rs.ops)),
+		subs:   make(map[int][]int, len(rs.subs)),
+		fwd:    make(map[int][]Dest, len(rs.fwd)),
+		relays: make(map[int][]Dest, len(rs.relays)),
+		parts:  make(map[int]*partTable, len(rs.parts)),
+		xfer:   make(map[int]float64, len(rs.xfer)),
+	}
+	for k, v := range rs.ops {
+		c.ops[k] = v
+	}
+	for k, v := range rs.subs {
+		c.subs[k] = append([]int(nil), v...)
+	}
+	for k, v := range rs.fwd {
+		c.fwd[k] = append([]Dest(nil), v...)
+	}
+	for k, v := range rs.relays {
+		c.relays[k] = append([]Dest(nil), v...)
+	}
+	for k, v := range rs.parts {
+		c.parts[k] = v.clone()
+	}
+	for k, v := range rs.xfer {
+		c.xfer[k] = v
+	}
+	return c
+}
+
+// computeLanes (re)derives the stream → lane pinning from the subscription
+// map: streams sharing a consumer operator are unioned into one group (so
+// a join or merge is fed by a single lane), and each group hashes its
+// lowest stream id to a lane. Called by mutators before publishing.
+func (rs *routeState) computeLanes(w uint32) {
+	rs.laneOf = make(map[int32]uint32, len(rs.subs))
+	if w <= 1 {
+		for sid := range rs.subs {
+			rs.laneOf[int32(sid)] = 0
+		}
+		return
+	}
+	// Union-find over stream ids, keyed by shared consumer op.
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra { // keep the lowest stream id as the root
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+	byOp := map[int]int{} // op id → representative input stream
+	for sid, ids := range rs.subs {
+		find(sid)
+		for _, id := range ids {
+			if rep, ok := byOp[id]; ok {
+				union(rep, sid)
+			} else {
+				byOp[id] = sid
+			}
+		}
+	}
+	for sid := range rs.subs {
+		rs.laneOf[int32(sid)] = fibLane(uint64(uint32(find(sid))), w)
+	}
+}
+
+// laneFor assigns one tuple to its lane: targeted (keyed) tuples hash the
+// addressed replica, broadcast tuples use their stream's pinned consumer
+// group, and unrouted streams fall back to a plain stream hash.
+func (rs *routeState) laneFor(t *Tuple, w uint32) uint32 {
+	if t.target != 0 {
+		return fibLane(uint64(uint32(t.target)), w)
+	}
+	if l, ok := rs.laneOf[t.Stream]; ok {
+		return l
+	}
+	return fibLane(uint64(uint32(t.Stream)), w)
+}
+
+// clone copies a partition table for a copy-on-write route mutation. The
+// counts slice is shared — per-slot routed counters are atomics that keep
+// accumulating across snapshot swaps (and survive repartitions).
+func (pt *partTable) clone() *partTable {
+	c := &partTable{
+		parent: pt.parent,
+		k:      pt.k,
+		slots:  append([]int(nil), pt.slots...),
+		shards: append([]Dest(nil), pt.shards...),
+		ops:    append([]int(nil), pt.ops...),
+		counts: pt.counts,
+		relay:  make(map[int]string, len(pt.relay)),
+	}
+	for k, v := range pt.relay {
+		c.relay[k] = v
+	}
+	return c
+}

@@ -47,6 +47,13 @@ type MonitorConfig struct {
 	// RateAlpha is the EWMA smoothing factor for source rates. Default 0.4.
 	RateAlpha float64
 
+	// LaneSeries enables per-worker-lane series (queue depth, processed
+	// count, utilization, labeled node+lane) for multi-lane nodes. Off by
+	// default: the simulator has no lane concept, and the lockstep
+	// cross-validation requires an identical series schema from both
+	// runtimes.
+	LaneSeries bool
+
 	// TraceEvery enables causal tracing: 1 in TraceEvery tuples per stream
 	// (rotating per-stream offsets, so every stream is sampled) carries
 	// trace context through the data plane, emitting correlated span events
@@ -114,6 +121,14 @@ type Monitor struct {
 	// reports shedding on that stream (key "node/stream"). Touched only by
 	// the sampling goroutine.
 	shedStreamC map[string]*obs.Counter
+
+	// Per-worker-lane series (key "node/lane"), created lazily when a
+	// multi-lane node first reports lane stats and cfg.LaneSeries is set.
+	// Touched only by the sampling goroutine.
+	laneQ    map[string]*obs.Gauge
+	laneU    map[string]*obs.Gauge
+	laneP    map[string]*obs.Counter
+	laneBusy map[string]float64
 
 	latHist  *obs.Histogram
 	sinkC    *obs.Counter
@@ -184,6 +199,10 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		noRteC:  make([]*obs.Counter, n),
 
 		shedStreamC: map[string]*obs.Counter{},
+		laneQ:       map[string]*obs.Gauge{},
+		laneU:       map[string]*obs.Gauge{},
+		laneP:       map[string]*obs.Counter{},
+		laneBusy:    map[string]float64{},
 
 		latQ:     map[float64]*obs.Gauge{},
 		overQ:    make([]bool, n),
@@ -443,6 +462,47 @@ func (m *Monitor) run() {
 	}
 }
 
+// laneTick feeds the per-worker-lane series of one multi-lane node: queue
+// depth (queued + in-flight), cumulative processed count, and windowed
+// utilization from the lane's busy-seconds delta over the node's elapsed
+// delta. prevElap is the node's elapsed seconds at the previous tick (0 on
+// the first, making the first window the whole run so far).
+func (m *Monitor) laneTick(node int, s *NodeStats, prevElap float64) {
+	nodeLbl := strconv.Itoa(node)
+	dElap := s.ElapsedSec - prevElap
+	for _, ls := range s.Lanes {
+		laneLbl := strconv.Itoa(ls.Lane)
+		key := nodeLbl + "/" + laneLbl
+		qg, ok := m.laneQ[key]
+		if !ok {
+			reg := m.cfg.Registry
+			qg = reg.Gauge(obs.MetricLaneQueueDepth, "node", nodeLbl, "lane", laneLbl)
+			m.sampler.ProbeGauge(obs.MetricLaneQueueDepth, qg, "node", nodeLbl, "lane", laneLbl)
+			m.laneQ[key] = qg
+			ug := reg.Gauge(obs.MetricLaneUtilization, "node", nodeLbl, "lane", laneLbl)
+			m.sampler.ProbeGauge(obs.MetricLaneUtilization, ug, "node", nodeLbl, "lane", laneLbl)
+			m.laneU[key] = ug
+			pc := reg.Counter(obs.MetricLaneProcessed, "node", nodeLbl, "lane", laneLbl)
+			m.sampler.ProbeCounter(obs.MetricLaneProcessed, pc, "node", nodeLbl, "lane", laneLbl)
+			m.laneP[key] = pc
+		}
+		qg.Set(float64(ls.Queue + ls.InFlight))
+		m.laneP[key].Store(ls.Processed)
+		util := 0.0
+		if dElap > 0 {
+			util = (ls.BusySec - m.laneBusy[key]) / dElap
+			if util < 0 {
+				util = 0
+			}
+			if util > 1 {
+				util = 1
+			}
+		}
+		m.laneBusy[key] = ls.BusySec
+		m.laneU[key].Set(util)
+	}
+}
+
 func (m *Monitor) tick(now time.Time) {
 	ev := m.cfg.Events
 	dt := now.Sub(m.lastTick).Seconds()
@@ -496,6 +556,9 @@ func (m *Monitor) tick(now time.Time) {
 			if util > 1 {
 				util = 1
 			}
+		}
+		if m.cfg.LaneSeries && len(s.Lanes) > 0 {
+			m.laneTick(i, s, m.lastElap[i])
 		}
 		m.lastBusy[i], m.lastElap[i] = busy, s.ElapsedSec
 		utils[i] = util

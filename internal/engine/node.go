@@ -2,8 +2,6 @@ package engine
 
 import (
 	"bufio"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -53,12 +51,14 @@ func ParseShedPolicy(s string) (ShedPolicy, error) {
 // selects the defaults noted on each field.
 type NodeConfig struct {
 	// IngressCap bounds the work queue; arrivals beyond it are shed per
-	// ShedPolicy. <= 0 selects DefaultIngressCap.
+	// ShedPolicy. With W worker lanes each lane is bounded at
+	// ceil(IngressCap/W). <= 0 selects DefaultIngressCap.
 	IngressCap int
 	// ShedPolicy picks the victim when the ingress queue is full.
 	ShedPolicy ShedPolicy
-	// OutboxCap bounds each per-peer outbox channel; overflow drops with a
-	// counter. <= 0 selects DefaultOutboxCap.
+	// OutboxCap bounds each per-peer outbox; overflow drops with a
+	// counter. With W lanes each lane's SPSC ring holds ceil(OutboxCap/W).
+	// <= 0 selects DefaultOutboxCap.
 	OutboxCap int
 	// BackoffBase/BackoffMax shape the reconnect schedule
 	// (base·2^attempt capped at max, ±25% jitter). Defaults 50ms / 2s.
@@ -75,6 +75,13 @@ type NodeConfig struct {
 	// pre-batching baseline rodload measures against). <= 0 selects
 	// DefaultBatchMax.
 	BatchMax int
+	// Workers is the worker-lane count: parallel data-plane shards, each
+	// with its own bounded queue, shed accounting and worker goroutine
+	// (see lane.go for the (stream, key) → lane assignment). <= 0 selects
+	// a single lane — the deterministic legacy data plane; deployments
+	// that want one lane per core pass runtime.GOMAXPROCS(0). Capped at
+	// maxWorkers.
+	Workers int
 }
 
 // Default data-plane bounds.
@@ -109,41 +116,36 @@ func (cfg *NodeConfig) applyDefaults() {
 	if cfg.BatchMax > MaxBatchWire {
 		cfg.BatchMax = MaxBatchWire
 	}
+	cfg.Workers = resolveWorkers(cfg.Workers)
 }
 
 // Node is one engine process: it listens for control and tuple connections,
-// hosts deployed operators, and runs a single virtual CPU of the configured
-// capacity (cost-units of operator work completed per wall second).
+// hosts deployed operators, and runs a virtual CPU of the configured
+// capacity (cost-units of operator work completed per wall second), shared
+// by its worker lanes. Routing state is a copy-on-write snapshot (n.route)
+// so the data plane never locks against the control plane; counters are
+// atomics aggregated by Stats.
 type Node struct {
 	capacity float64
 	cfg      NodeConfig
 	ln       net.Listener
+	workers  uint32
+	lanes    []*lane
 
-	mu       sync.Mutex
-	spec     *NodeSpec
-	ops      map[int]*liveOp
-	subs     map[int][]int  // stream → local consumer ops
-	fwd      map[int][]Dest // stream → remote destinations (producer side)
-	relays   map[int][]Dest // stream → relay targets for *inbound* tuples (post-migration)
-	parts    map[int]*partTable
-	xfer     map[int]float64
-	started  bool
-	startT   time.Time
-	busy     time.Duration // virtual CPU time consumed
-	injected int64
-	emitted  int64
+	mu    sync.Mutex // serializes route mutators and start/stop
+	route atomic.Pointer[routeState]
 
-	queue        []Tuple
-	qhead        int
-	inRun        int // tuples drained into the worker's current run
-	qcond        *sync.Cond
-	closing      bool
-	shedTotal    int64
-	shedByStream map[int32]int64
-	shedding     bool
+	started   atomic.Bool
+	startNano atomic.Int64
+	busy      atomic.Int64 // virtual CPU ns consumed (all lanes + transfer)
+	injected  atomic.Int64
+	emitted   atomic.Int64
+	dropNoRt  atomic.Int64 // inbound tuples with no local sub and no relay
+	closed    atomic.Bool
 
-	droppedNoRoute int64          // inbound tuples with no local sub and no relay
-	noRouteWarned  map[int32]bool // per-stream one-shot warn latch
+	warnMu        sync.Mutex
+	noRouteWarned map[int32]bool // per-stream one-shot warn latch
+	relayWarned   map[string]bool
 
 	peers       map[string]*outbox
 	peersMu     sync.Mutex
@@ -158,14 +160,13 @@ type Node struct {
 	estimator    *stats.CostEstimator
 	wg           sync.WaitGroup
 	sendMaxNanos atomic.Int64 // worst observed send() duration (worker path)
-	egress       []egressRun  // worker-owned routeBatch grouping scratch
+	scratch      sync.Pool    // *ingressScratch
 
-	probe       atomic.Pointer[nodeProbe] // observer state; see SetObserver
-	relayWarned map[string]bool           // per-peer latch; re-armed on recovery
+	probe atomic.Pointer[nodeProbe] // observer state; see SetObserver
 }
 
 // nodeProbe bundles the observer state so data-plane goroutines (ingress,
-// worker, outboxes) read it with one atomic load instead of contending n.mu.
+// workers, outboxes) read it with one atomic load.
 type nodeProbe struct {
 	ev     *obs.EventLog
 	stages *obs.StageSet
@@ -173,7 +174,13 @@ type nodeProbe struct {
 }
 
 type liveOp struct {
-	spec      OpSpec
+	spec OpSpec
+
+	// mu guards the operator's mutable state. Steady state it is
+	// uncontended (one lane owns the operator's input streams); it exists
+	// for the transient window where a route republish moves a stream to
+	// another lane while the old lane still drains queued tuples.
+	mu        sync.Mutex
 	selAcc    float64
 	window    [2][]int64 // join windows: origin-arrival wall ns per side
 	sideOf    map[int]int
@@ -186,7 +193,9 @@ type liveOp struct {
 // replica that migrated away from this node, so keyed tuples addressed to
 // the departed copy follow it instead of vanishing. counts accumulates
 // per-slot routed tuples on the splitter's home — the observed slot rates
-// skew-aware repartitioning feeds on. All fields are guarded by n.mu.
+// skew-aware repartitioning feeds on; its entries are accessed atomically
+// and the slice is shared across route snapshots. The other fields are
+// immutable once the table is published in a snapshot.
 type partTable struct {
 	parent string
 	k      int
@@ -236,33 +245,39 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 	if err != nil {
 		return nil, fmt.Errorf("engine: listen %s: %w", addr, err)
 	}
+	w := cfg.Workers
 	n := &Node{
 		capacity:      capacity,
 		cfg:           cfg,
 		ln:            ln,
-		ops:           map[int]*liveOp{},
-		subs:          map[int][]int{},
-		fwd:           map[int][]Dest{},
-		relays:        map[int][]Dest{},
-		parts:         map[int]*partTable{},
-		xfer:          map[int]float64{},
-		shedByStream:  map[int32]int64{},
+		workers:       uint32(w),
 		noRouteWarned: map[int32]bool{},
+		relayWarned:   map[string]bool{},
 		peers:         map[string]*outbox{},
 		faults:        map[string]*LinkFault{},
 		conns:         map[net.Conn]bool{},
 		estimator:     stats.NewCostEstimator(),
-		relayWarned:   map[string]bool{},
 	}
-	n.qcond = sync.NewCond(&n.mu)
-	n.wg.Add(2)
+	n.route.Store(emptyRouteState())
+	laneCap := (cfg.IngressCap + w - 1) / w
+	n.lanes = make([]*lane, w)
+	for i := range n.lanes {
+		n.lanes[i] = newLane(uint32(i), laneCap)
+	}
+	n.scratch.New = func() any { return newIngressScratch(w) }
+	n.wg.Add(1 + w)
 	go n.acceptLoop()
-	go n.worker()
+	for _, l := range n.lanes {
+		go n.laneWorker(l)
+	}
 	return n, nil
 }
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Workers returns the node's worker-lane count.
+func (n *Node) Workers() int { return int(n.workers) }
 
 // SetObserver attaches an event log for control-plane events and sampled
 // per-tuple trace spans, plus the per-stage latency histograms the spans
@@ -297,16 +312,18 @@ func tracePick(every int64, t Tuple) bool {
 
 // Close shuts the node down and waits for its goroutines. Outboxes drain
 // best-effort (buffered tuples are flushed when the link is up, counted as
-// dropped otherwise) before their goroutines exit.
+// dropped otherwise) before their goroutines exit; once every producer has
+// stopped, any tuples stranded in outbox rings are swept into the drop
+// counters so the outbox accounting closes post-Close.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closing {
-		n.mu.Unlock()
+	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	n.closing = true
-	n.qcond.Broadcast()
-	n.mu.Unlock()
+	for _, l := range n.lanes {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
 	err := n.ln.Close()
 	n.peersMu.Lock()
 	if !n.peersClosed {
@@ -322,6 +339,13 @@ func (n *Node) Close() error {
 	}
 	n.connsMu.Unlock()
 	n.wg.Wait()
+	// Lane workers may have pushed to SPSC rings after an outbox writer's
+	// final drain; with all goroutines stopped, sweep the leftovers.
+	n.peersMu.Lock()
+	for _, o := range n.peers {
+		o.dropRemaining()
+	}
+	n.peersMu.Unlock()
 	return err
 }
 
@@ -382,19 +406,19 @@ func (n *Node) enqueueInbound(t Tuple) {
 }
 
 // relayRun is one per-destination slice of tuples to forward, built while
-// admitting a batch and shipped after the node lock is released.
+// admitting a batch and shipped after all queue locks are released.
 type relayRun struct {
 	addr string
 	ts   []Tuple
 }
 
 // enqueueInboundBatch admits a batch of tuples arriving from the network
-// (or a source injector) to the bounded work queue, taking n.mu once per
-// chunk of at most BatchMax tuples instead of once per tuple. Shedding
-// (per the configured policy), per-stream shed counters, the shed-onset
-// hysteresis latch and relay fan-out are all computed batch-wise with
-// per-tuple accounting preserved; relays are grouped per destination so
-// the outbox is offered slices rather than single tuples.
+// (or a source injector) to the bounded per-lane work queues, processing
+// chunks of at most BatchMax tuples. Shedding (per the configured policy),
+// per-stream shed counters, the shed-onset hysteresis latch and relay
+// fan-out are all computed batch-wise with per-tuple accounting preserved;
+// relays are grouped per destination so the outbox is offered slices
+// rather than single tuples.
 func (n *Node) enqueueInboundBatch(ts []Tuple) {
 	for len(ts) > 0 {
 		chunk := ts
@@ -407,7 +431,7 @@ func (n *Node) enqueueInboundBatch(ts []Tuple) {
 }
 
 // ingressSpan records one traced tuple's transit crossing for the span
-// event emitted after the node lock is released.
+// event emitted after admission.
 type ingressSpan struct {
 	stream int32
 	seq    int64
@@ -415,23 +439,69 @@ type ingressSpan struct {
 	wait   float64
 }
 
+// ingressScratch is the pooled per-call grouping state of enqueueChunk:
+// admissions bucketed per lane, relay runs per destination, deferred
+// events. Pooled (not per-call) so the unsampled ingress path stays
+// allocation-free.
+type ingressScratch struct {
+	perLane [][]Tuple
+	relays  []relayRun
+	spans   []ingressSpan
+	noRoute []int32
+}
+
+func newIngressScratch(w int) *ingressScratch {
+	return &ingressScratch{perLane: make([][]Tuple, w)}
+}
+
+func (sc *ingressScratch) reset() {
+	for i := range sc.perLane {
+		sc.perLane[i] = sc.perLane[i][:0]
+	}
+	sc.relays = sc.relays[:0]
+	sc.spans = sc.spans[:0]
+	sc.noRoute = sc.noRoute[:0]
+}
+
+// relayTo groups one tuple into the per-destination relay runs, reusing
+// backing arrays across pooled uses.
+func (sc *ingressScratch) relayTo(addr string, t Tuple) {
+	i := 0
+	for ; i < len(sc.relays); i++ {
+		if sc.relays[i].addr == addr {
+			break
+		}
+	}
+	if i == len(sc.relays) {
+		if i < cap(sc.relays) {
+			sc.relays = sc.relays[:i+1]
+			sc.relays[i].addr = addr
+			sc.relays[i].ts = sc.relays[i].ts[:0]
+		} else {
+			sc.relays = append(sc.relays, relayRun{addr: addr})
+		}
+	}
+	sc.relays[i].ts = append(sc.relays[i].ts, t)
+}
+
+// enqueueChunk routes one ingress chunk: it loads the route snapshot once,
+// buckets admissible tuples per worker lane, then admits each bucket with
+// one lane-lock acquisition. No node-wide lock is taken anywhere on this
+// path.
 func (n *Node) enqueueChunk(chunk []Tuple) {
-	var relays []relayRun
-	var noRouteStreams []int32
-	admitted := false
-	shedOnset := false
-	var shedStream int32
-	ev, stages, every := n.observer()
-	var spans []ingressSpan
-	var spanNow int64 // lazy arrival timestamp shared by the chunk's traced tuples
-	n.mu.Lock()
-	if n.closing {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return
 	}
+	rs := n.route.Load()
+	ev, stages, every := n.observer()
+	sc := n.scratch.Get().(*ingressScratch)
+	sc.reset()
+	var spanNow int64 // lazy arrival timestamp shared by the chunk's traced tuples
+	var xferBusy int64
+	nodeID := rs.nodeID()
+	n.injected.Add(int64(len(chunk)))
 	for ci := range chunk {
 		t := &chunk[ci]
-		n.injected++
 		// Mark trace samples at first ingress. Sources that pre-flag their
 		// tuples use the same stride, so a legacy link that strips the
 		// context re-selects the same tuples here (TraceTs restarts from the
@@ -450,12 +520,12 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 			t.TraceTs = spanNow
 			stages.Observe(obs.StageTransit, wait)
 			if ev != nil {
-				spans = append(spans, ingressSpan{stream: t.Stream, seq: t.Seq, ts: t.Ts, wait: wait})
+				sc.spans = append(sc.spans, ingressSpan{stream: t.Stream, seq: t.Seq, ts: t.Ts, wait: wait})
 			}
 		}
 		// Receive-side transfer CPU cost.
-		if x := n.xfer[int(t.Stream)]; x > 0 {
-			n.busy += time.Duration(x / n.capacity * float64(time.Second))
+		if x := rs.xfer[int(t.Stream)]; x > 0 {
+			xferBusy += int64(time.Duration(x / n.capacity * float64(time.Second)))
 		}
 		// Keyed (sharded) streams route through the partition table: each
 		// tuple goes to exactly one replica — targeted locally when that
@@ -464,10 +534,10 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 		var relay []Dest
 		var partFwd [1]Dest
 		hasLocal := false
-		if pt := n.parts[int(t.Stream)]; pt != nil {
+		if pt := rs.parts[int(t.Stream)]; pt != nil {
 			d := pt.shards[pt.slots[slotOf(t)]]
 			if d.Local {
-				if _, ok := n.ops[d.LocalOp]; ok {
+				if _, ok := rs.ops[d.LocalOp]; ok {
 					t.target = int32(d.LocalOp) + 1
 					hasLocal = true
 				} else if addr := pt.relay[d.LocalOp]; addr != "" {
@@ -480,73 +550,49 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 				relay = partFwd[:]
 			}
 		} else {
-			relay = n.relays[int(t.Stream)]
-			hasLocal = len(n.subs[int(t.Stream)]) > 0
+			relay = rs.relays[int(t.Stream)]
+			hasLocal = len(rs.subs[int(t.Stream)]) > 0
 		}
 		if hasLocal {
-			if len(n.queue)-n.qhead >= n.cfg.IngressCap {
-				// Queue full: shed. Drop-newest rejects the arrival;
-				// drop-oldest evicts the head to admit it.
-				victim := *t
-				if n.cfg.ShedPolicy == DropOldest {
-					victim = n.queue[n.qhead]
-					n.queue[n.qhead] = Tuple{}
-					n.qhead++
-					n.queue = append(n.queue, *t)
-					admitted = true
-				}
-				n.shedTotal++
-				n.shedByStream[victim.Stream]++
-				if !n.shedding {
-					n.shedding = true
-					shedOnset = true
-					shedStream = victim.Stream
-				}
-			} else {
-				n.queue = append(n.queue, *t)
-				admitted = true
-			}
+			li := rs.laneFor(t, n.workers)
+			sc.perLane[li] = append(sc.perLane[li], *t)
 		} else if len(relay) == 0 {
 			// No local consumer and no relay route: the tuple has nowhere
 			// to go. Count it (and warn once per stream) instead of
 			// silently absorbing it into the injected count.
-			n.droppedNoRoute++
+			n.dropNoRt.Add(1)
+			n.warnMu.Lock()
 			if !n.noRouteWarned[t.Stream] {
 				n.noRouteWarned[t.Stream] = true
-				noRouteStreams = append(noRouteStreams, t.Stream)
+				sc.noRoute = append(sc.noRoute, t.Stream)
 			}
+			n.warnMu.Unlock()
 		}
 		for _, d := range relay {
-			i := 0
-			for ; i < len(relays); i++ {
-				if relays[i].addr == d.Addr {
-					break
-				}
-			}
-			if i == len(relays) {
-				relays = append(relays, relayRun{addr: d.Addr})
-			}
-			relays[i].ts = append(relays[i].ts, *t)
+			sc.relayTo(d.Addr, *t)
 		}
 	}
-	if admitted {
-		n.qcond.Signal()
+	if xferBusy > 0 {
+		n.busy.Add(xferBusy)
 	}
-	qlen := len(n.queue) - n.qhead
-	shedTotal := n.shedTotal
-	nodeID := n.nodeIDLocked()
-	n.mu.Unlock()
-	if shedOnset {
-		ev.Emit(obs.LevelWarn, obs.EventShedOnset,
-			"node", nodeID, "queue", qlen, "cap", n.cfg.IngressCap,
-			"policy", n.cfg.ShedPolicy.String(), "stream", int(shedStream),
-			"shed", shedTotal)
+	for li := range sc.perLane {
+		if len(sc.perLane[li]) == 0 {
+			continue
+		}
+		res := n.lanes[li].admit(sc.perLane[li], n.cfg.ShedPolicy)
+		if res.shedOnset {
+			ev.Emit(obs.LevelWarn, obs.EventShedOnset,
+				"node", nodeID, "lane", int(n.lanes[li].id),
+				"queue", res.qlen, "cap", n.lanes[li].cap,
+				"policy", n.cfg.ShedPolicy.String(), "stream", int(res.onsetStream),
+				"shed", res.shedTotal)
+		}
 	}
-	for _, sid := range noRouteStreams {
+	for _, sid := range sc.noRoute {
 		ev.Emit(obs.LevelWarn, obs.EventNoRoute,
 			"node", nodeID, "stream", int(sid))
 	}
-	for _, sp := range spans {
+	for _, sp := range sc.spans {
 		ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "ingress",
 			"node", nodeID, "stream", int(sp.stream), "seq", sp.seq,
 			"ts", sp.ts, "wait", sp.wait)
@@ -555,474 +601,39 @@ func (n *Node) enqueueChunk(chunk []Tuple) {
 	// run without ever blocking the receive path, and link failures
 	// surface as warn events latched per destination (re-armed on
 	// recovery, so a peer that heals and fails again stays visible).
-	for _, r := range relays {
-		n.sendBatch(r.addr, r.ts)
+	for i := range sc.relays {
+		n.sendBatch(sc.relays[i].addr, sc.relays[i].ts)
 	}
+	n.scratch.Put(sc)
 }
 
-// nodeIDLocked returns the deployed node id (-1 before deployment).
-// Callers must hold n.mu.
-func (n *Node) nodeIDLocked() int {
-	if n.spec == nil {
-		return -1
-	}
-	return n.spec.NodeID
-}
-
-// QueueLen returns the current work-queue length.
+// QueueLen returns the current work-queue length summed over lanes.
 func (n *Node) QueueLen() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.queue) - n.qhead
+	total := 0
+	for _, l := range n.lanes {
+		l.mu.Lock()
+		total += l.qlenLocked()
+		l.mu.Unlock()
+	}
+	return total
 }
 
-// workerRun holds the worker's reusable per-run scratch: the drained
-// tuples, the per-stream consumer snapshot (subs slices are compacted in
-// place by removeOp, so the worker copies the ids it needs under the
-// drain lock), and the emitted outputs. Reuse keeps the steady-state
-// dequeue path allocation-free.
-type workerRun struct {
-	tuples []Tuple
-	outs   []Tuple
-	cons   []consEntry
-	tgts   []tgtEntry
-	fwds   []relayRun // queued-before-migration tuples to relay onward
-}
-
-// tgtEntry caches the resolution of one targeted (keyed) delivery for the
-// current run: the addressed replica when it is still installed, or the
-// relay address of its new home when it migrated away mid-queue.
-type tgtEntry struct {
-	id    int32
-	op    *liveOp
-	relay string
-}
-
-// targetOf returns the cached resolution for a targeted tuple, resolving
-// it from n.ops (and the stream's partition-table relay map) on a miss.
-// Like consumersOf, the worker warms the cache for every tuple in the run
-// under the drain lock, so out-of-lock calls always hit.
-func (r *workerRun) targetOf(n *Node, t *Tuple) *tgtEntry {
-	for i := range r.tgts {
-		if r.tgts[i].id == t.target {
-			return &r.tgts[i]
-		}
-	}
-	e := tgtEntry{id: t.target}
-	if op := n.ops[int(t.target)-1]; op != nil {
-		e.op = op
-	} else if pt := n.parts[int(t.Stream)]; pt != nil {
-		e.relay = pt.relay[int(t.target)-1]
-	}
-	r.tgts = append(r.tgts, e)
-	return &r.tgts[len(r.tgts)-1]
-}
-
-// fwdTo groups one tuple into the run's per-destination forward slices,
-// reusing backing arrays across runs.
-func (r *workerRun) fwdTo(addr string, t Tuple) {
-	i := 0
-	for ; i < len(r.fwds); i++ {
-		if r.fwds[i].addr == addr {
-			break
-		}
-	}
-	if i == len(r.fwds) {
-		if i < cap(r.fwds) {
-			r.fwds = r.fwds[:i+1]
-			r.fwds[i].addr = addr
-			r.fwds[i].ts = r.fwds[i].ts[:0]
-		} else {
-			r.fwds = append(r.fwds, relayRun{addr: addr})
-		}
-	}
-	r.fwds[i].ts = append(r.fwds[i].ts, t)
-}
-
-// consEntry caches one stream's local consumer operators for the current
-// run. liveOp pointers stay valid after the lock is dropped: their mutable
-// state is touched only by the worker itself, and a concurrent addOp or
-// removeOp swaps map entries without mutating existing ones. The ops
-// backing array is reused across runs. When a stream's subscriptions have
-// all been removed (its operator migrated away between admission and
-// processing), relay carries the stream's relay routes so the drained
-// tuples follow the operator to its new home instead of vanishing.
-type consEntry struct {
-	sid   int32
-	ops   []*liveOp
-	relay []Dest
-}
-
-// consumersOf returns the cached consumer set for sid, resolving it from
-// n.subs/n.ops on a miss (the worker resolves every stream in the run
-// under the drain lock, so out-of-lock calls always hit the cache).
-func (r *workerRun) consumersOf(n *Node, sid int32) []*liveOp {
-	for i := range r.cons {
-		if r.cons[i].sid == sid {
-			return r.cons[i].ops
-		}
-	}
-	if len(r.cons) < cap(r.cons) {
-		r.cons = r.cons[:len(r.cons)+1]
-	} else {
-		r.cons = append(r.cons, consEntry{})
-	}
-	e := &r.cons[len(r.cons)-1]
-	e.sid = sid
-	e.ops = e.ops[:0]
-	for _, id := range n.subs[int(sid)] {
-		if op := n.ops[id]; op != nil {
-			e.ops = append(e.ops, op)
-		}
-	}
-	e.relay = e.relay[:0]
-	if len(e.ops) == 0 {
-		// The stream's consumer left after these tuples were admitted
-		// (operator migration). Snapshot the relay routes so the worker can
-		// forward the stranded tuples to the new home.
-		e.relay = append(e.relay, n.relays[int(sid)]...)
-	}
-	return e.ops
-}
-
-// relayOf returns the relay routes snapshotted for sid (non-empty only
-// when the stream has no local consumers).
-func (r *workerRun) relayOf(sid int32) []Dest {
-	for i := range r.cons {
-		if r.cons[i].sid == sid {
-			return r.cons[i].relay
-		}
-	}
-	return nil
-}
-
-// worker is the node's single virtual CPU: it dequeues tuples, charges
-// their processing cost against wall time (sleeping whenever virtual time
-// runs ahead), and routes outputs. The queue lock is taken once per run
-// of up to BatchMax tuples, not once per tuple; per-tuple semantics
-// (cost pacing, shed-clear hysteresis, trace spans) are preserved.
-func (n *Node) worker() {
-	defer n.wg.Done()
-	var run workerRun
-	for {
-		n.mu.Lock()
-		for len(n.queue)-n.qhead == 0 && !n.closing {
-			n.qcond.Wait()
-		}
-		if n.closing {
-			n.mu.Unlock()
-			return
-		}
-		k := len(n.queue) - n.qhead
-		if k > n.cfg.BatchMax {
-			k = n.cfg.BatchMax
-		}
-		run.tuples = append(run.tuples[:0], n.queue[n.qhead:n.qhead+k]...)
-		for i := 0; i < k; i++ {
-			n.queue[n.qhead+i] = Tuple{}
-		}
-		n.qhead += k
-		// Tuples leave the queue before they finish processing; a costly
-		// run can hold them for hundreds of milliseconds. Track the count
-		// so stats (and the quiescence barrier) never report an empty
-		// pipeline while the worker still owns admitted tuples.
-		n.inRun = k
-		if n.qhead > 4096 && n.qhead*2 > len(n.queue) {
-			n.queue = append(n.queue[:0], n.queue[n.qhead:]...)
-			n.qhead = 0
-		}
-		qlen := len(n.queue) - n.qhead
-		shedClear := false
-		if n.shedding && qlen <= n.cfg.IngressCap/2 {
-			// Hysteresis: declare shedding over once the backlog has
-			// drained to half the cap, not at the first free slot.
-			n.shedding = false
-			shedClear = true
-		}
-		shedTotal := n.shedTotal
-		run.cons = run.cons[:0]
-		run.tgts = run.tgts[:0]
-		for i := range run.tuples {
-			t := &run.tuples[i]
-			if t.Stream == stallStream {
-				continue
-			}
-			if t.target != 0 {
-				run.targetOf(n, t)
-			} else {
-				run.consumersOf(n, t.Stream)
-			}
-		}
-		started := n.started
-		start := n.startT
-		busyBase := n.busy
-		nodeID := n.nodeIDLocked()
-		n.mu.Unlock()
-		ev, stages, _ := n.observer()
-		if shedClear {
-			ev.Emit(obs.LevelInfo, obs.EventShedClear,
-				"node", nodeID, "queue", qlen, "cap", n.cfg.IngressCap,
-				"shed", shedTotal)
-		}
-
-		// Process the run outside the lock, pacing per tuple against a
-		// locally accumulated busy delta (concurrent transfer-cost charges
-		// land in n.busy and are picked up by the next run's base).
-		var busyDelta time.Duration
-		var stranded int64
-		run.outs = run.outs[:0]
-		run.fwds = run.fwds[:0]
-		for _, t := range run.tuples {
-			var cost float64
-			outsBefore := len(run.outs)
-			// Stage boundary: a traced tuple leaves the queue now; the time
-			// since its ingress admission is queue wait, the time until its
-			// outputs are ready (including virtual-CPU pacing) is service.
-			tracedT := t.Flags&TupleTraced != 0 && t.Stream != stallStream
-			var svcStart int64
-			if tracedT {
-				svcStart = time.Now().UnixNano()
-			}
-			if t.Stream == stallStream {
-				// Migration state-transfer pause: Value already carries the
-				// cost units making svc = Value/capacity = the stall seconds.
-				cost = t.Value
-			} else if t.target != 0 {
-				// Targeted (keyed) delivery: exactly one addressed replica,
-				// never the stream's broadcast consumer set. If the replica
-				// migrated between admission and draining, forward to its
-				// recorded new home; with no record left, count the loss.
-				if e := run.targetOf(n, &t); e.op != nil {
-					cost = n.process(e.op, t, &run.outs)
-				} else if e.relay != "" {
-					run.fwdTo(e.relay, t)
-				} else {
-					stranded++
-				}
-			} else if cons := run.consumersOf(n, t.Stream); len(cons) > 0 {
-				for _, op := range cons {
-					cost += n.process(op, t, &run.outs)
-				}
-			} else {
-				// Admitted while a local consumer existed, drained after it
-				// migrated away: relay toward the new home, or — with no
-				// relay route left — count the loss instead of silently
-				// absorbing the tuple (the conservation ledger audits this).
-				relay := run.relayOf(t.Stream)
-				if len(relay) == 0 {
-					stranded++
-				}
-				for _, d := range relay {
-					run.fwdTo(d.Addr, t)
-				}
-			}
-			if cost > 0 {
-				busyDelta += time.Duration(cost / n.capacity * float64(time.Second))
-				if started {
-					// Pace: virtual time must not run ahead of wall time.
-					if ahead := busyBase + busyDelta - time.Since(start); ahead > 500*time.Microsecond {
-						// Flush the accumulated virtual time before sleeping
-						// so stats polled mid-sleep see it (a costly run can
-						// carry seconds of virtual time; utilization must not
-						// lag by that much). The zero-cost path never locks.
-						n.mu.Lock()
-						n.busy += busyDelta
-						busyBase = n.busy
-						n.mu.Unlock()
-						busyDelta = 0
-						time.Sleep(ahead)
-					}
-				}
-			}
-			if tracedT {
-				svcEnd := time.Now().UnixNano()
-				var queueSec float64
-				if t.TraceTs > 0 {
-					queueSec = float64(svcStart-t.TraceTs) / float64(time.Second)
-				}
-				svcSec := float64(svcEnd-svcStart) / float64(time.Second)
-				stages.Observe(obs.StageQueue, queueSec)
-				stages.Observe(obs.StageService, svcSec)
-				// Outputs inherit the service-end boundary, so their next
-				// crossing (outbox residence or local re-queue wait) starts
-				// here and the stage durations keep telescoping.
-				for j := outsBefore; j < len(run.outs); j++ {
-					run.outs[j].TraceTs = svcEnd
-				}
-				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
-					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
-					"ts", t.Ts, "queue", queueSec, "service", svcSec,
-					"cost", cost, "outs", len(run.outs)-outsBefore)
-			}
-		}
-		if busyDelta > 0 || stranded > 0 {
-			n.mu.Lock()
-			n.busy += busyDelta
-			n.droppedNoRoute += stranded
-			n.mu.Unlock()
-		}
-		for i := range run.fwds {
-			n.sendBatch(run.fwds[i].addr, run.fwds[i].ts)
-		}
-		n.routeBatch(run.outs)
-		// Only after the outputs are routed (and counted) does the run's
-		// in-flight claim lapse — one uncontended lock per run, not per
-		// tuple.
-		n.mu.Lock()
-		n.inRun = 0
-		n.mu.Unlock()
-	}
-}
-
-// process runs one tuple through one operator, appending emitted tuples
-// to outs and returning the cost-units consumed. The caller resolved op
-// under n.mu; op's mutable state is worker-owned, so no lock is held here.
-func (n *Node) process(op *liveOp, t Tuple, outs *[]Tuple) float64 {
-	cost := op.spec.Cost
-	produced := op.spec.Selectivity
-	if op.spec.Kind == "join" {
-		now := time.Now().UnixNano()
-		side := op.sideOf[int(t.Stream)]
-		op.window[side] = append(op.window[side], now)
-		horizon := now - int64(op.spec.Window/2*float64(time.Second))
-		for s := range op.window {
-			win := op.window[s]
-			lo := 0
-			for lo < len(win) && win[lo] < horizon {
-				lo++
-			}
-			op.window[s] = win[lo:]
-		}
-		pairs := len(op.window[1-side])
-		cost = op.spec.Cost * float64(pairs)
-		produced = op.spec.Selectivity * float64(pairs)
-	}
-	op.selAcc += produced
-	k := int(op.selAcc)
-	op.selAcc -= float64(k)
-	op.processed++
-	n.estimator.Record(op.spec.ID, stats.OpSample{In: 1, Out: int64(k), CPU: cost})
-	for i := 0; i < k; i++ {
-		// Outputs inherit the partition key (so downstream sharded stages
-		// keep keyed semantics) but never the in-memory target: addressing
-		// is resolved per stream by whoever routes the output.
-		*outs = append(*outs, Tuple{
-			Stream: int32(op.spec.Out), Ts: t.Ts, Seq: t.Seq, Value: t.Value,
-			Key: t.Key, Flags: t.Flags, TraceTs: t.TraceTs,
-		})
-	}
-	return cost
-}
-
-// egressRun is one per-destination slice of operator outputs, grouped by
-// routeBatch so the outbox is offered whole slices. Worker-owned scratch.
-type egressRun struct {
-	addr string
-	ts   []Tuple
-}
-
-// routeBatch delivers a run of operator-emitted tuples: local consumers
-// re-enter the queue under a single lock acquisition; remote destinations
-// are aggregated per peer and handed to the outbox as slices (charging
-// send-side transfer cost per accepted tuple). Only the worker calls
-// this, so the grouping scratch is reused across runs without locking.
-func (n *Node) routeBatch(outs []Tuple) {
-	if len(outs) == 0 {
+// stall charges the virtual CPU with a state-transfer pause by enqueueing
+// an overhead work item of the given wall-clock duration (on lane 0; the
+// virtual CPU accumulator is node-wide, so every lane paces against it).
+func (n *Node) stall(sec float64) {
+	if n.closed.Load() {
 		return
 	}
-	groups := n.egress[:0]
-	admitted := false
-	n.mu.Lock()
-	for _, t := range outs {
-		// Partitioned (keyed) streams: pick the one replica owning the
-		// tuple's slot — a targeted local re-entry when it lives here, a
-		// grouped remote send otherwise. This is also where the per-slot
-		// rate counters accumulate: every tuple of the keyed stream passes
-		// through its splitter's home exactly once.
-		if pt := n.parts[int(t.Stream)]; pt != nil {
-			slot := slotOf(&t)
-			pt.counts[slot]++
-			d := pt.shards[pt.slots[slot]]
-			if d.Local {
-				if _, ok := n.ops[d.LocalOp]; ok && !n.closing {
-					t.target = int32(d.LocalOp) + 1
-					n.emitted++
-					n.queue = append(n.queue, t)
-					admitted = true
-					continue
-				}
-				addr := pt.relay[d.LocalOp]
-				if addr == "" {
-					n.droppedNoRoute++
-					continue
-				}
-				d = Dest{Addr: addr}
-			}
-			i := 0
-			for ; i < len(groups); i++ {
-				if groups[i].addr == d.Addr {
-					break
-				}
-			}
-			if i == len(groups) {
-				if i < cap(groups) {
-					groups = groups[:i+1]
-					groups[i].addr = d.Addr
-					groups[i].ts = groups[i].ts[:0]
-				} else {
-					groups = append(groups, egressRun{addr: d.Addr})
-				}
-			}
-			groups[i].ts = append(groups[i].ts, t)
-			continue
-		}
-		if len(n.subs[int(t.Stream)]) > 0 && !n.closing {
-			n.emitted++
-			n.queue = append(n.queue, t)
-			admitted = true
-		}
-		for _, d := range n.fwd[int(t.Stream)] {
-			i := 0
-			for ; i < len(groups); i++ {
-				if groups[i].addr == d.Addr {
-					break
-				}
-			}
-			if i == len(groups) {
-				if i < cap(groups) {
-					groups = groups[:i+1]
-					groups[i].addr = d.Addr
-					groups[i].ts = groups[i].ts[:0]
-				} else {
-					groups = append(groups, egressRun{addr: d.Addr})
-				}
-			}
-			groups[i].ts = append(groups[i].ts, t)
-		}
-	}
-	if admitted {
-		n.qcond.Signal()
-	}
-	n.mu.Unlock()
-	n.egress = groups
-	for gi := range groups {
-		g := &groups[gi]
-		accepted := n.sendBatch(g.addr, g.ts)
-		if accepted == 0 {
-			continue
-		}
-		var xferBusy time.Duration
-		n.mu.Lock()
-		for _, t := range g.ts[:accepted] {
-			if x := n.xfer[int(t.Stream)]; x > 0 {
-				xferBusy += time.Duration(x / n.capacity * float64(time.Second))
-			}
-			n.emitted++
-		}
-		n.busy += xferBusy
-		n.mu.Unlock()
-	}
+	l := n.lanes[0]
+	l.mu.Lock()
+	l.queue = append(l.queue, Tuple{Stream: stallStream, Value: sec * n.capacity})
+	l.cond.Signal()
+	l.mu.Unlock()
 }
+
+// stallStream is the reserved stream id carrying stall work items.
+const stallStream int32 = -1
 
 // send hands one tuple to the destination's outbox without ever blocking;
 // see sendBatch. Reports whether the tuple was accepted; rejected tuples
@@ -1032,9 +643,10 @@ func (n *Node) send(addr string, t Tuple) bool {
 	return n.sendBatch(addr, batch[:]) == 1
 }
 
-// sendBatch offers a run of tuples to the destination's outbox without
-// ever blocking: a dead, slow or partitioned peer costs the caller one
-// bounded ring insertion (accounted, worst case, in sendMaxNanos — the
+// sendBatch offers a run of tuples to the destination's outbox (shared
+// mutex ring — the multi-producer path used by ingress relays and tests)
+// without ever blocking: a dead, slow or partitioned peer costs the caller
+// one bounded ring insertion (accounted, worst case, in sendMaxNanos — the
 // chaos test asserts the worker path never stalls). It returns how many
 // tuples were accepted (a prefix of ts); the rest are counted in the
 // outbox's drop counter.
@@ -1044,6 +656,22 @@ func (n *Node) sendBatch(addr string, ts []Tuple) int {
 	accepted := 0
 	if o != nil {
 		accepted = o.enqueueBatch(ts)
+	}
+	if d := int64(time.Since(t0)); d > n.sendMaxNanos.Load() {
+		n.sendMaxNanos.Store(d)
+	}
+	return accepted
+}
+
+// sendBatchLane offers a run of tuples to the destination's outbox on the
+// calling lane's lock-free SPSC ring (single producer: the lane worker).
+// Same non-blocking, drop-with-counter contract as sendBatch.
+func (n *Node) sendBatchLane(laneID uint32, addr string, ts []Tuple) int {
+	t0 := time.Now()
+	o := n.outboxFor(addr)
+	accepted := 0
+	if o != nil {
+		accepted = o.enqueueLane(int(laneID), ts)
 	}
 	if d := int64(time.Since(t0)); d > n.sendMaxNanos.Load() {
 		n.sendMaxNanos.Store(d)
@@ -1090,11 +718,8 @@ func (n *Node) SetLinkFault(addr string, f LinkFault) {
 			o.breakConn()
 		}
 	}
-	n.mu.Lock()
-	nodeID := n.nodeIDLocked()
-	n.mu.Unlock()
 	ev, _, _ := n.observer()
-	ev.Emit(obs.LevelWarn, obs.EventLinkFault, "node", nodeID, "addr", addr,
+	ev.Emit(obs.LevelWarn, obs.EventLinkFault, "node", n.route.Load().nodeID(), "addr", addr,
 		"sever", f.Sever, "drop", f.Drop, "delayMs", f.Delay.Seconds()*1000)
 }
 
@@ -1107,39 +732,34 @@ func (n *Node) ClearLinkFault(addr string) {
 		delete(n.faults, addr)
 	}
 	n.faultsMu.Unlock()
-	n.mu.Lock()
-	nodeID := n.nodeIDLocked()
-	n.mu.Unlock()
 	ev, _, _ := n.observer()
-	ev.Emit(obs.LevelInfo, obs.EventLinkFault, "node", nodeID, "addr", addr, "clear", true)
+	ev.Emit(obs.LevelInfo, obs.EventLinkFault, "node", n.route.Load().nodeID(), "addr", addr, "clear", true)
 }
 
 // peerDown records a link failure. The relay-error warn event is latched
 // per destination so a flapping peer does not flood the log, and the latch
 // is re-armed by peerUp so each new failure episode stays visible.
 func (n *Node) peerDown(addr string, err error) {
-	n.mu.Lock()
+	n.warnMu.Lock()
 	warned := n.relayWarned[addr]
 	n.relayWarned[addr] = true
-	nodeID := n.nodeIDLocked()
-	n.mu.Unlock()
-	ev, _, _ := n.observer()
+	n.warnMu.Unlock()
 	if !warned {
+		ev, _, _ := n.observer()
 		ev.Emit(obs.LevelWarn, obs.EventRelayError,
-			"node", nodeID, "addr", addr, "err", err.Error())
+			"node", n.route.Load().nodeID(), "addr", addr, "err", err.Error())
 	}
 }
 
 // peerUp re-arms the relay-error latch after a successful (re)connection.
 func (n *Node) peerUp(addr string) {
-	n.mu.Lock()
+	n.warnMu.Lock()
 	warned := n.relayWarned[addr]
 	delete(n.relayWarned, addr)
-	nodeID := n.nodeIDLocked()
-	n.mu.Unlock()
-	ev, _, _ := n.observer()
+	n.warnMu.Unlock()
 	if warned {
-		ev.Emit(obs.LevelInfo, obs.EventPeerUp, "node", nodeID, "addr", addr)
+		ev, _, _ := n.observer()
+		ev.Emit(obs.LevelInfo, obs.EventPeerUp, "node", n.route.Load().nodeID(), "addr", addr)
 	}
 }
 
@@ -1155,405 +775,59 @@ func (n *Node) outboxSnapshots() []outboxStats {
 	return out
 }
 
-// controlRequest is one JSON control-plane message.
-type controlRequest struct {
-	Cmd      string         `json:"cmd"`
-	Spec     *NodeSpec      `json:"spec,omitempty"`
-	Op       *OpSpec        `json:"op,omitempty"`
-	OpID     *int           `json:"opId,omitempty"`
-	Routes   map[int][]Dest `json:"routes,omitempty"`
-	Part     *PartitionSpec `json:"part,omitempty"`
-	StallSec *float64       `json:"stallSec,omitempty"`
-	Fault    *FaultSpec     `json:"fault,omitempty"`
-}
-
-// FaultSpec is the control-plane fault-injection command: sever/drop/delay
-// an outbound link, clear faults, or kill the node outright (the process
-// answers OK, then closes — restart it externally to recover).
-type FaultSpec struct {
-	Addr    string  `json:"addr,omitempty"`
-	Sever   bool    `json:"sever,omitempty"`
-	Drop    bool    `json:"drop,omitempty"`
-	DelayMs float64 `json:"delayMs,omitempty"`
-	Clear   bool    `json:"clear,omitempty"`
-	Kill    bool    `json:"kill,omitempty"`
-}
-
-// ControlResponse answers a control request.
-type ControlResponse struct {
-	OK    bool       `json:"ok"`
-	Err   string     `json:"err,omitempty"`
-	Stats *NodeStats `json:"stats,omitempty"`
-}
-
-// NodeStats is the metrics snapshot the control plane reports.
-type NodeStats struct {
-	NodeID      int     `json:"nodeId"`
-	Utilization float64 `json:"utilization"`
-	QueueLen    int     `json:"queueLen"`
-	Injected    int64   `json:"injected"`
-	Emitted     int64   `json:"emitted"`
-	ElapsedSec  float64 `json:"elapsedSec"`
-
-	// WorkerInFlight counts tuples the worker has dequeued but not yet
-	// finished processing and routing: admitted work that QueueLen no
-	// longer covers (a costly batch can hold it for hundreds of ms).
-	WorkerInFlight int64 `json:"workerInFlight,omitempty"`
-
-	// Load-shedding accounting: tuples refused (or evicted from) the
-	// bounded ingress queue, total and per stream.
-	Shed         int64         `json:"shed,omitempty"`
-	ShedByStream map[int]int64 `json:"shedByStream,omitempty"`
-
-	// DroppedNoRoute counts inbound tuples discarded because their stream
-	// had neither a local subscription nor a relay route (a routing gap —
-	// each affected stream also emits one no_route warn event).
-	DroppedNoRoute int64 `json:"droppedNoRoute,omitempty"`
-
-	// PartCounts reports, per keyed stream, the cumulative tuples routed
-	// through each partition slot. Only a splitter's home accumulates
-	// counts (every keyed tuple crosses it exactly once), so summing over
-	// nodes never double-counts.
-	PartCounts map[int][]int64 `json:"partCounts,omitempty"`
-
-	// Outbox accounting summed over peers: enqueued == sent + dropped +
-	// pending at quiescence. Reconnects counts links re-established after
-	// a failure; SendMaxMs is the worst wall time one send() spent handing
-	// a tuple to an outbox (the non-blocking-worker-path guarantee).
-	OutboxEnqueued int64   `json:"outboxEnqueued,omitempty"`
-	OutboxSent     int64   `json:"outboxSent,omitempty"`
-	OutboxDropped  int64   `json:"outboxDropped,omitempty"`
-	OutboxPending  int64   `json:"outboxPending,omitempty"`
-	PeerReconnects int64   `json:"peerReconnects,omitempty"`
-	SendMaxMs      float64 `json:"sendMaxMs,omitempty"`
-
-	// Per-operator measured cost and selectivity (the Section 7.1 trial-run
-	// statistics used to build load models).
-	OpCost map[int]float64 `json:"opCost,omitempty"`
-	OpSel  map[int]float64 `json:"opSel,omitempty"`
-}
-
-func (n *Node) serveControl(br *bufio.Reader, conn net.Conn) {
-	enc := json.NewEncoder(conn)
-	dec := json.NewDecoder(br)
-	for {
-		var req controlRequest
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		resp := n.handleControl(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-func (n *Node) handleControl(req *controlRequest) *ControlResponse {
-	switch req.Cmd {
-	case "deploy":
-		if req.Spec == nil {
-			return &ControlResponse{Err: "deploy without spec"}
-		}
-		if err := n.deploy(req.Spec); err != nil {
-			return &ControlResponse{Err: err.Error()}
-		}
-		return &ControlResponse{OK: true}
-	case "start":
-		n.mu.Lock()
-		n.started = true
-		n.startT = time.Now()
-		n.busy = 0
-		n.injected, n.emitted = 0, 0
-		n.mu.Unlock()
-		return &ControlResponse{OK: true}
-	case "stats":
-		return &ControlResponse{OK: true, Stats: n.Stats()}
-	case "addop":
-		if req.Op == nil {
-			return &ControlResponse{Err: "addop without op"}
-		}
-		n.addOp(req.Op, req.Routes)
-		return &ControlResponse{OK: true}
-	case "removeop":
-		if req.OpID == nil {
-			return &ControlResponse{Err: "removeop without opId"}
-		}
-		if err := n.removeOp(*req.OpID, req.Routes); err != nil {
-			return &ControlResponse{Err: err.Error()}
-		}
-		return &ControlResponse{OK: true}
-	case "repart":
-		if req.Part == nil {
-			return &ControlResponse{Err: "repart without partition spec"}
-		}
-		if err := n.repart(req.Part); err != nil {
-			return &ControlResponse{Err: err.Error()}
-		}
-		return &ControlResponse{OK: true}
-	case "stall":
-		if req.StallSec == nil || *req.StallSec < 0 {
-			return &ControlResponse{Err: "stall needs a non-negative duration"}
-		}
-		n.stall(*req.StallSec)
-		return &ControlResponse{OK: true}
-	case "fault":
-		if req.Fault == nil {
-			return &ControlResponse{Err: "fault without spec"}
-		}
-		switch f := req.Fault; {
-		case f.Kill:
-			// Answer first, then die: the brief delay lets the OK response
-			// flush before the listener and connections are torn down.
-			go func() {
-				time.Sleep(20 * time.Millisecond)
-				n.Close()
-			}()
-		case f.Clear:
-			n.ClearLinkFault(f.Addr)
-		default:
-			if f.Addr == "" {
-				return &ControlResponse{Err: "fault needs an addr (or clear/kill)"}
-			}
-			n.SetLinkFault(f.Addr, LinkFault{
-				Sever: f.Sever,
-				Drop:  f.Drop,
-				Delay: time.Duration(f.DelayMs * float64(time.Millisecond)),
-			})
-		}
-		return &ControlResponse{OK: true}
-	case "stop":
-		n.mu.Lock()
-		n.started = false
-		n.mu.Unlock()
-		return &ControlResponse{OK: true}
-	default:
-		return &ControlResponse{Err: fmt.Sprintf("unknown command %q", req.Cmd)}
-	}
-}
-
-func (n *Node) deploy(spec *NodeSpec) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.started {
-		return errors.New("engine: cannot deploy while started")
-	}
-	n.spec = spec
-	n.ops = map[int]*liveOp{}
-	n.subs = map[int][]int{}
-	n.fwd = map[int][]Dest{}
-	n.relays = map[int][]Dest{}
-	n.parts = map[int]*partTable{}
-	n.xfer = map[int]float64{}
-	for i := range spec.Parts {
-		n.parts[spec.Parts[i].Stream] = newPartTable(&spec.Parts[i])
-	}
-	for _, os := range spec.Ops {
-		lo := &liveOp{spec: os, sideOf: map[int]int{}}
-		for i, in := range os.Inputs {
-			if i < 2 {
-				lo.sideOf[in] = i
-			}
-		}
-		n.ops[os.ID] = lo
-	}
-	for sid, dests := range spec.Routes {
-		for _, d := range dests {
-			if d.Local {
-				n.subs[sid] = append(n.subs[sid], d.LocalOp)
-			} else {
-				n.fwd[sid] = append(n.fwd[sid], d)
-			}
-		}
-	}
-	for sid, x := range spec.XferCost {
-		n.xfer[sid] = x
-	}
-	return nil
-}
-
-// addOp installs one operator at runtime and merges the supplied routes
-// (local subscriptions and forwards), deduplicating existing entries.
-func (n *Node) addOp(spec *OpSpec, routes map[int][]Dest) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	lo := &liveOp{spec: *spec, sideOf: map[int]int{}}
-	for i, in := range spec.Inputs {
-		if i < 2 {
-			lo.sideOf[in] = i
-		}
-	}
-	n.ops[spec.ID] = lo
-	n.mergeRoutesLocked(routes)
-}
-
-// removeOp uninstalls one operator: its local subscriptions disappear and
-// the given relay routes take over its input streams (forwarding in-flight
-// and future tuples toward the new home).
-func (n *Node) removeOp(id int, relay map[int][]Dest) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.ops[id]; !ok {
-		return fmt.Errorf("engine: operator %d not deployed here", id)
-	}
-	delete(n.ops, id)
-	for sid, subs := range n.subs {
-		kept := subs[:0]
-		for _, op := range subs {
-			if op != id {
-				kept = append(kept, op)
-			}
-		}
-		n.subs[sid] = kept
-	}
-	// Tuples on the removed operator's input streams now relay to its new
-	// home — both tuples arriving from the network (relays, kept separate
-	// from producer forwards so they never loop: a relay target consumes
-	// locally and installs no relay of its own) and tuples produced by
-	// co-located upstream operators (fwd).
-	for sid, dests := range relay {
-		for _, d := range dests {
-			if d.Local {
-				continue
-			}
-			if !hasDest(n.relays[sid], d.Addr) {
-				n.relays[sid] = append(n.relays[sid], d)
-			}
-			if !hasDest(n.fwd[sid], d.Addr) {
-				n.fwd[sid] = append(n.fwd[sid], d)
-			}
-			// A migrating shard replica: repoint its shard slot at the new
-			// home and record the per-op relay, so keyed tuples — queued,
-			// in-flight, or arriving from peers with stale tables — follow
-			// it. (The blanket relays/fwd entries above are inert for
-			// partitioned streams, whose routing bypasses those maps.)
-			if pt := n.parts[sid]; pt != nil {
-				for i, opID := range pt.ops {
-					if opID == id && pt.shards[i].Local && pt.shards[i].LocalOp == id {
-						pt.shards[i] = Dest{Addr: d.Addr}
-					}
-				}
-				pt.relay[id] = d.Addr
-			}
-		}
-	}
-	return nil
-}
-
-// repart installs or replaces the keyed routing table of one sharded
-// stream at runtime (slot reassignment, or a post-migration table push).
-// Per-slot counters survive the swap so observed slot rates keep
-// accumulating; relay entries for replicas the new table marks local
-// again are retired.
-func (n *Node) repart(ps *PartitionSpec) error {
-	if ps.K < 1 || len(ps.Shards) != ps.K || len(ps.Ops) != ps.K {
-		return fmt.Errorf("engine: repart stream %d: malformed table (k=%d, %d shards, %d ops)",
-			ps.Stream, ps.K, len(ps.Shards), len(ps.Ops))
-	}
-	for _, s := range ps.Slots {
-		if s < 0 || s >= ps.K {
-			return fmt.Errorf("engine: repart stream %d: slot shard %d outside [0,%d)", ps.Stream, s, ps.K)
-		}
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	pt := n.parts[ps.Stream]
-	if pt == nil {
-		n.parts[ps.Stream] = newPartTable(ps)
-		return nil
-	}
-	pt.parent = ps.Parent
-	pt.k = ps.K
-	pt.slots = append(pt.slots[:0], ps.Slots...)
-	pt.shards = append(pt.shards[:0], ps.Shards...)
-	pt.ops = append(pt.ops[:0], ps.Ops...)
-	if len(pt.counts) != len(pt.slots) {
-		pt.counts = make([]int64, len(pt.slots))
-	}
-	for i, d := range pt.shards {
-		if d.Local {
-			delete(pt.relay, pt.ops[i])
-		}
-	}
-	return nil
-}
-
-func hasDest(dests []Dest, addr string) bool {
-	for _, d := range dests {
-		if !d.Local && d.Addr == addr {
-			return true
-		}
-	}
-	return false
-}
-
-// mergeRoutesLocked merges route entries, skipping exact duplicates.
-func (n *Node) mergeRoutesLocked(routes map[int][]Dest) {
-	for sid, dests := range routes {
-		for _, d := range dests {
-			if d.Local {
-				dup := false
-				for _, existing := range n.subs[sid] {
-					if existing == d.LocalOp {
-						dup = true
-					}
-				}
-				if !dup {
-					n.subs[sid] = append(n.subs[sid], d.LocalOp)
-				}
-			} else {
-				dup := false
-				for _, existing := range n.fwd[sid] {
-					if existing.Addr == d.Addr {
-						dup = true
-					}
-				}
-				if !dup {
-					n.fwd[sid] = append(n.fwd[sid], d)
-				}
-			}
-		}
-	}
-}
-
-// stall charges the virtual CPU with a state-transfer pause by enqueueing
-// an overhead work item of the given wall-clock duration.
-func (n *Node) stall(sec float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closing {
-		return
-	}
-	n.queue = append(n.queue, Tuple{Stream: stallStream, Value: sec * n.capacity})
-	n.qcond.Signal()
-}
-
-// stallStream is the reserved stream id carrying stall work items.
-const stallStream int32 = -1
-
-// Stats snapshots the node's metrics.
+// Stats snapshots the node's metrics. Counters come from atomics and the
+// immutable route snapshot; the only locks taken are the per-lane queue
+// mutexes (each held for a few loads), so a high-rate stats poller never
+// stalls ingress or the control plane.
 func (n *Node) Stats() *NodeStats {
-	n.mu.Lock()
+	rs := n.route.Load()
 	s := &NodeStats{
-		QueueLen:       len(n.queue) - n.qhead,
-		WorkerInFlight: int64(n.inRun),
-		Injected:       n.injected,
-		Emitted:        n.emitted,
-		Shed:           n.shedTotal,
-		DroppedNoRoute: n.droppedNoRoute,
+		NodeID:         rs.nodeID(),
+		Injected:       n.injected.Load(),
+		Emitted:        n.emitted.Load(),
+		DroppedNoRoute: n.dropNoRt.Load(),
 		SendMaxMs:      float64(n.sendMaxNanos.Load()) / float64(time.Millisecond),
 		OpCost:         map[int]float64{},
 		OpSel:          map[int]float64{},
+		Workers:        int(n.workers),
 	}
-	if len(n.shedByStream) > 0 {
-		s.ShedByStream = make(map[int]int64, len(n.shedByStream))
-		for sid, v := range n.shedByStream {
-			s.ShedByStream[int(sid)] = v
+	if s.NodeID < 0 {
+		s.NodeID = 0
+	}
+	multi := n.workers > 1
+	var shedBy map[int]int64
+	for _, l := range n.lanes {
+		l.mu.Lock()
+		q := l.qlenLocked()
+		ir := l.inRun
+		if len(l.shedByStream) > 0 {
+			if shedBy == nil {
+				shedBy = map[int]int64{}
+			}
+			for sid, v := range l.shedByStream {
+				shedBy[int(sid)] += v
+			}
+		}
+		l.mu.Unlock()
+		s.QueueLen += q
+		s.WorkerInFlight += int64(ir)
+		s.Shed += l.shed.Load()
+		if multi {
+			s.Lanes = append(s.Lanes, LaneStats{
+				Lane:      int(l.id),
+				Queue:     q,
+				InFlight:  ir,
+				Processed: l.processed.Load(),
+				Shed:      l.shed.Load(),
+				BusySec:   float64(l.busy.Load()) / float64(time.Second),
+			})
 		}
 	}
-	for sid, pt := range n.parts {
+	s.ShedByStream = shedBy
+	for sid, pt := range rs.parts {
 		routed := false
-		for _, c := range pt.counts {
-			if c > 0 {
+		for i := range pt.counts {
+			if atomic.LoadInt64(&pt.counts[i]) > 0 {
 				routed = true
 				break
 			}
@@ -1564,22 +838,23 @@ func (n *Node) Stats() *NodeStats {
 		if s.PartCounts == nil {
 			s.PartCounts = map[int][]int64{}
 		}
-		s.PartCounts[sid] = append([]int64(nil), pt.counts...)
+		counts := make([]int64, len(pt.counts))
+		for i := range pt.counts {
+			counts[i] = atomic.LoadInt64(&pt.counts[i])
+		}
+		s.PartCounts[sid] = counts
 	}
-	if n.spec != nil {
-		s.NodeID = n.spec.NodeID
-	}
-	if n.started {
-		elapsed := time.Since(n.startT)
+	if n.started.Load() {
+		elapsed := time.Duration(time.Now().UnixNano() - n.startNano.Load())
 		s.ElapsedSec = elapsed.Seconds()
 		if elapsed > 0 {
-			s.Utilization = float64(n.busy) / float64(elapsed)
+			s.Utilization = float64(n.busy.Load()) / float64(elapsed)
 			if s.Utilization > 1 {
 				s.Utilization = 1
 			}
 		}
 	}
-	for id := range n.ops {
+	for id := range rs.ops {
 		if c, ok := n.estimator.Cost(id); ok {
 			s.OpCost[id] = c
 		}
@@ -1587,7 +862,6 @@ func (n *Node) Stats() *NodeStats {
 			s.OpSel[id] = sel
 		}
 	}
-	n.mu.Unlock()
 	for _, o := range n.outboxSnapshots() {
 		s.OutboxEnqueued += o.Enqueued
 		s.OutboxSent += o.Sent

@@ -12,21 +12,23 @@ import (
 	"rodsp/internal/obs"
 )
 
-// Per-peer outbox: every remote destination gets its own goroutine fed by a
-// bounded, mutex-guarded ring of tuples, so one dead or slow peer can never
-// head-of-line-block the worker. Both sides of the ring are batch-amortized:
-// enqueueBatch copies a whole run under one lock acquisition (the old
-// channel paid one channel operation per tuple), and the writer drains runs
-// of up to outboxBatchMax tuples per acquisition, shipping them as batch
-// frames. The outbox dials with exponential backoff plus jitter, drops with
-// a counter when the ring overflows or the link is down, and re-arms the
-// per-peer relay-error latch on recovery so repeated failures stay visible.
+// Per-peer outbox: every remote destination gets its own goroutine fed by
+// two kinds of buffer. The shared mutex ring serves multi-producer callers
+// (ingress relays, tests, legacy send()); each worker lane additionally
+// owns one lock-free SPSC ring to this peer, so the hot egress path never
+// takes a mutex. The writer gathers runs from the shared ring and every
+// lane ring per wakeup, encodes them into per-run buffers, and flushes the
+// whole gather with one vectored net.Buffers write. The outbox dials with
+// exponential backoff plus jitter, drops with a counter when a ring
+// overflows or the link is down, and re-arms the per-peer relay-error
+// latch on recovery so repeated failures stay visible.
 
 // errOutboxClosed signals an orderly shutdown of the writer loop.
 var errOutboxClosed = errors.New("engine: outbox closed")
 
-// outboxBatchMax bounds how many tuples one flush batch may carry, so a
-// saturated ring cannot delay the flush (and hence delivery) unboundedly.
+// outboxBatchMax bounds how many tuples one gather may take per source
+// ring, so a saturated ring cannot delay the flush (and hence delivery)
+// unboundedly.
 const outboxBatchMax = 512
 
 // LinkFault is an injected fault on the outbound link to one peer address:
@@ -41,13 +43,15 @@ type LinkFault struct {
 
 // outboxStats is a snapshot of one outbox's accounting. The invariant
 // enqueued == sent + dropped + pending holds at quiescence (Pending counts
-// both ring-buffered tuples and a drained-but-unflushed writer run).
+// ring-buffered tuples — shared and per-lane — plus a gathered-but-
+// unflushed writer run; mid-gather the split between ring and in-flight is
+// racy, which is why the ledger audits it only once the node is drained).
 type outboxStats struct {
 	Addr       string
-	Enqueued   int64 // tuples accepted into the ring
+	Enqueued   int64 // tuples accepted into a ring
 	Sent       int64 // tuples flushed to the socket
 	Dropped    int64 // overflow + fault-drop + lost-on-disconnect
-	Pending    int64 // still buffered (ring + writer in-flight)
+	Pending    int64 // still buffered (rings + writer in-flight)
 	Reconnects int64 // successful connections after a loss
 }
 
@@ -57,10 +61,12 @@ type outbox struct {
 	quit chan struct{}
 
 	mu     sync.Mutex
-	ring   []Tuple       // fixed capacity cfg.OutboxCap
+	ring   []Tuple       // fixed capacity cfg.OutboxCap (multi-producer path)
 	head   int           // index of the oldest buffered tuple
 	count  int           // buffered tuples
 	notify chan struct{} // capacity-1 writer wakeup
+
+	lanes []*spscRing // one SPSC ring per worker lane (lane-worker producers)
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -68,18 +74,34 @@ type outbox struct {
 	enqueued   atomic.Int64
 	sent       atomic.Int64
 	dropped    atomic.Int64
-	inflight   atomic.Int64 // drained from the ring, not yet flushed
+	inflight   atomic.Int64 // gathered from the rings, not yet flushed
 	reconnects atomic.Int64
+
+	// Writer-owned scratch: the gathered tuples, the boundaries between
+	// source runs within the gather, per-run encode buffers and the
+	// net.Buffers vector reused across flushes.
+	gather  []Tuple
+	segEnds []int
+	encBufs [][]byte
+	vbufs   net.Buffers
 }
 
 func newOutbox(n *Node, addr string) *outbox {
-	return &outbox{
-		node:   n,
-		addr:   addr,
-		ring:   make([]Tuple, n.cfg.OutboxCap),
-		notify: make(chan struct{}, 1),
-		quit:   make(chan struct{}),
+	w := int(n.workers)
+	o := &outbox{
+		node:    n,
+		addr:    addr,
+		ring:    make([]Tuple, n.cfg.OutboxCap),
+		notify:  make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		lanes:   make([]*spscRing, w),
+		encBufs: make([][]byte, w+1),
 	}
+	laneCap := (n.cfg.OutboxCap + w - 1) / w
+	for i := range o.lanes {
+		o.lanes[i] = newSPSCRing(laneCap)
+	}
+	return o
 }
 
 // enqueue offers one tuple without blocking; on overflow the tuple is
@@ -89,10 +111,10 @@ func (o *outbox) enqueue(t Tuple) bool {
 	return o.enqueueBatch(batch[:]) == 1
 }
 
-// enqueueBatch offers a run of tuples under a single lock acquisition,
-// accepting the longest prefix the ring has room for and dropping (with a
-// counter) the rest. It never blocks; the tuples are copied, so the caller
-// keeps ownership of ts.
+// enqueueBatch offers a run of tuples to the shared mutex ring under a
+// single lock acquisition, accepting the longest prefix the ring has room
+// for and dropping (with a counter) the rest. It never blocks; the tuples
+// are copied, so the caller keeps ownership of ts.
 func (o *outbox) enqueueBatch(ts []Tuple) int {
 	o.enqueued.Add(int64(len(ts)))
 	o.mu.Lock()
@@ -113,24 +135,47 @@ func (o *outbox) enqueueBatch(ts []Tuple) int {
 		o.dropped.Add(int64(len(ts) - k))
 	}
 	if k > 0 {
-		select {
-		case o.notify <- struct{}{}:
-		default:
-		}
+		o.wake()
 	}
 	return k
 }
 
-// drainInto moves up to max buffered tuples into dst (reusing its backing
-// array) under one lock acquisition, marking them in-flight for the stats
-// invariant. It returns the drained run.
-func (o *outbox) drainInto(dst []Tuple, max int) []Tuple {
+// enqueueLane offers a run of tuples on one lane's SPSC ring: no lock, a
+// couple of atomic loads and one atomic store. Same prefix-accept,
+// drop-with-counter contract as enqueueBatch. Must only be called from
+// that lane's worker goroutine (single producer).
+func (o *outbox) enqueueLane(lane int, ts []Tuple) int {
+	o.enqueued.Add(int64(len(ts)))
+	k := o.lanes[lane].push(ts)
+	if k < len(ts) {
+		o.dropped.Add(int64(len(ts) - k))
+	}
+	if k > 0 {
+		o.wake()
+	}
+	return k
+}
+
+func (o *outbox) wake() {
+	select {
+	case o.notify <- struct{}{}:
+	default:
+	}
+}
+
+// gatherRuns drains one run from the shared ring and one from every lane
+// ring (each bounded by outboxBatchMax) into the writer's gather buffer,
+// recording the boundary after each source so the flush can keep the runs
+// as separate writev segments. The total is marked in-flight for the
+// stats invariant.
+func (o *outbox) gatherRuns() []Tuple {
+	dst := o.gather[:0]
+	o.segEnds = o.segEnds[:0]
 	o.mu.Lock()
 	k := o.count
-	if k > max {
-		k = max
+	if k > outboxBatchMax {
+		k = outboxBatchMax
 	}
-	dst = dst[:0]
 	for i := 0; i < k; i++ {
 		dst = append(dst, o.ring[(o.head+i)%len(o.ring)])
 	}
@@ -138,6 +183,13 @@ func (o *outbox) drainInto(dst []Tuple, max int) []Tuple {
 	o.count -= k
 	o.inflight.Store(int64(k))
 	o.mu.Unlock()
+	o.segEnds = append(o.segEnds, len(dst))
+	for _, r := range o.lanes {
+		dst = r.drainInto(dst, outboxBatchMax)
+		o.segEnds = append(o.segEnds, len(dst))
+		o.inflight.Store(int64(len(dst)))
+	}
+	o.gather = dst
 	return dst
 }
 
@@ -145,6 +197,9 @@ func (o *outbox) stats() outboxStats {
 	o.mu.Lock()
 	pending := int64(o.count)
 	o.mu.Unlock()
+	for _, r := range o.lanes {
+		pending += int64(r.size())
+	}
 	return outboxStats{
 		Addr:       o.addr,
 		Enqueued:   o.enqueued.Load(),
@@ -181,13 +236,12 @@ func (o *outbox) dial() (net.Conn, error) {
 	return net.DialTimeout("tcp", o.addr, o.node.cfg.DialTimeout)
 }
 
-// run is the outbox goroutine: connect (with backoff), drain the ring,
+// run is the outbox goroutine: connect (with backoff), drain the rings,
 // reconnect on failure, until quit.
 func (o *outbox) run() {
 	defer o.node.wg.Done()
 	attempt := 0
 	connected := false
-	scratch := make([]Tuple, 0, outboxBatchMax)
 	for {
 		conn, err := o.dial()
 		if err != nil {
@@ -209,7 +263,7 @@ func (o *outbox) run() {
 		connected = true
 		o.setConn(conn)
 		o.node.peerUp(o.addr)
-		err = o.writeLoop(conn, scratch)
+		err = o.writeLoop(conn)
 		o.setConn(nil)
 		conn.Close()
 		if errors.Is(err, errOutboxClosed) {
@@ -220,15 +274,21 @@ func (o *outbox) run() {
 }
 
 // writeLoop ships tuples over one connection until it fails or quit fires.
-// Each iteration drains one run from the ring (bounded by outboxBatchMax)
-// under a single lock acquisition, writes it — as one batch frame when the
-// node's BatchMax allows, as legacy single frames otherwise — and flushes
-// under a write deadline so a stalled peer surfaces as an error instead of
+// Each iteration gathers one run from every source ring and flushes the
+// gather with a single vectored write (one net.Buffers WriteTo) under a
+// write deadline, so a stalled peer surfaces as an error instead of
 // blocking shutdown. Drop accounting stays per tuple: a fault-dropped or
-// write-failed run counts each of its tuples.
-func (o *outbox) writeLoop(conn net.Conn, scratch []Tuple) error {
+// write-failed gather counts each of its tuples.
+func (o *outbox) writeLoop(conn net.Conn) error {
 	tw, err := NewTupleWriter(conn)
 	if err != nil {
+		return err
+	}
+	// Flush the connection preamble now: subsequent batched flushes write
+	// straight to the socket (vectored), bypassing the TupleWriter's
+	// buffer, so nothing may linger in it.
+	conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+	if err := tw.Flush(); err != nil {
 		return err
 	}
 	for {
@@ -237,7 +297,7 @@ func (o *outbox) writeLoop(conn net.Conn, scratch []Tuple) error {
 			// Best-effort final drain of whatever is already buffered.
 			f := o.node.linkFault(o.addr)
 			for {
-				run := o.drainInto(scratch, outboxBatchMax)
+				run := o.gatherRuns()
 				if len(run) == 0 {
 					return errOutboxClosed
 				}
@@ -249,7 +309,7 @@ func (o *outbox) writeLoop(conn net.Conn, scratch []Tuple) error {
 		case <-o.notify:
 		}
 		for {
-			run := o.drainInto(scratch, outboxBatchMax)
+			run := o.gatherRuns()
 			if len(run) == 0 {
 				break
 			}
@@ -261,13 +321,15 @@ func (o *outbox) writeLoop(conn net.Conn, scratch []Tuple) error {
 	}
 }
 
-// ship writes and flushes one drained run, honoring an injected fault, and
-// settles the run's accounting (sent on success, dropped on fault or
-// failure; in-flight is cleared either way).
+// ship writes and flushes one gathered run, honoring an injected fault,
+// and settles the run's accounting (sent on success, dropped on fault or
+// failure; in-flight is cleared either way). In batch mode each source run
+// is encoded into its own reusable buffer and the whole gather goes out as
+// one vectored write; BatchMax == 1 keeps the legacy per-tuple frame path.
 func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault) error {
-	n := int64(len(run))
+	total := int64(len(run))
 	if f != nil && f.Drop {
-		o.dropped.Add(n)
+		o.dropped.Add(total)
 		o.inflight.Store(0)
 		return nil
 	}
@@ -297,44 +359,72 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 	}
 	var err error
 	if o.node.cfg.BatchMax > 1 {
-		err = tw.SendBatch(run)
+		bufs := o.vbufs[:0]
+		prev := 0
+		for si, end := range o.segEnds {
+			seg := run[prev:end]
+			prev = end
+			if len(seg) == 0 {
+				continue
+			}
+			o.encBufs[si] = appendFrames(o.encBufs[si][:0], seg)
+			bufs = append(bufs, o.encBufs[si])
+		}
+		o.vbufs = bufs // WriteTo consumes its receiver; keep the backing array
+		if len(bufs) > 0 {
+			if f != nil && f.Delay > 0 {
+				select {
+				case <-o.quit:
+				case <-time.After(f.Delay):
+				}
+			}
+			conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+			_, err = bufs.WriteTo(conn)
+		}
 	} else {
 		for _, t := range run {
 			if err = tw.Send(t); err != nil {
 				break
 			}
 		}
-	}
-	if err == nil {
-		if f != nil && f.Delay > 0 {
-			select {
-			case <-o.quit:
-			case <-time.After(f.Delay):
+		if err == nil {
+			if f != nil && f.Delay > 0 {
+				select {
+				case <-o.quit:
+				case <-time.After(f.Delay):
+				}
 			}
+			conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+			err = tw.Flush()
 		}
-		conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
-		err = tw.Flush()
 	}
 	if err != nil {
-		o.dropped.Add(n)
+		o.dropped.Add(total)
 		o.inflight.Store(0)
 		return err
 	}
-	o.sent.Add(n)
+	o.sent.Add(total)
 	o.inflight.Store(0)
 	return nil
 }
 
 // dropRemaining counts everything still buffered as dropped (shutdown or
-// terminal link failure with no connection to drain into).
+// terminal link failure with no connection to drain into). The SPSC rings
+// are swept consumer-side; callers must guarantee the writer goroutine is
+// not concurrently gathering (it is the writer itself, or Node.Close after
+// every goroutine has stopped).
 func (o *outbox) dropRemaining() {
 	o.mu.Lock()
-	k := o.count
+	k := int64(o.count)
 	o.head = 0
 	o.count = 0
 	o.mu.Unlock()
+	for _, r := range o.lanes {
+		k += int64(r.discard())
+	}
+	k += o.inflight.Swap(0)
 	if k > 0 {
-		o.dropped.Add(int64(k))
+		o.dropped.Add(k)
 	}
 }
 

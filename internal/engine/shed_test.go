@@ -39,13 +39,16 @@ func startShedNode(t *testing.T, ingressCap int, policy ShedPolicy, stallSec flo
 	return n, ev
 }
 
-// queueSeqs snapshots the Seq values currently queued.
+// queueSeqs snapshots the Seq values currently queued, lane by lane (the
+// shed tests run single-lane, so lane order is irrelevant).
 func queueSeqs(n *Node) []int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]int64, 0, len(n.queue)-n.qhead)
-	for _, t := range n.queue[n.qhead:] {
-		out = append(out, t.Seq)
+	var out []int64
+	for _, l := range n.lanes {
+		l.mu.Lock()
+		for _, t := range l.queue[l.qhead:] {
+			out = append(out, t.Seq)
+		}
+		l.mu.Unlock()
 	}
 	return out
 }

@@ -1,0 +1,96 @@
+package engine
+
+import "sync/atomic"
+
+// spscRing is a bounded single-producer/single-consumer tuple ring: one
+// worker lane enqueues (push), one outbox writer dequeues (drainInto), and
+// neither side ever takes a lock. Progress is communicated through two
+// monotonically increasing positions:
+//
+//	tail — written only by the producer, read by the consumer
+//	head — written only by the consumer, read by the producer
+//
+// The occupied region is buf[head&mask : tail&mask) (positions are free
+// running; the buffer index is position & mask, capacity a power of two).
+//
+// Memory-ordering argument: Go's sync/atomic operations are sequentially
+// consistent, which gives the two release/acquire edges this ring needs.
+// The producer writes the tuple slots *before* publishing them with
+// tail.Store (release); the consumer's tail.Load (acquire) therefore
+// observes fully written tuples for every position < tail. Symmetrically,
+// the consumer finishes reading slots *before* retiring them with
+// head.Store (release); the producer's head.Load (acquire) therefore only
+// reuses a slot after the consumer's reads of it completed. Each slot is
+// touched by exactly one side between the two fences, so there is no data
+// race for the race detector to find — and no mutex on the hot enqueue
+// path. The pads keep head and tail on separate cache lines so the two
+// sides do not false-share.
+type spscRing struct {
+	buf  []Tuple
+	mask uint64
+
+	_    [64]byte
+	head atomic.Uint64 // consumer position (oldest unconsumed)
+	_    [64]byte
+	tail atomic.Uint64 // producer position (next free)
+	_    [64]byte
+}
+
+// newSPSCRing returns a ring holding at least capacity tuples (rounded up
+// to a power of two, minimum 64).
+func newSPSCRing(capacity int) *spscRing {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]Tuple, n), mask: uint64(n - 1)}
+}
+
+// push copies the longest prefix of ts the ring has room for and returns
+// how many tuples were accepted; the caller counts the rest as dropped.
+// Producer side only — never blocks, never locks.
+func (r *spscRing) push(ts []Tuple) int {
+	tail := r.tail.Load() // own store; plain value, atomic for the detector
+	head := r.head.Load() // acquire: slots below head are reusable
+	free := len(r.buf) - int(tail-head)
+	k := free
+	if k > len(ts) {
+		k = len(ts)
+	}
+	for i := 0; i < k; i++ {
+		r.buf[(tail+uint64(i))&r.mask] = ts[i]
+	}
+	r.tail.Store(tail + uint64(k)) // release: publish the slots
+	return k
+}
+
+// drainInto appends up to max buffered tuples to dst (reusing its backing
+// array) and retires them. Consumer side only.
+func (r *spscRing) drainInto(dst []Tuple, max int) []Tuple {
+	tail := r.tail.Load() // acquire: slots below tail are readable
+	head := r.head.Load()
+	k := int(tail - head)
+	if k > max {
+		k = max
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, r.buf[(head+uint64(i))&r.mask])
+	}
+	r.head.Store(head + uint64(k)) // release: slots are reusable
+	return dst
+}
+
+// size reports the buffered tuple count (racy snapshot; exact once both
+// sides are quiescent, which is when the stats invariant is audited).
+func (r *spscRing) size() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// discard retires everything buffered and returns the count. Consumer side
+// only (shutdown sweep once the producer has stopped).
+func (r *spscRing) discard() int {
+	tail := r.tail.Load()
+	head := r.head.Load()
+	r.head.Store(tail)
+	return int(tail - head)
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// Wraparound FIFO: push many more tuples than the ring holds in ragged
+// runs, draining with ragged limits, and require every tuple to come out
+// exactly once in push order. The head/tail positions are free-running, so
+// this exercises the index-mask wraparound dozens of times on a 64-slot
+// ring.
+func TestSPSCWraparoundFIFO(t *testing.T) {
+	r := newSPSCRing(1) // rounds up to the 64-slot minimum
+	if len(r.buf) != 64 {
+		t.Fatalf("capacity = %d, want 64 (minimum)", len(r.buf))
+	}
+	const total = 10000
+	var pushed, drained int64
+	batch := make([]Tuple, 0, 16)
+	scratch := make([]Tuple, 0, 64)
+	for drained < total {
+		// Offer a ragged batch (retrying any rejected suffix next round).
+		batch = batch[:0]
+		k := int(pushed%13) + 1
+		for i := 0; i < k && pushed+int64(i) < total; i++ {
+			batch = append(batch, Tuple{Stream: 1, Seq: pushed + int64(i)})
+		}
+		pushed += int64(r.push(batch))
+		// Drain with a ragged limit and check the FIFO sequence.
+		scratch = r.drainInto(scratch[:0], int(drained%17)+1)
+		for _, tp := range scratch {
+			if tp.Seq != drained {
+				t.Fatalf("drained seq %d, want %d (FIFO broken)", tp.Seq, drained)
+			}
+			drained++
+		}
+	}
+	if pushed != total || r.size() != 0 {
+		t.Fatalf("pushed %d drained %d size %d, want %d/%d/0", pushed, drained, r.size(), total, total)
+	}
+}
+
+// Full-ring accounting: push accepts exactly the free space as a prefix of
+// the offered batch and reports the count, so the caller's
+// accepted+rejected arithmetic (the outbox drop counter) is exact. After a
+// partial drain, exactly the freed slots are accepted again.
+func TestSPSCFullRingDropAccounting(t *testing.T) {
+	r := newSPSCRing(64)
+	capN := len(r.buf)
+	offer := make([]Tuple, capN+50)
+	for i := range offer {
+		offer[i] = Tuple{Stream: 1, Seq: int64(i)}
+	}
+	accepted := r.push(offer)
+	if accepted != capN {
+		t.Fatalf("accepted %d of %d, want exactly the capacity %d", accepted, len(offer), capN)
+	}
+	if got := r.push(offer[accepted:]); got != 0 {
+		t.Fatalf("full ring accepted %d more, want 0", got)
+	}
+	if r.size() != capN {
+		t.Fatalf("size = %d, want %d", r.size(), capN)
+	}
+	// Free 10 slots; exactly 10 of the rejected suffix fit, in order.
+	got := r.drainInto(nil, 10)
+	for i, tp := range got {
+		if tp.Seq != int64(i) {
+			t.Fatalf("drained[%d].Seq = %d, want %d", i, tp.Seq, i)
+		}
+	}
+	if n := r.push(offer[accepted:]); n != 10 {
+		t.Fatalf("after freeing 10 slots push accepted %d, want 10", n)
+	}
+	// Drain everything: the survivors must be the accepted prefix plus the
+	// retried suffix, still strictly in offer order.
+	rest := r.drainInto(nil, capN+1)
+	if len(rest) != capN {
+		t.Fatalf("drained %d, want %d", len(rest), capN)
+	}
+	for i, tp := range rest {
+		if want := int64(i + 10); tp.Seq != want {
+			t.Fatalf("drained[%d].Seq = %d, want %d", i, tp.Seq, want)
+		}
+	}
+	// discard retires whatever is left and reports the count (shutdown sweep).
+	r.push(offer[:7])
+	if got := r.discard(); got != 7 || r.size() != 0 {
+		t.Fatalf("discard = %d (size %d), want 7 (0)", got, r.size())
+	}
+}
+
+// Concurrent producer/consumer: one goroutine pushes (retrying rejected
+// suffixes), one drains, with no synchronization besides the ring itself.
+// Under -race this validates the memory-ordering argument in the type
+// comment: the consumer must only ever observe fully written tuples, in
+// FIFO order, each exactly once.
+func TestSPSCConcurrentProducerConsumer(t *testing.T) {
+	r := newSPSCRing(64)
+	const total = 200000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]Tuple, 0, 32)
+		next := int64(0)
+		for next < total {
+			batch = batch[:0]
+			for i := 0; i < 32 && next+int64(i) < total; i++ {
+				batch = append(batch, Tuple{Stream: 7, Seq: next + int64(i), Key: uint64(next + int64(i))})
+			}
+			next += int64(r.push(batch)) // rejected suffix is retried
+		}
+	}()
+	scratch := make([]Tuple, 0, 64)
+	want := int64(0)
+	for want < total {
+		scratch = r.drainInto(scratch[:0], 64)
+		for _, tp := range scratch {
+			if tp.Seq != want || tp.Key != uint64(want) {
+				t.Fatalf("got seq %d key %d, want %d (lost/duplicated/torn tuple)", tp.Seq, tp.Key, want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if r.size() != 0 {
+		t.Fatalf("ring size = %d after full drain, want 0", r.size())
+	}
+}

@@ -232,6 +232,21 @@ func (tw *TupleWriter) Send(t Tuple) error { return WriteTuple(tw.bw, t) }
 // frame cannot carry it. The encode buffer is reused across calls, so the
 // steady-state path allocates nothing.
 func (tw *TupleWriter) SendBatch(ts []Tuple) error {
+	tw.enc = appendFrames(tw.enc[:0], ts)
+	if len(tw.enc) == 0 {
+		return nil
+	}
+	_, err := tw.bw.Write(tw.enc)
+	return err
+}
+
+// appendFrames appends the wire encoding of ts to dst and returns the
+// extended buffer, emitting exactly the frames SendBatch would: a single
+// untraced, unkeyed tuple goes out as a legacy 28-byte frame; anything
+// else as versioned batch frames split at MaxBatchWire, upgraded to the
+// traced/keyed record shapes when any tuple in the run needs them. Shared
+// by the buffered TupleWriter path and the outbox's vectored flush.
+func appendFrames(dst []byte, ts []Tuple) []byte {
 	traced, keyed := false, false
 	for i := range ts {
 		if ts[i].Flags != 0 {
@@ -245,25 +260,26 @@ func (tw *TupleWriter) SendBatch(ts []Tuple) error {
 		}
 	}
 	for len(ts) > MaxBatchWire {
-		if err := tw.sendBatchFrame(ts[:MaxBatchWire], traced, keyed); err != nil {
-			return err
-		}
+		dst = appendBatchFrame(dst, ts[:MaxBatchWire], traced, keyed)
 		ts = ts[MaxBatchWire:]
 	}
 	switch len(ts) {
 	case 0:
-		return nil
+		return dst
 	case 1:
 		if traced || keyed {
-			return tw.sendBatchFrame(ts, traced, keyed)
+			return appendBatchFrame(dst, ts, traced, keyed)
 		}
-		return WriteTuple(tw.bw, ts[0])
+		n := len(dst)
+		dst = append(dst, make([]byte, tupleFrameSize)...)
+		encodeTuple(dst[n:], ts[0])
+		return dst
 	default:
-		return tw.sendBatchFrame(ts, traced, keyed)
+		return appendBatchFrame(dst, ts, traced, keyed)
 	}
 }
 
-func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced, keyed bool) error {
+func appendBatchFrame(dst []byte, ts []Tuple, traced, keyed bool) []byte {
 	rec, op := tupleFrameSize, opBatch
 	switch {
 	case traced && keyed:
@@ -273,11 +289,15 @@ func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced, keyed bool) error {
 	case keyed:
 		rec, op = keyedFrameSize, opKeyed
 	}
+	n := len(dst)
 	need := batchHeaderSize + len(ts)*rec
-	if cap(tw.enc) < need {
-		tw.enc = make([]byte, need)
+	if cap(dst)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, dst)
+		dst = grown
 	}
-	buf := tw.enc[:need]
+	dst = dst[:n+need]
+	buf := dst[n:]
 	buf[0] = op
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(ts)))
 	switch op {
@@ -298,8 +318,7 @@ func (tw *TupleWriter) sendBatchFrame(ts []Tuple, traced, keyed bool) error {
 			encodeTuple(buf[batchHeaderSize+i*rec:], t)
 		}
 	}
-	_, err := tw.bw.Write(buf)
-	return err
+	return dst
 }
 
 // Flush pushes buffered frames to the socket.

@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rodsp/internal/obs"
+	"rodsp/internal/stats"
+)
+
+// workerRun holds one lane worker's reusable per-run scratch: the drained
+// tuples, the per-stream consumer cache (resolved lazily from the immutable
+// route snapshot — no lock needed), emitted outputs, per-destination
+// forward groups, local re-entry buckets per lane, and the per-operator
+// estimator samples accumulated over the run. Reuse keeps the steady-state
+// dequeue path allocation-free.
+type workerRun struct {
+	tuples  []Tuple
+	outs    []Tuple
+	cons    []consEntry
+	tgts    []tgtEntry
+	fwds    []relayRun  // queued-before-migration tuples to relay onward
+	egress  []relayRun  // routeBatch per-destination remote groups
+	locals  [][]Tuple   // routeBatch per-lane local re-entry buckets
+	samples []runSample // per-(op, run) estimator aggregation
+}
+
+// runSample accumulates one operator's estimator sample over a whole run,
+// so the estimator mutex is taken once per (op, run) instead of per tuple
+// (stats.CostEstimator.Record is cumulative, so the aggregate is exact for
+// Cost and Selectivity).
+type runSample struct {
+	id  int
+	in  int64
+	out int64
+	cpu float64
+}
+
+func (r *workerRun) sample(id int, out int64, cpu float64) {
+	for i := range r.samples {
+		if r.samples[i].id == id {
+			r.samples[i].in++
+			r.samples[i].out += out
+			r.samples[i].cpu += cpu
+			return
+		}
+	}
+	r.samples = append(r.samples, runSample{id: id, in: 1, out: out, cpu: cpu})
+}
+
+func (r *workerRun) flushSamples(est *stats.CostEstimator) {
+	for i := range r.samples {
+		s := &r.samples[i]
+		est.Record(s.id, stats.OpSample{In: s.in, Out: s.out, CPU: s.cpu})
+	}
+	r.samples = r.samples[:0]
+}
+
+// tgtEntry caches the resolution of one targeted (keyed) delivery for the
+// current run: the addressed replica when it is still installed, or the
+// relay address of its new home when it migrated away mid-queue.
+type tgtEntry struct {
+	id    int32
+	op    *liveOp
+	relay string
+}
+
+// targetOf returns the cached resolution for a targeted tuple, resolving
+// it from the route snapshot (and the stream's partition-table relay map)
+// on a miss. The snapshot is immutable, so no lock is needed.
+func (r *workerRun) targetOf(rs *routeState, t *Tuple) *tgtEntry {
+	for i := range r.tgts {
+		if r.tgts[i].id == t.target {
+			return &r.tgts[i]
+		}
+	}
+	e := tgtEntry{id: t.target}
+	if op := rs.ops[int(t.target)-1]; op != nil {
+		e.op = op
+	} else if pt := rs.parts[int(t.Stream)]; pt != nil {
+		e.relay = pt.relay[int(t.target)-1]
+	}
+	r.tgts = append(r.tgts, e)
+	return &r.tgts[len(r.tgts)-1]
+}
+
+// fwdTo groups one tuple into the run's per-destination forward slices,
+// reusing backing arrays across runs.
+func (r *workerRun) fwdTo(addr string, t Tuple) {
+	i := 0
+	for ; i < len(r.fwds); i++ {
+		if r.fwds[i].addr == addr {
+			break
+		}
+	}
+	if i == len(r.fwds) {
+		if i < cap(r.fwds) {
+			r.fwds = r.fwds[:i+1]
+			r.fwds[i].addr = addr
+			r.fwds[i].ts = r.fwds[i].ts[:0]
+		} else {
+			r.fwds = append(r.fwds, relayRun{addr: addr})
+		}
+	}
+	r.fwds[i].ts = append(r.fwds[i].ts, t)
+}
+
+// consEntry caches one stream's local consumer operators for the current
+// run. liveOp pointers come from the immutable route snapshot; their
+// mutable state is guarded by the per-op mutex. When a stream's
+// subscriptions have all been removed (its operator migrated away between
+// admission and processing), relay carries the stream's relay routes so
+// the drained tuples follow the operator to its new home instead of
+// vanishing.
+type consEntry struct {
+	sid   int32
+	ops   []*liveOp
+	relay []Dest
+}
+
+// consumersOf returns the cached consumer set for sid, resolving it from
+// the route snapshot on a miss.
+func (r *workerRun) consumersOf(rs *routeState, sid int32) []*liveOp {
+	for i := range r.cons {
+		if r.cons[i].sid == sid {
+			return r.cons[i].ops
+		}
+	}
+	if len(r.cons) < cap(r.cons) {
+		r.cons = r.cons[:len(r.cons)+1]
+	} else {
+		r.cons = append(r.cons, consEntry{})
+	}
+	e := &r.cons[len(r.cons)-1]
+	e.sid = sid
+	e.ops = e.ops[:0]
+	for _, id := range rs.subs[int(sid)] {
+		if op := rs.ops[id]; op != nil {
+			e.ops = append(e.ops, op)
+		}
+	}
+	e.relay = e.relay[:0]
+	if len(e.ops) == 0 {
+		// The stream's consumer left after these tuples were admitted
+		// (operator migration). Snapshot the relay routes so the worker can
+		// forward the stranded tuples to the new home.
+		e.relay = append(e.relay, rs.relays[int(sid)]...)
+	}
+	return e.ops
+}
+
+// relayOf returns the relay routes snapshotted for sid (non-empty only
+// when the stream has no local consumers).
+func (r *workerRun) relayOf(sid int32) []Dest {
+	for i := range r.cons {
+		if r.cons[i].sid == sid {
+			return r.cons[i].relay
+		}
+	}
+	return nil
+}
+
+// laneWorker is one lane's share of the node's virtual CPU: it dequeues
+// tuples from its own lane queue, charges their processing cost against
+// the node-wide virtual-time accumulator (sleeping whenever virtual time
+// runs ahead of wall time), and routes outputs. The lane lock is taken
+// once per run of up to BatchMax tuples; all routing state comes from one
+// atomic snapshot load per run.
+func (n *Node) laneWorker(l *lane) {
+	defer n.wg.Done()
+	run := workerRun{locals: make([][]Tuple, n.workers)}
+	for {
+		l.mu.Lock()
+		for l.qlenLocked() == 0 && !n.closed.Load() {
+			l.cond.Wait()
+		}
+		if n.closed.Load() {
+			l.mu.Unlock()
+			return
+		}
+		k := l.qlenLocked()
+		if k > n.cfg.BatchMax {
+			k = n.cfg.BatchMax
+		}
+		run.tuples = append(run.tuples[:0], l.queue[l.qhead:l.qhead+k]...)
+		for i := 0; i < k; i++ {
+			l.queue[l.qhead+i] = Tuple{}
+		}
+		l.qhead += k
+		// Tuples leave the queue before they finish processing; a costly
+		// run can hold them for hundreds of milliseconds. Track the count
+		// so stats (and the quiescence barrier) never report an empty
+		// pipeline while the worker still owns admitted tuples.
+		l.inRun = k
+		if l.qhead > 4096 && l.qhead*2 > len(l.queue) {
+			l.queue = append(l.queue[:0], l.queue[l.qhead:]...)
+			l.qhead = 0
+		}
+		qlen := l.qlenLocked()
+		shedClear := false
+		if l.shedding && qlen <= l.cap/2 {
+			// Hysteresis: declare shedding over once the backlog has
+			// drained to half the cap, not at the first free slot.
+			l.shedding = false
+			shedClear = true
+		}
+		shedTotal := l.shed.Load()
+		l.mu.Unlock()
+
+		rs := n.route.Load()
+		nodeID := rs.nodeID()
+		ev, stages, _ := n.observer()
+		if shedClear {
+			ev.Emit(obs.LevelInfo, obs.EventShedClear,
+				"node", nodeID, "lane", int(l.id), "queue", qlen, "cap", l.cap,
+				"shed", shedTotal)
+		}
+
+		// Process the run outside any lock, pacing per tuple against a
+		// locally accumulated busy delta (concurrent charges from other
+		// lanes and the ingress transfer cost land in n.busy and are picked
+		// up at the next flush).
+		started := n.started.Load()
+		startNano := n.startNano.Load()
+		busyBase := n.busy.Load()
+		var busyDelta, laneBusy int64
+		var stranded int64
+		run.outs = run.outs[:0]
+		run.fwds = run.fwds[:0]
+		run.cons = run.cons[:0]
+		run.tgts = run.tgts[:0]
+		for _, t := range run.tuples {
+			var cost float64
+			outsBefore := len(run.outs)
+			// Stage boundary: a traced tuple leaves the queue now; the time
+			// since its ingress admission is queue wait, the time until its
+			// outputs are ready (including virtual-CPU pacing) is service.
+			tracedT := t.Flags&TupleTraced != 0 && t.Stream != stallStream
+			var svcStart int64
+			if tracedT {
+				svcStart = time.Now().UnixNano()
+			}
+			if t.Stream == stallStream {
+				// Migration state-transfer pause: Value already carries the
+				// cost units making svc = Value/capacity = the stall seconds.
+				cost = t.Value
+			} else if t.target != 0 {
+				// Targeted (keyed) delivery: exactly one addressed replica,
+				// never the stream's broadcast consumer set. If the replica
+				// migrated between admission and draining, forward to its
+				// recorded new home; with no record left, count the loss.
+				if e := run.targetOf(rs, &t); e.op != nil {
+					cost = n.process(&run, e.op, t)
+				} else if e.relay != "" {
+					run.fwdTo(e.relay, t)
+				} else {
+					stranded++
+				}
+			} else if cons := run.consumersOf(rs, t.Stream); len(cons) > 0 {
+				for _, op := range cons {
+					cost += n.process(&run, op, t)
+				}
+			} else {
+				// Admitted while a local consumer existed, drained after it
+				// migrated away: relay toward the new home, or — with no
+				// relay route left — count the loss instead of silently
+				// absorbing the tuple (the conservation ledger audits this).
+				relay := run.relayOf(t.Stream)
+				if len(relay) == 0 {
+					stranded++
+				}
+				for _, d := range relay {
+					run.fwdTo(d.Addr, t)
+				}
+			}
+			if cost > 0 {
+				d := int64(time.Duration(cost / n.capacity * float64(time.Second)))
+				busyDelta += d
+				laneBusy += d
+				if started {
+					// Pace: virtual time must not run ahead of wall time.
+					ahead := busyBase + busyDelta - (time.Now().UnixNano() - startNano)
+					if ahead > int64(500*time.Microsecond) {
+						// Flush the accumulated virtual time before sleeping
+						// so stats polled mid-sleep see it (a costly run can
+						// carry seconds of virtual time; utilization must not
+						// lag by that much). The zero-cost path never touches
+						// the shared accumulator.
+						busyBase = n.busy.Add(busyDelta)
+						busyDelta = 0
+						time.Sleep(time.Duration(ahead))
+					}
+				}
+			}
+			if tracedT {
+				svcEnd := time.Now().UnixNano()
+				var queueSec float64
+				if t.TraceTs > 0 {
+					queueSec = float64(svcStart-t.TraceTs) / float64(time.Second)
+				}
+				svcSec := float64(svcEnd-svcStart) / float64(time.Second)
+				stages.Observe(obs.StageQueue, queueSec)
+				stages.Observe(obs.StageService, svcSec)
+				// Outputs inherit the service-end boundary, so their next
+				// crossing (outbox residence or local re-queue wait) starts
+				// here and the stage durations keep telescoping.
+				for j := outsBefore; j < len(run.outs); j++ {
+					run.outs[j].TraceTs = svcEnd
+				}
+				ev.Emit(obs.LevelDebug, obs.EventSpan, "stage", "process",
+					"node", nodeID, "stream", int(t.Stream), "seq", t.Seq,
+					"ts", t.Ts, "queue", queueSec, "service", svcSec,
+					"cost", cost, "outs", len(run.outs)-outsBefore)
+			}
+		}
+		if busyDelta > 0 {
+			n.busy.Add(busyDelta)
+		}
+		if laneBusy > 0 {
+			l.busy.Add(laneBusy)
+		}
+		if stranded > 0 {
+			n.dropNoRt.Add(stranded)
+		}
+		l.processed.Add(int64(len(run.tuples)))
+		run.flushSamples(n.estimator)
+		for i := range run.fwds {
+			n.sendBatchLane(l.id, run.fwds[i].addr, run.fwds[i].ts)
+		}
+		n.routeBatch(l, rs, &run)
+		// Only after the outputs are routed (and counted) does the run's
+		// in-flight claim lapse — one uncontended lock per run, not per
+		// tuple.
+		l.mu.Lock()
+		l.inRun = 0
+		l.mu.Unlock()
+	}
+}
+
+// process runs one tuple through one operator, appending emitted tuples to
+// run.outs and returning the cost-units consumed. The operator's mutable
+// state is guarded by its own mutex (uncontended while one lane owns the
+// operator's streams; see liveOp).
+func (n *Node) process(run *workerRun, op *liveOp, t Tuple) float64 {
+	op.mu.Lock()
+	cost := op.spec.Cost
+	produced := op.spec.Selectivity
+	if op.spec.Kind == "join" {
+		now := time.Now().UnixNano()
+		side := op.sideOf[int(t.Stream)]
+		op.window[side] = append(op.window[side], now)
+		horizon := now - int64(op.spec.Window/2*float64(time.Second))
+		for s := range op.window {
+			win := op.window[s]
+			lo := 0
+			for lo < len(win) && win[lo] < horizon {
+				lo++
+			}
+			op.window[s] = win[lo:]
+		}
+		pairs := len(op.window[1-side])
+		cost = op.spec.Cost * float64(pairs)
+		produced = op.spec.Selectivity * float64(pairs)
+	}
+	op.selAcc += produced
+	k := int(op.selAcc)
+	op.selAcc -= float64(k)
+	op.processed++
+	out := int32(op.spec.Out)
+	op.mu.Unlock()
+	run.sample(op.spec.ID, int64(k), cost)
+	for i := 0; i < k; i++ {
+		// Outputs inherit the partition key (so downstream sharded stages
+		// keep keyed semantics) but never the in-memory target: addressing
+		// is resolved per stream by whoever routes the output.
+		run.outs = append(run.outs, Tuple{
+			Stream: out, Ts: t.Ts, Seq: t.Seq, Value: t.Value,
+			Key: t.Key, Flags: t.Flags, TraceTs: t.TraceTs,
+		})
+	}
+	return cost
+}
+
+// egressTo groups one tuple into routeBatch's per-destination remote
+// slices, reusing backing arrays across runs.
+func (r *workerRun) egressTo(addr string, t Tuple) {
+	i := 0
+	for ; i < len(r.egress); i++ {
+		if r.egress[i].addr == addr {
+			break
+		}
+	}
+	if i == len(r.egress) {
+		if i < cap(r.egress) {
+			r.egress = r.egress[:i+1]
+			r.egress[i].addr = addr
+			r.egress[i].ts = r.egress[i].ts[:0]
+		} else {
+			r.egress = append(r.egress, relayRun{addr: addr})
+		}
+	}
+	r.egress[i].ts = append(r.egress[i].ts, t)
+}
+
+// routeBatch delivers a run of operator-emitted tuples: local consumers
+// re-enter their lane's queue (bucketed per lane, one lock acquisition per
+// lane); remote destinations are aggregated per peer and pushed onto the
+// lane's SPSC outbox rings (charging send-side transfer cost per accepted
+// tuple). Routing state comes from the run's route snapshot; no node-wide
+// lock is taken.
+func (n *Node) routeBatch(l *lane, rs *routeState, run *workerRun) {
+	outs := run.outs
+	if len(outs) == 0 {
+		return
+	}
+	closing := n.closed.Load()
+	run.egress = run.egress[:0]
+	var localCount int64
+	for _, t := range outs {
+		// Partitioned (keyed) streams: pick the one replica owning the
+		// tuple's slot — a targeted local re-entry when it lives here, a
+		// grouped remote send otherwise. This is also where the per-slot
+		// rate counters accumulate: every tuple of the keyed stream passes
+		// through its splitter's home exactly once.
+		if pt := rs.parts[int(t.Stream)]; pt != nil {
+			slot := slotOf(&t)
+			atomic.AddInt64(&pt.counts[slot], 1)
+			d := pt.shards[pt.slots[slot]]
+			if d.Local {
+				if _, ok := rs.ops[d.LocalOp]; ok && !closing {
+					t.target = int32(d.LocalOp) + 1
+					li := fibLane(uint64(uint32(t.target)), n.workers)
+					run.locals[li] = append(run.locals[li], t)
+					localCount++
+					continue
+				}
+				addr := pt.relay[d.LocalOp]
+				if addr == "" {
+					n.dropNoRt.Add(1)
+					continue
+				}
+				d = Dest{Addr: addr}
+			}
+			run.egressTo(d.Addr, t)
+			continue
+		}
+		if len(rs.subs[int(t.Stream)]) > 0 && !closing {
+			li := rs.laneFor(&t, n.workers)
+			run.locals[li] = append(run.locals[li], t)
+			localCount++
+		}
+		for _, d := range rs.fwd[int(t.Stream)] {
+			run.egressTo(d.Addr, t)
+		}
+	}
+	if localCount > 0 {
+		n.emitted.Add(localCount)
+		for li := range run.locals {
+			if len(run.locals[li]) == 0 {
+				continue
+			}
+			n.lanes[li].requeue(run.locals[li])
+			run.locals[li] = run.locals[li][:0]
+		}
+	}
+	for gi := range run.egress {
+		g := &run.egress[gi]
+		accepted := n.sendBatchLane(l.id, g.addr, g.ts)
+		if accepted == 0 {
+			continue
+		}
+		var xferBusy int64
+		for _, t := range g.ts[:accepted] {
+			if x := rs.xfer[int(t.Stream)]; x > 0 {
+				xferBusy += int64(time.Duration(x / n.capacity * float64(time.Second)))
+			}
+		}
+		n.emitted.Add(int64(accepted))
+		if xferBusy > 0 {
+			n.busy.Add(xferBusy)
+			l.busy.Add(xferBusy)
+		}
+	}
+}

@@ -55,6 +55,16 @@ const (
 	// MetricNodeNoRoute counts inbound tuples discarded because their
 	// stream had neither a local subscription nor a relay route.
 	MetricNodeNoRoute = "rodsp_node_tuples_no_route_total"
+	// MetricLaneQueueDepth is one worker lane's queued + in-flight tuple
+	// count (labels node, lane). Lane series are emitted only for
+	// multi-lane nodes with MonitorConfig.LaneSeries enabled, so the
+	// default schema stays identical between the simulator and the engine.
+	MetricLaneQueueDepth = "rodsp_lane_queue_depth"
+	// MetricLaneProcessed counts tuples one worker lane has processed.
+	MetricLaneProcessed = "rodsp_lane_tuples_processed_total"
+	// MetricLaneUtilization is one lane's windowed share of the node's
+	// virtual-CPU time (busy-seconds delta per wall second, capped at 1).
+	MetricLaneUtilization = "rodsp_lane_utilization"
 
 	// MetricControllerDecisions counts elastic-controller decision cycles
 	// (every evaluation of the forecast headroom, whether or not it acted).
