@@ -10,6 +10,7 @@
 //	rodcheck -seed 1 -episodes 20 -slo p99=750ms,zero-shed -report report.json
 //	rodcheck -seed 1 -episodes 0 -controller 1
 //	rodcheck -seed 1 -episodes 0 -sharded 1
+//	rodcheck -seed 1 -episodes 0 -recover 3
 //
 // -controller N runs N closed-loop acceptance pairs: a flash-crowd episode
 // executed twice, elastic controller on and off. The on-arm must migrate the
@@ -25,6 +26,13 @@
 // with zero shed, and under Zipf(1.1) keys the skew-aware arm's minimum
 // node headroom must strictly beat uniform's.
 //
+// -recover N runs N kill-and-recover episodes: a durable cluster (every
+// node logs its ingress to a WAL and checkpoints at drained moments), an
+// interior victim node killed mid-episode and restarted from its log. The
+// gate is exact: ledger residual 0 with zero slack, zero shed, zero
+// duplicate sink deliveries, and a recorded restart latency. A failing
+// episode keeps its WAL root on disk and reports the path.
+//
 // -ctrl-lockstep N cross-validates the closed loop itself: the engine's
 // autonomous migrations are replayed in the simulator and the per-node
 // series must agree under an identical obs schema (controller instruments
@@ -35,8 +43,9 @@
 // chains ramping together, strict ledger), the rest stay strict. With
 // -soak the episode loop runs until the duration elapses instead of a fixed
 // count, interleaving a lockstep cross-validation every tenth episode, a
-// controller pair every fifteenth, a controller lockstep every twentieth,
-// and a sharded pair every twenty-fifth. On the first failure rodcheck
+// kill-and-recover episode every twelfth, a controller pair every
+// fifteenth, a controller lockstep every twentieth, and a sharded pair
+// every twenty-fifth. On the first failure rodcheck
 // writes the failing seed and diagnosis to -fail-out (if set) so CI can
 // archive a one-command reproduction, then exits 1.
 //
@@ -66,6 +75,9 @@ type failure struct {
 	Error    string `json:"error"`
 	Repro    string `json:"repro"`
 	Episodes int    `json:"episodes_run"`
+	// WALDir points at the failing recover episode's retained WAL root (logs
+	// and checkpoints for every node), kept on disk for triage.
+	WALDir string `json:"wal_dir,omitempty"`
 }
 
 func main() {
@@ -77,6 +89,7 @@ func main() {
 		lockstep    = flag.Bool("lockstep", false, "also run sim↔engine lockstep cross-validation")
 		controllerN = flag.Int("controller", 0, "controller pair episodes to run (flash-crowd, elastic controller on vs off)")
 		shardedN    = flag.Int("sharded", 0, "sharded pair episodes to run (hot operator: unsharded vs k=4 uniform vs skew-aware)")
+		recoverN    = flag.Int("recover", 0, "kill-and-recover episodes to run (durable cluster, victim killed and restarted from its WAL)")
 		ctrlLockN   = flag.Int("ctrl-lockstep", 0, "controller lockstep cross-validations to run (engine closed loop replayed in the simulator)")
 		failOut     = flag.String("fail-out", "", "write the first failure as JSON to this file")
 		sloFlag     = flag.String("slo", "", "SLO spec graded per strict episode, e.g. p99=750ms,zero-shed")
@@ -120,6 +133,9 @@ func main() {
 		}
 		if f.Kind == "ctrl-lockstep" {
 			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -ctrl-lockstep 1", f.Seed)
+		}
+		if f.Kind == "recover" {
+			f.Repro = fmt.Sprintf("go run ./cmd/rodcheck -seed %d -episodes 0 -recover 1 -nodes %d", f.Seed, *nodes)
 		}
 		fmt.Fprintf(os.Stderr, "rodcheck: FAIL (%s, seed %d): %s\n", f.Kind, f.Seed, f.Error)
 		if *failOut != "" {
@@ -200,6 +216,32 @@ func main() {
 		runShardedPair(*seed + int64(i))
 	}
 
+	// Recover episodes: the durability acceptance gate. Each episode deploys
+	// onto a WAL-backed cluster, kills the interior victim mid-run, restarts
+	// it from its log, and fails unless the conservation ledger closes at
+	// residual 0 with zero shed and the sink saw zero duplicate deliveries.
+	// On failure the episode's WAL root is retained and reported for triage.
+	runRecover := func(s int64) {
+		ev := obs.NewEventLog(1024)
+		sc, err := check.GenerateRecover(s, *nodes)
+		if err != nil {
+			fatal(failure{Kind: "recover", Seed: s, Class: "recover", Error: err.Error(), Episodes: ran})
+		}
+		res, err := check.RunRecoverEpisode(sc, ev)
+		if err != nil {
+			fatal(failure{Kind: "recover", Seed: s, Class: "recover", Error: err.Error(), Episodes: ran})
+		}
+		if res.Violation != nil {
+			fatal(failure{Kind: "recover", Seed: s, Class: "recover",
+				Error: res.Violation.Error(), Episodes: ran, WALDir: res.WALDir})
+		}
+		fmt.Printf("rodcheck: recover episode ok (seed %d: sources %d, delivered %d, dups %d, restart %.1f ms)\n",
+			s, res.Sources, res.Delivered, res.Duplicates, res.RecoverMillis)
+	}
+	for i := 0; i < *recoverN; i++ {
+		runRecover(*seed + int64(i))
+	}
+
 	runCtrlLockstep := func(s int64) {
 		res, err := check.RunControllerLockstep(s, check.Tolerances{})
 		if err != nil {
@@ -246,6 +288,9 @@ func main() {
 		}
 		if *soak > 0 && i > 0 && i%25 == 0 {
 			runShardedPair(epSeed)
+		}
+		if *soak > 0 && i > 0 && i%12 == 0 {
+			runRecover(epSeed)
 		}
 		var sc *check.Scenario
 		var err error

@@ -132,6 +132,8 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	sr.Series = rest
 	laneTable, rest := lanePanel(sr.Series, filter)
 	sr.Series = rest
+	recoveryTable, rest := recoveryPanel(sr.Series, filter)
+	sr.Series = rest
 	if filter != "" {
 		kept := sr.Series[:0]
 		for _, s := range sr.Series {
@@ -147,6 +149,7 @@ func fetch(client *http.Client, url string, last int, filter string) (string, er
 	b.WriteString(ctrlLine)
 	b.WriteString(shardTable)
 	b.WriteString(laneTable)
+	b.WriteString(recoveryTable)
 	width := 0
 	for _, s := range sr.Series {
 		if w := len(seriesID(s)); w > width {
@@ -428,6 +431,101 @@ func lanePanel(series []seriesJSON, filter string) (string, []seriesJSON) {
 		}
 		fmt.Fprintf(&b, "%-10s %9s %9s %10s %9s\n",
 			key, fmtVal(r.util), fmtVal(r.queue), fmtVal(r.processed), rate)
+		shown++
+	}
+	if shown == 0 {
+		return "", rest
+	}
+	b.WriteString("\n")
+	return b.String(), rest
+}
+
+// recoveryPanel extracts the per-node durability series (exported by WAL-
+// backed nodes: rodsp_wal_* and rodsp_recovery_*) and renders one aligned
+// row per node:
+//
+//	node   wal_recs    rate/s   syncs   wal_kb   ckpts  replayed  dedup_drop
+//	0          1234     103/s    1197     42.1      17         0           0
+//
+// It returns "" (and the series untouched) when no node runs with a WAL
+// directory, and respects the filter like any other row.
+func recoveryPanel(series []seriesJSON, filter string) (string, []seriesJSON) {
+	type row struct {
+		records, syncs, bytes, ckpts float64
+		replayed, dedup              float64
+		rate                         string
+	}
+	rows := map[string]*row{}
+	var order []string
+	get := func(node string) *row {
+		r := rows[node]
+		if r == nil {
+			r = &row{records: math.NaN(), syncs: math.NaN(), bytes: math.NaN(),
+				ckpts: math.NaN(), replayed: math.NaN(), dedup: math.NaN()}
+			rows[node] = r
+			order = append(order, node)
+		}
+		return r
+	}
+	rest := series[:0]
+	for _, s := range series {
+		switch s.Name {
+		case obs.MetricWALRecords, obs.MetricWALSyncs, obs.MetricWALBytes,
+			obs.MetricWALCheckpoints, obs.MetricRecoveryReplayed, obs.MetricRecoveryDedupDropped:
+		default:
+			rest = append(rest, s)
+			continue
+		}
+		cur := math.NaN()
+		if len(s.Points) > 0 {
+			cur = s.Points[len(s.Points)-1][1]
+		}
+		r := get(s.Labels["node"])
+		switch s.Name {
+		case obs.MetricWALRecords:
+			r.records = cur
+			r.rate = strings.TrimPrefix(rateCol(s), "  ")
+		case obs.MetricWALSyncs:
+			r.syncs = cur
+		case obs.MetricWALBytes:
+			r.bytes = cur
+		case obs.MetricWALCheckpoints:
+			r.ckpts = cur
+		case obs.MetricRecoveryReplayed:
+			r.replayed = cur
+		case obs.MetricRecoveryDedupDropped:
+			r.dedup = cur
+		}
+	}
+	if len(order) == 0 {
+		return "", rest
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, _ := strconv.Atoi(order[i])
+		b, _ := strconv.Atoi(order[j])
+		return a < b
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %9s %9s %7s %8s %7s %9s %11s\n",
+		"node", "wal_recs", "rate/s", "syncs", "wal_kb", "ckpts", "replayed", "dedup_drop")
+	shown := 0
+	for _, node := range order {
+		if filter != "" && !strings.Contains("node="+node, filter) &&
+			!strings.Contains("rodsp_wal", filter) && !strings.Contains("rodsp_recovery", filter) {
+			continue
+		}
+		r := rows[node]
+		rate := r.rate
+		if rate == "" {
+			rate = "-"
+		}
+		kb := r.bytes
+		if !math.IsNaN(kb) {
+			kb /= 1024
+		}
+		fmt.Fprintf(&b, "%-6s %9s %9s %7s %8s %7s %9s %11s\n",
+			node, fmtVal(r.records), rate, fmtVal(r.syncs), fmtVal(math.Round(kb*10)/10),
+			fmtVal(r.ckpts), fmtVal(r.replayed), fmtVal(r.dedup))
 		shown++
 	}
 	if shown == 0 {

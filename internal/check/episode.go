@@ -31,6 +31,14 @@ type EpisodeResult struct {
 	// rodcheck's SLO grading.
 	P50Ms float64
 	P99Ms float64
+
+	// Recover-class fields (see RunRecoverEpisode): duplicate deliveries the
+	// sink dedup filter dropped (must be 0), the victim's restart latency in
+	// milliseconds (rebind + WAL replay), and the WAL root — cleaned up on
+	// success, retained on failure so the failing log can be inspected.
+	Duplicates    int64
+	RecoverMillis float64
+	WALDir        string
 }
 
 // RunEpisode drives one scenario through a loopback engine cluster:

@@ -1,0 +1,188 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"rodsp/internal/engine"
+	"rodsp/internal/obs"
+	"rodsp/internal/placement"
+)
+
+// RunRecoverEpisode drives one Recover-class scenario: deploy onto a durable
+// cluster (every node gets a WAL directory under a fresh temp root), start
+// the sources, kill the interior victim node mid-episode, restart it from
+// its WAL directory after the scheduled downtime, drain to full quiescence,
+// and assert the crash-spanning invariants:
+//
+//   - the conservation ledger closes at residual 0 with ZERO slack — the
+//     retained-until-ack outboxes cover every tuple in flight to the victim
+//     at the kill, and WAL replay covers every tuple the victim had admitted
+//     but not finished;
+//   - Shed == 0 (recover scenarios are provisioned feasible, so any shed
+//     means the recovery path lost provisioning, not the workload);
+//   - the sink saw ZERO duplicate deliveries (Collector.SetDedup counts and
+//     suppresses them — at-least-once transport, exactly-once observation);
+//   - at least one tuple reached the sink.
+//
+// On success the WAL temp root is removed; on violation it is kept and its
+// path reported, so a failing seed's log and checkpoint survive for triage.
+func RunRecoverEpisode(sc *Scenario, ev *obs.EventLog) (*EpisodeResult, error) {
+	res := &EpisodeResult{Scenario: sc}
+	plan, err := placement.NewPlan(append([]int(nil), sc.Plan.NodeOf...), sc.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	walRoot, err := os.MkdirTemp("", "rodcheck-wal-")
+	if err != nil {
+		return nil, fmt.Errorf("check: wal temp root: %w", err)
+	}
+	res.WALDir = walRoot
+	cfg := sc.Config
+	cfg.WALDir = walRoot
+
+	cl, err := engine.StartClusterConfig(sc.Caps, cfg)
+	if err != nil {
+		os.RemoveAll(walRoot)
+		return nil, fmt.Errorf("check: starting durable cluster: %w", err)
+	}
+	defer cl.Close()
+	if ev != nil {
+		cl.SetEvents(ev)
+	}
+	cl.Collector.SetDedup(true)
+	if err := cl.Deploy(sc.Graph, plan, sc.Caps); err != nil {
+		os.RemoveAll(walRoot)
+		return nil, err
+	}
+	if err := cl.Start(); err != nil {
+		os.RemoveAll(walRoot)
+		return nil, err
+	}
+
+	addrs := cl.Addrs()
+	inputNodes := engine.InputNodes(sc.Graph, plan)
+
+	type srcOut struct {
+		injected int64
+		dropped  int64
+		err      error
+	}
+	inputs := sc.Graph.Inputs()
+	outs := make([]srcOut, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		var dests []string
+		for _, n := range inputNodes[in] {
+			dests = append(dests, addrs[n])
+		}
+		drv := &engine.SourceDriver{
+			Stream:  in,
+			Trace:   sc.Traces[i],
+			Addrs:   dests,
+			MaxRate: 5000,
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			n, err := drv.Run(sc.Wall, nil)
+			outs[slot] = srcOut{injected: n, dropped: drv.Dropped, err: err}
+		}(i)
+	}
+
+	// The crash: kill the victim at KillAt, leave it down for Downtime, then
+	// restart it from its WAL directory. RestartNode's latency IS the
+	// recovery cost (port rebind + manifest redeploy + checkpoint load + WAL
+	// replay), recorded for the recovery-time experiment.
+	start := time.Now()
+	if d := sc.KillAt - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	if err := cl.Controls[sc.Victim].Fault(engine.FaultSpec{Kill: true}); err != nil {
+		os.RemoveAll(walRoot)
+		return nil, fmt.Errorf("check: killing victim %d: %w", sc.Victim, err)
+	}
+	time.Sleep(sc.Downtime)
+	restartStart := time.Now()
+	if err := cl.RestartNode(sc.Victim); err != nil {
+		os.RemoveAll(walRoot)
+		return nil, fmt.Errorf("check: restarting victim %d: %w", sc.Victim, err)
+	}
+	res.RecoverMillis = float64(time.Since(restartStart)) / float64(time.Millisecond)
+
+	wg.Wait()
+	for i := range outs {
+		res.Sources += outs[i].injected
+		res.SrcDropped += outs[i].dropped
+		if outs[i].err != nil {
+			os.RemoveAll(walRoot)
+			return nil, fmt.Errorf("check: source %d: %w", i, outs[i].err)
+		}
+	}
+
+	// Full quiescence is required: the restarted victim must finish its
+	// replay, re-acked retention must drain, and every outbox — retained
+	// batches included — must empty. A recovery that wedges fails here.
+	if err := cl.AwaitQuiescence(20*time.Second, 100*time.Millisecond); err != nil {
+		res.Violation = recoverViolation(ev, sc, res, fmt.Errorf("check: liveness across restart: %w", err))
+		return res, nil
+	}
+
+	stats, _ := cl.Stats()
+	delivered, _, _, _, _ := cl.Collector.LatencyStats()
+	res.Delivered = delivered
+	res.Duplicates = cl.Collector.Duplicates()
+	if s, ok := cl.Collector.LatencySummary(); ok {
+		res.P50Ms, res.P99Ms = s.P50*1000, s.P99*1000
+	}
+	res.Ledger = Assemble(stats, delivered, res.Sources, res.SrcDropped)
+	if os.Getenv("CHECKDEBUG") != "" {
+		for i, s := range stats {
+			fmt.Fprintf(os.Stderr, "check: node %d: %+v\n", i, s)
+		}
+		fmt.Fprintf(os.Stderr, "check: sink duplicates: %d\n", res.Duplicates)
+	}
+
+	for i, s := range stats {
+		if s == nil {
+			res.Violation = recoverViolation(ev, sc, res, fmt.Errorf("check: node %d unreachable after recovery", i))
+			return res, nil
+		}
+	}
+	if err := CheckOutboxes(stats); err != nil {
+		res.Violation = recoverViolation(ev, sc, res, err)
+		return res, nil
+	}
+	// Zero slack: no sever faults are scheduled, and the kill cannot
+	// double-count — an unacked write to the victim stays retained (pending)
+	// until the re-send is acked, and the sink filter keeps re-deliveries
+	// out of Delivered.
+	if err := res.Ledger.Check(0); err != nil {
+		res.Violation = recoverViolation(ev, sc, res, err)
+		return res, nil
+	}
+	if res.Ledger.Shed != 0 {
+		res.Violation = recoverViolation(ev, sc, res, fmt.Errorf("check: %d tuples shed in a recover episode (must be 0)", res.Ledger.Shed))
+		return res, nil
+	}
+	if res.Duplicates != 0 {
+		res.Violation = recoverViolation(ev, sc, res, fmt.Errorf("check: %d duplicate sink deliveries after recovery (must be 0)", res.Duplicates))
+		return res, nil
+	}
+	if res.Delivered == 0 {
+		res.Violation = recoverViolation(ev, sc, res, fmt.Errorf("check: no tuple reached the sink (sources=%d)", res.Sources))
+		return res, nil
+	}
+	os.RemoveAll(walRoot)
+	res.WALDir = ""
+	return res, nil
+}
+
+// recoverViolation records the failure and notes the retained WAL root.
+func recoverViolation(ev *obs.EventLog, sc *Scenario, res *EpisodeResult, err error) error {
+	err = fmt.Errorf("%w (wal dir kept: %s)", err, res.WALDir)
+	return violation(ev, sc, err)
+}

@@ -35,6 +35,13 @@ const (
 	// variation ROD's rate-space reasoning is built for — and hold the
 	// strict conservation ledger across the simultaneous spike.
 	CorrSpike
+	// Recover scenarios kill an interior node mid-episode and restart it
+	// from its WAL directory (see recover.go): the ledger must close at
+	// residual 0 with zero slack ACROSS the crash — retained-until-ack
+	// outboxes cover tuples in flight to the victim, WAL replay covers
+	// tuples the victim admitted but had not finished, and the sink dedup
+	// filter proves no duplicate delivery survived either mechanism.
+	Recover
 )
 
 func (c Class) String() string {
@@ -47,6 +54,8 @@ func (c Class) String() string {
 		return "sharded"
 	case CorrSpike:
 		return "corr-spike"
+	case Recover:
+		return "recover"
 	}
 	return "strict"
 }
@@ -116,6 +125,12 @@ type Scenario struct {
 
 	Schedule []FaultOp
 	Severs   int // sever faults in Schedule (ledger slack derives from this)
+
+	// Recover-class crash plan (see GenerateRecover): the victim node to
+	// kill, when to kill it, and how long it stays down before the restart.
+	Victim   int
+	KillAt   time.Duration
+	Downtime time.Duration
 }
 
 // severWriteSlack bounds how many tuples one sever fault can double-count:
@@ -304,6 +319,81 @@ func GenerateCorrSpike(seed int64, nodes int) (*Scenario, error) {
 		mv.Stall = time.Duration(rng.Intn(10)) * time.Millisecond
 		s.Schedule = append(s.Schedule, mv)
 	}
+	return s, nil
+}
+
+// GenerateRecover builds the deterministic kill-and-recover scenario: 2–3
+// selectivity-1 chains of exactly 3 Delay operators, with every chain's
+// MIDDLE operator placed on a dedicated victim node (the last index) and the
+// heads/tails spread over the remaining nodes. Sources feed only head nodes
+// and the collector hears only tail nodes, so the victim sits strictly
+// interior to the durable ack protocol: killing it exercises upstream
+// retention (heads' unacked batches re-send on reconnect) and WAL replay
+// (admitted-but-unprocessed tuples re-enter the lanes), while the ledger and
+// the sink dedup filter must both close exactly — zero slack, zero
+// duplicates. No link faults and no migrations: the crash is the only chaos.
+func GenerateRecover(seed int64, nodes int) (*Scenario, error) {
+	if nodes < 3 {
+		return nil, fmt.Errorf("check: recover scenarios need at least 3 nodes, got %d", nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scenario{Seed: seed, Class: Recover, Nodes: nodes, Victim: nodes - 1}
+
+	chains := 2 + rng.Intn(2)
+	b := query.NewBuilder()
+	var nodeOf []int
+	for c := 0; c < chains; c++ {
+		in := b.Input(fmt.Sprintf("rec%d", c))
+		cur := in
+		for o := 0; o < 3; o++ {
+			cost := 0.00003 + rng.Float64()*0.00005
+			cur = b.Delay(fmt.Sprintf("r%d_op%d", c, o), cost, 1, cur)
+			if o == 1 {
+				nodeOf = append(nodeOf, s.Victim)
+			} else {
+				nodeOf = append(nodeOf, (c+o)%(nodes-1))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("check: recover graph: %w", err)
+	}
+	s.Graph = g
+	plan, err := placement.NewPlan(nodeOf, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("check: recover plan: %w", err)
+	}
+	s.Plan = plan
+	s.Caps = make([]float64, nodes)
+	for i := range s.Caps {
+		s.Caps[i] = 1
+	}
+
+	// Moderate steady rates with jitter: the point is surviving the crash,
+	// not saturating the pipeline (shed must stay 0 for the exact ledger).
+	s.Wall = time.Duration(1200+rng.Intn(400)) * time.Millisecond
+	const dt = 0.05
+	bins := int(s.Wall.Seconds()/dt) + 1
+	for c := 0; c < chains; c++ {
+		base := 100 + rng.Float64()*150
+		rates := make([]float64, bins)
+		for i := range rates {
+			rates[i] = base * (0.7 + 0.6*rng.Float64())
+		}
+		s.Traces = append(s.Traces, trace.New(fmt.Sprintf("rec%d", c), dt, rates))
+	}
+
+	s.Config = engine.NodeConfig{
+		BatchMax:        []int{64, 256}[rng.Intn(2)],
+		BackoffBase:     10 * time.Millisecond,
+		BackoffMax:      150 * time.Millisecond,
+		CheckpointEvery: time.Duration(50+rng.Intn(100)) * time.Millisecond,
+		// WALDir is filled by RunRecoverEpisode with a per-run temp root.
+	}
+
+	s.KillAt = time.Duration((0.35 + rng.Float64()*0.15) * float64(s.Wall))
+	s.Downtime = time.Duration(150+rng.Intn(100)) * time.Millisecond
 	return s, nil
 }
 

@@ -107,6 +107,22 @@ type NodeStats struct {
 	// statistics used to build load models).
 	OpCost map[int]float64 `json:"opCost,omitempty"`
 	OpSel  map[int]float64 `json:"opSel,omitempty"`
+
+	// Durability accounting (only when the node runs a WAL). WALRecords /
+	// WALSyncs / WALBytes mirror the log's counters; Checkpoints counts
+	// landed (drained-moment) checkpoints; Replayed is the tuple count
+	// re-admitted from the WAL at the last recovery; DedupDropped counts
+	// duplicate tuples discarded by the per-stream watermarks (re-sent
+	// retained batches after a restart); Recovered marks a node that
+	// restored state or backlog from a prior incarnation's WAL directory.
+	WALActive    bool  `json:"walActive,omitempty"`
+	WALRecords   int64 `json:"walRecords,omitempty"`
+	WALSyncs     int64 `json:"walSyncs,omitempty"`
+	WALBytes     int64 `json:"walBytes,omitempty"`
+	Checkpoints  int64 `json:"checkpoints,omitempty"`
+	Replayed     int64 `json:"replayed,omitempty"`
+	DedupDropped int64 `json:"dedupDropped,omitempty"`
+	Recovered    bool  `json:"recovered,omitempty"`
 }
 
 func (n *Node) serveControl(br *bufio.Reader, conn net.Conn) {
@@ -133,6 +149,7 @@ func (n *Node) handleControl(req *controlRequest) *ControlResponse {
 		if err := n.deploy(req.Spec); err != nil {
 			return &ControlResponse{Err: err.Error()}
 		}
+		n.persistManifest()
 		return &ControlResponse{OK: true}
 	case "start":
 		n.mu.Lock()
@@ -145,6 +162,7 @@ func (n *Node) handleControl(req *controlRequest) *ControlResponse {
 		}
 		n.started.Store(true)
 		n.mu.Unlock()
+		n.persistManifest()
 		return &ControlResponse{OK: true}
 	case "stats":
 		return &ControlResponse{OK: true, Stats: n.Stats()}
@@ -203,6 +221,18 @@ func (n *Node) handleControl(req *controlRequest) *ControlResponse {
 		return &ControlResponse{OK: true}
 	case "stop":
 		n.started.Store(false)
+		n.persistManifest()
+		return &ControlResponse{OK: true}
+	case "restart":
+		// Like kill, but flags the intent: a supervisor (rodnode's main
+		// loop, or the coordinator's RestartNode) observes
+		// RestartRequested and recreates the node on the same address and
+		// WAL directory, which replays the log and recovers.
+		n.restartIntent.Store(true)
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			n.Close()
+		}()
 		return &ControlResponse{OK: true}
 	default:
 		return &ControlResponse{Err: fmt.Sprintf("unknown command %q", req.Cmd)}

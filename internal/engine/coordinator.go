@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -94,6 +95,14 @@ func (c *ControlClient) Fault(spec FaultSpec) error {
 	return err
 }
 
+// Restart asks the node to close with restart intent: a supervisor
+// (rodnode's main loop, or Cluster.RestartNode) recreates it on the same
+// address and WAL directory, recovering its state.
+func (c *ControlClient) Restart() error {
+	_, err := c.call(&controlRequest{Cmd: "restart"})
+	return err
+}
+
 // DefaultLatencyReservoir is how many latency samples the collector
 // retains for quantile estimation (a uniform reservoir over the whole run).
 const DefaultLatencyReservoir = 200000
@@ -120,6 +129,14 @@ type Collector struct {
 	stages     *obs.StageSet
 	events     *obs.EventLog
 	traceEvery int64
+
+	// At-least-once sink dedup (SetDedup): per-stream max-Seq watermarks.
+	// A tuple at or below its stream's watermark is a duplicate delivery —
+	// counted and excluded from every latency/count statistic, so the
+	// kill-and-recover ledger can gate on Duplicates() == 0.
+	dedup     bool
+	sinkMarks map[int32]int64
+	dups      int64
 }
 
 // NewCollector starts a collector on addr.
@@ -180,6 +197,45 @@ func (c *Collector) SetObserver(h *obs.Histogram, count *obs.Counter, stages *ob
 	c.mu.Unlock()
 }
 
+// SetDedup enables (or disables) duplicate-delivery filtering at the sink:
+// per-stream max-Seq watermarks drop any tuple already delivered. Used by
+// kill-and-recover episodes, whose ledger requires exactly-once *observable*
+// delivery on top of the engine's at-least-once transport. Enabling resets
+// the watermarks and the duplicate count.
+func (c *Collector) SetDedup(on bool) {
+	c.mu.Lock()
+	c.dedup = on
+	c.sinkMarks = map[int32]int64{}
+	c.dups = 0
+	c.mu.Unlock()
+}
+
+// Duplicates returns how many duplicate deliveries the sink dedup filter
+// has dropped (0 unless SetDedup is enabled).
+func (c *Collector) Duplicates() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dups
+}
+
+// sinkAdmit applies the dedup watermark to one delivered tuple, reporting
+// whether it should be recorded (always true with dedup disabled).
+func (c *Collector) sinkAdmit(t Tuple) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dedup {
+		return true
+	}
+	// Missing entry = stream never seen; sequences start at 0, so the map's
+	// zero value cannot stand in for "none".
+	if mk, seen := c.sinkMarks[t.Stream]; seen && t.Seq <= mk {
+		c.dups++
+		return false
+	}
+	c.sinkMarks[t.Stream] = t.Seq
+	return true
+}
+
 func (c *Collector) accept() {
 	defer c.wg.Done()
 	for {
@@ -215,6 +271,9 @@ func (c *Collector) accept() {
 				hist, count, stages, ev, every := c.hist, c.sinkCount, c.stages, c.events, c.traceEvery
 				c.mu.Unlock()
 				for _, t := range batch {
+					if !c.sinkAdmit(t) {
+						continue // duplicate delivery (recovery re-send)
+					}
 					lat := float64(now-t.Ts) / float64(time.Second)
 					c.record(lat)
 					if hist != nil {
@@ -282,6 +341,8 @@ func (c *Collector) Reset() {
 	c.latencies = c.latencies[:0]
 	c.count = 0
 	c.welford = stats.Welford{}
+	c.sinkMarks = map[int32]int64{}
+	c.dups = 0
 }
 
 // Close shuts the collector down.
@@ -496,6 +557,11 @@ type Cluster struct {
 	external    bool
 	remoteAddrs []string
 
+	// Launch parameters retained so RestartNode can recreate a node with
+	// the same capacity, config and WAL directory it was born with.
+	caps []float64
+	cfg  NodeConfig
+
 	events  *obs.EventLog // nil-safe; set via SetEvents or StartMonitor
 	monitor *Monitor
 
@@ -550,14 +616,14 @@ func StartCluster(capacities []float64) (*Cluster, error) {
 // data-plane resilience configuration (queue bounds, shed policy, outbox
 // sizing, reconnect backoff).
 func StartClusterConfig(capacities []float64, cfg NodeConfig) (*Cluster, error) {
-	cl := &Cluster{}
+	cl := &Cluster{caps: append([]float64(nil), capacities...), cfg: cfg}
 	col, err := NewCollector("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	cl.Collector = col
-	for _, c := range capacities {
-		node, err := NewNodeConfig("127.0.0.1:0", c, cfg)
+	for i, c := range capacities {
+		node, err := NewNodeConfig("127.0.0.1:0", c, cl.nodeConfig(i))
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -571,6 +637,60 @@ func StartClusterConfig(capacities []float64, cfg NodeConfig) (*Cluster, error) 
 		cl.Controls = append(cl.Controls, ctl)
 	}
 	return cl, nil
+}
+
+// nodeConfig derives node i's NodeConfig from the cluster template: when a
+// WAL root is set, each node gets its own index-keyed subdirectory (stable
+// across restarts, so RestartNode recovers from the same directory).
+func (cl *Cluster) nodeConfig(i int) NodeConfig {
+	cfg := cl.cfg
+	if cfg.WALDir != "" {
+		cfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("n%d", i))
+	}
+	return cfg
+}
+
+// RestartNode simulates a crash-and-supervise cycle for in-process node i:
+// close the current incarnation (dropping everything not on its WAL), then
+// recreate it on the SAME data-plane address with the same capacity and WAL
+// directory so it recovers its state and peers reconnect transparently. The
+// old listener's port is rebound with a short retry window.
+func (cl *Cluster) RestartNode(i int) error {
+	if cl.external {
+		return fmt.Errorf("engine: cannot restart external node %d", i)
+	}
+	if i < 0 || i >= len(cl.Nodes) || cl.Nodes[i] == nil {
+		return fmt.Errorf("engine: restart: no such node %d", i)
+	}
+	addr := cl.Nodes[i].Addr()
+	if ctl := cl.Controls[i]; ctl != nil {
+		ctl.Close()
+		cl.Controls[i] = nil
+	}
+	cl.Nodes[i].Close()
+	cl.Nodes[i] = nil
+	var node *Node
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		node, err = NewNodeConfig(addr, cl.caps[i], cl.nodeConfig(i))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("engine: restart node %d: %w", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ctl, err := DialControl(node.Addr())
+	if err != nil {
+		node.Close()
+		return fmt.Errorf("engine: restart node %d: %w", i, err)
+	}
+	cl.Nodes[i] = node
+	cl.Controls[i] = ctl
+	cl.events.Emit(obs.LevelInfo, obs.EventNodeRestart, "node", i, "addr", addr)
+	return nil
 }
 
 // Addrs returns the data-plane addresses of the nodes.

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rodsp/internal/obs"
+	"rodsp/internal/wal"
+)
+
+// Per-node durability layer (enabled by NodeConfig.WALDir).
+//
+// The design splits responsibility between the two ends of every durable
+// link:
+//
+//   - The RECEIVER logs each seqmark-tagged ingress batch to its WAL and
+//     acks only after the fsync-batched group commit — so an acked batch
+//     is recoverable, and an unacked one is by definition still retained
+//     in the sender's outbox and will be re-sent on reconnect.
+//   - Duplicates from re-sends and replay are filtered by per-stream
+//     tuple-sequence watermarks (sources emit dense per-stream sequences,
+//     lanes preserve per-stream FIFO, and one stream reaches a node over
+//     one link, so "Seq ≤ watermark" identifies a duplicate exactly). The
+//     watermarks are the node's ONLY dedup state: they are checkpointed
+//     with the operator state and re-advanced by replay.
+//
+// Checkpoints land only at drained moments (no in-flight durable
+// admission, empty lanes, no worker mid-batch, empty outboxes including
+// retained-unacked batches): at such a moment every logged input's effects
+// are durable downstream — processed, shipped, and acked — so the WAL
+// prefix can be truncated. The checkpoint captures the scalar operator
+// state (selectivity accumulator, processed count) and the watermarks;
+// windowed join contents restore empty, which is sound for the
+// at-least-once gates because recover scenarios use selectivity-1 chains
+// (documented limitation, as are runtime route mutations: recovery
+// restores the spec persisted at deploy/start/stop, so migrations are not
+// scheduled across a crash).
+//
+// Recovery (openDurability) runs before the node accepts any connection:
+// restore the manifest's spec, apply the checkpoint, replay the WAL tail
+// into the lane queues, then open the gates. Re-sent retained batches
+// arriving afterwards dedup against the restored+replayed watermarks.
+
+// walRecordTuples tags a WAL record holding admitted ingress tuples
+// (version byte followed by standard wire frames).
+const walRecordTuples byte = 0x01
+
+// manifestFile persists the deployed spec and run state at control-plane
+// transitions; checkpointFile persists drained-moment operator state.
+const (
+	manifestFile   = "manifest.json"
+	checkpointFile = "checkpoint.json"
+)
+
+// durableManifest is written at deploy/start/stop so a restart can
+// redeploy without any checkpoint having landed.
+type durableManifest struct {
+	Spec      *NodeSpec `json:"spec"`
+	Started   bool      `json:"started"`
+	StartNano int64     `json:"startNano"`
+}
+
+// opCheckpoint is one operator's scalar state snapshot.
+type opCheckpoint struct {
+	ID        int     `json:"id"`
+	SelAcc    float64 `json:"selAcc"`
+	Processed int64   `json:"processed"`
+}
+
+// streamMark is one stream's dedup watermark.
+type streamMark struct {
+	Stream int32 `json:"stream"`
+	Seq    int64 `json:"seq"`
+}
+
+// checkpointState is the drained-moment snapshot: everything before WalPos
+// is truncated, everything after replays on recovery.
+type checkpointState struct {
+	WalPos uint64         `json:"walPos"`
+	Ops    []opCheckpoint `json:"ops,omitempty"`
+	Marks  []streamMark   `json:"marks,omitempty"`
+}
+
+// openDurability opens (or recovers) the node's WAL directory. Called from
+// NewNodeConfig before any goroutine starts; see the package comment for
+// the ordering argument.
+func (n *Node) openDurability() error {
+	dir := n.cfg.WALDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: wal dir: %w", err)
+	}
+	wl, err := wal.Open(dir, wal.Options{SegmentBytes: n.cfg.WALSegmentBytes})
+	if err != nil {
+		return fmt.Errorf("engine: opening wal: %w", err)
+	}
+	n.wal = wl
+	m, err := loadJSON[durableManifest](filepath.Join(dir, manifestFile))
+	if err != nil {
+		wl.Close()
+		return fmt.Errorf("engine: reading manifest: %w", err)
+	}
+	if m == nil || m.Spec == nil {
+		return nil // fresh directory: nothing to recover
+	}
+	if err := n.deploy(m.Spec); err != nil {
+		wl.Close()
+		return fmt.Errorf("engine: redeploying recovered spec: %w", err)
+	}
+	from := uint64(1)
+	ck, err := loadJSON[checkpointState](filepath.Join(dir, checkpointFile))
+	if err != nil {
+		wl.Close()
+		return fmt.Errorf("engine: reading checkpoint: %w", err)
+	}
+	if ck != nil {
+		rs := n.route.Load()
+		for _, oc := range ck.Ops {
+			if op := rs.ops[oc.ID]; op != nil {
+				op.mu.Lock()
+				op.selAcc = oc.SelAcc
+				op.processed = oc.Processed
+				op.mu.Unlock()
+			}
+		}
+		n.dedupMu.Lock()
+		for _, mk := range ck.Marks {
+			n.dedup[mk.Stream] = mk.Seq
+		}
+		n.dedupMu.Unlock()
+		from = ck.WalPos + 1
+	}
+	if err := wl.Replay(from, func(_ uint64, payload []byte) error {
+		n.replayRecord(payload)
+		return nil
+	}); err != nil {
+		wl.Close()
+		return fmt.Errorf("engine: replaying wal: %w", err)
+	}
+	if m.Started {
+		n.startNano.Store(m.StartNano)
+		n.started.Store(true)
+	}
+	n.recovered.Store(true)
+	return nil
+}
+
+// replayRecord re-admits one WAL record's tuples: advance the dedup
+// watermarks (these tuples were admitted by the previous incarnation) and
+// enqueue them into the lane queues. Unknown record versions are skipped —
+// replay is idempotent and tolerant by construction.
+func (n *Node) replayRecord(payload []byte) {
+	if len(payload) == 0 || payload[0] != walRecordTuples {
+		return
+	}
+	tr := NewTupleReader(bytes.NewReader(payload[1:]))
+	for {
+		batch, err := tr.ReadBatch()
+		if err != nil {
+			return // io.EOF between frames: done; anything else: stop (CRC already vetted the record)
+		}
+		n.dedupMu.Lock()
+		for i := range batch {
+			if mk, seen := n.dedup[batch[i].Stream]; !seen || batch[i].Seq > mk {
+				n.dedup[batch[i].Stream] = batch[i].Seq
+			}
+		}
+		n.dedupMu.Unlock()
+		n.replayed.Add(int64(len(batch)))
+		n.enqueueInboundBatch(batch)
+	}
+}
+
+// dedupFilter filters a durable ingress batch against the per-stream
+// watermarks, appending survivors to keep WITHOUT advancing the marks —
+// advanceMarks runs only after the batch is durably logged, so a WAL
+// failure never strands tuples behind an advanced watermark (the sender
+// re-sends and they pass the filter again). Duplicates (re-sent retained
+// batches covering tuples this node already logged) are counted and
+// dropped — they are ledger-invisible, since the sender's `sent` counts
+// each tuple exactly once (on ack). One stream arrives over one link and
+// each connection is served sequentially, so filter-then-advance is not
+// racy per stream.
+func (n *Node) dedupFilter(batch []Tuple, keep []Tuple) []Tuple {
+	n.dedupMu.Lock()
+	for i := range batch {
+		// A missing entry means the stream has never been admitted here —
+		// sequences start at 0, so the zero value cannot double as "none".
+		if mk, seen := n.dedup[batch[i].Stream]; !seen || batch[i].Seq > mk {
+			keep = append(keep, batch[i])
+		} else {
+			n.dedupDropped.Add(1)
+		}
+	}
+	n.dedupMu.Unlock()
+	return keep
+}
+
+// advanceMarks advances the per-stream watermarks over ts (now durable).
+func (n *Node) advanceMarks(ts []Tuple) {
+	n.dedupMu.Lock()
+	for i := range ts {
+		if mk, seen := n.dedup[ts[i].Stream]; !seen || ts[i].Seq > mk {
+			n.dedup[ts[i].Stream] = ts[i].Seq
+		}
+	}
+	n.dedupMu.Unlock()
+}
+
+// persistManifest writes the deployed spec and run state; called by the
+// control plane after deploy/start/stop so a restart can recover them even
+// before the first checkpoint lands.
+func (n *Node) persistManifest() {
+	if n.wal == nil {
+		return
+	}
+	rs := n.route.Load()
+	m := durableManifest{
+		Spec:      rs.spec,
+		Started:   n.started.Load(),
+		StartNano: n.startNano.Load(),
+	}
+	data, err := json.Marshal(&m)
+	if err == nil {
+		err = wal.WriteFileAtomic(filepath.Join(n.cfg.WALDir, manifestFile), data)
+	}
+	if err != nil {
+		ev, _, _ := n.observer()
+		ev.Emit(obs.LevelWarn, obs.EventWALError, "node", rs.nodeID(), "err", err.Error())
+	}
+}
+
+// checkpointLoop attempts a checkpoint every CheckpointEvery; only drained
+// moments land one (tryCheckpoint), so under sustained load the WAL simply
+// grows until the next lull.
+func (n *Node) checkpointLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.ckQuit:
+			return
+		case <-tick.C:
+			n.tryCheckpoint()
+		}
+	}
+}
+
+// drained reports whether the node is momentarily quiescent: no durable
+// admission between WAL append and lane enqueue, nothing queued or
+// mid-process in any lane, and nothing buffered, in flight, or retained
+// unacked in any outbox. At such a moment every logged input's effects are
+// durable downstream, which is what licenses WAL truncation.
+func (n *Node) drained() bool {
+	if n.durableInflight.Load() != 0 {
+		return false
+	}
+	for _, l := range n.lanes {
+		l.mu.Lock()
+		busy := l.qlenLocked() > 0 || l.inRun > 0
+		l.mu.Unlock()
+		if busy {
+			return false
+		}
+	}
+	for _, o := range n.outboxSnapshots() {
+		if o.Pending != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tryCheckpoint lands a checkpoint if the node is drained and stays
+// drained (with no WAL growth) across the state capture; returns whether
+// one landed. The capture-verify-capture discipline closes the race where
+// a batch is logged but not yet admitted: such an admission either bumps
+// durableInflight (first check fails) or appends a record (LastSeq moved,
+// second check fails).
+func (n *Node) tryCheckpoint() bool {
+	if n.wal == nil {
+		return false
+	}
+	pos := n.wal.Stats().LastSeq
+	if !n.drained() {
+		return false
+	}
+	rs := n.route.Load()
+	ck := checkpointState{WalPos: pos}
+	for id, op := range rs.ops {
+		op.mu.Lock()
+		ck.Ops = append(ck.Ops, opCheckpoint{ID: id, SelAcc: op.selAcc, Processed: op.processed})
+		op.mu.Unlock()
+	}
+	n.dedupMu.Lock()
+	for sid, seq := range n.dedup {
+		ck.Marks = append(ck.Marks, streamMark{Stream: sid, Seq: seq})
+	}
+	n.dedupMu.Unlock()
+	if !n.drained() || n.wal.Stats().LastSeq != pos {
+		return false
+	}
+	sort.Slice(ck.Ops, func(i, j int) bool { return ck.Ops[i].ID < ck.Ops[j].ID })
+	sort.Slice(ck.Marks, func(i, j int) bool { return ck.Marks[i].Stream < ck.Marks[j].Stream })
+	data, err := json.Marshal(&ck)
+	if err == nil {
+		err = wal.WriteFileAtomic(filepath.Join(n.cfg.WALDir, checkpointFile), data)
+	}
+	if err != nil {
+		ev, _, _ := n.observer()
+		ev.Emit(obs.LevelWarn, obs.EventWALError, "node", rs.nodeID(), "err", err.Error())
+		return false
+	}
+	if err := n.wal.TruncateBefore(pos + 1); err != nil {
+		ev, _, _ := n.observer()
+		ev.Emit(obs.LevelWarn, obs.EventWALError, "node", rs.nodeID(), "err", err.Error())
+	}
+	n.checkpoints.Add(1)
+	ev, _, _ := n.observer()
+	ev.Emit(obs.LevelDebug, obs.EventCheckpoint,
+		"node", rs.nodeID(), "walPos", int64(pos), "ops", len(ck.Ops), "marks", len(ck.Marks))
+	return true
+}
+
+// loadJSON reads and decodes a JSON file, returning nil (no error) when
+// the file does not exist and an error on unreadable or corrupt content.
+func loadJSON[T any](path string) (*T, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return &v, nil
+}

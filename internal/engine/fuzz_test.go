@@ -67,6 +67,37 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{opTraced, 0, 0, 0, 0})             // empty traced batch
 	f.Add([]byte{0x80, 1, 2, 3})                    // unknown opcode
 	f.Add([]byte{})
+	// Durability opcodes: a hello announcing a sender identity, a seqmark
+	// tagging the following batch, and a stray ack (acks normally flow the
+	// other way; the reader must skip one without desync).
+	hello := appendHello(nil, 12345, "127.0.0.1:7101")
+	f.Add(hello)
+	f.Add(hello[:3])                                                         // truncated hello
+	f.Add(appendHello(nil, 1, string(make([]byte, 300))))                    // oversized sender addr
+	f.Add(appendSeqMark(nil, 42))                                            // mark with no batch behind it
+	f.Add([]byte{opSeqMark, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // absurd mark seq
+	var ackBuf bytes.Buffer
+	writeAck(&ackBuf, 7) //nolint:errcheck
+	f.Add(ackBuf.Bytes())
+	// A durable sender's stream: hello, then seqmark-tagged batches
+	// interleaved with every legacy variant on one connection. The batch
+	// frames are rendered through the normal writer (preamble stripped) so
+	// the seed is byte-exact wire traffic.
+	frame := func(ts []Tuple) []byte {
+		var buf bytes.Buffer
+		w, _ := NewTupleWriter(&buf)
+		w.SendBatch(ts) //nolint:errcheck
+		w.Flush()       //nolint:errcheck
+		return buf.Bytes()[1:]
+	}
+	var durable bytes.Buffer
+	durable.Write(appendHello(nil, 99, "127.0.0.1:9"))                                  //nolint:errcheck
+	durable.Write(appendSeqMark(nil, 1))                                                //nolint:errcheck
+	durable.Write(frame([]Tuple{{Stream: 5, Seq: 1}, {Stream: 5, Seq: 2}}))             //nolint:errcheck
+	WriteTuple(&durable, Tuple{Stream: 6, Seq: 3})                                      //nolint:errcheck
+	durable.Write(appendSeqMark(nil, 2))                                                //nolint:errcheck
+	durable.Write(frame([]Tuple{{Stream: 5, Seq: 3, Flags: TupleTraced, TraceTs: 11}})) //nolint:errcheck
+	f.Add(durable.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr := NewTupleReader(bytes.NewReader(data))
 		first := true

@@ -122,6 +122,12 @@ type Monitor struct {
 	// the sampling goroutine.
 	shedStreamC map[string]*obs.Counter
 
+	// WAL/recovery counters (key: node index), created lazily when a node
+	// first reports an active WAL, so the default schema stays identical
+	// between the simulator (no WAL) and a non-durable engine run. Touched
+	// only by the sampling goroutine.
+	walC map[int]*walCounters
+
 	// Per-worker-lane series (key "node/lane"), created lazily when a
 	// multi-lane node first reports lane stats and cfg.LaneSeries is set.
 	// Touched only by the sampling goroutine.
@@ -199,6 +205,7 @@ func (cl *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		noRteC:  make([]*obs.Counter, n),
 
 		shedStreamC: map[string]*obs.Counter{},
+		walC:        map[int]*walCounters{},
 		laneQ:       map[string]*obs.Gauge{},
 		laneU:       map[string]*obs.Gauge{},
 		laneP:       map[string]*obs.Counter{},
@@ -462,6 +469,42 @@ func (m *Monitor) run() {
 	}
 }
 
+// walCounters bundles one durable node's WAL/recovery series.
+type walCounters struct {
+	records, syncs, bytes, checkpoints *obs.Counter
+	replayed, dedupDropped             *obs.Counter
+}
+
+// walTick feeds one durable node's WAL/recovery counters, registering the
+// series on the node's first WAL-active report.
+func (m *Monitor) walTick(node int, s *NodeStats) {
+	wc, ok := m.walC[node]
+	if !ok {
+		reg, lbl := m.cfg.Registry, strconv.Itoa(node)
+		wc = &walCounters{
+			records:      reg.Counter(obs.MetricWALRecords, "node", lbl),
+			syncs:        reg.Counter(obs.MetricWALSyncs, "node", lbl),
+			bytes:        reg.Counter(obs.MetricWALBytes, "node", lbl),
+			checkpoints:  reg.Counter(obs.MetricWALCheckpoints, "node", lbl),
+			replayed:     reg.Counter(obs.MetricRecoveryReplayed, "node", lbl),
+			dedupDropped: reg.Counter(obs.MetricRecoveryDedupDropped, "node", lbl),
+		}
+		m.sampler.ProbeCounter(obs.MetricWALRecords, wc.records, "node", lbl)
+		m.sampler.ProbeCounter(obs.MetricWALSyncs, wc.syncs, "node", lbl)
+		m.sampler.ProbeCounter(obs.MetricWALBytes, wc.bytes, "node", lbl)
+		m.sampler.ProbeCounter(obs.MetricWALCheckpoints, wc.checkpoints, "node", lbl)
+		m.sampler.ProbeCounter(obs.MetricRecoveryReplayed, wc.replayed, "node", lbl)
+		m.sampler.ProbeCounter(obs.MetricRecoveryDedupDropped, wc.dedupDropped, "node", lbl)
+		m.walC[node] = wc
+	}
+	wc.records.Store(s.WALRecords)
+	wc.syncs.Store(s.WALSyncs)
+	wc.bytes.Store(s.WALBytes)
+	wc.checkpoints.Store(s.Checkpoints)
+	wc.replayed.Store(s.Replayed)
+	wc.dedupDropped.Store(s.DedupDropped)
+}
+
 // laneTick feeds the per-worker-lane series of one multi-lane node: queue
 // depth (queued + in-flight), cumulative processed count, and windowed
 // utilization from the lane's busy-seconds delta over the node's elapsed
@@ -559,6 +602,9 @@ func (m *Monitor) tick(now time.Time) {
 		}
 		if m.cfg.LaneSeries && len(s.Lanes) > 0 {
 			m.laneTick(i, s, m.lastElap[i])
+		}
+		if s.WALActive {
+			m.walTick(i, s)
 		}
 		m.lastBusy[i], m.lastElap[i] = busy, s.ElapsedSec
 		utils[i] = util

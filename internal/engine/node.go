@@ -13,6 +13,7 @@ import (
 	"rodsp/internal/obs"
 	"rodsp/internal/query"
 	"rodsp/internal/stats"
+	"rodsp/internal/wal"
 )
 
 // ShedPolicy selects which tuple is sacrificed when the bounded ingress
@@ -82,6 +83,20 @@ type NodeConfig struct {
 	// that want one lane per core pass runtime.GOMAXPROCS(0). Capped at
 	// maxWorkers.
 	Workers int
+	// WALDir enables the per-node durability layer: ingress batches from
+	// durable peers are WAL-logged (fsync-batched) before admission and
+	// acked back so senders release their retained copies, and a restart
+	// with the same WALDir recovers the deployed spec, operator state and
+	// the unprocessed backlog (see durable.go). Empty disables durability
+	// (the legacy volatile data plane).
+	WALDir string
+	// CheckpointEvery is the interval between checkpoint attempts; a
+	// checkpoint only lands at a drained moment (empty lanes, empty
+	// outboxes), truncating the WAL behind it. <= 0 selects 100ms when
+	// WALDir is set.
+	CheckpointEvery time.Duration
+	// WALSegmentBytes overrides the WAL segment size (tests). 0 = default.
+	WALSegmentBytes int
 }
 
 // Default data-plane bounds.
@@ -117,6 +132,9 @@ func (cfg *NodeConfig) applyDefaults() {
 		cfg.BatchMax = MaxBatchWire
 	}
 	cfg.Workers = resolveWorkers(cfg.Workers)
+	if cfg.WALDir != "" && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 100 * time.Millisecond
+	}
 }
 
 // Node is one engine process: it listens for control and tuple connections,
@@ -163,6 +181,21 @@ type Node struct {
 	scratch      sync.Pool    // *ingressScratch
 
 	probe atomic.Pointer[nodeProbe] // observer state; see SetObserver
+
+	// Durability state (see durable.go). bornNano doubles as the outbox
+	// incarnation, so a restarted node announces a fresh identity.
+	bornNano        int64
+	wal             *wal.Log
+	durableInflight atomic.Int64 // durable admissions between WAL append and enqueue
+	dedupMu         sync.Mutex
+	dedup           map[int32]int64 // stream → max admitted durable tuple Seq
+	dedupDropped    atomic.Int64
+	replayed        atomic.Int64
+	checkpoints     atomic.Int64
+	recovered       atomic.Bool // restored state or backlog from a prior run
+	restartIntent   atomic.Bool // set by the control-plane restart command
+	ckQuit          chan struct{}
+	done            chan struct{} // closed when Close completes (see Done)
 }
 
 // nodeProbe bundles the observer state so data-plane goroutines (ingress,
@@ -257,6 +290,9 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 		faults:        map[string]*LinkFault{},
 		conns:         map[net.Conn]bool{},
 		estimator:     stats.NewCostEstimator(),
+		dedup:         map[int32]int64{},
+		bornNano:      time.Now().UnixNano(),
+		done:          make(chan struct{}),
 	}
 	n.route.Store(emptyRouteState())
 	laneCap := (cfg.IngressCap + w - 1) / w
@@ -265,10 +301,27 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 		n.lanes[i] = newLane(uint32(i), laneCap)
 	}
 	n.scratch.New = func() any { return newIngressScratch(w) }
+	// Recovery runs BEFORE any goroutine starts: the WAL's surviving
+	// backlog is replayed into the lane queues while no connection can be
+	// accepted, so re-sent retained batches from upstream peers cannot
+	// race the replay (they would advance the dedup watermarks past
+	// records not yet re-admitted). Peers dialing during replay queue in
+	// the listen backlog.
+	if cfg.WALDir != "" {
+		if err := n.openDurability(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	n.wg.Add(1 + w)
 	go n.acceptLoop()
 	for _, l := range n.lanes {
 		go n.laneWorker(l)
+	}
+	if n.wal != nil {
+		n.ckQuit = make(chan struct{})
+		n.wg.Add(1)
+		go n.checkpointLoop()
 	}
 	return n, nil
 }
@@ -319,6 +372,9 @@ func (n *Node) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if n.ckQuit != nil {
+		close(n.ckQuit)
+	}
 	for _, l := range n.lanes {
 		l.mu.Lock()
 		l.cond.Broadcast()
@@ -346,8 +402,22 @@ func (n *Node) Close() error {
 		o.dropRemaining()
 	}
 	n.peersMu.Unlock()
+	if n.wal != nil {
+		n.wal.Close()
+	}
+	close(n.done)
 	return err
 }
+
+// Done is closed once Close has fully completed — every goroutine joined,
+// the WAL closed. A supervisor (rodnode) blocks on it to learn the node
+// went down, then consults RestartRequested.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// RestartRequested reports whether the node was closed by the control
+// plane's restart command (a supervisor should recreate it with the same
+// address and WAL directory) rather than killed or stopped.
+func (n *Node) RestartRequested() bool { return n.restartIntent.Load() }
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -383,18 +453,59 @@ func (n *Node) serveConn(conn net.Conn) {
 	case connControl:
 		n.serveControl(br, conn)
 	case connTuples:
-		n.serveTuples(br)
+		n.serveTuples(br, conn)
 	}
 }
 
-func (n *Node) serveTuples(r io.Reader) {
+// serveTuples drains one tuple connection. Seqmark-tagged batches from
+// durable senders take the durability path: dedup against the per-stream
+// watermarks, WAL-append the survivors, wait for the group commit, admit,
+// then ack the mark so the sender releases its retained copy — the ack is
+// written only after fsync, which is the at-least-once linchpin (anything
+// unacked is still retained upstream and re-sent). Unmarked frames (legacy
+// senders, sources, or a node without a WAL) take the volatile path
+// unchanged; both coexist on one connection.
+func (n *Node) serveTuples(r io.Reader, conn net.Conn) {
 	tr := NewTupleReader(r)
+	var keep []Tuple
+	var payload []byte
 	for {
 		batch, err := tr.ReadBatch()
 		if err != nil {
 			return
 		}
-		n.enqueueInboundBatch(batch)
+		seq, marked := tr.TakeMark()
+		if !marked || n.wal == nil {
+			n.enqueueInboundBatch(batch)
+			continue
+		}
+		n.durableInflight.Add(1)
+		keep = n.dedupFilter(batch, keep[:0])
+		if len(keep) > 0 {
+			payload = append(payload[:0], walRecordTuples)
+			payload = appendFrames(payload, keep)
+			rec, err := n.wal.Append(payload)
+			if err == nil {
+				err = n.wal.WaitCommitted(rec)
+			}
+			if err != nil {
+				n.durableInflight.Add(-1)
+				// The WAL failed: without durability we must not ack (the
+				// sender keeps the batch and re-sends), and the watermarks
+				// were not advanced, so nothing is stranded. Drop the
+				// connection.
+				ev, _, _ := n.observer()
+				ev.Emit(obs.LevelWarn, obs.EventWALError,
+					"node", n.route.Load().nodeID(), "err", err.Error())
+				return
+			}
+			n.advanceMarks(keep)
+			n.enqueueInboundBatch(keep)
+		}
+		n.durableInflight.Add(-1)
+		if err := writeAck(conn, seq); err != nil {
+			return
+		}
 	}
 }
 
@@ -689,12 +800,32 @@ func (n *Node) outboxFor(addr string) *outbox {
 	}
 	o, ok := n.peers[addr]
 	if !ok {
-		o = newOutbox(n, addr)
+		o = newOutbox(n, addr, n.durablePeer(addr))
 		n.peers[addr] = o
 		n.wg.Add(1)
 		go o.run()
 	}
 	return o
+}
+
+// durablePeer reports whether the link to addr should run in durable
+// (retain-until-ack) mode: this node has a WAL and the deployed spec names
+// addr as a durable peer (another WAL-running node — the collector is
+// excluded, since sinks sit outside the ack protocol).
+func (n *Node) durablePeer(addr string) bool {
+	if n.cfg.WALDir == "" {
+		return false
+	}
+	rs := n.route.Load()
+	if rs.spec == nil {
+		return false
+	}
+	for _, a := range rs.spec.DurablePeers {
+		if a == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // linkFault returns the injected fault for addr (nil when healthy).
@@ -868,6 +999,17 @@ func (n *Node) Stats() *NodeStats {
 		s.OutboxDropped += o.Dropped
 		s.OutboxPending += o.Pending
 		s.PeerReconnects += o.Reconnects
+	}
+	if n.wal != nil {
+		ws := n.wal.Stats()
+		s.WALActive = true
+		s.WALRecords = ws.Records
+		s.WALSyncs = ws.Syncs
+		s.WALBytes = ws.Bytes
+		s.Checkpoints = n.checkpoints.Load()
+		s.Replayed = n.replayed.Load()
+		s.DedupDropped = n.dedupDropped.Load()
+		s.Recovered = n.recovered.Load()
 	}
 	return s
 }

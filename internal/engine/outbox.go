@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -84,18 +85,42 @@ type outbox struct {
 	segEnds []int
 	encBufs [][]byte
 	vbufs   net.Buffers
+
+	// Durable (retain-until-ack) mode: the peer runs a WAL, so every
+	// shipped gather goes out as one seqmark+batch pair and is retained
+	// (copied) until the peer's cumulative ack covers its sequence —
+	// `sent` advances on ack, not on write, and a reconnect replays the
+	// hello plus every retained batch in order. Retention is bounded by
+	// OutboxCap tuples; the writer poll-waits for ack room rather than
+	// dropping, so overload backpressures into the rings (where the
+	// existing overflow accounting applies).
+	durable     bool
+	incarnation uint64 // sender identity: the owning node's birth nanos
+	batchSeq    uint64 // writer-owned per-outbox durability sequence
+	retMu       sync.Mutex
+	retained    []retainedBatch
+	retTuples   atomic.Int64 // tuples held in retained (stats + cap check)
+	reenc       []byte       // writer-owned durable encode buffer
 }
 
-func newOutbox(n *Node, addr string) *outbox {
+// retainedBatch is one shipped-but-unacked durable batch.
+type retainedBatch struct {
+	seq uint64
+	ts  []Tuple
+}
+
+func newOutbox(n *Node, addr string, durable bool) *outbox {
 	w := int(n.workers)
 	o := &outbox{
-		node:    n,
-		addr:    addr,
-		ring:    make([]Tuple, n.cfg.OutboxCap),
-		notify:  make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		lanes:   make([]*spscRing, w),
-		encBufs: make([][]byte, w+1),
+		node:        n,
+		addr:        addr,
+		ring:        make([]Tuple, n.cfg.OutboxCap),
+		notify:      make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		lanes:       make([]*spscRing, w),
+		encBufs:     make([][]byte, w+1),
+		durable:     durable,
+		incarnation: uint64(n.bornNano),
 	}
 	laneCap := (n.cfg.OutboxCap + w - 1) / w
 	for i := range o.lanes {
@@ -205,9 +230,84 @@ func (o *outbox) stats() outboxStats {
 		Enqueued:   o.enqueued.Load(),
 		Sent:       o.sent.Load(),
 		Dropped:    o.dropped.Load(),
-		Pending:    pending + o.inflight.Load(),
+		Pending:    pending + o.inflight.Load() + o.retTuples.Load(),
 		Reconnects: o.reconnects.Load(),
 	}
+}
+
+// applyAck settles every retained batch covered by the peer's cumulative
+// ack: their tuples count as sent and the retention space frees up. Late
+// acks for batches already swept by dropRemaining are no-ops (each batch is
+// settled exactly once, under retMu).
+func (o *outbox) applyAck(seq uint64) {
+	var freed int64
+	o.retMu.Lock()
+	i := 0
+	for ; i < len(o.retained) && o.retained[i].seq <= seq; i++ {
+		freed += int64(len(o.retained[i].ts))
+	}
+	if i > 0 {
+		rest := len(o.retained) - i
+		copy(o.retained, o.retained[i:])
+		for j := rest; j < len(o.retained); j++ {
+			o.retained[j] = retainedBatch{}
+		}
+		o.retained = o.retained[:rest]
+		o.retTuples.Add(-freed)
+	}
+	o.retMu.Unlock()
+	if freed > 0 {
+		o.sent.Add(freed)
+	}
+}
+
+// ackReader drains durability acks off one connection's return direction,
+// settling retained batches until the connection fails; the failure is
+// reported so the write loop reconnects (and re-sends what is still
+// retained) even when it has nothing new to ship.
+func (o *outbox) ackReader(conn net.Conn, done chan<- error) {
+	br := bufio.NewReaderSize(conn, 512)
+	for {
+		seq, err := readAck(br)
+		if err != nil {
+			done <- err
+			return
+		}
+		o.applyAck(seq)
+	}
+}
+
+// sendHelloAndRetained opens a durable connection: announce the sender
+// identity, then replay every still-retained batch in sequence order so
+// the peer (which may have just restarted) recovers anything it lost.
+func (o *outbox) sendHelloAndRetained(conn net.Conn) error {
+	buf := appendHello(o.reenc[:0], o.incarnation, o.node.Addr())
+	o.retMu.Lock()
+	for _, rb := range o.retained {
+		buf = appendSeqMark(buf, rb.seq)
+		buf = appendDurableBatch(buf, rb.ts)
+	}
+	o.retMu.Unlock()
+	o.reenc = buf
+	conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+	_, err := conn.Write(buf)
+	return err
+}
+
+// appendDurableBatch appends ts as exactly one batch frame (never the
+// legacy single-tuple shape), upgraded to the traced/keyed record forms
+// when needed — a seqmark must be followed by one batch frame.
+func appendDurableBatch(dst []byte, ts []Tuple) []byte {
+	traced, keyed := false, false
+	for i := range ts {
+		if ts[i].Flags != 0 {
+			traced = true
+		}
+		if ts[i].Key != 0 {
+			keyed = true
+		}
+	}
+	return appendBatchFrame(dst, ts, traced, keyed)
 }
 
 // setConn publishes the live connection so a sever fault can break it.
@@ -291,8 +391,20 @@ func (o *outbox) writeLoop(conn net.Conn) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	var ackDone chan error
+	if o.durable {
+		if err := o.sendHelloAndRetained(conn); err != nil {
+			return err
+		}
+		ackDone = make(chan error, 1)
+		go o.ackReader(conn, ackDone)
+	}
 	for {
 		select {
+		case err := <-ackDone:
+			// The ack channel died: reconnect so retained batches re-send
+			// even though we may have nothing new to write.
+			return err
 		case <-o.quit:
 			// Best-effort final drain of whatever is already buffered.
 			f := o.node.linkFault(o.addr)
@@ -357,6 +469,9 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 				"ts", run[i].Ts, "wait", wait)
 		}
 	}
+	if o.durable {
+		return o.shipDurable(conn, run, f, total)
+	}
 	var err error
 	if o.node.cfg.BatchMax > 1 {
 		bufs := o.vbufs[:0]
@@ -408,6 +523,45 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 	return nil
 }
 
+// shipDurable ships one gather in durable mode: wait for retention room
+// (acks free it — dropping here would defeat retain-until-ack, so overload
+// backpressures into the rings instead), retain a copy under the next
+// sequence number, then write the seqmark+batch pair. `sent` does NOT
+// advance here — applyAck settles it when the peer's fsync ack arrives. A
+// write error keeps the retained copy for the reconnect replay.
+func (o *outbox) shipDurable(conn net.Conn, run []Tuple, f *LinkFault, total int64) error {
+	for int(o.retTuples.Load())+len(run) > o.node.cfg.OutboxCap {
+		select {
+		case <-o.quit:
+			o.dropped.Add(total)
+			o.inflight.Store(0)
+			return errOutboxClosed
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+	o.batchSeq++
+	rb := retainedBatch{seq: o.batchSeq, ts: append([]Tuple(nil), run...)}
+	o.retMu.Lock()
+	o.retained = append(o.retained, rb)
+	o.retTuples.Add(total)
+	o.retMu.Unlock()
+	o.inflight.Store(0)
+	buf := appendSeqMark(o.reenc[:0], rb.seq)
+	buf = appendDurableBatch(buf, rb.ts)
+	o.reenc = buf
+	if f != nil && f.Delay > 0 {
+		select {
+		case <-o.quit:
+		case <-time.After(f.Delay):
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
 // dropRemaining counts everything still buffered as dropped (shutdown or
 // terminal link failure with no connection to drain into). The SPSC rings
 // are swept consumer-side; callers must guarantee the writer goroutine is
@@ -423,6 +577,14 @@ func (o *outbox) dropRemaining() {
 		k += int64(r.discard())
 	}
 	k += o.inflight.Swap(0)
+	// Sweep retained-but-unacked batches: at shutdown no ack is coming.
+	o.retMu.Lock()
+	for _, rb := range o.retained {
+		k += int64(len(rb.ts))
+	}
+	o.retained = nil
+	o.retTuples.Store(0)
+	o.retMu.Unlock()
 	if k > 0 {
 		o.dropped.Add(k)
 	}

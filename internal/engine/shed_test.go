@@ -35,7 +35,11 @@ func startShedNode(t *testing.T, ingressCap int, policy ShedPolicy, stallSec flo
 		t.Fatalf("start: %s", resp.Err)
 	}
 	n.stall(stallSec)
-	time.Sleep(20 * time.Millisecond) // let the worker dequeue the stall
+	// The stall rides lane 0's queue; wait until the worker has dequeued it
+	// (and is busy sleeping) instead of pausing a fixed 20ms.
+	waitUntil(t, time.Second, "stall dequeued", func() bool {
+		return len(queueSeqs(n)) == 0
+	})
 	return n, ev
 }
 

@@ -56,6 +56,37 @@ const (
 	// opKeyedTraced combines opTraced and opKeyed: 45-byte records, the
 	// traced record followed by the 64-bit key.
 	opKeyedTraced byte = 0x84
+	// opHello identifies a durable sender right after the preamble:
+	//
+	//	opHello | uint64(incarnation) | uint16(len) | sender address
+	//
+	// The incarnation is the sender outbox's birth timestamp; a receiver
+	// uses (address, incarnation) to tell a reconnect of the same outbox
+	// from a restarted node. Non-durable senders never emit it, and
+	// receivers that predate it would reject the opcode — durable mode is
+	// only negotiated between nodes of one cluster, which share a binary.
+	opHello byte = 0x85
+	// opAck is the durability acknowledgement:
+	//
+	//	opAck | uint64(batchSeq)
+	//
+	// written by the RECEIVER back over the same TCP connection after the
+	// batch with that per-connection sequence number has been fsynced into
+	// its WAL (or deduplicated away). Acks are cumulative: acking seq s
+	// releases every retained batch ≤ s. The sender reads them off the
+	// connection's return direction; a TupleReader that encounters one
+	// (a stray on a half-duplex reader) skips it harmlessly.
+	opAck byte = 0x86
+	// opSeqMark tags the NEXT batch frame with a per-connection durability
+	// sequence number:
+	//
+	//	opSeqMark | uint64(batchSeq)
+	//
+	// A durable sender emits mark+batch pairs; the receiver logs the batch
+	// and acks the mark's sequence. Unmarked frames (legacy senders, or a
+	// sender in plain mode) take the non-durable path unchanged, so all
+	// frame shapes coexist on one connection.
+	opSeqMark byte = 0x87
 )
 
 // MaxBatchWire caps the tuple count one batch frame may declare; larger
@@ -109,6 +140,79 @@ const keyedTracedFrameSize = tracedFrameSize + 8
 
 // batchHeaderSize is the opcode plus the uint32 tuple count.
 const batchHeaderSize = 1 + 4
+
+// ackFrameSize is the opAck / opSeqMark frame: opcode + uint64 sequence.
+const ackFrameSize = 1 + 8
+
+// maxHelloAddr bounds the sender-address length a hello frame may declare.
+const maxHelloAddr = 256
+
+// appendHello appends a hello frame identifying a durable sender.
+func appendHello(dst []byte, incarnation uint64, sender string) []byte {
+	if len(sender) > maxHelloAddr {
+		sender = sender[:maxHelloAddr]
+	}
+	var hdr [1 + 8 + 2]byte
+	hdr[0] = opHello
+	binary.BigEndian.PutUint64(hdr[1:9], incarnation)
+	binary.BigEndian.PutUint16(hdr[9:11], uint16(len(sender)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, sender...)
+}
+
+// appendSeqMark appends a durability sequence mark for the next batch frame.
+func appendSeqMark(dst []byte, seq uint64) []byte {
+	var buf [ackFrameSize]byte
+	buf[0] = opSeqMark
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	return append(dst, buf[:]...)
+}
+
+// writeAck writes one ack frame for batchSeq to w (the receiver→sender
+// direction of a durable connection).
+func writeAck(w io.Writer, seq uint64) error {
+	var buf [ackFrameSize]byte
+	buf[0] = opAck
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readAck reads one ack frame from r, tolerating (skipping) any stray
+// seqmark or hello frames. Used by a durable sender's ack-reader loop.
+func readAck(r io.Reader) (uint64, error) {
+	var buf [ackFrameSize]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:1]); err != nil {
+			return 0, err
+		}
+		switch buf[0] {
+		case opAck:
+			if _, err := io.ReadFull(r, buf[1:]); err != nil {
+				return 0, unexpectedEOF(err)
+			}
+			return binary.BigEndian.Uint64(buf[1:9]), nil
+		case opSeqMark:
+			if _, err := io.ReadFull(r, buf[1:]); err != nil {
+				return 0, unexpectedEOF(err)
+			}
+		case opHello:
+			var hdr [10]byte
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return 0, unexpectedEOF(err)
+			}
+			n := int(binary.BigEndian.Uint16(hdr[8:10]))
+			if n > maxHelloAddr {
+				return 0, fmt.Errorf("engine: hello declares %d-byte sender (cap %d)", n, maxHelloAddr)
+			}
+			if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+				return 0, unexpectedEOF(err)
+			}
+		default:
+			return 0, fmt.Errorf("engine: unexpected frame opcode 0x%02x on ack channel", buf[0])
+		}
+	}
+}
 
 // encodeTuple writes t's 28-byte wire form into buf[:tupleFrameSize].
 func encodeTuple(buf []byte, t Tuple) {
@@ -345,6 +449,28 @@ type TupleReader struct {
 	hdr  [batchHeaderSize]byte
 	buf  []byte  // reusable frame payload buffer
 	slab []Tuple // reusable decode slab; valid until the next ReadBatch
+
+	// Durability context recorded from control frames interleaved with the
+	// tuple frames. A seqmark applies to the batch returned by the SAME
+	// ReadBatch call that consumed it; TakeMark reads and clears it.
+	mark        uint64
+	hasMark     bool
+	helloInc    uint64
+	helloSender string
+	sawHello    bool
+}
+
+// TakeMark returns the durability sequence attached to the batch just
+// returned by ReadBatch (and clears it). ok is false for unmarked frames.
+func (tr *TupleReader) TakeMark() (seq uint64, ok bool) {
+	seq, ok = tr.mark, tr.hasMark
+	tr.hasMark = false
+	return seq, ok
+}
+
+// Hello returns the sender identity announced on this connection, if any.
+func (tr *TupleReader) Hello() (incarnation uint64, sender string, ok bool) {
+	return tr.helloInc, tr.helloSender, tr.sawHello
 }
 
 // NewTupleReader wraps r (typically already buffered by the caller).
@@ -389,6 +515,40 @@ func (tr *TupleReader) ReadBatch() ([]Tuple, error) {
 			rec = keyedFrameSize
 		case opKeyedTraced:
 			rec = keyedTracedFrameSize
+		case opHello:
+			var hdr [10]byte
+			if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			n := int(binary.BigEndian.Uint16(hdr[8:10]))
+			if n > maxHelloAddr {
+				return nil, fmt.Errorf("engine: hello declares %d-byte sender (cap %d)", n, maxHelloAddr)
+			}
+			if cap(tr.buf) < n {
+				tr.buf = make([]byte, n)
+			}
+			if _, err := io.ReadFull(tr.r, tr.buf[:n]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			tr.helloInc = binary.BigEndian.Uint64(hdr[0:8])
+			tr.helloSender = string(tr.buf[:n])
+			tr.sawHello = true
+			continue
+		case opSeqMark:
+			var buf [8]byte
+			if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			tr.mark = binary.BigEndian.Uint64(buf[:])
+			tr.hasMark = true
+			continue
+		case opAck:
+			// Stray ack on the tuple direction: skip harmlessly.
+			var buf [8]byte
+			if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			continue
 		default:
 			return nil, fmt.Errorf("engine: unknown frame opcode 0x%02x", tr.hdr[0])
 		}

@@ -86,6 +86,24 @@ const (
 	// one keyed shard: the sum of its partition-table slots' rates, labeled
 	// by the sharded parent operator ("op") and the replica index ("shard").
 	MetricShardRate = "rodsp_shard_rate"
+
+	// MetricWALRecords counts ingress batches a node's write-ahead log has
+	// appended. WAL/recovery series are registered lazily, only for nodes
+	// reporting an active WAL, so the default schema stays identical
+	// between the simulator (no WAL) and the engine.
+	MetricWALRecords = "rodsp_wal_records_total"
+	// MetricWALSyncs counts fsync group commits of a node's WAL.
+	MetricWALSyncs = "rodsp_wal_syncs_total"
+	// MetricWALBytes counts bytes appended to a node's WAL.
+	MetricWALBytes = "rodsp_wal_bytes_total"
+	// MetricWALCheckpoints counts landed (drained-moment) checkpoints.
+	MetricWALCheckpoints = "rodsp_wal_checkpoints_total"
+	// MetricRecoveryReplayed counts tuples re-admitted from the WAL at the
+	// node's last recovery.
+	MetricRecoveryReplayed = "rodsp_recovery_replayed_total"
+	// MetricRecoveryDedupDropped counts duplicate tuples discarded by the
+	// per-stream watermarks (re-sent retained batches after a restart).
+	MetricRecoveryDedupDropped = "rodsp_recovery_dedup_dropped_total"
 )
 
 // Event types emitted by the engine and the simulator.
@@ -142,6 +160,19 @@ const (
 	// action: a skew-aware repartition of a keyed stream (ok=false when the
 	// table push failed part-way; routing stays safe on mixed tables).
 	EventControllerScale = "controller_scale"
+	// EventCheckpoint records one landed durability checkpoint: the WAL
+	// position truncated behind, and the operator/watermark counts captured.
+	EventCheckpoint = "checkpoint"
+	// EventRecover records a node restart that restored state from its WAL
+	// directory (replayed tuple count, checkpoint presence).
+	EventRecover = "recover"
+	// EventWALError warns that a WAL append, sync, checkpoint write or
+	// truncation failed; durable ingress stops acking until it heals.
+	EventWALError = "wal_error"
+	// EventNodeRestart records the control plane's restart command being
+	// accepted (the supervisor recreates the node on the same address and
+	// WAL directory).
+	EventNodeRestart = "node_restart"
 )
 
 // Event levels.
