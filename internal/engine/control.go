@@ -273,6 +273,9 @@ func (n *Node) deploy(spec *NodeSpec) error {
 	}
 	rs.computeLanes(n.workers)
 	n.route.Store(rs)
+	// The durable peer set may have changed with the spec; outboxes created
+	// under the previous route must not keep a stale durability mode.
+	n.refreshOutboxDurability()
 	return nil
 }
 

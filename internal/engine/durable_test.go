@@ -2,6 +2,7 @@ package engine
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,6 +221,137 @@ func TestClusterKillRestartRecovers(t *testing.T) {
 			t.Fatalf("node %d lost tuples: shed=%d dropped=%d noroute=%d",
 				i, s.Shed, s.OutboxDropped, s.DroppedNoRoute)
 		}
+	}
+}
+
+// TestConcurrentReplaySameSenderNoDuplicates pins the reconnect-replay
+// admission race: a sender that reconnects and replays retained batches
+// while its OLD connection's goroutine is still mid-admission (between
+// dedupFilter and advanceMarks, typically blocked in WaitCommitted) must
+// not get the same batch admitted twice. Two live connections announcing
+// the same hello identity hammer identical marked batches concurrently;
+// the sink must see every distinct tuple exactly once.
+func TestConcurrentReplaySameSenderNoDuplicates(t *testing.T) {
+	g := pipeline(t, 0.00001, 0.00001)
+	plan, _ := placement.NewPlan([]int{0, 0}, 1)
+	caps := []float64{1}
+	cl, err := StartClusterConfig(caps, NodeConfig{WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Collector.SetDedup(true)
+	if err := cl.Deploy(g, plan, caps); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in := int32(g.Inputs()[0])
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.DialTimeout("tcp", cl.Nodes[0].Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck
+		if _, err := conn.Write([]byte{connTuples}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(appendHello(nil, 7, "same-sender")); err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	connA, connB := dial(), dial()
+	defer connA.Close()
+	defer connB.Close()
+
+	const batches, per = 40, 5
+	sendMarked := func(conn net.Conn, mark uint64, ts []Tuple) error {
+		buf := appendSeqMark(nil, mark)
+		buf = appendFrames(buf, ts)
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		_, err := readAck(conn)
+		return err
+	}
+	var wg sync.WaitGroup
+	for ci, conn := range []net.Conn{connA, connB} {
+		wg.Add(1)
+		go func(ci int, conn net.Conn) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				ts := make([]Tuple, per)
+				for j := range ts {
+					ts[j] = Tuple{Stream: in, Seq: int64(i*per + j)}
+				}
+				if err := sendMarked(conn, uint64(i+1), ts); err != nil {
+					t.Errorf("conn %d batch %d: %v", ci, i, err)
+					return
+				}
+			}
+		}(ci, conn)
+	}
+	wg.Wait()
+
+	if err := cl.AwaitQuiescence(15*time.Second, 50*time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	delivered, _, _, _, _ := cl.Collector.LatencyStats()
+	if delivered != batches*per {
+		t.Fatalf("delivered = %d, want %d (each distinct tuple exactly once)", delivered, batches*per)
+	}
+	if dups := cl.Collector.Duplicates(); dups != 0 {
+		t.Fatalf("sink saw %d duplicate deliveries", dups)
+	}
+}
+
+// TestDeployRefreshesOutboxDurability pins the stale-mode gap: an outbox
+// created before the spec named its peer durable must be recreated in the
+// right mode when the spec lands (and back again when a redeploy drops the
+// peer), instead of silently keeping the mode decided at creation.
+func TestDeployRefreshesOutboxDurability(t *testing.T) {
+	n, err := NewNodeConfig("127.0.0.1:0", 1, NodeConfig{
+		WALDir:      t.TempDir(),
+		BackoffBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	peer := deadAddr(t)
+
+	peerOutbox := func() *outbox {
+		n.peersMu.Lock()
+		defer n.peersMu.Unlock()
+		return n.peers[peer]
+	}
+	n.send(peer, Tuple{Stream: 1}) // creates the outbox before any spec
+	o := peerOutbox()
+	if o == nil || o.durable {
+		t.Fatalf("pre-deploy outbox must exist in volatile mode (got %+v)", o)
+	}
+	if err := n.deploy(&NodeSpec{DurablePeers: []string{peer}}); err != nil {
+		t.Fatal(err)
+	}
+	n.send(peer, Tuple{Stream: 1})
+	o2 := peerOutbox()
+	if o2 == nil || !o2.durable {
+		t.Fatal("deploy naming the peer durable must recreate the outbox in durable mode")
+	}
+	if o2 == o {
+		t.Fatal("stale volatile outbox survived the deploy")
+	}
+	// A redeploy that drops the peer reverts the link to volatile mode.
+	if err := n.deploy(&NodeSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	n.send(peer, Tuple{Stream: 1})
+	if o3 := peerOutbox(); o3 == nil || o3.durable || o3 == o2 {
+		t.Fatal("redeploy dropping the peer must recreate the outbox in volatile mode")
 	}
 }
 

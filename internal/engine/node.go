@@ -168,6 +168,7 @@ type Node struct {
 	peers       map[string]*outbox
 	peersMu     sync.Mutex
 	peersClosed bool
+	retired     []*outbox // outboxes replaced by a durability-mode change; swept at Close
 
 	faultsMu sync.Mutex
 	faults   map[string]*LinkFault
@@ -189,6 +190,8 @@ type Node struct {
 	durableInflight atomic.Int64 // durable admissions between WAL append and enqueue
 	dedupMu         sync.Mutex
 	dedup           map[int32]int64 // stream → max admitted durable tuple Seq
+	admitsMu        sync.Mutex
+	admits          map[string]*sync.Mutex // per-sender durable admission serialization
 	dedupDropped    atomic.Int64
 	replayed        atomic.Int64
 	checkpoints     atomic.Int64
@@ -291,6 +294,7 @@ func NewNodeConfig(addr string, capacity float64, cfg NodeConfig) (*Node, error)
 		conns:         map[net.Conn]bool{},
 		estimator:     stats.NewCostEstimator(),
 		dedup:         map[int32]int64{},
+		admits:        map[string]*sync.Mutex{},
 		bornNano:      time.Now().UnixNano(),
 		done:          make(chan struct{}),
 	}
@@ -396,9 +400,13 @@ func (n *Node) Close() error {
 	n.connsMu.Unlock()
 	n.wg.Wait()
 	// Lane workers may have pushed to SPSC rings after an outbox writer's
-	// final drain; with all goroutines stopped, sweep the leftovers.
+	// final drain; with all goroutines stopped, sweep the leftovers (live
+	// outboxes and any retired by a durability-mode change alike).
 	n.peersMu.Lock()
 	for _, o := range n.peers {
+		o.dropRemaining()
+	}
+	for _, o := range n.retired {
 		o.dropRemaining()
 	}
 	n.peersMu.Unlock()
@@ -465,10 +473,19 @@ func (n *Node) serveConn(conn net.Conn) {
 // unacked is still retained upstream and re-sent). Unmarked frames (legacy
 // senders, sources, or a node without a WAL) take the volatile path
 // unchanged; both coexist on one connection.
+//
+// The whole filter→log→commit→advance window runs under a per-sender
+// admission lock: a sender that reconnects and replays a retained batch
+// while the OLD connection's goroutine is still mid-admission (blocked in
+// WaitCommitted, marks not yet advanced) would otherwise pass dedupFilter a
+// second time and be delivered twice. The lock is keyed on the hello
+// identity (stable across reconnects and restarts), so admissions from
+// DIFFERENT senders still share one group commit.
 func (n *Node) serveTuples(r io.Reader, conn net.Conn) {
 	tr := NewTupleReader(r)
 	var keep []Tuple
 	var payload []byte
+	var admit *sync.Mutex
 	for {
 		batch, err := tr.ReadBatch()
 		if err != nil {
@@ -479,6 +496,11 @@ func (n *Node) serveTuples(r io.Reader, conn net.Conn) {
 			n.enqueueInboundBatch(batch)
 			continue
 		}
+		if admit == nil {
+			_, sender, _ := tr.Hello()
+			admit = n.admitLock(sender)
+		}
+		admit.Lock()
 		n.durableInflight.Add(1)
 		keep = n.dedupFilter(batch, keep[:0])
 		if len(keep) > 0 {
@@ -490,6 +512,7 @@ func (n *Node) serveTuples(r io.Reader, conn net.Conn) {
 			}
 			if err != nil {
 				n.durableInflight.Add(-1)
+				admit.Unlock()
 				// The WAL failed: without durability we must not ack (the
 				// sender keeps the batch and re-sends), and the watermarks
 				// were not advanced, so nothing is stranded. Drop the
@@ -503,10 +526,27 @@ func (n *Node) serveTuples(r io.Reader, conn net.Conn) {
 			n.enqueueInboundBatch(keep)
 		}
 		n.durableInflight.Add(-1)
+		admit.Unlock()
 		if err := writeAck(conn, seq); err != nil {
 			return
 		}
 	}
+}
+
+// admitLock returns (creating on first use) the durable-admission mutex for
+// one sender identity — the address announced in its hello frame, which an
+// outbox keeps across reconnects and a restarted node re-announces. Marked
+// batches that arrive without a hello (hand-rolled senders) share the ""
+// key, which is safe (over-serialization, never under-).
+func (n *Node) admitLock(sender string) *sync.Mutex {
+	n.admitsMu.Lock()
+	defer n.admitsMu.Unlock()
+	m, ok := n.admits[sender]
+	if !ok {
+		m = &sync.Mutex{}
+		n.admits[sender] = m
+	}
+	return m
 }
 
 // enqueueInbound accepts a single tuple arriving from the network (or a
@@ -826,6 +866,35 @@ func (n *Node) durablePeer(addr string) bool {
 		}
 	}
 	return false
+}
+
+// refreshOutboxDurability retires any live outbox whose durable mode no
+// longer matches the deployed spec: the mode is decided once at creation
+// (outboxFor), so an outbox created before the spec named its peer durable —
+// or a redeploy that changes the durable peer set — would otherwise silently
+// keep the wrong mode, dropping the retain-until-ack guarantee for that
+// path. The retired writer drains best-effort and exits (deploy precedes
+// start, so the link is normally idle); the next send to the address creates
+// a fresh outbox in the correct mode.
+func (n *Node) refreshOutboxDurability() {
+	ev, _, _ := n.observer()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if n.peersClosed {
+		return
+	}
+	for addr, o := range n.peers {
+		want := n.durablePeer(addr)
+		if o.durable == want {
+			continue
+		}
+		close(o.quit)
+		delete(n.peers, addr)
+		n.retired = append(n.retired, o)
+		ev.Emit(obs.LevelInfo, obs.EventDeploy,
+			"node", n.route.Load().nodeID(), "addr", addr,
+			"outboxDurable", want, "recreated", true)
+	}
 }
 
 // linkFault returns the injected fault for addr (nil when healthy).

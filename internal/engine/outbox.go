@@ -470,7 +470,7 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 		}
 	}
 	if o.durable {
-		return o.shipDurable(conn, run, f, total)
+		return o.shipDurable(conn, run, f)
 	}
 	var err error
 	if o.node.cfg.BatchMax > 1 {
@@ -528,38 +528,67 @@ func (o *outbox) ship(tw *TupleWriter, conn net.Conn, run []Tuple, f *LinkFault)
 // backpressures into the rings instead), retain a copy under the next
 // sequence number, then write the seqmark+batch pair. `sent` does NOT
 // advance here — applyAck settles it when the peer's fsync ack arrives. A
-// write error keeps the retained copy for the reconnect replay.
-func (o *outbox) shipDurable(conn net.Conn, run []Tuple, f *LinkFault, total int64) error {
-	for int(o.retTuples.Load())+len(run) > o.node.cfg.OutboxCap {
-		select {
-		case <-o.quit:
-			o.dropped.Add(total)
-			o.inflight.Store(0)
-			return errOutboxClosed
-		case <-time.After(500 * time.Microsecond):
+// write error keeps the retained copies for the reconnect replay.
+//
+// A single gather can exceed OutboxCap (one run from the shared ring plus
+// one per lane ring, each up to outboxBatchMax), so the run ships as a
+// sequence of bounded seqmark+batch pairs. The room wait only blocks while
+// something IS retained: an empty retention always admits the next chunk,
+// so the writer can never livelock waiting for acks that would only arrive
+// once it makes progress.
+func (o *outbox) shipDurable(conn net.Conn, run []Tuple, f *LinkFault) error {
+	max := o.node.cfg.OutboxCap
+	if max > outboxBatchMax {
+		max = outboxBatchMax
+	}
+	var werr error
+	for len(run) > 0 {
+		chunk := run
+		if len(chunk) > max {
+			chunk = run[:max]
+		}
+		run = run[len(chunk):]
+		// Once the write has failed no acks are coming on this connection,
+		// so skip the room wait and just retain the rest for the replay
+		// (a transient, gather-bounded overshoot of the retention cap).
+		for werr == nil {
+			ret := int(o.retTuples.Load())
+			if ret == 0 || ret+len(chunk) <= o.node.cfg.OutboxCap {
+				break
+			}
+			select {
+			case <-o.quit:
+				o.dropped.Add(int64(len(chunk) + len(run)))
+				o.inflight.Store(0)
+				return errOutboxClosed
+			case <-time.After(500 * time.Microsecond):
+			}
+		}
+		o.batchSeq++
+		rb := retainedBatch{seq: o.batchSeq, ts: append([]Tuple(nil), chunk...)}
+		o.retMu.Lock()
+		o.retained = append(o.retained, rb)
+		o.retTuples.Add(int64(len(chunk)))
+		o.retMu.Unlock()
+		o.inflight.Store(int64(len(run)))
+		if werr != nil {
+			continue
+		}
+		buf := appendSeqMark(o.reenc[:0], rb.seq)
+		buf = appendDurableBatch(buf, rb.ts)
+		o.reenc = buf
+		if f != nil && f.Delay > 0 {
+			select {
+			case <-o.quit:
+			case <-time.After(f.Delay):
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
+		if _, err := conn.Write(buf); err != nil {
+			werr = err
 		}
 	}
-	o.batchSeq++
-	rb := retainedBatch{seq: o.batchSeq, ts: append([]Tuple(nil), run...)}
-	o.retMu.Lock()
-	o.retained = append(o.retained, rb)
-	o.retTuples.Add(total)
-	o.retMu.Unlock()
-	o.inflight.Store(0)
-	buf := appendSeqMark(o.reenc[:0], rb.seq)
-	buf = appendDurableBatch(buf, rb.ts)
-	o.reenc = buf
-	if f != nil && f.Delay > 0 {
-		select {
-		case <-o.quit:
-		case <-time.After(f.Delay):
-		}
-	}
-	conn.SetWriteDeadline(time.Now().Add(o.node.cfg.FlushTimeout)) //nolint:errcheck
-	if _, err := conn.Write(buf); err != nil {
-		return err
-	}
-	return nil
+	return werr
 }
 
 // dropRemaining counts everything still buffered as dropped (shutdown or

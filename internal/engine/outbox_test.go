@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bufio"
 	"net"
 	"testing"
 	"time"
@@ -188,6 +189,88 @@ func TestOutboxDropFault(t *testing.T) {
 		a.send(addr, Tuple{Stream: 1})
 		return b.Stats().Injected > before
 	})
+}
+
+// TestDurableShipOversizedGather pins the retention livelock: with workers,
+// one gather can collect more tuples than OutboxCap (a run from the shared
+// ring plus one per lane ring), so a durable writer that waits for
+// retTuples+len(run) <= cap before retaining would spin forever on its very
+// first gather. The oversized gather must instead ship as multiple bounded
+// seqmark+batch pairs and fully settle once the peer acks them.
+func TestDurableShipOversizedGather(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Receiver: decode frames off the connection and ack every seqmark, the
+	// way a durable peer would after its group commit.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReaderSize(conn, 16*1024)
+		if _, err := br.ReadByte(); err != nil { // connTuples preamble
+			return
+		}
+		tr := NewTupleReader(br)
+		for {
+			if _, err := tr.ReadBatch(); err != nil {
+				return
+			}
+			if seq, ok := tr.TakeMark(); ok {
+				if err := writeAck(conn, seq); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	n, err := NewNodeConfig("127.0.0.1:0", 1, NodeConfig{
+		OutboxCap: 64,
+		Workers:   4,
+		WALDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Build the durable outbox by hand so the rings can be filled past
+	// OutboxCap before its writer goroutine ever runs.
+	o := newOutbox(n, ln.Addr().String(), true)
+	shared := make([]Tuple, n.cfg.OutboxCap)
+	for i := range shared {
+		shared[i] = Tuple{Stream: 1, Seq: int64(i)}
+	}
+	if got := o.enqueueBatch(shared); got != len(shared) {
+		t.Fatalf("shared ring accepted %d of %d", got, len(shared))
+	}
+	total := len(shared)
+	for li := range o.lanes {
+		laneRun := make([]Tuple, 16)
+		for i := range laneRun {
+			laneRun[i] = Tuple{Stream: 2, Seq: int64(li*16 + i)}
+		}
+		total += o.enqueueLane(li, laneRun)
+	}
+	if total <= n.cfg.OutboxCap {
+		t.Fatalf("test needs a gather larger than OutboxCap, buffered only %d", total)
+	}
+	n.peersMu.Lock()
+	n.peers[o.addr] = o
+	n.peersMu.Unlock()
+	n.wg.Add(1)
+	go o.run()
+
+	waitUntil(t, 5*time.Second, "oversized gather shipped and acked", func() bool {
+		return o.sent.Load() == int64(total) && o.retTuples.Load() == 0
+	})
+	if d := o.dropped.Load(); d != 0 {
+		t.Fatalf("durable path dropped %d tuples", d)
+	}
 }
 
 // waitUntil polls cond until it holds or the deadline passes.

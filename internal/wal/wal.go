@@ -64,6 +64,11 @@ type Options struct {
 	// still advances). Test hook modeling a volatile page cache: crash
 	// simulations chop the file tail to stand in for the lost writes.
 	NoSync bool
+	// preSync, when non-nil, runs in the flusher between capturing the
+	// active segment and fsyncing it — a test hook (unexported, so only
+	// in-package tests can set it) that widens the race window against
+	// Append's segment rotation.
+	preSync func()
 }
 
 // Stats is a snapshot of a log's accounting.
@@ -382,6 +387,9 @@ func (l *Log) flusher() {
 		noSync := l.opt.NoSync
 		l.mu.Unlock()
 
+		if l.opt.preSync != nil {
+			l.opt.preSync()
+		}
 		var err error
 		if !noSync {
 			err = f.Sync()
@@ -389,6 +397,16 @@ func (l *Log) flusher() {
 
 		l.mu.Lock()
 		if err != nil {
+			if l.f != f {
+				// The segment rotated while our fsync was in flight: Append's
+				// rotation path syncs the old file (advancing l.synced past
+				// target) before closing it, so every record this batch meant
+				// to cover is already durable and the error is the close
+				// racing the fsync, not an I/O failure. Go around again for
+				// whatever landed in the new segment.
+				l.mu.Unlock()
+				continue
+			}
 			l.fail(err)
 			l.mu.Unlock()
 			return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -411,6 +412,103 @@ func TestCheckpointAtomicWrite(t *testing.T) {
 	data, _ = os.ReadFile(path)
 	if string(data) != `{"v":2}` {
 		t.Fatalf("rewrite not visible: %q", data)
+	}
+}
+
+// TestFlusherSurvivesRotationClose pins the rotation race deterministically:
+// the flusher captures the active segment, then (held at the preSync hook)
+// Append's rotation path syncs and CLOSES that very file before the
+// flusher's own fsync runs. The resulting ErrClosed must be recognized as
+// the benign rotation race — everything the flusher meant to cover was
+// synced by rotation — not a sticky I/O failure that wedges the log.
+func TestFlusherSurvivesRotationClose(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	l, err := Open(dir, Options{
+		SegmentBytes: 64,
+		preSync: func() {
+			once.Do(func() {
+				close(entered)
+				<-gate
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the active segment past the rotation threshold; the flusher
+	// captures it and parks at the hook.
+	if _, err := l.Append(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// This append rotates: the captured segment is synced and closed under
+	// the lock while the flusher still holds its *os.File.
+	if _, err := l.Append([]byte("post-rotation")); err != nil {
+		t.Fatal(err)
+	}
+	close(gate) // flusher now fsyncs the closed file
+	seq, err := l.Append([]byte("after-race"))
+	if err != nil {
+		t.Fatalf("append after rotation race: %v", err)
+	}
+	if err := l.WaitCommitted(seq); err != nil {
+		t.Fatalf("log failed after rotation race: %v", err)
+	}
+	if got := replayAll(t, l, 1); len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRotationFlusherRace hammers group commit against segment rotation:
+// tiny segments make Append rotate (sync + close the active file under the
+// lock) on nearly every record while the flusher fsyncs the file it captured
+// outside the lock. A flusher that treats the resulting ErrClosed as an I/O
+// failure marks the log permanently failed — every appender here would start
+// erroring out.
+func TestRotationFlusherRace(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 150
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := []byte{byte(g), 0, 0}
+			for i := 0; i < perWriter; i++ {
+				p[1], p[2] = byte(i), byte(i>>8)
+				seq, err := l.Append(p)
+				if err != nil {
+					t.Errorf("writer %d append %d: %v", g, i, err)
+					return
+				}
+				if err := l.WaitCommitted(seq); err != nil {
+					t.Errorf("writer %d wait %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2, 1); len(got) != writers*perWriter {
+		t.Fatalf("recovered %d records, want %d", len(got), writers*perWriter)
 	}
 }
 
